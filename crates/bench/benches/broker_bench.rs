@@ -1,0 +1,77 @@
+//! Micro-benchmarks for the AMQP-model broker substrate: routing-table
+//! evaluation, publish→consume round-trips per exchange kind, and topic
+//! pattern matching (the ablation axis for queue bounds lives in
+//! pipeline_bench where backpressure matters).
+
+use bistream_broker::{Broker, ExchangeKind, Message};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn roundtrip(kind: ExchangeKind, pattern: &str, key: &str) -> (Broker, bistream_broker::Consumer) {
+    let b = Broker::new();
+    b.declare_exchange("x", kind).unwrap();
+    b.declare_queue("q", 1_024).unwrap();
+    b.bind("x", "q", pattern).unwrap();
+    let c = b.subscribe("q").unwrap();
+    // Warm the route once so declaration cost is out of the loop.
+    b.publish("x", Message::new(key, vec![0u8])).unwrap();
+    c.try_recv().unwrap();
+    (b, c)
+}
+
+fn bench_publish_consume(c: &mut Criterion) {
+    let mut g = c.benchmark_group("broker_publish_consume");
+    let payload = vec![0u8; 64];
+    for (name, kind, pattern, key) in [
+        ("direct", ExchangeKind::Direct, "k", "k"),
+        ("topic_literal", ExchangeKind::Topic, "a.b.c", "a.b.c"),
+        ("topic_wildcard", ExchangeKind::Topic, "a.*.#", "a.b.c.d"),
+        ("fanout", ExchangeKind::Fanout, "", "k"),
+    ] {
+        let (broker, consumer) = roundtrip(kind, pattern, key);
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                broker.publish("x", Message::new(key, payload.clone())).unwrap();
+                black_box(consumer.try_recv().unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_fanout_width(c: &mut Criterion) {
+    let mut g = c.benchmark_group("broker_fanout_width");
+    for width in [1usize, 8, 32] {
+        let b = Broker::new();
+        b.declare_exchange("x", ExchangeKind::Fanout).unwrap();
+        let mut consumers = Vec::new();
+        for i in 0..width {
+            let q = format!("q{i}");
+            b.declare_queue(&q, 1_024).unwrap();
+            b.bind("x", &q, "").unwrap();
+            consumers.push(b.subscribe(&q).unwrap());
+        }
+        g.bench_function(format!("width_{width}"), |bench| {
+            bench.iter(|| {
+                b.publish("x", Message::new("k", vec![0u8; 32])).unwrap();
+                for c in &consumers {
+                    black_box(c.try_recv().unwrap());
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(30)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_publish_consume, bench_fanout_width
+}
+criterion_main!(benches);

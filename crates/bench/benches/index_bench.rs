@@ -1,0 +1,150 @@
+//! Micro-benchmarks for the chained in-memory index, including the
+//! ablations DESIGN.md calls out: chained vs naive (single-index,
+//! per-tuple eviction) and hash vs ordered sub-index flavours.
+
+use bistream_index::{ChainedIndex, IndexKind, NaiveWindowIndex};
+use bistream_types::predicate::ProbePlan;
+use bistream_types::rel::Rel;
+use bistream_types::time::Ts;
+use bistream_types::tuple::Tuple;
+use bistream_types::value::Value;
+use bistream_types::window::WindowSpec;
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use std::ops::Bound;
+
+const WINDOW: Ts = 10_000;
+const PERIOD: Ts = 500;
+const N: usize = 20_000;
+const KEYS: i64 = 1_000;
+
+fn tuple(i: usize) -> (Value, Tuple) {
+    let key = Value::Int(i as i64 % KEYS);
+    (key.clone(), Tuple::new(Rel::R, i as Ts, vec![key]))
+}
+
+fn filled_chained(kind: IndexKind, period: Ts) -> ChainedIndex {
+    let mut ix = ChainedIndex::new(kind, WindowSpec::sliding(WINDOW), period);
+    for i in 0..N {
+        let (k, t) = tuple(i);
+        ix.insert(k, t);
+    }
+    ix
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut g = c.benchmark_group("index_insert_1k");
+    g.bench_function("chained_hash", |b| {
+        b.iter_batched(
+            || ChainedIndex::new(IndexKind::Hash, WindowSpec::sliding(WINDOW), PERIOD),
+            |mut ix| {
+                for i in 0..1_000 {
+                    let (k, t) = tuple(i);
+                    ix.insert(k, t);
+                }
+                ix
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("chained_ordered", |b| {
+        b.iter_batched(
+            || ChainedIndex::new(IndexKind::Ordered, WindowSpec::sliding(WINDOW), PERIOD),
+            |mut ix| {
+                for i in 0..1_000 {
+                    let (k, t) = tuple(i);
+                    ix.insert(k, t);
+                }
+                ix
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("naive_hash", |b| {
+        b.iter_batched(
+            || NaiveWindowIndex::new(IndexKind::Hash, WindowSpec::sliding(WINDOW)),
+            |mut ix| {
+                for i in 0..1_000 {
+                    let (k, t) = tuple(i);
+                    ix.insert(k, t);
+                }
+                ix
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_probe(c: &mut Criterion) {
+    let mut g = c.benchmark_group("index_probe");
+    let hash = filled_chained(IndexKind::Hash, PERIOD);
+    g.bench_function("chained_hash_exact", |b| {
+        b.iter(|| {
+            let mut hits = 0u64;
+            hash.probe(&ProbePlan::ExactKey(Value::Int(7)), N as Ts, |_| hits += 1);
+            black_box(hits)
+        })
+    });
+    let ordered = filled_chained(IndexKind::Ordered, PERIOD);
+    let range = ProbePlan::Range {
+        lo: Bound::Included(Value::Int(100)),
+        hi: Bound::Included(Value::Int(110)),
+    };
+    g.bench_function("chained_ordered_range", |b| {
+        b.iter(|| {
+            let mut hits = 0u64;
+            ordered.probe(&range, N as Ts, |_| hits += 1);
+            black_box(hits)
+        })
+    });
+    // Single monolithic index ablation: everything in one sub-index.
+    let mono = filled_chained(IndexKind::Hash, Ts::MAX / 2);
+    g.bench_function("monolithic_hash_exact_ablation", |b| {
+        b.iter(|| {
+            let mut hits = 0u64;
+            mono.probe(&ProbePlan::ExactKey(Value::Int(7)), N as Ts, |_| hits += 1);
+            black_box(hits)
+        })
+    });
+    g.finish();
+}
+
+fn bench_expire(c: &mut Criterion) {
+    let mut g = c.benchmark_group("index_expire_full_window");
+    g.bench_function("chained", |b| {
+        b.iter_batched(
+            || filled_chained(IndexKind::Hash, PERIOD),
+            |mut ix| black_box(ix.expire(10 * WINDOW)),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("naive_per_tuple", |b| {
+        b.iter_batched(
+            || {
+                let mut ix = NaiveWindowIndex::new(IndexKind::Hash, WindowSpec::sliding(WINDOW));
+                for i in 0..N {
+                    let (k, t) = tuple(i);
+                    ix.insert(k, t);
+                }
+                ix
+            },
+            |mut ix| black_box(ix.expire(10 * WINDOW)),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_insert, bench_probe, bench_expire
+}
+criterion_main!(benches);

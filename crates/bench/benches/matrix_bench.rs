@@ -1,0 +1,73 @@
+//! Micro-benchmarks for the join-matrix baseline: per-tuple ingest cost
+//! across grid sizes (the replication tax) and the resize migration.
+
+use bistream_matrix::{JoinMatrix, MatrixConfig};
+use bistream_types::predicate::JoinPredicate;
+use bistream_types::rel::Rel;
+use bistream_types::tuple::Tuple;
+use bistream_types::value::Value;
+use bistream_types::window::WindowSpec;
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+
+fn config(n: usize) -> MatrixConfig {
+    MatrixConfig::square(
+        n,
+        JoinPredicate::Equi { r_attr: 0, s_attr: 0 },
+        WindowSpec::sliding(5_000),
+    )
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matrix_ingest_1k_pairs");
+    for n in [2usize, 4, 8] {
+        g.bench_function(format!("{n}x{n}"), |b| {
+            b.iter_batched(
+                || JoinMatrix::new(config(n)).unwrap(),
+                |mut m| {
+                    for i in 0..1_000i64 {
+                        let ts = i as u64;
+                        m.ingest(&Tuple::new(Rel::R, ts, vec![Value::Int(i % 100)]), ts).unwrap();
+                        m.ingest(&Tuple::new(Rel::S, ts, vec![Value::Int(i % 100)]), ts).unwrap();
+                    }
+                    black_box(m.stats().results)
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_resize(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matrix_resize_migration");
+    g.bench_function("2x2_to_4x4_with_10k_live", |b| {
+        b.iter_batched(
+            || {
+                let mut m = JoinMatrix::new(config(2)).unwrap();
+                for i in 0..10_000i64 {
+                    let ts = i as u64;
+                    let rel = if i % 2 == 0 { Rel::R } else { Rel::S };
+                    m.ingest(&Tuple::new(rel, ts, vec![Value::Int(i % 5_000)]), ts).unwrap();
+                }
+                m
+            },
+            |mut m| black_box(m.resize(4, 4).unwrap().tuples_moved),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn config_c() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(4))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config_c();
+    targets = bench_ingest, bench_resize
+}
+criterion_main!(benches);

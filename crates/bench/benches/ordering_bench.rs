@@ -1,0 +1,111 @@
+//! Micro-benchmarks for the order-consistent protocol: reorder-buffer
+//! throughput and the joiner-level cost of running with the protocol on
+//! vs off (the exactly-once tax).
+
+use bistream_cluster::CostModel;
+use bistream_core::joiner::JoinerCore;
+use bistream_core::layout::JoinerId;
+use bistream_core::ordering::ReorderBuffer;
+use bistream_types::predicate::JoinPredicate;
+use bistream_types::punct::{Punctuation, Purpose, StreamMessage};
+use bistream_types::rel::Rel;
+use bistream_types::tuple::Tuple;
+use bistream_types::value::Value;
+use bistream_types::window::WindowSpec;
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+
+fn data(seq: u64, k: i64) -> StreamMessage {
+    StreamMessage::Data {
+        router: 0,
+        seq,
+        purpose: Purpose::Store,
+        tuple: Tuple::new(Rel::R, seq, vec![Value::Int(k)]),
+    }
+}
+
+fn bench_reorder_buffer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reorder_buffer");
+    // Buffer 1000 data messages then release them with one punctuation.
+    g.bench_function("offer_1k_release_on_punct", |b| {
+        b.iter_batched(
+            || {
+                let mut buf = ReorderBuffer::new();
+                buf.register_router(0, 0);
+                buf
+            },
+            |mut buf| {
+                let mut out = Vec::with_capacity(1_000);
+                for seq in 1..=1_000u64 {
+                    buf.offer(data(seq, seq as i64), &mut out);
+                }
+                buf.offer(StreamMessage::Punct(Punctuation { router: 0, seq: 1_000 }), &mut out);
+                black_box(out.len())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn joiner(ordering: bool) -> JoinerCore {
+    JoinerCore::new(
+        JoinerId(0),
+        Rel::R,
+        JoinPredicate::Equi { r_attr: 0, s_attr: 0 },
+        WindowSpec::sliding(5_000),
+        250,
+        ordering,
+        &[(0, 0)],
+        CostModel::default(),
+    )
+}
+
+fn bench_joiner_protocol_tax(c: &mut Criterion) {
+    let mut g = c.benchmark_group("joiner_protocol_tax");
+    for (name, ordering) in [("ordering_on", true), ("ordering_off", false)] {
+        g.bench_function(name, |b| {
+            b.iter_batched(
+                || joiner(ordering),
+                |mut j| {
+                    let mut results = 0u64;
+                    for seq in 1..=500u64 {
+                        let purpose = if seq % 2 == 0 { Purpose::Join } else { Purpose::Store };
+                        let rel = if purpose == Purpose::Store { Rel::R } else { Rel::S };
+                        let msg = StreamMessage::Data {
+                            router: 0,
+                            seq,
+                            purpose,
+                            tuple: Tuple::new(rel, seq, vec![Value::Int((seq as i64) % 50)]),
+                        };
+                        j.handle(msg, &mut |_| results += 1).unwrap();
+                        if ordering && seq % 20 == 0 {
+                            j.handle(
+                                StreamMessage::Punct(Punctuation { router: 0, seq }),
+                                &mut |_| results += 1,
+                            )
+                            .unwrap();
+                        }
+                    }
+                    j.flush(&mut |_| results += 1).unwrap();
+                    black_box(results)
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_reorder_buffer, bench_joiner_protocol_tax
+}
+criterion_main!(benches);

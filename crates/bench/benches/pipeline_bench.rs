@@ -1,0 +1,96 @@
+//! End-to-end throughput of the live threaded pipelines (biclique and
+//! join-matrix) on small topologies, plus the queue-bound ablation
+//! (backpressure point) DESIGN.md calls out.
+//!
+//! Criterion measures the wall time of pushing a fixed batch through
+//! launch→feed→finish; on a single-core host this is a serialised
+//! end-to-end cost measurement, not a parallel-scaling claim.
+
+use bistream_core::config::{EngineConfig, RoutingStrategy};
+use bistream_core::exec::{Pipeline, PipelineConfig};
+use bistream_matrix::exec::{MatrixPipeline, MatrixPipelineConfig};
+use bistream_matrix::MatrixConfig;
+use bistream_types::predicate::JoinPredicate;
+use bistream_types::rel::Rel;
+use bistream_types::tuple::Tuple;
+use bistream_types::value::Value;
+use bistream_types::window::WindowSpec;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+const PAIRS: usize = 5_000;
+
+fn engine_cfg(routing: RoutingStrategy) -> EngineConfig {
+    let mut cfg = EngineConfig::default_equi();
+    cfg.routing = routing;
+    cfg.window = WindowSpec::sliding(60_000);
+    cfg.punctuation_interval_ms = 5;
+    cfg
+}
+
+fn run_biclique(cfg: PipelineConfig) -> u64 {
+    let p = Pipeline::launch(cfg).unwrap();
+    for i in 0..PAIRS {
+        let now = p.now();
+        p.ingest(&Tuple::new(Rel::R, now, vec![Value::Int(i as i64 % 499)])).unwrap();
+        p.ingest(&Tuple::new(Rel::S, now, vec![Value::Int(i as i64 % 499)])).unwrap();
+    }
+    p.finish().unwrap().snapshot.results
+}
+
+fn bench_live_pipelines(c: &mut Criterion) {
+    let mut g = c.benchmark_group("live_pipeline_5k_pairs");
+    g.sample_size(10);
+    g.bench_function("biclique_hash_2x2", |b| {
+        b.iter(|| black_box(run_biclique(PipelineConfig::new(engine_cfg(RoutingStrategy::Hash)))))
+    });
+    g.bench_function("biclique_random_2x2", |b| {
+        b.iter(|| {
+            black_box(run_biclique(PipelineConfig::new(engine_cfg(RoutingStrategy::Random))))
+        })
+    });
+    g.bench_function("matrix_2x2", |b| {
+        b.iter(|| {
+            let cfg = MatrixPipelineConfig::new(MatrixConfig::square(
+                2,
+                JoinPredicate::Equi { r_attr: 0, s_attr: 0 },
+                WindowSpec::sliding(60_000),
+            ));
+            let p = MatrixPipeline::launch(cfg).unwrap();
+            for i in 0..PAIRS {
+                let now = p.now();
+                p.ingest(&Tuple::new(Rel::R, now, vec![Value::Int(i as i64 % 499)])).unwrap();
+                p.ingest(&Tuple::new(Rel::S, now, vec![Value::Int(i as i64 % 499)])).unwrap();
+            }
+            black_box(p.finish().unwrap().snapshot.results)
+        })
+    });
+    g.finish();
+}
+
+fn bench_queue_bounds(c: &mut Criterion) {
+    let mut g = c.benchmark_group("queue_bound_ablation");
+    g.sample_size(10);
+    for capacity in [256usize, 4_096, 32_768] {
+        g.bench_function(format!("unit_capacity_{capacity}"), |b| {
+            b.iter(|| {
+                let mut cfg = PipelineConfig::new(engine_cfg(RoutingStrategy::Hash));
+                cfg.unit_capacity = capacity;
+                black_box(run_biclique(cfg))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(5))
+        .warm_up_time(std::time::Duration::from_secs(1))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_live_pipelines, bench_queue_bounds
+}
+criterion_main!(benches);

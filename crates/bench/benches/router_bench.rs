@@ -1,0 +1,54 @@
+//! Micro-benchmarks for the routing core: per-tuple routing decision cost
+//! per strategy and layout size, including the ContRand subgroup-count
+//! ablation.
+
+use bistream_core::config::RoutingStrategy;
+use bistream_core::layout::Layout;
+use bistream_core::router::RouterCore;
+use bistream_types::predicate::JoinPredicate;
+use bistream_types::rel::Rel;
+use bistream_types::tuple::Tuple;
+use bistream_types::value::Value;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_route(c: &mut Criterion) {
+    let mut g = c.benchmark_group("router_route");
+    let pred = JoinPredicate::Equi { r_attr: 0, s_attr: 0 };
+    for (name, strategy, subgroups) in [
+        ("random", RoutingStrategy::Random, 1usize),
+        ("hash", RoutingStrategy::Hash, 1),
+        ("contrand_d2", RoutingStrategy::ContRand { subgroups: 2 }, 2),
+        ("contrand_d8", RoutingStrategy::ContRand { subgroups: 8 }, 8),
+    ] {
+        for units in [8usize, 32] {
+            let layout = Layout::new(units, units, subgroups).unwrap();
+            let mut router = RouterCore::standalone(0, strategy, pred.clone(), 7);
+            let mut out = Vec::with_capacity(units + 1);
+            let mut k = 0i64;
+            g.bench_function(format!("{name}_{units}x{units}"), |b| {
+                b.iter(|| {
+                    out.clear();
+                    k += 1;
+                    let t = Tuple::new(Rel::R, k as u64, vec![Value::Int(k % 10_000)]);
+                    router.route(&t, &layout, &mut out).unwrap();
+                    black_box(out.len())
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(30)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_route
+}
+criterion_main!(benches);

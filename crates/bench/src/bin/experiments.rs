@@ -1,0 +1,62 @@
+//! The experiment harness: regenerates every table and figure of
+//! EXPERIMENTS.md.
+//!
+//! ```text
+//! cargo run --release -p bistream-bench --bin experiments -- all
+//! cargo run --release -p bistream-bench --bin experiments -- e1 e7
+//! cargo run --release -p bistream-bench --bin experiments -- --quick all
+//! ```
+//!
+//! Results print as aligned tables and persist as JSON under `results/`.
+
+use bistream_bench::experiments::{self, ExpCtx};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut ctx = ExpCtx::default();
+    let mut ids: Vec<String> = Vec::new();
+    let mut iter = args.iter().peekable();
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--quick" | "-q" => ctx.quick = true,
+            "--seed" => {
+                let v = iter.next().expect("--seed needs a value");
+                ctx.seed = v.parse().expect("--seed needs a u64");
+            }
+            "--help" | "-h" => {
+                usage();
+                return;
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        usage();
+        std::process::exit(2);
+    }
+    if ids.iter().any(|i| i == "all") {
+        ids = experiments::ALL.iter().map(|s| s.to_string()).collect();
+    }
+
+    println!(
+        "bistream experiments — seed {:#x}{}\n",
+        ctx.seed,
+        if ctx.quick { ", quick mode" } else { "" }
+    );
+    for id in &ids {
+        let started = std::time::Instant::now();
+        eprintln!(">> running {id}…");
+        if !experiments::run(id, &ctx) {
+            eprintln!("unknown experiment id `{id}` (known: {:?})", experiments::ALL);
+            std::process::exit(2);
+        }
+        eprintln!(">> {id} done in {:.1}s\n", started.elapsed().as_secs_f64());
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "usage: experiments [--quick] [--seed N] <id>… | all\n  ids: {}",
+        experiments::ALL.join(", ")
+    );
+}

@@ -1,0 +1,93 @@
+//! **E1 — Dynamic scaling on CPU utilization** (thesis Fig. 20).
+//!
+//! A 60-minute run of the equi-join workload whose per-relation rate
+//! steps 300 → 400 (10') → 200 (40') → 300 (50') t/s, over a 10-minute
+//! window, with one joiner per side initially. The Kubernetes-style HPA
+//! targets 80 % mean CPU with 1–3 replicas per side. Expected shape (per
+//! the source figure): the opening 300 t/s drives one joiner far above
+//! target (≈ 145 %) so a second pod launches immediately; the 400 t/s
+//! step adds a third; the 200 t/s step eventually releases pods; the
+//! closing 300 t/s stabilises near target.
+
+use super::common::engine_config;
+use super::ExpCtx;
+use crate::report::{f, Table};
+use bistream_cluster::{CostModel, HpaConfig};
+use bistream_core::config::RoutingStrategy;
+use bistream_core::engine::BicliqueEngine;
+use bistream_core::sim::{run_dynamic_scaling, SimConfig};
+use crate::feed::ProfileFeed;
+use bistream_types::predicate::JoinPredicate;
+use bistream_types::time::{Ts, MINUTE};
+use bistream_types::window::WindowSpec;
+use bistream_workload::schedule::RateSchedule;
+
+/// Run E1.
+pub fn run(ctx: &ExpCtx) {
+    // Quick mode compresses the hour to 6 minutes of virtual time (the
+    // window and HPA periods compress with it).
+    let scale = if ctx.quick { 0.1 } else { 1.0 };
+    let duration = (60.0 * MINUTE as f64 * scale) as Ts;
+    let window = (10.0 * MINUTE as f64 * scale) as Ts;
+
+    let mut cfg = engine_config(
+        RoutingStrategy::Random,
+        JoinPredicate::Equi { r_attr: 0, s_attr: 0 },
+        WindowSpec::sliding(window),
+        1,
+        1,
+        ctx.seed,
+    );
+    // Punctuate sparsely: the hour-long horizon doesn't need 20 ms
+    // punctuation granularity and the run is dominated by it otherwise.
+    cfg.punctuation_interval_ms = 200;
+    let engine = BicliqueEngine::builder(cfg)
+        .cost_model(CostModel::thesis_operating_point())
+        .build()
+        .expect("valid config");
+
+    let mut hpa = HpaConfig::thesis_cpu();
+    hpa.period_ms = (hpa.period_ms as f64 * scale) as Ts;
+    hpa.scale_down_stabilization_ms = (hpa.scale_down_stabilization_ms as f64 * scale) as Ts;
+
+    let sim = SimConfig {
+        duration_ms: duration,
+        sample_interval_ms: (MINUTE as f64 * scale) as Ts,
+        scale_r: true,
+        scale_s: true,
+        // Pods boot in ~15 s on the thesis cluster (image pull + JVM).
+        pod_startup_delay_ms: 15_000,
+    };
+    let mut feed_profile =
+        ProfileFeed::new(RateSchedule::thesis_profile(), scale, duration, 100_000, 0);
+    let out = run_dynamic_scaling(engine, &mut feed_profile, hpa, &sim)
+        .expect("simulation runs");
+
+    let mut table = Table::new(
+        "E1: dynamic scaling on CPU utilization (thesis Fig. 20)",
+        &["t_min", "rate_t/s", "R_pods", "S_pods", "R_cpu%", "S_cpu%", "results"],
+    );
+    for s in &out.samples {
+        table.row(vec![
+            f(s.t_ms as f64 / MINUTE as f64 / scale, 0),
+            f(s.ingest_rate / 2.0, 0), // per relation
+            s.r_replicas.to_string(),
+            s.s_replicas.to_string(),
+            f(s.r_cpu * 100.0, 0),
+            f(s.s_cpu * 100.0, 0),
+            s.results.to_string(),
+        ]);
+    }
+    table.emit("e1_scaling_cpu");
+
+    let mut events = Table::new("E1: scale events", &["t_min", "side", "before", "after"]);
+    for (t, side, before, after) in &out.scale_events {
+        events.row(vec![
+            f(*t as f64 / MINUTE as f64 / scale, 1),
+            side.to_string(),
+            before.to_string(),
+            after.to_string(),
+        ]);
+    }
+    events.emit("e1_scale_events");
+}

@@ -1,0 +1,109 @@
+//! **E2 — Dynamic scaling on memory load** (thesis Fig. 21).
+//!
+//! Same 60-minute rate profile as E1 (300→400→200→300 t/s per relation,
+//! 10-minute window), but the HPA targets **memory**: 85 % of a per-pod
+//! limit (the thesis tuned its JVMs so the trigger sat at ≈ 520 MB).
+//! Per-tuple payload inflates the window state so memory — not CPU — is
+//! the binding resource. Expected shape: memory climbs for one window
+//! length then plateaus (expiry balances arrivals); the 400 t/s step
+//! pushes the mean past the trigger and a second joiner spawns, halving
+//! the per-pod accumulation rate; the rate drops let pods retire after
+//! the stabilization window.
+//!
+//! The memory axis is scaled 1:4 against the thesis hardware (153 MB
+//! limit instead of 612 MB, 640 B payloads) so the simulation does not
+//! allocate gigabytes; the *shape* is scale-free.
+
+use super::common::engine_config;
+use super::ExpCtx;
+use crate::report::{f, mib, Table};
+use bistream_cluster::{CostModel, HpaConfig, MetricTarget};
+use bistream_core::config::RoutingStrategy;
+use bistream_core::engine::BicliqueEngine;
+use bistream_core::sim::{run_dynamic_scaling, SimConfig};
+use crate::feed::ProfileFeed;
+use bistream_types::predicate::JoinPredicate;
+use bistream_types::time::{Ts, MINUTE};
+use bistream_types::window::WindowSpec;
+use bistream_workload::schedule::RateSchedule;
+
+/// Run E2.
+pub fn run(ctx: &ExpCtx) {
+    let scale = if ctx.quick { 0.1 } else { 1.0 };
+    let duration = (60.0 * MINUTE as f64 * scale) as Ts;
+    let window = (10.0 * MINUTE as f64 * scale) as Ts;
+    // 1:4 thesis scale; quick mode also shrinks tuples with the horizon.
+    let limit_bytes: u64 = (153.0 * 1024.0 * 1024.0 * scale) as u64;
+    let payload_bytes = 640;
+
+    let mut cfg = engine_config(
+        RoutingStrategy::Random,
+        JoinPredicate::Equi { r_attr: 0, s_attr: 0 },
+        WindowSpec::sliding(window),
+        1,
+        1,
+        ctx.seed,
+    );
+    cfg.punctuation_interval_ms = 200;
+    let engine = BicliqueEngine::builder(cfg)
+        .cost_model(CostModel::default()) // CPU must NOT be the trigger here
+        .build()
+        .expect("valid config");
+
+    let hpa = HpaConfig {
+        min_replicas: 1,
+        max_replicas: 3,
+        target: MetricTarget::MemoryUtilization { fraction: 0.85, limit_bytes },
+        period_ms: (30_000.0 * scale) as Ts,
+        tolerance: 0.1,
+        scale_down_stabilization_ms: (5.0 * MINUTE as f64 * scale) as Ts,
+    };
+
+    let sim = SimConfig {
+        duration_ms: duration,
+        sample_interval_ms: (MINUTE as f64 * scale) as Ts,
+        scale_r: true,
+        scale_s: true,
+        // Pods boot in ~15 s on the thesis cluster (image pull + JVM).
+        pod_startup_delay_ms: 15_000,
+    };
+    let mut feed = ProfileFeed::new(
+        RateSchedule::thesis_profile(),
+        scale,
+        duration,
+        100_000,
+        payload_bytes,
+    );
+    let out = run_dynamic_scaling(engine, &mut feed, hpa, &sim).expect("simulation runs");
+
+    let mut table = Table::new(
+        format!(
+            "E2: dynamic scaling on memory load (thesis Fig. 21; limit {} MiB, trigger 85%)",
+            mib(limit_bytes)
+        ),
+        &["t_min", "rate_t/s", "R_pods", "S_pods", "R_mem_MiB", "S_mem_MiB", "results"],
+    );
+    for s in &out.samples {
+        table.row(vec![
+            f(s.t_ms as f64 / MINUTE as f64 / scale, 0),
+            f(s.ingest_rate / 2.0, 0),
+            s.r_replicas.to_string(),
+            s.s_replicas.to_string(),
+            mib(s.r_mem_mean),
+            mib(s.s_mem_mean),
+            s.results.to_string(),
+        ]);
+    }
+    table.emit("e2_scaling_memory");
+
+    let mut events = Table::new("E2: scale events", &["t_min", "side", "before", "after"]);
+    for (t, side, before, after) in &out.scale_events {
+        events.row(vec![
+            f(*t as f64 / MINUTE as f64 / scale, 1),
+            side.to_string(),
+            before.to_string(),
+            after.to_string(),
+        ]);
+    }
+    events.emit("e2_scale_events");
+}

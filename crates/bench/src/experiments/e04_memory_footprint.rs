@@ -1,0 +1,70 @@
+//! **E4 — Memory footprint vs. cluster size** (reconstructed: the
+//! replication-cost analysis of the evaluation).
+//!
+//! Identical workload, window and cost model; the only variable is the
+//! architecture and the unit count `p`. The biclique stores every tuple
+//! exactly once, so its total live memory is flat in `p` (≈ the window
+//! volume); the join-matrix replicates R over `√p` columns and S over
+//! `√p` rows, so its footprint grows as `√p` — the factor the paper's
+//! memory plots report.
+
+use super::common::{drive_engine, drive_matrix, engine_config, feed};
+use super::ExpCtx;
+use crate::report::{f, mib, Table};
+use bistream_core::config::RoutingStrategy;
+use bistream_core::engine::BicliqueEngine;
+use bistream_matrix::{JoinMatrix, MatrixConfig};
+use bistream_types::predicate::JoinPredicate;
+use bistream_types::rel::Rel;
+use bistream_types::window::WindowSpec;
+
+/// Run E4.
+pub fn run(ctx: &ExpCtx) {
+    let horizon_ms: u64 = if ctx.quick { 4_000 } else { 12_000 };
+    let rate = 1_000.0;
+    let window = WindowSpec::sliding(5_000);
+    let predicate = JoinPredicate::Equi { r_attr: 0, s_attr: 0 };
+    let payload = 128;
+
+    let mut table = Table::new(
+        "E4: live memory vs total units p (same workload & window)",
+        &["p", "biclique_MiB", "matrix_MiB", "matrix/biclique", "analytic_sqrt(p)"],
+    );
+    for &p in &[4usize, 16, 36, 64] {
+        let cfg = engine_config(
+            RoutingStrategy::Random,
+            predicate.clone(),
+            window,
+            p / 2,
+            p / 2,
+            ctx.seed,
+        );
+        let mut engine = BicliqueEngine::new(cfg).expect("valid");
+        let mut f1 = feed(rate, 100_000, None, payload, ctx.seed, horizon_ms);
+        drive_engine(&mut engine, &mut f1).expect("runs");
+        let bic_bytes = engine.memory_bytes(Rel::R) + engine.memory_bytes(Rel::S);
+
+        let side = (p as f64).sqrt() as usize;
+        let mcfg = MatrixConfig {
+            rows: side,
+            cols: side,
+            predicate: predicate.clone(),
+            window,
+            archive_period_ms: 250,
+            seed: ctx.seed,
+        };
+        let mut matrix = JoinMatrix::new(mcfg).expect("valid");
+        let mut f2 = feed(rate, 100_000, None, payload, ctx.seed, horizon_ms);
+        drive_matrix(&mut matrix, &mut f2).expect("runs");
+        let mat_bytes = matrix.memory_bytes();
+
+        table.row(vec![
+            p.to_string(),
+            mib(bic_bytes),
+            mib(mat_bytes),
+            f(mat_bytes as f64 / bic_bytes.max(1) as f64, 2),
+            f((p as f64).sqrt(), 1),
+        ]);
+    }
+    table.emit("e4_memory_footprint");
+}

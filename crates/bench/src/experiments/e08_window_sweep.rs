@@ -1,0 +1,77 @@
+//! **E8 — Window-size sweep** (reconstructed: the window-scaling
+//! evaluation).
+//!
+//! Fixed workload and topology; the window `W` sweeps over an order of
+//! magnitude. Reported per model: live memory at the end of the run
+//! (∝ `W`, with the matrix paying its replication factor on top), the
+//! per-unit CPU load (probe cost grows with the window volume under a
+//! fixed key universe), and the result count (∝ `W` for the equi
+//! workload). Both models must degrade smoothly — no cliff — which is
+//! the property the paper's window plots establish.
+
+use super::common::{capacity_from_meters, drive_engine, drive_matrix, engine_config, feed};
+use super::ExpCtx;
+use crate::report::{f, mib, Table};
+use bistream_core::config::RoutingStrategy;
+use bistream_core::engine::BicliqueEngine;
+use bistream_matrix::{JoinMatrix, MatrixConfig};
+use bistream_types::predicate::JoinPredicate;
+use bistream_types::rel::Rel;
+use bistream_types::window::WindowSpec;
+
+/// Run E8.
+pub fn run(ctx: &ExpCtx) {
+    let horizon_ms: u64 = if ctx.quick { 6_000 } else { 24_000 };
+    let rate = 500.0;
+    let predicate = JoinPredicate::Equi { r_attr: 0, s_attr: 0 };
+
+    let mut table = Table::new(
+        "E8: window sweep (rate 500 t/s per relation, 4+4 biclique units vs 2x2 matrix)",
+        &[
+            "window_ms",
+            "bic_MiB",
+            "bic_max_util",
+            "bic_results",
+            "mat_MiB",
+            "mat_max_util",
+            "mat_results",
+        ],
+    );
+
+    for &w in &[500u64, 1_000, 2_000, 4_000, 8_000] {
+        let window = WindowSpec::sliding(w);
+        let cfg = engine_config(RoutingStrategy::Hash, predicate.clone(), window, 4, 4, ctx.seed);
+        let mut engine = BicliqueEngine::new(cfg).expect("valid");
+        let mut f1 = feed(rate, 2_000, None, 64, ctx.seed, horizon_ms);
+        drive_engine(&mut engine, &mut f1).expect("runs");
+        let mut meters = engine.pod_meters(Rel::R);
+        meters.extend(engine.pod_meters(Rel::S));
+        let bic_cap = capacity_from_meters(&meters, horizon_ms, rate);
+        let bic_mem = engine.memory_bytes(Rel::R) + engine.memory_bytes(Rel::S);
+        let bic_results = engine.stats().results;
+
+        let mcfg = MatrixConfig {
+            rows: 2,
+            cols: 2,
+            predicate: predicate.clone(),
+            window,
+            archive_period_ms: (w / 20).max(1),
+            seed: ctx.seed,
+        };
+        let mut matrix = JoinMatrix::new(mcfg).expect("valid");
+        let mut f2 = feed(rate, 2_000, None, 64, ctx.seed, horizon_ms);
+        drive_matrix(&mut matrix, &mut f2).expect("runs");
+        let mat_cap = capacity_from_meters(&matrix.pod_meters(), horizon_ms, rate);
+
+        table.row(vec![
+            w.to_string(),
+            mib(bic_mem),
+            f(bic_cap.max_utilization, 3),
+            bic_results.to_string(),
+            mib(matrix.memory_bytes()),
+            f(mat_cap.max_utilization, 3),
+            matrix.stats().results.to_string(),
+        ]);
+    }
+    table.emit("e8_window_sweep");
+}

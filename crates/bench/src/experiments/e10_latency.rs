@@ -1,0 +1,95 @@
+//! **E10 — Result latency vs. offered load** (reconstructed: the latency
+//! evaluation).
+//!
+//! The live threaded pipeline is first driven flat-out to measure its
+//! saturation throughput on this host, then re-run at fixed fractions of
+//! that rate while sampling the end-to-end result latency (ingest stamp →
+//! emit) histogram. Expected shape: flat latency dominated by the
+//! punctuation interval at low load, rising sharply as the offered rate
+//! approaches saturation (queueing delay takes over).
+
+use super::common::engine_config;
+use super::ExpCtx;
+use crate::report::{f, Table};
+use bistream_core::config::RoutingStrategy;
+use bistream_core::exec::{Pipeline, PipelineConfig};
+use bistream_types::predicate::JoinPredicate;
+use bistream_types::rel::Rel;
+use bistream_types::tuple::Tuple;
+use bistream_types::value::Value;
+use bistream_types::window::WindowSpec;
+use std::time::{Duration, Instant};
+
+fn launch(ctx: &ExpCtx) -> Pipeline {
+    let mut cfg = engine_config(
+        RoutingStrategy::Hash,
+        JoinPredicate::Equi { r_attr: 0, s_attr: 0 },
+        WindowSpec::sliding(30_000),
+        2,
+        2,
+        ctx.seed,
+    );
+    cfg.punctuation_interval_ms = 10;
+    Pipeline::launch(PipelineConfig::new(cfg)).expect("launch")
+}
+
+/// Measure saturation throughput: feed `n` pairs as fast as possible.
+fn saturation(ctx: &ExpCtx, n: usize) -> f64 {
+    let pipe = launch(ctx);
+    for i in 0..n {
+        let now = pipe.now();
+        pipe.ingest(&Tuple::new(Rel::R, now, vec![Value::Int(i as i64 % 997)])).unwrap();
+        pipe.ingest(&Tuple::new(Rel::S, now, vec![Value::Int(i as i64 % 997)])).unwrap();
+    }
+    let report = pipe.finish().expect("finish");
+    report.snapshot.ingested as f64 / (report.elapsed_ms.max(1) as f64 / 1_000.0)
+}
+
+/// Run at `rate` tuples/s (total) for `secs`, return latency percentiles.
+fn paced_run(ctx: &ExpCtx, rate: f64, secs: f64) -> (u64, u64, u64, u64) {
+    let pipe = launch(ctx);
+    let gap = Duration::from_secs_f64(2.0 / rate); // per pair
+    let start = Instant::now();
+    let mut i = 0i64;
+    while start.elapsed().as_secs_f64() < secs {
+        let now = pipe.now();
+        pipe.ingest(&Tuple::new(Rel::R, now, vec![Value::Int(i % 997)])).unwrap();
+        pipe.ingest(&Tuple::new(Rel::S, now, vec![Value::Int(i % 997)])).unwrap();
+        i += 1;
+        // Pace: sleep until the next pair is due.
+        let due = gap.mul_f64(i as f64);
+        let elapsed = start.elapsed();
+        if due > elapsed {
+            std::thread::sleep(due - elapsed);
+        }
+    }
+    // Let punctuation flush before closing.
+    std::thread::sleep(Duration::from_millis(50));
+    let report = pipe.finish().expect("finish");
+    let l = report.snapshot.latency;
+    (l.p50, l.p95, l.p99, report.snapshot.results)
+}
+
+/// Run E10.
+pub fn run(ctx: &ExpCtx) {
+    let sat = saturation(ctx, if ctx.quick { 20_000 } else { 60_000 });
+    let secs = if ctx.quick { 1.0 } else { 3.0 };
+
+    let mut table = Table::new(
+        format!("E10: latency vs offered load (saturation ≈ {} t/s on this host)", f(sat, 0)),
+        &["load_%", "rate_t/s", "p50_ms", "p95_ms", "p99_ms", "results"],
+    );
+    for &frac in &[0.25f64, 0.5, 0.75, 0.9] {
+        let rate = sat * frac;
+        let (p50, p95, p99, results) = paced_run(ctx, rate, secs);
+        table.row(vec![
+            f(frac * 100.0, 0),
+            f(rate, 0),
+            p50.to_string(),
+            p95.to_string(),
+            p99.to_string(),
+            results.to_string(),
+        ]);
+    }
+    table.emit("e10_latency");
+}

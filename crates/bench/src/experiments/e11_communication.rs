@@ -1,0 +1,82 @@
+//! **E11 — Per-tuple communication cost: measured vs. analytic**
+//! (reconstructed from the model-comparison analysis, Sec. 2.4.1 of the
+//! source text).
+//!
+//! For `p` total units the analytic per-tuple fan-outs are:
+//!
+//! | organisation        | copies per tuple      |
+//! |---------------------|-----------------------|
+//! | biclique + random   | `1 + p/2`             |
+//! | biclique + hash     | `2`                   |
+//! | biclique + ContRand | `1 + p/(2d)`          |
+//! | matrix (√p × √p)    | `√p`                  |
+//!
+//! The experiment measures each configuration's copies-per-tuple counter
+//! and prints it next to the analytic value — they must agree exactly
+//! (the counters are the routing fan-out, not an approximation).
+
+use super::common::{drive_engine, drive_matrix, engine_config, feed};
+use super::ExpCtx;
+use crate::report::{f, Table};
+use bistream_core::config::RoutingStrategy;
+use bistream_core::engine::BicliqueEngine;
+use bistream_matrix::{JoinMatrix, MatrixConfig};
+use bistream_types::predicate::JoinPredicate;
+use bistream_types::window::WindowSpec;
+
+/// Run E11.
+pub fn run(ctx: &ExpCtx) {
+    let horizon_ms: u64 = if ctx.quick { 1_000 } else { 4_000 };
+    let window = WindowSpec::sliding(1_000);
+    let predicate = JoinPredicate::Equi { r_attr: 0, s_attr: 0 };
+
+    let mut table = Table::new(
+        "E11: communication cost — measured vs analytic copies per tuple",
+        &["p", "organisation", "measured", "analytic"],
+    );
+
+    for &p in &[4usize, 16, 64] {
+        let m = p / 2;
+        let configs: Vec<(String, RoutingStrategy, f64)> = vec![
+            ("biclique random".into(), RoutingStrategy::Random, 1.0 + m as f64),
+            ("biclique hash".into(), RoutingStrategy::Hash, 2.0),
+            (
+                "biclique contrand(d=2)".into(),
+                RoutingStrategy::ContRand { subgroups: 2 },
+                1.0 + m as f64 / 2.0,
+            ),
+        ];
+        for (name, routing, analytic) in configs {
+            let cfg = engine_config(routing, predicate.clone(), window, m, m, ctx.seed);
+            let mut engine = BicliqueEngine::new(cfg).expect("valid");
+            let mut f1 = feed(500.0, 10_000, None, 0, ctx.seed, horizon_ms);
+            drive_engine(&mut engine, &mut f1).expect("runs");
+            table.row(vec![
+                p.to_string(),
+                name,
+                f(engine.stats().copies_per_tuple(), 2),
+                f(analytic, 2),
+            ]);
+        }
+
+        let side = (p as f64).sqrt() as usize;
+        let mcfg = MatrixConfig {
+            rows: side,
+            cols: side,
+            predicate: predicate.clone(),
+            window,
+            archive_period_ms: 100,
+            seed: ctx.seed,
+        };
+        let mut matrix = JoinMatrix::new(mcfg).expect("valid");
+        let mut f2 = feed(500.0, 10_000, None, 0, ctx.seed, horizon_ms);
+        drive_matrix(&mut matrix, &mut f2).expect("runs");
+        table.row(vec![
+            p.to_string(),
+            "matrix".into(),
+            f(matrix.stats().copies_per_tuple(), 2),
+            f((p as f64).sqrt(), 2),
+        ]);
+    }
+    table.emit("e11_communication");
+}

@@ -1,0 +1,70 @@
+//! **E12 — Full-history join** (reconstructed: BiStream's support for
+//! joins over the complete stream history, not just a window).
+//!
+//! The engine runs with `WindowSpec::FullHistory`: nothing ever expires,
+//! the chained index keeps archiving sub-indexes, and every incoming
+//! tuple joins against the entire opposite history. Sampled per interval:
+//! state growth (must be linear in the input — no replication, no leak
+//! beyond the accounted payload) and the probe cost per tuple (for an
+//! equi join over a fixed key universe this grows linearly too, since
+//! each key's match list keeps growing — the expected, documented
+//! behaviour).
+
+use super::common::{engine_config, feed};
+use super::ExpCtx;
+use crate::report::{f, mib, Table};
+use bistream_core::config::RoutingStrategy;
+use bistream_core::engine::BicliqueEngine;
+use bistream_core::sim::TupleFeed;
+use bistream_types::predicate::JoinPredicate;
+use bistream_types::rel::Rel;
+use bistream_types::time::SECOND;
+use bistream_types::window::WindowSpec;
+
+/// Run E12.
+pub fn run(ctx: &ExpCtx) {
+    let horizon_s: u64 = if ctx.quick { 6 } else { 20 };
+    let rate = 500.0;
+    let cfg = engine_config(
+        RoutingStrategy::Hash,
+        JoinPredicate::Equi { r_attr: 0, s_attr: 0 },
+        WindowSpec::FullHistory,
+        2,
+        2,
+        ctx.seed,
+    );
+    let mut engine = BicliqueEngine::new(cfg).expect("valid");
+    let mut f1 = feed(rate, 2_000, None, 32, ctx.seed, horizon_s * SECOND);
+
+    let mut table = Table::new(
+        "E12: full-history join — state growth and cumulative results",
+        &["t_s", "stored_tuples", "state_MiB", "results", "candidates/probe"],
+    );
+    let punct = 20u64;
+    let mut next_punct = punct;
+    let mut next_sample = SECOND;
+    while let Some(t) = f1.peek_ts() {
+        while next_punct <= t {
+            engine.punctuate(next_punct).expect("punctuate");
+            next_punct += punct;
+        }
+        if t >= next_sample {
+            let totals = engine.joiner_totals();
+            let mem = engine.memory_bytes(Rel::R) + engine.memory_bytes(Rel::S);
+            table.row(vec![
+                (next_sample / SECOND).to_string(),
+                totals.stored.to_string(),
+                mib(mem),
+                totals.results.to_string(),
+                f(totals.candidates as f64 / totals.probes.max(1) as f64, 2),
+            ]);
+            next_sample += SECOND;
+        }
+        let tuple = f1.next_tuple().expect("peeked");
+        engine.ingest(&tuple, t).expect("ingest");
+    }
+    engine.flush().expect("flush");
+    let totals = engine.joiner_totals();
+    assert_eq!(totals.expired, 0, "full history must never expire");
+    table.emit("e12_full_history");
+}

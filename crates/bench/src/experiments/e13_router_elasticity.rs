@@ -1,0 +1,165 @@
+//! **E13 — Router-tier elasticity and ordering-protocol overhead vs.
+//! router count** (reconstructed: the router tier is stateless and
+//! scaled as a competing-consumer group in both original systems; this
+//! experiment quantifies what that costs the ordering protocol).
+//!
+//! Part 1: fixed workload, router count swept 1→4. More routers means
+//! more punctuation traffic (every router punctuates every unit) and
+//! deeper reorder buffers (the watermark is the *minimum* over router
+//! frontiers), while results must stay exactly-once — all three columns
+//! are reported.
+//!
+//! Part 2: routers are added and removed *mid-stream*; the result count
+//! must equal the reference join exactly across the transitions
+//! (deregistration must release, not strand, buffered tuples).
+
+use super::common::engine_config;
+use super::ExpCtx;
+use crate::report::{f, Table};
+use bistream_core::config::RoutingStrategy;
+use bistream_core::engine::BicliqueEngine;
+use bistream_types::predicate::JoinPredicate;
+use bistream_types::rel::Rel;
+use bistream_types::time::Ts;
+use bistream_types::tuple::Tuple;
+use bistream_types::value::Value;
+use bistream_types::window::WindowSpec;
+
+const WINDOW_MS: Ts = 1_000;
+
+fn workload(n: usize, seed: u64) -> Vec<Tuple> {
+    let mut out = Vec::with_capacity(n);
+    let mut state = seed | 1;
+    for i in 0..n {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(7);
+        let rel = if state & 1 == 0 { Rel::R } else { Rel::S };
+        let key = ((state >> 33) % 60) as i64;
+        out.push(Tuple::new(rel, (i as Ts) * 2, vec![Value::Int(key)]));
+    }
+    out
+}
+
+fn reference_count(tuples: &[Tuple]) -> usize {
+    let mut n = 0;
+    for a in tuples.iter().filter(|t| t.rel() == Rel::R) {
+        for b in tuples.iter().filter(|t| t.rel() == Rel::S) {
+            if a.get(0) == b.get(0) && a.ts().abs_diff(b.ts()) <= WINDOW_MS {
+                n += 1;
+            }
+        }
+    }
+    n
+}
+
+/// Run E13.
+pub fn run(ctx: &ExpCtx) {
+    let n = if ctx.quick { 4_000 } else { 16_000 };
+    let tuples = workload(n, ctx.seed);
+    let expect = reference_count(&tuples);
+
+    let mut table = Table::new(
+        "E13a: ordering-protocol overhead vs router count (4+4 units)",
+        &["routers", "punct_msgs/tuple", "max_reorder_depth", "results", "exactly_once"],
+    );
+    for routers in [1usize, 2, 4] {
+        let cfg = engine_config(
+            RoutingStrategy::Random,
+            JoinPredicate::Equi { r_attr: 0, s_attr: 0 },
+            WindowSpec::sliding(WINDOW_MS),
+            4,
+            4,
+            ctx.seed,
+        );
+        let mut engine = BicliqueEngine::builder(cfg).routers(routers).build().expect("valid");
+        engine.capture_results();
+        drive(&mut engine, &tuples, &[]);
+        let snap = engine.stats();
+        let got = engine.take_captured().len();
+        table.row(vec![
+            routers.to_string(),
+            f(snap.punctuations as f64 / snap.ingested as f64, 2),
+            engine.max_reorder_depth().to_string(),
+            got.to_string(),
+            (got == expect).to_string(),
+        ]);
+    }
+    table.emit("e13a_router_overhead");
+
+    // Part 2: scale the router tier mid-stream.
+    let mut timeline = Table::new(
+        "E13b: router add/remove mid-stream (results must equal reference)",
+        &["event", "at_tuple", "routers_after"],
+    );
+    let cfg = engine_config(
+        RoutingStrategy::Random,
+        JoinPredicate::Equi { r_attr: 0, s_attr: 0 },
+        WindowSpec::sliding(WINDOW_MS),
+        4,
+        4,
+        ctx.seed,
+    );
+    let mut engine = BicliqueEngine::new(cfg).expect("valid");
+    engine.capture_results();
+    let plan: Vec<(usize, bool)> = vec![(n / 4, true), (n / 2, true), (3 * n / 4, false)];
+    drive_with_router_plan(&mut engine, &tuples, &plan, &mut timeline);
+    let got = engine.take_captured().len();
+    timeline.row(vec![
+        format!("final results {got} (expected {expect})"),
+        "-".into(),
+        engine.routers().to_string(),
+    ]);
+    assert_eq!(got, expect, "router elasticity must not corrupt output");
+    timeline.emit("e13b_router_scaling");
+}
+
+fn drive(engine: &mut BicliqueEngine, tuples: &[Tuple], _plan: &[(usize, bool)]) {
+    let punct = engine.config().punctuation_interval_ms;
+    let mut next_punct = punct;
+    let mut last = 0;
+    for t in tuples {
+        while next_punct <= t.ts() {
+            engine.punctuate(next_punct).expect("punctuate");
+            next_punct += punct;
+        }
+        engine.ingest(t, t.ts()).expect("ingest");
+        last = t.ts();
+    }
+    engine.punctuate(last + punct).expect("punctuate");
+    engine.flush().expect("flush");
+}
+
+fn drive_with_router_plan(
+    engine: &mut BicliqueEngine,
+    tuples: &[Tuple],
+    plan: &[(usize, bool)],
+    timeline: &mut Table,
+) {
+    let punct = engine.config().punctuation_interval_ms;
+    let mut next_punct = punct;
+    let mut step = 0;
+    let mut last = 0;
+    for (i, t) in tuples.iter().enumerate() {
+        while next_punct <= t.ts() {
+            engine.punctuate(next_punct).expect("punctuate");
+            next_punct += punct;
+        }
+        if step < plan.len() && i >= plan[step].0 {
+            let (at, add) = plan[step];
+            if add {
+                engine.add_router();
+            } else {
+                engine.remove_router().expect("remove router");
+            }
+            timeline.row(vec![
+                if add { "add_router" } else { "remove_router" }.into(),
+                at.to_string(),
+                engine.routers().to_string(),
+            ]);
+            step += 1;
+        }
+        engine.ingest(t, t.ts()).expect("ingest");
+        last = t.ts();
+    }
+    engine.punctuate(last + punct).expect("punctuate");
+    engine.flush().expect("flush");
+}

@@ -1,0 +1,65 @@
+//! One module per experiment of EXPERIMENTS.md.
+//!
+//! Each experiment exposes `run(ctx)` and prints its table(s) through
+//! [`crate::report::Table`], persisting JSON under `results/`. `ctx.quick`
+//! shortens horizons for smoke runs (used by `--quick` and the
+//! integration tests); the default parameters regenerate the figures at
+//! full scale.
+
+pub mod common;
+pub mod e01_scaling_cpu;
+pub mod e02_scaling_memory;
+pub mod e03_capacity;
+pub mod e04_memory_footprint;
+pub mod e05_routing_skew;
+pub mod e06_archive_period;
+pub mod e07_ordering;
+pub mod e08_window_sweep;
+pub mod e09_elasticity;
+pub mod e10_latency;
+pub mod e11_communication;
+pub mod e12_full_history;
+pub mod e13_router_elasticity;
+pub mod e14_recovery;
+
+/// Experiment context.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpCtx {
+    /// Shorten horizons (smoke mode).
+    pub quick: bool,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for ExpCtx {
+    fn default() -> Self {
+        ExpCtx { quick: false, seed: 0xB15_7EA4 }
+    }
+}
+
+/// All experiment ids in order.
+pub const ALL: &[&str] = &[
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
+];
+
+/// Dispatch by id; returns false for unknown ids.
+pub fn run(id: &str, ctx: &ExpCtx) -> bool {
+    match id {
+        "e1" => e01_scaling_cpu::run(ctx),
+        "e2" => e02_scaling_memory::run(ctx),
+        "e3" => e03_capacity::run(ctx),
+        "e4" => e04_memory_footprint::run(ctx),
+        "e5" => e05_routing_skew::run(ctx),
+        "e6" => e06_archive_period::run(ctx),
+        "e7" => e07_ordering::run(ctx),
+        "e8" => e08_window_sweep::run(ctx),
+        "e9" => e09_elasticity::run(ctx),
+        "e10" => e10_latency::run(ctx),
+        "e11" => e11_communication::run(ctx),
+        "e12" => e12_full_history::run(ctx),
+        "e13" => e13_router_elasticity::run(ctx),
+        "e14" => e14_recovery::run(ctx),
+        _ => return false,
+    }
+    true
+}

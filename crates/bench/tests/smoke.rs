@@ -1,0 +1,34 @@
+//! Smoke tests keeping the experiment harness honest: every cheap
+//! experiment must run to completion in quick mode (the expensive
+//! sim/latency ones are exercised by `--quick all` runs and their own
+//! crate tests). Runs in a temp dir so `results/` JSON does not litter
+//! the workspace.
+
+use bistream_bench::experiments::{self, ExpCtx};
+
+#[test]
+fn quick_experiments_run_to_completion() {
+    let tmp = std::env::temp_dir().join("bistream-bench-smoke");
+    std::fs::create_dir_all(&tmp).unwrap();
+    std::env::set_current_dir(&tmp).unwrap();
+
+    let ctx = ExpCtx { quick: true, seed: 7 };
+    for id in ["e4", "e5", "e9", "e11", "e12", "e13"] {
+        assert!(experiments::run(id, &ctx), "experiment {id} unknown");
+    }
+}
+
+#[test]
+fn unknown_experiment_is_rejected() {
+    assert!(!experiments::run("e99", &ExpCtx::default()));
+}
+
+#[test]
+fn registry_is_complete_and_ordered() {
+    assert_eq!(experiments::ALL.first(), Some(&"e1"));
+    assert_eq!(experiments::ALL.last(), Some(&"e14"));
+    assert_eq!(experiments::ALL.len(), 14);
+    // Every listed id dispatches.
+    let unique: std::collections::HashSet<_> = experiments::ALL.iter().collect();
+    assert_eq!(unique.len(), experiments::ALL.len());
+}

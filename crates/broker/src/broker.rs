@@ -1,0 +1,468 @@
+//! The broker facade: declaration, binding, publishing, subscription and
+//! management statistics.
+
+use crate::exchange::{Binding, Exchange, ExchangeKind};
+use crate::message::Message;
+use crate::pattern::valid_pattern;
+use crate::queue::{Consumer, QueueCore};
+use bistream_types::error::{Error, Result};
+use parking_lot::RwLock;
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Default queue capacity when the declarer does not specify one.
+///
+/// Sized so that a queue holds a few punctuation intervals worth of tuples
+/// at the rates the experiments drive; the live runtime relies on the bound
+/// for backpressure, not for loss (blocking publish never drops).
+pub const DEFAULT_QUEUE_CAPACITY: usize = 8_192;
+
+#[derive(Default)]
+struct Inner {
+    exchanges: BTreeMap<String, Exchange>,
+    queues: BTreeMap<String, Arc<QueueCore>>,
+}
+
+/// The in-process message broker.
+///
+/// Thread-safe and cheaply cloneable (`Arc` inside): the live runtime hands
+/// one clone to every router and joiner thread. All declaration methods are
+/// idempotent when options match, mirroring AMQP `declare` semantics.
+///
+/// ```
+/// use bistream_broker::{Broker, ExchangeKind, Message};
+///
+/// let broker = Broker::new();
+/// broker.declare_exchange("events", ExchangeKind::Topic)?;
+/// broker.declare_queue("audit", 128)?;
+/// broker.bind("events", "audit", "user.*")?;
+/// broker.publish("events", Message::new("user.login", b"payload".to_vec()))?;
+/// let consumer = broker.subscribe("audit")?;
+/// assert_eq!(consumer.try_recv().unwrap().routing_key, "user.login");
+/// # Ok::<(), bistream_types::error::Error>(())
+/// ```
+#[derive(Clone, Default)]
+pub struct Broker {
+    inner: Arc<RwLock<Inner>>,
+    anon_counter: Arc<AtomicU64>,
+}
+
+impl Broker {
+    /// A fresh broker with no exchanges or queues.
+    pub fn new() -> Broker {
+        Broker::default()
+    }
+
+    /// Declare an exchange. Redeclaring with the same kind is a no-op;
+    /// with a different kind it is an error.
+    pub fn declare_exchange(&self, name: &str, kind: ExchangeKind) -> Result<()> {
+        let mut inner = self.inner.write();
+        match inner.exchanges.get(name) {
+            Some(e) if e.kind == kind => Ok(()),
+            Some(e) => Err(Error::Broker(format!(
+                "exchange `{name}` already declared as {:?}, redeclared as {kind:?}",
+                e.kind
+            ))),
+            None => {
+                inner.exchanges.insert(name.to_owned(), Exchange::new(kind));
+                Ok(())
+            }
+        }
+    }
+
+    /// Declare a queue with the given capacity. Redeclaring is a no-op
+    /// (capacity of the first declaration wins, as in AMQP).
+    pub fn declare_queue(&self, name: &str, capacity: usize) -> Result<()> {
+        if capacity == 0 {
+            return Err(Error::Broker(format!("queue `{name}` needs capacity > 0")));
+        }
+        let mut inner = self.inner.write();
+        inner
+            .queues
+            .entry(name.to_owned())
+            .or_insert_with(|| QueueCore::new(name.to_owned(), capacity));
+        Ok(())
+    }
+
+    /// Bind `queue` to `exchange` under `pattern` (exact key for direct
+    /// exchanges, `*`/`#` pattern for topic, ignored for fanout).
+    pub fn bind(&self, exchange: &str, queue: &str, pattern: &str) -> Result<()> {
+        if !valid_pattern(pattern) {
+            return Err(Error::Broker(format!("invalid binding pattern `{pattern}`")));
+        }
+        let mut inner = self.inner.write();
+        let q = inner
+            .queues
+            .get(queue)
+            .cloned()
+            .ok_or_else(|| Error::Broker(format!("no such queue `{queue}`")))?;
+        let e = inner
+            .exchanges
+            .get_mut(exchange)
+            .ok_or_else(|| Error::Broker(format!("no such exchange `{exchange}`")))?;
+        e.bindings.push(Binding { pattern: pattern.to_owned(), queue: q });
+        Ok(())
+    }
+
+    /// Remove every binding between `exchange` and `queue`; returns how
+    /// many bindings were removed. The queue itself (and its buffered
+    /// messages) survive.
+    pub fn unbind(&self, exchange: &str, queue: &str) -> Result<usize> {
+        let mut inner = self.inner.write();
+        let e = inner
+            .exchanges
+            .get_mut(exchange)
+            .ok_or_else(|| Error::Broker(format!("no such exchange `{exchange}`")))?;
+        Ok(e.unbind_queue(queue))
+    }
+
+    /// Discard every message currently buffered in `queue`; returns how
+    /// many were purged.
+    pub fn purge_queue(&self, name: &str) -> Result<usize> {
+        let inner = self.inner.read();
+        let q = inner
+            .queues
+            .get(name)
+            .ok_or_else(|| Error::Broker(format!("no such queue `{name}`")))?;
+        Ok(q.purge())
+    }
+
+    /// Publish to an exchange, blocking on any full destination queue
+    /// (backpressure). Returns the number of queues the message reached.
+    pub fn publish(&self, exchange: &str, msg: Message) -> Result<usize> {
+        let targets = {
+            let inner = self.inner.read();
+            let e = inner
+                .exchanges
+                .get(exchange)
+                .ok_or_else(|| Error::Broker(format!("no such exchange `{exchange}`")))?;
+            e.route(&msg.routing_key)
+        };
+        // Deliver outside the lock so a full queue cannot wedge the broker.
+        for q in &targets {
+            q.push_blocking(msg.clone()).map_err(|_| Error::Closed)?;
+        }
+        Ok(targets.len())
+    }
+
+    /// Publish without blocking. Destinations whose queue is full are
+    /// counted in the returned `dropped` figure — used by load-shedding
+    /// experiments; the join engine itself always uses blocking publish.
+    pub fn try_publish(&self, exchange: &str, msg: Message) -> Result<PublishOutcome> {
+        let targets = {
+            let inner = self.inner.read();
+            let e = inner
+                .exchanges
+                .get(exchange)
+                .ok_or_else(|| Error::Broker(format!("no such exchange `{exchange}`")))?;
+            e.route(&msg.routing_key)
+        };
+        let mut outcome = PublishOutcome { delivered: 0, dropped: 0 };
+        for q in &targets {
+            match q.try_push(msg.clone()) {
+                Ok(()) => outcome.delivered += 1,
+                Err(_) => outcome.dropped += 1,
+            }
+        }
+        Ok(outcome)
+    }
+
+    /// Subscribe a competing consumer to an existing queue.
+    pub fn subscribe(&self, queue: &str) -> Result<Consumer> {
+        let inner = self.inner.read();
+        inner
+            .queues
+            .get(queue)
+            .map(|q| q.consumer())
+            .ok_or_else(|| Error::Broker(format!("no such queue `{queue}`")))
+    }
+
+    /// Create an exclusive, auto-named queue bound to `exchange` under
+    /// `pattern` and subscribe to it — the publish-subscribe (anonymous
+    /// consumer group) model. Returns the consumer and the queue's name
+    /// (needed to delete it on scale-in).
+    pub fn subscribe_anonymous(&self, exchange: &str, pattern: &str) -> Result<(Consumer, String)> {
+        let n = self.anon_counter.fetch_add(1, Ordering::Relaxed);
+        let qname = format!("{exchange}.anonymous.{n}");
+        self.declare_queue(&qname, DEFAULT_QUEUE_CAPACITY)?;
+        self.bind(exchange, &qname, pattern)?;
+        let c = self.subscribe(&qname)?;
+        Ok((c, qname))
+    }
+
+    /// Unbind (from every exchange) and delete a queue. Consumers holding
+    /// the queue drain buffered messages, then observe `Disconnected`.
+    pub fn delete_queue(&self, name: &str) -> Result<()> {
+        let mut inner = self.inner.write();
+        if inner.queues.remove(name).is_none() {
+            return Err(Error::Broker(format!("no such queue `{name}`")));
+        }
+        for e in inner.exchanges.values_mut() {
+            e.unbind_queue(name);
+        }
+        Ok(())
+    }
+
+    /// True if the queue exists.
+    pub fn queue_exists(&self, name: &str) -> bool {
+        self.inner.read().queues.contains_key(name)
+    }
+
+    /// Management snapshot of every queue — the equivalent of the RabbitMQ
+    /// management GUI's queue table.
+    pub fn stats(&self) -> BrokerStats {
+        let inner = self.inner.read();
+        BrokerStats {
+            exchanges: inner.exchanges.keys().cloned().collect(),
+            queues: inner
+                .queues
+                .values()
+                .map(|q| QueueStats {
+                    name: q.name().to_owned(),
+                    depth: q.depth(),
+                    capacity: q.capacity(),
+                    published: q.published(),
+                    delivered: q.delivered(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Result of a non-blocking publish.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PublishOutcome {
+    /// Queues that accepted the message.
+    pub delivered: usize,
+    /// Queues that were full and shed the message.
+    pub dropped: usize,
+}
+
+/// Management view of the whole broker.
+#[derive(Debug, Clone, Serialize)]
+pub struct BrokerStats {
+    /// Declared exchange names.
+    pub exchanges: Vec<String>,
+    /// Per-queue statistics.
+    pub queues: Vec<QueueStats>,
+}
+
+/// Management view of one queue.
+#[derive(Debug, Clone, Serialize)]
+pub struct QueueStats {
+    /// Queue name.
+    pub name: String,
+    /// Messages currently buffered.
+    pub depth: usize,
+    /// Configured bound.
+    pub capacity: usize,
+    /// Total messages ever enqueued.
+    pub published: u64,
+    /// Total messages ever consumed.
+    pub delivered: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn broker_with_topic() -> Broker {
+        let b = Broker::new();
+        b.declare_exchange("tuple.exchange", ExchangeKind::Topic).unwrap();
+        b
+    }
+
+    #[test]
+    fn declare_is_idempotent_but_kind_conflicts_error() {
+        let b = broker_with_topic();
+        assert!(b.declare_exchange("tuple.exchange", ExchangeKind::Topic).is_ok());
+        assert!(b.declare_exchange("tuple.exchange", ExchangeKind::Direct).is_err());
+        b.declare_queue("q", 4).unwrap();
+        assert!(b.declare_queue("q", 999).is_ok(), "redeclare is no-op");
+        assert!(b.declare_queue("zero", 0).is_err());
+    }
+
+    #[test]
+    fn publish_routes_by_topic_pattern() {
+        let b = broker_with_topic();
+        b.declare_queue("rstore", 8).unwrap();
+        b.bind("tuple.exchange", "rstore", "R.store.#").unwrap();
+        let reached = b
+            .publish("tuple.exchange", Message::new("R.store.1", vec![1u8]))
+            .unwrap();
+        assert_eq!(reached, 1);
+        let missed = b
+            .publish("tuple.exchange", Message::new("S.store.1", vec![1u8]))
+            .unwrap();
+        assert_eq!(missed, 0);
+        let c = b.subscribe("rstore").unwrap();
+        assert_eq!(c.drain().len(), 1);
+    }
+
+    #[test]
+    fn consumer_group_competes_anonymous_broadcasts() {
+        let b = broker_with_topic();
+        // Group queue: both consumers compete.
+        b.declare_queue("grp", 64).unwrap();
+        b.bind("tuple.exchange", "grp", "#").unwrap();
+        let g1 = b.subscribe("grp").unwrap();
+        let g2 = b.subscribe("grp").unwrap();
+        // Two anonymous subscribers: each gets its own copy.
+        let (a1, _) = b.subscribe_anonymous("tuple.exchange", "#").unwrap();
+        let (a2, _) = b.subscribe_anonymous("tuple.exchange", "#").unwrap();
+        for i in 0..10u8 {
+            b.publish("tuple.exchange", Message::new("k", vec![i])).unwrap();
+        }
+        let group_total = g1.drain().len() + g2.drain().len();
+        assert_eq!(group_total, 10, "group sees each message once");
+        assert_eq!(a1.drain().len(), 10, "anonymous sees all");
+        assert_eq!(a2.drain().len(), 10);
+    }
+
+    #[test]
+    fn unknown_names_error() {
+        let b = Broker::new();
+        assert!(b.publish("nope", Message::new("k", vec![])).is_err());
+        assert!(b.subscribe("nope").is_err());
+        assert!(b.bind("nope", "nope", "#").is_err());
+        assert!(b.delete_queue("nope").is_err());
+    }
+
+    #[test]
+    fn delete_queue_unbinds_and_disconnects() {
+        let b = broker_with_topic();
+        let (c, qname) = b.subscribe_anonymous("tuple.exchange", "#").unwrap();
+        b.publish("tuple.exchange", Message::new("k", vec![1])).unwrap();
+        b.delete_queue(&qname).unwrap();
+        assert!(!b.queue_exists(&qname));
+        // Buffered message still drains, then disconnect.
+        assert!(c.try_recv().is_some());
+        assert_eq!(
+            c.recv_timeout(std::time::Duration::from_millis(5)),
+            Err(crate::queue::RecvError::Disconnected)
+        );
+        // Publishing after deletion reaches zero queues, no error.
+        assert_eq!(b.publish("tuple.exchange", Message::new("k", vec![2])).unwrap(), 0);
+    }
+
+    #[test]
+    fn try_publish_sheds_on_full() {
+        let b = broker_with_topic();
+        b.declare_queue("tiny", 1).unwrap();
+        b.bind("tuple.exchange", "tiny", "#").unwrap();
+        let first = b.try_publish("tuple.exchange", Message::new("k", vec![1])).unwrap();
+        assert_eq!((first.delivered, first.dropped), (1, 0));
+        let second = b.try_publish("tuple.exchange", Message::new("k", vec![2])).unwrap();
+        assert_eq!((second.delivered, second.dropped), (0, 1));
+    }
+
+    #[test]
+    fn stats_reflect_traffic() {
+        let b = broker_with_topic();
+        b.declare_queue("q", 8).unwrap();
+        b.bind("tuple.exchange", "q", "#").unwrap();
+        b.publish("tuple.exchange", Message::new("k", vec![1])).unwrap();
+        b.publish("tuple.exchange", Message::new("k", vec![2])).unwrap();
+        b.subscribe("q").unwrap().try_recv().unwrap();
+        let stats = b.stats();
+        assert_eq!(stats.exchanges, vec!["tuple.exchange".to_string()]);
+        let q = &stats.queues[0];
+        assert_eq!((q.depth, q.published, q.delivered), (1, 2, 1));
+        assert_eq!(q.capacity, 8);
+    }
+
+    #[test]
+    fn unbind_and_purge() {
+        let b = broker_with_topic();
+        b.declare_queue("q", 8).unwrap();
+        b.bind("tuple.exchange", "q", "#").unwrap();
+        b.publish("tuple.exchange", Message::new("k", vec![1])).unwrap();
+        b.publish("tuple.exchange", Message::new("k", vec![2])).unwrap();
+        assert_eq!(b.purge_queue("q").unwrap(), 2);
+        assert_eq!(b.subscribe("q").unwrap().depth(), 0);
+        assert_eq!(b.unbind("tuple.exchange", "q").unwrap(), 1);
+        // No bindings left: publishes reach nothing, the queue survives.
+        assert_eq!(b.publish("tuple.exchange", Message::new("k", vec![3])).unwrap(), 0);
+        assert!(b.queue_exists("q"));
+        assert!(b.purge_queue("nope").is_err());
+        assert!(b.unbind("nope", "q").is_err());
+    }
+
+    #[test]
+    fn blocking_recv_wakes_on_publish_and_deletion() {
+        let b = broker_with_topic();
+        b.declare_queue("q", 8).unwrap();
+        b.bind("tuple.exchange", "q", "#").unwrap();
+        let c = b.subscribe("q").unwrap();
+        let waiter = {
+            let c = c.clone();
+            std::thread::spawn(move || c.recv())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        b.publish("tuple.exchange", Message::new("k", vec![9])).unwrap();
+        assert_eq!(waiter.join().unwrap().unwrap().payload[0], 9);
+        // Deletion unblocks a pending recv with Disconnected.
+        let waiter = std::thread::spawn(move || c.recv());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        b.delete_queue("q").unwrap();
+        assert_eq!(waiter.join().unwrap(), Err(crate::queue::RecvError::Disconnected));
+    }
+
+    #[test]
+    fn direct_exchange_exact_key_routing() {
+        let b = Broker::new();
+        b.declare_exchange("dx", ExchangeKind::Direct).unwrap();
+        b.declare_queue("p0", 8).unwrap();
+        b.declare_queue("p1", 8).unwrap();
+        b.bind("dx", "p0", "0").unwrap();
+        b.bind("dx", "p1", "1").unwrap();
+        b.publish("dx", Message::new("1", vec![9u8])).unwrap();
+        assert_eq!(b.subscribe("p0").unwrap().depth(), 0);
+        assert_eq!(b.subscribe("p1").unwrap().depth(), 1);
+    }
+
+    #[test]
+    fn broker_clones_share_state() {
+        let b = broker_with_topic();
+        let b2 = b.clone();
+        b2.declare_queue("q", 4).unwrap();
+        assert!(b.queue_exists("q"));
+    }
+
+    #[test]
+    fn concurrent_publish_and_consume() {
+        let b = broker_with_topic();
+        b.declare_queue("q", 128).unwrap();
+        b.bind("tuple.exchange", "q", "#").unwrap();
+        let n_producers = 4;
+        let per = 500;
+        let mut handles = Vec::new();
+        for p in 0..n_producers {
+            let b = b.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..per {
+                    b.publish("tuple.exchange", Message::new("k", vec![p as u8, (i % 256) as u8]))
+                        .unwrap();
+                }
+            }));
+        }
+        let consumer = b.subscribe("q").unwrap();
+        let mut got = 0;
+        while got < n_producers * per {
+            if consumer
+                .recv_timeout(std::time::Duration::from_millis(200))
+                .is_ok()
+            {
+                got += 1;
+            } else {
+                panic!("timed out after {got} messages");
+            }
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(got, n_producers * per);
+    }
+}

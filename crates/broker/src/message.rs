@@ -1,0 +1,69 @@
+//! The unit of transport through the broker.
+
+use bytes::Bytes;
+use std::fmt;
+
+/// A broker message: an opaque payload plus the routing key the publisher
+/// attached. Cloning is cheap (`Bytes` is reference-counted), which matters
+/// because a fanout/topic exchange clones the message once per matched
+/// queue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Dot-separated routing key, e.g. `"R.join.2"`.
+    pub routing_key: String,
+    /// Opaque payload (the join engine puts encoded `StreamMessage`s here).
+    pub payload: Bytes,
+    /// True when this message was requeued after an unacknowledged
+    /// delivery (AMQP's `redelivered` flag).
+    pub redelivered: bool,
+}
+
+impl Message {
+    /// Build a message.
+    pub fn new(routing_key: impl Into<String>, payload: impl Into<Bytes>) -> Message {
+        Message { routing_key: routing_key.into(), payload: payload.into(), redelivered: false }
+    }
+
+    /// Payload length in bytes (used by broker throughput accounting).
+    pub fn len(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// True if the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.payload.is_empty()
+    }
+}
+
+impl fmt::Display for Message {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "msg[{} {}B]", self.routing_key, self.payload.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_len() {
+        let m = Message::new("a.b", vec![1u8, 2, 3]);
+        assert_eq!(m.routing_key, "a.b");
+        assert_eq!(m.len(), 3);
+        assert!(!m.is_empty());
+        assert!(Message::new("k", Vec::<u8>::new()).is_empty());
+    }
+
+    #[test]
+    fn clone_shares_payload() {
+        let m = Message::new("k", vec![0u8; 1024]);
+        let c = m.clone();
+        // Bytes clones share the same backing buffer.
+        assert_eq!(m.payload.as_ptr(), c.payload.as_ptr());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Message::new("x.y", vec![9u8]).to_string(), "msg[x.y 1B]");
+    }
+}

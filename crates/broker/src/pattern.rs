@@ -1,0 +1,119 @@
+//! AMQP topic-pattern matching.
+//!
+//! Routing keys are dot-separated words (`"R.store.3"`). A binding pattern
+//! may use `*` to match exactly one word and `#` to match zero or more
+//! words, per the AMQP 0-9-1 topic exchange specification.
+
+/// Does topic `key` match binding `pattern`?
+///
+/// Both are dot-separated word lists. `*` matches one word, `#` any number
+/// (including zero). Matching is linear-time via the classic two-pointer
+/// wildcard algorithm (backtracking to the last `#`).
+pub fn topic_matches(pattern: &str, key: &str) -> bool {
+    let pat: Vec<&str> = if pattern.is_empty() { vec![] } else { pattern.split('.').collect() };
+    let key: Vec<&str> = if key.is_empty() { vec![] } else { key.split('.').collect() };
+
+    let (mut p, mut k) = (0usize, 0usize);
+    // Position of the last `#` seen and the key index it was tried at.
+    let mut star: Option<(usize, usize)> = None;
+
+    while k < key.len() {
+        if p < pat.len() && (pat[p] == "*" || pat[p] == key[k]) {
+            p += 1;
+            k += 1;
+        } else if p < pat.len() && pat[p] == "#" {
+            // Tentatively match zero words; remember for backtracking.
+            star = Some((p, k));
+            p += 1;
+        } else if let Some((sp, sk)) = star {
+            // Extend the last `#` by one more word.
+            p = sp + 1;
+            k = sk + 1;
+            star = Some((sp, sk + 1));
+        } else {
+            return false;
+        }
+    }
+    // Remaining pattern words must all be `#`.
+    pat[p..].iter().all(|w| *w == "#")
+}
+
+/// Validate a binding pattern: non-empty words, wildcards only as whole
+/// words. Returns `false` for patterns like `"a.*b"` or `"a..b"`.
+pub fn valid_pattern(pattern: &str) -> bool {
+    if pattern.is_empty() {
+        return true; // matches only the empty key
+    }
+    pattern.split('.').all(|w| {
+        !w.is_empty() && (w == "*" || w == "#" || (!w.contains('*') && !w.contains('#')))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_patterns_match_exactly() {
+        assert!(topic_matches("a.b.c", "a.b.c"));
+        assert!(!topic_matches("a.b.c", "a.b"));
+        assert!(!topic_matches("a.b", "a.b.c"));
+        assert!(!topic_matches("a.b.c", "a.b.d"));
+    }
+
+    #[test]
+    fn star_matches_exactly_one_word() {
+        assert!(topic_matches("a.*.c", "a.b.c"));
+        assert!(topic_matches("*", "anything"));
+        assert!(!topic_matches("*", "two.words"));
+        assert!(!topic_matches("a.*", "a"));
+        assert!(!topic_matches("a.*.c", "a.c"));
+    }
+
+    #[test]
+    fn hash_matches_zero_or_more_words() {
+        assert!(topic_matches("#", ""));
+        assert!(topic_matches("#", "a"));
+        assert!(topic_matches("#", "a.b.c"));
+        assert!(topic_matches("a.#", "a"));
+        assert!(topic_matches("a.#", "a.b.c"));
+        assert!(topic_matches("#.c", "c"));
+        assert!(topic_matches("#.c", "a.b.c"));
+        assert!(!topic_matches("#.c", "a.b"));
+    }
+
+    #[test]
+    fn combined_wildcards() {
+        assert!(topic_matches("a.*.#", "a.b"));
+        assert!(topic_matches("a.*.#", "a.b.c.d"));
+        assert!(!topic_matches("a.*.#", "a"));
+        assert!(topic_matches("#.store.*", "R.store.7"));
+        assert!(!topic_matches("#.store.*", "R.join.7"));
+    }
+
+    #[test]
+    fn empty_key_and_pattern() {
+        assert!(topic_matches("", ""));
+        assert!(!topic_matches("", "a"));
+        assert!(!topic_matches("a", ""));
+    }
+
+    #[test]
+    fn hash_backtracking_finds_late_anchors() {
+        // `#` must be able to consume "x.c" so the trailing "c" anchors at
+        // the last word, not the first.
+        assert!(topic_matches("#.c", "c.x.c"));
+        assert!(topic_matches("#.c.#", "a.c.b"));
+    }
+
+    #[test]
+    fn validation() {
+        assert!(valid_pattern("a.b.c"));
+        assert!(valid_pattern("a.*.#"));
+        assert!(valid_pattern(""));
+        assert!(!valid_pattern("a..b"));
+        assert!(!valid_pattern("a.*b"));
+        assert!(!valid_pattern("a.b#"));
+        assert!(!valid_pattern("."));
+    }
+}

@@ -1,0 +1,384 @@
+//! Bounded message queues and consumer handles.
+//!
+//! A queue is a bounded MPMC channel: multiple bindings/publishers feed it
+//! and multiple consumers of one group compete for its messages. Per-sender
+//! FIFO is inherited from crossbeam channels, giving the pairwise-FIFO
+//! property the ordering protocol requires.
+
+use crate::message::Message;
+use bistream_types::metrics::Counter;
+use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender, TrySendError};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Why a receive returned without a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvError {
+    /// No message arrived within the timeout; the queue is still open.
+    Timeout,
+    /// The queue was deleted (or the broker dropped) and is fully drained.
+    Disconnected,
+}
+
+/// Name, bound and counters shared by the queue and all its consumers.
+#[derive(Debug)]
+struct QueueMeta {
+    name: String,
+    capacity: usize,
+    published: Counter,
+    delivered: Counter,
+    redelivered: Counter,
+}
+
+/// Internal queue state held by the broker and by exchange bindings.
+///
+/// Crucially, `QueueCore` is the *only* holder of the channel's `Sender`:
+/// when the broker deletes the queue (dropping the core from its map and
+/// all bindings), consumers drain what is buffered and then observe
+/// `Disconnected` — the AMQP queue-deletion semantics the scale-in path
+/// relies on.
+#[derive(Debug)]
+pub(crate) struct QueueCore {
+    meta: Arc<QueueMeta>,
+    tx: Sender<Message>,
+    rx: Receiver<Message>,
+}
+
+impl QueueCore {
+    pub(crate) fn new(name: String, capacity: usize) -> Arc<QueueCore> {
+        let (tx, rx) = channel::bounded(capacity);
+        Arc::new(QueueCore {
+            meta: Arc::new(QueueMeta {
+                name,
+                capacity,
+                published: Counter::default(),
+                delivered: Counter::default(),
+                redelivered: Counter::default(),
+            }),
+            tx,
+            rx,
+        })
+    }
+
+    pub(crate) fn name(&self) -> &str {
+        &self.meta.name
+    }
+
+    /// Enqueue, blocking while full (live-runtime backpressure).
+    pub(crate) fn push_blocking(&self, msg: Message) -> Result<(), Message> {
+        self.meta.published.inc();
+        self.tx.send(msg).map_err(|e| e.0)
+    }
+
+    /// Enqueue without blocking; returns the message back if full/closed.
+    pub(crate) fn try_push(&self, msg: Message) -> Result<(), TrySendError<Message>> {
+        let r = self.tx.try_send(msg);
+        if r.is_ok() {
+            self.meta.published.inc();
+        }
+        r
+    }
+
+    /// Messages currently buffered.
+    pub(crate) fn depth(&self) -> usize {
+        self.rx.len()
+    }
+
+    pub(crate) fn capacity(&self) -> usize {
+        self.meta.capacity
+    }
+
+    pub(crate) fn published(&self) -> u64 {
+        self.meta.published.get()
+    }
+
+    pub(crate) fn delivered(&self) -> u64 {
+        self.meta.delivered.get()
+    }
+
+    /// Discard everything buffered; returns the count.
+    pub(crate) fn purge(&self) -> usize {
+        let mut n = 0;
+        while self.rx.try_recv().is_ok() {
+            n += 1;
+        }
+        n
+    }
+
+    pub(crate) fn consumer(self: &Arc<Self>) -> Consumer {
+        Consumer {
+            meta: Arc::clone(&self.meta),
+            rx: self.rx.clone(),
+            requeue: Arc::downgrade(self),
+        }
+    }
+
+    /// Requeue an unacknowledged delivery (at the tail — crossbeam
+    /// channels cannot push-front; AMQP makes no strict position promise
+    /// either). Returns false when the queue is full (the message is then
+    /// dropped, as a full queue would also have rejected a publish).
+    pub(crate) fn requeue(&self, msg: Message) -> bool {
+        let ok = self.tx.try_send(msg).is_ok();
+        if ok {
+            self.meta.redelivered.inc();
+        }
+        ok
+    }
+}
+
+/// A handle for consuming messages from one queue.
+///
+/// Consumers of the same queue compete: each message is delivered to
+/// exactly one of them (the AMQ queuing model / Spring Cloud Stream
+/// consumer group). Clone the consumer (or call
+/// [`crate::Broker::subscribe`] again) to add a competitor.
+#[derive(Debug, Clone)]
+pub struct Consumer {
+    meta: Arc<QueueMeta>,
+    rx: Receiver<Message>,
+    /// Weak so an outstanding consumer/delivery never keeps a deleted
+    /// queue alive (deletion semantics depend on the Sender dropping).
+    requeue: std::sync::Weak<QueueCore>,
+}
+
+impl Consumer {
+    /// The queue this consumer reads from.
+    pub fn queue_name(&self) -> &str {
+        &self.meta.name
+    }
+
+    /// Receive the next message, blocking up to `timeout`.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Message, RecvError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(m) => {
+                self.meta.delivered.inc();
+                Ok(m)
+            }
+            Err(RecvTimeoutError::Timeout) => Err(RecvError::Timeout),
+            Err(RecvTimeoutError::Disconnected) => Err(RecvError::Disconnected),
+        }
+    }
+
+    /// Receive, blocking until a message arrives or the queue is deleted.
+    pub fn recv(&self) -> Result<Message, RecvError> {
+        match self.rx.recv() {
+            Ok(m) => {
+                self.meta.delivered.inc();
+                Ok(m)
+            }
+            Err(_) => Err(RecvError::Disconnected),
+        }
+    }
+
+    /// Receive without blocking.
+    pub fn try_recv(&self) -> Option<Message> {
+        let m = self.rx.try_recv().ok()?;
+        self.meta.delivered.inc();
+        Some(m)
+    }
+
+    /// Drain everything currently buffered (used by drain-then-stop
+    /// shutdown in the live runtime and by tests).
+    pub fn drain(&self) -> Vec<Message> {
+        let mut out = Vec::new();
+        while let Some(m) = self.try_recv() {
+            out.push(m);
+        }
+        out
+    }
+
+    /// Number of messages currently waiting in the queue.
+    pub fn depth(&self) -> usize {
+        self.rx.len()
+    }
+
+    /// Receive with **manual acknowledgement**: the returned [`Delivery`]
+    /// must be [`Delivery::ack`]ed; dropping it unacknowledged requeues
+    /// the message (with its `redelivered` flag set) — the AMQP
+    /// at-least-once consumption mode. Requeueing is best-effort: it is
+    /// skipped if the queue has been deleted, and the message is dropped
+    /// if the queue is full.
+    pub fn recv_acked(&self, timeout: Duration) -> Result<Delivery, RecvError> {
+        let msg = self.recv_timeout(timeout)?;
+        Ok(Delivery { msg: Some(msg), queue: self.requeue.clone() })
+    }
+}
+
+/// An unacknowledged delivery (see [`Consumer::recv_acked`]).
+#[derive(Debug)]
+pub struct Delivery {
+    msg: Option<Message>,
+    queue: std::sync::Weak<QueueCore>,
+}
+
+impl Delivery {
+    /// The delivered message.
+    pub fn message(&self) -> &Message {
+        self.msg.as_ref().expect("present until ack/drop")
+    }
+
+    /// Acknowledge: the message is consumed for good.
+    pub fn ack(mut self) -> Message {
+        self.msg.take().expect("present until ack/drop")
+    }
+}
+
+impl Drop for Delivery {
+    fn drop(&mut self) {
+        if let Some(mut msg) = self.msg.take() {
+            msg.redelivered = true;
+            if let Some(q) = self.queue.upgrade() {
+                let _ = q.requeue(msg);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(cap: usize) -> Arc<QueueCore> {
+        QueueCore::new("q".into(), cap)
+    }
+
+    #[test]
+    fn fifo_per_producer() {
+        let core = q(16);
+        for i in 0..5u8 {
+            core.push_blocking(Message::new("k", vec![i])).unwrap();
+        }
+        let c = core.consumer();
+        for i in 0..5u8 {
+            assert_eq!(c.try_recv().unwrap().payload[0], i);
+        }
+        assert!(c.try_recv().is_none());
+    }
+
+    #[test]
+    fn competing_consumers_split_messages_exactly_once() {
+        let core = q(64);
+        for i in 0..50u8 {
+            core.push_blocking(Message::new("k", vec![i])).unwrap();
+        }
+        let (a, b) = (core.consumer(), core.consumer());
+        let mut seen = Vec::new();
+        loop {
+            match (a.try_recv(), b.try_recv()) {
+                (None, None) => break,
+                (x, y) => {
+                    seen.extend(x.into_iter().chain(y));
+                }
+            }
+        }
+        let mut ids: Vec<u8> = seen.iter().map(|m| m.payload[0]).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..50u8).collect::<Vec<_>>(), "each delivered exactly once");
+    }
+
+    #[test]
+    fn try_push_reports_full() {
+        let core = q(1);
+        core.try_push(Message::new("k", vec![1])).unwrap();
+        assert!(matches!(
+            core.try_push(Message::new("k", vec![2])),
+            Err(TrySendError::Full(_))
+        ));
+        assert_eq!(core.depth(), 1);
+    }
+
+    #[test]
+    fn counters_track_published_and_delivered() {
+        let core = q(8);
+        core.push_blocking(Message::new("k", vec![1])).unwrap();
+        core.push_blocking(Message::new("k", vec![2])).unwrap();
+        let c = core.consumer();
+        c.try_recv().unwrap();
+        assert_eq!(core.published(), 2);
+        assert_eq!(core.delivered(), 1);
+        assert_eq!(c.depth(), 1);
+    }
+
+    #[test]
+    fn recv_timeout_and_disconnect() {
+        let core = q(2);
+        let c = core.consumer();
+        assert_eq!(
+            c.recv_timeout(Duration::from_millis(5)),
+            Err(RecvError::Timeout)
+        );
+        core.push_blocking(Message::new("k", vec![7])).unwrap();
+        drop(core); // deletes the producer side
+        // Buffered message still delivered…
+        assert!(c.recv_timeout(Duration::from_millis(5)).is_ok());
+        // …then disconnect is observed.
+        assert_eq!(
+            c.recv_timeout(Duration::from_millis(5)),
+            Err(RecvError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn ack_consumes_for_good() {
+        let core = q(8);
+        core.push_blocking(Message::new("k", vec![1])).unwrap();
+        let c = core.consumer();
+        let d = c.recv_acked(Duration::from_millis(5)).unwrap();
+        assert_eq!(d.message().payload[0], 1);
+        assert!(!d.message().redelivered);
+        let msg = d.ack();
+        assert_eq!(msg.payload[0], 1);
+        assert_eq!(c.depth(), 0, "acked messages never come back");
+    }
+
+    #[test]
+    fn dropped_delivery_is_redelivered() {
+        let core = q(8);
+        core.push_blocking(Message::new("k", vec![7])).unwrap();
+        let c = core.consumer();
+        {
+            let _unacked = c.recv_acked(Duration::from_millis(5)).unwrap();
+            // Consumer "crashes" here: delivery dropped without ack.
+        }
+        let again = c.recv_acked(Duration::from_millis(5)).unwrap();
+        assert!(again.message().redelivered, "requeued copy carries the flag");
+        assert_eq!(again.ack().payload[0], 7);
+    }
+
+    #[test]
+    fn redelivery_reaches_a_competing_consumer() {
+        let core = q(8);
+        core.push_blocking(Message::new("k", vec![9])).unwrap();
+        let crashing = core.consumer();
+        let healthy = core.consumer();
+        drop(crashing.recv_acked(Duration::from_millis(5)).unwrap());
+        let d = healthy.recv_acked(Duration::from_millis(5)).unwrap();
+        assert!(d.message().redelivered);
+        d.ack();
+    }
+
+    #[test]
+    fn requeue_after_queue_deletion_is_silent() {
+        let core = q(8);
+        core.push_blocking(Message::new("k", vec![1])).unwrap();
+        let c = core.consumer();
+        let d = c.recv_acked(Duration::from_millis(5)).unwrap();
+        drop(core); // queue deleted while a delivery is outstanding
+        drop(d); // must not panic; the message is gone with the queue
+        assert_eq!(
+            c.recv_timeout(Duration::from_millis(5)),
+            Err(RecvError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn drain_empties_queue() {
+        let core = q(8);
+        for i in 0..3u8 {
+            core.push_blocking(Message::new("k", vec![i])).unwrap();
+        }
+        let c = core.consumer();
+        assert_eq!(c.drain().len(), 3);
+        assert_eq!(c.depth(), 0);
+    }
+}

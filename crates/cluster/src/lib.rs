@@ -1,0 +1,39 @@
+//! The simulated elastic cluster — the substrate the thesis obtained from
+//! Kubernetes on Google Container Engine and the paper from a Storm
+//! cluster.
+//!
+//! The experiments need three things from "the cloud", and this crate
+//! provides exactly those, nothing else:
+//!
+//! 1. **Resource accounting** ([`meter`], [`cost`]): each processing unit
+//!    (pod) owns a [`meter::ResourceMeter`] it charges with CPU-µs per
+//!    operation (via the calibrated [`cost::CostModel`]) and with the bytes
+//!    of its live window state. This replaces cgroup accounting.
+//! 2. **A metrics pipeline** ([`meter::UtilizationTracker`]): per control
+//!    period, busy-time deltas become per-pod CPU utilization percentages —
+//!    the role Heapster/metrics-server plays for the real HPA.
+//! 3. **The Horizontal Pod Autoscaler** ([`hpa`]): the Kubernetes control
+//!    loop, reproduced rule-for-rule — ratio scaling
+//!    `desired = ceil(current · metric/target)`, a ±tolerance dead-band,
+//!    min/max clamping, and a scale-down stabilization window.
+//!
+//! [`nodes`] adds the fixed VM fleet pods are placed onto (first-fit),
+//! deriving the autoscaler's replica cap from infrastructure the way the
+//! thesis's 8-vCPU free-tier quota did.
+//!
+//! The engine plugs in through [`scale::ScaleTarget`], so this crate knows
+//! nothing about joins.
+
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod hpa;
+pub mod meter;
+pub mod nodes;
+pub mod scale;
+
+pub use cost::CostModel;
+pub use hpa::{Hpa, HpaConfig, MetricTarget};
+pub use meter::{ResourceMeter, UtilizationTracker};
+pub use nodes::{NodePool, Resources};
+pub use scale::{Autoscaled, ScaleTarget};

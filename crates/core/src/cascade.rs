@@ -1,0 +1,273 @@
+//! Multi-way stream joins as cascades of binary bicliques.
+//!
+//! BiStream evaluates binary joins; multi-way joins (`A ⋈ B ⋈ C`) are
+//! supported the way the paper's framing implies — by decomposing into a
+//! pipeline of binary joins, each running its own biclique: stage 1
+//! computes `A ⋈ B`, its results are flattened into composite tuples
+//! (`A`'s attributes followed by `B`'s, timestamped `max(a.ts, b.ts)`),
+//! and those feed stage 2's R side against stream `C`. Each stage keeps
+//! its own window, routing strategy and ordering protocol; elasticity
+//! applies per stage (each stage is an independent biclique).
+//!
+//! Window semantics: the composite tuple carries the *later* of its
+//! constituents' timestamps, so stage 2's window constrains
+//! `|max(a,b).ts − c.ts|` — the standard semantics of pipelined windowed
+//! binary joins (each adjacent pair is window-constrained; `a` and `c`
+//! are only transitively constrained). This is documented behaviour, not
+//! an approximation of some other definition.
+
+use crate::config::EngineConfig;
+use crate::engine::BicliqueEngine;
+use bistream_types::error::{Error, Result};
+use bistream_types::rel::Rel;
+use bistream_types::time::Ts;
+use bistream_types::tuple::{JoinResult, Tuple};
+
+/// Flatten a binary join result into a composite tuple for the next
+/// stage: R-side attributes, then S-side attributes, relation `rel`,
+/// timestamp `max(r.ts, s.ts)`.
+pub fn flatten(result: &JoinResult, rel: Rel) -> Tuple {
+    let mut values = Vec::with_capacity(result.r.values().len() + result.s.values().len());
+    values.extend_from_slice(result.r.values());
+    values.extend_from_slice(result.s.values());
+    Tuple::new(rel, result.ts, values)
+}
+
+/// A three-way windowed stream join `A ⋈ B ⋈ C` as two cascaded
+/// bicliques.
+///
+/// Stage 1 joins `A` (as R) with `B` (as S); stage 2 joins the flattened
+/// `A⋈B` composites (as R) with `C` (as S). Stage-2 predicate attribute
+/// indexes address the composite layout: `A`'s attributes first, then
+/// `B`'s.
+pub struct CascadeJoin {
+    stage1: BicliqueEngine,
+    stage2: BicliqueEngine,
+    /// Arity of A's schema (for documentation/validation of stage-2
+    /// attribute indexes).
+    a_arity: usize,
+}
+
+impl CascadeJoin {
+    /// Build the cascade. `stage1` joins A⋈B, `stage2` joins the
+    /// composite against C; `a_arity` is the attribute count of stream A
+    /// (used to sanity-check stage 2's predicate indexes).
+    pub fn new(stage1: EngineConfig, stage2: EngineConfig, a_arity: usize) -> Result<CascadeJoin> {
+        let mut s1 = BicliqueEngine::new(stage1)?;
+        s1.capture_results();
+        let mut s2 = BicliqueEngine::new(stage2)?;
+        s2.capture_results();
+        Ok(CascadeJoin { stage1: s1, stage2: s2, a_arity })
+    }
+
+    /// Arity of stream A (stage-2 predicates address B's attribute `i`
+    /// at composite index `a_arity + i`).
+    pub fn a_arity(&self) -> usize {
+        self.a_arity
+    }
+
+    /// Ingest a stream-A tuple (must be tagged `Rel::R`).
+    pub fn ingest_a(&mut self, tuple: &Tuple, now: Ts) -> Result<()> {
+        if tuple.rel() != Rel::R {
+            return Err(Error::Config("stream A tuples must be tagged Rel::R".into()));
+        }
+        self.stage1.ingest(tuple, now)?;
+        self.forward(now)
+    }
+
+    /// Ingest a stream-B tuple (must be tagged `Rel::S`).
+    pub fn ingest_b(&mut self, tuple: &Tuple, now: Ts) -> Result<()> {
+        if tuple.rel() != Rel::S {
+            return Err(Error::Config("stream B tuples must be tagged Rel::S".into()));
+        }
+        self.stage1.ingest(tuple, now)?;
+        self.forward(now)
+    }
+
+    /// Ingest a stream-C tuple (must be tagged `Rel::S`; it joins the
+    /// composite stream on stage 2).
+    pub fn ingest_c(&mut self, tuple: &Tuple, now: Ts) -> Result<()> {
+        if tuple.rel() != Rel::S {
+            return Err(Error::Config("stream C tuples must be tagged Rel::S".into()));
+        }
+        self.stage2.ingest(tuple, now)
+    }
+
+    /// Punctuate both stages at `now` (forwards any stage-1 results the
+    /// punctuation released).
+    pub fn punctuate(&mut self, now: Ts) -> Result<()> {
+        self.stage1.punctuate(now)?;
+        self.forward(now)?;
+        self.stage2.punctuate(now)
+    }
+
+    /// Terminal flush of both stages.
+    pub fn flush(&mut self, now: Ts) -> Result<()> {
+        self.stage1.flush()?;
+        self.forward(now)?;
+        self.stage2.flush()
+    }
+
+    /// Take the three-way results produced so far. Each result's `r` side
+    /// is the flattened `A⋈B` composite and its `s` side the matched `C`
+    /// tuple.
+    pub fn take_results(&mut self) -> Vec<JoinResult> {
+        self.stage2.take_captured()
+    }
+
+    /// Stage engines, for metrics and scaling (`0` = A⋈B, `1` = ⋈C).
+    pub fn stage_mut(&mut self, i: usize) -> &mut BicliqueEngine {
+        match i {
+            0 => &mut self.stage1,
+            _ => &mut self.stage2,
+        }
+    }
+
+    fn forward(&mut self, now: Ts) -> Result<()> {
+        for result in self.stage1.take_captured() {
+            let composite = flatten(&result, Rel::R);
+            debug_assert!(composite.values().len() >= self.a_arity);
+            self.stage2.ingest(&composite, now)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RoutingStrategy;
+    use bistream_types::predicate::JoinPredicate;
+    use bistream_types::value::Value;
+    use bistream_types::window::WindowSpec;
+
+    const W: Ts = 1_000;
+
+    fn cfg(predicate: JoinPredicate) -> EngineConfig {
+        EngineConfig {
+            r_joiners: 2,
+            s_joiners: 2,
+            predicate,
+            window: WindowSpec::sliding(W),
+            routing: RoutingStrategy::Random,
+            archive_period_ms: 50,
+            punctuation_interval_ms: 20,
+            ordering: true,
+            seed: 9,
+        }
+    }
+
+    /// Streams: A(k, x), B(k, y), C(y).
+    /// Query: A.k = B.k AND B.y = C.y.
+    fn cascade() -> CascadeJoin {
+        let stage1 = cfg(JoinPredicate::Equi { r_attr: 0, s_attr: 0 });
+        // Composite = [A.k, A.x, B.k, B.y]; B.y is index 3.
+        let stage2 = cfg(JoinPredicate::Equi { r_attr: 3, s_attr: 0 });
+        CascadeJoin::new(stage1, stage2, 2).unwrap()
+    }
+
+    fn a(ts: Ts, k: i64, x: i64) -> Tuple {
+        Tuple::new(Rel::R, ts, vec![Value::Int(k), Value::Int(x)])
+    }
+    fn b(ts: Ts, k: i64, y: i64) -> Tuple {
+        Tuple::new(Rel::S, ts, vec![Value::Int(k), Value::Int(y)])
+    }
+    fn c(ts: Ts, y: i64) -> Tuple {
+        Tuple::new(Rel::S, ts, vec![Value::Int(y)])
+    }
+
+    #[test]
+    fn flatten_concatenates_and_takes_max_ts() {
+        let result = JoinResult::of(a(10, 1, 2), b(20, 1, 3));
+        let composite = flatten(&result, Rel::R);
+        assert_eq!(composite.ts(), 20);
+        assert_eq!(
+            composite.values(),
+            &[Value::Int(1), Value::Int(2), Value::Int(1), Value::Int(3)]
+        );
+    }
+
+    #[test]
+    fn three_way_join_matches_reference() {
+        let mut cj = cascade();
+        // Deterministic little workload.
+        let mut a_tuples = Vec::new();
+        let mut b_tuples = Vec::new();
+        let mut c_tuples = Vec::new();
+        for i in 0..30i64 {
+            let ts = i as Ts * 11;
+            a_tuples.push(a(ts, i % 5, i));
+            b_tuples.push(b(ts + 1, i % 5, i % 3));
+            c_tuples.push(c(ts + 2, i % 3));
+        }
+        let mut now = 0;
+        for i in 0..30 {
+            now = a_tuples[i].ts();
+            cj.ingest_a(&a_tuples[i], now).unwrap();
+            cj.ingest_b(&b_tuples[i], now + 1).unwrap();
+            cj.ingest_c(&c_tuples[i], now + 2).unwrap();
+            cj.punctuate(now + 3).unwrap();
+        }
+        cj.punctuate(now + 50).unwrap();
+        cj.flush(now + 50).unwrap();
+        let got = cj.take_results().len();
+
+        // Brute-force reference with the cascade's window semantics:
+        // |a.ts − b.ts| ≤ W and |max(a.ts,b.ts) − c.ts| ≤ W.
+        let mut expect = 0usize;
+        for ta in &a_tuples {
+            for tb in &b_tuples {
+                if ta.get(0) != tb.get(0) || ta.ts().abs_diff(tb.ts()) > W {
+                    continue;
+                }
+                let ab_ts = ta.ts().max(tb.ts());
+                for tc in &c_tuples {
+                    if tb.get(1) == tc.get(0) && ab_ts.abs_diff(tc.ts()) <= W {
+                        expect += 1;
+                    }
+                }
+            }
+        }
+        assert!(expect > 0);
+        assert_eq!(got, expect, "three-way cascade matches the reference join");
+    }
+
+    #[test]
+    fn stage2_results_expose_composite_and_c_sides() {
+        let mut cj = cascade();
+        cj.ingest_a(&a(10, 1, 7), 10).unwrap();
+        cj.ingest_b(&b(11, 1, 9), 11).unwrap();
+        cj.punctuate(12).unwrap();
+        cj.ingest_c(&c(13, 9), 13).unwrap();
+        cj.punctuate(40).unwrap();
+        cj.flush(40).unwrap();
+        let results = cj.take_results();
+        assert_eq!(results.len(), 1);
+        let r = &results[0];
+        assert_eq!(r.r.values().len(), 4, "composite A++B");
+        assert_eq!(r.s.values(), &[Value::Int(9)]);
+    }
+
+    #[test]
+    fn wrong_relation_tags_rejected() {
+        let mut cj = cascade();
+        assert!(cj.ingest_a(&b(0, 1, 1), 0).is_err());
+        assert!(cj.ingest_b(&a(0, 1, 1), 0).is_err());
+        assert!(cj.ingest_c(&a(0, 1, 1), 0).is_err());
+    }
+
+    #[test]
+    fn stages_are_independently_scalable() {
+        let mut cj = cascade();
+        cj.stage_mut(0).scale_to(Rel::R, 4, 0).unwrap();
+        cj.stage_mut(1).scale_to(Rel::S, 3, 0).unwrap();
+        // Still joins correctly after scaling both stages.
+        cj.ingest_a(&a(10, 2, 0), 10).unwrap();
+        cj.ingest_b(&b(11, 2, 5), 11).unwrap();
+        cj.punctuate(12).unwrap();
+        cj.ingest_c(&c(13, 5), 13).unwrap();
+        cj.punctuate(40).unwrap();
+        cj.flush(40).unwrap();
+        assert_eq!(cj.take_results().len(), 1);
+    }
+}

@@ -1,0 +1,173 @@
+//! Engine configuration.
+
+use bistream_types::error::{Error, Result};
+use bistream_types::predicate::JoinPredicate;
+use bistream_types::time::Ts;
+use bistream_types::window::WindowSpec;
+use serde::{Deserialize, Serialize};
+
+/// How the router distributes tuples over the biclique.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RoutingStrategy {
+    /// Store on a uniformly random unit of the own side; broadcast the
+    /// join copy to *every* unit of the opposite side. Correct for any
+    /// predicate; per-tuple fan-out is `1 + |opposite side|`.
+    Random,
+    /// Content-sensitive: hash the join key to one unit on each side.
+    /// Only valid for equi predicates; fan-out is 2 but a skewed key
+    /// distribution concentrates load.
+    Hash,
+    /// The paper's hybrid: each side is split into `subgroups` subgroups;
+    /// the key hash picks the subgroup (content-sensitive across
+    /// subgroups), storage lands on a random unit *within* the subgroup,
+    /// and the join copy is broadcast to the matching subgroup of the
+    /// opposite side. Only valid for equi predicates; fan-out is
+    /// `1 + |opposite side| / subgroups`, skew is diluted over a subgroup.
+    ContRand {
+        /// Number of subgroups per side (`d` in the model).
+        subgroups: usize,
+    },
+}
+
+impl RoutingStrategy {
+    /// Is this strategy applicable to `predicate`?
+    pub fn supports(&self, predicate: &JoinPredicate) -> bool {
+        match self {
+            RoutingStrategy::Random => true,
+            RoutingStrategy::Hash | RoutingStrategy::ContRand { .. } => predicate.is_equi(),
+        }
+    }
+}
+
+/// Full configuration of a biclique engine instance.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// Initial number of R-side joiners (`n`).
+    pub r_joiners: usize,
+    /// Initial number of S-side joiners (`m`).
+    pub s_joiners: usize,
+    /// The join predicate.
+    pub predicate: JoinPredicate,
+    /// The window specification.
+    pub window: WindowSpec,
+    /// Routing strategy.
+    pub routing: RoutingStrategy,
+    /// Archive period `P` of the chained index, in ms.
+    pub archive_period_ms: Ts,
+    /// Punctuation interval of the ordering protocol, in ms.
+    pub punctuation_interval_ms: Ts,
+    /// Whether joiners run the order-consistent protocol. Disabling it
+    /// exposes the duplicate/missed-result races (experiment E7) and
+    /// removes the punctuation wait from the latency path.
+    pub ordering: bool,
+    /// Seed for the router's random placement decisions.
+    pub seed: u64,
+}
+
+impl EngineConfig {
+    /// A small sane default: 2×2 units, equi-join on attribute 0, 10 s
+    /// window, hash routing.
+    pub fn default_equi() -> EngineConfig {
+        EngineConfig {
+            r_joiners: 2,
+            s_joiners: 2,
+            predicate: JoinPredicate::Equi { r_attr: 0, s_attr: 0 },
+            window: WindowSpec::sliding(10_000),
+            routing: RoutingStrategy::Hash,
+            archive_period_ms: 1_000,
+            punctuation_interval_ms: 20,
+            ordering: true,
+            seed: 0xB1C1,
+        }
+    }
+
+    /// Validate internal consistency.
+    pub fn validate(&self) -> Result<()> {
+        if self.r_joiners == 0 || self.s_joiners == 0 {
+            return Err(Error::Config("each side needs at least one joiner".into()));
+        }
+        if !self.routing.supports(&self.predicate) {
+            return Err(Error::Config(format!(
+                "routing {:?} requires an equi predicate, got {}",
+                self.routing, self.predicate
+            )));
+        }
+        if let RoutingStrategy::ContRand { subgroups } = self.routing {
+            if subgroups == 0 {
+                return Err(Error::Config("ContRand needs at least one subgroup".into()));
+            }
+            if subgroups > self.r_joiners || subgroups > self.s_joiners {
+                return Err(Error::Config(format!(
+                    "ContRand with {subgroups} subgroups needs at least that many joiners per side \
+                     (have {}×{})",
+                    self.r_joiners, self.s_joiners
+                )));
+            }
+        }
+        if self.punctuation_interval_ms == 0 {
+            return Err(Error::Config("punctuation interval must be positive".into()));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bistream_types::predicate::CmpOp;
+
+    #[test]
+    fn default_is_valid() {
+        assert!(EngineConfig::default_equi().validate().is_ok());
+    }
+
+    #[test]
+    fn hash_routing_rejects_non_equi() {
+        let mut c = EngineConfig::default_equi();
+        c.predicate = JoinPredicate::Band { r_attr: 0, s_attr: 0, band: 1.0 };
+        assert!(c.validate().is_err());
+        c.routing = RoutingStrategy::Random;
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn contrand_bounds_subgroups() {
+        let mut c = EngineConfig::default_equi();
+        c.routing = RoutingStrategy::ContRand { subgroups: 2 };
+        assert!(c.validate().is_ok());
+        c.routing = RoutingStrategy::ContRand { subgroups: 3 };
+        assert!(c.validate().is_err(), "more subgroups than joiners");
+        c.routing = RoutingStrategy::ContRand { subgroups: 0 };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn zero_joiners_rejected() {
+        let mut c = EngineConfig::default_equi();
+        c.r_joiners = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn config_serde_round_trips() {
+        // Experiment configs are persisted as JSON next to results; the
+        // round trip must be lossless.
+        let mut c = EngineConfig::default_equi();
+        c.routing = RoutingStrategy::ContRand { subgroups: 2 };
+        c.window = WindowSpec::FullHistory;
+        let json = serde_json::to_string(&c).unwrap();
+        let back: EngineConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.routing, c.routing);
+        assert_eq!(back.window, c.window);
+        assert_eq!(back.predicate, c.predicate);
+        assert_eq!(back.seed, c.seed);
+    }
+
+    #[test]
+    fn theta_predicates_route_random_only() {
+        let p = JoinPredicate::Theta { r_attr: 0, s_attr: 0, op: CmpOp::Lt };
+        assert!(RoutingStrategy::Random.supports(&p));
+        assert!(!RoutingStrategy::Hash.supports(&p));
+        assert!(!RoutingStrategy::ContRand { subgroups: 2 }.supports(&p));
+    }
+}

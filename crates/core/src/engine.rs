@@ -1,0 +1,927 @@
+//! The assembled biclique: routers + joiners + simulated delivery, with
+//! elastic scaling.
+//!
+//! `BicliqueEngine` is the deterministic in-process form of the system —
+//! the same router/joiner cores the threaded runtime uses, wired through
+//! [`crate::delivery::ChannelNet`] instead of broker queues. Experiments
+//! that need long virtual horizons (autoscaling), adversarial message
+//! schedules (ordering correctness) or exact result capture run against
+//! this engine; wall-clock throughput numbers come from [`crate::exec`].
+//!
+//! ## Scaling without migration
+//!
+//! [`BicliqueEngine::scale_to`] changes a side's unit count by editing the
+//! layout only — stored tuples never move. Correctness is preserved by two
+//! mechanisms:
+//!
+//! - **Draining** (scale-in): a retired unit stops receiving store copies
+//!   immediately but keeps receiving join copies and punctuations until
+//!   its window state has fully expired, then disappears.
+//! - **Historical layouts** (content-sensitive routing): for one window
+//!   after a scaling event, join copies are additionally routed according
+//!   to every layout that was live within the window, so tuples stored
+//!   under the old key→unit mapping keep being probed. Random routing is
+//!   unaffected (its join stream already broadcasts), which mirrors the
+//!   paper's observation that random/ContRand routing makes scaling
+//!   cheap.
+
+use crate::config::{EngineConfig, RoutingStrategy};
+use crate::delivery::{ChannelNet, DeliveryMode};
+use crate::joiner::{JoinerCore, JoinerStats};
+use crate::layout::{JoinerId, Layout};
+use crate::router::{join_dests, RoutedCopy, RouterCore};
+use crate::stats::{EngineSnapshot, EngineStats};
+use bistream_cluster::{CostModel, ResourceMeter};
+use bistream_types::error::{Error, Result};
+use bistream_types::hash::FxHashMap;
+use bistream_types::punct::{Punctuation, Purpose, RouterId, SeqNo, StreamMessage};
+use bistream_types::rel::Rel;
+use bistream_types::time::Ts;
+use bistream_types::tuple::{JoinResult, Tuple};
+use std::sync::Arc;
+
+/// The in-process biclique engine.
+///
+/// ```
+/// use bistream_core::config::EngineConfig;
+/// use bistream_core::engine::BicliqueEngine;
+/// use bistream_types::{rel::Rel, tuple::Tuple, value::Value};
+///
+/// let mut engine = BicliqueEngine::new(EngineConfig::default_equi())?;
+/// engine.capture_results();
+/// engine.ingest(&Tuple::new(Rel::R, 10, vec![Value::Int(42)]), 10)?;
+/// engine.ingest(&Tuple::new(Rel::S, 20, vec![Value::Int(42)]), 20)?;
+/// engine.punctuate(40)?; // ordering protocol releases on punctuations
+/// assert_eq!(engine.take_captured().len(), 1);
+/// # Ok::<(), bistream_types::error::Error>(())
+/// ```
+pub struct BicliqueEngine {
+    config: EngineConfig,
+    cost: CostModel,
+    layout: Layout,
+    routers: Vec<RouterCore>,
+    rr_next: usize,
+    joiners: FxHashMap<JoinerId, JoinerCore>,
+    /// Retired units still draining their window state, with retire time.
+    draining: Vec<(Rel, JoinerId, Ts)>,
+    /// Superseded layouts and when they stop mattering.
+    historical: Vec<(Layout, Ts)>,
+    net: ChannelNet,
+    stats: Arc<EngineStats>,
+    capture: Option<Vec<JoinResult>>,
+    auto_pump: bool,
+    now: Ts,
+    scratch: Vec<RoutedCopy>,
+}
+
+impl BicliqueEngine {
+    /// Build an engine with one router and in-order delivery.
+    pub fn new(config: EngineConfig) -> Result<BicliqueEngine> {
+        Self::builder(config).build()
+    }
+
+    /// Start a builder for non-default topologies.
+    pub fn builder(config: EngineConfig) -> EngineBuilder {
+        EngineBuilder {
+            config,
+            routers: 1,
+            delivery: DeliveryMode::InOrder,
+            cost: CostModel::default(),
+            auto_pump: true,
+        }
+    }
+
+    /// The configuration this engine runs.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The current (active) layout.
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    /// Engine-wide counters.
+    pub fn stats(&self) -> EngineSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Units currently draining (retired but not yet empty).
+    pub fn draining_units(&self) -> usize {
+        self.draining.len()
+    }
+
+    /// Begin capturing emitted join results (for correctness tests).
+    pub fn capture_results(&mut self) {
+        self.capture = Some(Vec::new());
+    }
+
+    /// Take everything captured since [`capture_results`].
+    ///
+    /// [`capture_results`]: BicliqueEngine::capture_results
+    pub fn take_captured(&mut self) -> Vec<JoinResult> {
+        self.capture.as_mut().map(std::mem::take).unwrap_or_default()
+    }
+
+    /// Disable automatic pumping: messages accumulate in the network until
+    /// [`pump`] is called, letting tests interleave delivery adversarially.
+    ///
+    /// [`pump`]: BicliqueEngine::pump
+    pub fn set_auto_pump(&mut self, on: bool) {
+        self.auto_pump = on;
+    }
+
+    /// Ingest one tuple at virtual time `now`.
+    pub fn ingest(&mut self, tuple: &Tuple, now: Ts) -> Result<()> {
+        self.now = self.now.max(now);
+        self.purge_historical();
+        self.stats.ingested.inc();
+
+        let r_idx = self.rr_next % self.routers.len();
+        self.rr_next = self.rr_next.wrapping_add(1);
+        let mut copies = std::mem::take(&mut self.scratch);
+        copies.clear();
+        self.routers[r_idx].route(tuple, &self.layout, &mut copies)?;
+
+        // Augment the join stream for scaling transitions: historical
+        // layouts and draining units of the opposite side. The extra
+        // copies reuse the tuple's own sequence stamp.
+        let router_id = self.routers[r_idx].id();
+        let seq = copies.first().map(|c| c.msg.seq()).unwrap_or(0);
+        let mut already: Vec<JoinerId> = copies
+            .iter()
+            .filter(|c| matches!(c.msg, StreamMessage::Data { purpose: Purpose::Join, .. }))
+            .map(|c| c.dest)
+            .collect();
+        let mut extras: Vec<JoinerId> = Vec::new();
+        for (old, _) in &self.historical {
+            for dest in join_dests(self.config.routing, &self.config.predicate, tuple, old)? {
+                if self.joiners.contains_key(&dest)
+                    && !already.contains(&dest)
+                    && !extras.contains(&dest)
+                {
+                    extras.push(dest);
+                }
+            }
+        }
+        let opp = tuple.rel().opposite();
+        for &(side, id, _) in &self.draining {
+            if side == opp && !already.contains(&id) && !extras.contains(&id) {
+                extras.push(id);
+            }
+        }
+        already.clear();
+        for dest in extras {
+            copies.push(RoutedCopy {
+                dest,
+                msg: StreamMessage::Data {
+                    router: router_id,
+                    seq,
+                    purpose: Purpose::Join,
+                    tuple: tuple.clone(),
+                },
+            });
+        }
+
+        self.stats.copies.add(copies.len() as u64);
+        for c in copies.drain(..) {
+            self.net.send(router_id, c.dest, c.msg);
+        }
+        self.scratch = copies;
+        if self.auto_pump {
+            self.pump()?;
+        }
+        Ok(())
+    }
+
+    /// Emit punctuations from every router to every unit (active and
+    /// draining) at virtual time `now`. Call this on the configured
+    /// punctuation interval; without it the ordering protocol never
+    /// releases buffered tuples.
+    pub fn punctuate(&mut self, now: Ts) -> Result<()> {
+        self.now = self.now.max(now);
+        for r in &mut self.routers {
+            let p = Punctuation { router: r.id(), seq: r.last_seq() };
+            let mut copies = Vec::new();
+            r.punctuate(&self.layout, &mut copies);
+            for c in copies {
+                self.net.send(p.router, c.dest, c.msg);
+                self.stats.punctuations.inc();
+            }
+            for &(_, id, _) in &self.draining {
+                self.net.send(p.router, id, StreamMessage::Punct(p));
+                self.stats.punctuations.inc();
+            }
+        }
+        if self.auto_pump {
+            self.pump()?;
+        }
+        Ok(())
+    }
+
+    /// Deliver every in-flight message to its joiner, collecting results.
+    pub fn pump(&mut self) -> Result<()> {
+        let stats = Arc::clone(&self.stats);
+        let now = self.now;
+        while let Some(flight) = self.net.deliver_next() {
+            let Some(joiner) = self.joiners.get_mut(&flight.dest) else {
+                // Unit retired between send and delivery; the message is
+                // moot (its state is gone because it fully expired).
+                continue;
+            };
+            let capture = &mut self.capture;
+            joiner.handle(flight.msg, &mut |result: JoinResult| {
+                stats.results.inc();
+                stats.latency_ms.record(now.saturating_sub(result.ts));
+                if let Some(buf) = capture {
+                    buf.push(result);
+                }
+            })?;
+        }
+        self.retire_drained();
+        Ok(())
+    }
+
+    /// Terminal flush: deliver everything in flight, then drain every
+    /// reorder buffer in global order. Call once at the end of a run so
+    /// the final punctuation gap does not strand buffered tuples.
+    pub fn flush(&mut self) -> Result<()> {
+        self.pump()?;
+        let stats = Arc::clone(&self.stats);
+        let now = self.now;
+        for joiner in self.joiners.values_mut() {
+            let capture = &mut self.capture;
+            joiner.flush(&mut |result: JoinResult| {
+                stats.results.inc();
+                stats.latency_ms.record(now.saturating_sub(result.ts));
+                if let Some(buf) = capture {
+                    buf.push(result);
+                }
+            })?;
+        }
+        Ok(())
+    }
+
+    /// Resize `side` to `n` active joiners at virtual time `now`. Returns
+    /// the ids added and retired. No stored tuple is moved.
+    pub fn scale_to(&mut self, side: Rel, n: usize, now: Ts) -> Result<(Vec<JoinerId>, Vec<JoinerId>)> {
+        self.now = self.now.max(now);
+        if n == self.layout.units(side).len() {
+            return Ok((Vec::new(), Vec::new()));
+        }
+        // Content-sensitive routing needs the old mapping kept alive for
+        // one window; random routing covers old units via the draining
+        // list alone.
+        if !matches!(self.config.routing, RoutingStrategy::Random) {
+            let expires = match self.config.window.size() {
+                Some(w) => self.now.saturating_add(w),
+                None => Ts::MAX,
+            };
+            self.historical.push((self.layout.clone(), expires));
+        }
+        let (added, removed) = self.layout.resize(side, n)?;
+        let frontiers: Vec<(RouterId, SeqNo)> =
+            self.routers.iter().map(|r| (r.id(), r.last_seq())).collect();
+        for &id in &added {
+            self.joiners.insert(id, self.make_joiner(id, side, &frontiers));
+        }
+        for &id in &removed {
+            let expires = match self.config.window.size() {
+                Some(w) => self.now.saturating_add(w),
+                None => Ts::MAX,
+            };
+            self.draining.push((side, id, expires));
+        }
+        self.purge_historical();
+        Ok((added, removed))
+    }
+
+    /// Adapt the ContRand subgroup count to `d` at virtual time `now` —
+    /// the paper's subgroup adjustment. Like unit scaling, this is a pure
+    /// layout change: the previous subgroup mapping is kept alive as a
+    /// historical layout for one window so tuples stored under it keep
+    /// receiving probes.
+    pub fn set_subgroups(&mut self, d: usize, now: Ts) -> Result<()> {
+        self.now = self.now.max(now);
+        if !matches!(self.config.routing, RoutingStrategy::ContRand { .. }) {
+            return Err(Error::Config(
+                "subgroup adjustment only applies to ContRand routing".into(),
+            ));
+        }
+        let expires = match self.config.window.size() {
+            Some(w) => self.now.saturating_add(w),
+            None => Ts::MAX,
+        };
+        self.historical.push((self.layout.clone(), expires));
+        self.layout.set_subgroups(d)?;
+        self.config.routing = RoutingStrategy::ContRand { subgroups: d };
+        for r in &mut self.routers {
+            r.set_strategy(self.config.routing);
+        }
+        self.purge_historical();
+        Ok(())
+    }
+
+    /// Add a router instance (router-tier scale-out); returns its id.
+    ///
+    /// The new router shares the engine's global sequence counter, so its
+    /// punctuations immediately report the true clock; every joiner
+    /// (active and draining) registers it at the current counter.
+    pub fn add_router(&mut self) -> RouterId {
+        let id = self.routers.len() as RouterId;
+        let router = RouterCore::new(
+            id,
+            self.config.routing,
+            self.config.predicate.clone(),
+            self.config.seed,
+            self.seq_counter(),
+        );
+        let frontier = router.last_seq();
+        for joiner in self.joiners.values_mut() {
+            joiner.register_router(id, frontier);
+        }
+        self.routers.push(router);
+        id
+    }
+
+    /// Retire the most recently added router (router-tier scale-in).
+    ///
+    /// The router emits a final punctuation (delivered before
+    /// deregistration so everything it ever sent is releasable), then all
+    /// joiners drop its frontier.
+    ///
+    /// # Errors
+    /// [`Error::Scaling`] when only one router remains.
+    pub fn remove_router(&mut self) -> Result<()> {
+        if self.routers.len() <= 1 {
+            return Err(Error::Scaling("engine needs at least one router".into()));
+        }
+        let router = self.routers.pop().expect("len checked");
+        let id = router.id();
+        let p = Punctuation { router: id, seq: router.last_seq() };
+        for (_, dest) in self.layout.all_units() {
+            self.net.send(id, dest, StreamMessage::Punct(p));
+            self.stats.punctuations.inc();
+        }
+        for &(_, dest, _) in &self.draining {
+            self.net.send(id, dest, StreamMessage::Punct(p));
+            self.stats.punctuations.inc();
+        }
+        self.pump()?;
+        let stats = Arc::clone(&self.stats);
+        let now = self.now;
+        for joiner in self.joiners.values_mut() {
+            let capture = &mut self.capture;
+            joiner.deregister_router(id, &mut |result: JoinResult| {
+                stats.results.inc();
+                stats.latency_ms.record(now.saturating_sub(result.ts));
+                if let Some(buf) = capture {
+                    buf.push(result);
+                }
+            })?;
+        }
+        // Round-robin cursor may now point past the end; realign.
+        self.rr_next %= self.routers.len();
+        Ok(())
+    }
+
+    /// Number of router instances.
+    pub fn routers(&self) -> usize {
+        self.routers.len()
+    }
+
+    fn seq_counter(&self) -> Arc<std::sync::atomic::AtomicU64> {
+        self.routers[0].seq_counter()
+    }
+
+    /// Per-joiner stored-tuple counts for `side` (load-balance metrics).
+    pub fn stored_per_joiner(&self, side: Rel) -> Vec<u64> {
+        self.layout
+            .units(side)
+            .iter()
+            .map(|id| self.joiners[id].stats().stored)
+            .collect()
+    }
+
+    /// Total live bytes of window state on `side`'s active units.
+    pub fn memory_bytes(&self, side: Rel) -> u64 {
+        self.layout
+            .units(side)
+            .iter()
+            .map(|id| self.joiners[id].index_stats().bytes as u64)
+            .sum()
+    }
+
+    /// Snapshot one unit's stored window state for recovery (quiesce
+    /// first: punctuate + pump so its reorder buffer is empty).
+    pub fn snapshot_unit(&self, id: JoinerId) -> Result<bytes::Bytes> {
+        self.joiners
+            .get(&id)
+            .map(|j| j.snapshot_state())
+            .ok_or_else(|| Error::Scaling(format!("no such unit {id}")))
+    }
+
+    /// Replace a unit's in-memory state from a snapshot — the recovery
+    /// path after a unit restart. The unit keeps its identity, queue and
+    /// router registrations; only its window state is rebuilt.
+    pub fn restore_unit(&mut self, id: JoinerId, blob: impl bytes::Buf) -> Result<usize> {
+        // Rebuild the unit from scratch (the "restarted pod"), register
+        // the live routers at their current frontiers, then load state.
+        let Some(side) = self
+            .layout
+            .all_units()
+            .find(|&(_, u)| u == id)
+            .map(|(side, _)| side)
+        else {
+            return Err(Error::Scaling(format!("no such active unit {id}")));
+        };
+        let frontiers: Vec<(RouterId, SeqNo)> =
+            self.routers.iter().map(|r| (r.id(), r.last_seq())).collect();
+        let mut fresh = self.make_joiner(id, side, &frontiers);
+        let n = fresh.restore_state(blob)?;
+        self.joiners.insert(id, fresh);
+        Ok(n)
+    }
+
+    /// Highest reorder-buffer depth ever observed on any active joiner —
+    /// the buffering cost of the ordering protocol (grows with the
+    /// punctuation interval and with router imbalance).
+    pub fn max_reorder_depth(&self) -> usize {
+        self.layout
+            .all_units()
+            .filter_map(|(_, id)| self.joiners[&id].reorder_stats())
+            .map(|s| s.max_depth)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Aggregated joiner counters over both sides (active units).
+    pub fn joiner_totals(&self) -> JoinerStats {
+        let mut total = JoinerStats::default();
+        for (_, id) in self.layout.all_units() {
+            let s = self.joiners[&id].stats();
+            total.stored += s.stored;
+            total.probes += s.probes;
+            total.candidates += s.candidates;
+            total.results += s.results;
+            total.expired += s.expired;
+        }
+        total
+    }
+
+    /// Resource meters of `side`'s active units, keyed by stable unit id —
+    /// the [`bistream_cluster::ScaleTarget`] contract.
+    pub fn pod_meters(&self, side: Rel) -> Vec<(usize, Arc<ResourceMeter>)> {
+        self.layout
+            .units(side)
+            .iter()
+            .map(|id| (id.0 as usize, self.joiners[id].meter()))
+            .collect()
+    }
+
+    /// Number of active joiners on `side`.
+    pub fn replicas(&self, side: Rel) -> usize {
+        self.layout.units(side).len()
+    }
+
+    fn make_joiner(&self, id: JoinerId, side: Rel, frontiers: &[(RouterId, SeqNo)]) -> JoinerCore {
+        JoinerCore::new(
+            id,
+            side,
+            self.config.predicate.clone(),
+            self.config.window,
+            self.config.archive_period_ms,
+            self.config.ordering,
+            frontiers,
+            self.cost,
+        )
+    }
+
+    fn purge_historical(&mut self) {
+        let now = self.now;
+        self.historical.retain(|(_, expires)| *expires > now);
+    }
+
+    fn retire_drained(&mut self) {
+        let now = self.now;
+        let joiners = &mut self.joiners;
+        let net = &mut self.net;
+        self.draining.retain(|&(_, id, expires)| {
+            let empty = joiners
+                .get(&id)
+                .map(|j| j.index_stats().tuples == 0)
+                .unwrap_or(true);
+            // A draining unit retires once its stored state is gone, or
+            // unconditionally once a full window has passed (its residual
+            // state can no longer match anything).
+            if empty || now >= expires {
+                joiners.remove(&id);
+                net.forget_unit(id);
+                false
+            } else {
+                true
+            }
+        });
+    }
+}
+
+/// Builder for [`BicliqueEngine`].
+pub struct EngineBuilder {
+    config: EngineConfig,
+    routers: usize,
+    delivery: DeliveryMode,
+    cost: CostModel,
+    auto_pump: bool,
+}
+
+impl EngineBuilder {
+    /// Use `k` router instances (round-robin ingest).
+    pub fn routers(mut self, k: usize) -> Self {
+        self.routers = k.max(1);
+        self
+    }
+
+    /// Delivery schedule (default in-order).
+    pub fn delivery(mut self, mode: DeliveryMode) -> Self {
+        self.delivery = mode;
+        self
+    }
+
+    /// CPU cost model charged to joiner meters.
+    pub fn cost_model(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Disable automatic pumping after each ingest/punctuate.
+    pub fn manual_pump(mut self) -> Self {
+        self.auto_pump = false;
+        self
+    }
+
+    /// Construct the engine.
+    pub fn build(self) -> Result<BicliqueEngine> {
+        self.config.validate()?;
+        let subgroups = match self.config.routing {
+            RoutingStrategy::ContRand { subgroups } => subgroups,
+            _ => 1,
+        };
+        let layout = Layout::new(self.config.r_joiners, self.config.s_joiners, subgroups)?;
+        // One shared sequence counter across all routers (see RouterCore).
+        let seq = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let routers: Vec<RouterCore> = (0..self.routers)
+            .map(|i| {
+                RouterCore::new(
+                    i as RouterId,
+                    self.config.routing,
+                    self.config.predicate.clone(),
+                    self.config.seed,
+                    Arc::clone(&seq),
+                )
+            })
+            .collect();
+        let frontiers: Vec<(RouterId, SeqNo)> = routers.iter().map(|r| (r.id(), 0)).collect();
+        let mut engine = BicliqueEngine {
+            cost: self.cost,
+            layout: layout.clone(),
+            routers,
+            rr_next: 0,
+            joiners: FxHashMap::default(),
+            draining: Vec::new(),
+            historical: Vec::new(),
+            net: ChannelNet::new(self.delivery),
+            stats: EngineStats::shared(),
+            capture: None,
+            auto_pump: self.auto_pump,
+            now: 0,
+            scratch: Vec::new(),
+            config: self.config,
+        };
+        for (side, id) in layout.all_units() {
+            let joiner = engine.make_joiner(id, side, &frontiers);
+            engine.joiners.insert(id, joiner);
+        }
+        Ok(engine)
+    }
+}
+
+impl std::fmt::Debug for BicliqueEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BicliqueEngine")
+            .field("layout", &self.layout)
+            .field("routers", &self.routers.len())
+            .field("draining", &self.draining.len())
+            .field("now", &self.now)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bistream_types::predicate::JoinPredicate;
+    use bistream_types::value::Value;
+    use bistream_types::window::WindowSpec;
+
+    fn t(rel: Rel, ts: Ts, k: i64) -> Tuple {
+        Tuple::new(rel, ts, vec![Value::Int(k)])
+    }
+
+    fn cfg(routing: RoutingStrategy) -> EngineConfig {
+        EngineConfig {
+            r_joiners: 2,
+            s_joiners: 2,
+            predicate: JoinPredicate::Equi { r_attr: 0, s_attr: 0 },
+            window: WindowSpec::sliding(1_000),
+            routing,
+            archive_period_ms: 100,
+            punctuation_interval_ms: 20,
+            ordering: true,
+            seed: 1,
+        }
+    }
+
+    /// Feed matched pairs and check exactly-once results.
+    fn run_pairs(mut engine: BicliqueEngine, pairs: usize) -> Vec<JoinResult> {
+        engine.capture_results();
+        let mut now = 0;
+        for i in 0..pairs {
+            now = (i as Ts) * 10;
+            engine.ingest(&t(Rel::R, now, i as i64), now).unwrap();
+            engine.ingest(&t(Rel::S, now + 1, i as i64), now + 1).unwrap();
+            engine.punctuate(now + 2).unwrap();
+        }
+        engine.punctuate(now + 10).unwrap();
+        engine.take_captured()
+    }
+
+    #[test]
+    fn equi_join_exactly_once_under_all_strategies() {
+        for routing in [
+            RoutingStrategy::Random,
+            RoutingStrategy::Hash,
+            RoutingStrategy::ContRand { subgroups: 2 },
+        ] {
+            let engine = BicliqueEngine::new(cfg(routing)).unwrap();
+            let results = run_pairs(engine, 20);
+            assert_eq!(results.len(), 20, "{routing:?}: one result per matched pair");
+            // Each pair's key matches.
+            for r in &results {
+                assert_eq!(r.r.get(0), r.s.get(0));
+            }
+        }
+    }
+
+    #[test]
+    fn no_matches_across_different_keys() {
+        let mut engine = BicliqueEngine::new(cfg(RoutingStrategy::Hash)).unwrap();
+        engine.capture_results();
+        engine.ingest(&t(Rel::R, 0, 1), 0).unwrap();
+        engine.ingest(&t(Rel::S, 1, 2), 1).unwrap();
+        engine.punctuate(5).unwrap();
+        assert!(engine.take_captured().is_empty());
+    }
+
+    #[test]
+    fn window_bounds_matches() {
+        let mut engine = BicliqueEngine::new(cfg(RoutingStrategy::Hash)).unwrap();
+        engine.capture_results();
+        engine.ingest(&t(Rel::R, 0, 7), 0).unwrap();
+        engine.ingest(&t(Rel::S, 2_000, 7), 2_000).unwrap();
+        engine.punctuate(2_100).unwrap();
+        assert!(engine.take_captured().is_empty(), "2s apart, 1s window");
+    }
+
+    #[test]
+    fn results_are_exact_against_reference_join() {
+        // Random keys with repetition; compare against a brute-force join.
+        let mut engine = BicliqueEngine::builder(cfg(RoutingStrategy::ContRand { subgroups: 2 }))
+            .routers(2)
+            .build()
+            .unwrap();
+        engine.capture_results();
+        let mut tuples = Vec::new();
+        let mut now = 0;
+        for i in 0..200i64 {
+            now = i as Ts * 7;
+            let rel = if i % 2 == 0 { Rel::R } else { Rel::S };
+            let tup = t(rel, now, i % 13);
+            engine.ingest(&tup, now).unwrap();
+            tuples.push(tup);
+            if i % 5 == 0 {
+                engine.punctuate(now).unwrap();
+            }
+        }
+        engine.punctuate(now + 100).unwrap();
+        let mut got: Vec<_> = engine
+            .take_captured()
+            .iter()
+            .map(|r| r.identity())
+            .collect();
+        got.sort();
+        let mut expect = Vec::new();
+        for a in tuples.iter().filter(|x| x.rel() == Rel::R) {
+            for b in tuples.iter().filter(|x| x.rel() == Rel::S) {
+                if a.get(0) == b.get(0) && a.ts().abs_diff(b.ts()) <= 1_000 {
+                    expect.push(JoinResult::of(a.clone(), b.clone()).identity());
+                }
+            }
+        }
+        expect.sort();
+        assert_eq!(got.len(), expect.len(), "exactly-once, no dup/miss");
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn scale_out_mid_stream_loses_nothing() {
+        let mut engine = BicliqueEngine::new(cfg(RoutingStrategy::Hash)).unwrap();
+        engine.capture_results();
+        let mut expected = 0usize;
+        let mut now = 0;
+        for i in 0..30i64 {
+            now = i as Ts * 10;
+            engine.ingest(&t(Rel::R, now, i), now).unwrap();
+            if i == 15 {
+                let (added, removed) = engine.scale_to(Rel::R, 4, now).unwrap();
+                assert_eq!(added.len(), 2);
+                assert!(removed.is_empty());
+            }
+        }
+        // Probe every key; all 30 stored R tuples are within the window of
+        // their matching S tuple.
+        for i in 0..30i64 {
+            let ts = now + 1 + i as Ts;
+            engine.ingest(&t(Rel::S, ts, i), ts).unwrap();
+            expected += 1;
+        }
+        engine.punctuate(now + 100).unwrap();
+        let got = engine.take_captured();
+        assert_eq!(got.len(), expected, "pre-scale state still probed (historical layout)");
+    }
+
+    #[test]
+    fn scale_in_drains_without_losing_results() {
+        let mut engine = BicliqueEngine::new(cfg(RoutingStrategy::Random)).unwrap();
+        engine.capture_results();
+        // Store 20 R tuples across 2 units.
+        for i in 0..20i64 {
+            engine.ingest(&t(Rel::R, i as Ts, i), i as Ts).unwrap();
+        }
+        engine.punctuate(25).unwrap();
+        // Retire one R unit: it must drain, not vanish.
+        let (_, removed) = engine.scale_to(Rel::R, 1, 30).unwrap();
+        assert_eq!(removed.len(), 1);
+        assert_eq!(engine.draining_units(), 1);
+        // All 20 keys must still match.
+        for i in 0..20i64 {
+            let ts = 40 + i as Ts;
+            engine.ingest(&t(Rel::S, ts, i), ts).unwrap();
+        }
+        engine.punctuate(100).unwrap();
+        assert_eq!(engine.take_captured().len(), 20);
+        // After a full window passes, the drained unit retires.
+        engine.ingest(&t(Rel::S, 5_000, 999), 5_000).unwrap();
+        engine.punctuate(5_001).unwrap();
+        assert_eq!(engine.draining_units(), 0, "drained unit retired");
+    }
+
+    #[test]
+    fn communication_cost_matches_analytics() {
+        // Random: 1 store + m join copies per tuple.
+        let mut c = cfg(RoutingStrategy::Random);
+        c.r_joiners = 4;
+        c.s_joiners = 4;
+        let engine = BicliqueEngine::new(c).unwrap();
+        let results = run_pairs(engine, 10);
+        assert_eq!(results.len(), 10);
+        // Hash: exactly 2 copies per tuple.
+        let mut c = cfg(RoutingStrategy::Hash);
+        c.r_joiners = 4;
+        c.s_joiners = 4;
+        let mut engine = BicliqueEngine::new(c).unwrap();
+        for i in 0..10 {
+            engine.ingest(&t(Rel::R, i, i as i64), i).unwrap();
+        }
+        assert_eq!(engine.stats().copies_per_tuple(), 2.0);
+    }
+
+    #[test]
+    fn load_balance_metrics_exposed() {
+        let mut engine = BicliqueEngine::new(cfg(RoutingStrategy::Random)).unwrap();
+        for i in 0..100 {
+            engine.ingest(&t(Rel::R, i, i as i64), i).unwrap();
+        }
+        engine.punctuate(200).unwrap();
+        let stored = engine.stored_per_joiner(Rel::R);
+        assert_eq!(stored.len(), 2);
+        assert_eq!(stored.iter().sum::<u64>(), 100);
+        assert!(stored.iter().all(|&c| c > 20), "random spreads: {stored:?}");
+        assert!(engine.memory_bytes(Rel::R) > 0);
+        assert_eq!(engine.memory_bytes(Rel::S), 0);
+    }
+
+    #[test]
+    fn multiple_routers_preserve_exactly_once() {
+        let engine = BicliqueEngine::builder(cfg(RoutingStrategy::Random))
+            .routers(3)
+            .build()
+            .unwrap();
+        let results = run_pairs(engine, 30);
+        assert_eq!(results.len(), 30);
+    }
+
+    #[test]
+    fn router_tier_scales_out_and_in_without_corrupting_results() {
+        let mut engine = BicliqueEngine::new(cfg(RoutingStrategy::Random)).unwrap();
+        engine.capture_results();
+        let mut now = 0;
+        for i in 0..10i64 {
+            now = i as Ts * 10;
+            engine.ingest(&t(Rel::R, now, i), now).unwrap();
+            engine.ingest(&t(Rel::S, now, i), now).unwrap();
+        }
+        // Scale the router tier out mid-stream…
+        let new_router = engine.add_router();
+        assert_eq!(engine.routers(), 2);
+        assert_eq!(new_router, 1);
+        for i in 10..20i64 {
+            now = i as Ts * 10;
+            engine.ingest(&t(Rel::R, now, i), now).unwrap();
+            engine.ingest(&t(Rel::S, now, i), now).unwrap();
+        }
+        engine.punctuate(now + 1).unwrap();
+        // …and back in.
+        engine.remove_router().unwrap();
+        assert_eq!(engine.routers(), 1);
+        for i in 20..30i64 {
+            now = i as Ts * 10;
+            engine.ingest(&t(Rel::R, now, i), now).unwrap();
+            engine.ingest(&t(Rel::S, now, i), now).unwrap();
+        }
+        engine.punctuate(now + 1).unwrap();
+        engine.flush().unwrap();
+        assert_eq!(engine.take_captured().len(), 30, "one result per pair throughout");
+        assert!(engine.remove_router().is_err(), "last router cannot retire");
+    }
+
+    #[test]
+    fn removing_a_router_unblocks_the_watermark() {
+        // Two routers; only router 0 keeps punctuating after router 1
+        // retires. Without deregistration the watermark would stall.
+        let mut engine = BicliqueEngine::builder(cfg(RoutingStrategy::Random))
+            .routers(2)
+            .build()
+            .unwrap();
+        engine.capture_results();
+        for i in 0..10i64 {
+            engine.ingest(&t(Rel::R, i as Ts, i), i as Ts).unwrap();
+            engine.ingest(&t(Rel::S, i as Ts, i), i as Ts).unwrap();
+        }
+        engine.remove_router().unwrap();
+        // Only the surviving router punctuates from here on.
+        engine.punctuate(100).unwrap();
+        assert_eq!(engine.take_captured().len(), 10);
+    }
+
+    #[test]
+    fn subgroup_adjustment_keeps_matching_across_the_transition() {
+        let mut c = cfg(RoutingStrategy::ContRand { subgroups: 1 });
+        c.r_joiners = 4;
+        c.s_joiners = 4;
+        let mut engine = BicliqueEngine::new(c).unwrap();
+        engine.capture_results();
+        // Store 20 R tuples under d=1.
+        for i in 0..20i64 {
+            engine.ingest(&t(Rel::R, i as Ts, i), i as Ts).unwrap();
+        }
+        engine.set_subgroups(4, 25).unwrap();
+        // Probe all keys under d=4: historical-layout routing must still
+        // reach the tuples stored under d=1's placement.
+        for i in 0..20i64 {
+            let ts = 30 + i as Ts;
+            engine.ingest(&t(Rel::S, ts, i), ts).unwrap();
+        }
+        engine.punctuate(100).unwrap();
+        engine.flush().unwrap();
+        assert_eq!(engine.take_captured().len(), 20);
+        assert_eq!(engine.layout().subgroups(), 4);
+    }
+
+    #[test]
+    fn subgroup_adjustment_rejected_for_non_contrand() {
+        let mut engine = BicliqueEngine::new(cfg(RoutingStrategy::Hash)).unwrap();
+        assert!(engine.set_subgroups(2, 0).is_err());
+    }
+
+    #[test]
+    fn pod_meters_follow_scaling() {
+        let mut engine = BicliqueEngine::new(cfg(RoutingStrategy::Hash)).unwrap();
+        assert_eq!(engine.pod_meters(Rel::R).len(), 2);
+        engine.scale_to(Rel::R, 3, 0).unwrap();
+        let meters = engine.pod_meters(Rel::R);
+        assert_eq!(meters.len(), 3);
+        let ids: Vec<usize> = meters.iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids.len(), ids.iter().collect::<std::collections::HashSet<_>>().len());
+        assert_eq!(engine.replicas(Rel::R), 3);
+    }
+}

@@ -1,0 +1,382 @@
+//! The live threaded runtime: routers and joiners as OS threads
+//! communicating through the AMQP-model broker — the deployment shape of
+//! the original systems, scaled down into one process.
+//!
+//! Dataflow (mirroring the thesis's exchange/queue wiring):
+//!
+//! - the **ingest** topic exchange receives both relations; one shared
+//!   queue makes the router tier a competing-consumer group;
+//! - the **units** direct exchange fans copies out to one queue per
+//!   joiner (routing key = unit id), preserving pairwise FIFO per
+//!   router→joiner pair;
+//! - joiners consume their queue, run the ordering protocol and the
+//!   store/join branches, and bump the shared [`EngineStats`].
+//!
+//! The pipeline topology is fixed for its lifetime (dynamic scaling is the
+//! simulator's job); this runtime exists to measure real wall-clock
+//! throughput and latency (experiments E3, E10 and the criterion benches).
+
+use crate::config::EngineConfig;
+use crate::joiner::{JoinerCore, JoinerStats};
+use crate::layout::{JoinerId, Layout};
+use crate::router::{RoutedCopy, RouterCore};
+use crate::stats::{EngineSnapshot, EngineStats};
+use bistream_broker::{Broker, ExchangeKind, Message, RecvError};
+use bistream_cluster::CostModel;
+use bistream_types::error::{Error, Result};
+use bistream_types::punct::{RouterId, SeqNo, StreamMessage};
+use bistream_types::time::{Clock, Ts, WallClock};
+use bistream_types::tuple::Tuple;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Exchange receiving raw input tuples.
+const INGEST_EXCHANGE: &str = "tuple.exchange";
+/// Queue making routers a competing-consumer group.
+const INGEST_QUEUE: &str = "tuple.exchange.routers";
+/// Direct exchange fanning copies to unit queues.
+const UNITS_EXCHANGE: &str = "units.exchange";
+
+/// Configuration of the live pipeline.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Engine configuration (topology, predicate, window, ordering…).
+    pub engine: EngineConfig,
+    /// Router instances competing on the ingest queue.
+    pub routers: usize,
+    /// Ingest queue bound (backpressure point for the feeder).
+    pub ingest_capacity: usize,
+    /// Per-unit queue bound (backpressure point for routers).
+    pub unit_capacity: usize,
+    /// CPU cost model charged to joiner meters (observability only in
+    /// live mode — real CPU is spent regardless).
+    pub cost: CostModel,
+}
+
+impl PipelineConfig {
+    /// Defaults: 1 router, 8K/4K queue bounds, default cost model.
+    pub fn new(engine: EngineConfig) -> PipelineConfig {
+        PipelineConfig {
+            engine,
+            routers: 1,
+            ingest_capacity: 8_192,
+            unit_capacity: 4_096,
+            cost: CostModel::default(),
+        }
+    }
+}
+
+/// Final report of a pipeline run.
+#[derive(Debug, Clone)]
+pub struct PipelineReport {
+    /// Engine-wide counters.
+    pub snapshot: EngineSnapshot,
+    /// Per-joiner counters (unit order follows the layout).
+    pub joiners: Vec<JoinerStats>,
+    /// Wall-clock runtime from launch to finish, ms.
+    pub elapsed_ms: u64,
+}
+
+/// A running live pipeline.
+pub struct Pipeline {
+    broker: Broker,
+    stats: Arc<EngineStats>,
+    clock: Arc<WallClock>,
+    started: Instant,
+    router_handles: Vec<JoinHandle<Result<()>>>,
+    joiner_handles: Vec<JoinHandle<Result<JoinerStats>>>,
+    unit_queues: Vec<String>,
+}
+
+impl Pipeline {
+    /// Declare the topology on a fresh broker and launch all threads.
+    pub fn launch(config: PipelineConfig) -> Result<Pipeline> {
+        config.engine.validate()?;
+        let subgroups = match config.engine.routing {
+            crate::config::RoutingStrategy::ContRand { subgroups } => subgroups,
+            _ => 1,
+        };
+        let layout = Arc::new(Layout::new(
+            config.engine.r_joiners,
+            config.engine.s_joiners,
+            subgroups,
+        )?);
+        let broker = Broker::new();
+        broker.declare_exchange(INGEST_EXCHANGE, ExchangeKind::Topic)?;
+        broker.declare_exchange(UNITS_EXCHANGE, ExchangeKind::Direct)?;
+        broker.declare_queue(INGEST_QUEUE, config.ingest_capacity)?;
+        broker.bind(INGEST_EXCHANGE, INGEST_QUEUE, "#")?;
+
+        let stats = EngineStats::shared();
+        let clock = Arc::new(WallClock::new());
+        // Engine-wide sequence counter shared by all routers.
+        let seq = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let router_ids: Vec<(RouterId, SeqNo)> =
+            (0..config.routers.max(1)).map(|i| (i as RouterId, 0)).collect();
+
+        // Unit queues + joiner threads.
+        let mut unit_queues = Vec::new();
+        let mut joiner_handles = Vec::new();
+        for (side, id) in layout.all_units() {
+            let qname = unit_queue(id);
+            broker.declare_queue(&qname, config.unit_capacity)?;
+            broker.bind(UNITS_EXCHANGE, &qname, &unit_key(id))?;
+            unit_queues.push(qname.clone());
+            let consumer = broker.subscribe(&qname)?;
+            let mut joiner = JoinerCore::new(
+                id,
+                side,
+                config.engine.predicate.clone(),
+                config.engine.window,
+                config.engine.archive_period_ms,
+                config.engine.ordering,
+                &router_ids,
+                config.cost,
+            );
+            let stats = Arc::clone(&stats);
+            let clock = Arc::clone(&clock);
+            joiner_handles.push(std::thread::spawn(move || -> Result<JoinerStats> {
+                loop {
+                    match consumer.recv_timeout(Duration::from_millis(50)) {
+                        Ok(m) => {
+                            let mut payload = m.payload;
+                            let msg = StreamMessage::decode(&mut payload)?;
+                            joiner.handle(msg, &mut |result| {
+                                stats.results.inc();
+                                stats.latency_ms.record(clock.now().saturating_sub(result.ts));
+                            })?;
+                        }
+                        Err(RecvError::Timeout) => continue,
+                        Err(RecvError::Disconnected) => break,
+                    }
+                }
+                // Channel closed and drained: terminally flush whatever the
+                // final punctuations left buffered.
+                joiner.flush(&mut |result| {
+                    stats.results.inc();
+                    stats.latency_ms.record(clock.now().saturating_sub(result.ts));
+                })?;
+                Ok(joiner.stats())
+            }));
+        }
+
+        // Router threads.
+        let mut router_handles = Vec::new();
+        for (rid, _) in &router_ids {
+            let consumer = broker.subscribe(INGEST_QUEUE)?;
+            let mut core = RouterCore::new(
+                *rid,
+                config.engine.routing,
+                config.engine.predicate.clone(),
+                config.engine.seed,
+                Arc::clone(&seq),
+            );
+            let layout = Arc::clone(&layout);
+            let broker = broker.clone();
+            let stats = Arc::clone(&stats);
+            let punct_interval = Duration::from_millis(config.engine.punctuation_interval_ms);
+            router_handles.push(std::thread::spawn(move || -> Result<()> {
+                let mut copies: Vec<RoutedCopy> = Vec::new();
+                let mut last_punct = Instant::now();
+                let punctuate = |core: &mut RouterCore, copies: &mut Vec<RoutedCopy>| -> Result<()> {
+                    copies.clear();
+                    core.punctuate(&layout, copies);
+                    for c in copies.drain(..) {
+                        broker.publish(UNITS_EXCHANGE, Message::new(unit_key(c.dest), c.msg.encode()))?;
+                        stats.punctuations.inc();
+                    }
+                    Ok(())
+                };
+                loop {
+                    match consumer.recv_timeout(punct_interval) {
+                        Ok(m) => {
+                            let mut payload = m.payload;
+                            let tuple = Tuple::decode(&mut payload)?;
+                            stats.ingested.inc();
+                            copies.clear();
+                            core.route(&tuple, &layout, &mut copies)?;
+                            stats.copies.add(copies.len() as u64);
+                            for c in copies.drain(..) {
+                                broker.publish(
+                                    UNITS_EXCHANGE,
+                                    Message::new(unit_key(c.dest), c.msg.encode()),
+                                )?;
+                            }
+                        }
+                        Err(RecvError::Timeout) => {}
+                        Err(RecvError::Disconnected) => {
+                            punctuate(&mut core, &mut copies)?;
+                            return Ok(());
+                        }
+                    }
+                    if last_punct.elapsed() >= punct_interval {
+                        punctuate(&mut core, &mut copies)?;
+                        last_punct = Instant::now();
+                    }
+                }
+            }));
+        }
+
+        Ok(Pipeline {
+            broker,
+            stats,
+            clock,
+            started: Instant::now(),
+            router_handles,
+            joiner_handles,
+            unit_queues,
+        })
+    }
+
+    /// Wall-clock "now" of this pipeline (for stamping input tuples so
+    /// latency is measurable).
+    pub fn now(&self) -> Ts {
+        self.clock.now()
+    }
+
+    /// Feed one tuple (blocking when the ingest queue is full).
+    pub fn ingest(&self, tuple: &Tuple) -> Result<()> {
+        let key = format!("{}.in", tuple.rel());
+        self.broker.publish(INGEST_EXCHANGE, Message::new(key, tuple.encode()))?;
+        Ok(())
+    }
+
+    /// Live counters (sampleable while running).
+    pub fn stats(&self) -> EngineSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Broker management view (queue depths etc.).
+    pub fn broker_stats(&self) -> bistream_broker::BrokerStats {
+        self.broker.stats()
+    }
+
+    /// Stop feeding, drain everything, join all threads and report.
+    pub fn finish(self) -> Result<PipelineReport> {
+        // 1. Close the ingest tier: routers drain then see Disconnected
+        //    and emit a final punctuation.
+        self.broker.delete_queue(INGEST_QUEUE)?;
+        for h in self.router_handles {
+            h.join().map_err(|_| Error::Closed)??;
+        }
+        // 2. Close the unit tier: joiners drain (data + final puncts).
+        for q in &self.unit_queues {
+            self.broker.delete_queue(q)?;
+        }
+        let mut joiners = Vec::new();
+        for h in self.joiner_handles {
+            joiners.push(h.join().map_err(|_| Error::Closed)??);
+        }
+        Ok(PipelineReport {
+            snapshot: self.stats.snapshot(),
+            joiners,
+            elapsed_ms: self.started.elapsed().as_millis() as u64,
+        })
+    }
+}
+
+fn unit_queue(id: JoinerId) -> String {
+    format!("unit.{}", id.0)
+}
+
+fn unit_key(id: JoinerId) -> String {
+    format!("{}", id.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RoutingStrategy;
+    use bistream_types::rel::Rel;
+    use bistream_types::value::Value;
+
+    fn config(routing: RoutingStrategy, ordering: bool) -> PipelineConfig {
+        let mut engine = EngineConfig::default_equi();
+        engine.routing = routing;
+        engine.ordering = ordering;
+        engine.window = bistream_types::window::WindowSpec::sliding(60_000);
+        let mut c = PipelineConfig::new(engine);
+        c.routers = 2;
+        c
+    }
+
+    fn feed_pairs(p: &Pipeline, pairs: usize) {
+        for i in 0..pairs {
+            let now = p.now();
+            p.ingest(&Tuple::new(Rel::R, now, vec![Value::Int(i as i64)])).unwrap();
+            p.ingest(&Tuple::new(Rel::S, now, vec![Value::Int(i as i64)])).unwrap();
+        }
+    }
+
+    #[test]
+    fn live_pipeline_produces_every_match_exactly_once() {
+        let p = Pipeline::launch(config(RoutingStrategy::Hash, true)).unwrap();
+        feed_pairs(&p, 500);
+        // Allow punctuation cycles to flush.
+        std::thread::sleep(Duration::from_millis(150));
+        let report = p.finish().unwrap();
+        assert_eq!(report.snapshot.ingested, 1_000);
+        assert_eq!(report.snapshot.results, 500, "exactly one result per pair");
+        let total_stored: u64 = report.joiners.iter().map(|j| j.stored).sum();
+        assert_eq!(total_stored, 1_000);
+        assert!(report.snapshot.latency.count > 0);
+    }
+
+    #[test]
+    fn random_routing_matches_too() {
+        let p = Pipeline::launch(config(RoutingStrategy::Random, true)).unwrap();
+        feed_pairs(&p, 200);
+        std::thread::sleep(Duration::from_millis(150));
+        let report = p.finish().unwrap();
+        assert_eq!(report.snapshot.results, 200);
+        // Random join stream broadcasts: copies/tuple = 1 + 2.
+        assert!((report.snapshot.copies_per_tuple() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn contrand_routing_works_live() {
+        let mut c = config(RoutingStrategy::ContRand { subgroups: 2 }, true);
+        c.engine.r_joiners = 4;
+        c.engine.s_joiners = 4;
+        let p = Pipeline::launch(c).unwrap();
+        feed_pairs(&p, 300);
+        std::thread::sleep(Duration::from_millis(150));
+        let report = p.finish().unwrap();
+        assert_eq!(report.snapshot.results, 300);
+        // ContRand d=2 over 4 units/side: 1 store + 2 join copies.
+        assert!((report.snapshot.copies_per_tuple() - 3.0).abs() < 1e-9);
+        // Both subgroups' units stored something.
+        let active_units = report.joiners.iter().filter(|j| j.stored > 0).count();
+        assert!(active_units >= 4, "stores spread across subgroups: {active_units}");
+    }
+
+    #[test]
+    fn ordering_disabled_still_flows_live() {
+        // Without the protocol the live pipeline is best-effort; with one
+        // router and uncontended queues the happy path still joins.
+        let p = Pipeline::launch(config(RoutingStrategy::Hash, false)).unwrap();
+        feed_pairs(&p, 100);
+        std::thread::sleep(Duration::from_millis(100));
+        let report = p.finish().unwrap();
+        assert!(report.snapshot.results > 0);
+    }
+
+    #[test]
+    fn finish_drains_without_feeding() {
+        let p = Pipeline::launch(config(RoutingStrategy::Hash, true)).unwrap();
+        let report = p.finish().unwrap();
+        assert_eq!(report.snapshot.ingested, 0);
+        assert_eq!(report.snapshot.results, 0);
+    }
+
+    #[test]
+    fn broker_stats_visible_while_running() {
+        let p = Pipeline::launch(config(RoutingStrategy::Hash, true)).unwrap();
+        let stats = p.broker_stats();
+        // ingest queue + 4 unit queues.
+        assert_eq!(stats.queues.len(), 5);
+        assert!(stats.exchanges.contains(&INGEST_EXCHANGE.to_string()));
+        p.finish().unwrap();
+    }
+}

@@ -1,0 +1,462 @@
+//! The joiner core: one processing unit of the biclique.
+//!
+//! A joiner serves exactly one side. Messages reach it through the reorder
+//! buffer (unless the ordering protocol is disabled) and split into the
+//! two execution branches of the model:
+//!
+//! - **Store branch** — own-relation tuples are inserted into the chained
+//!   in-memory index under their join key.
+//! - **Join branch** — opposite-relation tuples first trigger Theorem-1
+//!   discarding, then probe the index with the predicate's plan; every
+//!   match is emitted as a [`JoinResult`].
+//!
+//! Every operation charges the unit's [`ResourceMeter`] through the
+//! [`CostModel`], and the live-state byte count is pushed to the meter
+//! after every mutation — this is what the autoscaler sees.
+
+use crate::layout::JoinerId;
+use crate::ordering::{Released, ReorderBuffer};
+use bistream_cluster::{CostModel, ResourceMeter};
+use bistream_index::{ChainedIndex, IndexKind};
+use bistream_types::error::Result;
+use bistream_types::predicate::{JoinPredicate, ProbePlan};
+use bistream_types::punct::{Purpose, RouterId, SeqNo, StreamMessage};
+use bistream_types::rel::Rel;
+use bistream_types::time::Ts;
+use bistream_types::tuple::{JoinResult, Tuple};
+use bistream_types::value::Value;
+use bistream_types::window::WindowSpec;
+use serde::Serialize;
+use std::sync::Arc;
+
+/// Counters of one joiner.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct JoinerStats {
+    /// Tuples stored.
+    pub stored: u64,
+    /// Join-branch tuples processed.
+    pub probes: u64,
+    /// Key-matched candidates examined.
+    pub candidates: u64,
+    /// Join results emitted.
+    pub results: u64,
+    /// Tuples discarded by expiry.
+    pub expired: u64,
+}
+
+/// One processing unit of the biclique.
+pub struct JoinerCore {
+    id: JoinerId,
+    side: Rel,
+    predicate: JoinPredicate,
+    store_attr: usize,
+    index: ChainedIndex,
+    reorder: Option<ReorderBuffer>,
+    meter: Arc<ResourceMeter>,
+    cost: CostModel,
+    stats: JoinerStats,
+    /// Scratch buffer reused across handle() calls.
+    released: Vec<Released>,
+}
+
+impl JoinerCore {
+    /// Create a joiner for `side`.
+    ///
+    /// `ordering` enables the reorder buffer; `routers` lists the live
+    /// routers and their current counters so the buffer's watermark starts
+    /// correct (essential for units added by scale-out).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        id: JoinerId,
+        side: Rel,
+        predicate: JoinPredicate,
+        window: WindowSpec,
+        archive_period_ms: Ts,
+        ordering: bool,
+        routers: &[(RouterId, SeqNo)],
+        cost: CostModel,
+    ) -> JoinerCore {
+        let kind = IndexKind::for_predicate(&predicate);
+        let reorder = ordering.then(|| {
+            let mut buf = ReorderBuffer::new();
+            for &(r, seq) in routers {
+                buf.register_router(r, seq);
+            }
+            buf
+        });
+        let store_attr = predicate.attr_of(side);
+        JoinerCore {
+            id,
+            side,
+            predicate,
+            store_attr,
+            index: ChainedIndex::new(kind, window, archive_period_ms),
+            reorder,
+            meter: ResourceMeter::shared(),
+            cost,
+            stats: JoinerStats::default(),
+            released: Vec::new(),
+        }
+    }
+
+    /// This unit's id.
+    pub fn id(&self) -> JoinerId {
+        self.id
+    }
+
+    /// The side this unit stores.
+    pub fn side(&self) -> Rel {
+        self.side
+    }
+
+    /// The unit's resource meter (shared with the autoscaler).
+    pub fn meter(&self) -> Arc<ResourceMeter> {
+        Arc::clone(&self.meter)
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> JoinerStats {
+        self.stats
+    }
+
+    /// Live window state statistics.
+    pub fn index_stats(&self) -> bistream_index::ChainStats {
+        self.index.stats()
+    }
+
+    /// Reorder-buffer statistics, if the protocol is enabled.
+    pub fn reorder_stats(&self) -> Option<crate::ordering::ReorderStats> {
+        self.reorder.as_ref().map(|b| b.stats())
+    }
+
+    /// Register a router that appeared after this joiner was created.
+    pub fn register_router(&mut self, router: RouterId, frontier: SeqNo) {
+        if let Some(buf) = &mut self.reorder {
+            buf.register_router(router, frontier);
+        }
+    }
+
+    /// Deregister a retired router (after its final punctuation has been
+    /// processed), emitting anything the watermark shift releases.
+    pub fn deregister_router<F: FnMut(JoinResult)>(
+        &mut self,
+        router: RouterId,
+        emit: &mut F,
+    ) -> Result<()> {
+        if let Some(buf) = &mut self.reorder {
+            let mut released = std::mem::take(&mut self.released);
+            buf.deregister_router(router, &mut released);
+            for r in released.drain(..) {
+                self.process(r.purpose, r.tuple, emit)?;
+            }
+            self.released = released;
+            self.meter.set_memory_bytes(self.index.stats().bytes as u64);
+        }
+        Ok(())
+    }
+
+    /// Serialise this unit's stored window state (see
+    /// [`bistream_index::snapshot()`]). Buffered-but-unreleased tuples in
+    /// the reorder buffer are NOT included — snapshot at a quiesce point
+    /// (after a punctuation has drained the buffer) for a complete image.
+    pub fn snapshot_state(&self) -> bytes::Bytes {
+        bistream_index::snapshot(&self.index)
+    }
+
+    /// Restore stored window state from a snapshot taken by a unit with
+    /// the same predicate/window/period. Returns tuples restored.
+    pub fn restore_state(&mut self, blob: impl bytes::Buf) -> Result<usize> {
+        let n = bistream_index::restore(&mut self.index, blob)?;
+        self.meter.set_memory_bytes(self.index.stats().bytes as u64);
+        Ok(n)
+    }
+
+    /// Handle one incoming message, emitting any produced join results.
+    ///
+    /// With the ordering protocol on, data messages may be buffered and
+    /// processed later (on a punctuation); the emit callback therefore
+    /// fires zero or more times per call.
+    pub fn handle<F: FnMut(JoinResult)>(&mut self, msg: StreamMessage, emit: &mut F) -> Result<()> {
+        self.meter.charge_cpu_us(self.cost.ingest_us);
+        match &mut self.reorder {
+            Some(buf) => {
+                debug_assert!(self.released.is_empty());
+                let mut released = std::mem::take(&mut self.released);
+                buf.offer(msg, &mut released);
+                for r in released.drain(..) {
+                    self.process(r.purpose, r.tuple, emit)?;
+                }
+                self.released = released;
+            }
+            None => {
+                if let StreamMessage::Data { purpose, tuple, .. } = msg {
+                    self.process(purpose, tuple, emit)?;
+                }
+            }
+        }
+        self.meter.set_memory_bytes(self.index.stats().bytes as u64);
+        Ok(())
+    }
+
+    /// Terminal flush of the reorder buffer: process everything still
+    /// buffered, in global order. Call only after the unit's channel is
+    /// closed and drained (shutdown/retirement) — see
+    /// [`crate::ordering::ReorderBuffer::flush`].
+    pub fn flush<F: FnMut(JoinResult)>(&mut self, emit: &mut F) -> Result<()> {
+        if let Some(buf) = &mut self.reorder {
+            let mut released = std::mem::take(&mut self.released);
+            buf.flush(&mut released);
+            for r in released.drain(..) {
+                self.process(r.purpose, r.tuple, emit)?;
+            }
+            self.released = released;
+            self.meter.set_memory_bytes(self.index.stats().bytes as u64);
+        }
+        Ok(())
+    }
+
+    fn process<F: FnMut(JoinResult)>(
+        &mut self,
+        purpose: Purpose,
+        tuple: Tuple,
+        emit: &mut F,
+    ) -> Result<()> {
+        match purpose {
+            Purpose::Store => self.store(tuple),
+            Purpose::Join => self.join(tuple, emit),
+        }
+    }
+
+    fn store(&mut self, tuple: Tuple) -> Result<()> {
+        debug_assert_eq!(tuple.rel(), self.side, "store copy on the wrong side");
+        let key = self.key_of(&tuple)?;
+        self.index.insert(key, tuple);
+        self.stats.stored += 1;
+        self.meter.charge_cpu_us(self.cost.insert_us);
+        Ok(())
+    }
+
+    fn join<F: FnMut(JoinResult)>(&mut self, probe: Tuple, emit: &mut F) -> Result<()> {
+        debug_assert_eq!(probe.rel(), self.side.opposite(), "join copy on the wrong side");
+        // Theorem-1 discarding first: the incoming opposite-side timestamp
+        // is the expiry witness.
+        let before = self.index.stats().expired_sub_indexes;
+        let dropped = self.index.expire(probe.ts());
+        self.stats.expired += dropped as u64;
+        let sub_dropped = self.index.stats().expired_sub_indexes - before;
+        if sub_dropped > 0 {
+            self.meter
+                .charge_cpu_us(self.cost.expire_subindex_us * sub_dropped as f64);
+        }
+
+        let plan = self.predicate.probe_plan(&probe)?;
+        // Band plans use float arithmetic for their bounds; re-verify the
+        // predicate on candidates for exactness. FullScan plans are only
+        // key-complete, so they always re-verify.
+        let verify = matches!(
+            (&plan, &self.predicate),
+            (ProbePlan::FullScan, _) | (_, JoinPredicate::Band { .. })
+        );
+        let mut matched: Vec<Tuple> = Vec::new();
+        let stats = self.index.probe(&plan, probe.ts(), |stored| {
+            matched.push(stored.clone());
+        });
+        let mut results = 0usize;
+        for stored in matched {
+            if verify && !self.predicate.matches(&stored, &probe)? {
+                continue;
+            }
+            results += 1;
+            emit(JoinResult::of(stored, probe.clone()));
+        }
+        self.stats.probes += 1;
+        self.stats.candidates += stats.candidates as u64;
+        self.stats.results += results as u64;
+        self.meter
+            .charge_cpu_us(self.cost.probe_cost_us(stats.candidates, results));
+        Ok(())
+    }
+
+    fn key_of(&self, tuple: &Tuple) -> Result<Value> {
+        match self.predicate {
+            JoinPredicate::Cross => Ok(Value::Null),
+            _ => Ok(tuple.require(self.store_attr)?.clone()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bistream_types::punct::Punctuation;
+
+    fn joiner(side: Rel, ordering: bool) -> JoinerCore {
+        JoinerCore::new(
+            JoinerId(0),
+            side,
+            JoinPredicate::Equi { r_attr: 0, s_attr: 0 },
+            WindowSpec::sliding(1_000),
+            100,
+            ordering,
+            &[(0, 0)],
+            CostModel::default(),
+        )
+    }
+
+    fn data(seq: SeqNo, purpose: Purpose, rel: Rel, ts: Ts, k: i64) -> StreamMessage {
+        StreamMessage::Data {
+            router: 0,
+            seq,
+            purpose,
+            tuple: Tuple::new(rel, ts, vec![Value::Int(k)]),
+        }
+    }
+
+    fn punct(seq: SeqNo) -> StreamMessage {
+        StreamMessage::Punct(Punctuation { router: 0, seq })
+    }
+
+    #[test]
+    fn store_then_join_produces_result_without_ordering() {
+        let mut j = joiner(Rel::R, false);
+        let mut results = Vec::new();
+        j.handle(data(1, Purpose::Store, Rel::R, 10, 5), &mut |r| results.push(r))
+            .unwrap();
+        j.handle(data(2, Purpose::Join, Rel::S, 20, 5), &mut |r| results.push(r))
+            .unwrap();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].r.ts(), 10);
+        assert_eq!(results[0].s.ts(), 20);
+        assert_eq!(j.stats().results, 1);
+        assert_eq!(j.stats().stored, 1);
+    }
+
+    #[test]
+    fn ordering_buffers_until_punctuation_then_processes_in_seq_order() {
+        let mut j = joiner(Rel::R, true);
+        let mut results = Vec::new();
+        // Join copy (seq 2) arrives BEFORE the store copy (seq 1) — the
+        // missed-result race of Fig. 8(c). With ordering, the buffer fixes
+        // the order and the result is still produced.
+        j.handle(data(2, Purpose::Join, Rel::S, 20, 5), &mut |r| results.push(r))
+            .unwrap();
+        j.handle(data(1, Purpose::Store, Rel::R, 10, 5), &mut |r| results.push(r))
+            .unwrap();
+        assert!(results.is_empty(), "buffered until punctuation");
+        j.handle(punct(2), &mut |r| results.push(r)).unwrap();
+        assert_eq!(results.len(), 1, "store processed before join despite arrival order");
+    }
+
+    #[test]
+    fn without_ordering_the_race_loses_the_result() {
+        let mut j = joiner(Rel::R, false);
+        let mut results = Vec::new();
+        j.handle(data(2, Purpose::Join, Rel::S, 20, 5), &mut |r| results.push(r))
+            .unwrap();
+        j.handle(data(1, Purpose::Store, Rel::R, 10, 5), &mut |r| results.push(r))
+            .unwrap();
+        assert!(results.is_empty(), "join probed an empty window: missed result");
+    }
+
+    #[test]
+    fn join_expires_stale_state_first() {
+        let mut j = joiner(Rel::R, false);
+        let mut sink = Vec::new();
+        // Fill several archive periods.
+        for ts in (0..500).step_by(50) {
+            j.handle(data(ts / 50 + 1, Purpose::Store, Rel::R, ts, 1), &mut |r| sink.push(r))
+                .unwrap();
+        }
+        let stored = j.index_stats().tuples;
+        assert_eq!(stored, 10);
+        // A join tuple far in the future expires everything archived.
+        j.handle(data(100, Purpose::Join, Rel::S, 10_000, 1), &mut |r| sink.push(r))
+            .unwrap();
+        assert!(sink.is_empty(), "window excludes everything");
+        assert!(j.stats().expired > 0);
+        assert!(j.index_stats().tuples < stored);
+    }
+
+    #[test]
+    fn band_predicate_verifies_candidates_exactly() {
+        let mut j = JoinerCore::new(
+            JoinerId(1),
+            Rel::S,
+            JoinPredicate::Band { r_attr: 0, s_attr: 0, band: 2.0 },
+            WindowSpec::sliding(1_000),
+            100,
+            false,
+            &[],
+            CostModel::default(),
+        );
+        let mut results = Vec::new();
+        for k in [1, 3, 6] {
+            j.handle(data(k as u64, Purpose::Store, Rel::S, 0, k), &mut |r| results.push(r))
+                .unwrap();
+        }
+        j.handle(data(9, Purpose::Join, Rel::R, 1, 4), &mut |r| results.push(r))
+            .unwrap();
+        // |4-1|=3 no, |4-3|=1 yes, |4-6|=2 yes (inclusive).
+        assert_eq!(results.len(), 2);
+        assert!(results.iter().all(|r| r.r.rel() == Rel::R && r.s.rel() == Rel::S));
+    }
+
+    #[test]
+    fn cross_predicate_joins_everything_in_window() {
+        let mut j = JoinerCore::new(
+            JoinerId(2),
+            Rel::R,
+            JoinPredicate::Cross,
+            WindowSpec::sliding(100),
+            10,
+            false,
+            &[],
+            CostModel::default(),
+        );
+        let mut results = Vec::new();
+        for (seq, ts) in [(1, 0), (2, 50), (3, 200)] {
+            j.handle(data(seq, Purpose::Store, Rel::R, ts, seq as i64), &mut |r| {
+                results.push(r)
+            })
+            .unwrap();
+        }
+        j.handle(data(4, Purpose::Join, Rel::S, 100, 99), &mut |r| results.push(r))
+            .unwrap();
+        // Window 100 around probe ts=100 covers ts 0,50,200.
+        assert_eq!(results.len(), 3);
+    }
+
+    #[test]
+    fn meter_charges_cpu_and_reports_memory() {
+        let mut j = joiner(Rel::R, false);
+        let meter = j.meter();
+        let mut sink = Vec::new();
+        j.handle(data(1, Purpose::Store, Rel::R, 0, 1), &mut |r| sink.push(r))
+            .unwrap();
+        assert!(meter.cpu_busy_us() > 0);
+        assert!(meter.memory_bytes() > 0);
+        let before = meter.memory_bytes();
+        j.handle(data(2, Purpose::Store, Rel::R, 1, 2), &mut |r| sink.push(r))
+            .unwrap();
+        assert!(meter.memory_bytes() > before);
+    }
+
+    #[test]
+    fn late_registered_router_participates_in_watermark() {
+        let mut j = joiner(Rel::R, true);
+        j.register_router(9, 5);
+        let mut results = Vec::new();
+        j.handle(data(6, Purpose::Store, Rel::R, 0, 1), &mut |r| results.push(r))
+            .unwrap();
+        j.handle(punct(6), &mut |r| results.push(r)).unwrap();
+        // Router 9's frontier is 5 < 6, so seq 6 from router 0 must wait…
+        assert_eq!(j.reorder_stats().unwrap().released, 0);
+        // …until router 9 punctuates past it.
+        j.handle(
+            StreamMessage::Punct(Punctuation { router: 9, seq: 6 }),
+            &mut |r| results.push(r),
+        )
+        .unwrap();
+        assert_eq!(j.reorder_stats().unwrap().released, 1);
+    }
+}

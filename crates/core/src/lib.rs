@@ -1,0 +1,60 @@
+//! The join-biclique distributed stream join engine (BiStream).
+//!
+//! A cluster of `n + m` processing units is organised as a complete
+//! bipartite graph: `n` **joiner** units store partitions of relation R,
+//! `m` store partitions of S. **Router** units ingest the interleaved
+//! input streams and send every tuple (a) to exactly one unit of its own
+//! side for *storage* and (b) to the unit(s) of the opposite side that may
+//! hold matching tuples for *join processing*. Routers and joiners only
+//! ever talk through the message substrate — no joiner-to-joiner edges —
+//! which is what makes the topology elastic: units can be added or retired
+//! without touching stored state.
+//!
+//! Module map:
+//!
+//! - [`config`] — engine configuration (sides, routing strategy, archive
+//!   period, punctuation interval).
+//! - [`layout`] — the mutable biclique topology: unit ids per side,
+//!   ContRand subgroups, scaling edits.
+//! - [`router`] — the routing core: Random, Hash (content-sensitive) and
+//!   ContRand strategies, sequence stamping, punctuation emission.
+//! - [`ordering`] — the joiner-side reorder buffer implementing the
+//!   order-consistent protocol over pairwise-FIFO channels.
+//! - [`joiner`] — the joiner core: store/join branches over the chained
+//!   in-memory index, Theorem-1 discarding, result emission, resource
+//!   charging.
+//! - [`delivery`] — simulated pairwise-FIFO channels with pluggable
+//!   (in-order or adversarial) schedulers.
+//! - [`engine`] — the assembled biclique for deterministic in-process
+//!   execution, including elastic scaling operations.
+//! - [`sim`] — the virtual-time driver for long-horizon experiments
+//!   (dynamic scaling, memory behaviour).
+//! - [`exec`] — the threaded live runtime over the broker substrate, for
+//!   wall-clock throughput/latency measurements.
+//! - [`cascade`] — multi-way joins as pipelines of binary bicliques.
+//! - [`query`] — a schema-aware query builder resolving named join
+//!   conditions into engine configurations.
+//! - [`stats`] — engine-wide observability.
+
+#![warn(missing_docs)]
+
+pub mod cascade;
+pub mod config;
+pub mod delivery;
+pub mod engine;
+pub mod exec;
+pub mod joiner;
+pub mod layout;
+pub mod ordering;
+pub mod query;
+pub mod router;
+pub mod sim;
+pub mod stats;
+
+pub use config::{EngineConfig, RoutingStrategy};
+pub use engine::BicliqueEngine;
+pub use joiner::JoinerCore;
+pub use layout::{JoinerId, Layout};
+pub use query::{JoinQuery, QueryBuilder};
+pub use router::RouterCore;
+pub use stats::EngineStats;

@@ -1,0 +1,418 @@
+//! The router core: strategy-driven tuple distribution with sequence
+//! stamping and punctuation emission.
+//!
+//! Routers are stateless with respect to stream *content* (they keep no
+//! window data) — all they own is a monotone sequence counter and a seeded
+//! RNG for random placement. That is why the router tier scales trivially
+//! (competing consumers on the ingest queue) and why recovering a router
+//! is cheap in the real systems.
+
+use crate::config::RoutingStrategy;
+use crate::layout::{JoinerId, Layout};
+use bistream_types::error::{Error, Result};
+use bistream_types::hash::{bucket_of, hash_one};
+use bistream_types::metrics::RateMeter;
+use bistream_types::predicate::JoinPredicate;
+use bistream_types::punct::{Punctuation, Purpose, RouterId, SeqNo, StreamMessage};
+use bistream_types::tuple::Tuple;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One message addressed to one joiner unit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutedCopy {
+    /// Destination unit.
+    pub dest: JoinerId,
+    /// The message to deliver.
+    pub msg: StreamMessage,
+}
+
+/// Communication-cost counters (experiment E11).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+pub struct RouterStats {
+    /// Tuples ingested and routed.
+    pub tuples: u64,
+    /// Data copies emitted (store + join).
+    pub copies: u64,
+    /// Punctuation messages emitted.
+    pub punctuations: u64,
+}
+
+impl RouterStats {
+    /// Mean data copies per routed tuple.
+    pub fn copies_per_tuple(&self) -> f64 {
+        if self.tuples == 0 {
+            0.0
+        } else {
+            self.copies as f64 / self.tuples as f64
+        }
+    }
+}
+
+/// The routing state machine of one router instance.
+///
+/// All routers of one engine share a single atomic sequence counter — this
+/// is what makes the order-consistent protocol's sequence truly *global*
+/// (Definition 7's `Z`). With per-router counters, a joiner's watermark
+/// (the minimum punctuation frontier across routers) would be pinned to
+/// the slowest router's private counter, stranding the faster routers'
+/// tails in the reorder buffers; with a shared counter, every router's
+/// punctuation reports the same clock and the watermark tracks the stream.
+#[derive(Debug)]
+pub struct RouterCore {
+    id: RouterId,
+    strategy: RoutingStrategy,
+    predicate: JoinPredicate,
+    seq: Arc<AtomicU64>,
+    rng: StdRng,
+    stats: RouterStats,
+    /// Input-rate statistics (the thesis assigns routers "statistics
+    /// related to input data, such as rate of events per second").
+    rate: RateMeter,
+}
+
+impl RouterCore {
+    /// A router with the given identity, strategy and placement seed,
+    /// drawing sequence numbers from the engine-shared `seq` counter.
+    pub fn new(
+        id: RouterId,
+        strategy: RoutingStrategy,
+        predicate: JoinPredicate,
+        seed: u64,
+        seq: Arc<AtomicU64>,
+    ) -> RouterCore {
+        RouterCore {
+            id,
+            strategy,
+            predicate,
+            seq,
+            rng: StdRng::seed_from_u64(seed ^ ((id as u64) << 32)),
+            stats: RouterStats::default(),
+            rate: RateMeter::new(10),
+        }
+    }
+
+    /// Convenience constructor for single-router setups and tests: a
+    /// private sequence counter.
+    pub fn standalone(
+        id: RouterId,
+        strategy: RoutingStrategy,
+        predicate: JoinPredicate,
+        seed: u64,
+    ) -> RouterCore {
+        Self::new(id, strategy, predicate, seed, Arc::new(AtomicU64::new(0)))
+    }
+
+    /// This router's identity.
+    pub fn id(&self) -> RouterId {
+        self.id
+    }
+
+    /// The latest sequence number visible on the shared counter. Used as
+    /// the punctuation value: every tuple this router has routed carries a
+    /// sequence ≤ this, and every future one will carry a greater one.
+    pub fn last_seq(&self) -> SeqNo {
+        self.seq.load(Ordering::SeqCst)
+    }
+
+    /// Communication counters.
+    pub fn stats(&self) -> RouterStats {
+        self.stats
+    }
+
+    /// Handle on the (shared) sequence counter — used by the engine to
+    /// mint additional routers against the same clock.
+    pub fn seq_counter(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.seq)
+    }
+
+    /// Switch routing strategy (subgroup adjustment changes ContRand's
+    /// `d` at runtime). Takes effect for the next routed tuple.
+    pub fn set_strategy(&mut self, strategy: RoutingStrategy) {
+        self.strategy = strategy;
+    }
+
+    /// This router's observed input rate (tuples/second, 10 s window
+    /// ending at `now_ms` of the tuple timebase).
+    pub fn observed_rate(&self, now_ms: u64) -> f64 {
+        self.rate.rate_per_sec(now_ms)
+    }
+
+    /// Route one ingested tuple against the current layout, appending the
+    /// store copy and all join copies to `out`.
+    ///
+    /// Every copy of the tuple carries the same freshly assigned sequence
+    /// number; the store copy is emitted first (an arbitrary but fixed
+    /// order — ordering across units is the reorder buffer's job).
+    pub fn route(&mut self, tuple: &Tuple, layout: &Layout, out: &mut Vec<RoutedCopy>) -> Result<()> {
+        let own = tuple.rel();
+        let seq = self.seq.fetch_add(1, Ordering::SeqCst) + 1;
+        self.stats.tuples += 1;
+        self.rate.record(tuple.ts());
+
+        let store_dest: JoinerId = match self.strategy {
+            RoutingStrategy::Random => {
+                let own_units = layout.units(own);
+                own_units[self.rng.gen_range(0..own_units.len())]
+            }
+            RoutingStrategy::Hash => {
+                let h = self.key_hash(tuple)?;
+                let own_units = layout.units(own);
+                own_units[bucket_of(h, own_units.len())]
+            }
+            RoutingStrategy::ContRand { subgroups } => {
+                let h = self.key_hash(tuple)?;
+                let g = bucket_of(h, subgroups);
+                let own_group: Vec<JoinerId> = layout.subgroup_units(own, g).collect();
+                if own_group.is_empty() {
+                    return Err(Error::Config(format!("subgroup {g} of side {own} is empty")));
+                }
+                own_group[self.rng.gen_range(0..own_group.len())]
+            }
+        };
+        let join_dests = join_dests(self.strategy, &self.predicate, tuple, layout)?;
+
+        out.push(RoutedCopy {
+            dest: store_dest,
+            msg: StreamMessage::Data {
+                router: self.id,
+                seq,
+                purpose: Purpose::Store,
+                tuple: tuple.clone(),
+            },
+        });
+        self.stats.copies += 1;
+        for dest in join_dests {
+            out.push(RoutedCopy {
+                dest,
+                msg: StreamMessage::Data {
+                    router: self.id,
+                    seq,
+                    purpose: Purpose::Join,
+                    tuple: tuple.clone(),
+                },
+            });
+            self.stats.copies += 1;
+        }
+        Ok(())
+    }
+
+    /// Emit a punctuation carrying the current counter to every unit of
+    /// both sides (joiners must hear from every router to advance their
+    /// watermark, even units this router never sent data to).
+    pub fn punctuate(&mut self, layout: &Layout, out: &mut Vec<RoutedCopy>) {
+        let p = Punctuation { router: self.id, seq: self.last_seq() };
+        for (_, dest) in layout.all_units() {
+            out.push(RoutedCopy { dest, msg: StreamMessage::Punct(p) });
+            self.stats.punctuations += 1;
+        }
+    }
+
+    fn key_hash(&self, tuple: &Tuple) -> Result<u64> {
+        key_hash(&self.predicate, tuple)
+    }
+}
+
+fn key_hash(predicate: &JoinPredicate, tuple: &Tuple) -> Result<u64> {
+    let key = predicate.routing_key(tuple).ok_or_else(|| {
+        Error::Config(format!(
+            "content-sensitive routing needs an equi key; predicate is {predicate}"
+        ))
+    })?;
+    Ok(hash_one(key))
+}
+
+/// The join-stream destinations of `tuple` under `strategy` against a
+/// given layout — a pure function of the tuple's key and the layout (no
+/// randomness), which is what allows the engine to re-evaluate it against
+/// *historical* layouts during scaling transitions: tuples stored under an
+/// old layout keep receiving probes until they expire, so scaling needs no
+/// state migration.
+pub fn join_dests(
+    strategy: RoutingStrategy,
+    predicate: &JoinPredicate,
+    tuple: &Tuple,
+    layout: &Layout,
+) -> Result<Vec<JoinerId>> {
+    let opp = tuple.rel().opposite();
+    Ok(match strategy {
+        RoutingStrategy::Random => layout.units(opp).to_vec(),
+        RoutingStrategy::Hash => {
+            let h = key_hash(predicate, tuple)?;
+            let opp_units = layout.units(opp);
+            vec![opp_units[bucket_of(h, opp_units.len())]]
+        }
+        RoutingStrategy::ContRand { subgroups } => {
+            let h = key_hash(predicate, tuple)?;
+            let g = bucket_of(h, subgroups);
+            layout.subgroup_units(opp, g).collect()
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bistream_types::rel::Rel;
+    use bistream_types::value::Value;
+
+    fn tuple(rel: Rel, k: i64) -> Tuple {
+        Tuple::new(rel, 0, vec![Value::Int(k)])
+    }
+
+    fn equi() -> JoinPredicate {
+        JoinPredicate::Equi { r_attr: 0, s_attr: 0 }
+    }
+
+    fn route_one(router: &mut RouterCore, layout: &Layout, t: &Tuple) -> Vec<RoutedCopy> {
+        let mut out = Vec::new();
+        router.route(t, layout, &mut out).unwrap();
+        out
+    }
+
+    fn stores_and_joins(copies: &[RoutedCopy]) -> (Vec<JoinerId>, Vec<JoinerId>) {
+        let mut stores = Vec::new();
+        let mut joins = Vec::new();
+        for c in copies {
+            match c.msg {
+                StreamMessage::Data { purpose: Purpose::Store, .. } => stores.push(c.dest),
+                StreamMessage::Data { purpose: Purpose::Join, .. } => joins.push(c.dest),
+                _ => {}
+            }
+        }
+        (stores, joins)
+    }
+
+    #[test]
+    fn random_stores_once_broadcasts_join_to_opposite_side() {
+        let layout = Layout::new(3, 4, 1).unwrap();
+        let mut r = RouterCore::standalone(0, RoutingStrategy::Random, equi(), 7);
+        let copies = route_one(&mut r, &layout, &tuple(Rel::R, 5));
+        let (stores, joins) = stores_and_joins(&copies);
+        assert_eq!(stores.len(), 1);
+        assert!(layout.units(Rel::R).contains(&stores[0]), "stored on own side");
+        let mut expect: Vec<_> = layout.units(Rel::S).to_vec();
+        let mut got = joins.clone();
+        expect.sort();
+        got.sort();
+        assert_eq!(got, expect, "join copy to every S unit");
+        assert_eq!(r.stats().copies, 5);
+        assert_eq!(r.stats().copies_per_tuple(), 5.0);
+    }
+
+    #[test]
+    fn hash_sends_exactly_two_copies_and_is_key_deterministic() {
+        let layout = Layout::new(4, 4, 1).unwrap();
+        let mut r = RouterCore::standalone(0, RoutingStrategy::Hash, equi(), 7);
+        let a = route_one(&mut r, &layout, &tuple(Rel::R, 42));
+        let b = route_one(&mut r, &layout, &tuple(Rel::R, 42));
+        assert_eq!(a.len(), 2);
+        let (sa, ja) = stores_and_joins(&a);
+        let (sb, jb) = stores_and_joins(&b);
+        assert_eq!((sa, ja.clone()), (sb, jb), "same key, same units");
+        // Matching S tuple's store unit is the R tuple's join unit.
+        let s_copies = route_one(&mut r, &layout, &tuple(Rel::S, 42));
+        let (s_store, _) = stores_and_joins(&s_copies);
+        assert_eq!(s_store, ja, "equi pair meets on one unit");
+    }
+
+    #[test]
+    fn contrand_confines_traffic_to_one_subgroup() {
+        let layout = Layout::new(6, 6, 3).unwrap();
+        let mut r = RouterCore::standalone(0, RoutingStrategy::ContRand { subgroups: 3 }, equi(), 7);
+        for k in 0..50 {
+            let copies = route_one(&mut r, &layout, &tuple(Rel::R, k));
+            let (stores, joins) = stores_and_joins(&copies);
+            // Store lands in the subgroup the key hashes to.
+            let g_store = layout.subgroup_of(Rel::R, stores[0]).unwrap();
+            let g_key = bucket_of(hash_one(&Value::Int(k)), 3);
+            assert_eq!(g_store, g_key);
+            // Join copies cover exactly the matching S subgroup.
+            let mut expect: Vec<_> = layout.subgroup_units(Rel::S, g_key).collect();
+            let mut got = joins.clone();
+            expect.sort();
+            got.sort();
+            assert_eq!(got, expect);
+            assert_eq!(copies.len(), 1 + expect.len(), "fan-out 1 + m/d");
+        }
+    }
+
+    #[test]
+    fn sequence_numbers_are_dense_and_shared_by_copies() {
+        let layout = Layout::new(2, 2, 1).unwrap();
+        let mut r = RouterCore::standalone(3, RoutingStrategy::Random, equi(), 7);
+        let first = route_one(&mut r, &layout, &tuple(Rel::R, 1));
+        let second = route_one(&mut r, &layout, &tuple(Rel::S, 2));
+        let seqs1: Vec<SeqNo> = first.iter().map(|c| c.msg.seq()).collect();
+        assert!(seqs1.iter().all(|&s| s == 1), "all copies share seq 1");
+        assert!(second.iter().all(|c| c.msg.seq() == 2));
+        assert!(second.iter().all(|c| c.msg.router() == 3));
+        assert_eq!(r.last_seq(), 2);
+    }
+
+    #[test]
+    fn punctuation_reaches_every_unit_of_both_sides() {
+        let layout = Layout::new(2, 3, 1).unwrap();
+        let mut r = RouterCore::standalone(0, RoutingStrategy::Random, equi(), 7);
+        let mut out = Vec::new();
+        r.route(&tuple(Rel::R, 1), &layout, &mut out).unwrap();
+        out.clear();
+        r.punctuate(&layout, &mut out);
+        assert_eq!(out.len(), 5);
+        assert!(out.iter().all(|c| matches!(c.msg, StreamMessage::Punct(p) if p.seq == 1)));
+        assert_eq!(r.stats().punctuations, 5);
+    }
+
+    #[test]
+    fn random_store_spreads_over_own_side() {
+        let layout = Layout::new(4, 1, 1).unwrap();
+        let mut r = RouterCore::standalone(0, RoutingStrategy::Random, equi(), 99);
+        let mut seen = std::collections::HashSet::new();
+        for k in 0..200 {
+            let copies = route_one(&mut r, &layout, &tuple(Rel::R, k));
+            let (stores, _) = stores_and_joins(&copies);
+            seen.insert(stores[0]);
+        }
+        assert_eq!(seen.len(), 4, "all four R units hit");
+    }
+
+    #[test]
+    fn router_tracks_input_rate() {
+        let layout = Layout::new(2, 2, 1).unwrap();
+        let mut r = RouterCore::standalone(0, RoutingStrategy::Random, equi(), 7);
+        let mut out = Vec::new();
+        // 200 tuples/second for 3 seconds of event time.
+        for ms in 0..3_000u64 {
+            if ms % 5 == 0 {
+                out.clear();
+                r.route(&Tuple::new(Rel::R, ms, vec![Value::Int(1)]), &layout, &mut out)
+                    .unwrap();
+            }
+        }
+        let rate = r.observed_rate(3_000);
+        assert!((rate - 200.0).abs() < 5.0, "rate {rate}");
+    }
+
+    #[test]
+    fn hash_without_equi_key_errors() {
+        let layout = Layout::new(2, 2, 1).unwrap();
+        let pred = JoinPredicate::Band { r_attr: 0, s_attr: 0, band: 1.0 };
+        let mut r = RouterCore::standalone(0, RoutingStrategy::Hash, pred, 7);
+        let mut out = Vec::new();
+        assert!(r.route(&tuple(Rel::R, 1), &layout, &mut out).is_err());
+    }
+
+    #[test]
+    fn routing_survives_layout_growth() {
+        let mut layout = Layout::new(2, 2, 1).unwrap();
+        let mut r = RouterCore::standalone(0, RoutingStrategy::Random, equi(), 7);
+        let before = route_one(&mut r, &layout, &tuple(Rel::R, 1));
+        assert_eq!(before.len(), 3);
+        layout.add_unit(Rel::S);
+        let after = route_one(&mut r, &layout, &tuple(Rel::R, 1));
+        assert_eq!(after.len(), 4, "join fan-out follows the layout");
+    }
+}

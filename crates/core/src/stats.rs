@@ -1,0 +1,149 @@
+//! Engine-wide observability.
+
+use bistream_types::metrics::{Counter, Histogram, HistogramSnapshot};
+use serde::Serialize;
+use std::sync::Arc;
+
+/// Shared counters for one engine instance (live or simulated). All fields
+/// are lock-free; the live runtime's threads bump them directly.
+#[derive(Debug, Default)]
+pub struct EngineStats {
+    /// Tuples ingested into the engine.
+    pub ingested: Counter,
+    /// Join results emitted (across all joiners).
+    pub results: Counter,
+    /// Data copies sent by routers (communication cost).
+    pub copies: Counter,
+    /// Punctuation messages sent.
+    pub punctuations: Counter,
+    /// Result latency in ms (event-time ingest → emit).
+    pub latency_ms: Histogram,
+}
+
+impl EngineStats {
+    /// A fresh stats block, shared.
+    pub fn shared() -> Arc<EngineStats> {
+        Arc::new(EngineStats::default())
+    }
+
+    /// Point-in-time summary.
+    pub fn snapshot(&self) -> EngineSnapshot {
+        EngineSnapshot {
+            ingested: self.ingested.get(),
+            results: self.results.get(),
+            copies: self.copies.get(),
+            punctuations: self.punctuations.get(),
+            latency: self.latency_ms.snapshot(),
+        }
+    }
+}
+
+/// Serializable summary of [`EngineStats`].
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct EngineSnapshot {
+    /// Tuples ingested.
+    pub ingested: u64,
+    /// Join results emitted.
+    pub results: u64,
+    /// Data copies sent (communication cost).
+    pub copies: u64,
+    /// Punctuations sent.
+    pub punctuations: u64,
+    /// Latency summary.
+    pub latency: HistogramSnapshot,
+}
+
+impl EngineSnapshot {
+    /// Mean data copies per ingested tuple — the communication-cost figure
+    /// compared against the analytic `p/2`, `√p`, `p/(2d)` in E11.
+    pub fn copies_per_tuple(&self) -> f64 {
+        if self.ingested == 0 {
+            0.0
+        } else {
+            self.copies as f64 / self.ingested as f64
+        }
+    }
+
+    /// Render in the Prometheus text exposition format, with an optional
+    /// `engine` label — the scrape endpoint payload an operator would
+    /// point their monitoring at (the role the RabbitMQ management API /
+    /// Heapster played in the original deployments).
+    pub fn prometheus_text(&self, engine_label: &str) -> String {
+        let l = if engine_label.is_empty() {
+            String::new()
+        } else {
+            format!("{{engine=\"{engine_label}\"}}")
+        };
+        let mut out = String::new();
+        let mut metric = |name: &str, help: &str, kind: &str, value: String| {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} {kind}\n{name}{l} {value}\n"
+            ));
+        };
+        metric("bistream_tuples_ingested_total", "Tuples ingested", "counter", self.ingested.to_string());
+        metric("bistream_join_results_total", "Join results emitted", "counter", self.results.to_string());
+        metric("bistream_copies_total", "Data copies routed", "counter", self.copies.to_string());
+        metric(
+            "bistream_punctuations_total",
+            "Punctuation messages sent",
+            "counter",
+            self.punctuations.to_string(),
+        );
+        metric(
+            "bistream_result_latency_ms_p50",
+            "Median result latency",
+            "gauge",
+            self.latency.p50.to_string(),
+        );
+        metric(
+            "bistream_result_latency_ms_p99",
+            "99th percentile result latency",
+            "gauge",
+            self.latency.p99.to_string(),
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_counters() {
+        let s = EngineStats::default();
+        s.ingested.add(10);
+        s.copies.add(35);
+        s.results.inc();
+        s.latency_ms.record(8);
+        let snap = s.snapshot();
+        assert_eq!(snap.ingested, 10);
+        assert_eq!(snap.results, 1);
+        assert_eq!(snap.copies_per_tuple(), 3.5);
+        assert_eq!(snap.latency.count, 1);
+    }
+
+    #[test]
+    fn copies_per_tuple_handles_empty() {
+        let snap = EngineStats::default().snapshot();
+        assert_eq!(snap.copies_per_tuple(), 0.0);
+    }
+
+    #[test]
+    fn prometheus_text_is_well_formed() {
+        let s = EngineStats::default();
+        s.ingested.add(3);
+        s.results.add(2);
+        let text = s.snapshot().prometheus_text("join1");
+        assert!(text.contains("# TYPE bistream_tuples_ingested_total counter"));
+        assert!(text.contains("bistream_tuples_ingested_total{engine=\"join1\"} 3"));
+        assert!(text.contains("bistream_join_results_total{engine=\"join1\"} 2"));
+        // Every metric line follows a HELP and TYPE line.
+        let metric_lines = text.lines().filter(|l| !l.starts_with('#')).count();
+        let help_lines = text.lines().filter(|l| l.starts_with("# HELP")).count();
+        assert_eq!(metric_lines, help_lines);
+        // No label block when the label is empty.
+        let unlabelled = s.snapshot().prometheus_text("");
+        assert!(unlabelled.contains("bistream_tuples_ingested_total 3"));
+    }
+}

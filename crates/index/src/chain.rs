@@ -1,0 +1,376 @@
+//! The chained in-memory index proper.
+
+use crate::sub::{IndexKind, SubIndex, ENTRY_OVERHEAD_BYTES};
+use bistream_types::predicate::ProbePlan;
+use bistream_types::time::Ts;
+use bistream_types::tuple::Tuple;
+use bistream_types::value::Value;
+use bistream_types::window::WindowSpec;
+use serde::Serialize;
+use std::collections::VecDeque;
+
+/// One link of the chain: a sub-index plus the timestamp span of its
+/// contents.
+#[derive(Debug)]
+struct Link {
+    index: SubIndex,
+    /// Smallest tuple timestamp stored (meaningful once `count > 0`).
+    min_ts: Ts,
+    /// Largest tuple timestamp stored.
+    max_ts: Ts,
+    count: usize,
+    bytes: usize,
+}
+
+impl Link {
+    fn new(kind: IndexKind) -> Link {
+        Link { index: SubIndex::new(kind), min_ts: Ts::MAX, max_ts: 0, count: 0, bytes: 0 }
+    }
+
+    fn insert(&mut self, key: Value, tuple: Tuple) {
+        self.min_ts = self.min_ts.min(tuple.ts());
+        self.max_ts = self.max_ts.max(tuple.ts());
+        self.count += 1;
+        self.bytes += tuple.size_bytes() + ENTRY_OVERHEAD_BYTES;
+        self.index.insert(key, tuple);
+    }
+}
+
+/// Cost/result statistics of one probe, fed to the joiner's CPU model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct ProbeStats {
+    /// Key-matched candidates visited (incl. out-of-window ones).
+    pub candidates: usize,
+    /// Candidates that passed the pairwise window check and were yielded.
+    pub in_window: usize,
+    /// Sub-indexes touched by the probe.
+    pub sub_indexes: usize,
+}
+
+/// Point-in-time statistics of the chain, fed to memory metrics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct ChainStats {
+    /// Live tuples stored (active + archived).
+    pub tuples: usize,
+    /// Accounted bytes of live state.
+    pub bytes: usize,
+    /// Number of sub-indexes (1 active + archived).
+    pub sub_indexes: usize,
+    /// Tuples discarded by expiry so far.
+    pub expired_tuples: u64,
+    /// Sub-indexes discarded by expiry so far.
+    pub expired_sub_indexes: u64,
+}
+
+/// The chained in-memory index: an active sub-index receiving inserts and
+/// a FIFO chain of archived sub-indexes awaiting wholesale expiry.
+///
+/// ```
+/// use bistream_index::{ChainedIndex, IndexKind};
+/// use bistream_types::{predicate::ProbePlan, rel::Rel, tuple::Tuple,
+///                      value::Value, window::WindowSpec};
+///
+/// let mut index = ChainedIndex::new(IndexKind::Hash, WindowSpec::sliding(1_000), 100);
+/// index.insert(Value::Int(7), Tuple::new(Rel::R, 50, vec![Value::Int(7)]));
+/// let mut hits = 0;
+/// index.probe(&ProbePlan::ExactKey(Value::Int(7)), 60, |_| hits += 1);
+/// assert_eq!(hits, 1);
+/// // A much later insert seals the active sub-index into the chain…
+/// index.insert(Value::Int(8), Tuple::new(Rel::R, 5_000, vec![Value::Int(8)]));
+/// // …and an opposite-side arrival a window later expires the old one.
+/// assert_eq!(index.expire(2_000), 1);
+/// index.probe(&ProbePlan::ExactKey(Value::Int(7)), 2_000, |_| unreachable!());
+/// ```
+#[derive(Debug)]
+pub struct ChainedIndex {
+    kind: IndexKind,
+    window: WindowSpec,
+    /// Archive period `P` in milliseconds: the timestamp span after which
+    /// the active sub-index is sealed.
+    period: Ts,
+    active: Link,
+    /// Archived links, oldest first.
+    archived: VecDeque<Link>,
+    expired_tuples: u64,
+    expired_sub_indexes: u64,
+}
+
+impl ChainedIndex {
+    /// Create a chain for `kind` over `window`, sealing the active
+    /// sub-index every `period` milliseconds of timestamp span.
+    ///
+    /// A `period` of zero is treated as 1 (each timestamp tick gets its own
+    /// sub-index); callers wanting the single-index behaviour should use
+    /// [`crate::naive::NaiveWindowIndex`] instead.
+    pub fn new(kind: IndexKind, window: WindowSpec, period: Ts) -> ChainedIndex {
+        ChainedIndex {
+            kind,
+            window,
+            period: period.max(1),
+            active: Link::new(kind),
+            archived: VecDeque::new(),
+            expired_tuples: 0,
+            expired_sub_indexes: 0,
+        }
+    }
+
+    /// The window this chain enforces.
+    pub fn window(&self) -> WindowSpec {
+        self.window
+    }
+
+    /// The archive period `P`.
+    pub fn period(&self) -> Ts {
+        self.period
+    }
+
+    /// **Data indexing**: store `tuple` under `key`.
+    ///
+    /// The tuple enters the active sub-index; if that widens the active
+    /// span beyond `P`, the active sub-index is sealed into the chain and a
+    /// fresh one is started *containing this tuple* — sealing happens
+    /// before insertion so each link's span never exceeds `P`.
+    pub fn insert(&mut self, key: Value, tuple: Tuple) {
+        if self.active.count > 0 {
+            let span_after = self
+                .active
+                .max_ts
+                .max(tuple.ts())
+                .saturating_sub(self.active.min_ts.min(tuple.ts()));
+            if span_after > self.period {
+                let sealed = std::mem::replace(&mut self.active, Link::new(self.kind));
+                self.archived.push_back(sealed);
+            }
+        }
+        self.active.insert(key, tuple);
+    }
+
+    /// **Data discarding** (Theorem 1 at sub-index granularity): drop every
+    /// archived sub-index whose newest tuple is more than one window older
+    /// than `incoming_ts` (the timestamp of an opposite-relation tuple just
+    /// received). Returns the number of tuples discarded.
+    ///
+    /// Only archived links are considered; the active link is still
+    /// receiving inserts and is never dropped wholesale.
+    pub fn expire(&mut self, incoming_ts: Ts) -> usize {
+        let mut dropped = 0usize;
+        while let Some(front) = self.archived.front() {
+            if front.count == 0 || self.window.is_expired(front.max_ts, incoming_ts) {
+                let link = self.archived.pop_front().expect("front checked");
+                dropped += link.count;
+                self.expired_tuples += link.count as u64;
+                self.expired_sub_indexes += 1;
+            } else {
+                // Links are archived in timestamp order under the ordering
+                // protocol, so the first live link ends the scan.
+                break;
+            }
+        }
+        dropped
+    }
+
+    /// **Join processing**: visit every stored tuple that key-matches
+    /// `plan` *and* is within one window of `probe_ts`, across the active
+    /// and all archived sub-indexes.
+    ///
+    /// The caller is responsible for any residual predicate check (only
+    /// needed for `FullScan` plans) and for calling [`expire`] first —
+    /// probing does not discard.
+    ///
+    /// [`expire`]: ChainedIndex::expire
+    pub fn probe<F: FnMut(&Tuple)>(&self, plan: &ProbePlan, probe_ts: Ts, mut f: F) -> ProbeStats {
+        let mut stats = ProbeStats::default();
+        let window = self.window;
+        for link in self.archived.iter().chain(std::iter::once(&self.active)) {
+            if link.count == 0 {
+                continue;
+            }
+            // Skip links entirely out of window scope (cheap span check).
+            if !window.in_scope(link.max_ts, probe_ts) && !window.in_scope(link.min_ts, probe_ts)
+            {
+                // The whole span is on one side of the window iff both ends
+                // are out on the same side; spans straddling the window
+                // would have one end in scope.
+                if link.max_ts < probe_ts || link.min_ts > probe_ts {
+                    continue;
+                }
+            }
+            stats.sub_indexes += 1;
+            stats.candidates += link.index.probe(plan, |t| {
+                if window.in_scope(t.ts(), probe_ts) {
+                    stats.in_window += 1;
+                    f(t);
+                }
+            });
+        }
+        stats
+    }
+
+    /// Visit every live `(key, tuple)` entry across the chain (archived
+    /// links first, then the active one) — snapshot support.
+    pub(crate) fn for_each_entry<F: FnMut(&Value, &Tuple)>(&self, mut f: F) {
+        for link in self.archived.iter().chain(std::iter::once(&self.active)) {
+            link.index.for_each_entry(&mut f);
+        }
+    }
+
+    /// Current size statistics.
+    pub fn stats(&self) -> ChainStats {
+        let (mut tuples, mut bytes) = (self.active.count, self.active.bytes);
+        for l in &self.archived {
+            tuples += l.count;
+            bytes += l.bytes;
+        }
+        ChainStats {
+            tuples,
+            bytes,
+            sub_indexes: 1 + self.archived.len(),
+            expired_tuples: self.expired_tuples,
+            expired_sub_indexes: self.expired_sub_indexes,
+        }
+    }
+
+    /// Live tuple count (active + archived).
+    pub fn len(&self) -> usize {
+        self.active.count + self.archived.iter().map(|l| l.count).sum::<usize>()
+    }
+
+    /// True if no live tuples are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bistream_types::rel::Rel;
+
+    fn t(ts: Ts, k: i64) -> Tuple {
+        Tuple::new(Rel::R, ts, vec![Value::Int(k)])
+    }
+
+    fn chain(window_ms: Ts, period: Ts) -> ChainedIndex {
+        ChainedIndex::new(IndexKind::Hash, WindowSpec::sliding(window_ms), period)
+    }
+
+    fn exact(k: i64) -> ProbePlan {
+        ProbePlan::ExactKey(Value::Int(k))
+    }
+
+    #[test]
+    fn inserts_accumulate_in_active_until_period_exceeded() {
+        let mut c = chain(1_000, 100);
+        for ts in [0, 50, 100] {
+            c.insert(Value::Int(1), t(ts, 1));
+        }
+        assert_eq!(c.stats().sub_indexes, 1, "span 100 == P stays active");
+        c.insert(Value::Int(1), t(101, 1));
+        assert_eq!(c.stats().sub_indexes, 2, "span 101 > P seals");
+        assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    fn probe_finds_matches_across_links_within_window() {
+        let mut c = chain(1_000, 10);
+        for ts in (0..100).step_by(20) {
+            c.insert(Value::Int(7), t(ts, 7));
+        }
+        let mut hits = 0;
+        let stats = c.probe(&exact(7), 100, |_| hits += 1);
+        assert_eq!(hits, 5);
+        assert_eq!(stats.in_window, 5);
+        assert!(stats.sub_indexes >= 2, "chain actually chained");
+        // A different key finds nothing.
+        let stats = c.probe(&exact(8), 100, |_| panic!("no match"));
+        assert_eq!(stats.in_window, 0);
+    }
+
+    #[test]
+    fn probe_applies_pairwise_window_check() {
+        let mut c = chain(100, 1_000); // everything stays in one active link
+        c.insert(Value::Int(1), t(0, 1));
+        c.insert(Value::Int(1), t(500, 1));
+        let mut hits = Vec::new();
+        c.probe(&exact(1), 550, |t| hits.push(t.ts()));
+        assert_eq!(hits, vec![500], "ts=0 is out of the 100ms window");
+    }
+
+    #[test]
+    fn expire_drops_whole_archived_links_only() {
+        let mut c = chain(100, 50);
+        // Three sealed links (~spans of 50) plus an active one.
+        for ts in (0..=300).step_by(25) {
+            c.insert(Value::Int(1), t(ts, 1));
+        }
+        let before = c.stats();
+        assert!(before.sub_indexes >= 3);
+        // Incoming opposite tuple at ts=400: links with max_ts < 300 die.
+        let dropped = c.expire(400);
+        assert!(dropped > 0);
+        let after = c.stats();
+        assert_eq!(after.tuples, before.tuples - dropped);
+        assert_eq!(after.expired_tuples, dropped as u64);
+        // Everything still stored is within `ts > 400 - 100 - P` roughly;
+        // at minimum, nothing younger than the window boundary was lost:
+        let mut live = Vec::new();
+        c.probe(&exact(1), 400, |t| live.push(t.ts()));
+        assert!(live.iter().all(|&ts| ts >= 300), "{live:?}");
+    }
+
+    #[test]
+    fn expire_never_touches_active_link() {
+        let mut c = chain(10, 1_000_000); // one giant active link
+        c.insert(Value::Int(1), t(0, 1));
+        c.insert(Value::Int(1), t(5, 1));
+        assert_eq!(c.expire(1_000), 0, "active link survives even if stale");
+        assert_eq!(c.len(), 2);
+        // …but probes filter its stale contents.
+        let mut hits = 0;
+        c.probe(&exact(1), 1_000, |_| hits += 1);
+        assert_eq!(hits, 0);
+    }
+
+    #[test]
+    fn full_history_window_never_expires() {
+        let mut c = ChainedIndex::new(IndexKind::Hash, WindowSpec::FullHistory, 100);
+        for ts in (0..1000).step_by(100) {
+            c.insert(Value::Int(1), t(ts, 1));
+        }
+        assert_eq!(c.expire(1_000_000), 0);
+        let mut hits = 0;
+        c.probe(&exact(1), 1_000_000, |_| hits += 1);
+        assert_eq!(hits, 10);
+    }
+
+    #[test]
+    fn memory_accounting_rises_and_falls() {
+        let mut c = chain(100, 20);
+        for ts in (0..=200).step_by(10) {
+            c.insert(Value::Int(1), t(ts, 1));
+        }
+        let peak = c.stats().bytes;
+        assert!(peak > 0);
+        c.expire(1_000);
+        let after = c.stats().bytes;
+        assert!(after < peak);
+        // Only the active link remains after a full-window expiry.
+        assert_eq!(c.stats().sub_indexes, 1);
+    }
+
+    #[test]
+    fn zero_period_is_clamped() {
+        let c = ChainedIndex::new(IndexKind::Hash, WindowSpec::sliding(10), 0);
+        assert_eq!(c.period(), 1);
+    }
+
+    #[test]
+    fn candidates_count_includes_out_of_window_hits() {
+        let mut c = chain(10, 1_000_000);
+        c.insert(Value::Int(1), t(0, 1));
+        c.insert(Value::Int(1), t(100, 1));
+        let stats = c.probe(&exact(1), 105, |_| {});
+        assert_eq!(stats.candidates, 2);
+        assert_eq!(stats.in_window, 1);
+    }
+}

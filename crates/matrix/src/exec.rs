@@ -1,0 +1,259 @@
+//! The threaded live pipeline for the join-matrix baseline — the
+//! counterpart of `bistream-core::exec`, so throughput/latency
+//! comparisons run both models on identical substrates (same broker, same
+//! thread-per-unit shape, same tuple codec).
+//!
+//! Topology: an **ingest** exchange feeds a competing-consumer group of
+//! assigner threads (the matrix's "routers": they pick the random
+//! row/column and replicate); a **cells** direct exchange fans copies to
+//! one queue per cell; each cell thread runs [`crate::grid`]'s cell logic.
+//! No ordering protocol is needed — each pair meets in exactly one cell,
+//! whose queue serialises the two arrivals.
+
+use crate::grid::MatrixConfig;
+use bistream_broker::{Broker, ExchangeKind, Message, RecvError};
+use bistream_cluster::CostModel;
+use bistream_core::stats::{EngineSnapshot, EngineStats};
+use bistream_types::error::{Error, Result};
+use bistream_types::rel::Rel;
+use bistream_types::time::{Clock, Ts, WallClock};
+use bistream_types::tuple::Tuple;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+const INGEST_EXCHANGE: &str = "matrix.ingest";
+const INGEST_QUEUE: &str = "matrix.ingest.assigners";
+const CELLS_EXCHANGE: &str = "matrix.cells";
+
+/// Configuration of the live matrix pipeline.
+#[derive(Debug, Clone)]
+pub struct MatrixPipelineConfig {
+    /// The matrix configuration.
+    pub matrix: MatrixConfig,
+    /// Assigner threads competing on the ingest queue.
+    pub assigners: usize,
+    /// Ingest queue bound.
+    pub ingest_capacity: usize,
+    /// Per-cell queue bound.
+    pub cell_capacity: usize,
+    /// Cost model charged to cell meters.
+    pub cost: CostModel,
+}
+
+impl MatrixPipelineConfig {
+    /// Defaults: 1 assigner, 8K/4K bounds.
+    pub fn new(matrix: MatrixConfig) -> MatrixPipelineConfig {
+        MatrixPipelineConfig {
+            matrix,
+            assigners: 1,
+            ingest_capacity: 8_192,
+            cell_capacity: 4_096,
+            cost: CostModel::default(),
+        }
+    }
+}
+
+/// A running live matrix pipeline.
+pub struct MatrixPipeline {
+    broker: Broker,
+    stats: Arc<EngineStats>,
+    clock: Arc<WallClock>,
+    started: Instant,
+    assigner_handles: Vec<JoinHandle<Result<()>>>,
+    cell_handles: Vec<JoinHandle<Result<u64>>>,
+    cell_queues: Vec<String>,
+}
+
+impl MatrixPipeline {
+    /// Declare the topology and launch all threads.
+    pub fn launch(config: MatrixPipelineConfig) -> Result<MatrixPipeline> {
+        config.matrix.validate()?;
+        let (rows, cols) = (config.matrix.rows, config.matrix.cols);
+        let broker = Broker::new();
+        broker.declare_exchange(INGEST_EXCHANGE, ExchangeKind::Topic)?;
+        broker.declare_exchange(CELLS_EXCHANGE, ExchangeKind::Direct)?;
+        broker.declare_queue(INGEST_QUEUE, config.ingest_capacity)?;
+        broker.bind(INGEST_EXCHANGE, INGEST_QUEUE, "#")?;
+
+        let stats = EngineStats::shared();
+        let clock = Arc::new(WallClock::new());
+
+        // Cell queues and threads.
+        let mut cell_queues = Vec::new();
+        let mut cell_handles = Vec::new();
+        for idx in 0..rows * cols {
+            let qname = format!("cell.{idx}");
+            broker.declare_queue(&qname, config.cell_capacity)?;
+            broker.bind(CELLS_EXCHANGE, &qname, &idx.to_string())?;
+            cell_queues.push(qname.clone());
+            let consumer = broker.subscribe(&qname)?;
+            let mut cell = crate::grid::cell_for(&config.matrix);
+            let predicate = config.matrix.predicate.clone();
+            let cost = config.cost;
+            let stats = Arc::clone(&stats);
+            let clock = Arc::clone(&clock);
+            cell_handles.push(std::thread::spawn(move || -> Result<u64> {
+                let mut stored = 0u64;
+                loop {
+                    match consumer.recv_timeout(Duration::from_millis(50)) {
+                        Ok(m) => {
+                            let mut payload = m.payload;
+                            let tuple = Tuple::decode(&mut payload)?;
+                            cell.process(&tuple, &predicate, &cost, &mut |jr| {
+                                stats.results.inc();
+                                stats.latency_ms.record(clock.now().saturating_sub(jr.ts));
+                            })?;
+                            stored += 1;
+                        }
+                        Err(RecvError::Timeout) => continue,
+                        Err(RecvError::Disconnected) => break,
+                    }
+                }
+                Ok(stored)
+            }));
+        }
+
+        // Assigner threads.
+        let mut assigner_handles = Vec::new();
+        for a in 0..config.assigners.max(1) {
+            let consumer = broker.subscribe(INGEST_QUEUE)?;
+            let broker = broker.clone();
+            let stats = Arc::clone(&stats);
+            let mut rng = StdRng::seed_from_u64(config.matrix.seed ^ ((a as u64) << 24));
+            assigner_handles.push(std::thread::spawn(move || -> Result<()> {
+                loop {
+                    match consumer.recv_timeout(Duration::from_millis(50)) {
+                        Ok(m) => {
+                            let mut payload = m.payload.clone();
+                            let tuple = Tuple::decode(&mut payload)?;
+                            stats.ingested.inc();
+                            let targets: Vec<usize> = match tuple.rel() {
+                                Rel::R => {
+                                    let row = rng.gen_range(0..rows);
+                                    (0..cols).map(|c| row * cols + c).collect()
+                                }
+                                Rel::S => {
+                                    let col = rng.gen_range(0..cols);
+                                    (0..rows).map(|r| r * cols + col).collect()
+                                }
+                            };
+                            stats.copies.add(targets.len() as u64);
+                            for idx in targets {
+                                broker.publish(
+                                    CELLS_EXCHANGE,
+                                    Message::new(idx.to_string(), m.payload.clone()),
+                                )?;
+                            }
+                        }
+                        Err(RecvError::Timeout) => continue,
+                        Err(RecvError::Disconnected) => return Ok(()),
+                    }
+                }
+            }));
+        }
+
+        Ok(MatrixPipeline {
+            broker,
+            stats,
+            clock,
+            started: Instant::now(),
+            assigner_handles,
+            cell_handles,
+            cell_queues,
+        })
+    }
+
+    /// Wall-clock "now" for stamping input tuples.
+    pub fn now(&self) -> Ts {
+        self.clock.now()
+    }
+
+    /// Feed one tuple (blocking on backpressure).
+    pub fn ingest(&self, tuple: &Tuple) -> Result<()> {
+        let key = format!("{}.in", tuple.rel());
+        self.broker.publish(INGEST_EXCHANGE, Message::new(key, tuple.encode()))?;
+        Ok(())
+    }
+
+    /// Live counters.
+    pub fn stats(&self) -> EngineSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Stop feeding, drain, join threads and report.
+    pub fn finish(self) -> Result<MatrixReport> {
+        self.broker.delete_queue(INGEST_QUEUE)?;
+        for h in self.assigner_handles {
+            h.join().map_err(|_| Error::Closed)??;
+        }
+        for q in &self.cell_queues {
+            self.broker.delete_queue(q)?;
+        }
+        let mut stored_per_cell = Vec::new();
+        for h in self.cell_handles {
+            stored_per_cell.push(h.join().map_err(|_| Error::Closed)??);
+        }
+        Ok(MatrixReport {
+            snapshot: self.stats.snapshot(),
+            stored_per_cell,
+            elapsed_ms: self.started.elapsed().as_millis() as u64,
+        })
+    }
+}
+
+/// Final report of a matrix pipeline run.
+#[derive(Debug, Clone)]
+pub struct MatrixReport {
+    /// Engine-wide counters.
+    pub snapshot: EngineSnapshot,
+    /// Tuple copies processed per cell.
+    pub stored_per_cell: Vec<u64>,
+    /// Wall-clock runtime, ms.
+    pub elapsed_ms: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bistream_types::predicate::JoinPredicate;
+    use bistream_types::value::Value;
+    use bistream_types::window::WindowSpec;
+
+    fn config() -> MatrixPipelineConfig {
+        let mut c = MatrixPipelineConfig::new(MatrixConfig::square(
+            2,
+            JoinPredicate::Equi { r_attr: 0, s_attr: 0 },
+            WindowSpec::sliding(60_000),
+        ));
+        c.assigners = 2;
+        c
+    }
+
+    #[test]
+    fn live_matrix_joins_exactly_once() {
+        let p = MatrixPipeline::launch(config()).unwrap();
+        for i in 0..300i64 {
+            let now = p.now();
+            p.ingest(&Tuple::new(Rel::R, now, vec![Value::Int(i)])).unwrap();
+            p.ingest(&Tuple::new(Rel::S, now, vec![Value::Int(i)])).unwrap();
+        }
+        std::thread::sleep(Duration::from_millis(100));
+        let report = p.finish().unwrap();
+        assert_eq!(report.snapshot.ingested, 600);
+        assert_eq!(report.snapshot.results, 300);
+        // 2×2 square: 2 copies per tuple.
+        assert_eq!(report.snapshot.copies_per_tuple(), 2.0);
+        // All copies processed somewhere.
+        assert_eq!(report.stored_per_cell.iter().sum::<u64>(), 1_200);
+    }
+
+    #[test]
+    fn finish_without_feeding() {
+        let p = MatrixPipeline::launch(config()).unwrap();
+        let report = p.finish().unwrap();
+        assert_eq!(report.snapshot.results, 0);
+    }
+}

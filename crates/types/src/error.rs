@@ -1,0 +1,67 @@
+//! Error type shared across the workspace.
+
+use std::fmt;
+
+/// Convenience alias used throughout BiStream-RS.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced anywhere in the BiStream-RS stack.
+///
+/// The variants are deliberately coarse: fine-grained context travels in the
+/// message strings, while the variant communicates *which subsystem*
+/// rejected the operation so callers can match on recoverability.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A tuple, schema or predicate was malformed (e.g. attribute index out
+    /// of range, join attribute of a non-comparable type).
+    Schema(String),
+    /// Wire-format decoding failed (truncated buffer, unknown tag byte).
+    Codec(String),
+    /// A broker operation was invalid (unknown exchange, queue closed,
+    /// duplicate declaration with conflicting options).
+    Broker(String),
+    /// A topology/configuration error (zero joiners, subgroup count larger
+    /// than the side, duplicated unit ids).
+    Config(String),
+    /// The ordering protocol detected a violated invariant (non-monotonic
+    /// sequence numbers on a pairwise-FIFO channel).
+    Ordering(String),
+    /// A scaling operation was rejected (below min replicas, unit unknown).
+    Scaling(String),
+    /// The component has been shut down; no further work is accepted.
+    Closed,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Schema(m) => write!(f, "schema error: {m}"),
+            Error::Codec(m) => write!(f, "codec error: {m}"),
+            Error::Broker(m) => write!(f, "broker error: {m}"),
+            Error::Config(m) => write!(f, "config error: {m}"),
+            Error::Ordering(m) => write!(f, "ordering protocol error: {m}"),
+            Error::Scaling(m) => write!(f, "scaling error: {m}"),
+            Error::Closed => write!(f, "component is closed"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_subsystem_and_message() {
+        let e = Error::Broker("no such exchange `x`".into());
+        assert_eq!(e.to_string(), "broker error: no such exchange `x`");
+        assert_eq!(Error::Closed.to_string(), "component is closed");
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(Error::Closed, Error::Closed);
+        assert_ne!(Error::Closed, Error::Schema("x".into()));
+    }
+}

@@ -1,0 +1,36 @@
+//! Core domain types shared by every BiStream-RS crate.
+//!
+//! This crate is dependency-light by design: it defines the vocabulary of
+//! the system — streaming [`tuple::Tuple`]s over [`schema::Schema`]s,
+//! the [`time`] domain (including the virtual clock both harnesses run on),
+//! [`predicate::JoinPredicate`]s, [`window::WindowSpec`]s, the ordering
+//! protocol's [`punct::Punctuation`]s and sequence numbers, the
+//! deterministic [`hash`] used for content-sensitive routing, and the
+//! [`metrics`] primitives used to observe all of it.
+//!
+//! Nothing in here knows about brokers, joiners or clusters; those live in
+//! the downstream crates.
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod hash;
+pub mod metrics;
+pub mod predicate;
+pub mod punct;
+pub mod rel;
+pub mod schema;
+pub mod time;
+pub mod tuple;
+pub mod value;
+pub mod window;
+
+pub use error::{Error, Result};
+pub use predicate::JoinPredicate;
+pub use punct::{Punctuation, RouterId, SeqNo, StreamMessage};
+pub use rel::Rel;
+pub use schema::{Schema, TupleBuilder};
+pub use time::{Clock, Ts, VirtualClock};
+pub use tuple::Tuple;
+pub use value::Value;
+pub use window::WindowSpec;

@@ -1,0 +1,272 @@
+//! File/stream adapters: the edge where external data enters the system
+//! (the role of the thesis's *stream-service*).
+//!
+//! Format: one tuple per line, comma-separated —
+//! `rel,ts,attr0,attr1,…` — where `rel` is `R` or `S`, `ts` the event
+//! timestamp in ms, and attributes are parsed against a [`Schema`]
+//! (`Int`/`Float`/`Bool` literals, everything else taken as `Str`; the
+//! literal `\N` is `Null`). Deliberately minimal: no quoting or embedded
+//! commas — this is a workload adapter, not a CSV library.
+
+use bistream_types::error::{Error, Result};
+use bistream_types::rel::Rel;
+use bistream_types::schema::Schema;
+use bistream_types::tuple::{JoinResult, Tuple};
+use bistream_types::value::{Value, ValueType};
+use std::io::{BufRead, Write};
+
+/// Reads schema-typed tuples from a line-oriented source.
+#[derive(Debug, Clone)]
+pub struct CsvTupleReader {
+    r_schema: Schema,
+    s_schema: Schema,
+}
+
+impl CsvTupleReader {
+    /// A reader parsing R lines against `r_schema` and S lines against
+    /// `s_schema`.
+    pub fn new(r_schema: Schema, s_schema: Schema) -> CsvTupleReader {
+        CsvTupleReader { r_schema, s_schema }
+    }
+
+    /// Parse one line. Empty lines and `#` comments yield `None`.
+    pub fn parse_line(&self, line: &str) -> Result<Option<Tuple>> {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return Ok(None);
+        }
+        let mut fields = line.split(',');
+        let rel = match fields.next().map(str::trim) {
+            Some("R") => Rel::R,
+            Some("S") => Rel::S,
+            other => {
+                return Err(Error::Codec(format!(
+                    "line must start with R or S, got {other:?}"
+                )))
+            }
+        };
+        let ts: u64 = fields
+            .next()
+            .map(str::trim)
+            .ok_or_else(|| Error::Codec("missing timestamp field".into()))?
+            .parse()
+            .map_err(|e| Error::Codec(format!("bad timestamp: {e}")))?;
+        let schema = match rel {
+            Rel::R => &self.r_schema,
+            Rel::S => &self.s_schema,
+        };
+        let mut values = Vec::with_capacity(schema.arity());
+        for attr in schema.attributes() {
+            let raw = fields
+                .next()
+                .ok_or_else(|| {
+                    Error::Codec(format!(
+                        "line has too few attributes for `{}` (need {})",
+                        schema.name(),
+                        schema.arity()
+                    ))
+                })?
+                .trim();
+            values.push(parse_value(raw, attr.ty)?);
+        }
+        if fields.next().is_some() {
+            return Err(Error::Codec(format!(
+                "line has too many attributes for `{}`",
+                schema.name()
+            )));
+        }
+        schema.validate(&values)?;
+        Ok(Some(Tuple::new(rel, ts, values)))
+    }
+
+    /// Read every tuple from a buffered source, in order. Fails on the
+    /// first malformed line (with its 1-based line number in the error).
+    pub fn read_all<R: BufRead>(&self, reader: R) -> Result<Vec<Tuple>> {
+        let mut out = Vec::new();
+        for (i, line) in reader.lines().enumerate() {
+            let line = line.map_err(|e| Error::Codec(format!("io error: {e}")))?;
+            match self.parse_line(&line) {
+                Ok(Some(t)) => out.push(t),
+                Ok(None) => {}
+                Err(e) => return Err(Error::Codec(format!("line {}: {e}", i + 1))),
+            }
+        }
+        Ok(out)
+    }
+}
+
+fn parse_value(raw: &str, ty: ValueType) -> Result<Value> {
+    if raw == "\\N" {
+        return Ok(Value::Null);
+    }
+    Ok(match ty {
+        ValueType::Int => Value::Int(
+            raw.parse()
+                .map_err(|e| Error::Codec(format!("bad int `{raw}`: {e}")))?,
+        ),
+        ValueType::Float => Value::Float(
+            raw.parse()
+                .map_err(|e| Error::Codec(format!("bad float `{raw}`: {e}")))?,
+        ),
+        ValueType::Bool => match raw {
+            "true" | "1" => Value::Bool(true),
+            "false" | "0" => Value::Bool(false),
+            other => return Err(Error::Codec(format!("bad bool `{other}`"))),
+        },
+        ValueType::Str => Value::Str(raw.to_owned()),
+    })
+}
+
+/// Render one tuple as a line in the same format the reader accepts.
+pub fn tuple_to_line(t: &Tuple) -> String {
+    let mut out = format!("{},{}", t.rel(), t.ts());
+    for v in t.values() {
+        out.push(',');
+        match v {
+            Value::Null => out.push_str("\\N"),
+            Value::Str(s) => out.push_str(s),
+            Value::Int(i) => out.push_str(&i.to_string()),
+            Value::Float(f) => out.push_str(&f.to_string()),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        }
+    }
+    out
+}
+
+/// Writes join results as lines `ts,<r fields>|<s fields>`.
+#[derive(Debug)]
+pub struct ResultWriter<W: Write> {
+    sink: W,
+    written: u64,
+}
+
+impl<W: Write> ResultWriter<W> {
+    /// Wrap a sink.
+    pub fn new(sink: W) -> ResultWriter<W> {
+        ResultWriter { sink, written: 0 }
+    }
+
+    /// Write one result line.
+    pub fn write(&mut self, result: &JoinResult) -> Result<()> {
+        let r = tuple_to_line(&result.r);
+        let s = tuple_to_line(&result.s);
+        writeln!(self.sink, "{},{r}|{s}", result.ts)
+            .map_err(|e| Error::Codec(format!("io error: {e}")))?;
+        self.written += 1;
+        Ok(())
+    }
+
+    /// Results written so far.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Flush and return the sink.
+    pub fn finish(mut self) -> Result<W> {
+        self.sink
+            .flush()
+            .map_err(|e| Error::Codec(format!("io error: {e}")))?;
+        Ok(self.sink)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schemas() -> (Schema, Schema) {
+        (
+            Schema::new(
+                "orders",
+                vec![("id", ValueType::Int), ("amount", ValueType::Float), ("who", ValueType::Str)],
+            )
+            .unwrap(),
+            Schema::new("payments", vec![("id", ValueType::Int), ("ok", ValueType::Bool)]).unwrap(),
+        )
+    }
+
+    #[test]
+    fn parses_typed_lines_per_relation() {
+        let (r, s) = schemas();
+        let reader = CsvTupleReader::new(r, s);
+        let t = reader.parse_line("R,100,7,9.5,alice").unwrap().unwrap();
+        assert_eq!(t.rel(), Rel::R);
+        assert_eq!(t.ts(), 100);
+        assert_eq!(t.values(), &[Value::Int(7), Value::Float(9.5), Value::Str("alice".into())]);
+        let t = reader.parse_line("S,101,7,true").unwrap().unwrap();
+        assert_eq!(t.rel(), Rel::S);
+        assert_eq!(t.get(1), Some(&Value::Bool(true)));
+    }
+
+    #[test]
+    fn skips_blank_and_comment_lines() {
+        let (r, s) = schemas();
+        let reader = CsvTupleReader::new(r, s);
+        assert!(reader.parse_line("").unwrap().is_none());
+        assert!(reader.parse_line("   ").unwrap().is_none());
+        assert!(reader.parse_line("# comment").unwrap().is_none());
+    }
+
+    #[test]
+    fn rejects_malformed_lines_with_detail() {
+        let (r, s) = schemas();
+        let reader = CsvTupleReader::new(r, s);
+        for bad in [
+            "X,1,2,3.0,a",      // bad relation
+            "R,notanum,2,3.0,a", // bad ts
+            "R,1,two,3.0,a",    // bad int
+            "R,1,2,3.0",        // too few
+            "R,1,2,3.0,a,extra", // too many
+            "S,1,2,maybe",      // bad bool
+        ] {
+            assert!(reader.parse_line(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn nulls_roundtrip() {
+        let (r, s) = schemas();
+        let reader = CsvTupleReader::new(r, s);
+        let t = reader.parse_line("R,5,\\N,\\N,\\N").unwrap().unwrap();
+        assert!(t.values().iter().all(|v| *v == Value::Null));
+        let line = tuple_to_line(&t);
+        let back = reader.parse_line(&line).unwrap().unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn read_all_reports_line_numbers() {
+        let (r, s) = schemas();
+        let reader = CsvTupleReader::new(r, s);
+        let data = "R,1,1,1.0,a\n# comment\nS,2,1,true\nR,3,broken,1.0,a\n";
+        let err = reader.read_all(data.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("line 4"), "{err}");
+        let ok = reader.read_all("R,1,1,1.0,a\nS,2,1,true\n".as_bytes()).unwrap();
+        assert_eq!(ok.len(), 2);
+    }
+
+    #[test]
+    fn tuple_line_roundtrip() {
+        let (r_schema, s_schema) = schemas();
+        let reader = CsvTupleReader::new(r_schema, s_schema);
+        let t = Tuple::new(
+            Rel::R,
+            77,
+            vec![Value::Int(-3), Value::Float(2.25), Value::Str("bob".into())],
+        );
+        let back = reader.parse_line(&tuple_to_line(&t)).unwrap().unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn result_writer_formats_pairs() {
+        let r = Tuple::new(Rel::R, 1, vec![Value::Int(5)]);
+        let s = Tuple::new(Rel::S, 2, vec![Value::Int(5)]);
+        let result = JoinResult::of(r, s);
+        let mut w = ResultWriter::new(Vec::new());
+        w.write(&result).unwrap();
+        assert_eq!(w.written(), 1);
+        let bytes = w.finish().unwrap();
+        assert_eq!(String::from_utf8(bytes).unwrap(), "2,R,1,5|S,2,5\n");
+    }
+}

@@ -1,0 +1,248 @@
+//! Join-key distributions.
+//!
+//! Skew is the axis that separates the routing strategies (E5): hash
+//! routing collapses under a hot key, random routing is immune, ContRand
+//! sits between. `KeyDist` provides uniform and Zipf-distributed keys over
+//! a fixed key universe `[0, n)`.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A distribution over the key universe `0..n`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum KeyDist {
+    /// Every key equally likely.
+    Uniform {
+        /// Universe size.
+        n: u64,
+    },
+    /// Zipf with exponent `theta` (0 = uniform-ish, 0.99 = heavily
+    /// skewed; YCSB's default is 0.99). Key 0 is the hottest.
+    Zipf {
+        /// Universe size.
+        n: u64,
+        /// Skew exponent in `(0, 1)`.
+        theta: f64,
+    },
+}
+
+impl KeyDist {
+    /// Universe size.
+    pub fn universe(&self) -> u64 {
+        match self {
+            KeyDist::Uniform { n } | KeyDist::Zipf { n, .. } => *n,
+        }
+    }
+
+    /// Build a stateful sampler for this distribution.
+    pub fn sampler(&self) -> KeySampler {
+        match *self {
+            KeyDist::Uniform { n } => KeySampler::Uniform { n: n.max(1) },
+            KeyDist::Zipf { n, theta } => KeySampler::Zipf(ZipfSampler::new(n.max(1), theta)),
+        }
+    }
+}
+
+/// A ready-to-sample key generator.
+#[derive(Debug, Clone)]
+pub enum KeySampler {
+    /// Uniform over `0..n`.
+    Uniform {
+        /// Universe size.
+        n: u64,
+    },
+    /// Zipfian (see [`ZipfSampler`]).
+    Zipf(ZipfSampler),
+}
+
+impl KeySampler {
+    /// Draw one key.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
+        match self {
+            KeySampler::Uniform { n } => rng.gen_range(0..*n),
+            KeySampler::Zipf(z) => z.sample(rng),
+        }
+    }
+}
+
+/// Constant-time Zipf sampling after Gray et al. ("Quickly generating
+/// billion-record synthetic databases", SIGMOD '94), the formulation used
+/// by YCSB's `ZipfianGenerator`.
+///
+/// Popularity rank 0 is the hottest key. `theta = 0` degenerates to a
+/// near-uniform distribution; values around 0.99 give the classic heavy
+/// skew where the top key draws a double-digit percentage of samples.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zeta_n: f64,
+    eta: f64,
+    zeta_2: f64,
+}
+
+impl ZipfSampler {
+    /// Precompute the sampling constants for universe `n` and skew `theta`.
+    ///
+    /// `theta` is clamped into `(0, 1)` exclusive — the harmonic formulas
+    /// are singular at 1.0 — with `0` mapped to a tiny positive skew, which
+    /// keeps `KeyDist::Zipf { theta: 0.0 }` usable as "no skew" in sweeps.
+    pub fn new(n: u64, theta: f64) -> ZipfSampler {
+        let theta = theta.clamp(1e-9, 0.999_999);
+        let zeta_n = Self::zeta(n, theta);
+        let zeta_2 = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta_2 / zeta_n);
+        ZipfSampler { n, theta, alpha, zeta_n, eta, zeta_2 }
+    }
+
+    /// The generalised harmonic number `H_{n,theta}`.
+    fn zeta(n: u64, theta: f64) -> f64 {
+        // Direct summation; universes in the experiments are <= ~1e6 and
+        // samplers are built once per run.
+        (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+    }
+
+    /// Draw one key (popularity rank, 0 hottest).
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        let uz = u * self.zeta_n;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.n - 1)
+    }
+
+    /// The configured universe size.
+    pub fn universe(&self) -> u64 {
+        self.n
+    }
+
+    /// Analytic probability of rank 0 (the hottest key); used by tests to
+    /// sanity-check the empirical skew.
+    pub fn hottest_probability(&self) -> f64 {
+        1.0 / self.zeta_n
+    }
+
+    /// Suppress dead-code warnings for the constant kept for documentation
+    /// of the two-point speedup; `zeta_2` participates in `eta` already.
+    #[doc(hidden)]
+    pub fn zeta2(&self) -> f64 {
+        self.zeta_2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xB15)
+    }
+
+    #[test]
+    fn uniform_covers_universe_evenly() {
+        let s = KeyDist::Uniform { n: 10 }.sampler();
+        let mut counts = [0usize; 10];
+        let mut r = rng();
+        for _ in 0..10_000 {
+            counts[s.sample(&mut r) as usize] += 1;
+        }
+        for c in counts {
+            assert!(c > 800 && c < 1_200, "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn zipf_is_skewed_toward_rank_zero() {
+        let z = ZipfSampler::new(1_000, 0.99);
+        let mut r = rng();
+        let mut hot = 0usize;
+        let total = 20_000;
+        for _ in 0..total {
+            if z.sample(&mut r) == 0 {
+                hot += 1;
+            }
+        }
+        let empirical = hot as f64 / total as f64;
+        let analytic = z.hottest_probability();
+        assert!(
+            (empirical - analytic).abs() < 0.03,
+            "empirical {empirical} vs analytic {analytic}"
+        );
+        assert!(empirical > 0.08, "theta=0.99 should make rank 0 hot: {empirical}");
+    }
+
+    #[test]
+    fn zipf_theta_zero_is_near_uniform() {
+        let z = ZipfSampler::new(100, 0.0);
+        let mut r = rng();
+        let mut hot = 0usize;
+        for _ in 0..20_000 {
+            if z.sample(&mut r) == 0 {
+                hot += 1;
+            }
+        }
+        let p = hot as f64 / 20_000.0;
+        assert!(p < 0.03, "near-uniform hot key probability, got {p}");
+    }
+
+    #[test]
+    fn zipf_stays_in_universe() {
+        for theta in [0.0, 0.5, 0.9, 0.99] {
+            let z = ZipfSampler::new(7, theta);
+            let mut r = rng();
+            for _ in 0..5_000 {
+                assert!(z.sample(&mut r) < 7);
+            }
+        }
+    }
+
+    #[test]
+    fn skew_increases_with_theta() {
+        let mut r = rng();
+        let mut hot_share = |theta: f64| {
+            let z = ZipfSampler::new(1_000, theta);
+            let mut hot = 0usize;
+            for _ in 0..20_000 {
+                if z.sample(&mut r) < 10 {
+                    hot += 1;
+                }
+            }
+            hot as f64 / 20_000.0
+        };
+        let low = hot_share(0.3);
+        let high = hot_share(0.95);
+        assert!(high > low + 0.1, "theta 0.95 ({high}) ≫ theta 0.3 ({low})");
+    }
+
+    #[test]
+    fn determinism_same_seed_same_keys() {
+        let s = KeyDist::Zipf { n: 50, theta: 0.8 }.sampler();
+        let a: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(1);
+            (0..100).map(|_| s.sample(&mut r)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(1);
+            (0..100).map(|_| s.sample(&mut r)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn singleton_universe() {
+        let s = KeyDist::Uniform { n: 0 }.sampler(); // clamped to 1
+        let mut r = rng();
+        assert_eq!(s.sample(&mut r), 0);
+        let z = ZipfSampler::new(1, 0.9);
+        assert_eq!(z.sample(&mut r), 0);
+    }
+}

@@ -1,0 +1,217 @@
+//! Named workloads used by the experiments, examples and tests.
+//!
+//! Each scenario bundles the two stream sources, the join predicate and
+//! the window — everything a driver needs. The three families mirror the
+//! application classes the paper's introduction motivates:
+//!
+//! - **orders × payments** — click-stream/transaction matching, an
+//!   equi-join on order id (low selectivity, hash-routable).
+//! - **bids × asks** — market matching, a band join on price (the
+//!   non-equi class the biclique model exists to serve at scale).
+//! - **audit cross** — a deliberately tiny cross/theta workload exercising
+//!   the full-Cartesian capability.
+
+use crate::arrival::ArrivalProcess;
+use crate::keys::KeyDist;
+use crate::schedule::RateSchedule;
+use crate::source::StreamSource;
+use bistream_types::predicate::{CmpOp, JoinPredicate};
+use bistream_types::rel::Rel;
+use bistream_types::time::{Ts, SECOND};
+use bistream_types::window::WindowSpec;
+
+/// A fully-specified workload: sources + predicate + window.
+#[derive(Debug)]
+pub struct Scenario {
+    /// Human-readable name (printed by the experiment harness).
+    pub name: &'static str,
+    /// R-side source.
+    pub r: StreamSource,
+    /// S-side source.
+    pub s: StreamSource,
+    /// The join predicate.
+    pub predicate: JoinPredicate,
+    /// The window.
+    pub window: WindowSpec,
+}
+
+/// Parameters shared by the scenario constructors.
+#[derive(Debug, Clone, Copy)]
+pub struct ScenarioParams {
+    /// Per-relation arrival rate, tuples/second.
+    pub rate_per_sec: f64,
+    /// Key universe size.
+    pub n_keys: u64,
+    /// Zipf skew (`None` = uniform keys).
+    pub zipf_theta: Option<f64>,
+    /// Window length in ms.
+    pub window_ms: Ts,
+    /// Padding bytes per tuple.
+    pub payload_bytes: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for ScenarioParams {
+    fn default() -> Self {
+        ScenarioParams {
+            rate_per_sec: 1_000.0,
+            n_keys: 10_000,
+            zipf_theta: None,
+            window_ms: 10 * SECOND,
+            payload_bytes: 0,
+            seed: 0xB15_7EA4,
+        }
+    }
+}
+
+impl ScenarioParams {
+    fn keys(&self) -> KeyDist {
+        match self.zipf_theta {
+            Some(theta) => KeyDist::Zipf { n: self.n_keys, theta },
+            None => KeyDist::Uniform { n: self.n_keys },
+        }
+    }
+
+    fn sources(&self) -> (StreamSource, StreamSource) {
+        let arrivals = ArrivalProcess::Constant { rate: self.rate_per_sec };
+        (
+            StreamSource::new(Rel::R, arrivals.clone(), self.keys(), self.payload_bytes, self.seed),
+            StreamSource::new(Rel::S, arrivals, self.keys(), self.payload_bytes, self.seed),
+        )
+    }
+}
+
+/// Orders×payments equi-join on the order id (attribute 0 of both sides).
+pub fn orders_payments_equi(p: ScenarioParams) -> Scenario {
+    let (r, s) = p.sources();
+    Scenario {
+        name: "orders-payments-equi",
+        r,
+        s,
+        predicate: JoinPredicate::Equi { r_attr: 0, s_attr: 0 },
+        window: WindowSpec::sliding(p.window_ms),
+    }
+}
+
+/// Bids×asks band join: match when the prices (attribute 0) are within
+/// `band` of each other.
+pub fn bids_asks_band(p: ScenarioParams, band: f64) -> Scenario {
+    let (r, s) = p.sources();
+    Scenario {
+        name: "bids-asks-band",
+        r,
+        s,
+        predicate: JoinPredicate::Band { r_attr: 0, s_attr: 0, band },
+        window: WindowSpec::sliding(p.window_ms),
+    }
+}
+
+/// An inequality theta join (`R.key < S.key`) — the high-selectivity
+/// extreme short of a full Cartesian product.
+pub fn audit_theta(p: ScenarioParams) -> Scenario {
+    let (r, s) = p.sources();
+    Scenario {
+        name: "audit-theta-lt",
+        r,
+        s,
+        predicate: JoinPredicate::Theta { r_attr: 0, s_attr: 0, op: CmpOp::Lt },
+        window: WindowSpec::sliding(p.window_ms),
+    }
+}
+
+/// The three streams of the supply-chain multi-way scenario
+/// (orders ⋈ shipments ⋈ confirmations) — the cascade example's
+/// workload, generated instead of hand-written.
+///
+/// Returned in `(orders, shipments, confirmations)` order. Orders and
+/// shipments share the order-id key space (attribute 0); shipments carry
+/// a tracking id (attribute 1, value = order id + `tracking_offset`)
+/// that confirmations reference in their attribute 0.
+pub fn supply_chain_3way(
+    p: ScenarioParams,
+    tracking_offset: i64,
+) -> (StreamSource, StreamSource, StreamSource) {
+    let arrivals = ArrivalProcess::Constant { rate: p.rate_per_sec };
+    (
+        StreamSource::new(Rel::R, arrivals.clone(), p.keys(), p.payload_bytes, p.seed),
+        StreamSource::new(Rel::S, arrivals.clone(), p.keys(), p.payload_bytes, p.seed ^ 0x51),
+        StreamSource::new(
+            Rel::S,
+            arrivals,
+            KeyDist::Uniform { n: p.n_keys + tracking_offset.unsigned_abs() },
+            p.payload_bytes,
+            p.seed ^ 0x52,
+        ),
+    )
+}
+
+/// The dynamic-scaling workload of E1/E2: an equi-join whose per-relation
+/// rate follows the thesis's 60-minute profile, over a 10-minute window.
+pub fn dynamic_scaling_workload(seed: u64, payload_bytes: usize) -> Scenario {
+    let schedule = RateSchedule::thesis_profile();
+    let keys = KeyDist::Uniform { n: 100_000 };
+    let arrivals = ArrivalProcess::Scheduled { schedule };
+    Scenario {
+        name: "dynamic-scaling-equi",
+        r: StreamSource::new(Rel::R, arrivals.clone(), keys.clone(), payload_bytes, seed),
+        s: StreamSource::new(Rel::S, arrivals, keys, payload_bytes, seed),
+        predicate: JoinPredicate::Equi { r_attr: 0, s_attr: 0 },
+        window: WindowSpec::sliding(10 * 60 * SECOND),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scenarios_construct_and_produce() {
+        let mut s = orders_payments_equi(ScenarioParams::default());
+        assert!(s.predicate.is_equi());
+        let t = s.r.next_tuple();
+        assert_eq!(t.rel(), Rel::R);
+
+        let mut b = bids_asks_band(ScenarioParams::default(), 2.0);
+        assert!(!b.predicate.is_equi());
+        assert_eq!(b.s.next_tuple().rel(), Rel::S);
+
+        let a = audit_theta(ScenarioParams::default());
+        assert_eq!(a.name, "audit-theta-lt");
+    }
+
+    #[test]
+    fn supply_chain_sources_are_distinct_streams() {
+        let (mut o, mut s, mut c) = supply_chain_3way(ScenarioParams::default(), 9_000);
+        assert_eq!(o.next_tuple().rel(), Rel::R);
+        assert_eq!(s.next_tuple().rel(), Rel::S);
+        assert_eq!(c.next_tuple().rel(), Rel::S);
+        // Different seeds → different key sequences.
+        let ks: Vec<i64> = (0..10).map(|_| s.next_tuple().get(0).unwrap().as_int().unwrap()).collect();
+        let kc: Vec<i64> = (0..10).map(|_| c.next_tuple().get(0).unwrap().as_int().unwrap()).collect();
+        assert_ne!(ks, kc);
+    }
+
+    #[test]
+    fn dynamic_workload_follows_profile() {
+        let mut w = dynamic_scaling_workload(1, 0);
+        assert_eq!(w.window.size(), Some(600 * SECOND));
+        // At 300/s the first two arrivals are ~3.33ms apart.
+        let a = w.r.next_tuple();
+        let b = w.r.next_tuple();
+        assert!(b.ts() - a.ts() <= 4);
+    }
+
+    #[test]
+    fn skewed_params_yield_skewed_keys() {
+        let p = ScenarioParams { zipf_theta: Some(0.99), n_keys: 1_000, ..Default::default() };
+        let mut s = orders_payments_equi(p);
+        let mut hot = 0;
+        for _ in 0..2_000 {
+            if s.r.next_tuple().get(0).unwrap().as_int().unwrap() == 0 {
+                hot += 1;
+            }
+        }
+        assert!(hot > 50, "rank-0 key should be hot, got {hot}/2000");
+    }
+}

@@ -1,0 +1,106 @@
+//! Click-stream matching under a varying rate, with the elastic cluster
+//! scaling joiners automatically — the thesis's headline scenario in
+//! miniature (one simulated "hour" in a second or two of wall time).
+//!
+//! ```text
+//! cargo run --release --example clickstream_autoscale
+//! ```
+//!
+//! Impressions (R) are joined with clicks (S) on the ad id over a
+//! 10-minute window while the input rate steps 300 → 400 → 200 → 300
+//! tuples/second; a Kubernetes-style Horizontal Pod Autoscaler targets
+//! 80 % mean CPU per side with 1–3 joiners. The printed timeline shows
+//! pods being added under load and retired after the stabilisation
+//! window — with zero state migration.
+
+use bistream::cluster::{CostModel, HpaConfig};
+use bistream::core::config::{EngineConfig, RoutingStrategy};
+use bistream::core::engine::BicliqueEngine;
+use bistream::core::sim::{run_dynamic_scaling, SimConfig, TupleFeed};
+use bistream::types::predicate::JoinPredicate;
+use bistream::types::rel::Rel;
+use bistream::types::time::{Ts, MINUTE};
+use bistream::types::tuple::Tuple;
+use bistream::types::value::Value;
+use bistream::types::window::WindowSpec;
+use bistream::workload::schedule::RateSchedule;
+
+/// Ad impressions and clicks following the stepping rate profile.
+struct ClickFeed {
+    schedule: RateSchedule,
+    next: (f64, f64),
+    ad: i64,
+    until: Ts,
+}
+
+impl TupleFeed for ClickFeed {
+    fn peek_ts(&self) -> Option<Ts> {
+        let ts = self.next.0.min(self.next.1) as Ts;
+        (ts < self.until).then_some(ts)
+    }
+
+    fn next_tuple(&mut self) -> Option<Tuple> {
+        let ts = self.peek_ts()?;
+        let rel = if self.next.0 <= self.next.1 { Rel::R } else { Rel::S };
+        let gap = 1_000.0 / self.schedule.rate_at(ts);
+        match rel {
+            Rel::R => self.next.0 += gap,
+            Rel::S => self.next.1 += gap,
+        }
+        let ad_id = (self.ad / 2) % 100_000;
+        self.ad += 1;
+        Some(Tuple::new(rel, ts, vec![Value::Int(ad_id)]))
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let duration = 60 * MINUTE;
+    let engine_cfg = EngineConfig {
+        r_joiners: 1,
+        s_joiners: 1,
+        predicate: JoinPredicate::Equi { r_attr: 0, s_attr: 0 },
+        window: WindowSpec::sliding(10 * MINUTE),
+        routing: RoutingStrategy::Random,
+        archive_period_ms: 30_000,
+        punctuation_interval_ms: 200,
+        ordering: true,
+        seed: 7,
+    };
+    let engine = BicliqueEngine::builder(engine_cfg)
+        .cost_model(CostModel::thesis_operating_point())
+        .build()?;
+
+    let sim = SimConfig {
+        duration_ms: duration,
+        sample_interval_ms: 5 * MINUTE,
+        scale_r: true,
+        scale_s: true,
+        // Pods boot in ~15 s on the thesis cluster (image pull + JVM).
+        pod_startup_delay_ms: 15_000,
+    };
+    let mut feed = ClickFeed {
+        schedule: RateSchedule::thesis_profile(),
+        next: (0.0, 0.0),
+        ad: 0,
+        until: duration,
+    };
+    let out = run_dynamic_scaling(engine, &mut feed, HpaConfig::thesis_cpu(), &sim)?;
+
+    println!("t(min)  rate(t/s)  R-pods  S-pods  R-cpu%  results");
+    for s in &out.samples {
+        println!(
+            "{:>6}  {:>9.0}  {:>6}  {:>6}  {:>6.0}  {:>8}",
+            s.t_ms / MINUTE,
+            s.ingest_rate / 2.0,
+            s.r_replicas,
+            s.s_replicas,
+            s.r_cpu * 100.0,
+            s.results
+        );
+    }
+    println!("\nscale events:");
+    for (t, side, before, after) in &out.scale_events {
+        println!("  t={:>4.1}min  side {side}: {before} -> {after}", *t as f64 / MINUTE as f64);
+    }
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! Quickstart: a windowed equi-join on a 2×2 biclique in a dozen lines.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! Builds the in-process engine, feeds a few order/payment tuples, and
+//! prints every join result.
+
+use bistream::core::config::EngineConfig;
+use bistream::core::engine::BicliqueEngine;
+use bistream::types::rel::Rel;
+use bistream::types::tuple::Tuple;
+use bistream::types::value::Value;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 2 R-joiners × 2 S-joiners, equi-join on attribute 0, 10 s sliding
+    // window, content-sensitive (hash) routing, ordering protocol on.
+    let mut engine = BicliqueEngine::new(EngineConfig::default_equi())?;
+    engine.capture_results();
+
+    // R = orders(order_id, amount); S = payments(order_id, amount_paid).
+    let orders = [
+        (1_001, 25.0),
+        (1_002, 14.5),
+        (1_003, 99.9),
+    ];
+    let payments = [
+        (1_002, 14.5),
+        (1_001, 25.0),
+        (1_777, 1.0), // no matching order
+    ];
+
+    let mut now = 0;
+    for (id, amount) in orders {
+        now += 10;
+        let t = Tuple::new(Rel::R, now, vec![Value::Int(id), Value::Float(amount)]);
+        engine.ingest(&t, now)?;
+    }
+    for (id, paid) in payments {
+        now += 10;
+        let t = Tuple::new(Rel::S, now, vec![Value::Int(id), Value::Float(paid)]);
+        engine.ingest(&t, now)?;
+    }
+
+    // The ordering protocol releases buffered tuples on punctuations.
+    engine.punctuate(now + 20)?;
+
+    for result in engine.take_captured() {
+        println!("matched: {result}");
+    }
+    let stats = engine.stats();
+    println!(
+        "\ningested {} tuples, emitted {} results, {} copies/tuple",
+        stats.ingested,
+        stats.results,
+        stats.copies_per_tuple()
+    );
+    Ok(())
+}

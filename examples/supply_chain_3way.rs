@@ -1,0 +1,79 @@
+//! A three-way stream join as a cascade of bicliques: orders ⋈ shipments
+//! ⋈ delivery-confirmations.
+//!
+//! ```text
+//! cargo run --example supply_chain_3way
+//! ```
+//!
+//! Multi-way joins decompose into pipelined binary joins, each running
+//! its own independently scalable biclique: stage 1 matches orders (A)
+//! with shipments (B) on the order id; the flattened composites feed
+//! stage 2, matching on the shipment's tracking number against the
+//! confirmation stream (C).
+
+use bistream::core::cascade::CascadeJoin;
+use bistream::core::config::{EngineConfig, RoutingStrategy};
+use bistream::types::predicate::JoinPredicate;
+use bistream::types::rel::Rel;
+use bistream::types::tuple::Tuple;
+use bistream::types::value::Value;
+use bistream::types::window::WindowSpec;
+
+fn stage(predicate: JoinPredicate) -> EngineConfig {
+    EngineConfig {
+        r_joiners: 2,
+        s_joiners: 2,
+        predicate,
+        window: WindowSpec::sliding(30_000),
+        routing: RoutingStrategy::Hash,
+        archive_period_ms: 1_000,
+        punctuation_interval_ms: 20,
+        ordering: true,
+        seed: 11,
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A = orders(order_id, item)         → stage-1 R side
+    // B = shipments(order_id, tracking)  → stage-1 S side
+    // Composite = [order_id, item, order_id, tracking]; tracking = idx 3.
+    // C = confirmations(tracking)        → stage-2 S side
+    let stage1 = stage(JoinPredicate::Equi { r_attr: 0, s_attr: 0 });
+    let stage2 = stage(JoinPredicate::Equi { r_attr: 3, s_attr: 0 });
+    let mut cascade = CascadeJoin::new(stage1, stage2, 2)?;
+
+    let orders = [
+        (10, 500_i64, "keyboard"),
+        (20, 501, "monitor"),
+        (30, 502, "cable"),
+    ];
+    let shipments = [(40, 500_i64, 9_001_i64), (50, 502, 9_002)]; // 501 never ships
+    let confirmations = [(60, 9_001_i64), (70, 9_777)]; // 9_002 never confirms
+
+    for (ts, id, item) in orders {
+        let t = Tuple::new(Rel::R, ts, vec![Value::Int(id), Value::Str(item.into())]);
+        cascade.ingest_a(&t, ts)?;
+    }
+    for (ts, id, tracking) in shipments {
+        let t = Tuple::new(Rel::S, ts, vec![Value::Int(id), Value::Int(tracking)]);
+        cascade.ingest_b(&t, ts)?;
+    }
+    cascade.punctuate(55)?;
+    for (ts, tracking) in confirmations {
+        let t = Tuple::new(Rel::S, ts, vec![Value::Int(tracking)]);
+        cascade.ingest_c(&t, ts)?;
+    }
+    cascade.punctuate(100)?;
+    cascade.flush(100)?;
+
+    let results = cascade.take_results();
+    println!("confirmed deliveries: {}", results.len());
+    for r in &results {
+        let item = r.r.get(1).unwrap();
+        let order = r.r.get(0).unwrap();
+        let tracking = r.s.get(0).unwrap();
+        println!("  order {order} ({item}) confirmed via tracking {tracking}");
+    }
+    assert_eq!(results.len(), 1, "only order 500 ships AND confirms");
+    Ok(())
+}

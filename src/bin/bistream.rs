@@ -1,0 +1,86 @@
+//! The `bistream` command-line tool: join two streams read from a file
+//! (or stdin) and write the matches to a file (or stdout).
+//!
+//! See `bistream --help`, [`bistream::cli`] for the flag grammar, and
+//! `bistream_workload::io` for the line format.
+
+use bistream::cli::{parse_args, USAGE};
+use bistream::core::engine::BicliqueEngine;
+use bistream::workload::io::{CsvTupleReader, ResultWriter};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") || args.is_empty() {
+        eprint!("{USAGE}");
+        std::process::exit(if args.is_empty() { 2 } else { 0 });
+    }
+    if let Err(e) = run(&args) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let opts = parse_args(args)?;
+    let input_path = opts.input.clone();
+    let output_path = opts.output.clone();
+    let query = opts.into_query()?;
+    let reader = CsvTupleReader::new(
+        query.schema(bistream::types::rel::Rel::R).clone(),
+        query.schema(bistream::types::rel::Rel::S).clone(),
+    );
+
+    let mut engine = BicliqueEngine::new(query.config().clone())?;
+    engine.capture_results();
+    let punct_every = engine.config().punctuation_interval_ms;
+
+    let input: Box<dyn BufRead> = if input_path == "-" {
+        Box::new(BufReader::new(std::io::stdin()))
+    } else {
+        Box::new(BufReader::new(std::fs::File::open(&input_path)?))
+    };
+    let sink: Box<dyn Write> = if output_path == "-" {
+        Box::new(BufWriter::new(std::io::stdout()))
+    } else {
+        Box::new(BufWriter::new(std::fs::File::create(&output_path)?))
+    };
+    let mut writer = ResultWriter::new(sink);
+
+    let mut next_punct = punct_every;
+    let mut last_ts = 0;
+    for (i, line) in input.lines().enumerate() {
+        let line = line?;
+        let Some(tuple) = reader
+            .parse_line(&line)
+            .map_err(|e| format!("line {}: {e}", i + 1))?
+        else {
+            continue;
+        };
+        query.validate(&tuple).map_err(|e| format!("line {}: {e}", i + 1))?;
+        while next_punct <= tuple.ts() {
+            engine.punctuate(next_punct)?;
+            next_punct += punct_every;
+        }
+        last_ts = tuple.ts().max(last_ts);
+        engine.ingest(&tuple, tuple.ts())?;
+        for result in engine.take_captured() {
+            writer.write(&result)?;
+        }
+    }
+    engine.punctuate(last_ts + punct_every)?;
+    engine.flush()?;
+    for result in engine.take_captured() {
+        writer.write(&result)?;
+    }
+    let written = writer.written();
+    writer.finish()?;
+
+    let snap = engine.stats();
+    eprintln!(
+        "ingested {} tuples, emitted {written} results ({:.1} copies/tuple)",
+        snap.ingested,
+        snap.copies_per_tuple()
+    );
+    Ok(())
+}

@@ -1,0 +1,305 @@
+//! Argument parsing and plumbing for the `bistream` command-line tool.
+//!
+//! The CLI joins two streams read from a line-oriented file (format of
+//! [`bistream_workload::io`]) and writes results to a file or stdout:
+//!
+//! ```text
+//! bistream --r-schema 'orders:id:int,amount:float' \
+//!          --s-schema 'payments:ref:int,paid:float' \
+//!          --on-equal id=ref --window-ms 60000 \
+//!          --input stream.csv --output matches.txt
+//! ```
+//!
+//! Kept in a library module (rather than inline in `main`) so the parsing
+//! rules are unit-testable.
+
+use bistream_core::config::RoutingStrategy;
+use bistream_core::query::{JoinQuery, QueryBuilder};
+use bistream_types::error::{Error, Result};
+use bistream_types::predicate::CmpOp;
+use bistream_types::schema::Schema;
+use bistream_types::value::ValueType;
+
+/// Parsed command-line options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CliOptions {
+    /// R-side schema.
+    pub r_schema: Schema,
+    /// S-side schema.
+    pub s_schema: Schema,
+    /// The join condition, unresolved.
+    pub condition: CliCondition,
+    /// Window in ms (`None` = full history).
+    pub window_ms: Option<u64>,
+    /// Joiners per side.
+    pub joiners: (usize, usize),
+    /// Routing override.
+    pub routing: Option<RoutingStrategy>,
+    /// Input path (`-` = stdin).
+    pub input: String,
+    /// Output path (`-` = stdout).
+    pub output: String,
+}
+
+/// A join condition as written on the command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CliCondition {
+    /// `--on-equal a=b`
+    Equal(String, String),
+    /// `--on-band a=b:eps`
+    Band(String, String, f64),
+    /// `--on-theta a<b` etc.
+    Theta(String, CmpOp, String),
+    /// `--cross`
+    Cross,
+}
+
+/// Parse `name:attr:type,attr:type,…` into a schema.
+pub fn parse_schema(spec: &str) -> Result<Schema> {
+    let (name, rest) = spec
+        .split_once(':')
+        .ok_or_else(|| Error::Config(format!("schema spec `{spec}` needs `name:attrs…`")))?;
+    let mut attrs = Vec::new();
+    for field in rest.split(',') {
+        let (attr, ty) = field
+            .split_once(':')
+            .ok_or_else(|| Error::Config(format!("attribute `{field}` needs `name:type`")))?;
+        let ty = match ty.trim() {
+            "int" | "i64" => ValueType::Int,
+            "float" | "f64" => ValueType::Float,
+            "str" | "string" => ValueType::Str,
+            "bool" => ValueType::Bool,
+            other => return Err(Error::Config(format!("unknown type `{other}`"))),
+        };
+        attrs.push((attr.trim(), ty));
+    }
+    Schema::new(name.trim(), attrs)
+}
+
+/// Parse a theta condition like `a<b`, `a>=b`, `a!=b`.
+pub fn parse_theta(spec: &str) -> Result<(String, CmpOp, String)> {
+    for (symbol, op) in [
+        ("<=", CmpOp::Le),
+        (">=", CmpOp::Ge),
+        ("!=", CmpOp::Ne),
+        ("<", CmpOp::Lt),
+        (">", CmpOp::Gt),
+    ] {
+        if let Some((l, r)) = spec.split_once(symbol) {
+            return Ok((l.trim().to_owned(), op, r.trim().to_owned()));
+        }
+    }
+    Err(Error::Config(format!("theta condition `{spec}` needs one of < <= > >= !=")))
+}
+
+/// Parse the full argument list (without the program name).
+pub fn parse_args(args: &[String]) -> Result<CliOptions> {
+    let mut r_schema = None;
+    let mut s_schema = None;
+    let mut condition = None;
+    let mut window_ms = Some(10_000u64);
+    let mut joiners = (2usize, 2usize);
+    let mut routing = None;
+    let mut input = "-".to_owned();
+    let mut output = "-".to_owned();
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| -> Result<String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| Error::Config(format!("{flag} needs a value")))
+        };
+        match arg.as_str() {
+            "--r-schema" => r_schema = Some(parse_schema(&value("--r-schema")?)?),
+            "--s-schema" => s_schema = Some(parse_schema(&value("--s-schema")?)?),
+            "--on-equal" => {
+                let v = value("--on-equal")?;
+                let (l, r) = v
+                    .split_once('=')
+                    .ok_or_else(|| Error::Config("--on-equal needs `a=b`".into()))?;
+                condition = Some(CliCondition::Equal(l.trim().into(), r.trim().into()));
+            }
+            "--on-band" => {
+                let v = value("--on-band")?;
+                let (pair, eps) = v
+                    .rsplit_once(':')
+                    .ok_or_else(|| Error::Config("--on-band needs `a=b:eps`".into()))?;
+                let (l, r) = pair
+                    .split_once('=')
+                    .ok_or_else(|| Error::Config("--on-band needs `a=b:eps`".into()))?;
+                let eps: f64 = eps
+                    .parse()
+                    .map_err(|e| Error::Config(format!("bad band `{eps}`: {e}")))?;
+                condition = Some(CliCondition::Band(l.trim().into(), r.trim().into(), eps));
+            }
+            "--on-theta" => {
+                let (l, op, r) = parse_theta(&value("--on-theta")?)?;
+                condition = Some(CliCondition::Theta(l, op, r));
+            }
+            "--cross" => condition = Some(CliCondition::Cross),
+            "--window-ms" => {
+                window_ms = Some(
+                    value("--window-ms")?
+                        .parse()
+                        .map_err(|e| Error::Config(format!("bad window: {e}")))?,
+                )
+            }
+            "--full-history" => window_ms = None,
+            "--joiners" => {
+                let v = value("--joiners")?;
+                let (a, b) = v
+                    .split_once('x')
+                    .ok_or_else(|| Error::Config("--joiners needs `NxM`".into()))?;
+                joiners = (
+                    a.parse().map_err(|e| Error::Config(format!("bad joiners: {e}")))?,
+                    b.parse().map_err(|e| Error::Config(format!("bad joiners: {e}")))?,
+                );
+            }
+            "--routing" => {
+                routing = Some(match value("--routing")?.as_str() {
+                    "random" => RoutingStrategy::Random,
+                    "hash" => RoutingStrategy::Hash,
+                    s if s.starts_with("contrand:") => RoutingStrategy::ContRand {
+                        subgroups: s["contrand:".len()..]
+                            .parse()
+                            .map_err(|e| Error::Config(format!("bad subgroups: {e}")))?,
+                    },
+                    other => return Err(Error::Config(format!("unknown routing `{other}`"))),
+                })
+            }
+            "--input" | "-i" => input = value("--input")?,
+            "--output" | "-o" => output = value("--output")?,
+            other => return Err(Error::Config(format!("unknown flag `{other}` (see --help)"))),
+        }
+    }
+
+    Ok(CliOptions {
+        r_schema: r_schema.ok_or_else(|| Error::Config("--r-schema is required".into()))?,
+        s_schema: s_schema.ok_or_else(|| Error::Config("--s-schema is required".into()))?,
+        condition: condition
+            .ok_or_else(|| Error::Config("a condition is required (--on-equal/--on-band/--on-theta/--cross)".into()))?,
+        window_ms,
+        joiners,
+        routing,
+        input,
+        output,
+    })
+}
+
+impl CliOptions {
+    /// Resolve into a validated [`JoinQuery`].
+    pub fn into_query(self) -> Result<JoinQuery> {
+        let mut b = QueryBuilder::new(self.r_schema, self.s_schema)
+            .joiners(self.joiners.0, self.joiners.1);
+        b = match &self.condition {
+            CliCondition::Equal(l, r) => b.on_equal(l, r),
+            CliCondition::Band(l, r, eps) => b.on_band(l, r, *eps),
+            CliCondition::Theta(l, op, r) => b.on_theta(l, *op, r),
+            CliCondition::Cross => b.cross(),
+        };
+        b = match self.window_ms {
+            Some(ms) => b.window_ms(ms),
+            None => b.full_history(),
+        };
+        if let Some(r) = self.routing {
+            b = b.routing(r);
+        }
+        b.build()
+    }
+}
+
+/// The usage text for `--help`.
+pub const USAGE: &str = "\
+bistream — windowed stream join over a file of tuples
+
+USAGE:
+  bistream --r-schema NAME:ATTR:TYPE[,…] --s-schema NAME:ATTR:TYPE[,…]
+           (--on-equal A=B | --on-band A=B:EPS | --on-theta 'A<B' | --cross)
+           [--window-ms MS | --full-history] [--joiners NxM]
+           [--routing random|hash|contrand:D] [--input FILE] [--output FILE]
+
+INPUT FORMAT (one tuple per line):
+  R,<ts-ms>,<attr0>,<attr1>,…        # `\\N` is null, `#` starts a comment
+  S,<ts-ms>,<attr0>,…
+
+TYPES: int, float, str, bool
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn parses_schema_spec() {
+        let s = parse_schema("orders:id:int,amount:float,who:str").unwrap();
+        assert_eq!(s.name(), "orders");
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.attributes()[1].ty, ValueType::Float);
+        assert!(parse_schema("noattrs").is_err());
+        assert!(parse_schema("x:id:decimal").is_err());
+    }
+
+    #[test]
+    fn parses_theta_specs() {
+        assert_eq!(parse_theta("a<b").unwrap(), ("a".into(), CmpOp::Lt, "b".into()));
+        assert_eq!(parse_theta("a >= b").unwrap(), ("a".into(), CmpOp::Ge, "b".into()));
+        assert_eq!(parse_theta("x!=y").unwrap(), ("x".into(), CmpOp::Ne, "y".into()));
+        assert!(parse_theta("a~b").is_err());
+    }
+
+    #[test]
+    fn parses_full_command_line() {
+        let opts = parse_args(&argv(
+            "--r-schema o:id:int --s-schema p:ref:int --on-equal id=ref \
+             --window-ms 5000 --joiners 3x2 --routing contrand:2 -i in.csv -o out.txt",
+        ))
+        .unwrap();
+        assert_eq!(opts.condition, CliCondition::Equal("id".into(), "ref".into()));
+        assert_eq!(opts.window_ms, Some(5_000));
+        assert_eq!(opts.joiners, (3, 2));
+        assert_eq!(opts.routing, Some(RoutingStrategy::ContRand { subgroups: 2 }));
+        assert_eq!(opts.input, "in.csv");
+        assert_eq!(opts.output, "out.txt");
+        let q = opts.into_query().unwrap();
+        assert_eq!(q.config().r_joiners, 3);
+    }
+
+    #[test]
+    fn band_and_cross_conditions() {
+        let opts = parse_args(&argv(
+            "--r-schema o:v:float --s-schema p:w:float --on-band v=w:1.5",
+        ))
+        .unwrap();
+        assert_eq!(opts.condition, CliCondition::Band("v".into(), "w".into(), 1.5));
+        assert!(opts.into_query().is_ok());
+
+        let opts = parse_args(&argv("--r-schema o:v:int --s-schema p:w:int --cross")).unwrap();
+        assert_eq!(opts.condition, CliCondition::Cross);
+    }
+
+    #[test]
+    fn missing_required_flags_error() {
+        assert!(parse_args(&argv("--r-schema o:v:int")).is_err());
+        assert!(parse_args(&argv(
+            "--r-schema o:v:int --s-schema p:w:int"
+        ))
+        .is_err(), "no condition");
+        assert!(parse_args(&argv("--bogus")).is_err());
+    }
+
+    #[test]
+    fn full_history_flag() {
+        let opts = parse_args(&argv(
+            "--r-schema o:v:int --s-schema p:w:int --on-equal v=w --full-history",
+        ))
+        .unwrap();
+        assert_eq!(opts.window_ms, None);
+        let q = opts.into_query().unwrap();
+        assert_eq!(q.config().window, bistream_types::window::WindowSpec::FullHistory);
+    }
+}

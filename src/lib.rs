@@ -1,0 +1,34 @@
+//! # BiStream-RS
+//!
+//! Facade crate re-exporting the full public API of the BiStream-RS
+//! workspace — a from-scratch Rust reproduction of *"Scalable Distributed
+//! Stream Join Processing"* (SIGMOD 2015): the **join-biclique** model for
+//! parallel, elastic, windowed stream joins, together with every substrate
+//! it depends on (an AMQP-style message broker, a chained in-memory index,
+//! a simulated elastic cluster, workload generators) and the join-matrix
+//! baseline it is evaluated against.
+//!
+//! See the individual crates for details:
+//!
+//! - [`types`] — tuples, predicates, windows, clocks.
+//! - [`broker`] — in-process AMQP-model message broker.
+//! - [`index`] — the chained in-memory index with Theorem-1 expiry.
+//! - [`core`] — routers, joiners, ordering protocol, biclique topology,
+//!   the threaded live runtime and the virtual-time simulator.
+//! - [`matrix`] — the join-matrix (fragment-and-replicate) baseline.
+//! - [`cluster`] — pods, resource metering and the HPA control loop.
+//! - [`workload`] — seeded stream generators, rate schedules and file
+//!   adapters.
+//!
+//! The [`cli`] module backs the `bistream` binary (file-in/file-out
+//! windowed joins; see `bistream --help`).
+
+pub mod cli;
+
+pub use bistream_broker as broker;
+pub use bistream_cluster as cluster;
+pub use bistream_core as core;
+pub use bistream_index as index;
+pub use bistream_matrix as matrix;
+pub use bistream_types as types;
+pub use bistream_workload as workload;

@@ -1,0 +1,107 @@
+//! Integration tests for the CLI plumbing and the file adapters: parse a
+//! command line, read a tuple file, run the join, write results — the
+//! full `bistream` binary path, exercised as a library.
+
+use bistream::cli::{parse_args, CliCondition};
+use bistream::core::engine::BicliqueEngine;
+use bistream::types::rel::Rel;
+use bistream::workload::io::{CsvTupleReader, ResultWriter};
+
+fn argv(s: &str) -> Vec<String> {
+    s.split_whitespace().map(str::to_owned).collect()
+}
+
+#[test]
+fn file_to_file_equi_join_round_trip() {
+    let opts = parse_args(&argv(
+        "--r-schema orders:id:int,amount:float --s-schema payments:ref:int,paid:float \
+         --on-equal id=ref --window-ms 60000",
+    ))
+    .unwrap();
+    assert_eq!(opts.condition, CliCondition::Equal("id".into(), "ref".into()));
+    let query = opts.into_query().unwrap();
+    let reader = CsvTupleReader::new(
+        query.schema(Rel::R).clone(),
+        query.schema(Rel::S).clone(),
+    );
+
+    let input = "\
+# orders and payments
+R,100,1001,25.0
+R,150,1002,14.5
+S,200,1001,25.0
+S,250,1003,9.9
+R,300,1003,9.9
+S,90000,1002,14.5
+";
+    let tuples = reader.read_all(input.as_bytes()).unwrap();
+    assert_eq!(tuples.len(), 6);
+
+    let mut engine = BicliqueEngine::new(query.config().clone()).unwrap();
+    engine.capture_results();
+    let punct = engine.config().punctuation_interval_ms;
+    let mut next_punct = punct;
+    let mut last = 0;
+    for t in &tuples {
+        query.validate(t).unwrap();
+        while next_punct <= t.ts() {
+            engine.punctuate(next_punct).unwrap();
+            next_punct += punct;
+        }
+        engine.ingest(t, t.ts()).unwrap();
+        last = t.ts();
+    }
+    engine.punctuate(last + punct).unwrap();
+    engine.flush().unwrap();
+
+    let mut writer = ResultWriter::new(Vec::new());
+    for r in engine.take_captured() {
+        writer.write(&r).unwrap();
+    }
+    assert_eq!(writer.written(), 2, "1001 and 1003 match; 1002 is outside the window");
+    let text = String::from_utf8(writer.finish().unwrap()).unwrap();
+    assert!(text.contains("1001"));
+    assert!(text.contains("1003"));
+    assert!(!text.lines().any(|l| l.contains("1002")), "{text}");
+}
+
+#[test]
+fn band_join_through_cli_options() {
+    let opts = parse_args(&argv(
+        "--r-schema bids:price:float --s-schema asks:price:float \
+         --on-band price=price:0.5 --window-ms 1000 --joiners 2x2",
+    ))
+    .unwrap();
+    let query = opts.into_query().unwrap();
+    let reader = CsvTupleReader::new(
+        query.schema(Rel::R).clone(),
+        query.schema(Rel::S).clone(),
+    );
+    let tuples = reader
+        .read_all("R,10,100.0\nS,20,100.4\nS,30,101.0\n".as_bytes())
+        .unwrap();
+    let mut engine = BicliqueEngine::new(query.config().clone()).unwrap();
+    engine.capture_results();
+    for t in &tuples {
+        engine.ingest(t, t.ts()).unwrap();
+    }
+    engine.punctuate(100).unwrap();
+    engine.flush().unwrap();
+    let results = engine.take_captured();
+    assert_eq!(results.len(), 1, "only |100.0-100.4| <= 0.5 matches");
+}
+
+#[test]
+fn malformed_input_is_reported_not_joined() {
+    let opts = parse_args(&argv(
+        "--r-schema o:v:int --s-schema p:w:int --on-equal v=w",
+    ))
+    .unwrap();
+    let query = opts.into_query().unwrap();
+    let reader = CsvTupleReader::new(
+        query.schema(Rel::R).clone(),
+        query.schema(Rel::S).clone(),
+    );
+    let err = reader.read_all("R,1,5\nS,2,oops\n".as_bytes()).unwrap_err();
+    assert!(err.to_string().contains("line 2"));
+}

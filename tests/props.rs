@@ -1,0 +1,287 @@
+//! Property-based tests (proptest) over the core invariants:
+//! value ordering laws, codec round-trips, window algebra, chained-index
+//! equivalence with the naive index, reorder-buffer ordering, topic
+//! matching, and Zipf sampler bounds.
+
+use bistream::broker::pattern::topic_matches as pattern_matches;
+use bistream::index::{ChainedIndex, IndexKind, NaiveWindowIndex};
+use bistream::types::predicate::ProbePlan;
+use bistream::types::punct::{Punctuation, Purpose, StreamMessage};
+use bistream::types::rel::Rel;
+use bistream::types::time::Ts;
+use bistream::types::tuple::Tuple;
+use bistream::types::value::Value;
+use bistream::types::window::WindowSpec;
+use proptest::prelude::*;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<i64>().prop_map(Value::Int),
+        any::<f64>().prop_map(Value::Float),
+        "[a-z]{0,8}".prop_map(Value::Str),
+        any::<bool>().prop_map(Value::Bool),
+        Just(Value::Null),
+    ]
+}
+
+proptest! {
+    /// Ord on Value is a total order: antisymmetric and transitive.
+    #[test]
+    fn value_order_is_total(a in arb_value(), b in arb_value(), c in arb_value()) {
+        use std::cmp::Ordering::*;
+        prop_assert_eq!(a.cmp(&b), b.cmp(&a).reverse());
+        if a.cmp(&b) != Greater && b.cmp(&c) != Greater {
+            prop_assert_ne!(a.cmp(&c), Greater);
+        }
+    }
+
+    /// Value wire codec round-trips every value (NaN canonicalised).
+    #[test]
+    fn value_codec_roundtrip(v in arb_value()) {
+        let mut buf = bytes::BytesMut::new();
+        v.encode(&mut buf);
+        let mut wire = buf.freeze();
+        let back = Value::decode(&mut wire).unwrap();
+        prop_assert_eq!(back.cmp(&v), std::cmp::Ordering::Equal);
+        prop_assert_eq!(wire.len(), 0, "codec consumed exactly its bytes");
+    }
+
+    /// Tuple codec round-trips arbitrary tuples.
+    #[test]
+    fn tuple_codec_roundtrip(
+        ts in any::<Ts>(),
+        values in prop::collection::vec(arb_value(), 0..6),
+        is_r in any::<bool>(),
+    ) {
+        let rel = if is_r { Rel::R } else { Rel::S };
+        let t = Tuple::new(rel, ts, values);
+        let mut wire = t.encode();
+        let back = Tuple::decode(&mut wire).unwrap();
+        prop_assert_eq!(back.rel(), t.rel());
+        prop_assert_eq!(back.ts(), t.ts());
+        prop_assert_eq!(back.values().len(), t.values().len());
+    }
+
+    /// Stream-message codec round-trips.
+    #[test]
+    fn stream_message_roundtrip(router in any::<u32>(), seq in any::<u64>(), k in any::<i64>(), punct in any::<bool>()) {
+        let msg = if punct {
+            StreamMessage::Punct(Punctuation { router, seq })
+        } else {
+            StreamMessage::Data {
+                router,
+                seq,
+                purpose: Purpose::Store,
+                tuple: Tuple::new(Rel::R, 1, vec![Value::Int(k)]),
+            }
+        };
+        let mut wire = msg.encode();
+        prop_assert_eq!(StreamMessage::decode(&mut wire).unwrap(), msg);
+    }
+
+    /// Window algebra: expiry implies out-of-scope, and in-scope is
+    /// symmetric; full-history never expires.
+    #[test]
+    fn window_laws(ws in 1u64..10_000, a in 0u64..100_000, b in 0u64..100_000) {
+        let w = WindowSpec::sliding(ws);
+        prop_assert_eq!(w.in_scope(a, b), w.in_scope(b, a));
+        if w.is_expired(a, b) {
+            prop_assert!(!w.in_scope(a, b));
+        }
+        prop_assert!(!WindowSpec::FullHistory.is_expired(a, b));
+    }
+
+    /// The chained index agrees with the naive per-tuple-eviction index on
+    /// every probe, for any interleaving of inserts and probes with
+    /// monotone timestamps.
+    #[test]
+    fn chained_index_equals_naive_index(
+        ops in prop::collection::vec((0u8..2, 0i64..20, 1u64..40), 1..300),
+        period in 1u64..500,
+    ) {
+        let window = WindowSpec::sliding(200);
+        let mut chained = ChainedIndex::new(IndexKind::Hash, window, period);
+        let mut naive = NaiveWindowIndex::new(IndexKind::Hash, window);
+        let mut ts: Ts = 0;
+        for (op, key, dt) in ops {
+            ts += dt;
+            let key = Value::Int(key);
+            if op == 0 {
+                let t = Tuple::new(Rel::R, ts, vec![key.clone()]);
+                chained.insert(key.clone(), t.clone());
+                naive.insert(key, t);
+            } else {
+                chained.expire(ts);
+                naive.expire(ts);
+                let plan = ProbePlan::ExactKey(key);
+                let mut a: Vec<Ts> = Vec::new();
+                chained.probe(&plan, ts, |t| a.push(t.ts()));
+                let mut b: Vec<Ts> = Vec::new();
+                naive.probe(&plan, ts, |t| b.push(t.ts()));
+                a.sort_unstable();
+                b.sort_unstable();
+                prop_assert_eq!(a, b, "probe mismatch at ts {}", ts);
+            }
+        }
+    }
+
+    /// Topic matching: a literal key always matches itself; `#` matches
+    /// everything; `*`-for-one-word substitution of any key matches.
+    #[test]
+    fn topic_matching_laws(words in prop::collection::vec("[a-z]{1,4}", 1..5), star_at in any::<prop::sample::Index>()) {
+        let key = words.join(".");
+        prop_assert!(pattern_matches(&key, &key));
+        prop_assert!(pattern_matches("#", &key));
+        let i = star_at.index(words.len());
+        let mut pat = words.clone();
+        pat[i] = "*".to_string();
+        prop_assert!(pattern_matches(&pat.join("."), &key));
+        // One extra word breaks a literal pattern. (Built outside the
+        // assert: prop_assert! stringifies its expression into a format
+        // string, so inline `{key}` placeholders would be reinterpreted.)
+        let longer = format!("{key}.extra");
+        prop_assert!(!pattern_matches(&key, &longer));
+    }
+
+    /// The reorder buffer releases every offered message at most once, in
+    /// nondecreasing (seq, router) order, and exactly the messages at or
+    /// below the final watermark.
+    #[test]
+    fn reorder_buffer_release_order(
+        msgs in prop::collection::vec((0u32..3, 1u64..50), 1..100),
+        final_punct in 1u64..60,
+    ) {
+        use bistream::core::ordering::ReorderBuffer;
+        let mut buf = ReorderBuffer::new();
+        for r in 0..3 {
+            buf.register_router(r, 0);
+        }
+        let mut out = Vec::new();
+        // Deduplicate (router, seq) pairs — a joiner receives at most one
+        // copy of a tuple per router sequence slot.
+        let mut seen = std::collections::HashSet::new();
+        let mut offered = 0usize;
+        for (router, seq) in msgs {
+            if seen.insert((router, seq)) {
+                offered += 1;
+                buf.offer(
+                    StreamMessage::Data {
+                        router,
+                        seq,
+                        purpose: Purpose::Store,
+                        tuple: Tuple::new(Rel::R, seq, vec![Value::Int(seq as i64)]),
+                    },
+                    &mut out,
+                );
+            }
+        }
+        for r in 0..3 {
+            buf.offer(StreamMessage::Punct(Punctuation { router: r, seq: final_punct }), &mut out);
+        }
+        // Released in (seq, router) order.
+        for w in out.windows(2) {
+            prop_assert!((w[0].seq, w[0].router) <= (w[1].seq, w[1].router));
+        }
+        // Exactly the messages ≤ watermark released; the rest remain.
+        let released = out.len();
+        let below: usize = seen.iter().filter(|(_, s)| *s <= final_punct).count();
+        prop_assert_eq!(released, below);
+        prop_assert_eq!(buf.depth(), offered - released);
+    }
+
+    /// For any random stream, the biclique engine (every routing
+    /// strategy) and the join-matrix produce exactly the reference join's
+    /// result multiset — the two architectures are observationally
+    /// equivalent.
+    #[test]
+    fn biclique_and_matrix_agree_with_reference(
+        ops in prop::collection::vec((any::<bool>(), 0i64..12, 1u64..30), 10..120),
+        routing_pick in 0u8..3,
+    ) {
+        use bistream::core::config::{EngineConfig, RoutingStrategy};
+        use bistream::core::engine::BicliqueEngine;
+        use bistream::matrix::{JoinMatrix, MatrixConfig};
+        use bistream::types::predicate::JoinPredicate;
+        use bistream::types::tuple::JoinResult;
+
+        const W: Ts = 150;
+        let mut tuples = Vec::new();
+        let mut ts = 0;
+        for (is_r, key, dt) in ops {
+            ts += dt;
+            let rel = if is_r { Rel::R } else { Rel::S };
+            tuples.push(Tuple::new(rel, ts, vec![Value::Int(key)]));
+        }
+
+        let mut expect: Vec<_> = Vec::new();
+        for a in tuples.iter().filter(|t| t.rel() == Rel::R) {
+            for b in tuples.iter().filter(|t| t.rel() == Rel::S) {
+                if a.get(0) == b.get(0) && a.ts().abs_diff(b.ts()) <= W {
+                    expect.push(JoinResult::of(a.clone(), b.clone()).identity());
+                }
+            }
+        }
+        expect.sort();
+
+        let routing = match routing_pick {
+            0 => RoutingStrategy::Random,
+            1 => RoutingStrategy::Hash,
+            _ => RoutingStrategy::ContRand { subgroups: 2 },
+        };
+        let cfg = EngineConfig {
+            r_joiners: 2,
+            s_joiners: 3,
+            predicate: JoinPredicate::Equi { r_attr: 0, s_attr: 0 },
+            window: WindowSpec::sliding(W),
+            routing,
+            archive_period_ms: 20,
+            punctuation_interval_ms: 10,
+            ordering: true,
+            seed: 5,
+        };
+        let mut engine = BicliqueEngine::new(cfg).unwrap();
+        engine.capture_results();
+        let mut next_punct = 10;
+        for t in &tuples {
+            while next_punct <= t.ts() {
+                engine.punctuate(next_punct).unwrap();
+                next_punct += 10;
+            }
+            engine.ingest(t, t.ts()).unwrap();
+        }
+        engine.punctuate(ts + 10).unwrap();
+        engine.flush().unwrap();
+        let mut bic: Vec<_> = engine.take_captured().iter().map(JoinResult::identity).collect();
+        bic.sort();
+        prop_assert_eq!(&bic, &expect, "biclique {:?}", routing);
+
+        let mcfg = MatrixConfig {
+            rows: 2,
+            cols: 2,
+            predicate: JoinPredicate::Equi { r_attr: 0, s_attr: 0 },
+            window: WindowSpec::sliding(W),
+            archive_period_ms: 20,
+            seed: 5,
+        };
+        let mut matrix = JoinMatrix::new(mcfg).unwrap();
+        matrix.capture_results();
+        for t in &tuples {
+            matrix.ingest(t, t.ts()).unwrap();
+        }
+        let mut mat: Vec<_> = matrix.take_captured().iter().map(JoinResult::identity).collect();
+        mat.sort();
+        prop_assert_eq!(&mat, &expect, "matrix");
+    }
+
+    /// Zipf samples stay inside the universe for any theta.
+    #[test]
+    fn zipf_in_universe(n in 1u64..5_000, theta in 0.0f64..1.2, seed in any::<u64>()) {
+        use bistream::workload::keys::ZipfSampler;
+        use rand::{rngs::StdRng, SeedableRng};
+        let z = ZipfSampler::new(n, theta);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..100 {
+            prop_assert!(z.sample(&mut rng) < n);
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Integration tests for elasticity: scaling under churn must never
+//! corrupt results, and the autoscaled simulation must keep its
+//! invariants over long horizons.
+
+use bistream::cluster::{CostModel, HpaConfig, MetricTarget};
+use bistream::core::config::{EngineConfig, RoutingStrategy};
+use bistream::core::engine::BicliqueEngine;
+use bistream::core::sim::{run_dynamic_scaling, SimConfig, VecFeed};
+use bistream::types::predicate::JoinPredicate;
+use bistream::types::rel::Rel;
+use bistream::types::time::Ts;
+use bistream::types::tuple::{JoinResult, Tuple};
+use bistream::types::value::Value;
+use bistream::types::window::WindowSpec;
+
+const WINDOW_MS: Ts = 600;
+
+fn stream(n: usize, keys: i64, seed: u64) -> Vec<Tuple> {
+    let mut out = Vec::with_capacity(n);
+    let mut state = seed | 1;
+    for i in 0..n {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(99);
+        let rel = if state & 1 == 0 { Rel::R } else { Rel::S };
+        let key = ((state >> 33) % keys as u64) as i64;
+        out.push(Tuple::new(rel, (i as Ts) * 3, vec![Value::Int(key)]));
+    }
+    out
+}
+
+fn reference_count(tuples: &[Tuple]) -> usize {
+    let mut expect = 0;
+    for a in tuples.iter().filter(|t| t.rel() == Rel::R) {
+        for b in tuples.iter().filter(|t| t.rel() == Rel::S) {
+            if a.get(0) == b.get(0) && a.ts().abs_diff(b.ts()) <= WINDOW_MS {
+                expect += 1;
+            }
+        }
+    }
+    expect
+}
+
+/// Scale both sides up and down repeatedly mid-stream; results must equal
+/// the reference exactly, for every routing strategy.
+#[test]
+fn repeated_scaling_keeps_exactly_once_semantics() {
+    let tuples = stream(900, 19, 0xF00D);
+    let expect = reference_count(&tuples);
+    assert!(expect > 0);
+
+    for routing in [
+        RoutingStrategy::Random,
+        RoutingStrategy::Hash,
+        RoutingStrategy::ContRand { subgroups: 2 },
+    ] {
+        let cfg = EngineConfig {
+            r_joiners: 2,
+            s_joiners: 2,
+            predicate: JoinPredicate::Equi { r_attr: 0, s_attr: 0 },
+            window: WindowSpec::sliding(WINDOW_MS),
+            routing,
+            archive_period_ms: 40,
+            punctuation_interval_ms: 25,
+            ordering: true,
+            seed: 21,
+        };
+        let mut engine = BicliqueEngine::new(cfg).unwrap();
+        engine.capture_results();
+        let mut next_punct = 25;
+        // Scale plan: (at_ts, side, n).
+        let plan = [
+            (300u64, Rel::R, 4usize),
+            (700, Rel::S, 3),
+            (1_200, Rel::R, 2),
+            (1_800, Rel::S, 2),
+            (2_200, Rel::R, 5),
+        ];
+        let mut step = 0;
+        let mut last = 0;
+        for t in &tuples {
+            while next_punct <= t.ts() {
+                engine.punctuate(next_punct).unwrap();
+                next_punct += 25;
+            }
+            while step < plan.len() && t.ts() >= plan[step].0 {
+                let (_, side, n) = plan[step];
+                engine.scale_to(side, n, t.ts()).unwrap();
+                step += 1;
+            }
+            engine.ingest(t, t.ts()).unwrap();
+            last = t.ts();
+        }
+        engine.punctuate(last + 25).unwrap();
+        engine.flush().unwrap();
+        let got = engine.take_captured();
+        assert_eq!(got.len(), expect, "routing {routing:?}");
+        // Also verify identities, not just counts (no accidental dup+miss
+        // cancellation).
+        let mut ids: Vec<_> = got.iter().map(JoinResult::identity).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), expect, "all results distinct under {routing:?}");
+    }
+}
+
+/// Draining units must eventually retire (no leak of retired joiners).
+#[test]
+fn drained_units_retire_within_a_window() {
+    let mut cfg = EngineConfig::default_equi();
+    cfg.routing = RoutingStrategy::Random;
+    cfg.window = WindowSpec::sliding(200);
+    let mut engine = BicliqueEngine::new(cfg).unwrap();
+    for i in 0..50 {
+        engine
+            .ingest(&Tuple::new(Rel::R, i, vec![Value::Int(i as i64)]), i)
+            .unwrap();
+    }
+    engine.scale_to(Rel::R, 1, 50).unwrap();
+    assert_eq!(engine.draining_units(), 1);
+    // Advance far beyond a window; the drained unit must be gone.
+    engine
+        .ingest(&Tuple::new(Rel::S, 1_000, vec![Value::Int(0)]), 1_000)
+        .unwrap();
+    engine.punctuate(1_001).unwrap();
+    assert_eq!(engine.draining_units(), 0);
+    assert_eq!(engine.replicas(Rel::R), 1);
+}
+
+/// The autoscaled simulation respects the HPA's min/max bounds and keeps
+/// producing results through every scale event.
+#[test]
+fn autoscaled_simulation_respects_bounds_and_liveness() {
+    let mut cfg = EngineConfig::default_equi();
+    cfg.r_joiners = 1;
+    cfg.s_joiners = 1;
+    cfg.routing = RoutingStrategy::Random;
+    cfg.window = WindowSpec::sliding(2_000);
+    cfg.punctuation_interval_ms = 50;
+    let engine = BicliqueEngine::builder(cfg)
+        .cost_model(CostModel::thesis_operating_point())
+        .build()
+        .unwrap();
+
+    // A hot stream that forces scaling to the max.
+    let mut tuples = Vec::new();
+    for i in 0..40_000u64 {
+        let rel = if i % 2 == 0 { Rel::R } else { Rel::S };
+        tuples.push(Tuple::new(rel, i / 2, vec![Value::Int(((i / 2) % 500) as i64)]));
+    }
+    let mut feed = VecFeed::new(tuples);
+    let hpa = HpaConfig {
+        min_replicas: 1,
+        max_replicas: 3,
+        target: MetricTarget::CpuUtilization(0.8),
+        period_ms: 2_000,
+        tolerance: 0.1,
+        scale_down_stabilization_ms: 8_000,
+    };
+    let out = run_dynamic_scaling(
+        engine,
+        &mut feed,
+        hpa,
+        &SimConfig {
+            duration_ms: 20_000,
+            sample_interval_ms: 1_000,
+            pod_startup_delay_ms: 1_000,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+
+    assert!(!out.scale_events.is_empty(), "hot stream must trigger scaling");
+    for s in &out.samples {
+        assert!(s.r_replicas >= 1 && s.r_replicas <= 3);
+        assert!(s.s_replicas >= 1 && s.s_replicas <= 3);
+    }
+    // Results keep flowing (strictly increasing across the middle of the
+    // run where the stream is still hot).
+    let mid = out.samples.len() / 2;
+    assert!(out.samples[mid].results > out.samples[1].results);
+}
