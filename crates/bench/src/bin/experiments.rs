@@ -23,6 +23,10 @@ fn main() {
                 let v = iter.next().expect("--seed needs a value");
                 ctx.seed = v.parse().expect("--seed needs a u64");
             }
+            "--metrics-out" => {
+                let v = iter.next().expect("--metrics-out needs a file path");
+                ctx.metrics_out = Some(v.into());
+            }
             "--help" | "-h" => {
                 usage();
                 return;
@@ -56,7 +60,7 @@ fn main() {
 
 fn usage() {
     eprintln!(
-        "usage: experiments [--quick] [--seed N] <id>… | all\n  ids: {}",
+        "usage: experiments [--quick] [--seed N] [--metrics-out FILE] <id>… | all\n  ids: {}",
         experiments::ALL.join(", ")
     );
 }

@@ -63,6 +63,10 @@ pub fn run(ctx: &ExpCtx) {
     let out = run_dynamic_scaling(engine, &mut feed_profile, hpa, &sim)
         .expect("simulation runs");
 
+    if let Some(path) = &ctx.metrics_out {
+        super::dump_metrics(path, &out.metric_series, &out.events);
+    }
+
     let mut table = Table::new(
         "E1: dynamic scaling on CPU utilization (thesis Fig. 20)",
         &["t_min", "rate_t/s", "R_pods", "S_pods", "R_cpu%", "S_cpu%", "results"],

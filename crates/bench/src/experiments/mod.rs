@@ -23,17 +23,37 @@ pub mod e13_router_elasticity;
 pub mod e14_recovery;
 
 /// Experiment context.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ExpCtx {
     /// Shorten horizons (smoke mode).
     pub quick: bool,
     /// Master seed.
     pub seed: u64,
+    /// Dump the observability output of instrumented experiments (the
+    /// sampler's per-tick registry scrapes plus the drained event
+    /// journal) to this JSON file (`--metrics-out`).
+    pub metrics_out: Option<std::path::PathBuf>,
 }
 
 impl Default for ExpCtx {
     fn default() -> Self {
-        ExpCtx { quick: false, seed: 0xB15_7EA4 }
+        ExpCtx { quick: false, seed: 0xB15_7EA4, metrics_out: None }
+    }
+}
+
+/// Write the `--metrics-out` dump: one JSON object holding the sampled
+/// registry time-series (`series`, one full scrape per sample tick) and
+/// the structured event journal (`events`, virtual-time stamped).
+pub fn dump_metrics(
+    path: &std::path::Path,
+    series: &[bistream_types::registry::RegistrySnapshot],
+    events: &[bistream_types::journal::Event],
+) {
+    let doc = serde_json::json!({ "series": series, "events": events });
+    let text = serde_json::to_string_pretty(&doc).expect("metrics serialize");
+    match std::fs::write(path, text) {
+        Ok(()) => eprintln!(">> metrics written to {}", path.display()),
+        Err(e) => eprintln!(">> could not write {}: {e}", path.display()),
     }
 }
 

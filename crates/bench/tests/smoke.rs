@@ -12,7 +12,7 @@ fn quick_experiments_run_to_completion() {
     std::fs::create_dir_all(&tmp).unwrap();
     std::env::set_current_dir(&tmp).unwrap();
 
-    let ctx = ExpCtx { quick: true, seed: 7 };
+    let ctx = ExpCtx { quick: true, seed: 7, ..ExpCtx::default() };
     for id in ["e4", "e5", "e9", "e11", "e12", "e13"] {
         assert!(experiments::run(id, &ctx), "experiment {id} unknown");
     }

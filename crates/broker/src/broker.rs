@@ -4,8 +4,10 @@
 use crate::exchange::{Binding, Exchange, ExchangeKind};
 use crate::message::Message;
 use crate::pattern::valid_pattern;
-use crate::queue::{Consumer, QueueCore};
+use crate::queue::{Consumer, QueueCore, QueueObs};
 use bistream_types::error::{Error, Result};
+use bistream_types::registry::Observability;
+use bistream_types::time::Clock;
 use parking_lot::RwLock;
 use serde::Serialize;
 use std::collections::BTreeMap;
@@ -23,6 +25,9 @@ pub const DEFAULT_QUEUE_CAPACITY: usize = 8_192;
 struct Inner {
     exchanges: BTreeMap<String, Exchange>,
     queues: BTreeMap<String, Arc<QueueCore>>,
+    /// Observability + timebase, when attached; queues declared afterwards
+    /// get registry-backed counters and depth gauges under `queue="name"`.
+    obs: Option<(Observability, Arc<dyn Clock>)>,
 }
 
 /// The in-process message broker.
@@ -72,6 +77,14 @@ impl Broker {
         }
     }
 
+    /// Attach an observability bundle: every queue declared *after* this
+    /// call exposes `bistream_queue_*` series labeled `queue="name"` in the
+    /// bundle's registry and journals `BackpressureStall` events stamped by
+    /// `clock`. Queues declared earlier keep their private counters.
+    pub fn attach_observability(&self, obs: Observability, clock: Arc<dyn Clock>) {
+        self.inner.write().obs = Some((obs, clock));
+    }
+
     /// Declare a queue with the given capacity. Redeclaring is a no-op
     /// (capacity of the first declaration wins, as in AMQP).
     pub fn declare_queue(&self, name: &str, capacity: usize) -> Result<()> {
@@ -79,10 +92,30 @@ impl Broker {
             return Err(Error::Broker(format!("queue `{name}` needs capacity > 0")));
         }
         let mut inner = self.inner.write();
-        inner
-            .queues
-            .entry(name.to_owned())
-            .or_insert_with(|| QueueCore::new(name.to_owned(), capacity));
+        if inner.queues.contains_key(name) {
+            return Ok(());
+        }
+        let queue = match &inner.obs {
+            Some((obs, clock)) => {
+                let labels: &[(&str, &str)] = &[("queue", name)];
+                let reg = &obs.registry;
+                QueueCore::observed(
+                    name.to_owned(),
+                    capacity,
+                    QueueObs {
+                        published: reg.counter("bistream_queue_published_total", labels),
+                        delivered: reg.counter("bistream_queue_delivered_total", labels),
+                        redelivered: reg.counter("bistream_queue_redelivered_total", labels),
+                        depth: reg.gauge("bistream_queue_depth", labels),
+                        blocked: reg.counter("bistream_queue_backpressure_blocks_total", labels),
+                        journal: obs.journal.clone(),
+                        clock: Arc::clone(clock),
+                    },
+                )
+            }
+            None => QueueCore::new(name.to_owned(), capacity),
+        };
+        inner.queues.insert(name.to_owned(), queue);
         Ok(())
     }
 
@@ -201,6 +234,10 @@ impl Broker {
         }
         for e in inner.exchanges.values_mut() {
             e.unbind_queue(name);
+        }
+        // Retire the queue's metric series so scrapes don't report ghosts.
+        if let Some((obs, _)) = &inner.obs {
+            obs.registry.unregister_labeled("queue", name);
         }
         Ok(())
     }
@@ -421,6 +458,52 @@ mod tests {
         b.publish("dx", Message::new("1", vec![9u8])).unwrap();
         assert_eq!(b.subscribe("p0").unwrap().depth(), 0);
         assert_eq!(b.subscribe("p1").unwrap().depth(), 1);
+    }
+
+    #[test]
+    fn observed_queues_publish_registry_series_and_stall_events() {
+        use bistream_types::journal::EventKind;
+        use bistream_types::time::VirtualClock;
+
+        let b = broker_with_topic();
+        let obs = Observability::new();
+        let clock = VirtualClock::starting_at(33);
+        b.attach_observability(obs.clone(), Arc::new(clock));
+        b.declare_queue("tiny", 1).unwrap();
+        b.bind("tuple.exchange", "tiny", "#").unwrap();
+        let labels: &[(&str, &str)] = &[("queue", "tiny")];
+
+        b.publish("tuple.exchange", Message::new("k", vec![1])).unwrap();
+        let snap = obs.registry.scrape(0);
+        assert_eq!(snap.counter("bistream_queue_published_total", labels), Some(1));
+        assert_eq!(snap.gauge("bistream_queue_depth", labels), Some(1));
+
+        // Second blocking publish stalls until a consumer drains.
+        let b2 = b.clone();
+        let blocked = std::thread::spawn(move || {
+            b2.publish("tuple.exchange", Message::new("k", vec![2])).unwrap();
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let c = b.subscribe("tiny").unwrap();
+        c.recv_timeout(std::time::Duration::from_millis(200)).unwrap();
+        blocked.join().unwrap();
+        c.recv_timeout(std::time::Duration::from_millis(200)).unwrap();
+
+        let snap = obs.registry.scrape(0);
+        assert_eq!(snap.counter("bistream_queue_published_total", labels), Some(2));
+        assert_eq!(snap.counter("bistream_queue_delivered_total", labels), Some(2));
+        assert_eq!(snap.gauge("bistream_queue_depth", labels), Some(0));
+        assert_eq!(
+            snap.counter("bistream_queue_backpressure_blocks_total", labels),
+            Some(1)
+        );
+        let events = obs.journal.drain();
+        assert!(events.iter().any(|e| e.ts == 33
+            && matches!(&e.kind, EventKind::BackpressureStall { queue } if queue == "tiny")));
+
+        // Deleting the queue retires its series.
+        b.delete_queue("tiny").unwrap();
+        assert!(obs.registry.scrape(0).get("bistream_queue_depth", labels).is_none());
     }
 
     #[test]

@@ -6,7 +6,9 @@
 //! property the ordering protocol requires.
 
 use crate::message::Message;
-use bistream_types::metrics::Counter;
+use bistream_types::journal::{EventJournal, EventKind};
+use bistream_types::metrics::{Counter, Gauge};
+use bistream_types::time::Clock;
 use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender, TrySendError};
 use std::sync::Arc;
 use std::time::Duration;
@@ -20,14 +22,71 @@ pub enum RecvError {
     Disconnected,
 }
 
+/// Registry-backed handles for one queue, built by the broker when an
+/// [`bistream_types::registry::Observability`] is attached before the
+/// queue is declared.
+pub(crate) struct QueueObs {
+    /// `bistream_queue_published_total{queue=…}` — adopted by the meta.
+    pub(crate) published: Arc<Counter>,
+    /// `bistream_queue_delivered_total{queue=…}`.
+    pub(crate) delivered: Arc<Counter>,
+    /// `bistream_queue_redelivered_total{queue=…}`.
+    pub(crate) redelivered: Arc<Counter>,
+    /// `bistream_queue_depth{queue=…}` — kept current on push/recv/purge.
+    pub(crate) depth: Arc<Gauge>,
+    /// `bistream_queue_backpressure_blocks_total{queue=…}`.
+    pub(crate) blocked: Arc<Counter>,
+    /// Journal receiving [`EventKind::BackpressureStall`] events.
+    pub(crate) journal: EventJournal,
+    /// Timebase for stall events (the live pipeline's wall clock).
+    pub(crate) clock: Arc<dyn Clock>,
+}
+
+impl std::fmt::Debug for QueueObs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueueObs").finish_non_exhaustive()
+    }
+}
+
 /// Name, bound and counters shared by the queue and all its consumers.
 #[derive(Debug)]
 struct QueueMeta {
     name: String,
     capacity: usize,
-    published: Counter,
-    delivered: Counter,
-    redelivered: Counter,
+    published: Arc<Counter>,
+    delivered: Arc<Counter>,
+    redelivered: Arc<Counter>,
+    /// Depth gauge, stall counter and journal — present only when the
+    /// broker had observability attached at declaration time.
+    depth_gauge: Option<Arc<Gauge>>,
+    blocked: Option<Arc<Counter>>,
+    stall_journal: Option<(EventJournal, Arc<dyn Clock>)>,
+}
+
+impl QueueMeta {
+    #[inline]
+    fn note_enqueued(&self) {
+        if let Some(g) = &self.depth_gauge {
+            g.add(1);
+        }
+    }
+
+    #[inline]
+    fn note_dequeued(&self) {
+        if let Some(g) = &self.depth_gauge {
+            g.sub(1);
+        }
+    }
+
+    fn note_stall(&self) {
+        if let Some(c) = &self.blocked {
+            c.inc();
+        }
+        if let Some((journal, clock)) = &self.stall_journal {
+            journal
+                .record(clock.now(), EventKind::BackpressureStall { queue: self.name.clone() });
+        }
+    }
 }
 
 /// Internal queue state held by the broker and by exchange bindings.
@@ -46,28 +105,64 @@ pub(crate) struct QueueCore {
 
 impl QueueCore {
     pub(crate) fn new(name: String, capacity: usize) -> Arc<QueueCore> {
+        Self::build(name, capacity, None)
+    }
+
+    pub(crate) fn observed(name: String, capacity: usize, obs: QueueObs) -> Arc<QueueCore> {
+        Self::build(name, capacity, Some(obs))
+    }
+
+    fn build(name: String, capacity: usize, obs: Option<QueueObs>) -> Arc<QueueCore> {
         let (tx, rx) = channel::bounded(capacity);
-        Arc::new(QueueCore {
-            meta: Arc::new(QueueMeta {
+        let meta = match obs {
+            Some(obs) => QueueMeta {
                 name,
                 capacity,
-                published: Counter::default(),
-                delivered: Counter::default(),
-                redelivered: Counter::default(),
-            }),
-            tx,
-            rx,
-        })
+                published: obs.published,
+                delivered: obs.delivered,
+                redelivered: obs.redelivered,
+                depth_gauge: Some(obs.depth),
+                blocked: Some(obs.blocked),
+                stall_journal: Some((obs.journal, obs.clock)),
+            },
+            None => QueueMeta {
+                name,
+                capacity,
+                published: Counter::shared(),
+                delivered: Counter::shared(),
+                redelivered: Counter::shared(),
+                depth_gauge: None,
+                blocked: None,
+                stall_journal: None,
+            },
+        };
+        Arc::new(QueueCore { meta: Arc::new(meta), tx, rx })
     }
 
     pub(crate) fn name(&self) -> &str {
         &self.meta.name
     }
 
-    /// Enqueue, blocking while full (live-runtime backpressure).
+    /// Enqueue, blocking while full (live-runtime backpressure). A stall
+    /// bumps the queue's backpressure counter and journals a
+    /// `BackpressureStall` before the publisher parks on the channel.
     pub(crate) fn push_blocking(&self, msg: Message) -> Result<(), Message> {
         self.meta.published.inc();
-        self.tx.send(msg).map_err(|e| e.0)
+        match self.tx.try_send(msg) {
+            Ok(()) => {
+                self.meta.note_enqueued();
+                Ok(())
+            }
+            Err(TrySendError::Disconnected(m)) => Err(m),
+            Err(TrySendError::Full(m)) => {
+                self.meta.note_stall();
+                let r = self.tx.send(m).map_err(|e| e.0);
+                if r.is_ok() {
+                    self.meta.note_enqueued();
+                }
+                r
+            }
+        }
     }
 
     /// Enqueue without blocking; returns the message back if full/closed.
@@ -75,6 +170,7 @@ impl QueueCore {
         let r = self.tx.try_send(msg);
         if r.is_ok() {
             self.meta.published.inc();
+            self.meta.note_enqueued();
         }
         r
     }
@@ -101,6 +197,7 @@ impl QueueCore {
         let mut n = 0;
         while self.rx.try_recv().is_ok() {
             n += 1;
+            self.meta.note_dequeued();
         }
         n
     }
@@ -121,6 +218,7 @@ impl QueueCore {
         let ok = self.tx.try_send(msg).is_ok();
         if ok {
             self.meta.redelivered.inc();
+            self.meta.note_enqueued();
         }
         ok
     }
@@ -152,6 +250,7 @@ impl Consumer {
         match self.rx.recv_timeout(timeout) {
             Ok(m) => {
                 self.meta.delivered.inc();
+                self.meta.note_dequeued();
                 Ok(m)
             }
             Err(RecvTimeoutError::Timeout) => Err(RecvError::Timeout),
@@ -164,6 +263,7 @@ impl Consumer {
         match self.rx.recv() {
             Ok(m) => {
                 self.meta.delivered.inc();
+                self.meta.note_dequeued();
                 Ok(m)
             }
             Err(_) => Err(RecvError::Disconnected),
@@ -174,6 +274,7 @@ impl Consumer {
     pub fn try_recv(&self) -> Option<Message> {
         let m = self.rx.try_recv().ok()?;
         self.meta.delivered.inc();
+        self.meta.note_dequeued();
         Some(m)
     }
 

@@ -1,6 +1,7 @@
 //! Per-pod resource meters and the utilization pipeline.
 
 use bistream_types::metrics::{Counter, Gauge};
+use bistream_types::registry::MetricsRegistry;
 use bistream_types::time::Ts;
 use serde::Serialize;
 use std::sync::Arc;
@@ -10,15 +11,24 @@ use std::sync::Arc;
 #[derive(Debug, Default)]
 pub struct ResourceMeter {
     /// Cumulative busy CPU time in microseconds.
-    cpu_busy_us: Counter,
+    cpu_busy_us: Arc<Counter>,
     /// Live memory in bytes.
-    memory_bytes: Gauge,
+    memory_bytes: Arc<Gauge>,
 }
 
 impl ResourceMeter {
     /// A fresh meter, shared.
     pub fn shared() -> Arc<ResourceMeter> {
         Arc::new(ResourceMeter::default())
+    }
+
+    /// Expose this meter's primitives in `registry` as
+    /// `bistream_pod_cpu_busy_us_total{labels}` and
+    /// `bistream_pod_memory_bytes{labels}` — the pod-label registration the
+    /// unified scrape needs. Idempotent for a given label set.
+    pub fn register_into(&self, registry: &MetricsRegistry, labels: &[(&str, &str)]) {
+        registry.register_counter("bistream_pod_cpu_busy_us_total", labels, &self.cpu_busy_us);
+        registry.register_gauge("bistream_pod_memory_bytes", labels, &self.memory_bytes);
     }
 
     /// Charge `us` microseconds of CPU (fractions accumulate via rounding
@@ -119,6 +129,19 @@ mod tests {
         assert_eq!(m.cpu_busy_us(), 6, "rounded per call");
         m.set_memory_bytes(1_024);
         assert_eq!(m.memory_bytes(), 1_024);
+    }
+
+    #[test]
+    fn register_into_exposes_pod_series() {
+        let m = ResourceMeter::shared();
+        let reg = MetricsRegistry::new();
+        m.register_into(&reg, &[("pod", "R0")]);
+        m.charge_cpu_us(1_000.0);
+        m.set_memory_bytes(64);
+        let snap = reg.scrape(0);
+        let labels: &[(&str, &str)] = &[("pod", "R0")];
+        assert_eq!(snap.counter("bistream_pod_cpu_busy_us_total", labels), Some(1_000));
+        assert_eq!(snap.gauge("bistream_pod_memory_bytes", labels), Some(64));
     }
 
     #[test]

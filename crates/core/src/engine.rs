@@ -34,7 +34,9 @@ use crate::stats::{EngineSnapshot, EngineStats};
 use bistream_cluster::{CostModel, ResourceMeter};
 use bistream_types::error::{Error, Result};
 use bistream_types::hash::FxHashMap;
+use bistream_types::journal::EventKind;
 use bistream_types::punct::{Punctuation, Purpose, RouterId, SeqNo, StreamMessage};
+use bistream_types::registry::Observability;
 use bistream_types::rel::Rel;
 use bistream_types::time::Ts;
 use bistream_types::tuple::{JoinResult, Tuple};
@@ -68,6 +70,7 @@ pub struct BicliqueEngine {
     historical: Vec<(Layout, Ts)>,
     net: ChannelNet,
     stats: Arc<EngineStats>,
+    obs: Observability,
     capture: Option<Vec<JoinResult>>,
     auto_pump: bool,
     now: Ts,
@@ -88,6 +91,8 @@ impl BicliqueEngine {
             delivery: DeliveryMode::InOrder,
             cost: CostModel::default(),
             auto_pump: true,
+            obs: None,
+            engine_label: "engine".to_string(),
         }
     }
 
@@ -104,6 +109,15 @@ impl BicliqueEngine {
     /// Engine-wide counters.
     pub fn stats(&self) -> EngineSnapshot {
         self.stats.snapshot()
+    }
+
+    /// The engine's observability bundle: the labeled metrics registry
+    /// every unit registers into and the shared event journal. Scrape
+    /// with `observability().registry.scrape(now)` /
+    /// `.prometheus_text(now)`; drain events with
+    /// `observability().journal.drain()`.
+    pub fn observability(&self) -> &Observability {
+        &self.obs
     }
 
     /// Units currently draining (retired but not yet empty).
@@ -230,9 +244,14 @@ impl BicliqueEngine {
                 continue;
             };
             let capture = &mut self.capture;
+            let per_joiner_latency = joiner.latency_histogram();
             joiner.handle(flight.msg, &mut |result: JoinResult| {
                 stats.results.inc();
-                stats.latency_ms.record(now.saturating_sub(result.ts));
+                let latency = now.saturating_sub(result.ts);
+                stats.latency_ms.record(latency);
+                if let Some(h) = &per_joiner_latency {
+                    h.record(latency);
+                }
                 if let Some(buf) = capture {
                     buf.push(result);
                 }
@@ -251,9 +270,14 @@ impl BicliqueEngine {
         let now = self.now;
         for joiner in self.joiners.values_mut() {
             let capture = &mut self.capture;
+            let per_joiner_latency = joiner.latency_histogram();
             joiner.flush(&mut |result: JoinResult| {
                 stats.results.inc();
-                stats.latency_ms.record(now.saturating_sub(result.ts));
+                let latency = now.saturating_sub(result.ts);
+                stats.latency_ms.record(latency);
+                if let Some(h) = &per_joiner_latency {
+                    h.record(latency);
+                }
                 if let Some(buf) = capture {
                     buf.push(result);
                 }
@@ -266,9 +290,14 @@ impl BicliqueEngine {
     /// the ids added and retired. No stored tuple is moved.
     pub fn scale_to(&mut self, side: Rel, n: usize, now: Ts) -> Result<(Vec<JoinerId>, Vec<JoinerId>)> {
         self.now = self.now.max(now);
-        if n == self.layout.units(side).len() {
+        let from = self.layout.units(side).len();
+        if n == from {
             return Ok((Vec::new(), Vec::new()));
         }
+        self.obs.journal.record(
+            self.now,
+            EventKind::ScaleDecision { side, from: from as u32, to: n as u32 },
+        );
         // Content-sensitive routing needs the old mapping kept alive for
         // one window; random routing covers old units via the draining
         // list alone.
@@ -329,13 +358,14 @@ impl BicliqueEngine {
     /// (active and draining) registers it at the current counter.
     pub fn add_router(&mut self) -> RouterId {
         let id = self.routers.len() as RouterId;
-        let router = RouterCore::new(
+        let mut router = RouterCore::new(
             id,
             self.config.routing,
             self.config.predicate.clone(),
             self.config.seed,
             self.seq_counter(),
         );
+        router.attach_registry(&self.obs.registry);
         let frontier = router.last_seq();
         for joiner in self.joiners.values_mut() {
             joiner.register_router(id, frontier);
@@ -372,14 +402,22 @@ impl BicliqueEngine {
         let now = self.now;
         for joiner in self.joiners.values_mut() {
             let capture = &mut self.capture;
+            let per_joiner_latency = joiner.latency_histogram();
             joiner.deregister_router(id, &mut |result: JoinResult| {
                 stats.results.inc();
-                stats.latency_ms.record(now.saturating_sub(result.ts));
+                let latency = now.saturating_sub(result.ts);
+                stats.latency_ms.record(latency);
+                if let Some(h) = &per_joiner_latency {
+                    h.record(latency);
+                }
                 if let Some(buf) = capture {
                     buf.push(result);
                 }
             })?;
         }
+        // The retired router's series would otherwise read as a frozen
+        // counter forever; drop them from the scrape.
+        self.obs.registry.unregister_labeled("router", &format!("r{id}"));
         // Round-robin cursor may now point past the end; realign.
         self.rr_next %= self.routers.len();
         Ok(())
@@ -485,7 +523,7 @@ impl BicliqueEngine {
     }
 
     fn make_joiner(&self, id: JoinerId, side: Rel, frontiers: &[(RouterId, SeqNo)]) -> JoinerCore {
-        JoinerCore::new(
+        let mut joiner = JoinerCore::new(
             id,
             side,
             self.config.predicate.clone(),
@@ -494,7 +532,9 @@ impl BicliqueEngine {
             self.config.ordering,
             frontiers,
             self.cost,
-        )
+        );
+        joiner.attach_obs(&self.obs);
+        joiner
     }
 
     fn purge_historical(&mut self) {
@@ -506,7 +546,8 @@ impl BicliqueEngine {
         let now = self.now;
         let joiners = &mut self.joiners;
         let net = &mut self.net;
-        self.draining.retain(|&(_, id, expires)| {
+        let registry = &self.obs.registry;
+        self.draining.retain(|&(side, id, expires)| {
             let empty = joiners
                 .get(&id)
                 .map(|j| j.index_stats().tuples == 0)
@@ -517,6 +558,11 @@ impl BicliqueEngine {
             if empty || now >= expires {
                 joiners.remove(&id);
                 net.forget_unit(id);
+                // Drop the unit's series so the scrape reflects the live
+                // topology (counters would otherwise freeze in place).
+                let unit = format!("{side}{}", id.0);
+                registry.unregister_labeled("joiner", &unit);
+                registry.unregister_labeled("pod", &unit);
                 false
             } else {
                 true
@@ -532,12 +578,30 @@ pub struct EngineBuilder {
     delivery: DeliveryMode,
     cost: CostModel,
     auto_pump: bool,
+    obs: Option<Observability>,
+    engine_label: String,
 }
 
 impl EngineBuilder {
     /// Use `k` router instances (round-robin ingest).
     pub fn routers(mut self, k: usize) -> Self {
         self.routers = k.max(1);
+        self
+    }
+
+    /// Share an externally owned observability bundle (registry +
+    /// journal) instead of creating a private one — this is how the
+    /// simulator and the live pipeline expose broker, cluster and engine
+    /// series through a single scrape.
+    pub fn observability(mut self, obs: Observability) -> Self {
+        self.obs = Some(obs);
+        self
+    }
+
+    /// The `engine` label value on engine-wide series (default
+    /// `"engine"`; the harnesses use `"sim"` / `"live"`).
+    pub fn engine_label(mut self, label: impl Into<String>) -> Self {
+        self.engine_label = label.into();
         self
     }
 
@@ -569,18 +633,23 @@ impl EngineBuilder {
         let layout = Layout::new(self.config.r_joiners, self.config.s_joiners, subgroups)?;
         // One shared sequence counter across all routers (see RouterCore).
         let seq = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let obs = self.obs.unwrap_or_default();
         let routers: Vec<RouterCore> = (0..self.routers)
             .map(|i| {
-                RouterCore::new(
+                let mut r = RouterCore::new(
                     i as RouterId,
                     self.config.routing,
                     self.config.predicate.clone(),
                     self.config.seed,
                     Arc::clone(&seq),
-                )
+                );
+                r.attach_registry(&obs.registry);
+                r
             })
             .collect();
         let frontiers: Vec<(RouterId, SeqNo)> = routers.iter().map(|r| (r.id(), 0)).collect();
+        let stats = EngineStats::shared();
+        stats.register_into(&obs.registry, &[("engine", &self.engine_label)]);
         let mut engine = BicliqueEngine {
             cost: self.cost,
             layout: layout.clone(),
@@ -590,7 +659,8 @@ impl EngineBuilder {
             draining: Vec::new(),
             historical: Vec::new(),
             net: ChannelNet::new(self.delivery),
-            stats: EngineStats::shared(),
+            stats,
+            obs,
             capture: None,
             auto_pump: self.auto_pump,
             now: 0,
@@ -911,6 +981,53 @@ mod tests {
     fn subgroup_adjustment_rejected_for_non_contrand() {
         let mut engine = BicliqueEngine::new(cfg(RoutingStrategy::Hash)).unwrap();
         assert!(engine.set_subgroups(2, 0).is_err());
+    }
+
+    #[test]
+    fn unified_scrape_covers_engine_router_joiner_and_pod_series() {
+        let mut engine = BicliqueEngine::builder(cfg(RoutingStrategy::Hash))
+            .engine_label("sim")
+            .build()
+            .unwrap();
+        engine.capture_results();
+        engine.ingest(&t(Rel::R, 10, 1), 10).unwrap();
+        engine.ingest(&t(Rel::S, 20, 1), 20).unwrap();
+        engine.punctuate(25).unwrap();
+        engine.scale_to(Rel::R, 3, 30).unwrap();
+
+        let snap = engine.observability().registry.scrape(30);
+        assert_eq!(
+            snap.counter("bistream_tuples_ingested_total", &[("engine", "sim")]),
+            Some(2)
+        );
+        let decisions = snap.counter(
+            "bistream_router_route_decisions_total",
+            &[("router", "r0"), ("strategy", "hash")],
+        );
+        assert_eq!(decisions, Some(2));
+        // Both R units register joiner + pod series; the stored tuple
+        // lands on exactly one of them.
+        let stored: u64 = ["R0", "R1"]
+            .iter()
+            .map(|u| snap.counter("bistream_joiner_stored_total", &[("joiner", u)]).unwrap())
+            .sum();
+        assert_eq!(stored, 1);
+        assert!(snap.get("bistream_pod_cpu_busy_us_total", &[("pod", "R0")]).is_some());
+        assert!(snap.get("bistream_index_live_tuples", &[("joiner", "S0")]).is_none());
+        assert!(snap.get("bistream_index_live_tuples", &[("joiner", "S2")]).is_some());
+
+        let events = engine.observability().journal.drain();
+        let scale = events
+            .iter()
+            .find(|e| e.kind.tag() == "ScaleDecision")
+            .expect("scale decision journaled");
+        assert_eq!(scale.ts, 30);
+        assert!(matches!(
+            scale.kind,
+            EventKind::ScaleDecision { side: Rel::R, from: 2, to: 3 }
+        ));
+        assert!(events.iter().any(|e| e.kind.tag() == "TupleStored"));
+        assert!(events.iter().any(|e| e.kind.tag() == "JoinEmitted"));
     }
 
     #[test]

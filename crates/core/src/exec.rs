@@ -25,6 +25,7 @@ use bistream_broker::{Broker, ExchangeKind, Message, RecvError};
 use bistream_cluster::CostModel;
 use bistream_types::error::{Error, Result};
 use bistream_types::punct::{RouterId, SeqNo, StreamMessage};
+use bistream_types::registry::Observability;
 use bistream_types::time::{Clock, Ts, WallClock};
 use bistream_types::tuple::Tuple;
 use std::sync::Arc;
@@ -82,6 +83,7 @@ pub struct PipelineReport {
 pub struct Pipeline {
     broker: Broker,
     stats: Arc<EngineStats>,
+    obs: Observability,
     clock: Arc<WallClock>,
     started: Instant,
     router_handles: Vec<JoinHandle<Result<()>>>,
@@ -102,14 +104,19 @@ impl Pipeline {
             config.engine.s_joiners,
             subgroups,
         )?);
+        let obs = Observability::new();
+        let clock = Arc::new(WallClock::new());
         let broker = Broker::new();
+        // Attach observability before any queue exists so every queue gets
+        // depth/publish/deliver series and backpressure journal events.
+        broker.attach_observability(obs.clone(), Arc::clone(&clock) as Arc<dyn Clock>);
         broker.declare_exchange(INGEST_EXCHANGE, ExchangeKind::Topic)?;
         broker.declare_exchange(UNITS_EXCHANGE, ExchangeKind::Direct)?;
         broker.declare_queue(INGEST_QUEUE, config.ingest_capacity)?;
         broker.bind(INGEST_EXCHANGE, INGEST_QUEUE, "#")?;
 
         let stats = EngineStats::shared();
-        let clock = Arc::new(WallClock::new());
+        stats.register_into(&obs.registry, &[("engine", "live")]);
         // Engine-wide sequence counter shared by all routers.
         let seq = Arc::new(std::sync::atomic::AtomicU64::new(0));
         let router_ids: Vec<(RouterId, SeqNo)> =
@@ -134,18 +141,25 @@ impl Pipeline {
                 &router_ids,
                 config.cost,
             );
+            joiner.attach_obs(&obs);
+            let per_joiner_latency = joiner.latency_histogram();
             let stats = Arc::clone(&stats);
             let clock = Arc::clone(&clock);
             joiner_handles.push(std::thread::spawn(move || -> Result<JoinerStats> {
+                let mut on_result = |result: bistream_types::tuple::JoinResult| {
+                    stats.results.inc();
+                    let latency = clock.now().saturating_sub(result.ts);
+                    stats.latency_ms.record(latency);
+                    if let Some(h) = &per_joiner_latency {
+                        h.record(latency);
+                    }
+                };
                 loop {
                     match consumer.recv_timeout(Duration::from_millis(50)) {
                         Ok(m) => {
                             let mut payload = m.payload;
                             let msg = StreamMessage::decode(&mut payload)?;
-                            joiner.handle(msg, &mut |result| {
-                                stats.results.inc();
-                                stats.latency_ms.record(clock.now().saturating_sub(result.ts));
-                            })?;
+                            joiner.handle(msg, &mut on_result)?;
                         }
                         Err(RecvError::Timeout) => continue,
                         Err(RecvError::Disconnected) => break,
@@ -153,10 +167,7 @@ impl Pipeline {
                 }
                 // Channel closed and drained: terminally flush whatever the
                 // final punctuations left buffered.
-                joiner.flush(&mut |result| {
-                    stats.results.inc();
-                    stats.latency_ms.record(clock.now().saturating_sub(result.ts));
-                })?;
+                joiner.flush(&mut on_result)?;
                 Ok(joiner.stats())
             }));
         }
@@ -172,6 +183,7 @@ impl Pipeline {
                 config.engine.seed,
                 Arc::clone(&seq),
             );
+            core.attach_registry(&obs.registry);
             let layout = Arc::clone(&layout);
             let broker = broker.clone();
             let stats = Arc::clone(&stats);
@@ -221,12 +233,21 @@ impl Pipeline {
         Ok(Pipeline {
             broker,
             stats,
+            obs,
             clock,
             started: Instant::now(),
             router_handles,
             joiner_handles,
             unit_queues,
         })
+    }
+
+    /// The pipeline's observability bundle: one registry scrape covers
+    /// engine, per-router, per-joiner, per-pod and per-queue series, and
+    /// the journal records store/join/punctuation/backpressure events from
+    /// the same code paths the simulator exercises.
+    pub fn observability(&self) -> &Observability {
+        &self.obs
     }
 
     /// Wall-clock "now" of this pipeline (for stamping input tuples so
@@ -368,6 +389,36 @@ mod tests {
         let report = p.finish().unwrap();
         assert_eq!(report.snapshot.ingested, 0);
         assert_eq!(report.snapshot.results, 0);
+    }
+
+    #[test]
+    fn observability_scrape_covers_queues_joiners_routers_and_engine() {
+        let p = Pipeline::launch(config(RoutingStrategy::Hash, true)).unwrap();
+        feed_pairs(&p, 100);
+        std::thread::sleep(Duration::from_millis(150));
+        let snap = p.observability().registry.scrape(p.now());
+        // 200 publishes into the ingest queue happened before the scrape.
+        assert_eq!(
+            snap.counter("bistream_queue_published_total", &[("queue", INGEST_QUEUE)]),
+            Some(200)
+        );
+        assert!(snap.get("bistream_queue_depth", &[("queue", "unit.0")]).is_some());
+        let stored: u64 = ["R0", "R1"]
+            .iter()
+            .map(|u| snap.counter("bistream_joiner_stored_total", &[("joiner", u)]).unwrap())
+            .sum();
+        assert!(stored > 0, "stores visible per joiner");
+        assert!(snap
+            .get(
+                "bistream_router_route_decisions_total",
+                &[("router", "r0"), ("strategy", "hash")]
+            )
+            .is_some());
+        assert!(snap.get("bistream_pod_cpu_busy_us_total", &[("pod", "S2")]).is_some());
+        assert!(snap.counter("bistream_tuples_ingested_total", &[("engine", "live")]).is_some());
+        let events = p.observability().journal.drain();
+        assert!(events.iter().any(|e| e.kind.tag() == "TupleStored"));
+        p.finish().unwrap();
     }
 
     #[test]

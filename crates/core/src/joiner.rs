@@ -17,10 +17,13 @@
 use crate::layout::JoinerId;
 use crate::ordering::{Released, ReorderBuffer};
 use bistream_cluster::{CostModel, ResourceMeter};
-use bistream_index::{ChainedIndex, IndexKind};
+use bistream_index::{ChainedIndex, IndexKind, IndexObs};
 use bistream_types::error::Result;
+use bistream_types::journal::{EventJournal, EventKind};
+use bistream_types::metrics::{Counter, Gauge, Histogram};
 use bistream_types::predicate::{JoinPredicate, ProbePlan};
 use bistream_types::punct::{Purpose, RouterId, SeqNo, StreamMessage};
+use bistream_types::registry::Observability;
 use bistream_types::rel::Rel;
 use bistream_types::time::Ts;
 use bistream_types::tuple::{JoinResult, Tuple};
@@ -44,6 +47,50 @@ pub struct JoinerStats {
     pub expired: u64,
 }
 
+/// Registry handles and journal hook for one joiner, created by
+/// [`JoinerCore::attach_obs`]. Every series carries `joiner="<side><id>"`
+/// (e.g. `joiner="R3"`), matching the chained index's [`IndexObs`] label so
+/// one scrape correlates the unit's branch counters with its window state.
+struct JoinerMetrics {
+    stored: Arc<Counter>,
+    probes: Arc<Counter>,
+    candidates: Arc<Counter>,
+    results: Arc<Counter>,
+    expired: Arc<Counter>,
+    /// Live stored-tuple count — the load-imbalance signal the migration
+    /// experiments (E9/E10) read per unit.
+    stored_tuples: Arc<Gauge>,
+    /// High-water mark of the reorder-buffer depth.
+    reorder_depth_max: Arc<Gauge>,
+    /// Punctuation-frontier lag: fastest router frontier minus watermark.
+    frontier_lag: Arc<Gauge>,
+    /// Per-joiner result latency (event-time probe ts → emit).
+    latency_ms: Arc<Histogram>,
+    journal: EventJournal,
+    unit: u32,
+}
+
+impl JoinerMetrics {
+    fn register(obs: &Observability, side: Rel, unit: u32) -> JoinerMetrics {
+        let joiner = format!("{side}{unit}");
+        let labels: &[(&str, &str)] = &[("joiner", &joiner)];
+        let reg = &obs.registry;
+        JoinerMetrics {
+            stored: reg.counter("bistream_joiner_stored_total", labels),
+            probes: reg.counter("bistream_joiner_probes_total", labels),
+            candidates: reg.counter("bistream_joiner_candidates_total", labels),
+            results: reg.counter("bistream_joiner_results_total", labels),
+            expired: reg.counter("bistream_joiner_expired_total", labels),
+            stored_tuples: reg.gauge("bistream_joiner_stored_tuples", labels),
+            reorder_depth_max: reg.gauge("bistream_joiner_reorder_depth_max", labels),
+            frontier_lag: reg.gauge("bistream_joiner_frontier_lag", labels),
+            latency_ms: reg.histogram("bistream_joiner_result_latency_ms", labels),
+            journal: obs.journal.clone(),
+            unit,
+        }
+    }
+}
+
 /// One processing unit of the biclique.
 pub struct JoinerCore {
     id: JoinerId,
@@ -55,6 +102,10 @@ pub struct JoinerCore {
     meter: Arc<ResourceMeter>,
     cost: CostModel,
     stats: JoinerStats,
+    metrics: Option<JoinerMetrics>,
+    /// Event-time high watermark over processed tuples — the stamp for
+    /// journal events that have no tuple of their own (punctuations).
+    last_ts: Ts,
     /// Scratch buffer reused across handle() calls.
     released: Vec<Released>,
 }
@@ -95,7 +146,37 @@ impl JoinerCore {
             meter: ResourceMeter::shared(),
             cost,
             stats: JoinerStats::default(),
+            metrics: None,
+            last_ts: 0,
             released: Vec::new(),
+        }
+    }
+
+    /// Attach the unified observability layer: registers this unit's
+    /// per-joiner series (label `joiner="<side><id>"`), its resource meter
+    /// (label `pod="<side><id>"`), hooks the chained index's [`IndexObs`]
+    /// in, and starts recording journal events (`TupleStored`,
+    /// `JoinEmitted`, `PunctuationAdvanced`) stamped with event time.
+    pub fn attach_obs(&mut self, obs: &Observability) {
+        let unit = self.id.0;
+        let pod = format!("{}{}", self.side, unit);
+        self.meter.register_into(&obs.registry, &[("pod", &pod)]);
+        self.index.set_obs(IndexObs::register(obs, self.side, unit));
+        self.metrics = Some(JoinerMetrics::register(obs, self.side, unit));
+        self.sync_observables();
+    }
+
+    /// Push the point-in-time gauges (memory, stored tuples, reorder
+    /// depth/lag) — called after every batch of work.
+    fn sync_observables(&mut self) {
+        let s = self.index.stats();
+        self.meter.set_memory_bytes(s.bytes as u64);
+        if let Some(m) = &self.metrics {
+            m.stored_tuples.set(s.tuples as u64);
+            if let Some(buf) = &self.reorder {
+                m.reorder_depth_max.set(buf.stats().max_depth as u64);
+                m.frontier_lag.set(buf.frontier_lag());
+            }
         }
     }
 
@@ -112,6 +193,13 @@ impl JoinerCore {
     /// The unit's resource meter (shared with the autoscaler).
     pub fn meter(&self) -> Arc<ResourceMeter> {
         Arc::clone(&self.meter)
+    }
+
+    /// The per-joiner result-latency histogram, once observability is
+    /// attached. Latency is known at emit time, not inside the joiner, so
+    /// the engine records into this handle from its pump.
+    pub fn latency_histogram(&self) -> Option<Arc<Histogram>> {
+        self.metrics.as_ref().map(|m| Arc::clone(&m.latency_ms))
     }
 
     /// Counters.
@@ -147,10 +235,10 @@ impl JoinerCore {
             let mut released = std::mem::take(&mut self.released);
             buf.deregister_router(router, &mut released);
             for r in released.drain(..) {
-                self.process(r.purpose, r.tuple, emit)?;
+                self.process(r.purpose, r.seq, r.tuple, emit)?;
             }
             self.released = released;
-            self.meter.set_memory_bytes(self.index.stats().bytes as u64);
+            self.sync_observables();
         }
         Ok(())
     }
@@ -167,7 +255,7 @@ impl JoinerCore {
     /// the same predicate/window/period. Returns tuples restored.
     pub fn restore_state(&mut self, blob: impl bytes::Buf) -> Result<usize> {
         let n = bistream_index::restore(&mut self.index, blob)?;
-        self.meter.set_memory_bytes(self.index.stats().bytes as u64);
+        self.sync_observables();
         Ok(n)
     }
 
@@ -181,20 +269,37 @@ impl JoinerCore {
         match &mut self.reorder {
             Some(buf) => {
                 debug_assert!(self.released.is_empty());
+                let punct = match &msg {
+                    StreamMessage::Punct(p) => Some((p.router, p.seq)),
+                    _ => None,
+                };
+                let wm_before = buf.watermark();
                 let mut released = std::mem::take(&mut self.released);
                 buf.offer(msg, &mut released);
+                let advanced = buf.watermark() > wm_before;
+                if let (Some(m), Some((router, seq)), true) = (&self.metrics, punct, advanced) {
+                    m.journal.record(
+                        self.last_ts,
+                        EventKind::PunctuationAdvanced {
+                            side: self.side,
+                            unit: m.unit,
+                            router,
+                            seq,
+                        },
+                    );
+                }
                 for r in released.drain(..) {
-                    self.process(r.purpose, r.tuple, emit)?;
+                    self.process(r.purpose, r.seq, r.tuple, emit)?;
                 }
                 self.released = released;
             }
             None => {
-                if let StreamMessage::Data { purpose, tuple, .. } = msg {
-                    self.process(purpose, tuple, emit)?;
+                if let StreamMessage::Data { purpose, seq, tuple, .. } = msg {
+                    self.process(purpose, seq, tuple, emit)?;
                 }
             }
         }
-        self.meter.set_memory_bytes(self.index.stats().bytes as u64);
+        self.sync_observables();
         Ok(())
     }
 
@@ -207,10 +312,10 @@ impl JoinerCore {
             let mut released = std::mem::take(&mut self.released);
             buf.flush(&mut released);
             for r in released.drain(..) {
-                self.process(r.purpose, r.tuple, emit)?;
+                self.process(r.purpose, r.seq, r.tuple, emit)?;
             }
             self.released = released;
-            self.meter.set_memory_bytes(self.index.stats().bytes as u64);
+            self.sync_observables();
         }
         Ok(())
     }
@@ -218,18 +323,27 @@ impl JoinerCore {
     fn process<F: FnMut(JoinResult)>(
         &mut self,
         purpose: Purpose,
+        seq: SeqNo,
         tuple: Tuple,
         emit: &mut F,
     ) -> Result<()> {
+        self.last_ts = self.last_ts.max(tuple.ts());
         match purpose {
-            Purpose::Store => self.store(tuple),
+            Purpose::Store => self.store(seq, tuple),
             Purpose::Join => self.join(tuple, emit),
         }
     }
 
-    fn store(&mut self, tuple: Tuple) -> Result<()> {
+    fn store(&mut self, seq: SeqNo, tuple: Tuple) -> Result<()> {
         debug_assert_eq!(tuple.rel(), self.side, "store copy on the wrong side");
         let key = self.key_of(&tuple)?;
+        if let Some(m) = &self.metrics {
+            m.stored.inc();
+            m.journal.record(
+                tuple.ts(),
+                EventKind::TupleStored { side: self.side, unit: m.unit, seq },
+            );
+        }
         self.index.insert(key, tuple);
         self.stats.stored += 1;
         self.meter.charge_cpu_us(self.cost.insert_us);
@@ -272,6 +386,22 @@ impl JoinerCore {
         self.stats.probes += 1;
         self.stats.candidates += stats.candidates as u64;
         self.stats.results += results as u64;
+        if let Some(m) = &self.metrics {
+            m.probes.inc();
+            m.candidates.add(stats.candidates as u64);
+            m.results.add(results as u64);
+            m.expired.add(dropped as u64);
+            if results > 0 {
+                m.journal.record(
+                    probe.ts(),
+                    EventKind::JoinEmitted {
+                        side: self.side,
+                        unit: m.unit,
+                        results: results as u64,
+                    },
+                );
+            }
+        }
         self.meter
             .charge_cpu_us(self.cost.probe_cost_us(stats.candidates, results));
         Ok(())
@@ -439,6 +569,44 @@ mod tests {
         j.handle(data(2, Purpose::Store, Rel::R, 1, 2), &mut |r| sink.push(r))
             .unwrap();
         assert!(meter.memory_bytes() > before);
+    }
+
+    #[test]
+    fn attach_obs_exposes_series_and_journals_events() {
+        let obs = Observability::new();
+        let mut j = joiner(Rel::R, true);
+        j.attach_obs(&obs);
+        let mut results = Vec::new();
+        j.handle(data(1, Purpose::Store, Rel::R, 10, 5), &mut |r| results.push(r))
+            .unwrap();
+        j.handle(data(2, Purpose::Join, Rel::S, 20, 5), &mut |r| results.push(r))
+            .unwrap();
+        j.handle(punct(2), &mut |r| results.push(r)).unwrap();
+        assert_eq!(results.len(), 1);
+
+        let snap = obs.registry.scrape(20);
+        let labels: &[(&str, &str)] = &[("joiner", "R0")];
+        assert_eq!(snap.counter("bistream_joiner_stored_total", labels), Some(1));
+        assert_eq!(snap.counter("bistream_joiner_probes_total", labels), Some(1));
+        assert_eq!(snap.counter("bistream_joiner_results_total", labels), Some(1));
+        assert_eq!(snap.gauge("bistream_joiner_stored_tuples", labels), Some(1));
+        assert_eq!(snap.gauge("bistream_joiner_reorder_depth_max", labels), Some(2));
+        // The index side of the unit is registered under the same label.
+        assert_eq!(snap.gauge("bistream_index_live_tuples", labels), Some(1));
+        // The pod meter is registered under pod="R0".
+        assert!(
+            snap.counter("bistream_pod_cpu_busy_us_total", &[("pod", "R0")]).unwrap_or(0) > 0
+        );
+
+        let events = obs.journal.drain();
+        let tags: Vec<&str> = events.iter().map(|e| e.kind.tag()).collect();
+        assert!(tags.contains(&"PunctuationAdvanced"), "tags: {tags:?}");
+        assert!(tags.contains(&"TupleStored"));
+        assert!(tags.contains(&"JoinEmitted"));
+        let stored = events.iter().find(|e| e.kind.tag() == "TupleStored").unwrap();
+        assert_eq!(stored.ts, 10, "stamped with event time");
+        let emitted = events.iter().find(|e| e.kind.tag() == "JoinEmitted").unwrap();
+        assert_eq!(emitted.ts, 20);
     }
 
     #[test]

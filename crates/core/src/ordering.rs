@@ -124,6 +124,22 @@ impl ReorderBuffer {
         self.frontiers.values().copied().min()
     }
 
+    /// The maximum frontier over registered routers. Paired with
+    /// [`ReorderBuffer::watermark`] this gives the punctuation-frontier
+    /// lag: how far the slowest router trails the fastest, i.e. how much
+    /// release progress is being held back.
+    pub fn max_frontier(&self) -> Option<SeqNo> {
+        self.frontiers.values().copied().max()
+    }
+
+    /// `max_frontier - watermark` (0 with fewer than two routers).
+    pub fn frontier_lag(&self) -> SeqNo {
+        match (self.max_frontier(), self.watermark()) {
+            (Some(hi), Some(lo)) => hi - lo,
+            _ => 0,
+        }
+    }
+
     /// Offer one incoming message; append any now-releasable tuples to
     /// `out` in global `(seq, router)` order.
     pub fn offer(&mut self, msg: StreamMessage, out: &mut Vec<Released>) {
@@ -318,6 +334,21 @@ mod tests {
         assert_eq!(out.len(), 1, "duplicate not released again");
         assert_eq!(buf.depth(), 0, "duplicate not buffered either");
         assert_eq!(buf.stats().duplicates_dropped, 1);
+    }
+
+    #[test]
+    fn frontier_lag_measures_router_spread() {
+        let mut buf = ReorderBuffer::new();
+        assert_eq!(buf.frontier_lag(), 0, "no routers yet");
+        buf.register_router(0, 0);
+        buf.register_router(1, 0);
+        let mut out = Vec::new();
+        buf.offer(punct(0, 10), &mut out);
+        assert_eq!(buf.watermark(), Some(0));
+        assert_eq!(buf.max_frontier(), Some(10));
+        assert_eq!(buf.frontier_lag(), 10);
+        buf.offer(punct(1, 8), &mut out);
+        assert_eq!(buf.frontier_lag(), 2);
     }
 
     #[test]

@@ -10,10 +10,11 @@
 use crate::config::RoutingStrategy;
 use crate::layout::{JoinerId, Layout};
 use bistream_types::error::{Error, Result};
-use bistream_types::hash::{bucket_of, hash_one};
-use bistream_types::metrics::RateMeter;
+use bistream_types::hash::{bucket_of, hash_one, FxHashMap};
+use bistream_types::metrics::{Counter, Gauge, RateMeter};
 use bistream_types::predicate::JoinPredicate;
 use bistream_types::punct::{Punctuation, Purpose, RouterId, SeqNo, StreamMessage};
+use bistream_types::registry::MetricsRegistry;
 use bistream_types::tuple::Tuple;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -52,6 +53,78 @@ impl RouterStats {
     }
 }
 
+/// Stable label value for a routing strategy.
+fn strategy_label(strategy: RoutingStrategy) -> &'static str {
+    match strategy {
+        RoutingStrategy::Random => "random",
+        RoutingStrategy::Hash => "hash",
+        RoutingStrategy::ContRand { .. } => "contrand",
+    }
+}
+
+/// Registry-backed series of one router, labeled `router="r<id>"`.
+///
+/// Per-destination copy counters are created lazily the first time a
+/// destination is hit (layouts grow at runtime), and the route-decision
+/// counter is re-resolved when the strategy changes so decisions are
+/// attributed to the strategy that made them.
+#[derive(Debug)]
+struct RouterMetrics {
+    registry: MetricsRegistry,
+    label: String,
+    tuples: Arc<Counter>,
+    copies: Arc<Counter>,
+    punctuations: Arc<Counter>,
+    /// `bistream_router_route_decisions_total{router,strategy}` for the
+    /// *current* strategy.
+    decisions: Arc<Counter>,
+    /// `bistream_router_rate_tps{router}` — observed input rate.
+    rate_tps: Arc<Gauge>,
+    per_dest: FxHashMap<JoinerId, Arc<Counter>>,
+}
+
+impl RouterMetrics {
+    fn new(registry: &MetricsRegistry, id: RouterId, strategy: RoutingStrategy) -> RouterMetrics {
+        let label = format!("r{id}");
+        let labels: &[(&str, &str)] = &[("router", &label)];
+        RouterMetrics {
+            tuples: registry.counter("bistream_router_tuples_total", labels),
+            copies: registry.counter("bistream_router_copies_total", labels),
+            punctuations: registry.counter("bistream_router_punctuations_total", labels),
+            decisions: Self::decisions_handle(registry, &label, strategy),
+            rate_tps: registry.gauge("bistream_router_rate_tps", labels),
+            per_dest: FxHashMap::default(),
+            registry: registry.clone(),
+            label,
+        }
+    }
+
+    fn decisions_handle(
+        registry: &MetricsRegistry,
+        label: &str,
+        strategy: RoutingStrategy,
+    ) -> Arc<Counter> {
+        registry.counter(
+            "bistream_router_route_decisions_total",
+            &[("router", label), ("strategy", strategy_label(strategy))],
+        )
+    }
+
+    fn bump_dest(&mut self, dest: JoinerId) {
+        let router_label = &self.label;
+        let registry = &self.registry;
+        self.per_dest
+            .entry(dest)
+            .or_insert_with(|| {
+                registry.counter(
+                    "bistream_router_dest_copies_total",
+                    &[("router", router_label), ("dest", &dest.to_string())],
+                )
+            })
+            .inc();
+    }
+}
+
 /// The routing state machine of one router instance.
 ///
 /// All routers of one engine share a single atomic sequence counter — this
@@ -72,6 +145,8 @@ pub struct RouterCore {
     /// Input-rate statistics (the thesis assigns routers "statistics
     /// related to input data, such as rate of events per second").
     rate: RateMeter,
+    /// Registry-backed series, present once a registry is attached.
+    metrics: Option<RouterMetrics>,
 }
 
 impl RouterCore {
@@ -92,7 +167,14 @@ impl RouterCore {
             rng: StdRng::seed_from_u64(seed ^ ((id as u64) << 32)),
             stats: RouterStats::default(),
             rate: RateMeter::new(10),
+            metrics: None,
         }
+    }
+
+    /// Register this router's metric series (labeled `router="r<id>"`)
+    /// in `registry` and keep them current from the routing hot path.
+    pub fn attach_registry(&mut self, registry: &MetricsRegistry) {
+        self.metrics = Some(RouterMetrics::new(registry, self.id, self.strategy));
     }
 
     /// Convenience constructor for single-router setups and tests: a
@@ -133,6 +215,9 @@ impl RouterCore {
     /// `d` at runtime). Takes effect for the next routed tuple.
     pub fn set_strategy(&mut self, strategy: RoutingStrategy) {
         self.strategy = strategy;
+        if let Some(m) = self.metrics.as_mut() {
+            m.decisions = RouterMetrics::decisions_handle(&m.registry, &m.label, strategy);
+        }
     }
 
     /// This router's observed input rate (tuples/second, 10 s window
@@ -175,6 +260,17 @@ impl RouterCore {
         };
         let join_dests = join_dests(self.strategy, &self.predicate, tuple, layout)?;
 
+        if let Some(m) = self.metrics.as_mut() {
+            m.tuples.inc();
+            m.decisions.inc();
+            m.copies.add(1 + join_dests.len() as u64);
+            m.rate_tps.set(self.rate.rate_per_sec(tuple.ts()).round() as u64);
+            m.bump_dest(store_dest);
+            for dest in &join_dests {
+                m.bump_dest(*dest);
+            }
+        }
+
         out.push(RoutedCopy {
             dest: store_dest,
             msg: StreamMessage::Data {
@@ -208,6 +304,9 @@ impl RouterCore {
         for (_, dest) in layout.all_units() {
             out.push(RoutedCopy { dest, msg: StreamMessage::Punct(p) });
             self.stats.punctuations += 1;
+            if let Some(m) = &self.metrics {
+                m.punctuations.inc();
+            }
         }
     }
 
@@ -394,6 +493,51 @@ mod tests {
         }
         let rate = r.observed_rate(3_000);
         assert!((rate - 200.0).abs() < 5.0, "rate {rate}");
+    }
+
+    #[test]
+    fn attached_registry_sees_per_router_and_per_dest_series() {
+        let layout = Layout::new(2, 2, 1).unwrap();
+        let mut r = RouterCore::standalone(1, RoutingStrategy::Random, equi(), 7);
+        let reg = MetricsRegistry::new();
+        r.attach_registry(&reg);
+        let mut out = Vec::new();
+        r.route(&tuple(Rel::R, 5), &layout, &mut out).unwrap();
+        r.punctuate(&layout, &mut out);
+        let snap = reg.scrape(0);
+        let labels: &[(&str, &str)] = &[("router", "r1")];
+        assert_eq!(snap.counter("bistream_router_tuples_total", labels), Some(1));
+        // Store copy + join broadcast to both S units = 3 copies.
+        assert_eq!(snap.counter("bistream_router_copies_total", labels), Some(3));
+        assert_eq!(snap.counter("bistream_router_punctuations_total", labels), Some(4));
+        assert_eq!(
+            snap.counter(
+                "bistream_router_route_decisions_total",
+                &[("router", "r1"), ("strategy", "random")]
+            ),
+            Some(1)
+        );
+        // Per-destination copy counters sum to the copy total.
+        let dest_total: u64 = snap
+            .samples
+            .iter()
+            .filter(|s| s.key.name == "bistream_router_dest_copies_total")
+            .map(|s| match s.value {
+                bistream_types::registry::MetricValue::Counter(v) => v,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(dest_total, 3);
+        // Strategy switch re-labels subsequent decisions.
+        r.set_strategy(RoutingStrategy::Hash);
+        r.route(&tuple(Rel::R, 5), &layout, &mut out).unwrap();
+        assert_eq!(
+            reg.scrape(0).counter(
+                "bistream_router_route_decisions_total",
+                &[("router", "r1"), ("strategy", "hash")]
+            ),
+            Some(1)
+        );
     }
 
     #[test]

@@ -10,6 +10,8 @@ use crate::engine::BicliqueEngine;
 use bistream_cluster::hpa::Hpa;
 use bistream_cluster::meter::{ResourceMeter, UtilizationTracker};
 use bistream_types::error::Result;
+use bistream_types::journal::Event;
+use bistream_types::registry::{RegistrySnapshot, Sampler};
 use bistream_types::rel::Rel;
 use bistream_types::time::Ts;
 use bistream_types::tuple::Tuple;
@@ -112,6 +114,13 @@ pub struct SimOutcome {
     pub samples: Vec<SimSample>,
     /// Scale events `(t_ms, side, before, after)`.
     pub scale_events: Vec<(Ts, char, usize, usize)>,
+    /// Registry scrapes taken on the same sample ticks as `samples` —
+    /// every labeled series (per-joiner, per-router, per-pod, engine)
+    /// at virtual-time resolution.
+    pub metric_series: Vec<RegistrySnapshot>,
+    /// The engine's structured event journal, drained at the end of the
+    /// run (bounded: oldest events are dropped beyond the ring capacity).
+    pub events: Vec<Event>,
 }
 
 /// Run a dynamic-scaling simulation: drive `feed` through `engine` for
@@ -132,6 +141,10 @@ pub fn run_dynamic_scaling(
 
     let mut samples = Vec::new();
     let mut scale_events = Vec::new();
+    let mut sampler = Sampler::new(
+        engine.observability().registry.clone(),
+        cfg.sample_interval_ms,
+    );
     // Pending scale-outs per side: (apply_at, target_replicas).
     let mut pending: [Option<(Ts, usize)>; 2] = [None, None];
     let mut next_punct: Ts = punct_every;
@@ -211,6 +224,7 @@ pub fn run_dynamic_scaling(
             next_control += control_every;
         } else {
             // Sample tick.
+            sampler.force_sample(t);
             let snap = engine.stats();
             let rate = (snap.ingested - last_sampled_ingest) as f64
                 / (cfg.sample_interval_ms as f64 / 1_000.0);
@@ -233,8 +247,15 @@ pub fn run_dynamic_scaling(
     }
     // Final flush so buffered tuples are not lost from the counters.
     engine.punctuate(cfg.duration_ms)?;
+    sampler.force_sample(cfg.duration_ms);
+    let events = engine.observability().journal.drain();
 
-    Ok(SimOutcome { samples, scale_events })
+    Ok(SimOutcome {
+        samples,
+        scale_events,
+        metric_series: sampler.into_series(),
+        events,
+    })
 }
 
 #[cfg(test)]
@@ -315,6 +336,38 @@ mod tests {
         let out = run_dynamic_scaling(engine(true), &mut feed, hpa_cfg(), &cfg).unwrap();
         assert!(out.scale_events.is_empty(), "{:?}", out.scale_events);
         assert!(out.samples.iter().all(|s| s.r_replicas == 1 && s.s_replicas == 1));
+    }
+
+    #[test]
+    fn metric_series_and_journal_ride_along_with_samples() {
+        let mut feed = feed_at_rate(100, 10_000);
+        let cfg = SimConfig {
+            duration_ms: 10_000,
+            sample_interval_ms: 2_000,
+            scale_r: false,
+            scale_s: false,
+            ..Default::default()
+        };
+        let out = run_dynamic_scaling(engine(true), &mut feed, hpa_cfg(), &cfg).unwrap();
+        // One scrape per sample tick plus the terminal scrape.
+        assert_eq!(out.metric_series.len(), out.samples.len() + 1);
+        for (snap, sample) in out.metric_series.iter().zip(&out.samples) {
+            assert_eq!(snap.at, sample.t_ms, "scrape shares the sample tick");
+        }
+        let last = out.metric_series.last().unwrap();
+        assert_eq!(last.at, 10_000);
+        // Ingest keeps running between the last sample tick and the
+        // terminal scrape, so the counter can only have grown.
+        let ingested = last
+            .counter("bistream_tuples_ingested_total", &[("engine", "engine")])
+            .unwrap();
+        assert!(ingested >= out.samples.last().unwrap().ingested);
+        assert!(last.get("bistream_joiner_stored_total", &[("joiner", "R0")]).is_some());
+        // Journal events carry virtual-time stamps within the horizon.
+        assert!(!out.events.is_empty());
+        assert!(out.events.iter().any(|e| e.kind.tag() == "TupleStored"));
+        assert!(out.events.iter().any(|e| e.kind.tag() == "JoinEmitted"));
+        assert!(out.events.iter().all(|e| e.ts <= 10_000));
     }
 
     #[test]

@@ -1,29 +1,43 @@
 //! Engine-wide observability.
 
 use bistream_types::metrics::{Counter, Histogram, HistogramSnapshot};
+use bistream_types::registry::{escape_label_value, MetricsRegistry};
 use serde::Serialize;
 use std::sync::Arc;
 
 /// Shared counters for one engine instance (live or simulated). All fields
-/// are lock-free; the live runtime's threads bump them directly.
+/// are lock-free; the live runtime's threads bump them directly. The
+/// primitives are `Arc`-wrapped so the same handles can also be registered
+/// in a [`MetricsRegistry`] (see [`EngineStats::register_into`]).
 #[derive(Debug, Default)]
 pub struct EngineStats {
     /// Tuples ingested into the engine.
-    pub ingested: Counter,
+    pub ingested: Arc<Counter>,
     /// Join results emitted (across all joiners).
-    pub results: Counter,
+    pub results: Arc<Counter>,
     /// Data copies sent by routers (communication cost).
-    pub copies: Counter,
+    pub copies: Arc<Counter>,
     /// Punctuation messages sent.
-    pub punctuations: Counter,
+    pub punctuations: Arc<Counter>,
     /// Result latency in ms (event-time ingest → emit).
-    pub latency_ms: Histogram,
+    pub latency_ms: Arc<Histogram>,
 }
 
 impl EngineStats {
     /// A fresh stats block, shared.
     pub fn shared() -> Arc<EngineStats> {
         Arc::new(EngineStats::default())
+    }
+
+    /// Expose the engine-wide series in `registry` under `labels`
+    /// (typically `engine="sim"` / `engine="live"`), using the same metric
+    /// names as the legacy [`EngineSnapshot::prometheus_text`] endpoint.
+    pub fn register_into(&self, registry: &MetricsRegistry, labels: &[(&str, &str)]) {
+        registry.register_counter("bistream_tuples_ingested_total", labels, &self.ingested);
+        registry.register_counter("bistream_join_results_total", labels, &self.results);
+        registry.register_counter("bistream_copies_total", labels, &self.copies);
+        registry.register_counter("bistream_punctuations_total", labels, &self.punctuations);
+        registry.register_histogram("bistream_result_latency_ms", labels, &self.latency_ms);
     }
 
     /// Point-in-time summary.
@@ -72,7 +86,7 @@ impl EngineSnapshot {
         let l = if engine_label.is_empty() {
             String::new()
         } else {
-            format!("{{engine=\"{engine_label}\"}}")
+            format!("{{engine=\"{}\"}}", escape_label_value(engine_label))
         };
         let mut out = String::new();
         let mut metric = |name: &str, help: &str, kind: &str, value: String| {
@@ -145,5 +159,29 @@ mod tests {
         // No label block when the label is empty.
         let unlabelled = s.snapshot().prometheus_text("");
         assert!(unlabelled.contains("bistream_tuples_ingested_total 3"));
+    }
+
+    #[test]
+    fn prometheus_text_escapes_engine_label() {
+        let text = EngineStats::default().snapshot().prometheus_text("a\"b\\c\nd");
+        assert!(text.contains(r#"{engine="a\"b\\c\nd"}"#), "got: {text}");
+    }
+
+    #[test]
+    fn register_into_shares_the_same_handles() {
+        let s = EngineStats::shared();
+        let reg = MetricsRegistry::new();
+        s.register_into(&reg, &[("engine", "sim")]);
+        s.ingested.add(5);
+        s.latency_ms.record(7);
+        let snap = reg.scrape(0);
+        let labels: &[(&str, &str)] = &[("engine", "sim")];
+        assert_eq!(snap.counter("bistream_tuples_ingested_total", labels), Some(5));
+        match snap.get("bistream_result_latency_ms", labels) {
+            Some(bistream_types::registry::MetricValue::Histogram(h)) => {
+                assert_eq!(h.count, 1)
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 }

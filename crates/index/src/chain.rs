@@ -1,13 +1,18 @@
 //! The chained in-memory index proper.
 
 use crate::sub::{IndexKind, SubIndex, ENTRY_OVERHEAD_BYTES};
+use bistream_types::journal::{EventJournal, EventKind};
+use bistream_types::metrics::{Counter, Gauge};
 use bistream_types::predicate::ProbePlan;
+use bistream_types::registry::Observability;
+use bistream_types::rel::Rel;
 use bistream_types::time::Ts;
 use bistream_types::tuple::Tuple;
 use bistream_types::value::Value;
 use bistream_types::window::WindowSpec;
 use serde::Serialize;
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// One link of the chain: a sub-index plus the timestamp span of its
 /// contents.
@@ -58,8 +63,55 @@ pub struct ChainStats {
     pub sub_indexes: usize,
     /// Tuples discarded by expiry so far.
     pub expired_tuples: u64,
+    /// Bytes discarded by expiry so far.
+    pub expired_bytes: u64,
     /// Sub-indexes discarded by expiry so far.
     pub expired_sub_indexes: u64,
+}
+
+/// Per-index observability hooks: registry-backed gauges/counters plus the
+/// shared event journal, labeled with the owning joiner's identity.
+///
+/// Created by the joiner via [`IndexObs::register`] and attached with
+/// [`ChainedIndex::set_obs`]; the chain then keeps its live-size gauges
+/// current and journals every archive/discard transition (the raw material
+/// of the E6 expiry experiment).
+#[derive(Debug)]
+pub struct IndexObs {
+    journal: EventJournal,
+    side: Rel,
+    unit: u32,
+    sub_indexes: Arc<Gauge>,
+    live_tuples: Arc<Gauge>,
+    live_bytes: Arc<Gauge>,
+    archived_tuples: Arc<Counter>,
+    archived_bytes: Arc<Counter>,
+    expired_tuples: Arc<Counter>,
+    expired_bytes: Arc<Counter>,
+    expired_sub_indexes: Arc<Counter>,
+}
+
+impl IndexObs {
+    /// Register the chain's metric series under `joiner="<side><unit>"`
+    /// (e.g. `joiner="R3"`) and hook up the shared journal.
+    pub fn register(obs: &Observability, side: Rel, unit: u32) -> IndexObs {
+        let joiner = format!("{side}{unit}");
+        let labels: &[(&str, &str)] = &[("joiner", &joiner)];
+        let reg = &obs.registry;
+        IndexObs {
+            journal: obs.journal.clone(),
+            side,
+            unit,
+            sub_indexes: reg.gauge("bistream_index_sub_indexes", labels),
+            live_tuples: reg.gauge("bistream_index_live_tuples", labels),
+            live_bytes: reg.gauge("bistream_index_live_bytes", labels),
+            archived_tuples: reg.counter("bistream_index_archived_tuples_total", labels),
+            archived_bytes: reg.counter("bistream_index_archived_bytes_total", labels),
+            expired_tuples: reg.counter("bistream_index_expired_tuples_total", labels),
+            expired_bytes: reg.counter("bistream_index_expired_bytes_total", labels),
+            expired_sub_indexes: reg.counter("bistream_index_expired_sub_indexes_total", labels),
+        }
+    }
 }
 
 /// The chained in-memory index: an active sub-index receiving inserts and
@@ -92,7 +144,9 @@ pub struct ChainedIndex {
     /// Archived links, oldest first.
     archived: VecDeque<Link>,
     expired_tuples: u64,
+    expired_bytes: u64,
     expired_sub_indexes: u64,
+    obs: Option<IndexObs>,
 }
 
 impl ChainedIndex {
@@ -110,7 +164,26 @@ impl ChainedIndex {
             active: Link::new(kind),
             archived: VecDeque::new(),
             expired_tuples: 0,
+            expired_bytes: 0,
             expired_sub_indexes: 0,
+            obs: None,
+        }
+    }
+
+    /// Attach observability hooks (see [`IndexObs::register`]). The gauges
+    /// are initialised from the chain's current state.
+    pub fn set_obs(&mut self, obs: IndexObs) {
+        self.obs = Some(obs);
+        self.sync_gauges();
+    }
+
+    /// Push the live-size gauges to the registry, if hooks are attached.
+    fn sync_gauges(&self) {
+        if let Some(obs) = &self.obs {
+            let stats = self.stats();
+            obs.sub_indexes.set(stats.sub_indexes as u64);
+            obs.live_tuples.set(stats.tuples as u64);
+            obs.live_bytes.set(stats.bytes as u64);
         }
     }
 
@@ -139,10 +212,24 @@ impl ChainedIndex {
                 .saturating_sub(self.active.min_ts.min(tuple.ts()));
             if span_after > self.period {
                 let sealed = std::mem::replace(&mut self.active, Link::new(self.kind));
+                if let Some(obs) = &self.obs {
+                    obs.archived_tuples.add(sealed.count as u64);
+                    obs.archived_bytes.add(sealed.bytes as u64);
+                    obs.journal.record(
+                        tuple.ts(),
+                        EventKind::SubIndexArchived {
+                            side: obs.side,
+                            unit: obs.unit,
+                            tuples: sealed.count as u64,
+                            bytes: sealed.bytes as u64,
+                        },
+                    );
+                }
                 self.archived.push_back(sealed);
             }
         }
         self.active.insert(key, tuple);
+        self.sync_gauges();
     }
 
     /// **Data discarding** (Theorem 1 at sub-index granularity): drop every
@@ -159,12 +246,30 @@ impl ChainedIndex {
                 let link = self.archived.pop_front().expect("front checked");
                 dropped += link.count;
                 self.expired_tuples += link.count as u64;
+                self.expired_bytes += link.bytes as u64;
                 self.expired_sub_indexes += 1;
+                if let Some(obs) = &self.obs {
+                    obs.expired_tuples.add(link.count as u64);
+                    obs.expired_bytes.add(link.bytes as u64);
+                    obs.expired_sub_indexes.inc();
+                    obs.journal.record(
+                        incoming_ts,
+                        EventKind::SubIndexDiscarded {
+                            side: obs.side,
+                            unit: obs.unit,
+                            tuples: link.count as u64,
+                            bytes: link.bytes as u64,
+                        },
+                    );
+                }
             } else {
                 // Links are archived in timestamp order under the ordering
                 // protocol, so the first live link ends the scan.
                 break;
             }
+        }
+        if dropped > 0 {
+            self.sync_gauges();
         }
         dropped
     }
@@ -226,6 +331,7 @@ impl ChainedIndex {
             bytes,
             sub_indexes: 1 + self.archived.len(),
             expired_tuples: self.expired_tuples,
+            expired_bytes: self.expired_bytes,
             expired_sub_indexes: self.expired_sub_indexes,
         }
     }
@@ -362,6 +468,49 @@ mod tests {
     fn zero_period_is_clamped() {
         let c = ChainedIndex::new(IndexKind::Hash, WindowSpec::sliding(10), 0);
         assert_eq!(c.period(), 1);
+    }
+
+    #[test]
+    fn obs_tracks_archive_and_discard() {
+        use bistream_types::registry::Observability;
+
+        let obs = Observability::new();
+        let mut c = chain(100, 50);
+        c.set_obs(IndexObs::register(&obs, Rel::R, 2));
+        for ts in (0..=300).step_by(25) {
+            c.insert(Value::Int(1), t(ts, 1));
+        }
+        c.expire(400);
+        let snap = obs.registry.scrape(400);
+        let labels: &[(&str, &str)] = &[("joiner", "R2")];
+        let stats = c.stats();
+        assert_eq!(
+            snap.gauge("bistream_index_live_tuples", labels),
+            Some(stats.tuples as u64)
+        );
+        assert_eq!(
+            snap.gauge("bistream_index_sub_indexes", labels),
+            Some(stats.sub_indexes as u64)
+        );
+        assert_eq!(
+            snap.counter("bistream_index_expired_tuples_total", labels),
+            Some(stats.expired_tuples)
+        );
+        assert_eq!(
+            snap.counter("bistream_index_expired_bytes_total", labels),
+            Some(stats.expired_bytes)
+        );
+        assert!(stats.expired_bytes > 0);
+        let events = obs.journal.drain();
+        assert!(events.iter().any(|e| matches!(
+            e.kind,
+            bistream_types::journal::EventKind::SubIndexArchived { side: Rel::R, unit: 2, .. }
+        )));
+        assert!(events.iter().any(|e| e.ts == 400
+            && matches!(
+                e.kind,
+                bistream_types::journal::EventKind::SubIndexDiscarded { side: Rel::R, unit: 2, .. }
+            )));
     }
 
     #[test]

@@ -5,7 +5,9 @@ use bistream_cluster::{CostModel, ResourceMeter};
 use bistream_core::stats::{EngineSnapshot, EngineStats};
 use bistream_index::{ChainedIndex, IndexKind};
 use bistream_types::error::{Error, Result};
+use bistream_types::metrics::Counter;
 use bistream_types::predicate::{JoinPredicate, ProbePlan};
+use bistream_types::registry::Observability;
 use bistream_types::rel::Rel;
 use bistream_types::time::Ts;
 use bistream_types::tuple::{JoinResult, Tuple};
@@ -156,6 +158,10 @@ pub struct JoinMatrix {
     rng: StdRng,
     stats: Arc<EngineStats>,
     capture: Option<Vec<JoinResult>>,
+    obs: Option<Observability>,
+    /// Per-cell replication counters, row-major, parallel to `cells`
+    /// (empty until [`JoinMatrix::attach_obs`]).
+    cell_replicated: Vec<Arc<Counter>>,
     now: Ts,
 }
 
@@ -179,9 +185,41 @@ impl JoinMatrix {
             cost,
             stats: EngineStats::shared(),
             capture: None,
+            obs: None,
+            cell_replicated: Vec::new(),
             now: 0,
             config,
         })
+    }
+
+    /// Attach the unified observability layer: engine-wide series under
+    /// `engine="matrix"`, one `bistream_matrix_cell_replicated_total`
+    /// counter per grid cell (label `cell="<row>x<col>"` — the
+    /// replication-cost breakdown the biclique comparison reads), and
+    /// every cell meter under `pod="cell<row>x<col>"`. A resize
+    /// re-registers the new shape and drops the old cells' series.
+    pub fn attach_obs(&mut self, obs: &Observability) {
+        self.stats.register_into(&obs.registry, &[("engine", "matrix")]);
+        self.obs = Some(obs.clone());
+        self.register_cells();
+    }
+
+    fn register_cells(&mut self) {
+        self.cell_replicated.clear();
+        let Some(obs) = &self.obs else { return };
+        for row in 0..self.rows {
+            for col in 0..self.cols {
+                let label = format!("{row}x{col}");
+                self.cell_replicated.push(
+                    obs.registry
+                        .counter("bistream_matrix_cell_replicated_total", &[("cell", &label)]),
+                );
+                let pod = format!("cell{label}");
+                self.cells[row * self.cols + col]
+                    .meter
+                    .register_into(&obs.registry, &[("pod", &pod)]);
+            }
+        }
     }
 
     /// Matrix shape `(rows, cols)`.
@@ -247,6 +285,11 @@ impl JoinMatrix {
             }
         };
         self.stats.copies.add(targets.len() as u64);
+        if !self.cell_replicated.is_empty() {
+            for &idx in &targets {
+                self.cell_replicated[idx].inc();
+            }
+        }
         let cost = self.cost;
         let stats = Arc::clone(&self.stats);
         for idx in targets {
@@ -276,6 +319,7 @@ impl JoinMatrix {
         if rows == 0 || cols == 0 {
             return Err(Error::Scaling("matrix cannot shrink to zero".into()));
         }
+        let (old_rows, old_cols) = (self.rows, self.cols);
         let mut report = MigrationReport {
             cells_added: (rows * cols).saturating_sub(self.rows * self.cols),
             cells_removed: (self.rows * self.cols).saturating_sub(rows * cols),
@@ -330,6 +374,19 @@ impl JoinMatrix {
         for cell in &mut self.cells {
             let b = cell.bytes();
             cell.meter.set_memory_bytes(b);
+        }
+        // Swap the scrape over to the new shape: the destroyed cells'
+        // series go away; recreated cells restart from fresh counters
+        // (their state was rebuilt, so frozen totals would mislead).
+        if let Some(obs) = self.obs.clone() {
+            for row in 0..old_rows {
+                for col in 0..old_cols {
+                    let label = format!("{row}x{col}");
+                    obs.registry.unregister_labeled("cell", &label);
+                    obs.registry.unregister_labeled("pod", &format!("cell{label}"));
+                }
+            }
+            self.register_cells();
         }
         Ok(report)
     }
@@ -481,6 +538,52 @@ mod tests {
         assert_eq!(m.pod_meters().len(), 4);
         let busy: u64 = m.pod_meters().iter().map(|(_, meter)| meter.cpu_busy_us()).sum();
         assert!(busy > 0);
+    }
+
+    #[test]
+    fn attached_registry_tracks_per_cell_replication_across_resize() {
+        let mut m = JoinMatrix::new(config(2, 2)).unwrap();
+        let obs = Observability::new();
+        m.attach_obs(&obs);
+        for i in 0..10i64 {
+            m.ingest(&t(Rel::R, i as Ts, i), i as Ts).unwrap();
+        }
+        let snap = obs.registry.scrape(10);
+        // Each R tuple is replicated across its row's 2 cells → the
+        // per-cell counters sum to the engine-wide copy count.
+        let per_cell: u64 = ["0x0", "0x1", "1x0", "1x1"]
+            .iter()
+            .map(|c| {
+                snap.counter("bistream_matrix_cell_replicated_total", &[("cell", c)]).unwrap()
+            })
+            .sum();
+        assert_eq!(per_cell, 20);
+        assert_eq!(
+            snap.counter("bistream_tuples_ingested_total", &[("engine", "matrix")]),
+            Some(10)
+        );
+        assert!(snap.get("bistream_pod_cpu_busy_us_total", &[("pod", "cell0x0")]).is_some());
+
+        m.resize(1, 3).unwrap();
+        let snap = obs.registry.scrape(11);
+        assert!(
+            snap.get("bistream_matrix_cell_replicated_total", &[("cell", "1x1")]).is_none(),
+            "destroyed cell's series dropped"
+        );
+        assert_eq!(
+            snap.counter("bistream_matrix_cell_replicated_total", &[("cell", "0x2")]),
+            Some(0),
+            "new shape registered from zero"
+        );
+        m.ingest(&t(Rel::S, 20, 1), 20).unwrap();
+        let snap = obs.registry.scrape(21);
+        let post: u64 = ["0x0", "0x1", "0x2"]
+            .iter()
+            .map(|c| {
+                snap.counter("bistream_matrix_cell_replicated_total", &[("cell", c)]).unwrap()
+            })
+            .sum();
+        assert_eq!(post, 1, "S replicates across the single row's one column pick");
     }
 
     #[test]

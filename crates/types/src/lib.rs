@@ -15,9 +15,11 @@
 
 pub mod error;
 pub mod hash;
+pub mod journal;
 pub mod metrics;
 pub mod predicate;
 pub mod punct;
+pub mod registry;
 pub mod rel;
 pub mod schema;
 pub mod time;
@@ -26,8 +28,10 @@ pub mod value;
 pub mod window;
 
 pub use error::{Error, Result};
+pub use journal::{Event, EventJournal, EventKind};
 pub use predicate::JoinPredicate;
 pub use punct::{Punctuation, RouterId, SeqNo, StreamMessage};
+pub use registry::{MetricsRegistry, Observability, RegistrySnapshot, Sampler};
 pub use rel::Rel;
 pub use schema::{Schema, TupleBuilder};
 pub use time::{Clock, Ts, VirtualClock};

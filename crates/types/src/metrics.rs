@@ -2,8 +2,8 @@
 //!
 //! These are intentionally minimal — counters, gauges and a fixed-layout
 //! log-bucketed histogram for latency percentiles. Aggregation, naming and
-//! scraping live in `bistream-cluster`'s metrics registry; components just
-//! hold `Arc`s to these primitives and bump them on the hot path.
+//! scraping live in the [`crate::registry`] module; components just hold
+//! `Arc`s to these primitives and bump them on the hot path.
 
 use serde::Serialize;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -172,11 +172,13 @@ impl Histogram {
                 continue;
             }
             if seen + c >= target {
-                // Interpolate within [lo, hi) of this bucket.
+                // Interpolate within [lo, hi) of this bucket, clamped to
+                // the largest recorded sample: a bucket's upper edge must
+                // never report a percentile above the true maximum.
                 let lo = if i == 0 { 0 } else { 1u64 << (i - 1) };
                 let hi = if i >= 63 { u64::MAX } else { 1u64 << i };
                 let frac = (target - seen) as f64 / c as f64;
-                return lo + ((hi - lo) as f64 * frac) as u64;
+                return (lo + ((hi - lo) as f64 * frac) as u64).min(self.max());
             }
             seen += c;
         }
@@ -320,6 +322,18 @@ mod tests {
         // Quantiles are monotone in q.
         assert!(h.quantile(0.1) <= h.quantile(0.5));
         assert!(h.quantile(0.5) <= h.quantile(0.99));
+    }
+
+    #[test]
+    fn quantile_never_exceeds_max() {
+        let h = Histogram::default();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        // 1000 lands in bucket [512, 1024); uninterpolated upper-edge
+        // arithmetic used to report p99 = 1024 > max.
+        assert!(h.quantile(0.99) <= h.max(), "p99={} max={}", h.quantile(0.99), h.max());
+        assert_eq!(h.quantile(1.0), h.max());
     }
 
     #[test]

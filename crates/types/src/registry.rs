@@ -1,0 +1,483 @@
+//! The labeled metrics registry — one scrape surface for every component.
+//!
+//! Components register [`Counter`]/[`Gauge`]/[`Histogram`] handles under a
+//! `name{label="value",…}` key (e.g. `bistream_joiner_results_total{joiner="R3"}`)
+//! and keep bumping the returned `Arc` on the hot path; the registry itself
+//! is only touched at registration and scrape time, so instrumentation adds
+//! no coordination to per-tuple work.
+//!
+//! A scrape is a point-in-time read of every registered metric, sorted by
+//! `(name, labels)` so output is stable across runs; [`MetricsRegistry::prometheus_text`]
+//! renders the scrape in the Prometheus text exposition format (with label
+//! values properly escaped). [`Sampler`] turns periodic scrapes into a
+//! time-series the experiment harness can dump, and [`Observability`]
+//! bundles a registry with an event journal as the single handle the
+//! engines thread through their components.
+
+use crate::journal::EventJournal;
+use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+use crate::time::Ts;
+use parking_lot::RwLock;
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// A metric's identity: its name plus a sorted list of `label=value` pairs.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize)]
+pub struct MetricKey {
+    /// Metric family name, e.g. `bistream_router_copies_total`.
+    pub name: String,
+    /// Label pairs, kept sorted by label name for key stability.
+    pub labels: Vec<(String, String)>,
+}
+
+impl MetricKey {
+    /// Build a key from a name and unordered label pairs.
+    pub fn new(name: &str, labels: &[(&str, &str)]) -> MetricKey {
+        let mut labels: Vec<(String, String)> =
+            labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect();
+        labels.sort();
+        MetricKey { name: name.to_string(), labels }
+    }
+
+    /// `true` if any label pair equals `(label, value)`.
+    pub fn has_label(&self, label: &str, value: &str) -> bool {
+        self.labels.iter().any(|(k, v)| k == label && v == value)
+    }
+
+    /// Render as `name` or `name{k="v",…}` with escaped label values.
+    pub fn render(&self) -> String {
+        if self.labels.is_empty() {
+            return self.name.clone();
+        }
+        let mut out = String::with_capacity(self.name.len() + 16 * self.labels.len());
+        out.push_str(&self.name);
+        out.push('{');
+        for (i, (k, v)) in self.labels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{k}=\"{}\"", escape_label_value(v));
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Escape a label value for the Prometheus text format: backslash, double
+/// quote and newline must be escaped (`\\`, `\"`, `\n`).
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// One registered metric handle.
+#[derive(Debug, Clone)]
+enum Handle {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A scraped value — the point-in-time reading of one handle.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum MetricValue {
+    /// Monotonic counter reading.
+    Counter(u64),
+    /// Gauge reading.
+    Gauge(u64),
+    /// Histogram summary (count/mean/quantiles/max).
+    Histogram(HistogramSnapshot),
+}
+
+/// One `(key, value)` pair in a scrape.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct MetricSample {
+    /// The metric's identity.
+    pub key: MetricKey,
+    /// Its value at scrape time.
+    pub value: MetricValue,
+}
+
+/// A full scrape stamped with the (virtual or wall) time it was taken.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct RegistrySnapshot {
+    /// Scrape time in ms.
+    pub at: Ts,
+    /// Every registered metric, sorted by `(name, labels)`.
+    pub samples: Vec<MetricSample>,
+}
+
+impl RegistrySnapshot {
+    /// Look up a sample by name and exact label set.
+    pub fn get(&self, name: &str, labels: &[(&str, &str)]) -> Option<&MetricValue> {
+        let key = MetricKey::new(name, labels);
+        self.samples.iter().find(|s| s.key == key).map(|s| &s.value)
+    }
+
+    /// Counter value for `(name, labels)`, or `None` if absent or not a counter.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        match self.get(name, labels)? {
+            MetricValue::Counter(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Gauge value for `(name, labels)`, or `None` if absent or not a gauge.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        match self.get(name, labels)? {
+            MetricValue::Gauge(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+/// The shared registry. Cloning is cheap (an `Arc` bump) and all clones
+/// view the same metric set, so one registry can be threaded through
+/// routers, joiners, the broker and the cluster simulation.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<RwLock<BTreeMap<MetricKey, Handle>>>,
+}
+
+impl MetricsRegistry {
+    /// A fresh, empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Get-or-create a counter under `name{labels}`. If the key exists with
+    /// a different metric type the existing entry is replaced.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let key = MetricKey::new(name, labels);
+        let mut map = self.inner.write();
+        if let Some(Handle::Counter(c)) = map.get(&key) {
+            return Arc::clone(c);
+        }
+        let c = Counter::shared();
+        map.insert(key, Handle::Counter(Arc::clone(&c)));
+        c
+    }
+
+    /// Get-or-create a gauge under `name{labels}`.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let key = MetricKey::new(name, labels);
+        let mut map = self.inner.write();
+        if let Some(Handle::Gauge(g)) = map.get(&key) {
+            return Arc::clone(g);
+        }
+        let g = Gauge::shared();
+        map.insert(key, Handle::Gauge(Arc::clone(&g)));
+        g
+    }
+
+    /// Get-or-create a histogram under `name{labels}`.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        let key = MetricKey::new(name, labels);
+        let mut map = self.inner.write();
+        if let Some(Handle::Histogram(h)) = map.get(&key) {
+            return Arc::clone(h);
+        }
+        let h = Histogram::shared();
+        map.insert(key, Handle::Histogram(Arc::clone(&h)));
+        h
+    }
+
+    /// Register an *existing* counter handle (components like the broker's
+    /// queues or `ResourceMeter` already own their primitives).
+    pub fn register_counter(&self, name: &str, labels: &[(&str, &str)], c: &Arc<Counter>) {
+        self.inner
+            .write()
+            .insert(MetricKey::new(name, labels), Handle::Counter(Arc::clone(c)));
+    }
+
+    /// Register an existing gauge handle.
+    pub fn register_gauge(&self, name: &str, labels: &[(&str, &str)], g: &Arc<Gauge>) {
+        self.inner.write().insert(MetricKey::new(name, labels), Handle::Gauge(Arc::clone(g)));
+    }
+
+    /// Register an existing histogram handle.
+    pub fn register_histogram(&self, name: &str, labels: &[(&str, &str)], h: &Arc<Histogram>) {
+        self.inner
+            .write()
+            .insert(MetricKey::new(name, labels), Handle::Histogram(Arc::clone(h)));
+    }
+
+    /// Drop every metric carrying `label="value"` — used when a unit is
+    /// retired (drained joiner, removed router) so stale series don't
+    /// linger in scrapes.
+    pub fn unregister_labeled(&self, label: &str, value: &str) -> usize {
+        let mut map = self.inner.write();
+        let doomed: Vec<MetricKey> =
+            map.keys().filter(|k| k.has_label(label, value)).cloned().collect();
+        for k in &doomed {
+            map.remove(k);
+        }
+        doomed.len()
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// `true` if nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+
+    /// Point-in-time read of every registered metric, stamped `at`.
+    /// Samples come out sorted by `(name, labels)` (the map order), so
+    /// scrape output is stable run-to-run.
+    pub fn scrape(&self, at: Ts) -> RegistrySnapshot {
+        let map = self.inner.read();
+        let samples = map
+            .iter()
+            .map(|(key, handle)| MetricSample {
+                key: key.clone(),
+                value: match handle {
+                    Handle::Counter(c) => MetricValue::Counter(c.get()),
+                    Handle::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Handle::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                },
+            })
+            .collect();
+        RegistrySnapshot { at, samples }
+    }
+
+    /// Render every metric in the Prometheus text exposition format.
+    ///
+    /// Counters and gauges become single sample lines; histograms are
+    /// rendered summary-style with `quantile` labels plus `_count`, `_sum`
+    /// and `_max` series. `# TYPE` comments are emitted once per family.
+    pub fn prometheus_text(&self, at: Ts) -> String {
+        let snap = self.scrape(at);
+        let mut out = String::with_capacity(64 * snap.samples.len() + 64);
+        let mut last_family = String::new();
+        for sample in &snap.samples {
+            let name = &sample.key.name;
+            if *name != last_family {
+                let kind = match sample.value {
+                    MetricValue::Counter(_) => "counter",
+                    MetricValue::Gauge(_) => "gauge",
+                    MetricValue::Histogram(_) => "summary",
+                };
+                let _ = writeln!(out, "# TYPE {name} {kind}");
+                last_family = name.clone();
+            }
+            match &sample.value {
+                MetricValue::Counter(v) | MetricValue::Gauge(v) => {
+                    let _ = writeln!(out, "{} {v}", sample.key.render());
+                }
+                MetricValue::Histogram(h) => {
+                    for (q, v) in [("0.5", h.p50), ("0.95", h.p95), ("0.99", h.p99)] {
+                        let mut key = sample.key.clone();
+                        key.labels.push(("quantile".to_string(), q.to_string()));
+                        let _ = writeln!(out, "{} {v}", key.render());
+                    }
+                    let labels = render_label_block(&sample.key.labels);
+                    let sum = (h.mean * h.count as f64).round() as u64;
+                    let _ = writeln!(out, "{name}_count{labels} {}", h.count);
+                    let _ = writeln!(out, "{name}_sum{labels} {sum}");
+                    let _ = writeln!(out, "{name}_max{labels} {}", h.max);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Render `{k="v",…}` (or the empty string for no labels) with escaping.
+fn render_label_block(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"{}\"", escape_label_value(v));
+    }
+    out.push('}');
+    out
+}
+
+/// Periodically snapshots a registry into a time-series.
+///
+/// Both harnesses drive it from their own clock: the simulator calls
+/// [`Sampler::maybe_sample`] on its sample ticks (virtual ms), the live
+/// pipeline from its wall clock. The resulting series is what
+/// `experiments --metrics-out` dumps.
+#[derive(Debug, Clone)]
+pub struct Sampler {
+    registry: MetricsRegistry,
+    interval_ms: Ts,
+    next_due: Ts,
+    series: Vec<RegistrySnapshot>,
+}
+
+impl Sampler {
+    /// A sampler scraping `registry` every `interval_ms` (≥ 1) ms.
+    pub fn new(registry: MetricsRegistry, interval_ms: Ts) -> Sampler {
+        Sampler { registry, interval_ms: interval_ms.max(1), next_due: 0, series: Vec::new() }
+    }
+
+    /// Scrape if `now` has reached the next due time; returns whether a
+    /// sample was taken. Catch-up after a long gap takes one sample, not
+    /// one per missed interval.
+    pub fn maybe_sample(&mut self, now: Ts) -> bool {
+        if now < self.next_due {
+            return false;
+        }
+        self.force_sample(now);
+        true
+    }
+
+    /// Scrape unconditionally at `now`.
+    pub fn force_sample(&mut self, now: Ts) {
+        self.series.push(self.registry.scrape(now));
+        self.next_due = now + self.interval_ms;
+    }
+
+    /// The sampling interval in ms.
+    pub fn interval_ms(&self) -> Ts {
+        self.interval_ms
+    }
+
+    /// The series collected so far.
+    pub fn series(&self) -> &[RegistrySnapshot] {
+        &self.series
+    }
+
+    /// Consume the sampler, yielding its series.
+    pub fn into_series(self) -> Vec<RegistrySnapshot> {
+        self.series
+    }
+}
+
+/// The bundle every engine threads through its components: one metrics
+/// registry plus one event journal. Cloning shares both.
+#[derive(Debug, Clone, Default)]
+pub struct Observability {
+    /// The shared labeled-metrics registry.
+    pub registry: MetricsRegistry,
+    /// The shared bounded event journal.
+    pub journal: EventJournal,
+}
+
+impl Observability {
+    /// A fresh registry plus a journal with the default capacity.
+    pub fn new() -> Observability {
+        Observability::default()
+    }
+
+    /// A fresh registry plus a journal holding at most `capacity` events.
+    pub fn with_journal_capacity(capacity: usize) -> Observability {
+        Observability {
+            registry: MetricsRegistry::new(),
+            journal: EventJournal::with_capacity(capacity),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_handles_are_shared_and_scraped() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("tuples_total", &[("joiner", "R0")]);
+        let b = reg.counter("tuples_total", &[("joiner", "R0")]);
+        a.add(3);
+        b.inc();
+        assert_eq!(reg.len(), 1);
+        let snap = reg.scrape(7);
+        assert_eq!(snap.at, 7);
+        assert_eq!(snap.counter("tuples_total", &[("joiner", "R0")]), Some(4));
+    }
+
+    #[test]
+    fn labels_are_order_insensitive() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("x", &[("a", "1"), ("b", "2")]);
+        let b = reg.counter("x", &[("b", "2"), ("a", "1")]);
+        a.inc();
+        b.inc();
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.scrape(0).counter("x", &[("a", "1"), ("b", "2")]), Some(2));
+    }
+
+    #[test]
+    fn scrape_is_sorted_by_key() {
+        let reg = MetricsRegistry::new();
+        reg.counter("zeta", &[]);
+        reg.gauge("alpha", &[("k", "2")]);
+        reg.gauge("alpha", &[("k", "1")]);
+        let names: Vec<String> =
+            reg.scrape(0).samples.iter().map(|s| s.key.render()).collect();
+        assert_eq!(names, vec!["alpha{k=\"1\"}", "alpha{k=\"2\"}", "zeta"]);
+    }
+
+    #[test]
+    fn unregister_by_label_drops_all_series_of_a_unit() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a_total", &[("joiner", "R0")]);
+        reg.gauge("b", &[("joiner", "R0")]);
+        reg.counter("a_total", &[("joiner", "R1")]);
+        assert_eq!(reg.unregister_labeled("joiner", "R0"), 2);
+        assert_eq!(reg.len(), 1);
+        assert!(reg.scrape(0).counter("a_total", &[("joiner", "R1")]).is_some());
+    }
+
+    #[test]
+    fn prometheus_text_escapes_label_values() {
+        let reg = MetricsRegistry::new();
+        reg.counter("c_total", &[("engine", "we\"ird\\lab\nel")]).inc();
+        let text = reg.prometheus_text(0);
+        assert!(text.contains(r#"engine="we\"ird\\lab\nel""#), "got: {text}");
+        // The literal newline must not survive inside the label block.
+        assert!(!text.lines().any(|l| l.starts_with("el\"")), "got: {text}");
+    }
+
+    #[test]
+    fn prometheus_text_renders_histograms_as_summaries() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("lat_ms", &[("joiner", "S1")]);
+        for v in [1u64, 2, 3, 4] {
+            h.record(v);
+        }
+        let text = reg.prometheus_text(0);
+        assert!(text.contains("# TYPE lat_ms summary"));
+        assert!(text.contains("lat_ms{joiner=\"S1\",quantile=\"0.5\"}"));
+        assert!(text.contains("lat_ms_count{joiner=\"S1\"} 4"));
+        assert!(text.contains("lat_ms_sum{joiner=\"S1\"} 10"));
+        assert!(text.contains("lat_ms_max{joiner=\"S1\"} 4"));
+    }
+
+    #[test]
+    fn sampler_respects_interval() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("ticks_total", &[]);
+        let mut sampler = Sampler::new(reg, 100);
+        assert!(sampler.maybe_sample(0));
+        c.inc();
+        assert!(!sampler.maybe_sample(50));
+        assert!(sampler.maybe_sample(100));
+        assert!(!sampler.maybe_sample(150));
+        let series = sampler.series();
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].counter("ticks_total", &[]), Some(0));
+        assert_eq!(series[1].counter("ticks_total", &[]), Some(1));
+    }
+}

@@ -273,6 +273,66 @@ proptest! {
         prop_assert_eq!(&mat, &expect, "matrix");
     }
 
+    /// A registry scrape is sorted by `(name, labels)` and stable: the
+    /// same metric set produces the same key sequence no matter the
+    /// registration order, and label order within a registration is
+    /// irrelevant to series identity.
+    #[test]
+    fn registry_scrape_is_sorted_and_registration_order_free(
+        series in prop::collection::vec(("[a-z]{1,6}", "[a-z0-9]{1,4}"), 1..20),
+        shuffle_from in any::<prop::sample::Index>(),
+    ) {
+        use bistream::types::registry::MetricsRegistry;
+
+        let reg_a = MetricsRegistry::new();
+        for (name, unit) in &series {
+            reg_a.counter(name, &[("joiner", unit), ("side", "R")]);
+        }
+        // Register the same series rotated and with labels swapped.
+        let reg_b = MetricsRegistry::new();
+        let pivot = shuffle_from.index(series.len());
+        for (name, unit) in series[pivot..].iter().chain(&series[..pivot]) {
+            reg_b.counter(name, &[("side", "R"), ("joiner", unit)]);
+        }
+
+        let keys_a: Vec<String> =
+            reg_a.scrape(0).samples.iter().map(|s| s.key.render()).collect();
+        let keys_b: Vec<String> =
+            reg_b.scrape(0).samples.iter().map(|s| s.key.render()).collect();
+        let mut sorted = keys_a.clone();
+        sorted.sort();
+        sorted.dedup();
+        prop_assert_eq!(&keys_a, &sorted, "scrape must come out sorted and deduplicated");
+        prop_assert_eq!(&keys_a, &keys_b, "registration order must not leak into scrapes");
+    }
+
+    /// Histogram quantiles are monotone in q and never exceed the maximum
+    /// recorded sample, for any sample set.
+    #[test]
+    fn histogram_quantiles_monotone_and_bounded(
+        samples in prop::collection::vec(0u64..1_000_000, 1..200),
+        qs in prop::collection::vec(0.0f64..=1.0, 2..8),
+    ) {
+        use bistream::types::metrics::Histogram;
+
+        let h = Histogram::default();
+        for &v in &samples {
+            h.record(v);
+        }
+        let mut qs = qs;
+        qs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let values: Vec<u64> = qs.iter().map(|&q| h.quantile(q)).collect();
+        for w in values.windows(2) {
+            prop_assert!(w[0] <= w[1], "quantiles must be monotone in q: {:?}", values);
+        }
+        let max = *samples.iter().max().unwrap();
+        prop_assert_eq!(h.max(), max);
+        for &v in &values {
+            prop_assert!(v <= max, "quantile {v} exceeds max {max}");
+        }
+        prop_assert_eq!(h.quantile(1.0), max);
+    }
+
     /// Zipf samples stay inside the universe for any theta.
     #[test]
     fn zipf_in_universe(n in 1u64..5_000, theta in 0.0f64..1.2, seed in any::<u64>()) {
