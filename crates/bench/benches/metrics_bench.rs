@@ -69,8 +69,7 @@ fn bench_scrape(c: &mut Criterion) {
         }
         reg.gauge("bistream_joiner_stored_tuples", &[("joiner", &joiner)]);
         reg.gauge("bistream_joiner_frontier_lag", &[("joiner", &joiner)]);
-        reg.histogram("bistream_joiner_result_latency_ms", &[("joiner", &joiner)])
-            .record(j as u64);
+        reg.histogram("bistream_joiner_result_latency_ms", &[("joiner", &joiner)]).record(j as u64);
     }
     for r in 0..4 {
         let router = format!("r{r}");
@@ -92,9 +91,7 @@ fn bench_scrape(c: &mut Criterion) {
     g.bench_function(format!("scrape_{}_series", reg.len()), |b| {
         b.iter(|| black_box(reg.scrape(42).samples.len()))
     });
-    g.bench_function("prometheus_text", |b| {
-        b.iter(|| black_box(reg.prometheus_text(42).len()))
-    });
+    g.bench_function("prometheus_text", |b| b.iter(|| black_box(reg.prometheus_text(42).len())));
     g.finish();
 }
 

@@ -44,9 +44,7 @@ fn bench_live_pipelines(c: &mut Criterion) {
         b.iter(|| black_box(run_biclique(PipelineConfig::new(engine_cfg(RoutingStrategy::Hash)))))
     });
     g.bench_function("biclique_random_2x2", |b| {
-        b.iter(|| {
-            black_box(run_biclique(PipelineConfig::new(engine_cfg(RoutingStrategy::Random))))
-        })
+        b.iter(|| black_box(run_biclique(PipelineConfig::new(engine_cfg(RoutingStrategy::Random)))))
     });
     g.bench_function("matrix_2x2", |b| {
         b.iter(|| {

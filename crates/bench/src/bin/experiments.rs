@@ -27,6 +27,10 @@ fn main() {
                 let v = iter.next().expect("--metrics-out needs a file path");
                 ctx.metrics_out = Some(v.into());
             }
+            "--trace-out" => {
+                let v = iter.next().expect("--trace-out needs a file path");
+                ctx.trace_out = Some(v.into());
+            }
             "--help" | "-h" => {
                 usage();
                 return;
@@ -60,7 +64,7 @@ fn main() {
 
 fn usage() {
     eprintln!(
-        "usage: experiments [--quick] [--seed N] [--metrics-out FILE] <id>… | all\n  ids: {}",
+        "usage: experiments [--quick] [--seed N] [--metrics-out FILE] [--trace-out FILE] <id>… | all\n  ids: {}",
         experiments::ALL.join(", ")
     );
 }

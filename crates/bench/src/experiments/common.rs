@@ -98,10 +98,7 @@ pub fn capacity_from_meters(
     offered_rate: f64,
 ) -> CapacityEstimate {
     let horizon_us = (horizon_ms * 1_000) as f64;
-    let utils: Vec<f64> = meters
-        .iter()
-        .map(|(_, m)| m.cpu_busy_us() as f64 / horizon_us)
-        .collect();
+    let utils: Vec<f64> = meters.iter().map(|(_, m)| m.cpu_busy_us() as f64 / horizon_us).collect();
     let max = utils.iter().copied().fold(0.0f64, f64::max);
     let mean = if utils.is_empty() { 0.0 } else { utils.iter().sum::<f64>() / utils.len() as f64 };
     CapacityEstimate {

@@ -11,12 +11,12 @@
 
 use super::common::engine_config;
 use super::ExpCtx;
+use crate::feed::ProfileFeed;
 use crate::report::{f, Table};
 use bistream_cluster::{CostModel, HpaConfig};
 use bistream_core::config::RoutingStrategy;
 use bistream_core::engine::BicliqueEngine;
 use bistream_core::sim::{run_dynamic_scaling, SimConfig};
-use crate::feed::ProfileFeed;
 use bistream_types::predicate::JoinPredicate;
 use bistream_types::time::{Ts, MINUTE};
 use bistream_types::window::WindowSpec;
@@ -60,8 +60,7 @@ pub fn run(ctx: &ExpCtx) {
     };
     let mut feed_profile =
         ProfileFeed::new(RateSchedule::thesis_profile(), scale, duration, 100_000, 0);
-    let out = run_dynamic_scaling(engine, &mut feed_profile, hpa, &sim)
-        .expect("simulation runs");
+    let out = run_dynamic_scaling(engine, &mut feed_profile, hpa, &sim).expect("simulation runs");
 
     if let Some(path) = &ctx.metrics_out {
         super::dump_metrics(path, &out.metric_series, &out.events);

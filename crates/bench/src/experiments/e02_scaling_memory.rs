@@ -16,12 +16,12 @@
 
 use super::common::engine_config;
 use super::ExpCtx;
+use crate::feed::ProfileFeed;
 use crate::report::{f, mib, Table};
 use bistream_cluster::{CostModel, HpaConfig, MetricTarget};
 use bistream_core::config::RoutingStrategy;
 use bistream_core::engine::BicliqueEngine;
 use bistream_core::sim::{run_dynamic_scaling, SimConfig};
-use crate::feed::ProfileFeed;
 use bistream_types::predicate::JoinPredicate;
 use bistream_types::time::{Ts, MINUTE};
 use bistream_types::window::WindowSpec;
@@ -67,13 +67,8 @@ pub fn run(ctx: &ExpCtx) {
         // Pods boot in ~15 s on the thesis cluster (image pull + JVM).
         pod_startup_delay_ms: 15_000,
     };
-    let mut feed = ProfileFeed::new(
-        RateSchedule::thesis_profile(),
-        scale,
-        duration,
-        100_000,
-        payload_bytes,
-    );
+    let mut feed =
+        ProfileFeed::new(RateSchedule::thesis_profile(), scale, duration, 100_000, payload_bytes);
     let out = run_dynamic_scaling(engine, &mut feed, hpa, &sim).expect("simulation runs");
 
     let mut table = Table::new(

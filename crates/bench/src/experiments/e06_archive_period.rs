@@ -98,8 +98,7 @@ pub fn run(ctx: &ExpCtx) {
         &["n_keys", "P_ms", "wall_ms", "peak_subindexes", "peak_MiB", "matches"],
     );
     for &n_keys in &[16i64, 1_000] {
-        for &period in
-            &[WINDOW_MS / 256, WINDOW_MS / 64, WINDOW_MS / 16, WINDOW_MS / 4, WINDOW_MS]
+        for &period in &[WINDOW_MS / 256, WINDOW_MS / 64, WINDOW_MS / 16, WINDOW_MS / 4, WINDOW_MS]
         {
             let r = drive_chained(period, tuples, n_keys);
             table.row(vec![
@@ -135,8 +134,7 @@ pub fn run(ctx: &ExpCtx) {
     );
     for &(label, period) in &[("chained P=W/16", WINDOW_MS / 16), ("chained P=W/4", WINDOW_MS / 4)]
     {
-        let mut index =
-            ChainedIndex::new(IndexKind::Hash, WindowSpec::sliding(WINDOW_MS), period);
+        let mut index = ChainedIndex::new(IndexKind::Hash, WindowSpec::sliding(WINDOW_MS), period);
         for i in 0..fill {
             let ts = (i as Ts * WINDOW_MS) / fill as Ts;
             let key = Value::Int(i as i64 % 1_000);

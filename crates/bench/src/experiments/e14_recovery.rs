@@ -91,10 +91,8 @@ pub fn run(ctx: &ExpCtx) {
     let last = load(&mut e, n, &payload);
     let units: Vec<_> = e.layout().units(Rel::R).to_vec();
     let snap_started = Instant::now();
-    let snapshots: Vec<_> = units
-        .iter()
-        .map(|&id| (id, e.snapshot_unit(id).expect("snapshot")))
-        .collect();
+    let snapshots: Vec<_> =
+        units.iter().map(|&id| (id, e.snapshot_unit(id).expect("snapshot"))).collect();
     let snapshot_ms = snap_started.elapsed().as_secs_f64() * 1_000.0;
     let snapshot_bytes: usize = snapshots.iter().map(|(_, b)| b.len()).sum();
     let restore_started = Instant::now();

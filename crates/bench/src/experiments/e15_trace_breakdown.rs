@@ -1,0 +1,175 @@
+//! **E15 — Ordering-protocol latency attribution via per-tuple traces**
+//! (reconstructed: BiStream eval axis — the source text reports the
+//! protocol's buffering delay only as end-to-end p50/p99 shifts; causal
+//! traces break that overhead down per hop).
+//!
+//! The same workload runs twice through traced engines — ordering protocol
+//! ON (order-consistent results) and OFF (raw pairwise-FIFO delivery) —
+//! sampling every tuple. Each trace attributes its end-to-end latency to
+//! queue wait (enqueue → dequeue gap) and ordering wait (dequeue →
+//! store/probe gap, i.e. time parked in the reorder buffer awaiting the
+//! punctuation watermark). With the protocol ON the ordering wait tracks
+//! the punctuation interval; OFF it collapses to zero — isolating exactly
+//! what the protocol costs and where.
+//!
+//! With `--trace-out FILE`, the ordering-ON run's traces are exported as
+//! Chrome `trace_event` JSON (open in `chrome://tracing` or Perfetto).
+
+use super::common::engine_config;
+use super::{dump_traces, ExpCtx};
+use crate::report::{f, Table};
+use bistream_core::config::RoutingStrategy;
+use bistream_core::engine::BicliqueEngine;
+use bistream_types::predicate::JoinPredicate;
+use bistream_types::registry::Observability;
+use bistream_types::rel::Rel;
+use bistream_types::time::Ts;
+use bistream_types::trace::{HopKind, Trace};
+use bistream_types::tuple::Tuple;
+use bistream_types::value::Value;
+use bistream_types::window::WindowSpec;
+
+const WINDOW_MS: Ts = 1_000;
+
+fn workload(n: usize, seed: u64) -> Vec<Tuple> {
+    let mut tuples = Vec::with_capacity(n);
+    let mut state = seed | 1;
+    for i in 0..n {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let rel = if state & 1 == 0 { Rel::R } else { Rel::S };
+        let key = ((state >> 33) % 40) as i64;
+        tuples.push(Tuple::new(rel, (i as Ts) * 3, vec![Value::Int(key)]));
+    }
+    tuples
+}
+
+fn run_traced(tuples: &[Tuple], ordering: bool, punct_ms: Ts, seed: u64) -> Vec<Trace> {
+    let mut cfg = engine_config(
+        RoutingStrategy::Random,
+        JoinPredicate::Equi { r_attr: 0, s_attr: 0 },
+        WindowSpec::sliding(WINDOW_MS),
+        2,
+        2,
+        seed,
+    );
+    cfg.ordering = ordering;
+    cfg.punctuation_interval_ms = punct_ms;
+    let mut engine = BicliqueEngine::builder(cfg)
+        .observability(Observability::with_tracing(1))
+        .build()
+        .expect("valid");
+    let mut next_punct = punct_ms;
+    let mut last_t = 0;
+    for t in tuples {
+        while next_punct <= t.ts() {
+            engine.punctuate(next_punct).expect("punctuate");
+            next_punct += punct_ms;
+        }
+        engine.ingest(t, t.ts()).expect("ingest");
+        last_t = t.ts();
+    }
+    engine.punctuate(last_t + punct_ms).expect("punctuate");
+    engine.flush().expect("flush");
+    let tracer = engine.observability().tracer.clone();
+    tracer.flush_pending();
+    let mut traces = tracer.drain();
+    traces.sort_by_key(|t| t.id);
+    traces
+}
+
+struct Breakdown {
+    traces: usize,
+    complete: usize,
+    mean_queue_wait: f64,
+    mean_order_wait: f64,
+    p50_e2e: Ts,
+    p99_e2e: Ts,
+}
+
+fn breakdown(traces: &[Trace]) -> Breakdown {
+    let complete: Vec<&Trace> = traces.iter().filter(|t| t.complete).collect();
+    let (mut queue_wait, mut queue_n) = (0u64, 0u64);
+    let (mut order_wait, mut order_n) = (0u64, 0u64);
+    let mut e2e: Vec<Ts> = Vec::with_capacity(complete.len());
+    for tr in &complete {
+        e2e.push(tr.end_to_end());
+        for hop in tr.hop_timings() {
+            match hop.kind {
+                // Gap behind a dequeue = time the copy sat in a queue.
+                HopKind::Dequeue => {
+                    queue_wait += hop.wait;
+                    queue_n += 1;
+                }
+                // Gap behind store/probe = time in the reorder buffer.
+                HopKind::Store | HopKind::Probe => {
+                    order_wait += hop.wait;
+                    order_n += 1;
+                }
+                _ => {}
+            }
+        }
+    }
+    e2e.sort_unstable();
+    let pct = |p: f64| -> Ts {
+        if e2e.is_empty() {
+            0
+        } else {
+            e2e[(((e2e.len() - 1) as f64) * p) as usize]
+        }
+    };
+    Breakdown {
+        traces: traces.len(),
+        complete: complete.len(),
+        mean_queue_wait: if queue_n > 0 { queue_wait as f64 / queue_n as f64 } else { 0.0 },
+        mean_order_wait: if order_n > 0 { order_wait as f64 / order_n as f64 } else { 0.0 },
+        p50_e2e: pct(0.50),
+        p99_e2e: pct(0.99),
+    }
+}
+
+/// Run E15.
+pub fn run(ctx: &ExpCtx) {
+    // Every tuple is sampled, so keep the stream under the tracer's
+    // bounded completed-store capacity (4 096) — no silent eviction.
+    let n = if ctx.quick { 1_000 } else { 4_000 };
+    let tuples = workload(n, ctx.seed);
+
+    let mut table = Table::new(
+        "E15: per-hop latency attribution — ordering protocol on vs. off",
+        &[
+            "protocol",
+            "punct_ms",
+            "traces",
+            "complete",
+            "mean_queue_wait_ms",
+            "mean_order_wait_ms",
+            "p50_e2e_ms",
+            "p99_e2e_ms",
+        ],
+    );
+    let mut export: Vec<Trace> = Vec::new();
+    for &punct_ms in &[20u64, 100] {
+        for ordering in [true, false] {
+            let traces = run_traced(&tuples, ordering, punct_ms, ctx.seed);
+            let b = breakdown(&traces);
+            table.row(vec![
+                if ordering { "on" } else { "off" }.into(),
+                punct_ms.to_string(),
+                b.traces.to_string(),
+                b.complete.to_string(),
+                f(b.mean_queue_wait, 2),
+                f(b.mean_order_wait, 2),
+                b.p50_e2e.to_string(),
+                b.p99_e2e.to_string(),
+            ]);
+            if ordering && punct_ms == 20 {
+                export = traces;
+            }
+        }
+    }
+    table.emit("e15_trace_breakdown");
+
+    if let Some(path) = &ctx.trace_out {
+        dump_traces(path, &export);
+    }
+}

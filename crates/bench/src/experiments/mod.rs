@@ -21,6 +21,7 @@ pub mod e11_communication;
 pub mod e12_full_history;
 pub mod e13_router_elasticity;
 pub mod e14_recovery;
+pub mod e15_trace_breakdown;
 
 /// Experiment context.
 #[derive(Debug, Clone)]
@@ -33,11 +34,15 @@ pub struct ExpCtx {
     /// sampler's per-tick registry scrapes plus the drained event
     /// journal) to this JSON file (`--metrics-out`).
     pub metrics_out: Option<std::path::PathBuf>,
+    /// Dump the per-tuple causal traces of tracing-instrumented
+    /// experiments as Chrome `trace_event` JSON to this file
+    /// (`--trace-out`); open in `chrome://tracing` or Perfetto.
+    pub trace_out: Option<std::path::PathBuf>,
 }
 
 impl Default for ExpCtx {
     fn default() -> Self {
-        ExpCtx { quick: false, seed: 0xB15_7EA4, metrics_out: None }
+        ExpCtx { quick: false, seed: 0xB15_7EA4, metrics_out: None, trace_out: None }
     }
 }
 
@@ -57,9 +62,19 @@ pub fn dump_metrics(
     }
 }
 
+/// Write the `--trace-out` dump: the collected per-tuple causal traces
+/// rendered as Chrome `trace_event` JSON (one timeline row per trace).
+pub fn dump_traces(path: &std::path::Path, traces: &[bistream_types::trace::Trace]) {
+    let text = bistream_types::trace::chrome_trace_json(traces);
+    match std::fs::write(path, text) {
+        Ok(()) => eprintln!(">> traces written to {}", path.display()),
+        Err(e) => eprintln!(">> could not write {}: {e}", path.display()),
+    }
+}
+
 /// All experiment ids in order.
 pub const ALL: &[&str] = &[
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
 ];
 
 /// Dispatch by id; returns false for unknown ids.
@@ -79,6 +94,7 @@ pub fn run(id: &str, ctx: &ExpCtx) -> bool {
         "e12" => e12_full_history::run(ctx),
         "e13" => e13_router_elasticity::run(ctx),
         "e14" => e14_recovery::run(ctx),
+        "e15" => e15_trace_breakdown::run(ctx),
         _ => return false,
     }
     true

@@ -51,11 +51,8 @@ impl Table {
         let _ = writeln!(out, "{}", header.join("  "));
         let _ = writeln!(out, "{}", "-".repeat(header.join("  ").len()));
         for row in &self.rows {
-            let line: Vec<String> = row
-                .iter()
-                .enumerate()
-                .map(|(i, v)| format!("{:>w$}", v, w = widths[i]))
-                .collect();
+            let line: Vec<String> =
+                row.iter().enumerate().map(|(i, v)| format!("{:>w$}", v, w = widths[i])).collect();
             let _ = writeln!(out, "{}", line.join("  "));
         }
         out

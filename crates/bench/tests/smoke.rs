@@ -13,8 +13,35 @@ fn quick_experiments_run_to_completion() {
     std::env::set_current_dir(&tmp).unwrap();
 
     let ctx = ExpCtx { quick: true, seed: 7, ..ExpCtx::default() };
-    for id in ["e4", "e5", "e9", "e11", "e12", "e13"] {
+    for id in ["e4", "e5", "e9", "e11", "e12", "e13", "e15"] {
         assert!(experiments::run(id, &ctx), "experiment {id} unknown");
+    }
+}
+
+#[test]
+fn trace_out_writes_valid_chrome_trace_json() {
+    let tmp = std::env::temp_dir().join("bistream-bench-smoke-trace");
+    std::fs::create_dir_all(&tmp).unwrap();
+    std::env::set_current_dir(&tmp).unwrap();
+    let path = tmp.join("trace.json");
+
+    let ctx = ExpCtx { quick: true, seed: 7, trace_out: Some(path.clone()), ..ExpCtx::default() };
+    assert!(experiments::run("e15", &ctx));
+
+    let text = std::fs::read_to_string(&path).expect("trace file written");
+    let doc: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
+    let events = doc["traceEvents"].as_array().expect("traceEvents array");
+    let hops: Vec<&serde_json::Value> = events.iter().filter(|e| e["ph"] == "X").collect();
+    assert!(!hops.is_empty(), "no hop events exported");
+    // At least one trace is multi-hop: several X events share a tid.
+    let multi = hops.iter().any(|e| {
+        let tid = &e["tid"];
+        hops.iter().filter(|o| &o["tid"] == tid).count() >= 2
+    });
+    assert!(multi, "no multi-hop trace in the export");
+    for e in &hops {
+        assert!(e["dur"].as_u64().is_some(), "negative or missing dur: {e}");
+        assert!(e["args"]["wait_ms"].as_u64().is_some(), "negative or missing wait: {e}");
     }
 }
 
@@ -26,8 +53,8 @@ fn unknown_experiment_is_rejected() {
 #[test]
 fn registry_is_complete_and_ordered() {
     assert_eq!(experiments::ALL.first(), Some(&"e1"));
-    assert_eq!(experiments::ALL.last(), Some(&"e14"));
-    assert_eq!(experiments::ALL.len(), 14);
+    assert_eq!(experiments::ALL.last(), Some(&"e15"));
+    assert_eq!(experiments::ALL.len(), 15);
     // Every listed id dispatches.
     let unique: std::collections::HashSet<_> = experiments::ALL.iter().collect();
     assert_eq!(unique.len(), experiments::ALL.len());

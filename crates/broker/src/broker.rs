@@ -110,6 +110,7 @@ impl Broker {
                         blocked: reg.counter("bistream_queue_backpressure_blocks_total", labels),
                         journal: obs.journal.clone(),
                         clock: Arc::clone(clock),
+                        tracer: obs.tracer.clone(),
                     },
                 )
             }
@@ -326,13 +327,9 @@ mod tests {
         let b = broker_with_topic();
         b.declare_queue("rstore", 8).unwrap();
         b.bind("tuple.exchange", "rstore", "R.store.#").unwrap();
-        let reached = b
-            .publish("tuple.exchange", Message::new("R.store.1", vec![1u8]))
-            .unwrap();
+        let reached = b.publish("tuple.exchange", Message::new("R.store.1", vec![1u8])).unwrap();
         assert_eq!(reached, 1);
-        let missed = b
-            .publish("tuple.exchange", Message::new("S.store.1", vec![1u8]))
-            .unwrap();
+        let missed = b.publish("tuple.exchange", Message::new("S.store.1", vec![1u8])).unwrap();
         assert_eq!(missed, 0);
         let c = b.subscribe("rstore").unwrap();
         assert_eq!(c.drain().len(), 1);
@@ -493,10 +490,7 @@ mod tests {
         assert_eq!(snap.counter("bistream_queue_published_total", labels), Some(2));
         assert_eq!(snap.counter("bistream_queue_delivered_total", labels), Some(2));
         assert_eq!(snap.gauge("bistream_queue_depth", labels), Some(0));
-        assert_eq!(
-            snap.counter("bistream_queue_backpressure_blocks_total", labels),
-            Some(1)
-        );
+        assert_eq!(snap.counter("bistream_queue_backpressure_blocks_total", labels), Some(1));
         let events = obs.journal.drain();
         assert!(events.iter().any(|e| e.ts == 33
             && matches!(&e.kind, EventKind::BackpressureStall { queue } if queue == "tiny")));
@@ -534,10 +528,7 @@ mod tests {
         let consumer = b.subscribe("q").unwrap();
         let mut got = 0;
         while got < n_producers * per {
-            if consumer
-                .recv_timeout(std::time::Duration::from_millis(200))
-                .is_ok()
-            {
+            if consumer.recv_timeout(std::time::Duration::from_millis(200)).is_ok() {
                 got += 1;
             } else {
                 panic!("timed out after {got} messages");

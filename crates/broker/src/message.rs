@@ -16,12 +16,28 @@ pub struct Message {
     /// True when this message was requeued after an unacknowledged
     /// delivery (AMQP's `redelivered` flag).
     pub redelivered: bool,
+    /// Trace-sampling header: the router sequence number of a sampled
+    /// tuple, set by publishers that participate in per-tuple tracing.
+    /// Carried out-of-band so queues can record enqueue/dequeue spans
+    /// without decoding the payload. `None` for unsampled traffic.
+    pub trace_seq: Option<u64>,
 }
 
 impl Message {
     /// Build a message.
     pub fn new(routing_key: impl Into<String>, payload: impl Into<Bytes>) -> Message {
-        Message { routing_key: routing_key.into(), payload: payload.into(), redelivered: false }
+        Message {
+            routing_key: routing_key.into(),
+            payload: payload.into(),
+            redelivered: false,
+            trace_seq: None,
+        }
+    }
+
+    /// Attach a trace-sampling header (see [`Message::trace_seq`]).
+    pub fn with_trace_seq(mut self, seq: u64) -> Message {
+        self.trace_seq = Some(seq);
+        self
     }
 
     /// Payload length in bytes (used by broker throughput accounting).

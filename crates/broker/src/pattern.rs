@@ -44,9 +44,9 @@ pub fn valid_pattern(pattern: &str) -> bool {
     if pattern.is_empty() {
         return true; // matches only the empty key
     }
-    pattern.split('.').all(|w| {
-        !w.is_empty() && (w == "*" || w == "#" || (!w.contains('*') && !w.contains('#')))
-    })
+    pattern
+        .split('.')
+        .all(|w| !w.is_empty() && (w == "*" || w == "#" || (!w.contains('*') && !w.contains('#'))))
 }
 
 #[cfg(test)]

@@ -9,6 +9,7 @@ use crate::message::Message;
 use bistream_types::journal::{EventJournal, EventKind};
 use bistream_types::metrics::{Counter, Gauge};
 use bistream_types::time::Clock;
+use bistream_types::trace::{HopKind, Tracer};
 use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender, TrySendError};
 use std::sync::Arc;
 use std::time::Duration;
@@ -40,6 +41,9 @@ pub(crate) struct QueueObs {
     pub(crate) journal: EventJournal,
     /// Timebase for stall events (the live pipeline's wall clock).
     pub(crate) clock: Arc<dyn Clock>,
+    /// Per-tuple tracer recording enqueue/dequeue spans for messages that
+    /// carry a [`Message::trace_seq`] header (disabled tracers are inert).
+    pub(crate) tracer: Tracer,
 }
 
 impl std::fmt::Debug for QueueObs {
@@ -61,20 +65,34 @@ struct QueueMeta {
     depth_gauge: Option<Arc<Gauge>>,
     blocked: Option<Arc<Counter>>,
     stall_journal: Option<(EventJournal, Arc<dyn Clock>)>,
+    /// Tracer plus its timebase — present only when the broker had
+    /// observability attached at declaration time.
+    trace: Option<(Tracer, Arc<dyn Clock>)>,
 }
 
 impl QueueMeta {
     #[inline]
-    fn note_enqueued(&self) {
+    fn note_enqueued(&self, trace_seq: Option<u64>) {
         if let Some(g) = &self.depth_gauge {
             g.add(1);
         }
+        self.note_hop(trace_seq, HopKind::Enqueue);
     }
 
     #[inline]
-    fn note_dequeued(&self) {
+    fn note_dequeued(&self, trace_seq: Option<u64>) {
         if let Some(g) = &self.depth_gauge {
             g.sub(1);
+        }
+        self.note_hop(trace_seq, HopKind::Dequeue);
+    }
+
+    fn note_hop(&self, trace_seq: Option<u64>, kind: HopKind) {
+        if let (Some(seq), Some((tracer, clock))) = (trace_seq, &self.trace) {
+            if tracer.sampled(seq) {
+                let now = clock.now();
+                tracer.span(seq, kind, &self.name, now, now);
+            }
         }
     }
 
@@ -83,8 +101,7 @@ impl QueueMeta {
             c.inc();
         }
         if let Some((journal, clock)) = &self.stall_journal {
-            journal
-                .record(clock.now(), EventKind::BackpressureStall { queue: self.name.clone() });
+            journal.record(clock.now(), EventKind::BackpressureStall { queue: self.name.clone() });
         }
     }
 }
@@ -123,7 +140,8 @@ impl QueueCore {
                 redelivered: obs.redelivered,
                 depth_gauge: Some(obs.depth),
                 blocked: Some(obs.blocked),
-                stall_journal: Some((obs.journal, obs.clock)),
+                stall_journal: Some((obs.journal, Arc::clone(&obs.clock))),
+                trace: Some((obs.tracer, obs.clock)),
             },
             None => QueueMeta {
                 name,
@@ -134,6 +152,7 @@ impl QueueCore {
                 depth_gauge: None,
                 blocked: None,
                 stall_journal: None,
+                trace: None,
             },
         };
         Arc::new(QueueCore { meta: Arc::new(meta), tx, rx })
@@ -148,9 +167,10 @@ impl QueueCore {
     /// `BackpressureStall` before the publisher parks on the channel.
     pub(crate) fn push_blocking(&self, msg: Message) -> Result<(), Message> {
         self.meta.published.inc();
+        let trace_seq = msg.trace_seq;
         match self.tx.try_send(msg) {
             Ok(()) => {
-                self.meta.note_enqueued();
+                self.meta.note_enqueued(trace_seq);
                 Ok(())
             }
             Err(TrySendError::Disconnected(m)) => Err(m),
@@ -158,7 +178,7 @@ impl QueueCore {
                 self.meta.note_stall();
                 let r = self.tx.send(m).map_err(|e| e.0);
                 if r.is_ok() {
-                    self.meta.note_enqueued();
+                    self.meta.note_enqueued(trace_seq);
                 }
                 r
             }
@@ -167,10 +187,11 @@ impl QueueCore {
 
     /// Enqueue without blocking; returns the message back if full/closed.
     pub(crate) fn try_push(&self, msg: Message) -> Result<(), TrySendError<Message>> {
+        let trace_seq = msg.trace_seq;
         let r = self.tx.try_send(msg);
         if r.is_ok() {
             self.meta.published.inc();
-            self.meta.note_enqueued();
+            self.meta.note_enqueued(trace_seq);
         }
         r
     }
@@ -197,7 +218,7 @@ impl QueueCore {
         let mut n = 0;
         while self.rx.try_recv().is_ok() {
             n += 1;
-            self.meta.note_dequeued();
+            self.meta.note_dequeued(None);
         }
         n
     }
@@ -215,10 +236,11 @@ impl QueueCore {
     /// either). Returns false when the queue is full (the message is then
     /// dropped, as a full queue would also have rejected a publish).
     pub(crate) fn requeue(&self, msg: Message) -> bool {
+        let trace_seq = msg.trace_seq;
         let ok = self.tx.try_send(msg).is_ok();
         if ok {
             self.meta.redelivered.inc();
-            self.meta.note_enqueued();
+            self.meta.note_enqueued(trace_seq);
         }
         ok
     }
@@ -250,7 +272,7 @@ impl Consumer {
         match self.rx.recv_timeout(timeout) {
             Ok(m) => {
                 self.meta.delivered.inc();
-                self.meta.note_dequeued();
+                self.meta.note_dequeued(m.trace_seq);
                 Ok(m)
             }
             Err(RecvTimeoutError::Timeout) => Err(RecvError::Timeout),
@@ -263,7 +285,7 @@ impl Consumer {
         match self.rx.recv() {
             Ok(m) => {
                 self.meta.delivered.inc();
-                self.meta.note_dequeued();
+                self.meta.note_dequeued(m.trace_seq);
                 Ok(m)
             }
             Err(_) => Err(RecvError::Disconnected),
@@ -274,7 +296,7 @@ impl Consumer {
     pub fn try_recv(&self) -> Option<Message> {
         let m = self.rx.try_recv().ok()?;
         self.meta.delivered.inc();
-        self.meta.note_dequeued();
+        self.meta.note_dequeued(m.trace_seq);
         Some(m)
     }
 
@@ -381,10 +403,7 @@ mod tests {
     fn try_push_reports_full() {
         let core = q(1);
         core.try_push(Message::new("k", vec![1])).unwrap();
-        assert!(matches!(
-            core.try_push(Message::new("k", vec![2])),
-            Err(TrySendError::Full(_))
-        ));
+        assert!(matches!(core.try_push(Message::new("k", vec![2])), Err(TrySendError::Full(_))));
         assert_eq!(core.depth(), 1);
     }
 
@@ -404,19 +423,13 @@ mod tests {
     fn recv_timeout_and_disconnect() {
         let core = q(2);
         let c = core.consumer();
-        assert_eq!(
-            c.recv_timeout(Duration::from_millis(5)),
-            Err(RecvError::Timeout)
-        );
+        assert_eq!(c.recv_timeout(Duration::from_millis(5)), Err(RecvError::Timeout));
         core.push_blocking(Message::new("k", vec![7])).unwrap();
         drop(core); // deletes the producer side
-        // Buffered message still delivered…
+                    // Buffered message still delivered…
         assert!(c.recv_timeout(Duration::from_millis(5)).is_ok());
         // …then disconnect is observed.
-        assert_eq!(
-            c.recv_timeout(Duration::from_millis(5)),
-            Err(RecvError::Disconnected)
-        );
+        assert_eq!(c.recv_timeout(Duration::from_millis(5)), Err(RecvError::Disconnected));
     }
 
     #[test]
@@ -466,10 +479,7 @@ mod tests {
         let d = c.recv_acked(Duration::from_millis(5)).unwrap();
         drop(core); // queue deleted while a delivery is outstanding
         drop(d); // must not panic; the message is gone with the queue
-        assert_eq!(
-            c.recv_timeout(Duration::from_millis(5)),
-            Err(RecvError::Disconnected)
-        );
+        assert_eq!(c.recv_timeout(Duration::from_millis(5)), Err(RecvError::Disconnected));
     }
 
     #[test]

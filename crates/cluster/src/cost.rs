@@ -97,8 +97,8 @@ mod tests {
         // (join). At 300 t/s per relation a single joiner per side sees
         // 300 stores + 300 probes per second.
         let m = CostModel::thesis_operating_point();
-        let per_second_us = 300.0 * (m.ingest_us + m.insert_us)
-            + 300.0 * (m.ingest_us + m.probe_cost_us(5, 1));
+        let per_second_us =
+            300.0 * (m.ingest_us + m.insert_us) + 300.0 * (m.ingest_us + m.probe_cost_us(5, 1));
         let utilization = per_second_us / 1_000_000.0;
         assert!(
             utilization > 1.2 && utilization < 1.8,

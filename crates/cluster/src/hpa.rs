@@ -144,8 +144,8 @@ impl Hpa {
                 samples.iter().map(|s| s.cpu_utilization).sum::<f64>() / samples.len() as f64
             }
             MetricTarget::MemoryUtilization { limit_bytes, .. } => {
-                let mean_bytes =
-                    samples.iter().map(|s| s.memory_bytes as f64).sum::<f64>() / samples.len() as f64;
+                let mean_bytes = samples.iter().map(|s| s.memory_bytes as f64).sum::<f64>()
+                    / samples.len() as f64;
                 mean_bytes / limit_bytes as f64
             }
         };
@@ -170,12 +170,8 @@ impl Hpa {
             self.recommendations.pop_front();
         }
         let stabilized = if desired < current {
-            self.recommendations
-                .iter()
-                .map(|&(_, d)| d)
-                .max()
-                .unwrap_or(desired)
-                .min(current) // stabilization never causes an up-scale
+            self.recommendations.iter().map(|&(_, d)| d).max().unwrap_or(desired).min(current)
+        // stabilization never causes an up-scale
         } else {
             desired
         };
@@ -190,10 +186,7 @@ mod tests {
     use super::*;
 
     fn cpu_samples(utils: &[f64]) -> Vec<PodSample> {
-        utils
-            .iter()
-            .map(|&u| PodSample { cpu_utilization: u, memory_bytes: 0 })
-            .collect()
+        utils.iter().map(|&u| PodSample { cpu_utilization: u, memory_bytes: 0 }).collect()
     }
 
     fn cfg() -> HpaConfig {

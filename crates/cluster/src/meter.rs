@@ -89,19 +89,12 @@ impl UtilizationTracker {
     /// producing one sample per pod. The first scrape (and a pod's first
     /// appearance) reports zero utilization.
     pub fn scrape(&mut self, now: Ts, pods: &[(usize, &ResourceMeter)]) -> Vec<PodSample> {
-        let dt_us = self
-            .last_scrape
-            .map(|t| now.saturating_sub(t) * 1_000)
-            .unwrap_or(0);
+        let dt_us = self.last_scrape.map(|t| now.saturating_sub(t) * 1_000).unwrap_or(0);
         let mut samples = Vec::with_capacity(pods.len());
         let mut new_busy = Vec::with_capacity(pods.len());
         for &(id, meter) in pods {
             let busy_now = meter.cpu_busy_us();
-            let prev = self
-                .last_busy
-                .iter()
-                .find(|(pid, _)| *pid == id)
-                .map(|(_, b)| *b);
+            let prev = self.last_busy.iter().find(|(pid, _)| *pid == id).map(|(_, b)| *b);
             let cpu = match (prev, dt_us) {
                 (Some(prev_busy), dt) if dt > 0 => {
                     busy_now.saturating_sub(prev_busy) as f64 / dt as f64

@@ -22,10 +22,8 @@ pub struct Resources {
 
 impl Resources {
     /// `n1-standard-1`: 1 vCPU, 3.75 GB.
-    pub const N1_STANDARD_1: Resources = Resources {
-        cpu_millis: 1_000,
-        memory_bytes: 3_750 * 1024 * 1024,
-    };
+    pub const N1_STANDARD_1: Resources =
+        Resources { cpu_millis: 1_000, memory_bytes: 3_750 * 1024 * 1024 };
 
     fn fits(self, within: Resources) -> bool {
         self.cpu_millis <= within.cpu_millis && self.memory_bytes <= within.memory_bytes

@@ -93,12 +93,7 @@ impl<T: ScaleTarget> Autoscaled<T> {
         self.last_samples = samples.clone();
         let current = self.target.replicas();
         let desired = self.hpa.evaluate(now, current, &samples);
-        let observed = self
-            .hpa
-            .decisions()
-            .last()
-            .map(|d| d.observed)
-            .unwrap_or(0.0);
+        let observed = self.hpa.decisions().last().map(|d| d.observed).unwrap_or(0.0);
         if desired != current {
             self.target.scale_to(desired)?;
             let ev = ScaleEvent { at: now, observed, before: current, after: desired };

@@ -156,9 +156,8 @@ mod tests {
         for seq in 1..=5 {
             net.send(0, JoinerId(seq as u32 % 2), punct(0, seq));
         }
-        let seqs: Vec<u64> = std::iter::from_fn(|| net.deliver_next())
-            .map(|m| m.msg.seq())
-            .collect();
+        let seqs: Vec<u64> =
+            std::iter::from_fn(|| net.deliver_next()).map(|m| m.msg.seq()).collect();
         assert_eq!(seqs, vec![1, 2, 3, 4, 5]);
         assert_eq!(net.pending(), 0);
     }
@@ -194,9 +193,8 @@ mod tests {
             net.send(0, JoinerId(0), punct(0, seq));
             net.send(1, JoinerId(0), punct(1, seq));
         }
-        let order: Vec<RouterId> = std::iter::from_fn(|| net.deliver_next())
-            .map(|m| m.msg.router())
-            .collect();
+        let order: Vec<RouterId> =
+            std::iter::from_fn(|| net.deliver_next()).map(|m| m.msg.router()).collect();
         // Not all of router 0 then all of router 1 (or vice versa).
         let first_half_same = order[..20].iter().all(|&r| r == order[0]);
         assert!(!first_half_same, "expected interleaving, got {order:?}");

@@ -39,6 +39,7 @@ use bistream_types::punct::{Punctuation, Purpose, RouterId, SeqNo, StreamMessage
 use bistream_types::registry::Observability;
 use bistream_types::rel::Rel;
 use bistream_types::time::Ts;
+use bistream_types::trace::HopKind;
 use bistream_types::tuple::{JoinResult, Tuple};
 use std::sync::Arc;
 
@@ -185,6 +186,12 @@ impl BicliqueEngine {
             }
         }
         already.clear();
+        let tracer = self.obs.tracer.clone();
+        if tracer.sampled(seq) && !extras.is_empty() {
+            // The router opened the trace with one branch per routed copy;
+            // scaling-transition extras are additional branches.
+            tracer.add_branches(seq, extras.len() as u32);
+        }
         for dest in extras {
             copies.push(RoutedCopy {
                 dest,
@@ -199,6 +206,11 @@ impl BicliqueEngine {
 
         self.stats.copies.add(copies.len() as u64);
         for c in copies.drain(..) {
+            if tracer.sampled(seq) {
+                if let StreamMessage::Data { .. } = &c.msg {
+                    tracer.span(seq, HopKind::Enqueue, &c.dest.to_string(), self.now, self.now);
+                }
+            }
             self.net.send(router_id, c.dest, c.msg);
         }
         self.scratch = copies;
@@ -238,11 +250,27 @@ impl BicliqueEngine {
         let stats = Arc::clone(&self.stats);
         let now = self.now;
         while let Some(flight) = self.net.deliver_next() {
+            let data_seq = match &flight.msg {
+                StreamMessage::Data { seq, .. } => Some(*seq),
+                _ => None,
+            };
             let Some(joiner) = self.joiners.get_mut(&flight.dest) else {
                 // Unit retired between send and delivery; the message is
-                // moot (its state is gone because it fully expired).
+                // moot (its state is gone because it fully expired). Close
+                // its trace branch so the trace still completes.
+                if let Some(seq) = data_seq {
+                    if self.obs.tracer.sampled(seq) {
+                        self.obs.tracer.end_branch(seq);
+                    }
+                }
                 continue;
             };
+            joiner.set_now(now);
+            if let Some(seq) = data_seq {
+                if self.obs.tracer.sampled(seq) {
+                    self.obs.tracer.span(seq, HopKind::Dequeue, &flight.dest.to_string(), now, now);
+                }
+            }
             let capture = &mut self.capture;
             let per_joiner_latency = joiner.latency_histogram();
             joiner.handle(flight.msg, &mut |result: JoinResult| {
@@ -269,6 +297,7 @@ impl BicliqueEngine {
         let stats = Arc::clone(&self.stats);
         let now = self.now;
         for joiner in self.joiners.values_mut() {
+            joiner.set_now(now);
             let capture = &mut self.capture;
             let per_joiner_latency = joiner.latency_histogram();
             joiner.flush(&mut |result: JoinResult| {
@@ -288,16 +317,20 @@ impl BicliqueEngine {
 
     /// Resize `side` to `n` active joiners at virtual time `now`. Returns
     /// the ids added and retired. No stored tuple is moved.
-    pub fn scale_to(&mut self, side: Rel, n: usize, now: Ts) -> Result<(Vec<JoinerId>, Vec<JoinerId>)> {
+    pub fn scale_to(
+        &mut self,
+        side: Rel,
+        n: usize,
+        now: Ts,
+    ) -> Result<(Vec<JoinerId>, Vec<JoinerId>)> {
         self.now = self.now.max(now);
         let from = self.layout.units(side).len();
         if n == from {
             return Ok((Vec::new(), Vec::new()));
         }
-        self.obs.journal.record(
-            self.now,
-            EventKind::ScaleDecision { side, from: from as u32, to: n as u32 },
-        );
+        self.obs
+            .journal
+            .record(self.now, EventKind::ScaleDecision { side, from: from as u32, to: n as u32 });
         // Content-sensitive routing needs the old mapping kept alive for
         // one window; random routing covers old units via the draining
         // list alone.
@@ -366,6 +399,7 @@ impl BicliqueEngine {
             self.seq_counter(),
         );
         router.attach_registry(&self.obs.registry);
+        router.attach_tracer(self.obs.tracer.clone());
         let frontier = router.last_seq();
         for joiner in self.joiners.values_mut() {
             joiner.register_router(id, frontier);
@@ -401,6 +435,7 @@ impl BicliqueEngine {
         let stats = Arc::clone(&self.stats);
         let now = self.now;
         for joiner in self.joiners.values_mut() {
+            joiner.set_now(now);
             let capture = &mut self.capture;
             let per_joiner_latency = joiner.latency_histogram();
             joiner.deregister_router(id, &mut |result: JoinResult| {
@@ -434,20 +469,12 @@ impl BicliqueEngine {
 
     /// Per-joiner stored-tuple counts for `side` (load-balance metrics).
     pub fn stored_per_joiner(&self, side: Rel) -> Vec<u64> {
-        self.layout
-            .units(side)
-            .iter()
-            .map(|id| self.joiners[id].stats().stored)
-            .collect()
+        self.layout.units(side).iter().map(|id| self.joiners[id].stats().stored).collect()
     }
 
     /// Total live bytes of window state on `side`'s active units.
     pub fn memory_bytes(&self, side: Rel) -> u64 {
-        self.layout
-            .units(side)
-            .iter()
-            .map(|id| self.joiners[id].index_stats().bytes as u64)
-            .sum()
+        self.layout.units(side).iter().map(|id| self.joiners[id].index_stats().bytes as u64).sum()
     }
 
     /// Snapshot one unit's stored window state for recovery (quiesce
@@ -465,11 +492,7 @@ impl BicliqueEngine {
     pub fn restore_unit(&mut self, id: JoinerId, blob: impl bytes::Buf) -> Result<usize> {
         // Rebuild the unit from scratch (the "restarted pod"), register
         // the live routers at their current frontiers, then load state.
-        let Some(side) = self
-            .layout
-            .all_units()
-            .find(|&(_, u)| u == id)
-            .map(|(side, _)| side)
+        let Some(side) = self.layout.all_units().find(|&(_, u)| u == id).map(|(side, _)| side)
         else {
             return Err(Error::Scaling(format!("no such active unit {id}")));
         };
@@ -510,11 +533,7 @@ impl BicliqueEngine {
     /// Resource meters of `side`'s active units, keyed by stable unit id —
     /// the [`bistream_cluster::ScaleTarget`] contract.
     pub fn pod_meters(&self, side: Rel) -> Vec<(usize, Arc<ResourceMeter>)> {
-        self.layout
-            .units(side)
-            .iter()
-            .map(|id| (id.0 as usize, self.joiners[id].meter()))
-            .collect()
+        self.layout.units(side).iter().map(|id| (id.0 as usize, self.joiners[id].meter())).collect()
     }
 
     /// Number of active joiners on `side`.
@@ -548,10 +567,7 @@ impl BicliqueEngine {
         let net = &mut self.net;
         let registry = &self.obs.registry;
         self.draining.retain(|&(side, id, expires)| {
-            let empty = joiners
-                .get(&id)
-                .map(|j| j.index_stats().tuples == 0)
-                .unwrap_or(true);
+            let empty = joiners.get(&id).map(|j| j.index_stats().tuples == 0).unwrap_or(true);
             // A draining unit retires once its stored state is gone, or
             // unconditionally once a full window has passed (its residual
             // state can no longer match anything).
@@ -644,6 +660,7 @@ impl EngineBuilder {
                     Arc::clone(&seq),
                 );
                 r.attach_registry(&obs.registry);
+                r.attach_tracer(obs.tracer.clone());
                 r
             })
             .collect();
@@ -783,11 +800,7 @@ mod tests {
             }
         }
         engine.punctuate(now + 100).unwrap();
-        let mut got: Vec<_> = engine
-            .take_captured()
-            .iter()
-            .map(|r| r.identity())
-            .collect();
+        let mut got: Vec<_> = engine.take_captured().iter().map(|r| r.identity()).collect();
         got.sort();
         let mut expect = Vec::new();
         for a in tuples.iter().filter(|x| x.rel() == Rel::R) {
@@ -892,10 +905,8 @@ mod tests {
 
     #[test]
     fn multiple_routers_preserve_exactly_once() {
-        let engine = BicliqueEngine::builder(cfg(RoutingStrategy::Random))
-            .routers(3)
-            .build()
-            .unwrap();
+        let engine =
+            BicliqueEngine::builder(cfg(RoutingStrategy::Random)).routers(3).build().unwrap();
         let results = run_pairs(engine, 30);
         assert_eq!(results.len(), 30);
     }
@@ -938,10 +949,8 @@ mod tests {
     fn removing_a_router_unblocks_the_watermark() {
         // Two routers; only router 0 keeps punctuating after router 1
         // retires. Without deregistration the watermark would stall.
-        let mut engine = BicliqueEngine::builder(cfg(RoutingStrategy::Random))
-            .routers(2)
-            .build()
-            .unwrap();
+        let mut engine =
+            BicliqueEngine::builder(cfg(RoutingStrategy::Random)).routers(2).build().unwrap();
         engine.capture_results();
         for i in 0..10i64 {
             engine.ingest(&t(Rel::R, i as Ts, i), i as Ts).unwrap();
@@ -996,10 +1005,7 @@ mod tests {
         engine.scale_to(Rel::R, 3, 30).unwrap();
 
         let snap = engine.observability().registry.scrape(30);
-        assert_eq!(
-            snap.counter("bistream_tuples_ingested_total", &[("engine", "sim")]),
-            Some(2)
-        );
+        assert_eq!(snap.counter("bistream_tuples_ingested_total", &[("engine", "sim")]), Some(2));
         let decisions = snap.counter(
             "bistream_router_route_decisions_total",
             &[("router", "r0"), ("strategy", "hash")],
@@ -1022,10 +1028,7 @@ mod tests {
             .find(|e| e.kind.tag() == "ScaleDecision")
             .expect("scale decision journaled");
         assert_eq!(scale.ts, 30);
-        assert!(matches!(
-            scale.kind,
-            EventKind::ScaleDecision { side: Rel::R, from: 2, to: 3 }
-        ));
+        assert!(matches!(scale.kind, EventKind::ScaleDecision { side: Rel::R, from: 2, to: 3 }));
         assert!(events.iter().any(|e| e.kind.tag() == "TupleStored"));
         assert!(events.iter().any(|e| e.kind.tag() == "JoinEmitted"));
     }

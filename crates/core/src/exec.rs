@@ -27,6 +27,7 @@ use bistream_types::error::{Error, Result};
 use bistream_types::punct::{RouterId, SeqNo, StreamMessage};
 use bistream_types::registry::Observability;
 use bistream_types::time::{Clock, Ts, WallClock};
+use bistream_types::trace::Trace;
 use bistream_types::tuple::Tuple;
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -53,10 +54,15 @@ pub struct PipelineConfig {
     /// CPU cost model charged to joiner meters (observability only in
     /// live mode — real CPU is spent regardless).
     pub cost: CostModel,
+    /// Per-tuple trace sampling: `Some(n)` traces 1-in-`n` tuples through
+    /// router → queue → joiner with wall-clock span stamps; `None` (the
+    /// default) disables tracing entirely.
+    pub trace_one_in: Option<u64>,
 }
 
 impl PipelineConfig {
-    /// Defaults: 1 router, 8K/4K queue bounds, default cost model.
+    /// Defaults: 1 router, 8K/4K queue bounds, default cost model, no
+    /// tracing.
     pub fn new(engine: EngineConfig) -> PipelineConfig {
         PipelineConfig {
             engine,
@@ -64,6 +70,7 @@ impl PipelineConfig {
             ingest_capacity: 8_192,
             unit_capacity: 4_096,
             cost: CostModel::default(),
+            trace_one_in: None,
         }
     }
 }
@@ -77,6 +84,9 @@ pub struct PipelineReport {
     pub joiners: Vec<JoinerStats>,
     /// Wall-clock runtime from launch to finish, ms.
     pub elapsed_ms: u64,
+    /// Completed per-tuple traces, sorted by trace id (empty unless
+    /// [`PipelineConfig::trace_one_in`] was set).
+    pub traces: Vec<Trace>,
 }
 
 /// A running live pipeline.
@@ -99,12 +109,12 @@ impl Pipeline {
             crate::config::RoutingStrategy::ContRand { subgroups } => subgroups,
             _ => 1,
         };
-        let layout = Arc::new(Layout::new(
-            config.engine.r_joiners,
-            config.engine.s_joiners,
-            subgroups,
-        )?);
-        let obs = Observability::new();
+        let layout =
+            Arc::new(Layout::new(config.engine.r_joiners, config.engine.s_joiners, subgroups)?);
+        let obs = match config.trace_one_in {
+            Some(n) => Observability::with_tracing(n),
+            None => Observability::new(),
+        };
         let clock = Arc::new(WallClock::new());
         let broker = Broker::new();
         // Attach observability before any queue exists so every queue gets
@@ -159,6 +169,7 @@ impl Pipeline {
                         Ok(m) => {
                             let mut payload = m.payload;
                             let msg = StreamMessage::decode(&mut payload)?;
+                            joiner.set_now(clock.now());
                             joiner.handle(msg, &mut on_result)?;
                         }
                         Err(RecvError::Timeout) => continue,
@@ -167,6 +178,7 @@ impl Pipeline {
                 }
                 // Channel closed and drained: terminally flush whatever the
                 // final punctuations left buffered.
+                joiner.set_now(clock.now());
                 joiner.flush(&mut on_result)?;
                 Ok(joiner.stats())
             }));
@@ -184,6 +196,8 @@ impl Pipeline {
                 Arc::clone(&seq),
             );
             core.attach_registry(&obs.registry);
+            core.attach_tracer(obs.tracer.clone());
+            let tracer = obs.tracer.clone();
             let layout = Arc::clone(&layout);
             let broker = broker.clone();
             let stats = Arc::clone(&stats);
@@ -191,15 +205,19 @@ impl Pipeline {
             router_handles.push(std::thread::spawn(move || -> Result<()> {
                 let mut copies: Vec<RoutedCopy> = Vec::new();
                 let mut last_punct = Instant::now();
-                let punctuate = |core: &mut RouterCore, copies: &mut Vec<RoutedCopy>| -> Result<()> {
-                    copies.clear();
-                    core.punctuate(&layout, copies);
-                    for c in copies.drain(..) {
-                        broker.publish(UNITS_EXCHANGE, Message::new(unit_key(c.dest), c.msg.encode()))?;
-                        stats.punctuations.inc();
-                    }
-                    Ok(())
-                };
+                let punctuate =
+                    |core: &mut RouterCore, copies: &mut Vec<RoutedCopy>| -> Result<()> {
+                        copies.clear();
+                        core.punctuate(&layout, copies);
+                        for c in copies.drain(..) {
+                            broker.publish(
+                                UNITS_EXCHANGE,
+                                Message::new(unit_key(c.dest), c.msg.encode()),
+                            )?;
+                            stats.punctuations.inc();
+                        }
+                        Ok(())
+                    };
                 loop {
                     match consumer.recv_timeout(punct_interval) {
                         Ok(m) => {
@@ -210,10 +228,14 @@ impl Pipeline {
                             core.route(&tuple, &layout, &mut copies)?;
                             stats.copies.add(copies.len() as u64);
                             for c in copies.drain(..) {
-                                broker.publish(
-                                    UNITS_EXCHANGE,
-                                    Message::new(unit_key(c.dest), c.msg.encode()),
-                                )?;
+                                let seq = c.msg.seq();
+                                let mut m = Message::new(unit_key(c.dest), c.msg.encode());
+                                if tracer.sampled(seq) {
+                                    // Out-of-band header: queues record
+                                    // enqueue/dequeue spans without decoding.
+                                    m = m.with_trace_seq(seq);
+                                }
+                                broker.publish(UNITS_EXCHANGE, m)?;
                             }
                         }
                         Err(RecvError::Timeout) => {}
@@ -289,10 +311,15 @@ impl Pipeline {
         for h in self.joiner_handles {
             joiners.push(h.join().map_err(|_| Error::Closed)??);
         }
+        // Every joiner has flushed, so open branches can never close now.
+        self.obs.tracer.flush_pending();
+        let mut traces = self.obs.tracer.drain();
+        traces.sort_by_key(|t| t.id);
         Ok(PipelineReport {
             snapshot: self.stats.snapshot(),
             joiners,
             elapsed_ms: self.started.elapsed().as_millis() as u64,
+            traces,
         })
     }
 }
@@ -409,16 +436,36 @@ mod tests {
             .sum();
         assert!(stored > 0, "stores visible per joiner");
         assert!(snap
-            .get(
-                "bistream_router_route_decisions_total",
-                &[("router", "r0"), ("strategy", "hash")]
-            )
+            .get("bistream_router_route_decisions_total", &[("router", "r0"), ("strategy", "hash")])
             .is_some());
         assert!(snap.get("bistream_pod_cpu_busy_us_total", &[("pod", "S2")]).is_some());
         assert!(snap.counter("bistream_tuples_ingested_total", &[("engine", "live")]).is_some());
         let events = p.observability().journal.drain();
         assert!(events.iter().any(|e| e.kind.tag() == "TupleStored"));
         p.finish().unwrap();
+    }
+
+    #[test]
+    fn live_tracing_produces_multi_hop_traces() {
+        use bistream_types::trace::HopKind;
+        let mut c = config(RoutingStrategy::Hash, true);
+        c.trace_one_in = Some(5);
+        let p = Pipeline::launch(c).unwrap();
+        feed_pairs(&p, 100);
+        std::thread::sleep(Duration::from_millis(150));
+        let report = p.finish().unwrap();
+        assert!(!report.traces.is_empty(), "1-in-5 over 200 tuples");
+        let complete: Vec<_> = report.traces.iter().filter(|t| t.complete).collect();
+        assert!(!complete.is_empty(), "drained pipeline closes every branch");
+        for t in &complete {
+            assert!(t.has_hop(HopKind::Route), "trace {} starts at a router", t.id);
+            assert!(t.has_hop(HopKind::Enqueue), "broker queues record enqueues");
+            assert!(t.has_hop(HopKind::Dequeue));
+            assert!(t.has_hop(HopKind::Store) || t.has_hop(HopKind::Probe));
+        }
+        for w in report.traces.windows(2) {
+            assert!(w[0].id < w[1].id, "sorted by trace id");
+        }
     }
 
     #[test]

@@ -26,6 +26,7 @@ use bistream_types::punct::{Purpose, RouterId, SeqNo, StreamMessage};
 use bistream_types::registry::Observability;
 use bistream_types::rel::Rel;
 use bistream_types::time::Ts;
+use bistream_types::trace::{HopKind, Tracer};
 use bistream_types::tuple::{JoinResult, Tuple};
 use bistream_types::value::Value;
 use bistream_types::window::WindowSpec;
@@ -108,6 +109,15 @@ pub struct JoinerCore {
     last_ts: Ts,
     /// Scratch buffer reused across handle() calls.
     released: Vec<Released>,
+    /// Per-tuple tracer, shared through [`JoinerCore::attach_obs`].
+    tracer: Tracer,
+    /// Processing time (virtual ms in the simulator, wall ms live), set by
+    /// the driver via [`JoinerCore::set_now`] before each handle/flush —
+    /// the stamp for store/probe/emit spans, which makes reorder-buffer
+    /// wait visible as the dequeue→store gap.
+    now: Ts,
+    /// Cached `"<side><unit>"` label for trace spans.
+    unit_label: String,
 }
 
 impl JoinerCore {
@@ -137,6 +147,7 @@ impl JoinerCore {
         });
         let store_attr = predicate.attr_of(side);
         JoinerCore {
+            unit_label: format!("{side}{}", id.0),
             id,
             side,
             predicate,
@@ -149,6 +160,8 @@ impl JoinerCore {
             metrics: None,
             last_ts: 0,
             released: Vec::new(),
+            tracer: Tracer::disabled(),
+            now: 0,
         }
     }
 
@@ -163,7 +176,16 @@ impl JoinerCore {
         self.meter.register_into(&obs.registry, &[("pod", &pod)]);
         self.index.set_obs(IndexObs::register(obs, self.side, unit));
         self.metrics = Some(JoinerMetrics::register(obs, self.side, unit));
+        self.tracer = obs.tracer.clone();
         self.sync_observables();
+    }
+
+    /// Advance this unit's processing clock — the timestamp for trace
+    /// spans recorded by store/probe/emit. The engine calls this from its
+    /// pump (virtual time); the live pipeline's joiner threads call it
+    /// with wall time before each handled message.
+    pub fn set_now(&mut self, now: Ts) {
+        self.now = self.now.max(now);
     }
 
     /// Push the point-in-time gauges (memory, stored tuples, reorder
@@ -330,7 +352,7 @@ impl JoinerCore {
         self.last_ts = self.last_ts.max(tuple.ts());
         match purpose {
             Purpose::Store => self.store(seq, tuple),
-            Purpose::Join => self.join(tuple, emit),
+            Purpose::Join => self.join(seq, tuple, emit),
         }
     }
 
@@ -339,18 +361,20 @@ impl JoinerCore {
         let key = self.key_of(&tuple)?;
         if let Some(m) = &self.metrics {
             m.stored.inc();
-            m.journal.record(
-                tuple.ts(),
-                EventKind::TupleStored { side: self.side, unit: m.unit, seq },
-            );
+            m.journal
+                .record(tuple.ts(), EventKind::TupleStored { side: self.side, unit: m.unit, seq });
         }
         self.index.insert(key, tuple);
         self.stats.stored += 1;
         self.meter.charge_cpu_us(self.cost.insert_us);
+        if self.tracer.sampled(seq) {
+            self.tracer.span(seq, HopKind::Store, &self.unit_label, self.now, self.now);
+            self.tracer.end_branch(seq);
+        }
         Ok(())
     }
 
-    fn join<F: FnMut(JoinResult)>(&mut self, probe: Tuple, emit: &mut F) -> Result<()> {
+    fn join<F: FnMut(JoinResult)>(&mut self, seq: SeqNo, probe: Tuple, emit: &mut F) -> Result<()> {
         debug_assert_eq!(probe.rel(), self.side.opposite(), "join copy on the wrong side");
         // Theorem-1 discarding first: the incoming opposite-side timestamp
         // is the expiry witness.
@@ -359,8 +383,7 @@ impl JoinerCore {
         self.stats.expired += dropped as u64;
         let sub_dropped = self.index.stats().expired_sub_indexes - before;
         if sub_dropped > 0 {
-            self.meter
-                .charge_cpu_us(self.cost.expire_subindex_us * sub_dropped as f64);
+            self.meter.charge_cpu_us(self.cost.expire_subindex_us * sub_dropped as f64);
         }
 
         let plan = self.predicate.probe_plan(&probe)?;
@@ -402,8 +425,14 @@ impl JoinerCore {
                 );
             }
         }
-        self.meter
-            .charge_cpu_us(self.cost.probe_cost_us(stats.candidates, results));
+        self.meter.charge_cpu_us(self.cost.probe_cost_us(stats.candidates, results));
+        if self.tracer.sampled(seq) {
+            self.tracer.span(seq, HopKind::Probe, &self.unit_label, self.now, self.now);
+            if results > 0 {
+                self.tracer.span(seq, HopKind::Emit, &self.unit_label, self.now, self.now);
+            }
+            self.tracer.end_branch(seq);
+        }
         Ok(())
     }
 
@@ -450,10 +479,8 @@ mod tests {
     fn store_then_join_produces_result_without_ordering() {
         let mut j = joiner(Rel::R, false);
         let mut results = Vec::new();
-        j.handle(data(1, Purpose::Store, Rel::R, 10, 5), &mut |r| results.push(r))
-            .unwrap();
-        j.handle(data(2, Purpose::Join, Rel::S, 20, 5), &mut |r| results.push(r))
-            .unwrap();
+        j.handle(data(1, Purpose::Store, Rel::R, 10, 5), &mut |r| results.push(r)).unwrap();
+        j.handle(data(2, Purpose::Join, Rel::S, 20, 5), &mut |r| results.push(r)).unwrap();
         assert_eq!(results.len(), 1);
         assert_eq!(results[0].r.ts(), 10);
         assert_eq!(results[0].s.ts(), 20);
@@ -468,10 +495,8 @@ mod tests {
         // Join copy (seq 2) arrives BEFORE the store copy (seq 1) — the
         // missed-result race of Fig. 8(c). With ordering, the buffer fixes
         // the order and the result is still produced.
-        j.handle(data(2, Purpose::Join, Rel::S, 20, 5), &mut |r| results.push(r))
-            .unwrap();
-        j.handle(data(1, Purpose::Store, Rel::R, 10, 5), &mut |r| results.push(r))
-            .unwrap();
+        j.handle(data(2, Purpose::Join, Rel::S, 20, 5), &mut |r| results.push(r)).unwrap();
+        j.handle(data(1, Purpose::Store, Rel::R, 10, 5), &mut |r| results.push(r)).unwrap();
         assert!(results.is_empty(), "buffered until punctuation");
         j.handle(punct(2), &mut |r| results.push(r)).unwrap();
         assert_eq!(results.len(), 1, "store processed before join despite arrival order");
@@ -481,10 +506,8 @@ mod tests {
     fn without_ordering_the_race_loses_the_result() {
         let mut j = joiner(Rel::R, false);
         let mut results = Vec::new();
-        j.handle(data(2, Purpose::Join, Rel::S, 20, 5), &mut |r| results.push(r))
-            .unwrap();
-        j.handle(data(1, Purpose::Store, Rel::R, 10, 5), &mut |r| results.push(r))
-            .unwrap();
+        j.handle(data(2, Purpose::Join, Rel::S, 20, 5), &mut |r| results.push(r)).unwrap();
+        j.handle(data(1, Purpose::Store, Rel::R, 10, 5), &mut |r| results.push(r)).unwrap();
         assert!(results.is_empty(), "join probed an empty window: missed result");
     }
 
@@ -500,8 +523,7 @@ mod tests {
         let stored = j.index_stats().tuples;
         assert_eq!(stored, 10);
         // A join tuple far in the future expires everything archived.
-        j.handle(data(100, Purpose::Join, Rel::S, 10_000, 1), &mut |r| sink.push(r))
-            .unwrap();
+        j.handle(data(100, Purpose::Join, Rel::S, 10_000, 1), &mut |r| sink.push(r)).unwrap();
         assert!(sink.is_empty(), "window excludes everything");
         assert!(j.stats().expired > 0);
         assert!(j.index_stats().tuples < stored);
@@ -524,8 +546,7 @@ mod tests {
             j.handle(data(k as u64, Purpose::Store, Rel::S, 0, k), &mut |r| results.push(r))
                 .unwrap();
         }
-        j.handle(data(9, Purpose::Join, Rel::R, 1, 4), &mut |r| results.push(r))
-            .unwrap();
+        j.handle(data(9, Purpose::Join, Rel::R, 1, 4), &mut |r| results.push(r)).unwrap();
         // |4-1|=3 no, |4-3|=1 yes, |4-6|=2 yes (inclusive).
         assert_eq!(results.len(), 2);
         assert!(results.iter().all(|r| r.r.rel() == Rel::R && r.s.rel() == Rel::S));
@@ -545,13 +566,10 @@ mod tests {
         );
         let mut results = Vec::new();
         for (seq, ts) in [(1, 0), (2, 50), (3, 200)] {
-            j.handle(data(seq, Purpose::Store, Rel::R, ts, seq as i64), &mut |r| {
-                results.push(r)
-            })
-            .unwrap();
+            j.handle(data(seq, Purpose::Store, Rel::R, ts, seq as i64), &mut |r| results.push(r))
+                .unwrap();
         }
-        j.handle(data(4, Purpose::Join, Rel::S, 100, 99), &mut |r| results.push(r))
-            .unwrap();
+        j.handle(data(4, Purpose::Join, Rel::S, 100, 99), &mut |r| results.push(r)).unwrap();
         // Window 100 around probe ts=100 covers ts 0,50,200.
         assert_eq!(results.len(), 3);
     }
@@ -561,13 +579,11 @@ mod tests {
         let mut j = joiner(Rel::R, false);
         let meter = j.meter();
         let mut sink = Vec::new();
-        j.handle(data(1, Purpose::Store, Rel::R, 0, 1), &mut |r| sink.push(r))
-            .unwrap();
+        j.handle(data(1, Purpose::Store, Rel::R, 0, 1), &mut |r| sink.push(r)).unwrap();
         assert!(meter.cpu_busy_us() > 0);
         assert!(meter.memory_bytes() > 0);
         let before = meter.memory_bytes();
-        j.handle(data(2, Purpose::Store, Rel::R, 1, 2), &mut |r| sink.push(r))
-            .unwrap();
+        j.handle(data(2, Purpose::Store, Rel::R, 1, 2), &mut |r| sink.push(r)).unwrap();
         assert!(meter.memory_bytes() > before);
     }
 
@@ -577,10 +593,8 @@ mod tests {
         let mut j = joiner(Rel::R, true);
         j.attach_obs(&obs);
         let mut results = Vec::new();
-        j.handle(data(1, Purpose::Store, Rel::R, 10, 5), &mut |r| results.push(r))
-            .unwrap();
-        j.handle(data(2, Purpose::Join, Rel::S, 20, 5), &mut |r| results.push(r))
-            .unwrap();
+        j.handle(data(1, Purpose::Store, Rel::R, 10, 5), &mut |r| results.push(r)).unwrap();
+        j.handle(data(2, Purpose::Join, Rel::S, 20, 5), &mut |r| results.push(r)).unwrap();
         j.handle(punct(2), &mut |r| results.push(r)).unwrap();
         assert_eq!(results.len(), 1);
 
@@ -594,9 +608,7 @@ mod tests {
         // The index side of the unit is registered under the same label.
         assert_eq!(snap.gauge("bistream_index_live_tuples", labels), Some(1));
         // The pod meter is registered under pod="R0".
-        assert!(
-            snap.counter("bistream_pod_cpu_busy_us_total", &[("pod", "R0")]).unwrap_or(0) > 0
-        );
+        assert!(snap.counter("bistream_pod_cpu_busy_us_total", &[("pod", "R0")]).unwrap_or(0) > 0);
 
         let events = obs.journal.drain();
         let tags: Vec<&str> = events.iter().map(|e| e.kind.tag()).collect();
@@ -614,17 +626,13 @@ mod tests {
         let mut j = joiner(Rel::R, true);
         j.register_router(9, 5);
         let mut results = Vec::new();
-        j.handle(data(6, Purpose::Store, Rel::R, 0, 1), &mut |r| results.push(r))
-            .unwrap();
+        j.handle(data(6, Purpose::Store, Rel::R, 0, 1), &mut |r| results.push(r)).unwrap();
         j.handle(punct(6), &mut |r| results.push(r)).unwrap();
         // Router 9's frontier is 5 < 6, so seq 6 from router 0 must wait…
         assert_eq!(j.reorder_stats().unwrap().released, 0);
         // …until router 9 punctuates past it.
-        j.handle(
-            StreamMessage::Punct(Punctuation { router: 9, seq: 6 }),
-            &mut |r| results.push(r),
-        )
-        .unwrap();
+        j.handle(StreamMessage::Punct(Punctuation { router: 9, seq: 6 }), &mut |r| results.push(r))
+            .unwrap();
         assert_eq!(j.reorder_stats().unwrap().released, 1);
     }
 }

@@ -50,7 +50,13 @@ impl Layout {
                 "{d} subgroups need at least {d} units per side (have {n}×{m})"
             )));
         }
-        let mut l = Layout { r_units: Vec::new(), s_units: Vec::new(), subgroups: d, next_id: 0, version: 0 };
+        let mut l = Layout {
+            r_units: Vec::new(),
+            s_units: Vec::new(),
+            subgroups: d,
+            next_id: 0,
+            version: 0,
+        };
         for _ in 0..n {
             let id = l.mint();
             l.r_units.push(id);
@@ -79,10 +85,7 @@ impl Layout {
 
     /// All units of both sides, R first.
     pub fn all_units(&self) -> impl Iterator<Item = (Rel, JoinerId)> + '_ {
-        self.r_units
-            .iter()
-            .map(|&u| (Rel::R, u))
-            .chain(self.s_units.iter().map(|&u| (Rel::S, u)))
+        self.r_units.iter().map(|&u| (Rel::R, u)).chain(self.s_units.iter().map(|&u| (Rel::S, u)))
     }
 
     /// Total number of units (`n + m`).
@@ -104,19 +107,12 @@ impl Layout {
     /// assignment `i mod d`).
     pub fn subgroup_units(&self, side: Rel, g: usize) -> impl Iterator<Item = JoinerId> + '_ {
         let d = self.subgroups;
-        self.units(side)
-            .iter()
-            .enumerate()
-            .filter(move |(i, _)| i % d == g % d)
-            .map(|(_, &u)| u)
+        self.units(side).iter().enumerate().filter(move |(i, _)| i % d == g % d).map(|(_, &u)| u)
     }
 
     /// Which subgroup unit `id` of `side` belongs to, if present.
     pub fn subgroup_of(&self, side: Rel, id: JoinerId) -> Option<usize> {
-        self.units(side)
-            .iter()
-            .position(|&u| u == id)
-            .map(|i| i % self.subgroups)
+        self.units(side).iter().position(|&u| u == id).map(|i| i % self.subgroups)
     }
 
     /// Change the subgroup count `d` (ContRand adaptation). Requires at

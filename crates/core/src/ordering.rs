@@ -239,10 +239,7 @@ mod tests {
         buf.register_router(0, 0);
         // Out-of-order arrival on… wait, a single channel is FIFO, but the
         // joiner merges channels; simulate two gaps then the punctuation.
-        let released = drain(
-            &mut buf,
-            vec![data(0, 2, 20), data(0, 1, 10), punct(0, 2)],
-        );
+        let released = drain(&mut buf, vec![data(0, 2, 20), data(0, 1, 10), punct(0, 2)]);
         assert_eq!(released, vec![(1, 0), (2, 0)], "sorted by seq");
         assert_eq!(buf.depth(), 0);
     }
@@ -252,10 +249,7 @@ mod tests {
         let mut buf = ReorderBuffer::new();
         buf.register_router(0, 0);
         buf.register_router(1, 0);
-        let mut released = drain(
-            &mut buf,
-            vec![data(0, 1, 1), data(1, 1, 2), punct(0, 5)],
-        );
+        let mut released = drain(&mut buf, vec![data(0, 1, 1), data(1, 1, 2), punct(0, 5)]);
         assert!(released.is_empty(), "router 1 has not punctuated");
         released = drain(&mut buf, vec![punct(1, 1)]);
         // watermark = min(5, 1) = 1 → both seq-1 messages release, router
@@ -310,8 +304,8 @@ mod tests {
         let mut out = Vec::new();
         buf.offer(punct(0, 10), &mut out);
         buf.offer(punct(0, 5), &mut out); // stale punctuation: ignored
-        // Data at/below the frontier can only be a duplicate (FIFO says
-        // the original was delivered before punct 10), so it is dropped…
+                                          // Data at/below the frontier can only be a duplicate (FIFO says
+                                          // the original was delivered before punct 10), so it is dropped…
         buf.offer(data(0, 7, 0), &mut out);
         assert!(out.is_empty());
         assert_eq!(buf.stats().duplicates_dropped, 1);

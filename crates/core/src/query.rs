@@ -244,9 +244,9 @@ impl QueryBuilder {
             None => RoutingStrategy::Random,
         };
 
-        let archive_period_ms = self.archive_period_ms.unwrap_or_else(|| {
-            self.window.size().map(|w| (w / 20).max(1)).unwrap_or(1_000)
-        });
+        let archive_period_ms = self
+            .archive_period_ms
+            .unwrap_or_else(|| self.window.size().map(|w| (w / 20).max(1)).unwrap_or(1_000));
         let config = EngineConfig {
             r_joiners: self.r_joiners,
             s_joiners: self.s_joiners,
@@ -285,17 +285,18 @@ mod tests {
     fn orders() -> Schema {
         Schema::new(
             "orders",
-            vec![("order_id", ValueType::Int), ("amount", ValueType::Float), ("who", ValueType::Str)],
+            vec![
+                ("order_id", ValueType::Int),
+                ("amount", ValueType::Float),
+                ("who", ValueType::Str),
+            ],
         )
         .unwrap()
     }
 
     fn payments() -> Schema {
-        Schema::new(
-            "payments",
-            vec![("ref_id", ValueType::Int), ("paid", ValueType::Float)],
-        )
-        .unwrap()
+        Schema::new("payments", vec![("ref_id", ValueType::Int), ("paid", ValueType::Float)])
+            .unwrap()
     }
 
     #[test]
@@ -316,20 +317,14 @@ mod tests {
 
     #[test]
     fn band_query_needs_numeric_attrs_and_routes_random() {
-        let q = QueryBuilder::new(orders(), payments())
-            .on_band("amount", "paid", 0.5)
-            .build()
-            .unwrap();
+        let q =
+            QueryBuilder::new(orders(), payments()).on_band("amount", "paid", 0.5).build().unwrap();
         assert_eq!(q.config().routing, RoutingStrategy::Random);
         assert!(matches!(q.config().predicate, JoinPredicate::Band { r_attr: 1, s_attr: 1, .. }));
 
-        let err = QueryBuilder::new(orders(), payments())
-            .on_band("who", "paid", 0.5)
-            .build();
+        let err = QueryBuilder::new(orders(), payments()).on_band("who", "paid", 0.5).build();
         assert!(matches!(err, Err(Error::Schema(_))));
-        let err = QueryBuilder::new(orders(), payments())
-            .on_band("amount", "paid", -1.0)
-            .build();
+        let err = QueryBuilder::new(orders(), payments()).on_band("amount", "paid", -1.0).build();
         assert!(matches!(err, Err(Error::Config(_))));
     }
 
@@ -349,10 +344,7 @@ mod tests {
 
     #[test]
     fn missing_condition_and_unknown_attribute_error() {
-        assert!(matches!(
-            QueryBuilder::new(orders(), payments()).build(),
-            Err(Error::Config(_))
-        ));
+        assert!(matches!(QueryBuilder::new(orders(), payments()).build(), Err(Error::Config(_))));
         assert!(matches!(
             QueryBuilder::new(orders(), payments()).on_equal("nope", "ref_id").build(),
             Err(Error::Schema(_))
@@ -362,10 +354,7 @@ mod tests {
     #[test]
     fn type_mismatch_on_equality_rejected_numeric_pair_allowed() {
         // Str vs Float: rejected.
-        assert!(QueryBuilder::new(orders(), payments())
-            .on_equal("who", "paid")
-            .build()
-            .is_err());
+        assert!(QueryBuilder::new(orders(), payments()).on_equal("who", "paid").build().is_err());
         // Int vs Float: allowed (Value compares numerically).
         assert!(QueryBuilder::new(orders(), payments())
             .on_equal("order_id", "paid")
@@ -385,10 +374,8 @@ mod tests {
 
     #[test]
     fn query_validates_edge_tuples() {
-        let q = QueryBuilder::new(orders(), payments())
-            .on_equal("order_id", "ref_id")
-            .build()
-            .unwrap();
+        let q =
+            QueryBuilder::new(orders(), payments()).on_equal("order_id", "ref_id").build().unwrap();
         let good = TupleBuilder::new(q.schema(Rel::R), Rel::R, 1)
             .set("order_id", 7i64)
             .unwrap()

@@ -15,6 +15,7 @@ use bistream_types::metrics::{Counter, Gauge, RateMeter};
 use bistream_types::predicate::JoinPredicate;
 use bistream_types::punct::{Punctuation, Purpose, RouterId, SeqNo, StreamMessage};
 use bistream_types::registry::MetricsRegistry;
+use bistream_types::trace::{HopKind, Tracer};
 use bistream_types::tuple::Tuple;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -147,6 +148,10 @@ pub struct RouterCore {
     rate: RateMeter,
     /// Registry-backed series, present once a registry is attached.
     metrics: Option<RouterMetrics>,
+    /// Per-tuple tracer (disabled by default). The router is the trace's
+    /// ingress: it opens the trace with the copy fan-out as the branch
+    /// count and records the route hop.
+    tracer: Tracer,
 }
 
 impl RouterCore {
@@ -168,6 +173,7 @@ impl RouterCore {
             stats: RouterStats::default(),
             rate: RateMeter::new(10),
             metrics: None,
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -175,6 +181,13 @@ impl RouterCore {
     /// in `registry` and keep them current from the routing hot path.
     pub fn attach_registry(&mut self, registry: &MetricsRegistry) {
         self.metrics = Some(RouterMetrics::new(registry, self.id, self.strategy));
+    }
+
+    /// Attach a per-tuple tracer: sampled tuples get a trace opened at
+    /// routing time (this is where the sequence number — the trace id — is
+    /// minted), with one branch per emitted copy.
+    pub fn attach_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Convenience constructor for single-router setups and tests: a
@@ -232,7 +245,12 @@ impl RouterCore {
     /// Every copy of the tuple carries the same freshly assigned sequence
     /// number; the store copy is emitted first (an arbitrary but fixed
     /// order — ordering across units is the reorder buffer's job).
-    pub fn route(&mut self, tuple: &Tuple, layout: &Layout, out: &mut Vec<RoutedCopy>) -> Result<()> {
+    pub fn route(
+        &mut self,
+        tuple: &Tuple,
+        layout: &Layout,
+        out: &mut Vec<RoutedCopy>,
+    ) -> Result<()> {
         let own = tuple.rel();
         let seq = self.seq.fetch_add(1, Ordering::SeqCst) + 1;
         self.stats.tuples += 1;
@@ -269,6 +287,12 @@ impl RouterCore {
             for dest in &join_dests {
                 m.bump_dest(*dest);
             }
+        }
+
+        if self.tracer.sampled(seq) {
+            self.tracer.begin(seq, 1 + join_dests.len() as u32);
+            let unit = format!("r{}", self.id);
+            self.tracer.span(seq, HopKind::Route, &unit, tuple.ts(), tuple.ts());
         }
 
         out.push(RoutedCopy {
@@ -421,7 +445,8 @@ mod tests {
     #[test]
     fn contrand_confines_traffic_to_one_subgroup() {
         let layout = Layout::new(6, 6, 3).unwrap();
-        let mut r = RouterCore::standalone(0, RoutingStrategy::ContRand { subgroups: 3 }, equi(), 7);
+        let mut r =
+            RouterCore::standalone(0, RoutingStrategy::ContRand { subgroups: 3 }, equi(), 7);
         for k in 0..50 {
             let copies = route_one(&mut r, &layout, &tuple(Rel::R, k));
             let (stores, joins) = stores_and_joins(&copies);
@@ -487,8 +512,7 @@ mod tests {
         for ms in 0..3_000u64 {
             if ms % 5 == 0 {
                 out.clear();
-                r.route(&Tuple::new(Rel::R, ms, vec![Value::Int(1)]), &layout, &mut out)
-                    .unwrap();
+                r.route(&Tuple::new(Rel::R, ms, vec![Value::Int(1)]), &layout, &mut out).unwrap();
             }
         }
         let rate = r.observed_rate(3_000);

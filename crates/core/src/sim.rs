@@ -14,6 +14,7 @@ use bistream_types::journal::Event;
 use bistream_types::registry::{RegistrySnapshot, Sampler};
 use bistream_types::rel::Rel;
 use bistream_types::time::Ts;
+use bistream_types::trace::Trace;
 use bistream_types::tuple::Tuple;
 use serde::Serialize;
 
@@ -121,6 +122,11 @@ pub struct SimOutcome {
     /// The engine's structured event journal, drained at the end of the
     /// run (bounded: oldest events are dropped beyond the ring capacity).
     pub events: Vec<Event>,
+    /// Completed per-tuple traces, drained from the engine's tracer at the
+    /// end of the run and sorted by trace id (empty unless the engine was
+    /// built with a sampling tracer). Tuples still buffered when the
+    /// horizon ends surface as traces with `complete == false`.
+    pub traces: Vec<Trace>,
 }
 
 /// Run a dynamic-scaling simulation: drive `feed` through `engine` for
@@ -141,10 +147,7 @@ pub fn run_dynamic_scaling(
 
     let mut samples = Vec::new();
     let mut scale_events = Vec::new();
-    let mut sampler = Sampler::new(
-        engine.observability().registry.clone(),
-        cfg.sample_interval_ms,
-    );
+    let mut sampler = Sampler::new(engine.observability().registry.clone(), cfg.sample_interval_ms);
     // Pending scale-outs per side: (apply_at, target_replicas).
     let mut pending: [Option<(Ts, usize)>; 2] = [None, None];
     let mut next_punct: Ts = punct_every;
@@ -249,13 +252,12 @@ pub fn run_dynamic_scaling(
     engine.punctuate(cfg.duration_ms)?;
     sampler.force_sample(cfg.duration_ms);
     let events = engine.observability().journal.drain();
+    let tracer = engine.observability().tracer.clone();
+    tracer.flush_pending();
+    let mut traces = tracer.drain();
+    traces.sort_by_key(|t| t.id);
 
-    Ok(SimOutcome {
-        samples,
-        scale_events,
-        metric_series: sampler.into_series(),
-        events,
-    })
+    Ok(SimOutcome { samples, scale_events, metric_series: sampler.into_series(), events, traces })
 }
 
 #[cfg(test)]
@@ -316,7 +318,8 @@ mod tests {
         // 800 t/s combined (400 per side) against the thesis cost model
         // overloads one joiner per side; the HPA must add replicas.
         let mut feed = feed_at_rate(800, 60_000);
-        let cfg = SimConfig { duration_ms: 60_000, sample_interval_ms: 5_000, ..Default::default() };
+        let cfg =
+            SimConfig { duration_ms: 60_000, sample_interval_ms: 5_000, ..Default::default() };
         let out = run_dynamic_scaling(engine(true), &mut feed, hpa_cfg(), &cfg).unwrap();
         assert!(!out.scale_events.is_empty(), "expected scale-out events");
         let last = out.samples.last().unwrap();
@@ -332,7 +335,8 @@ mod tests {
     #[test]
     fn idle_run_holds_at_min() {
         let mut feed = feed_at_rate(10, 30_000);
-        let cfg = SimConfig { duration_ms: 30_000, sample_interval_ms: 5_000, ..Default::default() };
+        let cfg =
+            SimConfig { duration_ms: 30_000, sample_interval_ms: 5_000, ..Default::default() };
         let out = run_dynamic_scaling(engine(true), &mut feed, hpa_cfg(), &cfg).unwrap();
         assert!(out.scale_events.is_empty(), "{:?}", out.scale_events);
         assert!(out.samples.iter().all(|s| s.r_replicas == 1 && s.s_replicas == 1));
@@ -358,9 +362,8 @@ mod tests {
         assert_eq!(last.at, 10_000);
         // Ingest keeps running between the last sample tick and the
         // terminal scrape, so the counter can only have grown.
-        let ingested = last
-            .counter("bistream_tuples_ingested_total", &[("engine", "engine")])
-            .unwrap();
+        let ingested =
+            last.counter("bistream_tuples_ingested_total", &[("engine", "engine")]).unwrap();
         assert!(ingested >= out.samples.last().unwrap().ingested);
         assert!(last.get("bistream_joiner_stored_total", &[("joiner", "R0")]).is_some());
         // Journal events carry virtual-time stamps within the horizon.
@@ -368,6 +371,51 @@ mod tests {
         assert!(out.events.iter().any(|e| e.kind.tag() == "TupleStored"));
         assert!(out.events.iter().any(|e| e.kind.tag() == "JoinEmitted"));
         assert!(out.events.iter().all(|e| e.ts <= 10_000));
+    }
+
+    #[test]
+    fn tracing_run_collects_complete_traces() {
+        use bistream_types::registry::Observability;
+        use bistream_types::trace::HopKind;
+        let mut feed = feed_at_rate(100, 5_000);
+        let cfg = EngineConfig {
+            r_joiners: 2,
+            s_joiners: 2,
+            predicate: JoinPredicate::Equi { r_attr: 0, s_attr: 0 },
+            window: WindowSpec::sliding(2_000),
+            routing: RoutingStrategy::Hash,
+            archive_period_ms: 500,
+            punctuation_interval_ms: 20,
+            ordering: true,
+            seed: 9,
+        };
+        let engine = BicliqueEngine::builder(cfg)
+            .observability(Observability::with_tracing(10))
+            .build()
+            .unwrap();
+        let sim = SimConfig {
+            duration_ms: 5_000,
+            sample_interval_ms: 1_000,
+            scale_r: false,
+            scale_s: false,
+            ..Default::default()
+        };
+        let out = run_dynamic_scaling(engine, &mut feed, hpa_cfg(), &sim).unwrap();
+        assert!(!out.traces.is_empty(), "1-in-10 sampling over 500 tuples");
+        let complete = out.traces.iter().filter(|t| t.complete).count();
+        assert!(complete > 0, "punctuation releases sampled tuples");
+        for tr in out.traces.iter().filter(|t| t.complete) {
+            assert!(tr.has_hop(HopKind::Route), "trace {} starts at a router", tr.id);
+            assert!(tr.has_hop(HopKind::Store) || tr.has_hop(HopKind::Probe));
+            for timing in tr.hop_timings() {
+                // Ts is unsigned, but make the non-negativity contract explicit.
+                assert!(timing.wait <= tr.end_to_end());
+            }
+        }
+        // Trace ids are router sequence numbers: sorted and unique.
+        for w in out.traces.windows(2) {
+            assert!(w[0].id < w[1].id);
+        }
     }
 
     #[test]

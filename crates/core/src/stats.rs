@@ -94,8 +94,18 @@ impl EngineSnapshot {
                 "# HELP {name} {help}\n# TYPE {name} {kind}\n{name}{l} {value}\n"
             ));
         };
-        metric("bistream_tuples_ingested_total", "Tuples ingested", "counter", self.ingested.to_string());
-        metric("bistream_join_results_total", "Join results emitted", "counter", self.results.to_string());
+        metric(
+            "bistream_tuples_ingested_total",
+            "Tuples ingested",
+            "counter",
+            self.ingested.to_string(),
+        );
+        metric(
+            "bistream_join_results_total",
+            "Join results emitted",
+            "counter",
+            self.results.to_string(),
+        );
         metric("bistream_copies_total", "Data copies routed", "counter", self.copies.to_string());
         metric(
             "bistream_punctuations_total",

@@ -2,7 +2,7 @@
 
 use crate::sub::{IndexKind, SubIndex, ENTRY_OVERHEAD_BYTES};
 use bistream_types::journal::{EventJournal, EventKind};
-use bistream_types::metrics::{Counter, Gauge};
+use bistream_types::metrics::{Counter, Gauge, Histogram};
 use bistream_types::predicate::ProbePlan;
 use bistream_types::registry::Observability;
 use bistream_types::rel::Rel;
@@ -89,6 +89,12 @@ pub struct IndexObs {
     expired_tuples: Arc<Counter>,
     expired_bytes: Arc<Counter>,
     expired_sub_indexes: Arc<Counter>,
+    /// Probe fan-out: how many chain links each probe touched — the
+    /// per-probe cost the paper's chained-index design bounds via the
+    /// archive period.
+    probe_sub_indexes: Arc<Histogram>,
+    /// Key-matched candidates visited per probe (incl. out-of-window).
+    probe_candidates: Arc<Histogram>,
 }
 
 impl IndexObs {
@@ -110,6 +116,8 @@ impl IndexObs {
             expired_tuples: reg.counter("bistream_index_expired_tuples_total", labels),
             expired_bytes: reg.counter("bistream_index_expired_bytes_total", labels),
             expired_sub_indexes: reg.counter("bistream_index_expired_sub_indexes_total", labels),
+            probe_sub_indexes: reg.histogram("bistream_index_probe_sub_indexes", labels),
+            probe_candidates: reg.histogram("bistream_index_probe_candidates", labels),
         }
     }
 }
@@ -291,8 +299,7 @@ impl ChainedIndex {
                 continue;
             }
             // Skip links entirely out of window scope (cheap span check).
-            if !window.in_scope(link.max_ts, probe_ts) && !window.in_scope(link.min_ts, probe_ts)
-            {
+            if !window.in_scope(link.max_ts, probe_ts) && !window.in_scope(link.min_ts, probe_ts) {
                 // The whole span is on one side of the window iff both ends
                 // are out on the same side; spans straddling the window
                 // would have one end in scope.
@@ -307,6 +314,10 @@ impl ChainedIndex {
                     f(t);
                 }
             });
+        }
+        if let Some(obs) = &self.obs {
+            obs.probe_sub_indexes.record(stats.sub_indexes as u64);
+            obs.probe_candidates.record(stats.candidates as u64);
         }
         stats
     }
@@ -481,13 +492,16 @@ mod tests {
             c.insert(Value::Int(1), t(ts, 1));
         }
         c.expire(400);
+        c.probe(&exact(1), 400, |_| {});
         let snap = obs.registry.scrape(400);
         let labels: &[(&str, &str)] = &[("joiner", "R2")];
-        let stats = c.stats();
-        assert_eq!(
-            snap.gauge("bistream_index_live_tuples", labels),
-            Some(stats.tuples as u64)
+        assert!(
+            snap.get("bistream_index_probe_sub_indexes", labels).is_some(),
+            "probe fan-out histogram fed"
         );
+        assert!(snap.get("bistream_index_probe_candidates", labels).is_some());
+        let stats = c.stats();
+        assert_eq!(snap.gauge("bistream_index_live_tuples", labels), Some(stats.tuples as u64));
         assert_eq!(
             snap.gauge("bistream_index_sub_indexes", labels),
             Some(stats.sub_indexes as u64)

@@ -39,7 +39,8 @@ impl NaiveWindowIndex {
 
     /// Store `tuple` under `key`.
     pub fn insert(&mut self, key: Value, tuple: Tuple) {
-        self.bytes += tuple.size_bytes() + ENTRY_OVERHEAD_BYTES + std::mem::size_of::<(Ts, Value)>();
+        self.bytes +=
+            tuple.size_bytes() + ENTRY_OVERHEAD_BYTES + std::mem::size_of::<(Ts, Value)>();
         self.log.push_back((tuple.ts(), key.clone()));
         self.index.insert(key, tuple);
     }

@@ -52,9 +52,7 @@ pub fn restore(index: &mut ChainedIndex, mut snapshot: impl Buf) -> Result<usize
     let mut magic = [0u8; 4];
     snapshot.copy_to_slice(&mut magic);
     if &magic != MAGIC {
-        return Err(Error::Codec(format!(
-            "bad snapshot magic {magic:?} (expected {MAGIC:?})"
-        )));
+        return Err(Error::Codec(format!("bad snapshot magic {magic:?} (expected {MAGIC:?})")));
     }
     let count = snapshot.get_u64() as usize;
     for i in 0..count {
@@ -101,8 +99,7 @@ mod tests {
     fn snapshot_restore_round_trips_live_state() {
         let original = filled();
         let blob = snapshot(&original);
-        let mut restored =
-            ChainedIndex::new(IndexKind::Hash, WindowSpec::sliding(1_000), 100);
+        let mut restored = ChainedIndex::new(IndexKind::Hash, WindowSpec::sliding(1_000), 100);
         let n = restore(&mut restored, blob).unwrap();
         assert_eq!(n, original.len());
         assert_eq!(restored.len(), original.len());
@@ -120,8 +117,7 @@ mod tests {
     fn restored_chain_respects_archive_period() {
         let original = filled();
         let blob = snapshot(&original);
-        let mut restored =
-            ChainedIndex::new(IndexKind::Hash, WindowSpec::sliding(1_000), 100);
+        let mut restored = ChainedIndex::new(IndexKind::Hash, WindowSpec::sliding(1_000), 100);
         restore(&mut restored, blob).unwrap();
         // 500 tuples over 1500ms with P=100 → at least a dozen links.
         assert!(restored.stats().sub_indexes > 10);

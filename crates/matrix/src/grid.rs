@@ -10,6 +10,7 @@ use bistream_types::predicate::{JoinPredicate, ProbePlan};
 use bistream_types::registry::Observability;
 use bistream_types::rel::Rel;
 use bistream_types::time::Ts;
+use bistream_types::trace::{HopKind, Tracer};
 use bistream_types::tuple::{JoinResult, Tuple};
 use bistream_types::value::Value;
 use bistream_types::window::WindowSpec;
@@ -38,14 +39,7 @@ pub struct MatrixConfig {
 impl MatrixConfig {
     /// A square `n × n` matrix for the given predicate and window.
     pub fn square(n: usize, predicate: JoinPredicate, window: WindowSpec) -> MatrixConfig {
-        MatrixConfig {
-            rows: n,
-            cols: n,
-            predicate,
-            window,
-            archive_period_ms: 1_000,
-            seed: 0x3A7,
-        }
+        MatrixConfig { rows: n, cols: n, predicate, window, archive_period_ms: 1_000, seed: 0x3A7 }
     }
 
     /// Validate shape.
@@ -162,6 +156,12 @@ pub struct JoinMatrix {
     /// Per-cell replication counters, row-major, parallel to `cells`
     /// (empty until [`JoinMatrix::attach_obs`]).
     cell_replicated: Vec<Arc<Counter>>,
+    /// Per-tuple tracer (disabled until [`JoinMatrix::attach_obs`] hands
+    /// over an enabled one). The matrix has no router tier, so it stamps
+    /// its own ingest counter as the trace id.
+    tracer: Tracer,
+    /// Ingest counter doubling as the trace sequence number.
+    seq: u64,
     now: Ts,
 }
 
@@ -174,9 +174,7 @@ impl JoinMatrix {
     /// Build a matrix charging `cost` to cell meters.
     pub fn with_cost(config: MatrixConfig, cost: CostModel) -> Result<JoinMatrix> {
         config.validate()?;
-        let cells = (0..config.rows * config.cols)
-            .map(|_| Cell::new(&config))
-            .collect();
+        let cells = (0..config.rows * config.cols).map(|_| Cell::new(&config)).collect();
         Ok(JoinMatrix {
             rows: config.rows,
             cols: config.cols,
@@ -187,6 +185,8 @@ impl JoinMatrix {
             capture: None,
             obs: None,
             cell_replicated: Vec::new(),
+            tracer: Tracer::disabled(),
+            seq: 0,
             now: 0,
             config,
         })
@@ -200,6 +200,7 @@ impl JoinMatrix {
     /// re-registers the new shape and drops the old cells' series.
     pub fn attach_obs(&mut self, obs: &Observability) {
         self.stats.register_into(&obs.registry, &[("engine", "matrix")]);
+        self.tracer = obs.tracer.clone();
         self.obs = Some(obs.clone());
         self.register_cells();
     }
@@ -256,11 +257,7 @@ impl JoinMatrix {
 
     /// Cell meters keyed by cell index (for utilization scraping).
     pub fn pod_meters(&self) -> Vec<(usize, Arc<ResourceMeter>)> {
-        self.cells
-            .iter()
-            .enumerate()
-            .map(|(i, c)| (i, Arc::clone(&c.meter)))
-            .collect()
+        self.cells.iter().enumerate().map(|(i, c)| (i, Arc::clone(&c.meter))).collect()
     }
 
     #[inline]
@@ -274,6 +271,8 @@ impl JoinMatrix {
     pub fn ingest(&mut self, tuple: &Tuple, now: Ts) -> Result<()> {
         self.now = self.now.max(now);
         self.stats.ingested.inc();
+        self.seq += 1;
+        let seq = self.seq;
         let targets: Vec<usize> = match tuple.rel() {
             Rel::R => {
                 let row = self.rng.gen_range(0..self.rows);
@@ -290,17 +289,36 @@ impl JoinMatrix {
                 self.cell_replicated[idx].inc();
             }
         }
+        let tracer = self.tracer.clone();
+        if tracer.sampled(seq) {
+            // One branch per receiving cell; no queue tier in the
+            // synchronous matrix, so the journey is route → store/probe.
+            tracer.begin(seq, targets.len() as u32);
+            tracer.span(seq, HopKind::Route, "matrix", now, now);
+        }
         let cost = self.cost;
         let stats = Arc::clone(&self.stats);
+        let cols = self.cols;
         for idx in targets {
             let capture = &mut self.capture;
+            let mut cell_results = 0usize;
             self.cells[idx].process(tuple, &self.config.predicate, &cost, &mut |jr| {
                 stats.results.inc();
                 stats.latency_ms.record(now.saturating_sub(jr.ts));
+                cell_results += 1;
                 if let Some(buf) = capture {
                     buf.push(jr);
                 }
             })?;
+            if tracer.sampled(seq) {
+                let unit = format!("{}x{}", idx / cols, idx % cols);
+                tracer.span(seq, HopKind::Store, &unit, now, now);
+                tracer.span(seq, HopKind::Probe, &unit, now, now);
+                if cell_results > 0 {
+                    tracer.span(seq, HopKind::Emit, &unit, now, now);
+                }
+                tracer.end_branch(seq);
+            }
         }
         Ok(())
     }
@@ -334,17 +352,13 @@ impl JoinMatrix {
             let idx = self.cell_index(row, 0);
             self.cells[idx]
                 .r_index
-                .probe(&ProbePlan::FullScan, self.probe_everything_ts(), |t| {
-                    live.push(t.clone())
-                });
+                .probe(&ProbePlan::FullScan, self.probe_everything_ts(), |t| live.push(t.clone()));
         }
         for col in 0..self.cols {
             let idx = self.cell_index(0, col);
             self.cells[idx]
                 .s_index
-                .probe(&ProbePlan::FullScan, self.probe_everything_ts(), |t| {
-                    live.push(t.clone())
-                });
+                .probe(&ProbePlan::FullScan, self.probe_everything_ts(), |t| live.push(t.clone()));
         }
 
         // Rebuild the grid and reinstall the live tuples.
@@ -491,9 +505,7 @@ mod tests {
         }
         // Window is 1s = 10 ticks of 100ms; live state per relation is
         // bounded ≈ window/interval + archive slack, far below 200.
-        let live_r: usize = (0..2)
-            .map(|row| m.cells[m.cell_index(row, 0)].r_index.len())
-            .sum();
+        let live_r: usize = (0..2).map(|row| m.cells[m.cell_index(row, 0)].r_index.len()).sum();
         assert!(live_r < 60, "expiry keeps fragments bounded, live {live_r}");
     }
 
@@ -553,9 +565,7 @@ mod tests {
         // per-cell counters sum to the engine-wide copy count.
         let per_cell: u64 = ["0x0", "0x1", "1x0", "1x1"]
             .iter()
-            .map(|c| {
-                snap.counter("bistream_matrix_cell_replicated_total", &[("cell", c)]).unwrap()
-            })
+            .map(|c| snap.counter("bistream_matrix_cell_replicated_total", &[("cell", c)]).unwrap())
             .sum();
         assert_eq!(per_cell, 20);
         assert_eq!(
@@ -579,11 +589,33 @@ mod tests {
         let snap = obs.registry.scrape(21);
         let post: u64 = ["0x0", "0x1", "0x2"]
             .iter()
-            .map(|c| {
-                snap.counter("bistream_matrix_cell_replicated_total", &[("cell", c)]).unwrap()
-            })
+            .map(|c| snap.counter("bistream_matrix_cell_replicated_total", &[("cell", c)]).unwrap())
             .sum();
         assert_eq!(post, 1, "S replicates across the single row's one column pick");
+    }
+
+    #[test]
+    fn tracing_covers_every_cell_branch() {
+        let mut m = JoinMatrix::new(config(2, 3)).unwrap();
+        let obs = Observability::with_tracing(1);
+        m.attach_obs(&obs);
+        m.ingest(&t(Rel::R, 0, 7), 0).unwrap();
+        m.ingest(&t(Rel::S, 1, 7), 1).unwrap();
+        obs.tracer.flush_pending();
+        let traces = obs.tracer.drain();
+        assert_eq!(traces.len(), 2, "both ingests sampled at 1-in-1");
+        for tr in &traces {
+            assert!(tr.complete, "every cell branch closed synchronously");
+            assert!(tr.has_hop(HopKind::Route));
+            // R replicates across 3 columns, S across 2 rows.
+            let stores = tr.spans.iter().filter(|s| s.kind == HopKind::Store).count();
+            assert!(stores == 2 || stores == 3, "one store per receiving cell");
+        }
+        let emitted = traces.iter().filter(|tr| tr.has_hop(HopKind::Emit)).count();
+        assert_eq!(emitted, 1, "only the probing S tuple emits the match");
+        let snap = obs.registry.scrape(2);
+        assert_eq!(snap.counter("bistream_trace_completed_total", &[]), Some(2));
+        assert!(snap.get("bistream_trace_hop_service_ms", &[("hop", "store")]).is_some());
     }
 
     #[test]

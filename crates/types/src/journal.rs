@@ -13,13 +13,13 @@
 //! path. Events serialize to JSON without pulling `serde_json` into this
 //! crate — the writer is hand-rolled and only has to handle our own shapes.
 
+use crate::metrics::Gauge;
 use crate::punct::{RouterId, SeqNo};
 use crate::rel::Rel;
 use crate::time::Ts;
 use crossbeam::queue::ArrayQueue;
 use serde::Serialize;
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// What happened, with enough identity to attribute it to a unit.
@@ -186,7 +186,10 @@ fn escape_json(s: &str) -> String {
 #[derive(Debug, Clone)]
 pub struct EventJournal {
     ring: Arc<ArrayQueue<Event>>,
-    dropped: Arc<AtomicU64>,
+    /// Eviction count, held as a registrable gauge so the
+    /// [`Observability`](crate::registry::Observability) bundle can expose
+    /// silent drops as `bistream_journal_dropped_total`.
+    dropped: Arc<Gauge>,
 }
 
 /// Default ring capacity — large enough to hold every interesting event of
@@ -202,10 +205,7 @@ impl Default for EventJournal {
 impl EventJournal {
     /// A journal holding at most `capacity` (≥ 1) events.
     pub fn with_capacity(capacity: usize) -> EventJournal {
-        EventJournal {
-            ring: Arc::new(ArrayQueue::new(capacity.max(1))),
-            dropped: Arc::new(AtomicU64::new(0)),
-        }
+        EventJournal { ring: Arc::new(ArrayQueue::new(capacity.max(1))), dropped: Gauge::shared() }
     }
 
     /// Record one event at time `ts`, evicting the oldest if full.
@@ -216,7 +216,7 @@ impl EventJournal {
                 Ok(()) => return,
                 Err(back) => {
                     if self.ring.pop().is_some() {
-                        self.dropped.fetch_add(1, Ordering::Relaxed);
+                        self.dropped.add(1);
                     }
                     ev = back;
                 }
@@ -241,7 +241,14 @@ impl EventJournal {
 
     /// How many events were evicted because the ring was full.
     pub fn dropped(&self) -> u64 {
-        self.dropped.load(Ordering::Relaxed)
+        self.dropped.get()
+    }
+
+    /// The eviction counter as a shareable gauge handle, for registering
+    /// into a [`MetricsRegistry`](crate::registry::MetricsRegistry) as
+    /// `bistream_journal_dropped_total`.
+    pub fn dropped_gauge(&self) -> Arc<Gauge> {
+        Arc::clone(&self.dropped)
     }
 
     /// Drain all buffered events in record order.
@@ -320,7 +327,8 @@ mod tests {
         j.record(7, EventKind::SubIndexArchived { side: Rel::S, unit: 4, tuples: 10, bytes: 320 });
         j.record(8, EventKind::SubIndexDiscarded { side: Rel::S, unit: 4, tuples: 10, bytes: 320 });
         let json = j.drain_json();
-        assert!(json.contains(r#""kind":"SubIndexArchived","side":"S","unit":4,"tuples":10,"bytes":320"#));
+        assert!(json
+            .contains(r#""kind":"SubIndexArchived","side":"S","unit":4,"tuples":10,"bytes":320"#));
         assert!(json.contains(r#""kind":"SubIndexDiscarded""#));
     }
 }

@@ -23,6 +23,7 @@ pub mod registry;
 pub mod rel;
 pub mod schema;
 pub mod time;
+pub mod trace;
 pub mod tuple;
 pub mod value;
 pub mod window;
@@ -35,6 +36,7 @@ pub use registry::{MetricsRegistry, Observability, RegistrySnapshot, Sampler};
 pub use rel::Rel;
 pub use schema::{Schema, TupleBuilder};
 pub use time::{Clock, Ts, VirtualClock};
+pub use trace::{chrome_trace_json, HopKind, Span, Trace, TraceId, Tracer};
 pub use tuple::Tuple;
 pub use value::Value;
 pub use window::WindowSpec;

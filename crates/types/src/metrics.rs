@@ -65,9 +65,7 @@ impl Gauge {
         let mut cur = self.value.load(Ordering::Relaxed);
         loop {
             let next = cur.saturating_sub(n);
-            match self
-                .value
-                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            match self.value.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
             {
                 Ok(_) => return,
                 Err(now) => cur = now,

@@ -219,22 +219,10 @@ impl JoinPredicate {
                     Rel::R => op.flip(),
                 };
                 Ok(match stored_op {
-                    CmpOp::Lt => ProbePlan::Range {
-                        lo: Bound::Unbounded,
-                        hi: Bound::Excluded(v),
-                    },
-                    CmpOp::Le => ProbePlan::Range {
-                        lo: Bound::Unbounded,
-                        hi: Bound::Included(v),
-                    },
-                    CmpOp::Gt => ProbePlan::Range {
-                        lo: Bound::Excluded(v),
-                        hi: Bound::Unbounded,
-                    },
-                    CmpOp::Ge => ProbePlan::Range {
-                        lo: Bound::Included(v),
-                        hi: Bound::Unbounded,
-                    },
+                    CmpOp::Lt => ProbePlan::Range { lo: Bound::Unbounded, hi: Bound::Excluded(v) },
+                    CmpOp::Le => ProbePlan::Range { lo: Bound::Unbounded, hi: Bound::Included(v) },
+                    CmpOp::Gt => ProbePlan::Range { lo: Bound::Excluded(v), hi: Bound::Unbounded },
+                    CmpOp::Ge => ProbePlan::Range { lo: Bound::Included(v), hi: Bound::Unbounded },
                     CmpOp::Ne => ProbePlan::FullScan,
                 })
             }
@@ -243,8 +231,7 @@ impl JoinPredicate {
 }
 
 fn numeric(v: &Value) -> Result<f64> {
-    v.as_f64()
-        .ok_or_else(|| Error::Schema(format!("band join needs numeric attribute, got {v}")))
+    v.as_f64().ok_or_else(|| Error::Schema(format!("band join needs numeric attribute, got {v}")))
 }
 
 impl fmt::Display for JoinPredicate {
@@ -305,10 +292,7 @@ mod tests {
     fn matches_is_side_agnostic() {
         let lt = JoinPredicate::Theta { r_attr: 0, s_attr: 0, op: CmpOp::Lt };
         let (a, b) = (r(0, 1), s(0, 2));
-        assert_eq!(
-            lt.matches(&a, &b).unwrap(),
-            lt.matches(&b, &a).unwrap()
-        );
+        assert_eq!(lt.matches(&a, &b).unwrap(), lt.matches(&b, &a).unwrap());
     }
 
     #[test]

@@ -17,6 +17,7 @@
 use crate::journal::EventJournal;
 use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
 use crate::time::Ts;
+use crate::trace::Tracer;
 use parking_lot::RwLock;
 use serde::Serialize;
 use std::collections::BTreeMap;
@@ -195,9 +196,7 @@ impl MetricsRegistry {
     /// Register an *existing* counter handle (components like the broker's
     /// queues or `ResourceMeter` already own their primitives).
     pub fn register_counter(&self, name: &str, labels: &[(&str, &str)], c: &Arc<Counter>) {
-        self.inner
-            .write()
-            .insert(MetricKey::new(name, labels), Handle::Counter(Arc::clone(c)));
+        self.inner.write().insert(MetricKey::new(name, labels), Handle::Counter(Arc::clone(c)));
     }
 
     /// Register an existing gauge handle.
@@ -207,9 +206,7 @@ impl MetricsRegistry {
 
     /// Register an existing histogram handle.
     pub fn register_histogram(&self, name: &str, labels: &[(&str, &str)], h: &Arc<Histogram>) {
-        self.inner
-            .write()
-            .insert(MetricKey::new(name, labels), Handle::Histogram(Arc::clone(h)));
+        self.inner.write().insert(MetricKey::new(name, labels), Handle::Histogram(Arc::clone(h)));
     }
 
     /// Drop every metric carrying `label="value"` — used when a unit is
@@ -366,27 +363,54 @@ impl Sampler {
 }
 
 /// The bundle every engine threads through its components: one metrics
-/// registry plus one event journal. Cloning shares both.
-#[derive(Debug, Clone, Default)]
+/// registry, one event journal and one per-tuple tracer. Cloning shares
+/// all three.
+///
+/// Assembly wires the pieces together: the journal's eviction count is
+/// registered as the `bistream_journal_dropped_total` gauge (so silent
+/// drops under load are visible in scrapes) and an enabled tracer gets the
+/// registry attached so completed traces feed the per-hop latency
+/// histograms.
+#[derive(Debug, Clone)]
 pub struct Observability {
     /// The shared labeled-metrics registry.
     pub registry: MetricsRegistry,
     /// The shared bounded event journal.
     pub journal: EventJournal,
+    /// The shared per-tuple tracer (disabled unless built through
+    /// [`Observability::with_tracing`]).
+    pub tracer: Tracer,
+}
+
+impl Default for Observability {
+    fn default() -> Self {
+        Observability::assemble(EventJournal::default(), Tracer::disabled())
+    }
 }
 
 impl Observability {
-    /// A fresh registry plus a journal with the default capacity.
+    /// A fresh registry plus a journal with the default capacity; tracing
+    /// disabled.
     pub fn new() -> Observability {
         Observability::default()
     }
 
     /// A fresh registry plus a journal holding at most `capacity` events.
     pub fn with_journal_capacity(capacity: usize) -> Observability {
-        Observability {
-            registry: MetricsRegistry::new(),
-            journal: EventJournal::with_capacity(capacity),
-        }
+        Observability::assemble(EventJournal::with_capacity(capacity), Tracer::disabled())
+    }
+
+    /// A fresh bundle with per-tuple tracing enabled, sampling 1 in
+    /// `one_in` tuples by sequence number.
+    pub fn with_tracing(one_in: u64) -> Observability {
+        Observability::assemble(EventJournal::default(), Tracer::new(one_in))
+    }
+
+    fn assemble(journal: EventJournal, tracer: Tracer) -> Observability {
+        let registry = MetricsRegistry::new();
+        registry.register_gauge("bistream_journal_dropped_total", &[], &journal.dropped_gauge());
+        tracer.attach_registry(&registry);
+        Observability { registry, journal, tracer }
     }
 }
 
@@ -424,8 +448,7 @@ mod tests {
         reg.counter("zeta", &[]);
         reg.gauge("alpha", &[("k", "2")]);
         reg.gauge("alpha", &[("k", "1")]);
-        let names: Vec<String> =
-            reg.scrape(0).samples.iter().map(|s| s.key.render()).collect();
+        let names: Vec<String> = reg.scrape(0).samples.iter().map(|s| s.key.render()).collect();
         assert_eq!(names, vec!["alpha{k=\"1\"}", "alpha{k=\"2\"}", "zeta"]);
     }
 

@@ -42,10 +42,7 @@ impl Schema {
         Ok(Schema {
             name: name.into(),
             attrs: Arc::new(
-                attrs
-                    .into_iter()
-                    .map(|(n, ty)| Attribute { name: n.to_owned(), ty })
-                    .collect(),
+                attrs.into_iter().map(|(n, ty)| Attribute { name: n.to_owned(), ty }).collect(),
             ),
         })
     }
@@ -197,9 +194,7 @@ mod tests {
     #[test]
     fn validate_checks_arity_and_types() {
         let s = orders();
-        assert!(s
-            .validate(&[Value::Int(1), Value::Float(2.0), Value::Str("c".into())])
-            .is_ok());
+        assert!(s.validate(&[Value::Int(1), Value::Float(2.0), Value::Str("c".into())]).is_ok());
         // null is allowed in any slot
         assert!(s.validate(&[Value::Null, Value::Null, Value::Null]).is_ok());
         // wrong arity

@@ -31,9 +31,7 @@ pub struct Tuple {
 impl Tuple {
     /// Create a tuple of relation `rel` with event time `ts`.
     pub fn new(rel: Rel, ts: Ts, values: Vec<Value>) -> Tuple {
-        Tuple {
-            data: Arc::new(TupleData { rel, ts, values: values.into_boxed_slice() }),
-        }
+        Tuple { data: Arc::new(TupleData { rel, ts, values: values.into_boxed_slice() }) }
     }
 
     /// Which streaming relation this tuple belongs to.
@@ -98,8 +96,8 @@ impl Tuple {
         if buf.remaining() < 11 {
             return Err(Error::Codec("tuple header truncated".into()));
         }
-        let rel = Rel::from_byte(buf.get_u8())
-            .ok_or_else(|| Error::Codec("bad relation byte".into()))?;
+        let rel =
+            Rel::from_byte(buf.get_u8()).ok_or_else(|| Error::Codec("bad relation byte".into()))?;
         let ts = buf.get_u64();
         let arity = buf.get_u16() as usize;
         let mut values = Vec::with_capacity(arity);
@@ -155,12 +153,7 @@ impl JoinResult {
     /// A stable identity for de-duplication checks in tests: the pair of
     /// (timestamp, values) on each side.
     pub fn identity(&self) -> (Ts, Vec<Value>, Ts, Vec<Value>) {
-        (
-            self.r.ts(),
-            self.r.values().to_vec(),
-            self.s.ts(),
-            self.s.values().to_vec(),
-        )
+        (self.r.ts(), self.r.values().to_vec(), self.s.ts(), self.s.values().to_vec())
     }
 }
 

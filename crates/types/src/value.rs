@@ -164,10 +164,7 @@ impl Value {
 
 fn ensure_len<B: Buf>(buf: &B, n: usize) -> Result<()> {
     if buf.remaining() < n {
-        Err(Error::Codec(format!(
-            "buffer underrun: need {n} bytes, have {}",
-            buf.remaining()
-        )))
+        Err(Error::Codec(format!("buffer underrun: need {n} bytes, have {}", buf.remaining())))
     } else {
         Ok(())
     }
@@ -367,12 +364,7 @@ mod tests {
 
     #[test]
     fn cross_type_order_is_total_and_antisymmetric() {
-        let vals = [
-            Value::Null,
-            Value::Bool(false),
-            Value::Int(0),
-            Value::Str("a".into()),
-        ];
+        let vals = [Value::Null, Value::Bool(false), Value::Int(0), Value::Str("a".into())];
         for (i, a) in vals.iter().enumerate() {
             for (j, b) in vals.iter().enumerate() {
                 assert_eq!(a.cmp(b), i.cmp(&j), "{a} vs {b}");

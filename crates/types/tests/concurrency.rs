@@ -6,7 +6,7 @@
 //! and every journal event is either drained or counted as dropped.
 
 use bistream_types::journal::{EventJournal, EventKind};
-use bistream_types::registry::{MetricsRegistry, MetricValue};
+use bistream_types::registry::{MetricValue, MetricsRegistry};
 use bistream_types::rel::Rel;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -117,10 +117,8 @@ fn journal_accounts_for_every_event_under_concurrent_drain() {
             let journal = journal.clone();
             thread::spawn(move || {
                 for i in 0..20_000u64 {
-                    journal.record(
-                        i,
-                        EventKind::TupleStored { side: Rel::R, unit: w as u32, seq: i },
-                    );
+                    journal
+                        .record(i, EventKind::TupleStored { side: Rel::R, unit: w as u32, seq: i });
                 }
             })
         })

@@ -114,10 +114,7 @@ mod tests {
             last = c.next_arrival(&mut r);
         }
         let measured = n as f64 / (last as f64 / 1_000.0);
-        assert!(
-            (measured - 1_000.0).abs() < 50.0,
-            "poisson rate {measured} ≉ 1000"
-        );
+        assert!((measured - 1_000.0).abs() < 50.0, "poisson rate {measured} ≉ 1000");
     }
 
     #[test]

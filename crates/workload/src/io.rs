@@ -40,9 +40,7 @@ impl CsvTupleReader {
             Some("R") => Rel::R,
             Some("S") => Rel::S,
             other => {
-                return Err(Error::Codec(format!(
-                    "line must start with R or S, got {other:?}"
-                )))
+                return Err(Error::Codec(format!("line must start with R or S, got {other:?}")))
             }
         };
         let ts: u64 = fields
@@ -100,14 +98,12 @@ fn parse_value(raw: &str, ty: ValueType) -> Result<Value> {
         return Ok(Value::Null);
     }
     Ok(match ty {
-        ValueType::Int => Value::Int(
-            raw.parse()
-                .map_err(|e| Error::Codec(format!("bad int `{raw}`: {e}")))?,
-        ),
-        ValueType::Float => Value::Float(
-            raw.parse()
-                .map_err(|e| Error::Codec(format!("bad float `{raw}`: {e}")))?,
-        ),
+        ValueType::Int => {
+            Value::Int(raw.parse().map_err(|e| Error::Codec(format!("bad int `{raw}`: {e}")))?)
+        }
+        ValueType::Float => {
+            Value::Float(raw.parse().map_err(|e| Error::Codec(format!("bad float `{raw}`: {e}")))?)
+        }
         ValueType::Bool => match raw {
             "true" | "1" => Value::Bool(true),
             "false" | "0" => Value::Bool(false),
@@ -163,9 +159,7 @@ impl<W: Write> ResultWriter<W> {
 
     /// Flush and return the sink.
     pub fn finish(mut self) -> Result<W> {
-        self.sink
-            .flush()
-            .map_err(|e| Error::Codec(format!("io error: {e}")))?;
+        self.sink.flush().map_err(|e| Error::Codec(format!("io error: {e}")))?;
         Ok(self.sink)
     }
 }
@@ -212,12 +206,12 @@ mod tests {
         let (r, s) = schemas();
         let reader = CsvTupleReader::new(r, s);
         for bad in [
-            "X,1,2,3.0,a",      // bad relation
+            "X,1,2,3.0,a",       // bad relation
             "R,notanum,2,3.0,a", // bad ts
-            "R,1,two,3.0,a",    // bad int
-            "R,1,2,3.0",        // too few
+            "R,1,two,3.0,a",     // bad int
+            "R,1,2,3.0",         // too few
             "R,1,2,3.0,a,extra", // too many
-            "S,1,2,maybe",      // bad bool
+            "S,1,2,maybe",       // bad bool
         ] {
             assert!(reader.parse_line(bad).is_err(), "{bad}");
         }

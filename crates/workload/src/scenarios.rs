@@ -187,8 +187,10 @@ mod tests {
         assert_eq!(s.next_tuple().rel(), Rel::S);
         assert_eq!(c.next_tuple().rel(), Rel::S);
         // Different seeds → different key sequences.
-        let ks: Vec<i64> = (0..10).map(|_| s.next_tuple().get(0).unwrap().as_int().unwrap()).collect();
-        let kc: Vec<i64> = (0..10).map(|_| c.next_tuple().get(0).unwrap().as_int().unwrap()).collect();
+        let ks: Vec<i64> =
+            (0..10).map(|_| s.next_tuple().get(0).unwrap().as_int().unwrap()).collect();
+        let kc: Vec<i64> =
+            (0..10).map(|_| c.next_tuple().get(0).unwrap().as_int().unwrap()).collect();
         assert_ne!(ks, kc);
     }
 

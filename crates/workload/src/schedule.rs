@@ -61,11 +61,7 @@ impl RateSchedule {
             if from >= until_ts {
                 break;
             }
-            let to = self
-                .steps
-                .get(i + 1)
-                .map(|&(t, _)| t.min(until_ts))
-                .unwrap_or(until_ts);
+            let to = self.steps.get(i + 1).map(|&(t, _)| t.min(until_ts)).unwrap_or(until_ts);
             total += rate * (to.saturating_sub(from)) as f64 / 1_000.0;
         }
         total

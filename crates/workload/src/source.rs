@@ -192,8 +192,10 @@ mod tests {
     fn different_relations_differ_under_one_seed() {
         let mut r = source(Rel::R, 100.0, 42);
         let mut s = source(Rel::S, 100.0, 42);
-        let rk: Vec<i64> = (0..20).map(|_| r.next_tuple().get(0).unwrap().as_int().unwrap()).collect();
-        let sk: Vec<i64> = (0..20).map(|_| s.next_tuple().get(0).unwrap().as_int().unwrap()).collect();
+        let rk: Vec<i64> =
+            (0..20).map(|_| r.next_tuple().get(0).unwrap().as_int().unwrap()).collect();
+        let sk: Vec<i64> =
+            (0..20).map(|_| s.next_tuple().get(0).unwrap().as_int().unwrap()).collect();
         assert_ne!(rk, sk);
     }
 

@@ -103,7 +103,11 @@ fn main() {
             got.len(),
             missed,
             duplicated,
-            if missed == 0 && duplicated == 0 { "✓ exactly-once" } else { "✗ corrupted output" }
+            if missed == 0 && duplicated == 0 {
+                "✓ exactly-once"
+            } else {
+                "✗ corrupted output"
+            }
         );
     }
 }

@@ -20,11 +20,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     engine.capture_results();
 
     // R = orders(order_id, amount); S = payments(order_id, amount_paid).
-    let orders = [
-        (1_001, 25.0),
-        (1_002, 14.5),
-        (1_003, 99.9),
-    ];
+    let orders = [(1_001, 25.0), (1_002, 14.5), (1_003, 99.9)];
     let payments = [
         (1_002, 14.5),
         (1_001, 25.0),

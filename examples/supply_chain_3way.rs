@@ -42,11 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let stage2 = stage(JoinPredicate::Equi { r_attr: 3, s_attr: 0 });
     let mut cascade = CascadeJoin::new(stage1, stage2, 2)?;
 
-    let orders = [
-        (10, 500_i64, "keyboard"),
-        (20, 501, "monitor"),
-        (30, 502, "cable"),
-    ];
+    let orders = [(10, 500_i64, "keyboard"), (20, 501, "monitor"), (30, 502, "cable")];
     let shipments = [(40, 500_i64, 9_001_i64), (50, 502, 9_002)]; // 501 never ships
     let confirmations = [(60, 9_001_i64), (70, 9_777)]; // 9_002 never confirms
 

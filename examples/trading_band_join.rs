@@ -66,8 +66,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let report = pipeline.finish()?;
     println!("ingested      : {}", report.snapshot.ingested);
     println!("matches       : {}", report.snapshot.results);
-    println!("copies/tuple  : {:.1}  (random routing: 1 store + 3 join copies)",
-        report.snapshot.copies_per_tuple());
+    println!(
+        "copies/tuple  : {:.1}  (random routing: 1 store + 3 join copies)",
+        report.snapshot.copies_per_tuple()
+    );
     println!(
         "latency p50/p95/p99: {} / {} / {} ms",
         report.snapshot.latency.p50, report.snapshot.latency.p95, report.snapshot.latency.p99

@@ -51,9 +51,7 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let mut last_ts = 0;
     for (i, line) in input.lines().enumerate() {
         let line = line?;
-        let Some(tuple) = reader
-            .parse_line(&line)
-            .map_err(|e| format!("line {}: {e}", i + 1))?
+        let Some(tuple) = reader.parse_line(&line).map_err(|e| format!("line {}: {e}", i + 1))?
         else {
             continue;
         };

@@ -106,9 +106,7 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions> {
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |flag: &str| -> Result<String> {
-            it.next()
-                .cloned()
-                .ok_or_else(|| Error::Config(format!("{flag} needs a value")))
+            it.next().cloned().ok_or_else(|| Error::Config(format!("{flag} needs a value")))
         };
         match arg.as_str() {
             "--r-schema" => r_schema = Some(parse_schema(&value("--r-schema")?)?),
@@ -128,9 +126,8 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions> {
                 let (l, r) = pair
                     .split_once('=')
                     .ok_or_else(|| Error::Config("--on-band needs `a=b:eps`".into()))?;
-                let eps: f64 = eps
-                    .parse()
-                    .map_err(|e| Error::Config(format!("bad band `{eps}`: {e}")))?;
+                let eps: f64 =
+                    eps.parse().map_err(|e| Error::Config(format!("bad band `{eps}`: {e}")))?;
                 condition = Some(CliCondition::Band(l.trim().into(), r.trim().into(), eps));
             }
             "--on-theta" => {
@@ -177,8 +174,11 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions> {
     Ok(CliOptions {
         r_schema: r_schema.ok_or_else(|| Error::Config("--r-schema is required".into()))?,
         s_schema: s_schema.ok_or_else(|| Error::Config("--s-schema is required".into()))?,
-        condition: condition
-            .ok_or_else(|| Error::Config("a condition is required (--on-equal/--on-band/--on-theta/--cross)".into()))?,
+        condition: condition.ok_or_else(|| {
+            Error::Config(
+                "a condition is required (--on-equal/--on-band/--on-theta/--cross)".into(),
+            )
+        })?,
         window_ms,
         joiners,
         routing,
@@ -190,8 +190,8 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions> {
 impl CliOptions {
     /// Resolve into a validated [`JoinQuery`].
     pub fn into_query(self) -> Result<JoinQuery> {
-        let mut b = QueryBuilder::new(self.r_schema, self.s_schema)
-            .joiners(self.joiners.0, self.joiners.1);
+        let mut b =
+            QueryBuilder::new(self.r_schema, self.s_schema).joiners(self.joiners.0, self.joiners.1);
         b = match &self.condition {
             CliCondition::Equal(l, r) => b.on_equal(l, r),
             CliCondition::Band(l, r, eps) => b.on_band(l, r, *eps),
@@ -271,10 +271,8 @@ mod tests {
 
     #[test]
     fn band_and_cross_conditions() {
-        let opts = parse_args(&argv(
-            "--r-schema o:v:float --s-schema p:w:float --on-band v=w:1.5",
-        ))
-        .unwrap();
+        let opts = parse_args(&argv("--r-schema o:v:float --s-schema p:w:float --on-band v=w:1.5"))
+            .unwrap();
         assert_eq!(opts.condition, CliCondition::Band("v".into(), "w".into(), 1.5));
         assert!(opts.into_query().is_ok());
 
@@ -285,10 +283,10 @@ mod tests {
     #[test]
     fn missing_required_flags_error() {
         assert!(parse_args(&argv("--r-schema o:v:int")).is_err());
-        assert!(parse_args(&argv(
-            "--r-schema o:v:int --s-schema p:w:int"
-        ))
-        .is_err(), "no condition");
+        assert!(
+            parse_args(&argv("--r-schema o:v:int --s-schema p:w:int")).is_err(),
+            "no condition"
+        );
         assert!(parse_args(&argv("--bogus")).is_err());
     }
 

@@ -20,10 +20,7 @@ fn file_to_file_equi_join_round_trip() {
     .unwrap();
     assert_eq!(opts.condition, CliCondition::Equal("id".into(), "ref".into()));
     let query = opts.into_query().unwrap();
-    let reader = CsvTupleReader::new(
-        query.schema(Rel::R).clone(),
-        query.schema(Rel::S).clone(),
-    );
+    let reader = CsvTupleReader::new(query.schema(Rel::R).clone(), query.schema(Rel::S).clone());
 
     let input = "\
 # orders and payments
@@ -73,13 +70,8 @@ fn band_join_through_cli_options() {
     ))
     .unwrap();
     let query = opts.into_query().unwrap();
-    let reader = CsvTupleReader::new(
-        query.schema(Rel::R).clone(),
-        query.schema(Rel::S).clone(),
-    );
-    let tuples = reader
-        .read_all("R,10,100.0\nS,20,100.4\nS,30,101.0\n".as_bytes())
-        .unwrap();
+    let reader = CsvTupleReader::new(query.schema(Rel::R).clone(), query.schema(Rel::S).clone());
+    let tuples = reader.read_all("R,10,100.0\nS,20,100.4\nS,30,101.0\n".as_bytes()).unwrap();
     let mut engine = BicliqueEngine::new(query.config().clone()).unwrap();
     engine.capture_results();
     for t in &tuples {
@@ -93,15 +85,9 @@ fn band_join_through_cli_options() {
 
 #[test]
 fn malformed_input_is_reported_not_joined() {
-    let opts = parse_args(&argv(
-        "--r-schema o:v:int --s-schema p:w:int --on-equal v=w",
-    ))
-    .unwrap();
+    let opts = parse_args(&argv("--r-schema o:v:int --s-schema p:w:int --on-equal v=w")).unwrap();
     let query = opts.into_query().unwrap();
-    let reader = CsvTupleReader::new(
-        query.schema(Rel::R).clone(),
-        query.schema(Rel::S).clone(),
-    );
+    let reader = CsvTupleReader::new(query.schema(Rel::R).clone(), query.schema(Rel::S).clone());
     let err = reader.read_all("R,1,5\nS,2,oops\n".as_bytes()).unwrap_err();
     assert!(err.to_string().contains("line 2"));
 }

@@ -114,11 +114,9 @@ fn biclique_equi_matches_reference_under_every_strategy() {
     let predicate = JoinPredicate::Equi { r_attr: 0, s_attr: 0 };
     let expect = reference(&tuples, &predicate);
     assert!(!expect.is_empty());
-    for routing in [
-        RoutingStrategy::Random,
-        RoutingStrategy::Hash,
-        RoutingStrategy::ContRand { subgroups: 2 },
-    ] {
+    for routing in
+        [RoutingStrategy::Random, RoutingStrategy::Hash, RoutingStrategy::ContRand { subgroups: 2 }]
+    {
         let got = run_biclique(&tuples, predicate.clone(), routing, 1, DeliveryMode::InOrder);
         assert_eq!(got, expect, "strategy {routing:?}");
     }
@@ -193,12 +191,8 @@ fn live_pipeline_agrees_with_sync_engine_on_totals() {
     let pairs = 400;
     for i in 0..pairs {
         let now = pipeline.now();
-        pipeline
-            .ingest(&Tuple::new(Rel::R, now, vec![Value::Int(i)]))
-            .unwrap();
-        pipeline
-            .ingest(&Tuple::new(Rel::S, now, vec![Value::Int(i)]))
-            .unwrap();
+        pipeline.ingest(&Tuple::new(Rel::R, now, vec![Value::Int(i)])).unwrap();
+        pipeline.ingest(&Tuple::new(Rel::S, now, vec![Value::Int(i)])).unwrap();
     }
     std::thread::sleep(std::time::Duration::from_millis(100));
     let report = pipeline.finish().unwrap();

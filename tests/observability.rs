@@ -8,9 +8,11 @@
 use bistream::core::config::{EngineConfig, RoutingStrategy};
 use bistream::core::engine::BicliqueEngine;
 use bistream::core::exec::{Pipeline, PipelineConfig};
+use bistream::types::journal::EventKind;
 use bistream::types::predicate::JoinPredicate;
-use bistream::types::registry::Observability;
+use bistream::types::registry::{Observability, RegistrySnapshot};
 use bistream::types::rel::Rel;
+use bistream::types::trace::{HopKind, Trace};
 use bistream::types::tuple::Tuple;
 use bistream::types::value::Value;
 use bistream::types::window::WindowSpec;
@@ -52,10 +54,7 @@ fn simulated_run_exposes_every_tier_in_one_scrape_and_journals_events() {
 
     // One scrape, every tier: engine, router, joiner, index, pod.
     let snap = obs.registry.scrape(HORIZON);
-    assert_eq!(
-        snap.counter("bistream_tuples_ingested_total", &[("engine", "sim")]),
-        Some(400)
-    );
+    assert_eq!(snap.counter("bistream_tuples_ingested_total", &[("engine", "sim")]), Some(400));
     assert_eq!(
         snap.counter(
             "bistream_router_route_decisions_total",
@@ -104,10 +103,7 @@ fn simulated_run_exposes_every_tier_in_one_scrape_and_journals_events() {
     }
     // Store events are stamped with the stored tuple's event time, which
     // this feed only ever set to multiples of 10 ms.
-    assert!(events
-        .iter()
-        .filter(|e| e.kind.tag() == "TupleStored")
-        .all(|e| e.ts % 10 == 0));
+    assert!(events.iter().filter(|e| e.kind.tag() == "TupleStored").all(|e| e.ts % 10 == 0));
 }
 
 #[test]
@@ -128,10 +124,7 @@ fn live_run_exposes_every_tier_in_one_scrape_including_queues() {
     // Queue tier — only the live pipeline has a broker, and all 200
     // publishes into the shared ingest queue happened before the scrape.
     assert_eq!(
-        snap.counter(
-            "bistream_queue_published_total",
-            &[("queue", "tuple.exchange.routers")]
-        ),
+        snap.counter("bistream_queue_published_total", &[("queue", "tuple.exchange.routers")]),
         Some(200)
     );
     assert!(snap.get("bistream_queue_depth", &[("queue", "unit.0")]).is_some());
@@ -142,15 +135,10 @@ fn live_run_exposes_every_tier_in_one_scrape_including_queues() {
         .sum();
     assert!(stored > 0, "no stores visible per joiner yet");
     assert!(snap
-        .get(
-            "bistream_router_route_decisions_total",
-            &[("router", "r0"), ("strategy", "hash")]
-        )
+        .get("bistream_router_route_decisions_total", &[("router", "r0"), ("strategy", "hash")])
         .is_some());
     assert!(snap.get("bistream_pod_cpu_busy_us_total", &[("pod", "S2")]).is_some());
-    assert!(snap
-        .counter("bistream_tuples_ingested_total", &[("engine", "live")])
-        .is_some());
+    assert!(snap.counter("bistream_tuples_ingested_total", &[("engine", "live")]).is_some());
 
     // The journal records through the same code paths as the simulator;
     // stamps are tuple event times, i.e. never ahead of the wall clock.
@@ -166,4 +154,101 @@ fn live_run_exposes_every_tier_in_one_scrape_including_queues() {
     assert!(text.contains("# TYPE bistream_joiner_stored_total counter"));
 
     p.finish().unwrap();
+}
+
+#[test]
+fn journal_overflow_is_visible_as_a_registry_gauge() {
+    let obs = Observability::with_journal_capacity(8);
+    for i in 0..20u64 {
+        obs.journal.record(i, EventKind::TupleStored { side: Rel::R, unit: 0, seq: i });
+    }
+    // 20 records through an 8-slot ring evict the oldest 12, and the
+    // bundle exposes that silent loss as a gauge in the same scrape as
+    // everything else.
+    assert_eq!(obs.journal.dropped(), 12);
+    let snap = obs.registry.scrape(20);
+    assert_eq!(snap.gauge("bistream_journal_dropped_total", &[]), Some(12));
+    // What survives is the newest `capacity` events, in record order.
+    let kept = obs.journal.drain();
+    assert_eq!(kept.len(), 8);
+    assert_eq!(kept.first().map(|e| e.ts), Some(12));
+    assert_eq!(kept.last().map(|e| e.ts), Some(19));
+}
+
+/// Drive the deterministic virtual-time workload through a traced engine
+/// and return the collected traces (sorted by id) plus the final scrape.
+fn traced_sim_run(obs: Observability) -> (Vec<Trace>, RegistrySnapshot) {
+    let cfg = EngineConfig {
+        r_joiners: 2,
+        s_joiners: 2,
+        predicate: JoinPredicate::Equi { r_attr: 0, s_attr: 0 },
+        window: WindowSpec::sliding(200),
+        routing: RoutingStrategy::Hash,
+        archive_period_ms: 50,
+        punctuation_interval_ms: 10,
+        ordering: true,
+        seed: 11,
+    };
+    let mut engine = BicliqueEngine::builder(cfg).observability(obs.clone()).build().unwrap();
+    for i in 0..100u64 {
+        let ts = i * 10;
+        engine.punctuate(ts).unwrap();
+        let key = Value::Int((i % 4) as i64);
+        engine.ingest(&Tuple::new(Rel::R, ts, vec![key.clone()]), ts).unwrap();
+        engine.ingest(&Tuple::new(Rel::S, ts, vec![key]), ts).unwrap();
+    }
+    engine.punctuate(1_000).unwrap();
+    engine.flush().unwrap();
+    obs.tracer.flush_pending();
+    let mut traces = obs.tracer.drain();
+    traces.sort_by_key(|t| t.id);
+    (traces, obs.registry.scrape(1_000))
+}
+
+#[test]
+fn sampled_traces_are_complete_deterministic_and_attributed() {
+    let (traces, snap) = traced_sim_run(Observability::with_tracing(4));
+    assert!(!traces.is_empty(), "sampling 1-in-4 over 200 tuples yields traces");
+    let complete: Vec<&Trace> = traces.iter().filter(|t| t.complete).collect();
+    assert!(!complete.is_empty(), "some traces must close every branch");
+    for t in &complete {
+        // Every journey starts at the router and reaches its unit.
+        assert!(t.has_hop(HopKind::Route), "trace {} has no ingress hop", t.id);
+        assert!(
+            t.has_hop(HopKind::Store) || t.has_hop(HopKind::Probe),
+            "trace {} never reached a joiner",
+            t.id
+        );
+        // Latency attribution is exact: queue wait plus service over the
+        // recorded hops sums to the end-to-end latency.
+        let timings = t.hop_timings();
+        let attributed: u64 = timings.iter().map(|h| h.wait + h.service).sum();
+        assert_eq!(attributed, t.end_to_end(), "trace {} leaks latency", t.id);
+    }
+    // Matching R/S pairs share a key and timestamp, so at least one
+    // sampled tuple's probe emitted results: a full ingress→emit journey.
+    assert!(complete.iter().any(|t| t.has_hop(HopKind::Emit)), "no sampled trace reached an emit");
+
+    // The same completed traces feed the per-hop histogram tier.
+    assert!(snap.counter("bistream_trace_completed_total", &[]).unwrap_or(0) > 0);
+    for hop in ["route", "store", "probe"] {
+        assert!(
+            snap.get("bistream_trace_hop_service_ms", &[("hop", hop)]).is_some(),
+            "missing service histogram for hop {hop}"
+        );
+        assert!(
+            snap.get("bistream_trace_hop_wait_ms", &[("hop", hop)]).is_some(),
+            "missing wait histogram for hop {hop}"
+        );
+    }
+    assert!(snap.get("bistream_trace_e2e_latency_ms", &[]).is_some());
+
+    // Sampling is keyed on the deterministic tuple sequence, so a
+    // same-seed rerun reproduces the trace set exactly.
+    let (again, _) = traced_sim_run(Observability::with_tracing(4));
+    assert_eq!(traces, again, "traces must be reproducible across same-seed runs");
+
+    // With tracing disabled the same run records nothing.
+    let (none, _) = traced_sim_run(Observability::new());
+    assert!(none.is_empty(), "disabled tracer must collect no traces");
 }

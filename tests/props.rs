@@ -344,4 +344,70 @@ proptest! {
             prop_assert!(z.sample(&mut rng) < n);
         }
     }
+
+    /// Trace span invariants hold for ANY sequence of raw hop stamps fed
+    /// through a real tracer — even out-of-order or overlapping ones,
+    /// which the tracer clamps into causal order at record time: every
+    /// span has exit ≥ enter, consecutive spans never run backwards, and
+    /// the queue-wait/service attribution telescopes exactly to the
+    /// end-to-end latency.
+    #[test]
+    fn trace_spans_are_causal_and_attribution_is_exact(
+        raw in prop::collection::vec((0usize..6, 0u64..1_000_000, 0u64..1_000), 1..40),
+        branches in 1u32..5,
+    ) {
+        use bistream::types::trace::{HopKind, Tracer};
+
+        let tracer = Tracer::new(1);
+        let seq = 1u64;
+        prop_assert!(tracer.sampled(seq));
+        tracer.begin(seq, branches);
+        for &(kind, enter, dur) in &raw {
+            tracer.span(seq, HopKind::ALL[kind], "u", enter, enter + dur);
+        }
+        // The trace stays pending until its last branch closes.
+        for _ in 0..branches {
+            prop_assert_eq!(tracer.completed_len(), 0);
+            prop_assert_eq!(tracer.pending_len(), 1);
+            tracer.end_branch(seq);
+        }
+        let traces = tracer.drain();
+        prop_assert_eq!(traces.len(), 1);
+        let t = &traces[0];
+        prop_assert!(t.complete);
+        prop_assert_eq!(t.spans.len(), raw.len());
+
+        for s in &t.spans {
+            prop_assert!(s.exit >= s.enter, "span runs backwards: {s:?}");
+        }
+        for w in t.spans.windows(2) {
+            prop_assert!(
+                w[1].enter >= w[0].exit,
+                "spans not causally ordered: {:?} then {:?}", w[0], w[1]
+            );
+        }
+        let timings = t.hop_timings();
+        let attributed: u64 = timings.iter().map(|h| h.wait + h.service).sum();
+        prop_assert_eq!(attributed, t.end_to_end(), "latency attribution must be exact");
+    }
+
+    /// The sampling predicate is a pure function of the sequence number:
+    /// deterministic across tracers, hits exactly the 1-in-N residue
+    /// class, and always samples the first routed tuple (seq 1).
+    #[test]
+    fn trace_sampling_is_deterministic_residue_class(
+        one_in in 1u64..100,
+        seqs in prop::collection::vec(0u64..10_000, 1..50),
+    ) {
+        use bistream::types::trace::Tracer;
+
+        let a = Tracer::new(one_in);
+        let b = Tracer::new(one_in);
+        prop_assert!(a.sampled(1), "the first routed tuple is always traced");
+        for &s in &seqs {
+            prop_assert_eq!(a.sampled(s), b.sampled(s));
+            let expect = s != 0 && s % one_in == 1 % one_in;
+            prop_assert_eq!(a.sampled(s), expect, "seq {s} with one_in {one_in}");
+        }
+    }
 }

@@ -37,10 +37,8 @@ fn snapshot_restore_preserves_every_future_match() {
     }
     engine.punctuate(500).unwrap();
     let r_units: Vec<_> = engine.layout().units(Rel::R).to_vec();
-    let snapshots: Vec<_> = r_units
-        .iter()
-        .map(|&id| (id, engine.snapshot_unit(id).unwrap()))
-        .collect();
+    let snapshots: Vec<_> =
+        r_units.iter().map(|&id| (id, engine.snapshot_unit(id).unwrap())).collect();
 
     // "Crash" both R units (restore wipes and rebuilds each one).
     let mut restored_total = 0;
@@ -97,7 +95,5 @@ fn snapshot_of_unknown_unit_errors() {
     assert!(engine.snapshot_unit(bistream::core::layout::JoinerId(999)).is_err());
     let mut engine = BicliqueEngine::new(cfg()).unwrap();
     let blob = bytes::Bytes::from_static(b"BSN1\0\0\0\0\0\0\0\0");
-    assert!(engine
-        .restore_unit(bistream::core::layout::JoinerId(999), blob)
-        .is_err());
+    assert!(engine.restore_unit(bistream::core::layout::JoinerId(999), blob).is_err());
 }

@@ -47,11 +47,9 @@ fn repeated_scaling_keeps_exactly_once_semantics() {
     let expect = reference_count(&tuples);
     assert!(expect > 0);
 
-    for routing in [
-        RoutingStrategy::Random,
-        RoutingStrategy::Hash,
-        RoutingStrategy::ContRand { subgroups: 2 },
-    ] {
+    for routing in
+        [RoutingStrategy::Random, RoutingStrategy::Hash, RoutingStrategy::ContRand { subgroups: 2 }]
+    {
         let cfg = EngineConfig {
             r_joiners: 2,
             s_joiners: 2,
@@ -110,16 +108,12 @@ fn drained_units_retire_within_a_window() {
     cfg.window = WindowSpec::sliding(200);
     let mut engine = BicliqueEngine::new(cfg).unwrap();
     for i in 0..50 {
-        engine
-            .ingest(&Tuple::new(Rel::R, i, vec![Value::Int(i as i64)]), i)
-            .unwrap();
+        engine.ingest(&Tuple::new(Rel::R, i, vec![Value::Int(i as i64)]), i).unwrap();
     }
     engine.scale_to(Rel::R, 1, 50).unwrap();
     assert_eq!(engine.draining_units(), 1);
     // Advance far beyond a window; the drained unit must be gone.
-    engine
-        .ingest(&Tuple::new(Rel::S, 1_000, vec![Value::Int(0)]), 1_000)
-        .unwrap();
+    engine.ingest(&Tuple::new(Rel::S, 1_000, vec![Value::Int(0)]), 1_000).unwrap();
     engine.punctuate(1_001).unwrap();
     assert_eq!(engine.draining_units(), 0);
     assert_eq!(engine.replicas(Rel::R), 1);
