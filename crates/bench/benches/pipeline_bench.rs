@@ -65,6 +65,21 @@ fn bench_live_pipelines(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_batch_sizes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("batch_size_ablation");
+    g.sample_size(10);
+    for batch in [1usize, 8, 64] {
+        g.bench_function(format!("biclique_hash_batch_{batch}"), |b| {
+            b.iter(|| {
+                let mut engine = engine_cfg(RoutingStrategy::Hash);
+                engine.batch_size = batch;
+                black_box(run_biclique(PipelineConfig::new(engine)))
+            })
+        });
+    }
+    g.finish();
+}
+
 fn bench_queue_bounds(c: &mut Criterion) {
     let mut g = c.benchmark_group("queue_bound_ablation");
     g.sample_size(10);
@@ -89,6 +104,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_live_pipelines, bench_queue_bounds
+    targets = bench_live_pipelines, bench_batch_sizes, bench_queue_bounds
 }
 criterion_main!(benches);

@@ -34,6 +34,7 @@ pub fn engine_config(
         punctuation_interval_ms: 20,
         ordering: true,
         seed,
+        batch_size: 1,
     }
 }
 

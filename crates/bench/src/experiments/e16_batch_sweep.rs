@@ -1,0 +1,68 @@
+//! **E16 — Micro-batch size sweep** (reconstructed: BiStream eval axis).
+//!
+//! The router→joiner channels carry [`bistream_types::TupleBatch`] frames;
+//! `batch_size` sets how many same-destination, same-purpose tuples share
+//! one frame (1 = the per-tuple framing of the original system). The live
+//! threaded pipeline is driven flat-out at each batch size to measure the
+//! framing's effect on saturation throughput and end-to-end latency.
+//! Expected shape: throughput rises with the batch size as per-frame
+//! publish/decode overhead amortises, while p99 latency grows once frames
+//! wait noticeably long to fill (bounded by the punctuation interval,
+//! which flushes every pending batch).
+
+use super::common::engine_config;
+use super::ExpCtx;
+use crate::report::{f, Table};
+use bistream_core::config::RoutingStrategy;
+use bistream_core::exec::{Pipeline, PipelineConfig};
+use bistream_types::predicate::JoinPredicate;
+use bistream_types::rel::Rel;
+use bistream_types::tuple::Tuple;
+use bistream_types::value::Value;
+use bistream_types::window::WindowSpec;
+
+/// Feed `n` matching pairs flat-out at one batch size; return
+/// (throughput t/s, p50, p95, p99, results).
+fn run_at(ctx: &ExpCtx, batch: usize, n: usize) -> (f64, u64, u64, u64, u64) {
+    let mut cfg = engine_config(
+        RoutingStrategy::Hash,
+        JoinPredicate::Equi { r_attr: 0, s_attr: 0 },
+        WindowSpec::sliding(30_000),
+        2,
+        2,
+        ctx.seed,
+    );
+    cfg.punctuation_interval_ms = 10;
+    cfg.batch_size = batch;
+    let pipe = Pipeline::launch(PipelineConfig::new(cfg)).expect("launch");
+    for i in 0..n {
+        let now = pipe.now();
+        pipe.ingest(&Tuple::new(Rel::R, now, vec![Value::Int(i as i64 % 997)])).unwrap();
+        pipe.ingest(&Tuple::new(Rel::S, now, vec![Value::Int(i as i64 % 997)])).unwrap();
+    }
+    let report = pipe.finish().expect("finish");
+    let throughput = report.snapshot.ingested as f64 / (report.elapsed_ms.max(1) as f64 / 1_000.0);
+    let l = report.snapshot.latency;
+    (throughput, l.p50, l.p95, l.p99, report.snapshot.results)
+}
+
+/// Run E16.
+pub fn run(ctx: &ExpCtx) {
+    let n = if ctx.quick { 10_000 } else { 50_000 };
+    let mut table = Table::new(
+        format!("E16: micro-batch size sweep ({n} pairs flat-out, hash routing)"),
+        &["batch", "thr_t/s", "p50_ms", "p95_ms", "p99_ms", "results"],
+    );
+    for &batch in &[1usize, 4, 16, 64, 256] {
+        let (thr, p50, p95, p99, results) = run_at(ctx, batch, n);
+        table.row(vec![
+            batch.to_string(),
+            f(thr, 0),
+            p50.to_string(),
+            p95.to_string(),
+            p99.to_string(),
+            results.to_string(),
+        ]);
+    }
+    table.emit("e16_batch_sweep");
+}

@@ -22,6 +22,7 @@ pub mod e12_full_history;
 pub mod e13_router_elasticity;
 pub mod e14_recovery;
 pub mod e15_trace_breakdown;
+pub mod e16_batch_sweep;
 
 /// Experiment context.
 #[derive(Debug, Clone)]
@@ -75,6 +76,7 @@ pub fn dump_traces(path: &std::path::Path, traces: &[bistream_types::trace::Trac
 /// All experiment ids in order.
 pub const ALL: &[&str] = &[
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
+    "e16",
 ];
 
 /// Dispatch by id; returns false for unknown ids.
@@ -95,6 +97,7 @@ pub fn run(id: &str, ctx: &ExpCtx) -> bool {
         "e13" => e13_router_elasticity::run(ctx),
         "e14" => e14_recovery::run(ctx),
         "e15" => e15_trace_breakdown::run(ctx),
+        "e16" => e16_batch_sweep::run(ctx),
         _ => return false,
     }
     true

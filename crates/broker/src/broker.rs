@@ -45,7 +45,7 @@ struct Inner {
 /// broker.bind("events", "audit", "user.*")?;
 /// broker.publish("events", Message::new("user.login", b"payload".to_vec()))?;
 /// let consumer = broker.subscribe("audit")?;
-/// assert_eq!(consumer.try_recv().unwrap().routing_key, "user.login");
+/// assert_eq!(&*consumer.try_recv().unwrap().routing_key, "user.login");
 /// # Ok::<(), bistream_types::error::Error>(())
 /// ```
 #[derive(Clone, Default)]

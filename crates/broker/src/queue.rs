@@ -42,7 +42,7 @@ pub(crate) struct QueueObs {
     /// Timebase for stall events (the live pipeline's wall clock).
     pub(crate) clock: Arc<dyn Clock>,
     /// Per-tuple tracer recording enqueue/dequeue spans for messages that
-    /// carry a [`Message::trace_seq`] header (disabled tracers are inert).
+    /// carry [`Message::trace_seqs`] headers (disabled tracers are inert).
     pub(crate) tracer: Tracer,
 }
 
@@ -72,25 +72,32 @@ struct QueueMeta {
 
 impl QueueMeta {
     #[inline]
-    fn note_enqueued(&self, trace_seq: Option<u64>) {
+    fn note_enqueued(&self, trace_seqs: Option<&[u64]>) {
         if let Some(g) = &self.depth_gauge {
             g.add(1);
         }
-        self.note_hop(trace_seq, HopKind::Enqueue);
+        self.note_hop(trace_seqs, HopKind::Enqueue);
     }
 
     #[inline]
-    fn note_dequeued(&self, trace_seq: Option<u64>) {
+    fn note_dequeued(&self, trace_seqs: Option<&[u64]>) {
         if let Some(g) = &self.depth_gauge {
             g.sub(1);
         }
-        self.note_hop(trace_seq, HopKind::Dequeue);
+        self.note_hop(trace_seqs, HopKind::Dequeue);
     }
 
-    fn note_hop(&self, trace_seq: Option<u64>, kind: HopKind) {
-        if let (Some(seq), Some((tracer, clock))) = (trace_seq, &self.trace) {
+    /// Record one queue-hop span per sampled tuple in the frame. The
+    /// headers travel out-of-band on the message, so a batched payload
+    /// never needs decoding here; one clock read covers the whole frame.
+    fn note_hop(&self, trace_seqs: Option<&[u64]>, kind: HopKind) {
+        let (Some(seqs), Some((tracer, clock))) = (trace_seqs, &self.trace) else { return };
+        if seqs.is_empty() {
+            return;
+        }
+        let now = clock.now();
+        for &seq in seqs {
             if tracer.sampled(seq) {
-                let now = clock.now();
                 tracer.span(seq, kind, &self.name, now, now);
             }
         }
@@ -167,10 +174,10 @@ impl QueueCore {
     /// `BackpressureStall` before the publisher parks on the channel.
     pub(crate) fn push_blocking(&self, msg: Message) -> Result<(), Message> {
         self.meta.published.inc();
-        let trace_seq = msg.trace_seq;
+        let trace = msg.trace_handle();
         match self.tx.try_send(msg) {
             Ok(()) => {
-                self.meta.note_enqueued(trace_seq);
+                self.meta.note_enqueued(trace.as_deref());
                 Ok(())
             }
             Err(TrySendError::Disconnected(m)) => Err(m),
@@ -178,7 +185,7 @@ impl QueueCore {
                 self.meta.note_stall();
                 let r = self.tx.send(m).map_err(|e| e.0);
                 if r.is_ok() {
-                    self.meta.note_enqueued(trace_seq);
+                    self.meta.note_enqueued(trace.as_deref());
                 }
                 r
             }
@@ -187,11 +194,11 @@ impl QueueCore {
 
     /// Enqueue without blocking; returns the message back if full/closed.
     pub(crate) fn try_push(&self, msg: Message) -> Result<(), TrySendError<Message>> {
-        let trace_seq = msg.trace_seq;
+        let trace = msg.trace_handle();
         let r = self.tx.try_send(msg);
         if r.is_ok() {
             self.meta.published.inc();
-            self.meta.note_enqueued(trace_seq);
+            self.meta.note_enqueued(trace.as_deref());
         }
         r
     }
@@ -236,11 +243,11 @@ impl QueueCore {
     /// either). Returns false when the queue is full (the message is then
     /// dropped, as a full queue would also have rejected a publish).
     pub(crate) fn requeue(&self, msg: Message) -> bool {
-        let trace_seq = msg.trace_seq;
+        let trace = msg.trace_handle();
         let ok = self.tx.try_send(msg).is_ok();
         if ok {
             self.meta.redelivered.inc();
-            self.meta.note_enqueued(trace_seq);
+            self.meta.note_enqueued(trace.as_deref());
         }
         ok
     }
@@ -272,7 +279,7 @@ impl Consumer {
         match self.rx.recv_timeout(timeout) {
             Ok(m) => {
                 self.meta.delivered.inc();
-                self.meta.note_dequeued(m.trace_seq);
+                self.meta.note_dequeued(Some(m.trace_seqs()));
                 Ok(m)
             }
             Err(RecvTimeoutError::Timeout) => Err(RecvError::Timeout),
@@ -285,7 +292,7 @@ impl Consumer {
         match self.rx.recv() {
             Ok(m) => {
                 self.meta.delivered.inc();
-                self.meta.note_dequeued(m.trace_seq);
+                self.meta.note_dequeued(Some(m.trace_seqs()));
                 Ok(m)
             }
             Err(_) => Err(RecvError::Disconnected),
@@ -296,7 +303,7 @@ impl Consumer {
     pub fn try_recv(&self) -> Option<Message> {
         let m = self.rx.try_recv().ok()?;
         self.meta.delivered.inc();
-        self.meta.note_dequeued(m.trace_seq);
+        self.meta.note_dequeued(Some(m.trace_seqs()));
         Some(m)
     }
 

@@ -154,6 +154,7 @@ mod tests {
             punctuation_interval_ms: 20,
             ordering: true,
             seed: 9,
+            batch_size: 1,
         }
     }
 

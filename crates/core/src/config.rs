@@ -60,8 +60,22 @@ pub struct EngineConfig {
     /// exposes the duplicate/missed-result races (experiment E7) and
     /// removes the punctuation wait from the latency path.
     pub ordering: bool,
+    /// Micro-batch size: how many tuple copies a router accumulates per
+    /// destination before flushing one [`bistream_types::TupleBatch`]
+    /// frame (pending batches also flush on every punctuation, so a
+    /// punctuation never overtakes the data it covers). `1` reproduces
+    /// per-tuple framing exactly; larger values amortise framing, queue
+    /// hand-off and index-probe overhead without touching sequence
+    /// assignment or results. Old configs without the field deserialize
+    /// to `1`.
+    #[serde(default = "default_batch_size")]
+    pub batch_size: usize,
     /// Seed for the router's random placement decisions.
     pub seed: u64,
+}
+
+fn default_batch_size() -> usize {
+    1
 }
 
 impl EngineConfig {
@@ -77,6 +91,7 @@ impl EngineConfig {
             archive_period_ms: 1_000,
             punctuation_interval_ms: 20,
             ordering: true,
+            batch_size: 1,
             seed: 0xB1C1,
         }
     }
@@ -106,6 +121,16 @@ impl EngineConfig {
         }
         if self.punctuation_interval_ms == 0 {
             return Err(Error::Config("punctuation interval must be positive".into()));
+        }
+        if self.batch_size == 0 {
+            return Err(Error::Config("batch size must be at least 1".into()));
+        }
+        if self.batch_size > bistream_types::batch::MAX_BATCH_LEN {
+            return Err(Error::Config(format!(
+                "batch size {} exceeds the frame limit {}",
+                self.batch_size,
+                bistream_types::batch::MAX_BATCH_LEN
+            )));
         }
         Ok(())
     }
@@ -161,6 +186,27 @@ mod tests {
         assert_eq!(back.window, c.window);
         assert_eq!(back.predicate, c.predicate);
         assert_eq!(back.seed, c.seed);
+    }
+
+    #[test]
+    fn batch_size_bounds_enforced() {
+        let mut c = EngineConfig::default_equi();
+        c.batch_size = 0;
+        assert!(c.validate().is_err(), "zero batch");
+        c.batch_size = bistream_types::batch::MAX_BATCH_LEN + 1;
+        assert!(c.validate().is_err(), "overflows the frame count field");
+        c.batch_size = 64;
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn configs_without_batch_size_deserialize_to_one() {
+        // Configs persisted before micro-batching existed must stay
+        // loadable — and must reproduce per-tuple behaviour.
+        let mut v = serde_json::to_value(EngineConfig::default_equi()).unwrap();
+        v.as_object_mut().unwrap().remove("batch_size");
+        let back: EngineConfig = serde_json::from_value(v).unwrap();
+        assert_eq!(back.batch_size, 1);
     }
 
     #[test]

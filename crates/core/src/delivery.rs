@@ -35,36 +35,38 @@ pub enum DeliveryMode {
 
 /// One message in flight.
 #[derive(Debug, Clone, PartialEq)]
-pub struct InFlight {
+pub struct InFlight<M = StreamMessage> {
     /// Destination unit.
     pub dest: JoinerId,
     /// The message.
-    pub msg: StreamMessage,
+    pub msg: M,
 }
 
 // One NetImpl exists per engine; the size spread between the two
 // variants is irrelevant next to heap contents.
 #[allow(clippy::large_enum_variant)]
-enum NetImpl {
+enum NetImpl<M> {
     InOrder {
-        queue: VecDeque<InFlight>,
+        queue: VecDeque<InFlight<M>>,
     },
     Shuffled {
         /// Per-channel FIFO queues.
-        channels: Vec<((RouterId, JoinerId), VecDeque<StreamMessage>)>,
+        channels: Vec<((RouterId, JoinerId), VecDeque<M>)>,
         rng: StdRng,
         pending: usize,
     },
 }
 
-/// The simulated network.
-pub struct ChannelNet {
-    inner: NetImpl,
+/// The simulated network, generic over the frame type it carries — the
+/// engine moves [`bistream_types::BatchMessage`] frames; per-tuple
+/// [`StreamMessage`] remains the default for protocol-level tests.
+pub struct ChannelNet<M = StreamMessage> {
+    inner: NetImpl<M>,
 }
 
-impl ChannelNet {
+impl<M> ChannelNet<M> {
     /// A network with the given scheduling policy.
-    pub fn new(mode: DeliveryMode) -> ChannelNet {
+    pub fn new(mode: DeliveryMode) -> ChannelNet<M> {
         let inner = match mode {
             DeliveryMode::InOrder => NetImpl::InOrder { queue: VecDeque::new() },
             DeliveryMode::Shuffled { seed } => NetImpl::Shuffled {
@@ -77,7 +79,7 @@ impl ChannelNet {
     }
 
     /// Enqueue a message from `router` to `dest`.
-    pub fn send(&mut self, router: RouterId, dest: JoinerId, msg: StreamMessage) {
+    pub fn send(&mut self, router: RouterId, dest: JoinerId, msg: M) {
         match &mut self.inner {
             NetImpl::InOrder { queue } => queue.push_back(InFlight { dest, msg }),
             NetImpl::Shuffled { channels, pending, .. } => {
@@ -96,7 +98,7 @@ impl ChannelNet {
     }
 
     /// Deliver the next message per the scheduling policy.
-    pub fn deliver_next(&mut self) -> Option<InFlight> {
+    pub fn deliver_next(&mut self) -> Option<InFlight<M>> {
         match &mut self.inner {
             NetImpl::InOrder { queue } => queue.pop_front(),
             NetImpl::Shuffled { channels, rng, pending } => {

@@ -29,13 +29,14 @@ use crate::config::{EngineConfig, RoutingStrategy};
 use crate::delivery::{ChannelNet, DeliveryMode};
 use crate::joiner::{JoinerCore, JoinerStats};
 use crate::layout::{JoinerId, Layout};
-use crate::router::{join_dests, RoutedCopy, RouterCore};
+use crate::router::{join_dests, RoutedBatch, RouterCore};
 use crate::stats::{EngineSnapshot, EngineStats};
 use bistream_cluster::{CostModel, ResourceMeter};
+use bistream_types::batch::BatchMessage;
 use bistream_types::error::{Error, Result};
 use bistream_types::hash::FxHashMap;
 use bistream_types::journal::EventKind;
-use bistream_types::punct::{Punctuation, Purpose, RouterId, SeqNo, StreamMessage};
+use bistream_types::punct::{Punctuation, RouterId, SeqNo};
 use bistream_types::registry::Observability;
 use bistream_types::rel::Rel;
 use bistream_types::time::Ts;
@@ -69,13 +70,13 @@ pub struct BicliqueEngine {
     draining: Vec<(Rel, JoinerId, Ts)>,
     /// Superseded layouts and when they stop mattering.
     historical: Vec<(Layout, Ts)>,
-    net: ChannelNet,
+    net: ChannelNet<BatchMessage>,
     stats: Arc<EngineStats>,
     obs: Observability,
     capture: Option<Vec<JoinResult>>,
     auto_pump: bool,
     now: Ts,
-    scratch: Vec<RoutedCopy>,
+    scratch: Vec<RoutedBatch>,
 }
 
 impl BicliqueEngine {
@@ -147,6 +148,11 @@ impl BicliqueEngine {
     }
 
     /// Ingest one tuple at virtual time `now`.
+    ///
+    /// The tuple's copies enter the router's per-destination batches;
+    /// whatever those batches flush (immediately with `batch_size = 1`,
+    /// on a size or punctuation boundary otherwise) is sent as
+    /// [`BatchMessage`] frames.
     pub fn ingest(&mut self, tuple: &Tuple, now: Ts) -> Result<()> {
         self.now = self.now.max(now);
         self.purge_historical();
@@ -154,25 +160,18 @@ impl BicliqueEngine {
 
         let r_idx = self.rr_next % self.routers.len();
         self.rr_next = self.rr_next.wrapping_add(1);
-        let mut copies = std::mem::take(&mut self.scratch);
-        copies.clear();
-        self.routers[r_idx].route(tuple, &self.layout, &mut copies)?;
 
         // Augment the join stream for scaling transitions: historical
-        // layouts and draining units of the opposite side. The extra
-        // copies reuse the tuple's own sequence stamp.
-        let router_id = self.routers[r_idx].id();
-        let seq = copies.first().map(|c| c.msg.seq()).unwrap_or(0);
-        let mut already: Vec<JoinerId> = copies
-            .iter()
-            .filter(|c| matches!(c.msg, StreamMessage::Data { purpose: Purpose::Join, .. }))
-            .map(|c| c.dest)
-            .collect();
+        // layouts and draining units of the opposite side, deduplicated
+        // against the current layout's join destinations (a pure function
+        // of the tuple, so it can be evaluated before routing). The extra
+        // copies ride in the same batches under the same sequence stamp.
+        let current = join_dests(self.config.routing, &self.config.predicate, tuple, &self.layout)?;
         let mut extras: Vec<JoinerId> = Vec::new();
         for (old, _) in &self.historical {
             for dest in join_dests(self.config.routing, &self.config.predicate, tuple, old)? {
                 if self.joiners.contains_key(&dest)
-                    && !already.contains(&dest)
+                    && !current.contains(&dest)
                     && !extras.contains(&dest)
                 {
                     extras.push(dest);
@@ -181,43 +180,44 @@ impl BicliqueEngine {
         }
         let opp = tuple.rel().opposite();
         for &(side, id, _) in &self.draining {
-            if side == opp && !already.contains(&id) && !extras.contains(&id) {
+            if side == opp && !current.contains(&id) && !extras.contains(&id) {
                 extras.push(id);
             }
         }
-        already.clear();
-        let tracer = self.obs.tracer.clone();
-        if tracer.sampled(seq) && !extras.is_empty() {
-            // The router opened the trace with one branch per routed copy;
-            // scaling-transition extras are additional branches.
-            tracer.add_branches(seq, extras.len() as u32);
-        }
-        for dest in extras {
-            copies.push(RoutedCopy {
-                dest,
-                msg: StreamMessage::Data {
-                    router: router_id,
-                    seq,
-                    purpose: Purpose::Join,
-                    tuple: tuple.clone(),
-                },
-            });
-        }
 
-        self.stats.copies.add(copies.len() as u64);
-        for c in copies.drain(..) {
-            if tracer.sampled(seq) {
-                if let StreamMessage::Data { .. } = &c.msg {
-                    tracer.span(seq, HopKind::Enqueue, &c.dest.to_string(), self.now, self.now);
-                }
-            }
-            self.net.send(router_id, c.dest, c.msg);
-        }
-        self.scratch = copies;
+        let router_id = self.routers[r_idx].id();
+        let mut frames = std::mem::take(&mut self.scratch);
+        frames.clear();
+        self.routers[r_idx].route_batched(tuple, &self.layout, &extras, &mut frames)?;
+        self.stats.copies.add(1 + current.len() as u64 + extras.len() as u64);
+        self.send_frames(router_id, &mut frames);
+        self.scratch = frames;
         if self.auto_pump {
             self.pump()?;
         }
         Ok(())
+    }
+
+    /// Send flushed frames into the network, recording an enqueue span for
+    /// every sampled tuple a data frame carries.
+    fn send_frames(&mut self, router_id: RouterId, frames: &mut Vec<RoutedBatch>) {
+        let tracer = self.obs.tracer.clone();
+        for f in frames.drain(..) {
+            if let BatchMessage::Batch(b) = &f.msg {
+                for e in b.entries() {
+                    if tracer.sampled(e.seq) {
+                        tracer.span(
+                            e.seq,
+                            HopKind::Enqueue,
+                            &f.dest.to_string(),
+                            self.now,
+                            self.now,
+                        );
+                    }
+                }
+            }
+            self.net.send(router_id, f.dest, f.msg);
+        }
     }
 
     /// Emit punctuations from every router to every unit (active and
@@ -226,54 +226,64 @@ impl BicliqueEngine {
     /// releases buffered tuples.
     pub fn punctuate(&mut self, now: Ts) -> Result<()> {
         self.now = self.now.max(now);
-        for r in &mut self.routers {
-            let p = Punctuation { router: r.id(), seq: r.last_seq() };
-            let mut copies = Vec::new();
-            r.punctuate(&self.layout, &mut copies);
-            for c in copies {
-                self.net.send(p.router, c.dest, c.msg);
-                self.stats.punctuations.inc();
-            }
+        let mut frames = std::mem::take(&mut self.scratch);
+        for i in 0..self.routers.len() {
+            frames.clear();
+            // Flushes the router's pending batches first: per-channel FIFO
+            // then guarantees the punctuation arrives behind every copy it
+            // covers.
+            self.routers[i].punctuate_batched(&self.layout, &mut frames);
+            let p = Punctuation { router: self.routers[i].id(), seq: self.routers[i].last_seq() };
+            let puncts = frames.iter().filter(|f| matches!(f.msg, BatchMessage::Punct(_))).count();
+            self.stats.punctuations.add(puncts as u64);
+            self.send_frames(p.router, &mut frames);
             for &(_, id, _) in &self.draining {
-                self.net.send(p.router, id, StreamMessage::Punct(p));
+                self.net.send(p.router, id, BatchMessage::Punct(p));
                 self.stats.punctuations.inc();
             }
         }
+        self.scratch = frames;
         if self.auto_pump {
             self.pump()?;
         }
         Ok(())
     }
 
-    /// Deliver every in-flight message to its joiner, collecting results.
+    /// Deliver every in-flight frame to its joiner, collecting results.
     pub fn pump(&mut self) -> Result<()> {
         let stats = Arc::clone(&self.stats);
         let now = self.now;
         while let Some(flight) = self.net.deliver_next() {
-            let data_seq = match &flight.msg {
-                StreamMessage::Data { seq, .. } => Some(*seq),
-                _ => None,
-            };
             let Some(joiner) = self.joiners.get_mut(&flight.dest) else {
-                // Unit retired between send and delivery; the message is
+                // Unit retired between send and delivery; the frame is
                 // moot (its state is gone because it fully expired). Close
-                // its trace branch so the trace still completes.
-                if let Some(seq) = data_seq {
-                    if self.obs.tracer.sampled(seq) {
-                        self.obs.tracer.end_branch(seq);
+                // every carried tuple's trace branch so traces complete.
+                if let BatchMessage::Batch(b) = &flight.msg {
+                    for e in b.entries() {
+                        if self.obs.tracer.sampled(e.seq) {
+                            self.obs.tracer.end_branch(e.seq);
+                        }
                     }
                 }
                 continue;
             };
             joiner.set_now(now);
-            if let Some(seq) = data_seq {
-                if self.obs.tracer.sampled(seq) {
-                    self.obs.tracer.span(seq, HopKind::Dequeue, &flight.dest.to_string(), now, now);
+            if let BatchMessage::Batch(b) = &flight.msg {
+                for e in b.entries() {
+                    if self.obs.tracer.sampled(e.seq) {
+                        self.obs.tracer.span(
+                            e.seq,
+                            HopKind::Dequeue,
+                            &flight.dest.to_string(),
+                            now,
+                            now,
+                        );
+                    }
                 }
             }
             let capture = &mut self.capture;
             let per_joiner_latency = joiner.latency_histogram();
-            joiner.handle(flight.msg, &mut |result: JoinResult| {
+            joiner.handle_batch(flight.msg, &mut |result: JoinResult| {
                 stats.results.inc();
                 let latency = now.saturating_sub(result.ts);
                 stats.latency_ms.record(latency);
@@ -293,6 +303,16 @@ impl BicliqueEngine {
     /// reorder buffer in global order. Call once at the end of a run so
     /// the final punctuation gap does not strand buffered tuples.
     pub fn flush(&mut self) -> Result<()> {
+        // Push out any copies still sitting in router batches, then drain
+        // the network before flushing the reorder buffers.
+        let mut frames = std::mem::take(&mut self.scratch);
+        for i in 0..self.routers.len() {
+            frames.clear();
+            let id = self.routers[i].id();
+            self.routers[i].flush_batches(&mut frames);
+            self.send_frames(id, &mut frames);
+        }
+        self.scratch = frames;
         self.pump()?;
         let stats = Arc::clone(&self.stats);
         let now = self.now;
@@ -398,6 +418,7 @@ impl BicliqueEngine {
             self.config.seed,
             self.seq_counter(),
         );
+        router.set_batch_size(self.config.batch_size);
         router.attach_registry(&self.obs.registry);
         router.attach_tracer(self.obs.tracer.clone());
         let frontier = router.last_seq();
@@ -420,15 +441,20 @@ impl BicliqueEngine {
         if self.routers.len() <= 1 {
             return Err(Error::Scaling("engine needs at least one router".into()));
         }
-        let router = self.routers.pop().expect("len checked");
+        let mut router = self.routers.pop().expect("len checked");
         let id = router.id();
+        // The retiring router may hold unflushed batches; they must go
+        // out ahead of its final punctuation.
+        let mut frames = Vec::new();
+        router.flush_batches(&mut frames);
+        self.send_frames(id, &mut frames);
         let p = Punctuation { router: id, seq: router.last_seq() };
         for (_, dest) in self.layout.all_units() {
-            self.net.send(id, dest, StreamMessage::Punct(p));
+            self.net.send(id, dest, BatchMessage::Punct(p));
             self.stats.punctuations.inc();
         }
         for &(_, dest, _) in &self.draining {
-            self.net.send(id, dest, StreamMessage::Punct(p));
+            self.net.send(id, dest, BatchMessage::Punct(p));
             self.stats.punctuations.inc();
         }
         self.pump()?;
@@ -552,6 +578,7 @@ impl BicliqueEngine {
             frontiers,
             self.cost,
         );
+        joiner.set_batch_size(self.config.batch_size);
         joiner.attach_obs(&self.obs);
         joiner
     }
@@ -659,6 +686,7 @@ impl EngineBuilder {
                     self.config.seed,
                     Arc::clone(&seq),
                 );
+                r.set_batch_size(self.config.batch_size);
                 r.attach_registry(&obs.registry);
                 r.attach_tracer(obs.tracer.clone());
                 r
@@ -725,6 +753,7 @@ mod tests {
             punctuation_interval_ms: 20,
             ordering: true,
             seed: 1,
+            batch_size: 1,
         }
     }
 

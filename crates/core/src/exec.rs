@@ -19,12 +19,14 @@
 use crate::config::EngineConfig;
 use crate::joiner::{JoinerCore, JoinerStats};
 use crate::layout::{JoinerId, Layout};
-use crate::router::{RoutedCopy, RouterCore};
+use crate::router::{RoutedBatch, RouterCore};
 use crate::stats::{EngineSnapshot, EngineStats};
 use bistream_broker::{Broker, ExchangeKind, Message, RecvError};
 use bistream_cluster::CostModel;
+use bistream_types::batch::BatchMessage;
 use bistream_types::error::{Error, Result};
-use bistream_types::punct::{RouterId, SeqNo, StreamMessage};
+use bistream_types::hash::FxHashMap;
+use bistream_types::punct::{RouterId, SeqNo};
 use bistream_types::registry::Observability;
 use bistream_types::time::{Clock, Ts, WallClock};
 use bistream_types::trace::Trace;
@@ -43,7 +45,8 @@ const UNITS_EXCHANGE: &str = "units.exchange";
 /// Configuration of the live pipeline.
 #[derive(Debug, Clone)]
 pub struct PipelineConfig {
-    /// Engine configuration (topology, predicate, window, ordering…).
+    /// Engine configuration (topology, predicate, window, ordering,
+    /// `batch_size` for the router→joiner framing…).
     pub engine: EngineConfig,
     /// Router instances competing on the ingest queue.
     pub routers: usize,
@@ -132,6 +135,12 @@ impl Pipeline {
         let router_ids: Vec<(RouterId, SeqNo)> =
             (0..config.routers.max(1)).map(|i| (i as RouterId, 0)).collect();
 
+        // Interned routing keys: one `Arc<str>` per unit, shared by every
+        // router thread so the publish hot path never re-allocates the key.
+        let unit_keys: Arc<FxHashMap<JoinerId, Arc<str>>> = Arc::new(
+            layout.all_units().map(|(_, id)| (id, Arc::<str>::from(unit_key(id)))).collect(),
+        );
+
         // Unit queues + joiner threads.
         let mut unit_queues = Vec::new();
         let mut joiner_handles = Vec::new();
@@ -152,6 +161,7 @@ impl Pipeline {
                 config.cost,
             );
             joiner.attach_obs(&obs);
+            joiner.set_batch_size(config.engine.batch_size);
             let per_joiner_latency = joiner.latency_histogram();
             let stats = Arc::clone(&stats);
             let clock = Arc::clone(&clock);
@@ -168,9 +178,9 @@ impl Pipeline {
                     match consumer.recv_timeout(Duration::from_millis(50)) {
                         Ok(m) => {
                             let mut payload = m.payload;
-                            let msg = StreamMessage::decode(&mut payload)?;
+                            let msg = BatchMessage::decode(&mut payload)?;
                             joiner.set_now(clock.now());
-                            joiner.handle(msg, &mut on_result)?;
+                            joiner.handle_batch(msg, &mut on_result)?;
                         }
                         Err(RecvError::Timeout) => continue,
                         Err(RecvError::Disconnected) => break,
@@ -197,55 +207,65 @@ impl Pipeline {
             );
             core.attach_registry(&obs.registry);
             core.attach_tracer(obs.tracer.clone());
+            core.set_batch_size(config.engine.batch_size);
             let tracer = obs.tracer.clone();
             let layout = Arc::clone(&layout);
             let broker = broker.clone();
             let stats = Arc::clone(&stats);
+            let unit_keys = Arc::clone(&unit_keys);
             let punct_interval = Duration::from_millis(config.engine.punctuation_interval_ms);
             router_handles.push(std::thread::spawn(move || -> Result<()> {
-                let mut copies: Vec<RoutedCopy> = Vec::new();
+                let mut frames: Vec<RoutedBatch> = Vec::new();
                 let mut last_punct = Instant::now();
-                let punctuate =
-                    |core: &mut RouterCore, copies: &mut Vec<RoutedCopy>| -> Result<()> {
-                        copies.clear();
-                        core.punctuate(&layout, copies);
-                        for c in copies.drain(..) {
-                            broker.publish(
-                                UNITS_EXCHANGE,
-                                Message::new(unit_key(c.dest), c.msg.encode()),
-                            )?;
-                            stats.punctuations.inc();
+                let publish = |frames: &mut Vec<RoutedBatch>| -> Result<()> {
+                    for f in frames.drain(..) {
+                        let key = Arc::clone(&unit_keys[&f.dest]);
+                        match &f.msg {
+                            BatchMessage::Batch(b) => {
+                                stats.copies.add(b.len() as u64);
+                                // Out-of-band headers: queues record
+                                // enqueue/dequeue spans for every sampled
+                                // tuple in the frame without decoding it.
+                                let sampled: Vec<u64> = b
+                                    .entries()
+                                    .iter()
+                                    .map(|e| e.seq)
+                                    .filter(|&s| tracer.sampled(s))
+                                    .collect();
+                                let mut m = Message::new(key, f.msg.encode()?);
+                                if !sampled.is_empty() {
+                                    m = m.with_trace_seqs(sampled);
+                                }
+                                broker.publish(UNITS_EXCHANGE, m)?;
+                            }
+                            BatchMessage::Punct(_) => {
+                                stats.punctuations.inc();
+                                broker
+                                    .publish(UNITS_EXCHANGE, Message::new(key, f.msg.encode()?))?;
+                            }
                         }
-                        Ok(())
-                    };
+                    }
+                    Ok(())
+                };
                 loop {
                     match consumer.recv_timeout(punct_interval) {
                         Ok(m) => {
                             let mut payload = m.payload;
                             let tuple = Tuple::decode(&mut payload)?;
                             stats.ingested.inc();
-                            copies.clear();
-                            core.route(&tuple, &layout, &mut copies)?;
-                            stats.copies.add(copies.len() as u64);
-                            for c in copies.drain(..) {
-                                let seq = c.msg.seq();
-                                let mut m = Message::new(unit_key(c.dest), c.msg.encode());
-                                if tracer.sampled(seq) {
-                                    // Out-of-band header: queues record
-                                    // enqueue/dequeue spans without decoding.
-                                    m = m.with_trace_seq(seq);
-                                }
-                                broker.publish(UNITS_EXCHANGE, m)?;
-                            }
+                            core.route_batched(&tuple, &layout, &[], &mut frames)?;
+                            publish(&mut frames)?;
                         }
                         Err(RecvError::Timeout) => {}
                         Err(RecvError::Disconnected) => {
-                            punctuate(&mut core, &mut copies)?;
+                            core.punctuate_batched(&layout, &mut frames);
+                            publish(&mut frames)?;
                             return Ok(());
                         }
                     }
                     if last_punct.elapsed() >= punct_interval {
-                        punctuate(&mut core, &mut copies)?;
+                        core.punctuate_batched(&layout, &mut frames);
+                        publish(&mut frames)?;
                         last_punct = Instant::now();
                     }
                 }
@@ -369,6 +389,28 @@ mod tests {
         let total_stored: u64 = report.joiners.iter().map(|j| j.stored).sum();
         assert_eq!(total_stored, 1_000);
         assert!(report.snapshot.latency.count > 0);
+    }
+
+    #[test]
+    fn batched_framing_produces_every_match_exactly_once() {
+        let mut c = config(RoutingStrategy::Hash, true);
+        c.engine.batch_size = 16;
+        c.trace_one_in = Some(7);
+        let p = Pipeline::launch(c).unwrap();
+        feed_pairs(&p, 500);
+        std::thread::sleep(Duration::from_millis(150));
+        let report = p.finish().unwrap();
+        assert_eq!(report.snapshot.ingested, 1_000);
+        assert_eq!(report.snapshot.results, 500, "batching must not change results");
+        assert_eq!(report.snapshot.copies, 2_000, "hash equi: store + join copy per tuple");
+        // Sampled tuples still trace through router → queue → joiner even
+        // when they share a frame with unsampled neighbours.
+        let complete: Vec<_> = report.traces.iter().filter(|t| t.complete).collect();
+        assert!(!complete.is_empty());
+        for t in &complete {
+            assert!(t.has_hop(bistream_types::trace::HopKind::Enqueue));
+            assert!(t.has_hop(bistream_types::trace::HopKind::Dequeue));
+        }
     }
 
     #[test]

@@ -18,6 +18,7 @@ use crate::layout::JoinerId;
 use crate::ordering::{Released, ReorderBuffer};
 use bistream_cluster::{CostModel, ResourceMeter};
 use bistream_index::{ChainedIndex, IndexKind, IndexObs};
+use bistream_types::batch::BatchMessage;
 use bistream_types::error::Result;
 use bistream_types::journal::{EventJournal, EventKind};
 use bistream_types::metrics::{Counter, Gauge, Histogram};
@@ -118,6 +119,9 @@ pub struct JoinerCore {
     now: Ts,
     /// Cached `"<side><unit>"` label for trace spans.
     unit_label: String,
+    /// Cap on the same-purpose runs the batched path processes at once
+    /// (1 = per-tuple processing, identical to [`JoinerCore::handle`]).
+    batch_size: usize,
 }
 
 impl JoinerCore {
@@ -162,7 +166,21 @@ impl JoinerCore {
             released: Vec::new(),
             tracer: Tracer::disabled(),
             now: 0,
+            batch_size: 1,
         }
+    }
+
+    /// Set the batched path's run cap (clamped to at least 1). Store and
+    /// join releases are grouped into same-purpose runs of at most this
+    /// many tuples and processed through the index's batch entry points;
+    /// `1` reproduces per-tuple processing exactly.
+    pub fn set_batch_size(&mut self, n: usize) {
+        self.batch_size = n.max(1);
+    }
+
+    /// The batched path's run cap.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
     }
 
     /// Attach the unified observability layer: registers this unit's
@@ -322,6 +340,202 @@ impl JoinerCore {
             }
         }
         self.sync_observables();
+        Ok(())
+    }
+
+    /// Handle one incoming batched frame, emitting any produced results.
+    ///
+    /// This is the micro-batched counterpart of [`JoinerCore::handle`]:
+    /// one frame is decoded (by the transport) and charged ingest cost
+    /// once, however many tuples it carries. With the ordering protocol
+    /// on, every entry is offered to the reorder buffer under its own
+    /// `(router, seq)` stamp — batching never bends the global order —
+    /// and whatever a punctuation releases is processed as same-purpose
+    /// runs of at most [`JoinerCore::batch_size`] tuples through the
+    /// index's `insert_batch`/`probe_batch` entry points. With the
+    /// protocol off, the frame itself is the run. A run of join probes
+    /// expires state once, witnessed by its first probe's timestamp;
+    /// matches are window-checked per probe, so results are unaffected.
+    pub fn handle_batch<F: FnMut(JoinResult)>(
+        &mut self,
+        msg: BatchMessage,
+        emit: &mut F,
+    ) -> Result<()> {
+        self.meter.charge_cpu_us(self.cost.ingest_us);
+        match &mut self.reorder {
+            Some(buf) => {
+                debug_assert!(self.released.is_empty());
+                let punct = match &msg {
+                    BatchMessage::Punct(p) => Some((p.router, p.seq)),
+                    _ => None,
+                };
+                let wm_before = buf.watermark();
+                let mut released = std::mem::take(&mut self.released);
+                match msg {
+                    BatchMessage::Punct(p) => buf.offer(StreamMessage::Punct(p), &mut released),
+                    BatchMessage::Batch(b) => {
+                        let router = b.router();
+                        let purpose = b.purpose();
+                        for e in b.into_entries() {
+                            buf.offer(
+                                StreamMessage::Data { router, seq: e.seq, purpose, tuple: e.tuple },
+                                &mut released,
+                            );
+                        }
+                    }
+                }
+                let advanced = buf.watermark() > wm_before;
+                if let (Some(m), Some((router, seq)), true) = (&self.metrics, punct, advanced) {
+                    m.journal.record(
+                        self.last_ts,
+                        EventKind::PunctuationAdvanced {
+                            side: self.side,
+                            unit: m.unit,
+                            router,
+                            seq,
+                        },
+                    );
+                }
+                let cap = self.batch_size;
+                let mut scratch: Vec<(SeqNo, Tuple)> = Vec::new();
+                for run in ReorderBuffer::purpose_runs(&released, cap) {
+                    scratch.clear();
+                    scratch.extend(run.iter().map(|r| (r.seq, r.tuple.clone())));
+                    match run[0].purpose {
+                        Purpose::Store => self.store_run(&scratch)?,
+                        Purpose::Join => self.probe_run(&scratch, emit)?,
+                    }
+                }
+                released.clear();
+                self.released = released;
+            }
+            None => {
+                if let BatchMessage::Batch(b) = msg {
+                    let purpose = b.purpose();
+                    let entries: Vec<(SeqNo, Tuple)> =
+                        b.into_entries().into_iter().map(|e| (e.seq, e.tuple)).collect();
+                    if !entries.is_empty() {
+                        match purpose {
+                            Purpose::Store => self.store_run(&entries)?,
+                            Purpose::Join => self.probe_run(&entries, emit)?,
+                        }
+                    }
+                }
+            }
+        }
+        self.sync_observables();
+        Ok(())
+    }
+
+    /// Insert a run of store copies through one `insert_batch` call.
+    /// Per-tuple bookkeeping (journal, meter, trace spans) is preserved so
+    /// a 1-tuple run is indistinguishable from [`JoinerCore::handle`]'s
+    /// store branch.
+    fn store_run(&mut self, entries: &[(SeqNo, Tuple)]) -> Result<()> {
+        let mut items: Vec<(Value, Tuple)> = Vec::with_capacity(entries.len());
+        for (seq, tuple) in entries {
+            debug_assert_eq!(tuple.rel(), self.side, "store copy on the wrong side");
+            self.last_ts = self.last_ts.max(tuple.ts());
+            let key = self.key_of(tuple)?;
+            if let Some(m) = &self.metrics {
+                m.stored.inc();
+                m.journal.record(
+                    tuple.ts(),
+                    EventKind::TupleStored { side: self.side, unit: m.unit, seq: *seq },
+                );
+            }
+            items.push((key, tuple.clone()));
+            self.stats.stored += 1;
+            self.meter.charge_cpu_us(self.cost.insert_us);
+            if self.tracer.sampled(*seq) {
+                self.tracer.span(*seq, HopKind::Store, &self.unit_label, self.now, self.now);
+                self.tracer.end_branch(*seq);
+            }
+        }
+        self.index.insert_batch(items);
+        Ok(())
+    }
+
+    /// Probe a run of join copies through one `probe_batch` call.
+    ///
+    /// Theorem-1 discarding runs once, witnessed by the **first** probe's
+    /// timestamp — later probes in the run may leave slightly more state
+    /// resident than per-tuple expiry would, but every candidate is
+    /// window-checked against its own probe's timestamp, so the emitted
+    /// results are identical. Results are emitted probe-major in run
+    /// order, matching a sequence of standalone probes exactly.
+    fn probe_run<F: FnMut(JoinResult)>(
+        &mut self,
+        entries: &[(SeqNo, Tuple)],
+        emit: &mut F,
+    ) -> Result<()> {
+        debug_assert!(!entries.is_empty());
+        let before = self.index.stats().expired_sub_indexes;
+        let dropped = self.index.expire(entries[0].1.ts());
+        self.stats.expired += dropped as u64;
+        let sub_dropped = self.index.stats().expired_sub_indexes - before;
+        if sub_dropped > 0 {
+            self.meter.charge_cpu_us(self.cost.expire_subindex_us * sub_dropped as f64);
+        }
+
+        let mut probes: Vec<(ProbePlan, Ts)> = Vec::with_capacity(entries.len());
+        for (_, probe) in entries {
+            debug_assert_eq!(probe.rel(), self.side.opposite(), "join copy on the wrong side");
+            self.last_ts = self.last_ts.max(probe.ts());
+            probes.push((self.predicate.probe_plan(probe)?, probe.ts()));
+        }
+        let mut matched: Vec<Vec<Tuple>> = vec![Vec::new(); entries.len()];
+        let probe_stats = self.index.probe_batch(&probes, |i, stored| {
+            matched[i].push(stored.clone());
+        });
+
+        for (i, (seq, probe)) in entries.iter().enumerate() {
+            // Band plans use float arithmetic for their bounds; re-verify
+            // the predicate on candidates for exactness. FullScan plans
+            // are only key-complete, so they always re-verify.
+            let verify = matches!(
+                (&probes[i].0, &self.predicate),
+                (ProbePlan::FullScan, _) | (_, JoinPredicate::Band { .. })
+            );
+            let mut results = 0usize;
+            for stored in &matched[i] {
+                if verify && !self.predicate.matches(stored, probe)? {
+                    continue;
+                }
+                results += 1;
+                emit(JoinResult::of(stored.clone(), probe.clone()));
+            }
+            let stats = &probe_stats[i];
+            self.stats.probes += 1;
+            self.stats.candidates += stats.candidates as u64;
+            self.stats.results += results as u64;
+            if let Some(m) = &self.metrics {
+                m.probes.inc();
+                m.candidates.add(stats.candidates as u64);
+                m.results.add(results as u64);
+                if i == 0 {
+                    m.expired.add(dropped as u64);
+                }
+                if results > 0 {
+                    m.journal.record(
+                        probe.ts(),
+                        EventKind::JoinEmitted {
+                            side: self.side,
+                            unit: m.unit,
+                            results: results as u64,
+                        },
+                    );
+                }
+            }
+            self.meter.charge_cpu_us(self.cost.probe_cost_us(stats.candidates, results));
+            if self.tracer.sampled(*seq) {
+                self.tracer.span(*seq, HopKind::Probe, &self.unit_label, self.now, self.now);
+                if results > 0 {
+                    self.tracer.span(*seq, HopKind::Emit, &self.unit_label, self.now, self.now);
+                }
+                self.tracer.end_branch(*seq);
+            }
+        }
         Ok(())
     }
 
@@ -619,6 +833,86 @@ mod tests {
         assert_eq!(stored.ts, 10, "stamped with event time");
         let emitted = events.iter().find(|e| e.kind.tag() == "JoinEmitted").unwrap();
         assert_eq!(emitted.ts, 20);
+    }
+
+    #[test]
+    fn batched_frames_match_per_tuple_handling_exactly() {
+        // Feed identical traffic through handle() per tuple and through
+        // handle_batch() as single-entry frames; every observable —
+        // results, counters, index state — must agree.
+        for ordering in [false, true] {
+            let mut per_tuple = joiner(Rel::R, ordering);
+            let mut batched = joiner(Rel::R, ordering);
+            batched.set_batch_size(1);
+            let msgs = vec![
+                data(1, Purpose::Store, Rel::R, 10, 5),
+                data(2, Purpose::Join, Rel::S, 20, 5),
+                data(3, Purpose::Store, Rel::R, 30, 6),
+                data(4, Purpose::Join, Rel::S, 40, 6),
+                punct(4),
+            ];
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            for m in &msgs {
+                per_tuple.handle(m.clone(), &mut |r| a.push(r)).unwrap();
+                batched
+                    .handle_batch(BatchMessage::from_stream(m.clone()), &mut |r| b.push(r))
+                    .unwrap();
+            }
+            assert_eq!(a, b, "ordering={ordering}: identical results in order");
+            assert_eq!(per_tuple.stats(), batched.stats());
+            assert_eq!(per_tuple.index_stats().tuples, batched.index_stats().tuples);
+        }
+    }
+
+    #[test]
+    fn multi_entry_frames_store_and_probe_in_one_pass() {
+        let mut j = joiner(Rel::R, false);
+        j.set_batch_size(8);
+        let mut store = bistream_types::TupleBatch::new(0, Purpose::Store);
+        for (seq, k) in [(1u64, 5i64), (2, 6), (3, 5)] {
+            store.push(seq, Tuple::new(Rel::R, 10 * seq, vec![Value::Int(k)]));
+        }
+        let mut results = Vec::new();
+        j.handle_batch(BatchMessage::Batch(store), &mut |r| results.push(r)).unwrap();
+        assert_eq!(j.stats().stored, 3);
+        let mut probes = bistream_types::TupleBatch::new(0, Purpose::Join);
+        probes.push(4, Tuple::new(Rel::S, 40, vec![Value::Int(5)]));
+        probes.push(5, Tuple::new(Rel::S, 41, vec![Value::Int(6)]));
+        j.handle_batch(BatchMessage::Batch(probes), &mut |r| results.push(r)).unwrap();
+        // Probe-major emission: both k=5 matches first, then the k=6 one.
+        assert_eq!(results.len(), 3);
+        assert!(results[..2].iter().all(|r| r.r.get(0) == Some(&Value::Int(5))));
+        assert_eq!(results[2].r.get(0), Some(&Value::Int(6)));
+        assert_eq!(j.stats().probes, 2);
+    }
+
+    #[test]
+    fn ordered_batches_release_into_runs_on_punctuation() {
+        for cap in [1usize, 4] {
+            let mut j = joiner(Rel::R, true);
+            j.set_batch_size(cap);
+            let mut results = Vec::new();
+            // Join frame arrives before the store frame; the reorder
+            // buffer must still fix the order whatever the run cap is.
+            let mut joins = bistream_types::TupleBatch::new(0, Purpose::Join);
+            joins.push(3, Tuple::new(Rel::S, 30, vec![Value::Int(1)]));
+            joins.push(4, Tuple::new(Rel::S, 31, vec![Value::Int(2)]));
+            j.handle_batch(BatchMessage::Batch(joins), &mut |r| results.push(r)).unwrap();
+            let mut stores = bistream_types::TupleBatch::new(0, Purpose::Store);
+            stores.push(1, Tuple::new(Rel::R, 10, vec![Value::Int(1)]));
+            stores.push(2, Tuple::new(Rel::R, 11, vec![Value::Int(2)]));
+            j.handle_batch(BatchMessage::Batch(stores), &mut |r| results.push(r)).unwrap();
+            assert!(results.is_empty(), "buffered until punctuation");
+            j.handle_batch(
+                BatchMessage::Punct(bistream_types::Punctuation { router: 0, seq: 4 }),
+                &mut |r| results.push(r),
+            )
+            .unwrap();
+            assert_eq!(results.len(), 2, "cap={cap}: stores processed before joins");
+            assert_eq!(j.stats().stored, 2);
+            assert_eq!(j.stats().probes, 2);
+        }
     }
 
     #[test]

@@ -183,6 +183,38 @@ impl ReorderBuffer {
         }
     }
 
+    /// Split a released sequence into maximal same-purpose runs of at most
+    /// `max_len` entries, preserving the global release order.
+    ///
+    /// This is the joiner's batching hook: a run of consecutive store (or
+    /// join) releases becomes one `insert_batch` (or `probe_batch`) call
+    /// instead of per-tuple calls. `max_len = 1` degenerates to per-tuple
+    /// processing, which is what makes `batch_size = 1` reproduce the
+    /// unbatched engine exactly. Entries inside a run often carry
+    /// contiguous sequence numbers (releases walk the dense global order),
+    /// but contiguity is not required — only order and purpose are.
+    pub fn purpose_runs(
+        released: &[Released],
+        max_len: usize,
+    ) -> impl Iterator<Item = &[Released]> {
+        let max_len = max_len.max(1);
+        let mut start = 0usize;
+        std::iter::from_fn(move || {
+            if start >= released.len() {
+                return None;
+            }
+            let purpose = released[start].purpose;
+            let mut end = start + 1;
+            while end < released.len() && end - start < max_len && released[end].purpose == purpose
+            {
+                end += 1;
+            }
+            let run = &released[start..end];
+            start = end;
+            Some(run)
+        })
+    }
+
     fn release(&mut self, out: &mut Vec<Released>) {
         let Some(watermark) = self.watermark() else { return };
         while let Some(Reverse(top)) = self.heap.peek() {
@@ -343,6 +375,39 @@ mod tests {
         assert_eq!(buf.frontier_lag(), 10);
         buf.offer(punct(1, 8), &mut out);
         assert_eq!(buf.frontier_lag(), 2);
+    }
+
+    #[test]
+    fn purpose_runs_split_on_purpose_flips_and_length_cap() {
+        let rel = |purpose, seq| Released {
+            router: 0,
+            seq,
+            purpose,
+            tuple: Tuple::new(Rel::R, seq, vec![Value::Int(0)]),
+        };
+        let released = vec![
+            rel(Purpose::Store, 1),
+            rel(Purpose::Store, 2),
+            rel(Purpose::Join, 3),
+            rel(Purpose::Store, 4),
+            rel(Purpose::Store, 5),
+            rel(Purpose::Store, 6),
+        ];
+        let runs: Vec<(Purpose, usize)> =
+            ReorderBuffer::purpose_runs(&released, 64).map(|r| (r[0].purpose, r.len())).collect();
+        assert_eq!(
+            runs,
+            vec![(Purpose::Store, 2), (Purpose::Join, 1), (Purpose::Store, 3)],
+            "maximal same-purpose runs"
+        );
+        // A cap of 2 splits the trailing store run.
+        let capped: Vec<usize> =
+            ReorderBuffer::purpose_runs(&released, 2).map(|r| r.len()).collect();
+        assert_eq!(capped, vec![2, 1, 2, 1]);
+        // Cap 1 (and the degenerate 0) is per-tuple processing.
+        assert_eq!(ReorderBuffer::purpose_runs(&released, 1).count(), 6);
+        assert_eq!(ReorderBuffer::purpose_runs(&released, 0).count(), 6);
+        assert_eq!(ReorderBuffer::purpose_runs(&[], 8).count(), 0);
     }
 
     #[test]

@@ -93,6 +93,7 @@ pub struct QueryBuilder {
     punctuation_interval_ms: Ts,
     ordering: bool,
     seed: u64,
+    batch_size: usize,
 }
 
 impl QueryBuilder {
@@ -111,6 +112,7 @@ impl QueryBuilder {
             punctuation_interval_ms: 20,
             ordering: true,
             seed: 0xB1C1,
+            batch_size: 1,
         }
     }
 
@@ -188,6 +190,13 @@ impl QueryBuilder {
         self
     }
 
+    /// Tuples per [`bistream_types::TupleBatch`] frame on every
+    /// router→joiner channel (default 1: per-tuple framing).
+    pub fn batch_size(mut self, tuples: usize) -> QueryBuilder {
+        self.batch_size = tuples;
+        self
+    }
+
     /// Resolve names, type-check, choose routing, and produce the query.
     ///
     /// # Errors
@@ -257,6 +266,7 @@ impl QueryBuilder {
             punctuation_interval_ms: self.punctuation_interval_ms,
             ordering: self.ordering,
             seed: self.seed,
+            batch_size: self.batch_size,
         };
         config.validate()?;
         Ok(JoinQuery { r_schema: self.r_schema, s_schema: self.s_schema, config })

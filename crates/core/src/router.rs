@@ -9,9 +9,10 @@
 
 use crate::config::RoutingStrategy;
 use crate::layout::{JoinerId, Layout};
+use bistream_types::batch::{BatchMessage, TupleBatch};
 use bistream_types::error::{Error, Result};
 use bistream_types::hash::{bucket_of, hash_one, FxHashMap};
-use bistream_types::metrics::{Counter, Gauge, RateMeter};
+use bistream_types::metrics::{Counter, Gauge, Histogram, RateMeter};
 use bistream_types::predicate::JoinPredicate;
 use bistream_types::punct::{Punctuation, Purpose, RouterId, SeqNo, StreamMessage};
 use bistream_types::registry::MetricsRegistry;
@@ -30,6 +31,16 @@ pub struct RoutedCopy {
     pub dest: JoinerId,
     /// The message to deliver.
     pub msg: StreamMessage,
+}
+
+/// One batched frame addressed to one joiner unit — what the micro-batched
+/// dataflow moves instead of [`RoutedCopy`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutedBatch {
+    /// Destination unit.
+    pub dest: JoinerId,
+    /// The frame to deliver.
+    pub msg: BatchMessage,
 }
 
 /// Communication-cost counters (experiment E11).
@@ -81,6 +92,8 @@ struct RouterMetrics {
     decisions: Arc<Counter>,
     /// `bistream_router_rate_tps{router}` — observed input rate.
     rate_tps: Arc<Gauge>,
+    /// `bistream_batch_size{router}` — entries per flushed batch frame.
+    batch_len: Arc<Histogram>,
     per_dest: FxHashMap<JoinerId, Arc<Counter>>,
 }
 
@@ -94,6 +107,7 @@ impl RouterMetrics {
             punctuations: registry.counter("bistream_router_punctuations_total", labels),
             decisions: Self::decisions_handle(registry, &label, strategy),
             rate_tps: registry.gauge("bistream_router_rate_tps", labels),
+            batch_len: registry.histogram("bistream_batch_size", labels),
             per_dest: FxHashMap::default(),
             registry: registry.clone(),
             label,
@@ -152,6 +166,13 @@ pub struct RouterCore {
     /// ingress: it opens the trace with the copy fan-out as the branch
     /// count and records the route hop.
     tracer: Tracer,
+    /// Flush threshold of the batched path (1 = per-tuple framing).
+    batch_size: usize,
+    /// Per-(destination, purpose) batches accumulating towards a flush.
+    /// Keyed by purpose as well as destination because one unit can
+    /// receive both store and join copies from this router, and a
+    /// [`TupleBatch`] carries exactly one purpose.
+    pending: FxHashMap<(JoinerId, Purpose), TupleBatch>,
 }
 
 impl RouterCore {
@@ -174,7 +195,25 @@ impl RouterCore {
             rate: RateMeter::new(10),
             metrics: None,
             tracer: Tracer::disabled(),
+            batch_size: 1,
+            pending: FxHashMap::default(),
         }
+    }
+
+    /// Set the micro-batch flush threshold (clamped to at least 1). With
+    /// size 1 every copy flushes immediately — per-tuple framing.
+    pub fn set_batch_size(&mut self, n: usize) {
+        self.batch_size = n.max(1).min(bistream_types::batch::MAX_BATCH_LEN);
+    }
+
+    /// The current flush threshold.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// Tuple copies sitting in unflushed per-destination batches.
+    pub fn pending_batched(&self) -> usize {
+        self.pending.values().map(|b| b.len()).sum()
     }
 
     /// Register this router's metric series (labeled `router="r<id>"`)
@@ -327,6 +366,145 @@ impl RouterCore {
         let p = Punctuation { router: self.id, seq: self.last_seq() };
         for (_, dest) in layout.all_units() {
             out.push(RoutedCopy { dest, msg: StreamMessage::Punct(p) });
+            self.stats.punctuations += 1;
+            if let Some(m) = &self.metrics {
+                m.punctuations.inc();
+            }
+        }
+    }
+
+    /// Route one ingested tuple through the micro-batched path: assign the
+    /// sequence number and destinations exactly as [`RouterCore::route`]
+    /// does (same RNG draws, same counters), but append each copy to a
+    /// per-(destination, purpose) [`TupleBatch`] instead of emitting it.
+    /// Batches that reach the flush threshold are appended to `out` as
+    /// ready-to-send frames; the rest wait for more copies or for the next
+    /// [`RouterCore::punctuate_batched`].
+    ///
+    /// `extras` are additional join destinations the caller derived from
+    /// scaling transitions (historical layouts, draining units); they ride
+    /// in the same batches under the same sequence stamp. Returns the
+    /// assigned sequence number.
+    pub fn route_batched(
+        &mut self,
+        tuple: &Tuple,
+        layout: &Layout,
+        extras: &[JoinerId],
+        out: &mut Vec<RoutedBatch>,
+    ) -> Result<SeqNo> {
+        let own = tuple.rel();
+        let seq = self.seq.fetch_add(1, Ordering::SeqCst) + 1;
+        self.stats.tuples += 1;
+        self.rate.record(tuple.ts());
+
+        let store_dest: JoinerId = match self.strategy {
+            RoutingStrategy::Random => {
+                let own_units = layout.units(own);
+                own_units[self.rng.gen_range(0..own_units.len())]
+            }
+            RoutingStrategy::Hash => {
+                let h = self.key_hash(tuple)?;
+                let own_units = layout.units(own);
+                own_units[bucket_of(h, own_units.len())]
+            }
+            RoutingStrategy::ContRand { subgroups } => {
+                let h = self.key_hash(tuple)?;
+                let g = bucket_of(h, subgroups);
+                let own_group: Vec<JoinerId> = layout.subgroup_units(own, g).collect();
+                if own_group.is_empty() {
+                    return Err(Error::Config(format!("subgroup {g} of side {own} is empty")));
+                }
+                own_group[self.rng.gen_range(0..own_group.len())]
+            }
+        };
+        let join_dests = join_dests(self.strategy, &self.predicate, tuple, layout)?;
+
+        // Extras are engine-level copies: they count towards the engine's
+        // copy total (the caller's job) but, as in the per-tuple path,
+        // not towards this router's own communication counters.
+        if let Some(m) = self.metrics.as_mut() {
+            m.tuples.inc();
+            m.decisions.inc();
+            m.copies.add(1 + join_dests.len() as u64);
+            m.rate_tps.set(self.rate.rate_per_sec(tuple.ts()).round() as u64);
+            m.bump_dest(store_dest);
+            for dest in &join_dests {
+                m.bump_dest(*dest);
+            }
+        }
+
+        if self.tracer.sampled(seq) {
+            self.tracer.begin(seq, (1 + join_dests.len() + extras.len()) as u32);
+            let unit = format!("r{}", self.id);
+            self.tracer.span(seq, HopKind::Route, &unit, tuple.ts(), tuple.ts());
+        }
+
+        self.push_pending(store_dest, Purpose::Store, seq, tuple.clone(), out);
+        self.stats.copies += 1;
+        for dest in join_dests {
+            self.push_pending(dest, Purpose::Join, seq, tuple.clone(), out);
+            self.stats.copies += 1;
+        }
+        for &dest in extras {
+            self.push_pending(dest, Purpose::Join, seq, tuple.clone(), out);
+        }
+        Ok(seq)
+    }
+
+    /// Append one copy to its destination batch, flushing the batch into
+    /// `out` when it reaches the threshold.
+    fn push_pending(
+        &mut self,
+        dest: JoinerId,
+        purpose: Purpose,
+        seq: SeqNo,
+        tuple: Tuple,
+        out: &mut Vec<RoutedBatch>,
+    ) {
+        let router = self.id;
+        let cap = self.batch_size;
+        let batch = self
+            .pending
+            .entry((dest, purpose))
+            .or_insert_with(|| TupleBatch::with_capacity(router, purpose, cap));
+        batch.push(seq, tuple);
+        if batch.len() >= cap {
+            let full = self.pending.remove(&(dest, purpose)).expect("just inserted");
+            if let Some(m) = &self.metrics {
+                m.batch_len.record(full.len() as u64);
+            }
+            out.push(RoutedBatch { dest, msg: BatchMessage::Batch(full) });
+        }
+    }
+
+    /// Flush every pending batch into `out`, in deterministic
+    /// `(destination, purpose)` order. Called before punctuating (a
+    /// punctuation must not overtake the data it covers) and at the end of
+    /// an ingest burst.
+    pub fn flush_batches(&mut self, out: &mut Vec<RoutedBatch>) {
+        let mut keys: Vec<(JoinerId, Purpose)> = self.pending.keys().copied().collect();
+        keys.sort_by_key(|&(d, p)| (d, p.as_byte()));
+        for key in keys {
+            let batch = self.pending.remove(&key).expect("key from live map");
+            if batch.is_empty() {
+                continue;
+            }
+            if let Some(m) = &self.metrics {
+                m.batch_len.record(batch.len() as u64);
+            }
+            out.push(RoutedBatch { dest: key.0, msg: BatchMessage::Batch(batch) });
+        }
+    }
+
+    /// Batched-path punctuation: flush all pending batches first (per-
+    /// channel FIFO then guarantees every covered copy precedes the
+    /// punctuation), then emit one punctuation frame to every unit of both
+    /// sides.
+    pub fn punctuate_batched(&mut self, layout: &Layout, out: &mut Vec<RoutedBatch>) {
+        self.flush_batches(out);
+        let p = Punctuation { router: self.id, seq: self.last_seq() };
+        for (_, dest) in layout.all_units() {
+            out.push(RoutedBatch { dest, msg: BatchMessage::Punct(p) });
             self.stats.punctuations += 1;
             if let Some(m) = &self.metrics {
                 m.punctuations.inc();
@@ -562,6 +740,119 @@ mod tests {
             ),
             Some(1)
         );
+    }
+
+    #[test]
+    fn batched_route_at_size_one_matches_per_tuple_framing() {
+        let layout = Layout::new(4, 4, 1).unwrap();
+        let mut per_tuple = RouterCore::standalone(0, RoutingStrategy::Hash, equi(), 7);
+        let mut batched = RouterCore::standalone(0, RoutingStrategy::Hash, equi(), 7);
+        for k in 0..20i64 {
+            let t = tuple(if k % 2 == 0 { Rel::R } else { Rel::S }, k % 5);
+            let copies = route_one(&mut per_tuple, &layout, &t);
+            let mut frames = Vec::new();
+            let seq = batched.route_batched(&t, &layout, &[], &mut frames).unwrap();
+            // Same sequence assignment, same destinations, same purposes,
+            // in the same emission order — one frame per copy.
+            assert_eq!(frames.len(), copies.len());
+            for (frame, copy) in frames.iter().zip(&copies) {
+                assert_eq!(frame.dest, copy.dest);
+                let BatchMessage::Batch(b) = &frame.msg else { panic!("data frame") };
+                assert_eq!(b.len(), 1);
+                assert_eq!(b.first_seq(), Some(seq));
+                assert_eq!(copy.msg.seq(), seq);
+                match copy.msg {
+                    StreamMessage::Data { purpose, .. } => assert_eq!(b.purpose(), purpose),
+                    _ => panic!("route emits data only"),
+                }
+            }
+        }
+        assert_eq!(per_tuple.stats(), batched.stats());
+        assert_eq!(batched.pending_batched(), 0, "size 1 never leaves residue");
+    }
+
+    #[test]
+    fn batches_accumulate_and_flush_on_threshold() {
+        let layout = Layout::new(2, 2, 1).unwrap();
+        let mut r = RouterCore::standalone(0, RoutingStrategy::Hash, equi(), 7);
+        r.set_batch_size(3);
+        let mut out = Vec::new();
+        // Same key → same store/join destinations every time.
+        for _ in 0..2 {
+            r.route_batched(&tuple(Rel::R, 42), &layout, &[], &mut out).unwrap();
+        }
+        assert!(out.is_empty(), "below threshold: nothing flushed");
+        assert_eq!(r.pending_batched(), 4, "2 store + 2 join copies pending");
+        r.route_batched(&tuple(Rel::R, 42), &layout, &[], &mut out).unwrap();
+        assert_eq!(out.len(), 2, "store batch and join batch both filled");
+        for frame in &out {
+            let BatchMessage::Batch(b) = &frame.msg else { panic!("data frame") };
+            assert_eq!(b.len(), 3);
+            assert!(b.is_contiguous(), "one key, one router: dense seqs");
+            assert_eq!((b.first_seq(), b.last_seq()), (Some(1), Some(3)));
+        }
+        assert_eq!(r.pending_batched(), 0);
+    }
+
+    #[test]
+    fn punctuation_flushes_pending_batches_first() {
+        let layout = Layout::new(2, 2, 1).unwrap();
+        let mut r = RouterCore::standalone(0, RoutingStrategy::Hash, equi(), 7);
+        r.set_batch_size(64);
+        let mut out = Vec::new();
+        r.route_batched(&tuple(Rel::R, 1), &layout, &[], &mut out).unwrap();
+        r.route_batched(&tuple(Rel::S, 2), &layout, &[], &mut out).unwrap();
+        assert!(out.is_empty());
+        r.punctuate_batched(&layout, &mut out);
+        // All data frames precede all punctuation frames, so per-channel
+        // FIFO keeps the punctuation behind the copies it covers.
+        let first_punct = out.iter().position(|f| matches!(f.msg, BatchMessage::Punct(_))).unwrap();
+        assert!(out[..first_punct].iter().all(|f| matches!(f.msg, BatchMessage::Batch(_))));
+        assert!(out[first_punct..].iter().all(|f| matches!(f.msg, BatchMessage::Punct(_))));
+        assert_eq!(out.len() - first_punct, 4, "punctuation to every unit");
+        assert!(out[first_punct..]
+            .iter()
+            .all(|f| matches!(f.msg, BatchMessage::Punct(p) if p.seq == 2)));
+        assert_eq!(r.pending_batched(), 0);
+    }
+
+    #[test]
+    fn extras_share_the_sequence_stamp_and_skip_router_counters() {
+        let layout = Layout::new(2, 2, 1).unwrap();
+        let mut r = RouterCore::standalone(0, RoutingStrategy::Hash, equi(), 7);
+        let mut out = Vec::new();
+        let extra = JoinerId(99);
+        let seq = r.route_batched(&tuple(Rel::R, 5), &layout, &[extra], &mut out).unwrap();
+        let to_extra: Vec<_> = out.iter().filter(|f| f.dest == extra).collect();
+        assert_eq!(to_extra.len(), 1);
+        let BatchMessage::Batch(b) = &to_extra[0].msg else { panic!("data frame") };
+        assert_eq!(b.purpose(), Purpose::Join);
+        assert_eq!(b.first_seq(), Some(seq));
+        assert_eq!(r.stats().copies, 2, "extras are engine-level copies");
+    }
+
+    #[test]
+    fn batch_size_histogram_records_flushed_lengths() {
+        let layout = Layout::new(2, 2, 1).unwrap();
+        let mut r = RouterCore::standalone(1, RoutingStrategy::Hash, equi(), 7);
+        let reg = MetricsRegistry::new();
+        r.attach_registry(&reg);
+        r.set_batch_size(2);
+        let mut out = Vec::new();
+        // Three same-key tuples: the 2-entry batches flush on threshold,
+        // the 1-entry residue on punctuation.
+        for _ in 0..3 {
+            r.route_batched(&tuple(Rel::R, 8), &layout, &[], &mut out).unwrap();
+        }
+        r.punctuate_batched(&layout, &mut out);
+        let snap = reg.scrape(0);
+        let labels: &[(&str, &str)] = &[("router", "r1")];
+        let Some(bistream_types::registry::MetricValue::Histogram(h)) =
+            snap.get("bistream_batch_size", labels)
+        else {
+            panic!("bistream_batch_size histogram registered");
+        };
+        assert_eq!(h.count, 4, "two threshold flushes + two punctuation flushes");
     }
 
     #[test]

@@ -295,6 +295,7 @@ mod tests {
             punctuation_interval_ms: 20,
             ordering,
             seed: 9,
+            batch_size: 1,
         };
         BicliqueEngine::builder(cfg)
             .cost_model(CostModel::thesis_operating_point())
@@ -388,6 +389,7 @@ mod tests {
             punctuation_interval_ms: 20,
             ordering: true,
             seed: 9,
+            batch_size: 1,
         };
         let engine = BicliqueEngine::builder(cfg)
             .observability(Observability::with_tracing(10))

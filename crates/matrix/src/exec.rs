@@ -14,7 +14,10 @@ use crate::grid::MatrixConfig;
 use bistream_broker::{Broker, ExchangeKind, Message, RecvError};
 use bistream_cluster::CostModel;
 use bistream_core::stats::{EngineSnapshot, EngineStats};
+use bistream_types::batch::{BatchMessage, TupleBatch};
 use bistream_types::error::{Error, Result};
+use bistream_types::hash::FxHashMap;
+use bistream_types::punct::{Purpose, SeqNo};
 use bistream_types::rel::Rel;
 use bistream_types::time::{Clock, Ts, WallClock};
 use bistream_types::tuple::Tuple;
@@ -41,10 +44,13 @@ pub struct MatrixPipelineConfig {
     pub cell_capacity: usize,
     /// Cost model charged to cell meters.
     pub cost: CostModel,
+    /// Tuples per [`TupleBatch`] frame on every assigner→cell channel
+    /// (default 1: per-tuple framing, matching `bistream-core::exec`).
+    pub batch_size: usize,
 }
 
 impl MatrixPipelineConfig {
-    /// Defaults: 1 assigner, 8K/4K bounds.
+    /// Defaults: 1 assigner, 8K/4K bounds, per-tuple framing.
     pub fn new(matrix: MatrixConfig) -> MatrixPipelineConfig {
         MatrixPipelineConfig {
             matrix,
@@ -52,6 +58,7 @@ impl MatrixPipelineConfig {
             ingest_capacity: 8_192,
             cell_capacity: 4_096,
             cost: CostModel::default(),
+            batch_size: 1,
         }
     }
 }
@@ -101,12 +108,22 @@ impl MatrixPipeline {
                     match consumer.recv_timeout(Duration::from_millis(50)) {
                         Ok(m) => {
                             let mut payload = m.payload;
-                            let tuple = Tuple::decode(&mut payload)?;
-                            cell.process(&tuple, &predicate, &cost, &mut |jr| {
-                                stats.results.inc();
-                                stats.latency_ms.record(clock.now().saturating_sub(jr.ts));
-                            })?;
-                            stored += 1;
+                            // Cells decode each frame once and replay its
+                            // entries; purpose/seq only key the framing.
+                            match BatchMessage::decode(&mut payload)? {
+                                BatchMessage::Batch(b) => {
+                                    for e in b.into_entries() {
+                                        cell.process(&e.tuple, &predicate, &cost, &mut |jr| {
+                                            stats.results.inc();
+                                            stats
+                                                .latency_ms
+                                                .record(clock.now().saturating_sub(jr.ts));
+                                        })?;
+                                        stored += 1;
+                                    }
+                                }
+                                BatchMessage::Punct(_) => {}
+                            }
                         }
                         Err(RecvError::Timeout) => continue,
                         Err(RecvError::Disconnected) => break,
@@ -117,6 +134,7 @@ impl MatrixPipeline {
         }
 
         // Assigner threads.
+        let batch_size = config.batch_size.max(1);
         let mut assigner_handles = Vec::new();
         for a in 0..config.assigners.max(1) {
             let consumer = broker.subscribe(INGEST_QUEUE)?;
@@ -124,32 +142,68 @@ impl MatrixPipeline {
             let stats = Arc::clone(&stats);
             let mut rng = StdRng::seed_from_u64(config.matrix.seed ^ ((a as u64) << 24));
             assigner_handles.push(std::thread::spawn(move || -> Result<()> {
+                // Framing convention: R copies travel as `Store`-purpose
+                // entries, S copies as `Join` — cells ignore the purpose,
+                // it only keeps each accumulating batch single-relation.
+                let rid = a as u32;
+                let mut seq: SeqNo = 0;
+                let mut pending: FxHashMap<(usize, Purpose), TupleBatch> = FxHashMap::default();
+                let flush = |pending: &mut FxHashMap<(usize, Purpose), TupleBatch>| -> Result<()> {
+                    let mut keys: Vec<(usize, Purpose)> = pending.keys().copied().collect();
+                    keys.sort_by_key(|&(idx, p)| (idx, p.as_byte()));
+                    for key in keys {
+                        let batch = pending.remove(&key).expect("key from live map");
+                        if batch.is_empty() {
+                            continue;
+                        }
+                        broker.publish(
+                            CELLS_EXCHANGE,
+                            Message::new(key.0.to_string(), BatchMessage::Batch(batch).encode()?),
+                        )?;
+                    }
+                    Ok(())
+                };
                 loop {
                     match consumer.recv_timeout(Duration::from_millis(50)) {
                         Ok(m) => {
                             let mut payload = m.payload.clone();
                             let tuple = Tuple::decode(&mut payload)?;
                             stats.ingested.inc();
-                            let targets: Vec<usize> = match tuple.rel() {
+                            seq += 1;
+                            let (purpose, targets): (Purpose, Vec<usize>) = match tuple.rel() {
                                 Rel::R => {
                                     let row = rng.gen_range(0..rows);
-                                    (0..cols).map(|c| row * cols + c).collect()
+                                    (Purpose::Store, (0..cols).map(|c| row * cols + c).collect())
                                 }
                                 Rel::S => {
                                     let col = rng.gen_range(0..cols);
-                                    (0..rows).map(|r| r * cols + col).collect()
+                                    (Purpose::Join, (0..rows).map(|r| r * cols + col).collect())
                                 }
                             };
                             stats.copies.add(targets.len() as u64);
                             for idx in targets {
-                                broker.publish(
-                                    CELLS_EXCHANGE,
-                                    Message::new(idx.to_string(), m.payload.clone()),
-                                )?;
+                                let batch = pending.entry((idx, purpose)).or_insert_with(|| {
+                                    TupleBatch::with_capacity(rid, purpose, batch_size)
+                                });
+                                batch.push(seq, tuple.clone());
+                                if batch.len() >= batch_size {
+                                    let full =
+                                        pending.remove(&(idx, purpose)).expect("just filled");
+                                    broker.publish(
+                                        CELLS_EXCHANGE,
+                                        Message::new(
+                                            idx.to_string(),
+                                            BatchMessage::Batch(full).encode()?,
+                                        ),
+                                    )?;
+                                }
                             }
                         }
-                        Err(RecvError::Timeout) => continue,
-                        Err(RecvError::Disconnected) => return Ok(()),
+                        Err(RecvError::Timeout) => flush(&mut pending)?,
+                        Err(RecvError::Disconnected) => {
+                            flush(&mut pending)?;
+                            return Ok(());
+                        }
                     }
                 }
             }));
@@ -247,6 +301,22 @@ mod tests {
         // 2×2 square: 2 copies per tuple.
         assert_eq!(report.snapshot.copies_per_tuple(), 2.0);
         // All copies processed somewhere.
+        assert_eq!(report.stored_per_cell.iter().sum::<u64>(), 1_200);
+    }
+
+    #[test]
+    fn batched_matrix_joins_exactly_once() {
+        let mut c = config();
+        c.batch_size = 16;
+        let p = MatrixPipeline::launch(c).unwrap();
+        for i in 0..300i64 {
+            let now = p.now();
+            p.ingest(&Tuple::new(Rel::R, now, vec![Value::Int(i)])).unwrap();
+            p.ingest(&Tuple::new(Rel::S, now, vec![Value::Int(i)])).unwrap();
+        }
+        std::thread::sleep(Duration::from_millis(100));
+        let report = p.finish().unwrap();
+        assert_eq!(report.snapshot.results, 300, "batching must not change results");
         assert_eq!(report.stored_per_cell.iter().sum::<u64>(), 1_200);
     }
 

@@ -13,6 +13,7 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod error;
 pub mod hash;
 pub mod journal;
@@ -28,6 +29,7 @@ pub mod tuple;
 pub mod value;
 pub mod window;
 
+pub use batch::{BatchEntry, BatchMessage, TupleBatch};
 pub use error::{Error, Result};
 pub use journal::{Event, EventJournal, EventKind};
 pub use predicate::JoinPredicate;

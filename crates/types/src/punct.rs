@@ -37,15 +37,16 @@ pub enum Purpose {
 }
 
 impl Purpose {
-    /// Stable wire byte.
-    fn as_byte(self) -> u8 {
+    /// Stable wire byte (shared by the single-tuple and batched framings).
+    pub fn as_byte(self) -> u8 {
         match self {
             Purpose::Store => 0,
             Purpose::Join => 1,
         }
     }
 
-    fn from_byte(b: u8) -> Option<Purpose> {
+    /// Inverse of [`Purpose::as_byte`].
+    pub fn from_byte(b: u8) -> Option<Purpose> {
         match b {
             0 => Some(Purpose::Store),
             1 => Some(Purpose::Join),

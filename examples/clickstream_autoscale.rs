@@ -65,6 +65,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         punctuation_interval_ms: 200,
         ordering: true,
         seed: 7,
+        batch_size: 1,
     };
     let engine = BicliqueEngine::builder(engine_cfg)
         .cost_model(CostModel::thesis_operating_point())

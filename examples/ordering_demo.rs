@@ -47,6 +47,7 @@ fn run(tuples: &[Tuple], ordering: bool) -> Vec<(u64, Vec<Value>, u64, Vec<Value
         punctuation_interval_ms: 50,
         ordering,
         seed: 3,
+        batch_size: 1,
     };
     cfg.ordering = ordering;
     let mut engine = BicliqueEngine::builder(cfg)

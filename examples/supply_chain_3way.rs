@@ -30,6 +30,7 @@ fn stage(predicate: JoinPredicate) -> EngineConfig {
         punctuation_interval_ms: 20,
         ordering: true,
         seed: 11,
+        batch_size: 1,
     }
 }
 

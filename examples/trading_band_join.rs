@@ -33,6 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         punctuation_interval_ms: 10,
         ordering: true,
         seed: 42,
+        batch_size: 1,
     };
     let pipeline = Pipeline::launch(PipelineConfig::new(engine))?;
 

@@ -35,6 +35,8 @@ pub struct CliOptions {
     pub joiners: (usize, usize),
     /// Routing override.
     pub routing: Option<RoutingStrategy>,
+    /// Tuples per router→joiner frame (1 = per-tuple framing).
+    pub batch_size: usize,
     /// Input path (`-` = stdin).
     pub input: String,
     /// Output path (`-` = stdout).
@@ -100,6 +102,7 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions> {
     let mut window_ms = Some(10_000u64);
     let mut joiners = (2usize, 2usize);
     let mut routing = None;
+    let mut batch_size = 1usize;
     let mut input = "-".to_owned();
     let mut output = "-".to_owned();
 
@@ -165,6 +168,11 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions> {
                     other => return Err(Error::Config(format!("unknown routing `{other}`"))),
                 })
             }
+            "--batch-size" => {
+                batch_size = value("--batch-size")?
+                    .parse()
+                    .map_err(|e| Error::Config(format!("bad batch size: {e}")))?
+            }
             "--input" | "-i" => input = value("--input")?,
             "--output" | "-o" => output = value("--output")?,
             other => return Err(Error::Config(format!("unknown flag `{other}` (see --help)"))),
@@ -182,6 +190,7 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions> {
         window_ms,
         joiners,
         routing,
+        batch_size,
         input,
         output,
     })
@@ -190,8 +199,9 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions> {
 impl CliOptions {
     /// Resolve into a validated [`JoinQuery`].
     pub fn into_query(self) -> Result<JoinQuery> {
-        let mut b =
-            QueryBuilder::new(self.r_schema, self.s_schema).joiners(self.joiners.0, self.joiners.1);
+        let mut b = QueryBuilder::new(self.r_schema, self.s_schema)
+            .joiners(self.joiners.0, self.joiners.1)
+            .batch_size(self.batch_size);
         b = match &self.condition {
             CliCondition::Equal(l, r) => b.on_equal(l, r),
             CliCondition::Band(l, r, eps) => b.on_band(l, r, *eps),
@@ -217,7 +227,8 @@ USAGE:
   bistream --r-schema NAME:ATTR:TYPE[,…] --s-schema NAME:ATTR:TYPE[,…]
            (--on-equal A=B | --on-band A=B:EPS | --on-theta 'A<B' | --cross)
            [--window-ms MS | --full-history] [--joiners NxM]
-           [--routing random|hash|contrand:D] [--input FILE] [--output FILE]
+           [--routing random|hash|contrand:D] [--batch-size N]
+           [--input FILE] [--output FILE]
 
 INPUT FORMAT (one tuple per line):
   R,<ts-ms>,<attr0>,<attr1>,…        # `\\N` is null, `#` starts a comment
@@ -256,17 +267,20 @@ mod tests {
     fn parses_full_command_line() {
         let opts = parse_args(&argv(
             "--r-schema o:id:int --s-schema p:ref:int --on-equal id=ref \
-             --window-ms 5000 --joiners 3x2 --routing contrand:2 -i in.csv -o out.txt",
+             --window-ms 5000 --joiners 3x2 --routing contrand:2 --batch-size 32 \
+             -i in.csv -o out.txt",
         ))
         .unwrap();
         assert_eq!(opts.condition, CliCondition::Equal("id".into(), "ref".into()));
         assert_eq!(opts.window_ms, Some(5_000));
         assert_eq!(opts.joiners, (3, 2));
         assert_eq!(opts.routing, Some(RoutingStrategy::ContRand { subgroups: 2 }));
+        assert_eq!(opts.batch_size, 32);
         assert_eq!(opts.input, "in.csv");
         assert_eq!(opts.output, "out.txt");
         let q = opts.into_query().unwrap();
         assert_eq!(q.config().r_joiners, 3);
+        assert_eq!(q.config().batch_size, 32);
     }
 
     #[test]

@@ -58,6 +58,7 @@ fn run_biclique(
         punctuation_interval_ms: 30,
         ordering: true,
         seed: 11,
+        batch_size: 1,
     };
     let manual = !matches!(delivery, DeliveryMode::InOrder);
     let mut builder = BicliqueEngine::builder(cfg).routers(routers).delivery(delivery);
@@ -213,6 +214,7 @@ fn full_history_never_loses_matches() {
         punctuation_interval_ms: 30,
         ordering: true,
         seed: 5,
+        batch_size: 1,
     };
     let mut engine = BicliqueEngine::new(cfg).unwrap();
     engine.capture_results();

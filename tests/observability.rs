@@ -30,6 +30,7 @@ fn simulated_run_exposes_every_tier_in_one_scrape_and_journals_events() {
         punctuation_interval_ms: 10,
         ordering: true,
         seed: 7,
+        batch_size: 1,
     };
     let obs = Observability::new();
     let mut engine = BicliqueEngine::builder(cfg)
@@ -188,6 +189,7 @@ fn traced_sim_run(obs: Observability) -> (Vec<Trace>, RegistrySnapshot) {
         punctuation_interval_ms: 10,
         ordering: true,
         seed: 11,
+        batch_size: 1,
     };
     let mut engine = BicliqueEngine::builder(cfg).observability(obs.clone()).build().unwrap();
     for i in 0..100u64 {

@@ -238,6 +238,7 @@ proptest! {
             punctuation_interval_ms: 10,
             ordering: true,
             seed: 5,
+            batch_size: 1,
         };
         let mut engine = BicliqueEngine::new(cfg).unwrap();
         engine.capture_results();
@@ -271,6 +272,177 @@ proptest! {
         let mut mat: Vec<_> = matrix.take_captured().iter().map(JoinResult::identity).collect();
         mat.sort();
         prop_assert_eq!(&mat, &expect, "matrix");
+    }
+
+    /// Micro-batching is purely mechanical: for any monotone-ts stream and
+    /// every routing strategy, the engine at batch sizes {1, 3, 7, 64}
+    /// produces the *identical ordered* result sequence (ordering on) and
+    /// the same trace span totals as the per-tuple seed path (RouterCore::
+    /// route + a StreamMessage channel + JoinerCore::handle), whose result
+    /// multiset in turn equals the brute-force reference join.
+    #[test]
+    fn micro_batching_preserves_results_order_and_traces(
+        ops in prop::collection::vec((any::<bool>(), 0i64..10, 1u64..20), 10..100),
+        routing_pick in 0u8..3,
+    ) {
+        use bistream::cluster::CostModel;
+        use bistream::core::config::{EngineConfig, RoutingStrategy};
+        use bistream::core::engine::BicliqueEngine;
+        use bistream::core::delivery::{ChannelNet, DeliveryMode};
+        use bistream::core::joiner::JoinerCore;
+        use bistream::core::layout::{JoinerId, Layout};
+        use bistream::core::router::RouterCore;
+        use bistream::types::predicate::JoinPredicate;
+        use bistream::types::registry::Observability;
+        use bistream::types::tuple::JoinResult;
+        use std::sync::atomic::AtomicU64;
+        use std::sync::Arc;
+
+        const W: Ts = 150;
+        const PUNCT: Ts = 10;
+        const SEED: u64 = 5;
+        type Identity = (Ts, Vec<Value>, Ts, Vec<Value>);
+        let predicate = JoinPredicate::Equi { r_attr: 0, s_attr: 0 };
+        let routing = match routing_pick {
+            0 => RoutingStrategy::Random,
+            1 => RoutingStrategy::Hash,
+            _ => RoutingStrategy::ContRand { subgroups: 2 },
+        };
+
+        let mut tuples = Vec::new();
+        let mut ts = 0;
+        for (is_r, key, dt) in ops {
+            ts += dt;
+            let rel = if is_r { Rel::R } else { Rel::S };
+            tuples.push(Tuple::new(rel, ts, vec![Value::Int(key)]));
+        }
+        let end = ts + PUNCT;
+
+        // Per-tuple seed path: the unbatched machinery wired by hand.
+        let reference: Vec<Identity> = {
+            let subgroups = match routing {
+                RoutingStrategy::ContRand { subgroups } => subgroups,
+                _ => 1,
+            };
+            let layout = Layout::new(2, 3, subgroups).unwrap();
+            let seq = Arc::new(AtomicU64::new(0));
+            let mut router = RouterCore::new(0, routing, predicate.clone(), SEED, seq);
+            let router_ids = [(0u32, 0u64)];
+            let mut joiners: std::collections::BTreeMap<JoinerId, JoinerCore> = layout
+                .all_units()
+                .map(|(side, id)| {
+                    (
+                        id,
+                        JoinerCore::new(
+                            id,
+                            side,
+                            predicate.clone(),
+                            WindowSpec::sliding(W),
+                            20,
+                            true,
+                            &router_ids,
+                            CostModel::default(),
+                        ),
+                    )
+                })
+                .collect();
+            let mut net: ChannelNet = ChannelNet::new(DeliveryMode::InOrder);
+            let mut out: Vec<Identity> = Vec::new();
+            let mut copies = Vec::new();
+            let mut drain = |net: &mut ChannelNet,
+                             joiners: &mut std::collections::BTreeMap<JoinerId, JoinerCore>,
+                             now: Ts,
+                             out: &mut Vec<Identity>| {
+                while let Some(f) = net.deliver_next() {
+                    let j = joiners.get_mut(&f.dest).unwrap();
+                    j.set_now(now);
+                    j.handle(f.msg, &mut |r: JoinResult| out.push(r.identity())).unwrap();
+                }
+            };
+            let mut next_punct = PUNCT;
+            for t in &tuples {
+                while next_punct <= t.ts() {
+                    router.punctuate(&layout, &mut copies);
+                    for c in copies.drain(..) {
+                        net.send(0, c.dest, c.msg);
+                    }
+                    drain(&mut net, &mut joiners, next_punct, &mut out);
+                    next_punct += PUNCT;
+                }
+                router.route(t, &layout, &mut copies).unwrap();
+                for c in copies.drain(..) {
+                    net.send(0, c.dest, c.msg);
+                }
+                drain(&mut net, &mut joiners, t.ts(), &mut out);
+            }
+            router.punctuate(&layout, &mut copies);
+            for c in copies.drain(..) {
+                net.send(0, c.dest, c.msg);
+            }
+            drain(&mut net, &mut joiners, end, &mut out);
+            for j in joiners.values_mut() {
+                j.set_now(end);
+                j.flush(&mut |r: JoinResult| out.push(r.identity())).unwrap();
+            }
+            out
+        };
+
+        // The seed path itself matches the brute-force reference join.
+        let mut expect: Vec<Identity> = Vec::new();
+        for a in tuples.iter().filter(|t| t.rel() == Rel::R) {
+            for b in tuples.iter().filter(|t| t.rel() == Rel::S) {
+                if a.get(0) == b.get(0) && a.ts().abs_diff(b.ts()) <= W {
+                    expect.push(JoinResult::of(a.clone(), b.clone()).identity());
+                }
+            }
+        }
+        expect.sort();
+        let mut ref_sorted = reference.clone();
+        ref_sorted.sort();
+        prop_assert_eq!(&ref_sorted, &expect, "per-tuple seed path {:?}", routing);
+
+        // The batched engine reproduces the seed path's *ordered* output at
+        // every batch size, with identical trace span totals.
+        let mut span_base: Option<usize> = None;
+        for &batch in &[1usize, 3, 7, 64] {
+            let cfg = EngineConfig {
+                r_joiners: 2,
+                s_joiners: 3,
+                predicate: predicate.clone(),
+                window: WindowSpec::sliding(W),
+                routing,
+                archive_period_ms: 20,
+                punctuation_interval_ms: PUNCT,
+                ordering: true,
+                seed: SEED,
+                batch_size: batch,
+            };
+            let obs = Observability::with_tracing(3);
+            let mut engine =
+                BicliqueEngine::builder(cfg).observability(obs.clone()).build().unwrap();
+            engine.capture_results();
+            let mut next_punct = PUNCT;
+            for t in &tuples {
+                while next_punct <= t.ts() {
+                    engine.punctuate(next_punct).unwrap();
+                    next_punct += PUNCT;
+                }
+                engine.ingest(t, t.ts()).unwrap();
+            }
+            engine.punctuate(end).unwrap();
+            engine.flush().unwrap();
+            let ordered: Vec<Identity> =
+                engine.take_captured().iter().map(JoinResult::identity).collect();
+            prop_assert_eq!(&ordered, &reference, "batch {} ordered output {:?}", batch, routing);
+            obs.tracer.flush_pending();
+            let spans: usize = obs.tracer.drain().iter().map(|t| t.spans.len()).sum();
+            match span_base {
+                None => span_base = Some(spans),
+                Some(base) => {
+                    prop_assert_eq!(spans, base, "batch {} trace span total", batch);
+                }
+            }
+        }
     }
 
     /// A registry scrape is sorted by `(name, labels)` and stable: the

@@ -22,6 +22,7 @@ fn cfg() -> EngineConfig {
         punctuation_interval_ms: 20,
         ordering: true,
         seed: 13,
+        batch_size: 1,
     }
 }
 

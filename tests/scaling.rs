@@ -60,6 +60,7 @@ fn repeated_scaling_keeps_exactly_once_semantics() {
             punctuation_interval_ms: 25,
             ordering: true,
             seed: 21,
+            batch_size: 1,
         };
         let mut engine = BicliqueEngine::new(cfg).unwrap();
         engine.capture_results();
