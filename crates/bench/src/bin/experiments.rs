@@ -52,13 +52,13 @@ fn main() {
         if ctx.quick { ", quick mode" } else { "" }
     );
     for id in &ids {
-        let started = std::time::Instant::now();
+        let started = bistream_types::time::Stopwatch::start();
         eprintln!(">> running {id}…");
         if !experiments::run(id, &ctx) {
             eprintln!("unknown experiment id `{id}` (known: {:?})", experiments::ALL);
             std::process::exit(2);
         }
-        eprintln!(">> {id} done in {:.1}s\n", started.elapsed().as_secs_f64());
+        eprintln!(">> {id} done in {:.1}s\n", started.elapsed_secs_f64());
     }
 }
 

@@ -16,11 +16,11 @@ use crate::report::{f, mib, Table};
 use bistream_index::{ChainedIndex, IndexKind, NaiveWindowIndex};
 use bistream_types::predicate::ProbePlan;
 use bistream_types::rel::Rel;
+use bistream_types::time::Stopwatch;
 use bistream_types::time::Ts;
 use bistream_types::tuple::Tuple;
 use bistream_types::value::Value;
 use bistream_types::window::WindowSpec;
-use std::time::Instant;
 
 const WINDOW_MS: Ts = 4_000;
 
@@ -33,7 +33,7 @@ struct SweepResult {
 
 fn drive_chained(period: Ts, tuples: usize, n_keys: i64) -> SweepResult {
     let mut index = ChainedIndex::new(IndexKind::Hash, WindowSpec::sliding(WINDOW_MS), period);
-    let started = Instant::now();
+    let started = Stopwatch::start();
     let mut peak_sub = 0usize;
     let mut peak_bytes = 0usize;
     let mut matches = 0u64;
@@ -49,7 +49,7 @@ fn drive_chained(period: Ts, tuples: usize, n_keys: i64) -> SweepResult {
         peak_bytes = peak_bytes.max(stats.bytes);
     }
     SweepResult {
-        wall_ms: started.elapsed().as_secs_f64() * 1_000.0,
+        wall_ms: started.elapsed_ms_f64(),
         peak_sub_indexes: peak_sub,
         peak_bytes,
         matches,
@@ -58,7 +58,7 @@ fn drive_chained(period: Ts, tuples: usize, n_keys: i64) -> SweepResult {
 
 fn drive_naive(tuples: usize, n_keys: i64) -> SweepResult {
     let mut index = NaiveWindowIndex::new(IndexKind::Hash, WindowSpec::sliding(WINDOW_MS));
-    let started = Instant::now();
+    let started = Stopwatch::start();
     let mut peak_bytes = 0usize;
     let mut matches = 0u64;
     for i in 0..tuples {
@@ -69,12 +69,7 @@ fn drive_naive(tuples: usize, n_keys: i64) -> SweepResult {
         index.probe(&ProbePlan::ExactKey(key), ts, |_| matches += 1);
         peak_bytes = peak_bytes.max(index.bytes());
     }
-    SweepResult {
-        wall_ms: started.elapsed().as_secs_f64() * 1_000.0,
-        peak_sub_indexes: 1,
-        peak_bytes,
-        matches,
-    }
+    SweepResult { wall_ms: started.elapsed_ms_f64(), peak_sub_indexes: 1, peak_bytes, matches }
 }
 
 /// Run E6.
@@ -140,13 +135,9 @@ pub fn run(ctx: &ExpCtx) {
             let key = Value::Int(i as i64 % 1_000);
             index.insert(key.clone(), Tuple::new(Rel::R, ts, vec![key]));
         }
-        let started = Instant::now();
+        let started = Stopwatch::start();
         let dropped = index.expire(10 * WINDOW_MS);
-        burst.row(vec![
-            label.to_string(),
-            dropped.to_string(),
-            f(started.elapsed().as_secs_f64() * 1e6, 0),
-        ]);
+        burst.row(vec![label.to_string(), dropped.to_string(), f(started.elapsed_us_f64(), 0)]);
     }
     {
         let mut index = NaiveWindowIndex::new(IndexKind::Hash, WindowSpec::sliding(WINDOW_MS));
@@ -155,13 +146,9 @@ pub fn run(ctx: &ExpCtx) {
             let key = Value::Int(i as i64 % 1_000);
             index.insert(key.clone(), Tuple::new(Rel::R, ts, vec![key]));
         }
-        let started = Instant::now();
+        let started = Stopwatch::start();
         let dropped = index.expire(10 * WINDOW_MS);
-        burst.row(vec![
-            "naive".into(),
-            dropped.to_string(),
-            f(started.elapsed().as_secs_f64() * 1e6, 0),
-        ]);
+        burst.row(vec!["naive".into(), dropped.to_string(), f(started.elapsed_us_f64(), 0)]);
     }
     burst.emit("e6b_burst_discard");
 }

@@ -15,10 +15,11 @@ use bistream_core::config::RoutingStrategy;
 use bistream_core::exec::{Pipeline, PipelineConfig};
 use bistream_types::predicate::JoinPredicate;
 use bistream_types::rel::Rel;
+use bistream_types::time::Stopwatch;
 use bistream_types::tuple::Tuple;
 use bistream_types::value::Value;
 use bistream_types::window::WindowSpec;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 fn launch(ctx: &ExpCtx) -> Pipeline {
     let mut cfg = engine_config(
@@ -49,9 +50,9 @@ fn saturation(ctx: &ExpCtx, n: usize) -> f64 {
 fn paced_run(ctx: &ExpCtx, rate: f64, secs: f64) -> (u64, u64, u64, u64) {
     let pipe = launch(ctx);
     let gap = Duration::from_secs_f64(2.0 / rate); // per pair
-    let start = Instant::now();
+    let start = Stopwatch::start();
     let mut i = 0i64;
-    while start.elapsed().as_secs_f64() < secs {
+    while start.elapsed_secs_f64() < secs {
         let now = pipe.now();
         pipe.ingest(&Tuple::new(Rel::R, now, vec![Value::Int(i % 997)])).unwrap();
         pipe.ingest(&Tuple::new(Rel::S, now, vec![Value::Int(i % 997)])).unwrap();

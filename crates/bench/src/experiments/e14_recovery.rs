@@ -16,11 +16,11 @@ use bistream_core::config::RoutingStrategy;
 use bistream_core::engine::BicliqueEngine;
 use bistream_types::predicate::JoinPredicate;
 use bistream_types::rel::Rel;
+use bistream_types::time::Stopwatch;
 use bistream_types::time::Ts;
 use bistream_types::tuple::Tuple;
 use bistream_types::value::Value;
 use bistream_types::window::WindowSpec;
-use std::time::Instant;
 
 fn engine(ctx: &ExpCtx) -> BicliqueEngine {
     let cfg = engine_config(
@@ -90,17 +90,17 @@ pub fn run(ctx: &ExpCtx) {
     let mut e = engine(ctx);
     let last = load(&mut e, n, &payload);
     let units: Vec<_> = e.layout().units(Rel::R).to_vec();
-    let snap_started = Instant::now();
+    let snap_started = Stopwatch::start();
     let snapshots: Vec<_> =
         units.iter().map(|&id| (id, e.snapshot_unit(id).expect("snapshot"))).collect();
-    let snapshot_ms = snap_started.elapsed().as_secs_f64() * 1_000.0;
+    let snapshot_ms = snap_started.elapsed_ms_f64();
     let snapshot_bytes: usize = snapshots.iter().map(|(_, b)| b.len()).sum();
-    let restore_started = Instant::now();
+    let restore_started = Stopwatch::start();
     let mut restored = 0;
     for (id, blob) in snapshots {
         restored += e.restore_unit(id, blob).expect("restore");
     }
-    let restore_ms = restore_started.elapsed().as_secs_f64() * 1_000.0;
+    let restore_ms = restore_started.elapsed_ms_f64();
     let results = probe_all(&mut e, n, last + 1);
     table.row(vec![
         "snapshot+restore".into(),

@@ -5,6 +5,7 @@ use crate::exchange::{Binding, Exchange, ExchangeKind};
 use crate::message::Message;
 use crate::pattern::valid_pattern;
 use crate::queue::{Consumer, QueueCore, QueueObs};
+use bistream_types::audit::Auditor;
 use bistream_types::error::{Error, Result};
 use bistream_types::registry::Observability;
 use bistream_types::time::Clock;
@@ -28,6 +29,9 @@ struct Inner {
     /// Observability + timebase, when attached; queues declared afterwards
     /// get registry-backed counters and depth gauges under `queue="name"`.
     obs: Option<(Observability, Arc<dyn Clock>)>,
+    /// Invariant auditor, when attached; queues declared afterwards (with
+    /// observability also attached) report enqueue/dequeue conservation.
+    auditor: Option<Auditor>,
 }
 
 /// The in-process message broker.
@@ -85,6 +89,13 @@ impl Broker {
         self.inner.write().obs = Some((obs, clock));
     }
 
+    /// Attach a protocol-invariant auditor: every queue declared *after*
+    /// this call (with observability also attached) reports its
+    /// publishes/deliveries for message-conservation checking.
+    pub fn attach_auditor(&self, auditor: Auditor) {
+        self.inner.write().auditor = Some(auditor);
+    }
+
     /// Declare a queue with the given capacity. Redeclaring is a no-op
     /// (capacity of the first declaration wins, as in AMQP).
     pub fn declare_queue(&self, name: &str, capacity: usize) -> Result<()> {
@@ -103,14 +114,21 @@ impl Broker {
                     name.to_owned(),
                     capacity,
                     QueueObs {
-                        published: reg.counter("bistream_queue_published_total", labels),
-                        delivered: reg.counter("bistream_queue_delivered_total", labels),
-                        redelivered: reg.counter("bistream_queue_redelivered_total", labels),
-                        depth: reg.gauge("bistream_queue_depth", labels),
-                        blocked: reg.counter("bistream_queue_backpressure_blocks_total", labels),
+                        published: reg
+                            .counter(bistream_types::metric_names::QUEUE_PUBLISHED_TOTAL, labels),
+                        delivered: reg
+                            .counter(bistream_types::metric_names::QUEUE_DELIVERED_TOTAL, labels),
+                        redelivered: reg
+                            .counter(bistream_types::metric_names::QUEUE_REDELIVERED_TOTAL, labels),
+                        depth: reg.gauge(bistream_types::metric_names::QUEUE_DEPTH, labels),
+                        blocked: reg.counter(
+                            bistream_types::metric_names::QUEUE_BACKPRESSURE_BLOCKS_TOTAL,
+                            labels,
+                        ),
                         journal: obs.journal.clone(),
                         clock: Arc::clone(clock),
                         tracer: obs.tracer.clone(),
+                        auditor: inner.auditor.clone(),
                     },
                 )
             }
@@ -472,8 +490,11 @@ mod tests {
 
         b.publish("tuple.exchange", Message::new("k", vec![1])).unwrap();
         let snap = obs.registry.scrape(0);
-        assert_eq!(snap.counter("bistream_queue_published_total", labels), Some(1));
-        assert_eq!(snap.gauge("bistream_queue_depth", labels), Some(1));
+        assert_eq!(
+            snap.counter(bistream_types::metric_names::QUEUE_PUBLISHED_TOTAL, labels),
+            Some(1)
+        );
+        assert_eq!(snap.gauge(bistream_types::metric_names::QUEUE_DEPTH, labels), Some(1));
 
         // Second blocking publish stalls until a consumer drains.
         let b2 = b.clone();
@@ -487,17 +508,30 @@ mod tests {
         c.recv_timeout(std::time::Duration::from_millis(200)).unwrap();
 
         let snap = obs.registry.scrape(0);
-        assert_eq!(snap.counter("bistream_queue_published_total", labels), Some(2));
-        assert_eq!(snap.counter("bistream_queue_delivered_total", labels), Some(2));
-        assert_eq!(snap.gauge("bistream_queue_depth", labels), Some(0));
-        assert_eq!(snap.counter("bistream_queue_backpressure_blocks_total", labels), Some(1));
+        assert_eq!(
+            snap.counter(bistream_types::metric_names::QUEUE_PUBLISHED_TOTAL, labels),
+            Some(2)
+        );
+        assert_eq!(
+            snap.counter(bistream_types::metric_names::QUEUE_DELIVERED_TOTAL, labels),
+            Some(2)
+        );
+        assert_eq!(snap.gauge(bistream_types::metric_names::QUEUE_DEPTH, labels), Some(0));
+        assert_eq!(
+            snap.counter(bistream_types::metric_names::QUEUE_BACKPRESSURE_BLOCKS_TOTAL, labels),
+            Some(1)
+        );
         let events = obs.journal.drain();
         assert!(events.iter().any(|e| e.ts == 33
             && matches!(&e.kind, EventKind::BackpressureStall { queue } if queue == "tiny")));
 
         // Deleting the queue retires its series.
         b.delete_queue("tiny").unwrap();
-        assert!(obs.registry.scrape(0).get("bistream_queue_depth", labels).is_none());
+        assert!(obs
+            .registry
+            .scrape(0)
+            .get(bistream_types::metric_names::QUEUE_DEPTH, labels)
+            .is_none());
     }
 
     #[test]

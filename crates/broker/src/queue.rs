@@ -6,6 +6,7 @@
 //! property the ordering protocol requires.
 
 use crate::message::Message;
+use bistream_types::audit::Auditor;
 use bistream_types::journal::{EventJournal, EventKind};
 use bistream_types::metrics::{Counter, Gauge};
 use bistream_types::time::Clock;
@@ -44,6 +45,9 @@ pub(crate) struct QueueObs {
     /// Per-tuple tracer recording enqueue/dequeue spans for messages that
     /// carry [`Message::trace_seqs`] headers (disabled tracers are inert).
     pub(crate) tracer: Tracer,
+    /// Protocol-invariant auditor checking queue message conservation
+    /// (deliveries never exceed publishes), when one is attached.
+    pub(crate) auditor: Option<Auditor>,
 }
 
 impl std::fmt::Debug for QueueObs {
@@ -68,6 +72,9 @@ struct QueueMeta {
     /// Tracer plus its timebase — present only when the broker had
     /// observability attached at declaration time.
     trace: Option<(Tracer, Arc<dyn Clock>)>,
+    /// Invariant auditor — present only when the broker had one attached
+    /// (alongside observability) at declaration time.
+    auditor: Option<Auditor>,
 }
 
 impl QueueMeta {
@@ -76,6 +83,9 @@ impl QueueMeta {
         if let Some(g) = &self.depth_gauge {
             g.add(1);
         }
+        if let Some(a) = &self.auditor {
+            a.queue_enqueue(&self.name);
+        }
         self.note_hop(trace_seqs, HopKind::Enqueue);
     }
 
@@ -83,6 +93,9 @@ impl QueueMeta {
     fn note_dequeued(&self, trace_seqs: Option<&[u64]>) {
         if let Some(g) = &self.depth_gauge {
             g.sub(1);
+        }
+        if let Some(a) = &self.auditor {
+            a.queue_dequeue(&self.name);
         }
         self.note_hop(trace_seqs, HopKind::Dequeue);
     }
@@ -149,6 +162,7 @@ impl QueueCore {
                 blocked: Some(obs.blocked),
                 stall_journal: Some((obs.journal, Arc::clone(&obs.clock))),
                 trace: Some((obs.tracer, obs.clock)),
+                auditor: obs.auditor,
             },
             None => QueueMeta {
                 name,
@@ -160,6 +174,7 @@ impl QueueCore {
                 blocked: None,
                 stall_journal: None,
                 trace: None,
+                auditor: None,
             },
         };
         Arc::new(QueueCore { meta: Arc::new(meta), tx, rx })

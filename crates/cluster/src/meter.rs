@@ -27,8 +27,16 @@ impl ResourceMeter {
     /// `bistream_pod_memory_bytes{labels}` — the pod-label registration the
     /// unified scrape needs. Idempotent for a given label set.
     pub fn register_into(&self, registry: &MetricsRegistry, labels: &[(&str, &str)]) {
-        registry.register_counter("bistream_pod_cpu_busy_us_total", labels, &self.cpu_busy_us);
-        registry.register_gauge("bistream_pod_memory_bytes", labels, &self.memory_bytes);
+        registry.register_counter(
+            bistream_types::metric_names::POD_CPU_BUSY_US_TOTAL,
+            labels,
+            &self.cpu_busy_us,
+        );
+        registry.register_gauge(
+            bistream_types::metric_names::POD_MEMORY_BYTES,
+            labels,
+            &self.memory_bytes,
+        );
     }
 
     /// Charge `us` microseconds of CPU (fractions accumulate via rounding
@@ -133,8 +141,11 @@ mod tests {
         m.set_memory_bytes(64);
         let snap = reg.scrape(0);
         let labels: &[(&str, &str)] = &[("pod", "R0")];
-        assert_eq!(snap.counter("bistream_pod_cpu_busy_us_total", labels), Some(1_000));
-        assert_eq!(snap.gauge("bistream_pod_memory_bytes", labels), Some(64));
+        assert_eq!(
+            snap.counter(bistream_types::metric_names::POD_CPU_BUSY_US_TOTAL, labels),
+            Some(1_000)
+        );
+        assert_eq!(snap.gauge(bistream_types::metric_names::POD_MEMORY_BYTES, labels), Some(64));
     }
 
     #[test]

@@ -32,6 +32,7 @@ use crate::layout::{JoinerId, Layout};
 use crate::router::{join_dests, RoutedBatch, RouterCore};
 use crate::stats::{EngineSnapshot, EngineStats};
 use bistream_cluster::{CostModel, ResourceMeter};
+use bistream_types::audit::Auditor;
 use bistream_types::batch::BatchMessage;
 use bistream_types::error::{Error, Result};
 use bistream_types::hash::FxHashMap;
@@ -73,6 +74,7 @@ pub struct BicliqueEngine {
     net: ChannelNet<BatchMessage>,
     stats: Arc<EngineStats>,
     obs: Observability,
+    auditor: Option<Auditor>,
     capture: Option<Vec<JoinResult>>,
     auto_pump: bool,
     now: Ts,
@@ -94,6 +96,7 @@ impl BicliqueEngine {
             cost: CostModel::default(),
             auto_pump: true,
             obs: None,
+            auditor: None,
             engine_label: "engine".to_string(),
         }
     }
@@ -127,6 +130,15 @@ impl BicliqueEngine {
         self.draining.len()
     }
 
+    /// The protocol-invariant auditor observing this engine, if one is
+    /// attached (always in debug builds, never in release unless set via
+    /// [`EngineBuilder::auditor`]). Tests use it to arm the output oracle
+    /// before ingesting and to [`Auditor::finish`] /
+    /// [`Auditor::assert_clean`] after flushing.
+    pub fn auditor(&self) -> Option<&Auditor> {
+        self.auditor.as_ref()
+    }
+
     /// Begin capturing emitted join results (for correctness tests).
     pub fn capture_results(&mut self) {
         self.capture = Some(Vec::new());
@@ -157,6 +169,12 @@ impl BicliqueEngine {
         self.now = self.now.max(now);
         self.purge_historical();
         self.stats.ingested.inc();
+        if let Some(a) = &self.auditor {
+            a.set_now(self.now);
+            if a.oracle_enabled() {
+                self.observe_oracle_input(tuple);
+            }
+        }
 
         let r_idx = self.rr_next % self.routers.len();
         self.rr_next = self.rr_next.wrapping_add(1);
@@ -196,6 +214,23 @@ impl BicliqueEngine {
             self.pump()?;
         }
         Ok(())
+    }
+
+    /// Report an ingested tuple to the auditor's nested-loop oracle. Only
+    /// equi joins are reported with a real key; other predicates cannot be
+    /// replayed by the oracle's key-equality model, so they are skipped
+    /// (the oracle then sees no inputs and stays trivially satisfied).
+    fn observe_oracle_input(&self, tuple: &Tuple) {
+        let Some(a) = &self.auditor else { return };
+        if let bistream_types::predicate::JoinPredicate::Equi { r_attr, s_attr } =
+            &self.config.predicate
+        {
+            let is_r = tuple.rel() == Rel::R;
+            let attr = if is_r { *r_attr } else { *s_attr };
+            if let Some(key) = tuple.get(attr) {
+                a.observe_input(is_r, tuple.ts(), key.to_string(), tuple.to_string());
+            }
+        }
     }
 
     /// Send flushed frames into the network, recording an enqueue span for
@@ -252,6 +287,7 @@ impl BicliqueEngine {
     /// Deliver every in-flight frame to its joiner, collecting results.
     pub fn pump(&mut self) -> Result<()> {
         let stats = Arc::clone(&self.stats);
+        let auditor = self.auditor.clone();
         let now = self.now;
         while let Some(flight) = self.net.deliver_next() {
             let Some(joiner) = self.joiners.get_mut(&flight.dest) else {
@@ -290,6 +326,9 @@ impl BicliqueEngine {
                 if let Some(h) = &per_joiner_latency {
                     h.record(latency);
                 }
+                if let Some(a) = auditor.as_ref().filter(|a| a.oracle_enabled()) {
+                    a.observe_output(&result.r.to_string(), &result.s.to_string());
+                }
                 if let Some(buf) = capture {
                     buf.push(result);
                 }
@@ -315,6 +354,7 @@ impl BicliqueEngine {
         self.scratch = frames;
         self.pump()?;
         let stats = Arc::clone(&self.stats);
+        let auditor = self.auditor.clone();
         let now = self.now;
         for joiner in self.joiners.values_mut() {
             joiner.set_now(now);
@@ -326,6 +366,9 @@ impl BicliqueEngine {
                 stats.latency_ms.record(latency);
                 if let Some(h) = &per_joiner_latency {
                     h.record(latency);
+                }
+                if let Some(a) = auditor.as_ref().filter(|a| a.oracle_enabled()) {
+                    a.observe_output(&result.r.to_string(), &result.s.to_string());
                 }
                 if let Some(buf) = capture {
                     buf.push(result);
@@ -421,6 +464,9 @@ impl BicliqueEngine {
         router.set_batch_size(self.config.batch_size);
         router.attach_registry(&self.obs.registry);
         router.attach_tracer(self.obs.tracer.clone());
+        if let Some(a) = &self.auditor {
+            router.set_auditor(a.clone());
+        }
         let frontier = router.last_seq();
         for joiner in self.joiners.values_mut() {
             joiner.register_router(id, frontier);
@@ -438,10 +484,10 @@ impl BicliqueEngine {
     /// # Errors
     /// [`Error::Scaling`] when only one router remains.
     pub fn remove_router(&mut self) -> Result<()> {
-        if self.routers.len() <= 1 {
+        let Some(mut router) = (self.routers.len() > 1).then(|| self.routers.pop()).flatten()
+        else {
             return Err(Error::Scaling("engine needs at least one router".into()));
-        }
-        let mut router = self.routers.pop().expect("len checked");
+        };
         let id = router.id();
         // The retiring router may hold unflushed batches; they must go
         // out ahead of its final punctuation.
@@ -459,6 +505,7 @@ impl BicliqueEngine {
         }
         self.pump()?;
         let stats = Arc::clone(&self.stats);
+        let auditor = self.auditor.clone();
         let now = self.now;
         for joiner in self.joiners.values_mut() {
             joiner.set_now(now);
@@ -470,6 +517,9 @@ impl BicliqueEngine {
                 stats.latency_ms.record(latency);
                 if let Some(h) = &per_joiner_latency {
                     h.record(latency);
+                }
+                if let Some(a) = auditor.as_ref().filter(|a| a.oracle_enabled()) {
+                    a.observe_output(&result.r.to_string(), &result.s.to_string());
                 }
                 if let Some(buf) = capture {
                     buf.push(result);
@@ -580,7 +630,32 @@ impl BicliqueEngine {
         );
         joiner.set_batch_size(self.config.batch_size);
         joiner.attach_obs(&self.obs);
+        if let Some(a) = &self.auditor {
+            joiner.set_auditor(a.clone());
+        }
         joiner
+    }
+
+    /// Test-only fault injection: force-raise `router`'s frontier to `seq`
+    /// in every active joiner's reorder buffer, bypassing the monotonic
+    /// punctuation path — simulating a broken watermark computation. With
+    /// an auditor attached, any release this provokes ahead of the real
+    /// channel punctuation is reported as a Definition 7 violation.
+    #[doc(hidden)]
+    pub fn debug_corrupt_frontier(&mut self, router: RouterId, seq: SeqNo) -> Result<()> {
+        let stats = Arc::clone(&self.stats);
+        let now = self.now;
+        for joiner in self.joiners.values_mut() {
+            joiner.set_now(now);
+            let capture = &mut self.capture;
+            joiner.debug_corrupt_frontier(router, seq, &mut |result: JoinResult| {
+                stats.results.inc();
+                if let Some(buf) = capture {
+                    buf.push(result);
+                }
+            })?;
+        }
+        Ok(())
     }
 
     fn purge_historical(&mut self) {
@@ -622,6 +697,7 @@ pub struct EngineBuilder {
     cost: CostModel,
     auto_pump: bool,
     obs: Option<Observability>,
+    auditor: Option<Auditor>,
     engine_label: String,
 }
 
@@ -645,6 +721,16 @@ impl EngineBuilder {
     /// `"engine"`; the harnesses use `"sim"` / `"live"`).
     pub fn engine_label(mut self, label: impl Into<String>) -> Self {
         self.engine_label = label.into();
+        self
+    }
+
+    /// Attach a specific protocol-invariant auditor. Without this call,
+    /// debug builds self-arm via [`Auditor::new_if_debug`] and release
+    /// builds run unaudited; pass an explicit auditor to observe the
+    /// engine from outside (shared across engines, or armed with the
+    /// output oracle in a release-mode harness).
+    pub fn auditor(mut self, auditor: Auditor) -> Self {
+        self.auditor = Some(auditor);
         self
     }
 
@@ -677,6 +763,10 @@ impl EngineBuilder {
         // One shared sequence counter across all routers (see RouterCore).
         let seq = Arc::new(std::sync::atomic::AtomicU64::new(0));
         let obs = self.obs.unwrap_or_default();
+        let auditor = self.auditor.or_else(Auditor::new_if_debug);
+        if let Some(a) = &auditor {
+            a.attach_journal(obs.journal.clone());
+        }
         let routers: Vec<RouterCore> = (0..self.routers)
             .map(|i| {
                 let mut r = RouterCore::new(
@@ -689,6 +779,9 @@ impl EngineBuilder {
                 r.set_batch_size(self.config.batch_size);
                 r.attach_registry(&obs.registry);
                 r.attach_tracer(obs.tracer.clone());
+                if let Some(a) = &auditor {
+                    r.set_auditor(a.clone());
+                }
                 r
             })
             .collect();
@@ -706,6 +799,7 @@ impl EngineBuilder {
             net: ChannelNet::new(self.delivery),
             stats,
             obs,
+            auditor,
             capture: None,
             auto_pump: self.auto_pump,
             now: 0,

@@ -23,6 +23,7 @@ use crate::router::{RoutedBatch, RouterCore};
 use crate::stats::{EngineSnapshot, EngineStats};
 use bistream_broker::{Broker, ExchangeKind, Message, RecvError};
 use bistream_cluster::CostModel;
+use bistream_types::audit::Auditor;
 use bistream_types::batch::BatchMessage;
 use bistream_types::error::{Error, Result};
 use bistream_types::hash::FxHashMap;
@@ -61,6 +62,10 @@ pub struct PipelineConfig {
     /// router → queue → joiner with wall-clock span stamps; `None` (the
     /// default) disables tracing entirely.
     pub trace_one_in: Option<u64>,
+    /// Protocol-invariant auditor observing every router, queue and
+    /// joiner. `None` (the default) self-arms in debug builds via
+    /// [`Auditor::new_if_debug`]; release builds then run unaudited.
+    pub auditor: Option<Auditor>,
 }
 
 impl PipelineConfig {
@@ -74,6 +79,7 @@ impl PipelineConfig {
             unit_capacity: 4_096,
             cost: CostModel::default(),
             trace_one_in: None,
+            auditor: None,
         }
     }
 }
@@ -90,6 +96,9 @@ pub struct PipelineReport {
     /// Completed per-tuple traces, sorted by trace id (empty unless
     /// [`PipelineConfig::trace_one_in`] was set).
     pub traces: Vec<Trace>,
+    /// The auditor that observed the run (if any): query it with
+    /// [`Auditor::finish`] / [`Auditor::assert_clean`].
+    pub auditor: Option<Auditor>,
 }
 
 /// A running live pipeline.
@@ -97,6 +106,7 @@ pub struct Pipeline {
     broker: Broker,
     stats: Arc<EngineStats>,
     obs: Observability,
+    auditor: Option<Auditor>,
     clock: Arc<WallClock>,
     started: Instant,
     router_handles: Vec<JoinHandle<Result<()>>>,
@@ -119,10 +129,17 @@ impl Pipeline {
             None => Observability::new(),
         };
         let clock = Arc::new(WallClock::new());
+        let auditor = config.auditor.clone().or_else(Auditor::new_if_debug);
+        if let Some(a) = &auditor {
+            a.attach_journal(obs.journal.clone());
+        }
         let broker = Broker::new();
         // Attach observability before any queue exists so every queue gets
         // depth/publish/deliver series and backpressure journal events.
         broker.attach_observability(obs.clone(), Arc::clone(&clock) as Arc<dyn Clock>);
+        if let Some(a) = &auditor {
+            broker.attach_auditor(a.clone());
+        }
         broker.declare_exchange(INGEST_EXCHANGE, ExchangeKind::Topic)?;
         broker.declare_exchange(UNITS_EXCHANGE, ExchangeKind::Direct)?;
         broker.declare_queue(INGEST_QUEUE, config.ingest_capacity)?;
@@ -162,6 +179,9 @@ impl Pipeline {
             );
             joiner.attach_obs(&obs);
             joiner.set_batch_size(config.engine.batch_size);
+            if let Some(a) = &auditor {
+                joiner.set_auditor(a.clone());
+            }
             let per_joiner_latency = joiner.latency_histogram();
             let stats = Arc::clone(&stats);
             let clock = Arc::clone(&clock);
@@ -208,6 +228,9 @@ impl Pipeline {
             core.attach_registry(&obs.registry);
             core.attach_tracer(obs.tracer.clone());
             core.set_batch_size(config.engine.batch_size);
+            if let Some(a) = &auditor {
+                core.set_auditor(a.clone());
+            }
             let tracer = obs.tracer.clone();
             let layout = Arc::clone(&layout);
             let broker = broker.clone();
@@ -276,6 +299,7 @@ impl Pipeline {
             broker,
             stats,
             obs,
+            auditor,
             clock,
             started: Instant::now(),
             router_handles,
@@ -296,6 +320,11 @@ impl Pipeline {
     /// latency is measurable).
     pub fn now(&self) -> Ts {
         self.clock.now()
+    }
+
+    /// The protocol-invariant auditor observing this pipeline, if any.
+    pub fn auditor(&self) -> Option<&Auditor> {
+        self.auditor.as_ref()
     }
 
     /// Feed one tuple (blocking when the ingest queue is full).
@@ -340,6 +369,7 @@ impl Pipeline {
             joiners,
             elapsed_ms: self.started.elapsed().as_millis() as u64,
             traces,
+            auditor: self.auditor,
         })
     }
 }
@@ -389,6 +419,9 @@ mod tests {
         let total_stored: u64 = report.joiners.iter().map(|j| j.stored).sum();
         assert_eq!(total_stored, 1_000);
         assert!(report.snapshot.latency.count > 0);
+        if let Some(a) = &report.auditor {
+            a.assert_clean();
+        }
     }
 
     #[test]
@@ -410,6 +443,9 @@ mod tests {
         for t in &complete {
             assert!(t.has_hop(bistream_types::trace::HopKind::Enqueue));
             assert!(t.has_hop(bistream_types::trace::HopKind::Dequeue));
+        }
+        if let Some(a) = &report.auditor {
+            a.assert_clean();
         }
     }
 

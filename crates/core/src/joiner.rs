@@ -18,6 +18,7 @@ use crate::layout::JoinerId;
 use crate::ordering::{Released, ReorderBuffer};
 use bistream_cluster::{CostModel, ResourceMeter};
 use bistream_index::{ChainedIndex, IndexKind, IndexObs};
+use bistream_types::audit::Auditor;
 use bistream_types::batch::BatchMessage;
 use bistream_types::error::Result;
 use bistream_types::journal::{EventJournal, EventKind};
@@ -78,15 +79,17 @@ impl JoinerMetrics {
         let labels: &[(&str, &str)] = &[("joiner", &joiner)];
         let reg = &obs.registry;
         JoinerMetrics {
-            stored: reg.counter("bistream_joiner_stored_total", labels),
-            probes: reg.counter("bistream_joiner_probes_total", labels),
-            candidates: reg.counter("bistream_joiner_candidates_total", labels),
-            results: reg.counter("bistream_joiner_results_total", labels),
-            expired: reg.counter("bistream_joiner_expired_total", labels),
-            stored_tuples: reg.gauge("bistream_joiner_stored_tuples", labels),
-            reorder_depth_max: reg.gauge("bistream_joiner_reorder_depth_max", labels),
-            frontier_lag: reg.gauge("bistream_joiner_frontier_lag", labels),
-            latency_ms: reg.histogram("bistream_joiner_result_latency_ms", labels),
+            stored: reg.counter(bistream_types::metric_names::JOINER_STORED_TOTAL, labels),
+            probes: reg.counter(bistream_types::metric_names::JOINER_PROBES_TOTAL, labels),
+            candidates: reg.counter(bistream_types::metric_names::JOINER_CANDIDATES_TOTAL, labels),
+            results: reg.counter(bistream_types::metric_names::JOINER_RESULTS_TOTAL, labels),
+            expired: reg.counter(bistream_types::metric_names::JOINER_EXPIRED_TOTAL, labels),
+            stored_tuples: reg.gauge(bistream_types::metric_names::JOINER_STORED_TUPLES, labels),
+            reorder_depth_max: reg
+                .gauge(bistream_types::metric_names::JOINER_REORDER_DEPTH_MAX, labels),
+            frontier_lag: reg.gauge(bistream_types::metric_names::JOINER_FRONTIER_LAG, labels),
+            latency_ms: reg
+                .histogram(bistream_types::metric_names::JOINER_RESULT_LATENCY_MS, labels),
             journal: obs.journal.clone(),
             unit,
         }
@@ -122,6 +125,9 @@ pub struct JoinerCore {
     /// Cap on the same-purpose runs the batched path processes at once
     /// (1 = per-tuple processing, identical to [`JoinerCore::handle`]).
     batch_size: usize,
+    /// Invariant auditor (test/debug harnesses): checks channel FIFO and
+    /// release order on every message, and Theorem 1 via the index.
+    auditor: Option<Auditor>,
 }
 
 impl JoinerCore {
@@ -167,7 +173,18 @@ impl JoinerCore {
             tracer: Tracer::disabled(),
             now: 0,
             batch_size: 1,
+            auditor: None,
         }
+    }
+
+    /// Attach the invariant [`Auditor`]: every incoming message is checked
+    /// for per-channel FIFO (Definition 8), every reorder-buffer release
+    /// for order consistency against the watermark and the channel's
+    /// punctuation frontier (Definition 7), and every wholesale index
+    /// discard against Theorem 1.
+    pub fn set_auditor(&mut self, auditor: Auditor) {
+        self.index.set_auditor(auditor.clone(), self.unit_label.clone());
+        self.auditor = Some(auditor);
     }
 
     /// Set the batched path's run cap (clamped to at least 1). Store and
@@ -204,6 +221,9 @@ impl JoinerCore {
     /// with wall time before each handled message.
     pub fn set_now(&mut self, now: Ts) {
         self.now = self.now.max(now);
+        if let Some(a) = &self.auditor {
+            a.set_now(self.now);
+        }
     }
 
     /// Push the point-in-time gauges (memory, stored tuples, reorder
@@ -274,6 +294,12 @@ impl JoinerCore {
         if let Some(buf) = &mut self.reorder {
             let mut released = std::mem::take(&mut self.released);
             buf.deregister_router(router, &mut released);
+            if let Some(a) = &self.auditor {
+                let wm = buf.watermark().unwrap_or(SeqNo::MAX);
+                for r in &released {
+                    a.release(&self.unit_label, r.router, r.seq, wm);
+                }
+            }
             for r in released.drain(..) {
                 self.process(r.purpose, r.seq, r.tuple, emit)?;
             }
@@ -313,9 +339,25 @@ impl JoinerCore {
                     StreamMessage::Punct(p) => Some((p.router, p.seq)),
                     _ => None,
                 };
+                if let Some(a) = &self.auditor {
+                    match &msg {
+                        StreamMessage::Data { router, seq, .. } => {
+                            a.channel_recv(&self.unit_label, *router, *seq)
+                        }
+                        StreamMessage::Punct(p) => {
+                            a.channel_punct(&self.unit_label, p.router, p.seq)
+                        }
+                    }
+                }
                 let wm_before = buf.watermark();
                 let mut released = std::mem::take(&mut self.released);
                 buf.offer(msg, &mut released);
+                if let Some(a) = &self.auditor {
+                    let wm = buf.watermark().unwrap_or(SeqNo::MAX);
+                    for r in &released {
+                        a.release(&self.unit_label, r.router, r.seq, wm);
+                    }
+                }
                 let advanced = buf.watermark() > wm_before;
                 if let (Some(m), Some((router, seq)), true) = (&self.metrics, punct, advanced) {
                     m.journal.record(
@@ -372,16 +414,30 @@ impl JoinerCore {
                 let wm_before = buf.watermark();
                 let mut released = std::mem::take(&mut self.released);
                 match msg {
-                    BatchMessage::Punct(p) => buf.offer(StreamMessage::Punct(p), &mut released),
+                    BatchMessage::Punct(p) => {
+                        if let Some(a) = &self.auditor {
+                            a.channel_punct(&self.unit_label, p.router, p.seq);
+                        }
+                        buf.offer(StreamMessage::Punct(p), &mut released)
+                    }
                     BatchMessage::Batch(b) => {
                         let router = b.router();
                         let purpose = b.purpose();
                         for e in b.into_entries() {
+                            if let Some(a) = &self.auditor {
+                                a.channel_recv(&self.unit_label, router, e.seq);
+                            }
                             buf.offer(
                                 StreamMessage::Data { router, seq: e.seq, purpose, tuple: e.tuple },
                                 &mut released,
                             );
                         }
+                    }
+                }
+                if let Some(a) = &self.auditor {
+                    let wm = buf.watermark().unwrap_or(SeqNo::MAX);
+                    for r in &released {
+                        a.release(&self.unit_label, r.router, r.seq, wm);
                     }
                 }
                 let advanced = buf.watermark() > wm_before;
@@ -547,6 +603,39 @@ impl JoinerCore {
         if let Some(buf) = &mut self.reorder {
             let mut released = std::mem::take(&mut self.released);
             buf.flush(&mut released);
+            // Terminal flush deliberately releases past the punctuation
+            // frontiers (the residue is complete and sorted), so the
+            // per-release audit hooks do not apply here.
+            for r in released.drain(..) {
+                self.process(r.purpose, r.seq, r.tuple, emit)?;
+            }
+            self.released = released;
+            self.sync_observables();
+        }
+        Ok(())
+    }
+
+    /// Fault injection for auditor tests: corrupt one router's punctuation
+    /// frontier in the reorder buffer (see
+    /// [`ReorderBuffer::debug_corrupt_frontier`]) and process whatever the
+    /// corrupt watermark prematurely releases. Never called by production
+    /// code.
+    #[doc(hidden)]
+    pub fn debug_corrupt_frontier<F: FnMut(JoinResult)>(
+        &mut self,
+        router: RouterId,
+        seq: SeqNo,
+        emit: &mut F,
+    ) -> Result<()> {
+        if let Some(buf) = &mut self.reorder {
+            let mut released = std::mem::take(&mut self.released);
+            buf.debug_corrupt_frontier(router, seq, &mut released);
+            if let Some(a) = &self.auditor {
+                let wm = buf.watermark().unwrap_or(SeqNo::MAX);
+                for r in &released {
+                    a.release(&self.unit_label, r.router, r.seq, wm);
+                }
+            }
             for r in released.drain(..) {
                 self.process(r.purpose, r.seq, r.tuple, emit)?;
             }
@@ -814,15 +903,31 @@ mod tests {
 
         let snap = obs.registry.scrape(20);
         let labels: &[(&str, &str)] = &[("joiner", "R0")];
-        assert_eq!(snap.counter("bistream_joiner_stored_total", labels), Some(1));
-        assert_eq!(snap.counter("bistream_joiner_probes_total", labels), Some(1));
-        assert_eq!(snap.counter("bistream_joiner_results_total", labels), Some(1));
-        assert_eq!(snap.gauge("bistream_joiner_stored_tuples", labels), Some(1));
-        assert_eq!(snap.gauge("bistream_joiner_reorder_depth_max", labels), Some(2));
+        assert_eq!(
+            snap.counter(bistream_types::metric_names::JOINER_STORED_TOTAL, labels),
+            Some(1)
+        );
+        assert_eq!(
+            snap.counter(bistream_types::metric_names::JOINER_PROBES_TOTAL, labels),
+            Some(1)
+        );
+        assert_eq!(
+            snap.counter(bistream_types::metric_names::JOINER_RESULTS_TOTAL, labels),
+            Some(1)
+        );
+        assert_eq!(snap.gauge(bistream_types::metric_names::JOINER_STORED_TUPLES, labels), Some(1));
+        assert_eq!(
+            snap.gauge(bistream_types::metric_names::JOINER_REORDER_DEPTH_MAX, labels),
+            Some(2)
+        );
         // The index side of the unit is registered under the same label.
-        assert_eq!(snap.gauge("bistream_index_live_tuples", labels), Some(1));
+        assert_eq!(snap.gauge(bistream_types::metric_names::INDEX_LIVE_TUPLES, labels), Some(1));
         // The pod meter is registered under pod="R0".
-        assert!(snap.counter("bistream_pod_cpu_busy_us_total", &[("pod", "R0")]).unwrap_or(0) > 0);
+        assert!(
+            snap.counter(bistream_types::metric_names::POD_CPU_BUSY_US_TOTAL, &[("pod", "R0")])
+                .unwrap_or(0)
+                > 0
+        );
 
         let events = obs.journal.drain();
         let tags: Vec<&str> = events.iter().map(|e| e.kind.tag()).collect();

@@ -150,10 +150,9 @@ impl Layout {
             Rel::R => &mut self.r_units,
             Rel::S => &mut self.s_units,
         };
-        if units.len() <= 1 {
+        let Some(id) = (units.len() > 1).then(|| units.pop()).flatten() else {
             return Err(Error::Scaling(format!("side {side} cannot drop below one unit")));
-        }
-        let id = units.pop().expect("len checked");
+        };
         self.version += 1;
         Ok(id)
     }

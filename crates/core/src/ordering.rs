@@ -221,10 +221,28 @@ impl ReorderBuffer {
             if top.seq > watermark {
                 break;
             }
-            let Reverse(p) = self.heap.pop().expect("peeked");
+            let Some(Reverse(p)) = self.heap.pop() else { break };
             self.stats.released += 1;
             out.push(Released { router: p.router, seq: p.seq, purpose: p.purpose, tuple: p.tuple });
         }
+    }
+
+    /// Fault injection for auditor tests: force `router`'s frontier to
+    /// `seq`, bypassing the monotonic `max` that [`ReorderBuffer::offer`]
+    /// applies to punctuations, then release whatever the corrupt
+    /// watermark unblocks. This simulates a broken watermark computation
+    /// (e.g. a frontier advancing on data instead of punctuation) so tests
+    /// can prove the invariant auditor catches the resulting premature,
+    /// out-of-order releases. Never called by production code.
+    #[doc(hidden)]
+    pub fn debug_corrupt_frontier(
+        &mut self,
+        router: RouterId,
+        seq: SeqNo,
+        out: &mut Vec<Released>,
+    ) {
+        self.frontiers.insert(router, seq);
+        self.release(out);
     }
 }
 

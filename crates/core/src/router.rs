@@ -9,6 +9,7 @@
 
 use crate::config::RoutingStrategy;
 use crate::layout::{JoinerId, Layout};
+use bistream_types::audit::Auditor;
 use bistream_types::batch::{BatchMessage, TupleBatch};
 use bistream_types::error::{Error, Result};
 use bistream_types::hash::{bucket_of, hash_one, FxHashMap};
@@ -102,12 +103,13 @@ impl RouterMetrics {
         let label = format!("r{id}");
         let labels: &[(&str, &str)] = &[("router", &label)];
         RouterMetrics {
-            tuples: registry.counter("bistream_router_tuples_total", labels),
-            copies: registry.counter("bistream_router_copies_total", labels),
-            punctuations: registry.counter("bistream_router_punctuations_total", labels),
+            tuples: registry.counter(bistream_types::metric_names::ROUTER_TUPLES_TOTAL, labels),
+            copies: registry.counter(bistream_types::metric_names::ROUTER_COPIES_TOTAL, labels),
+            punctuations: registry
+                .counter(bistream_types::metric_names::ROUTER_PUNCTUATIONS_TOTAL, labels),
             decisions: Self::decisions_handle(registry, &label, strategy),
-            rate_tps: registry.gauge("bistream_router_rate_tps", labels),
-            batch_len: registry.histogram("bistream_batch_size", labels),
+            rate_tps: registry.gauge(bistream_types::metric_names::ROUTER_RATE_TPS, labels),
+            batch_len: registry.histogram(bistream_types::metric_names::BATCH_SIZE, labels),
             per_dest: FxHashMap::default(),
             registry: registry.clone(),
             label,
@@ -120,7 +122,7 @@ impl RouterMetrics {
         strategy: RoutingStrategy,
     ) -> Arc<Counter> {
         registry.counter(
-            "bistream_router_route_decisions_total",
+            bistream_types::metric_names::ROUTER_ROUTE_DECISIONS_TOTAL,
             &[("router", label), ("strategy", strategy_label(strategy))],
         )
     }
@@ -132,7 +134,7 @@ impl RouterMetrics {
             .entry(dest)
             .or_insert_with(|| {
                 registry.counter(
-                    "bistream_router_dest_copies_total",
+                    bistream_types::metric_names::ROUTER_DEST_COPIES_TOTAL,
                     &[("router", router_label), ("dest", &dest.to_string())],
                 )
             })
@@ -173,6 +175,9 @@ pub struct RouterCore {
     /// receive both store and join copies from this router, and a
     /// [`TupleBatch`] carries exactly one purpose.
     pending: FxHashMap<(JoinerId, Purpose), TupleBatch>,
+    /// Invariant auditor (test/debug harnesses): checks sequence density
+    /// and punctuation monotonicity at the assignment point.
+    auditor: Option<Auditor>,
 }
 
 impl RouterCore {
@@ -197,7 +202,15 @@ impl RouterCore {
             tracer: Tracer::disabled(),
             batch_size: 1,
             pending: FxHashMap::default(),
+            auditor: None,
         }
+    }
+
+    /// Attach the invariant [`Auditor`]: every sequence assignment and
+    /// punctuation this router makes is then checked for density,
+    /// global uniqueness and monotonicity (the premises of Definition 7).
+    pub fn set_auditor(&mut self, auditor: Auditor) {
+        self.auditor = Some(auditor);
     }
 
     /// Set the micro-batch flush threshold (clamped to at least 1). With
@@ -292,6 +305,9 @@ impl RouterCore {
     ) -> Result<()> {
         let own = tuple.rel();
         let seq = self.seq.fetch_add(1, Ordering::SeqCst) + 1;
+        if let Some(a) = &self.auditor {
+            a.router_emit(self.id, seq);
+        }
         self.stats.tuples += 1;
         self.rate.record(tuple.ts());
 
@@ -364,6 +380,9 @@ impl RouterCore {
     /// watermark, even units this router never sent data to).
     pub fn punctuate(&mut self, layout: &Layout, out: &mut Vec<RoutedCopy>) {
         let p = Punctuation { router: self.id, seq: self.last_seq() };
+        if let Some(a) = &self.auditor {
+            a.router_punct(self.id, p.seq);
+        }
         for (_, dest) in layout.all_units() {
             out.push(RoutedCopy { dest, msg: StreamMessage::Punct(p) });
             self.stats.punctuations += 1;
@@ -394,6 +413,9 @@ impl RouterCore {
     ) -> Result<SeqNo> {
         let own = tuple.rel();
         let seq = self.seq.fetch_add(1, Ordering::SeqCst) + 1;
+        if let Some(a) = &self.auditor {
+            a.router_emit(self.id, seq);
+        }
         self.stats.tuples += 1;
         self.rate.record(tuple.ts());
 
@@ -469,7 +491,9 @@ impl RouterCore {
             .or_insert_with(|| TupleBatch::with_capacity(router, purpose, cap));
         batch.push(seq, tuple);
         if batch.len() >= cap {
-            let full = self.pending.remove(&(dest, purpose)).expect("just inserted");
+            // Swap a fresh batch in rather than remove-and-reinsert; the
+            // leftover empty batch is skipped by flush_batches.
+            let full = std::mem::replace(batch, TupleBatch::with_capacity(router, purpose, cap));
             if let Some(m) = &self.metrics {
                 m.batch_len.record(full.len() as u64);
             }
@@ -485,7 +509,7 @@ impl RouterCore {
         let mut keys: Vec<(JoinerId, Purpose)> = self.pending.keys().copied().collect();
         keys.sort_by_key(|&(d, p)| (d, p.as_byte()));
         for key in keys {
-            let batch = self.pending.remove(&key).expect("key from live map");
+            let Some(batch) = self.pending.remove(&key) else { continue };
             if batch.is_empty() {
                 continue;
             }
@@ -503,6 +527,9 @@ impl RouterCore {
     pub fn punctuate_batched(&mut self, layout: &Layout, out: &mut Vec<RoutedBatch>) {
         self.flush_batches(out);
         let p = Punctuation { router: self.id, seq: self.last_seq() };
+        if let Some(a) = &self.auditor {
+            a.router_punct(self.id, p.seq);
+        }
         for (_, dest) in layout.all_units() {
             out.push(RoutedBatch { dest, msg: BatchMessage::Punct(p) });
             self.stats.punctuations += 1;
@@ -708,13 +735,22 @@ mod tests {
         r.punctuate(&layout, &mut out);
         let snap = reg.scrape(0);
         let labels: &[(&str, &str)] = &[("router", "r1")];
-        assert_eq!(snap.counter("bistream_router_tuples_total", labels), Some(1));
+        assert_eq!(
+            snap.counter(bistream_types::metric_names::ROUTER_TUPLES_TOTAL, labels),
+            Some(1)
+        );
         // Store copy + join broadcast to both S units = 3 copies.
-        assert_eq!(snap.counter("bistream_router_copies_total", labels), Some(3));
-        assert_eq!(snap.counter("bistream_router_punctuations_total", labels), Some(4));
+        assert_eq!(
+            snap.counter(bistream_types::metric_names::ROUTER_COPIES_TOTAL, labels),
+            Some(3)
+        );
+        assert_eq!(
+            snap.counter(bistream_types::metric_names::ROUTER_PUNCTUATIONS_TOTAL, labels),
+            Some(4)
+        );
         assert_eq!(
             snap.counter(
-                "bistream_router_route_decisions_total",
+                bistream_types::metric_names::ROUTER_ROUTE_DECISIONS_TOTAL,
                 &[("router", "r1"), ("strategy", "random")]
             ),
             Some(1)
@@ -723,7 +759,7 @@ mod tests {
         let dest_total: u64 = snap
             .samples
             .iter()
-            .filter(|s| s.key.name == "bistream_router_dest_copies_total")
+            .filter(|s| s.key.name == bistream_types::metric_names::ROUTER_DEST_COPIES_TOTAL)
             .map(|s| match s.value {
                 bistream_types::registry::MetricValue::Counter(v) => v,
                 _ => 0,
@@ -735,7 +771,7 @@ mod tests {
         r.route(&tuple(Rel::R, 5), &layout, &mut out).unwrap();
         assert_eq!(
             reg.scrape(0).counter(
-                "bistream_router_route_decisions_total",
+                bistream_types::metric_names::ROUTER_ROUTE_DECISIONS_TOTAL,
                 &[("router", "r1"), ("strategy", "hash")]
             ),
             Some(1)
@@ -848,7 +884,7 @@ mod tests {
         let snap = reg.scrape(0);
         let labels: &[(&str, &str)] = &[("router", "r1")];
         let Some(bistream_types::registry::MetricValue::Histogram(h)) =
-            snap.get("bistream_batch_size", labels)
+            snap.get(bistream_types::metric_names::BATCH_SIZE, labels)
         else {
             panic!("bistream_batch_size histogram registered");
         };

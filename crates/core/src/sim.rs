@@ -180,7 +180,7 @@ pub fn run_dynamic_scaling(
         }
 
         if t == tuple_ts {
-            let tuple = feed.next_tuple().expect("peeked");
+            let Some(tuple) = feed.next_tuple() else { break };
             engine.ingest(&tuple, t)?;
         } else if t == next_punct {
             engine.punctuate(t)?;

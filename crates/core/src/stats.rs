@@ -33,11 +33,27 @@ impl EngineStats {
     /// (typically `engine="sim"` / `engine="live"`), using the same metric
     /// names as the legacy [`EngineSnapshot::prometheus_text`] endpoint.
     pub fn register_into(&self, registry: &MetricsRegistry, labels: &[(&str, &str)]) {
-        registry.register_counter("bistream_tuples_ingested_total", labels, &self.ingested);
-        registry.register_counter("bistream_join_results_total", labels, &self.results);
-        registry.register_counter("bistream_copies_total", labels, &self.copies);
-        registry.register_counter("bistream_punctuations_total", labels, &self.punctuations);
-        registry.register_histogram("bistream_result_latency_ms", labels, &self.latency_ms);
+        registry.register_counter(
+            bistream_types::metric_names::TUPLES_INGESTED_TOTAL,
+            labels,
+            &self.ingested,
+        );
+        registry.register_counter(
+            bistream_types::metric_names::JOIN_RESULTS_TOTAL,
+            labels,
+            &self.results,
+        );
+        registry.register_counter(bistream_types::metric_names::COPIES_TOTAL, labels, &self.copies);
+        registry.register_counter(
+            bistream_types::metric_names::PUNCTUATIONS_TOTAL,
+            labels,
+            &self.punctuations,
+        );
+        registry.register_histogram(
+            bistream_types::metric_names::RESULT_LATENCY_MS,
+            labels,
+            &self.latency_ms,
+        );
     }
 
     /// Point-in-time summary.
@@ -95,32 +111,37 @@ impl EngineSnapshot {
             ));
         };
         metric(
-            "bistream_tuples_ingested_total",
+            bistream_types::metric_names::TUPLES_INGESTED_TOTAL,
             "Tuples ingested",
             "counter",
             self.ingested.to_string(),
         );
         metric(
-            "bistream_join_results_total",
+            bistream_types::metric_names::JOIN_RESULTS_TOTAL,
             "Join results emitted",
             "counter",
             self.results.to_string(),
         );
-        metric("bistream_copies_total", "Data copies routed", "counter", self.copies.to_string());
         metric(
-            "bistream_punctuations_total",
+            bistream_types::metric_names::COPIES_TOTAL,
+            "Data copies routed",
+            "counter",
+            self.copies.to_string(),
+        );
+        metric(
+            bistream_types::metric_names::PUNCTUATIONS_TOTAL,
             "Punctuation messages sent",
             "counter",
             self.punctuations.to_string(),
         );
         metric(
-            "bistream_result_latency_ms_p50",
+            bistream_types::metric_names::RESULT_LATENCY_MS_P50,
             "Median result latency",
             "gauge",
             self.latency.p50.to_string(),
         );
         metric(
-            "bistream_result_latency_ms_p99",
+            bistream_types::metric_names::RESULT_LATENCY_MS_P99,
             "99th percentile result latency",
             "gauge",
             self.latency.p99.to_string(),
@@ -186,8 +207,11 @@ mod tests {
         s.latency_ms.record(7);
         let snap = reg.scrape(0);
         let labels: &[(&str, &str)] = &[("engine", "sim")];
-        assert_eq!(snap.counter("bistream_tuples_ingested_total", labels), Some(5));
-        match snap.get("bistream_result_latency_ms", labels) {
+        assert_eq!(
+            snap.counter(bistream_types::metric_names::TUPLES_INGESTED_TOTAL, labels),
+            Some(5)
+        );
+        match snap.get(bistream_types::metric_names::RESULT_LATENCY_MS, labels) {
             Some(bistream_types::registry::MetricValue::Histogram(h)) => {
                 assert_eq!(h.count, 1)
             }

@@ -1,6 +1,7 @@
 //! The chained in-memory index proper.
 
 use crate::sub::{IndexKind, SubIndex, ENTRY_OVERHEAD_BYTES};
+use bistream_types::audit::Auditor;
 use bistream_types::journal::{EventJournal, EventKind};
 use bistream_types::metrics::{Counter, Gauge, Histogram};
 use bistream_types::predicate::ProbePlan;
@@ -19,22 +20,27 @@ use std::sync::Arc;
 #[derive(Debug)]
 struct Link {
     index: SubIndex,
-    /// Smallest tuple timestamp stored (meaningful once `count > 0`).
-    min_ts: Ts,
-    /// Largest tuple timestamp stored.
-    max_ts: Ts,
+    /// `(min_ts, max_ts)` of the stored tuples, or `None` while the link is
+    /// empty. Making the span an `Option` (rather than the old
+    /// `min_ts: Ts::MAX, max_ts: 0` sentinel pair) forces every reader to
+    /// decide what an empty link means instead of silently comparing
+    /// against an inverted span.
+    span: Option<(Ts, Ts)>,
     count: usize,
     bytes: usize,
 }
 
 impl Link {
     fn new(kind: IndexKind) -> Link {
-        Link { index: SubIndex::new(kind), min_ts: Ts::MAX, max_ts: 0, count: 0, bytes: 0 }
+        Link { index: SubIndex::new(kind), span: None, count: 0, bytes: 0 }
     }
 
     fn insert(&mut self, key: Value, tuple: Tuple) {
-        self.min_ts = self.min_ts.min(tuple.ts());
-        self.max_ts = self.max_ts.max(tuple.ts());
+        let ts = tuple.ts();
+        self.span = Some(match self.span {
+            Some((lo, hi)) => (lo.min(ts), hi.max(ts)),
+            None => (ts, ts),
+        });
         self.count += 1;
         self.bytes += tuple.size_bytes() + ENTRY_OVERHEAD_BYTES;
         self.index.insert(key, tuple);
@@ -108,16 +114,23 @@ impl IndexObs {
             journal: obs.journal.clone(),
             side,
             unit,
-            sub_indexes: reg.gauge("bistream_index_sub_indexes", labels),
-            live_tuples: reg.gauge("bistream_index_live_tuples", labels),
-            live_bytes: reg.gauge("bistream_index_live_bytes", labels),
-            archived_tuples: reg.counter("bistream_index_archived_tuples_total", labels),
-            archived_bytes: reg.counter("bistream_index_archived_bytes_total", labels),
-            expired_tuples: reg.counter("bistream_index_expired_tuples_total", labels),
-            expired_bytes: reg.counter("bistream_index_expired_bytes_total", labels),
-            expired_sub_indexes: reg.counter("bistream_index_expired_sub_indexes_total", labels),
-            probe_sub_indexes: reg.histogram("bistream_index_probe_sub_indexes", labels),
-            probe_candidates: reg.histogram("bistream_index_probe_candidates", labels),
+            sub_indexes: reg.gauge(bistream_types::metric_names::INDEX_SUB_INDEXES, labels),
+            live_tuples: reg.gauge(bistream_types::metric_names::INDEX_LIVE_TUPLES, labels),
+            live_bytes: reg.gauge(bistream_types::metric_names::INDEX_LIVE_BYTES, labels),
+            archived_tuples: reg
+                .counter(bistream_types::metric_names::INDEX_ARCHIVED_TUPLES_TOTAL, labels),
+            archived_bytes: reg
+                .counter(bistream_types::metric_names::INDEX_ARCHIVED_BYTES_TOTAL, labels),
+            expired_tuples: reg
+                .counter(bistream_types::metric_names::INDEX_EXPIRED_TUPLES_TOTAL, labels),
+            expired_bytes: reg
+                .counter(bistream_types::metric_names::INDEX_EXPIRED_BYTES_TOTAL, labels),
+            expired_sub_indexes: reg
+                .counter(bistream_types::metric_names::INDEX_EXPIRED_SUB_INDEXES_TOTAL, labels),
+            probe_sub_indexes: reg
+                .histogram(bistream_types::metric_names::INDEX_PROBE_SUB_INDEXES, labels),
+            probe_candidates: reg
+                .histogram(bistream_types::metric_names::INDEX_PROBE_CANDIDATES, labels),
         }
     }
 }
@@ -155,6 +168,9 @@ pub struct ChainedIndex {
     expired_bytes: u64,
     expired_sub_indexes: u64,
     obs: Option<IndexObs>,
+    /// Invariant auditor plus the owning joiner's label (e.g. `"R3"`);
+    /// every wholesale discard is checked against Theorem 1.
+    audit: Option<(Auditor, String)>,
 }
 
 impl ChainedIndex {
@@ -175,7 +191,16 @@ impl ChainedIndex {
             expired_bytes: 0,
             expired_sub_indexes: 0,
             obs: None,
+            audit: None,
         }
+    }
+
+    /// Attach the invariant [`Auditor`]: every wholesale discard performed
+    /// by [`ChainedIndex::expire`] is then checked against Theorem 1 (the
+    /// dropped link's newest tuple must be more than one window older than
+    /// the incoming opposite-side timestamp) under `owner`'s label.
+    pub fn set_auditor(&mut self, auditor: Auditor, owner: String) {
+        self.audit = Some((auditor, owner));
     }
 
     /// Attach observability hooks (see [`IndexObs::register`]). The gauges
@@ -235,12 +260,8 @@ impl ChainedIndex {
     }
 
     fn insert_inner(&mut self, key: Value, tuple: Tuple) {
-        if self.active.count > 0 {
-            let span_after = self
-                .active
-                .max_ts
-                .max(tuple.ts())
-                .saturating_sub(self.active.min_ts.min(tuple.ts()));
+        if let Some((min_ts, max_ts)) = self.active.span {
+            let span_after = max_ts.max(tuple.ts()).saturating_sub(min_ts.min(tuple.ts()));
             if span_after > self.period {
                 let sealed = std::mem::replace(&mut self.active, Link::new(self.kind));
                 if let Some(obs) = &self.obs {
@@ -272,8 +293,24 @@ impl ChainedIndex {
     pub fn expire(&mut self, incoming_ts: Ts) -> usize {
         let mut dropped = 0usize;
         while let Some(front) = self.archived.front() {
-            if front.count == 0 || self.window.is_expired(front.max_ts, incoming_ts) {
-                let link = self.archived.pop_front().expect("front checked");
+            let stale = match front.span {
+                // An empty link holds no state worth keeping; drop it.
+                None => true,
+                Some((_, max_ts)) => self.window.is_expired(max_ts, incoming_ts),
+            };
+            if stale {
+                let Some(link) = self.archived.pop_front() else { break };
+                if let Some((auditor, owner)) = &self.audit {
+                    let (min_ts, max_ts) = link.span.unwrap_or((Ts::MAX, 0));
+                    auditor.index_discard(
+                        owner,
+                        min_ts,
+                        max_ts,
+                        link.count as u64,
+                        incoming_ts,
+                        self.window.size(),
+                    );
+                }
                 dropped += link.count;
                 self.expired_tuples += link.count as u64;
                 self.expired_bytes += link.bytes as u64;
@@ -317,15 +354,14 @@ impl ChainedIndex {
         let mut stats = ProbeStats::default();
         let window = self.window;
         for link in self.archived.iter().chain(std::iter::once(&self.active)) {
-            if link.count == 0 {
-                continue;
-            }
+            // Empty links have no span and nothing to probe.
+            let Some((min_ts, max_ts)) = link.span else { continue };
             // Skip links entirely out of window scope (cheap span check).
-            if !window.in_scope(link.max_ts, probe_ts) && !window.in_scope(link.min_ts, probe_ts) {
+            if !window.in_scope(max_ts, probe_ts) && !window.in_scope(min_ts, probe_ts) {
                 // The whole span is on one side of the window iff both ends
                 // are out on the same side; spans straddling the window
                 // would have one end in scope.
-                if link.max_ts < probe_ts || link.min_ts > probe_ts {
+                if max_ts < probe_ts || min_ts > probe_ts {
                     continue;
                 }
             }
@@ -385,16 +421,14 @@ impl ChainedIndex {
         let mut matched: Vec<Vec<Tuple>> = vec![Vec::new(); probes.len()];
         let window = self.window;
         for link in self.archived.iter().chain(std::iter::once(&self.active)) {
-            if link.count == 0 {
-                continue;
-            }
+            let Some((min_ts, max_ts)) = link.span else { continue };
             for &i in &order {
                 let (plan, probe_ts) = &probes[i];
                 let probe_ts = *probe_ts;
                 // Same span-scope skip as the standalone probe.
-                if !window.in_scope(link.max_ts, probe_ts)
-                    && !window.in_scope(link.min_ts, probe_ts)
-                    && (link.max_ts < probe_ts || link.min_ts > probe_ts)
+                if !window.in_scope(max_ts, probe_ts)
+                    && !window.in_scope(min_ts, probe_ts)
+                    && (max_ts < probe_ts || min_ts > probe_ts)
                 {
                     continue;
                 }
@@ -609,22 +643,25 @@ mod tests {
         let snap = obs.registry.scrape(400);
         let labels: &[(&str, &str)] = &[("joiner", "R2")];
         assert!(
-            snap.get("bistream_index_probe_sub_indexes", labels).is_some(),
+            snap.get(bistream_types::metric_names::INDEX_PROBE_SUB_INDEXES, labels).is_some(),
             "probe fan-out histogram fed"
         );
-        assert!(snap.get("bistream_index_probe_candidates", labels).is_some());
+        assert!(snap.get(bistream_types::metric_names::INDEX_PROBE_CANDIDATES, labels).is_some());
         let stats = c.stats();
-        assert_eq!(snap.gauge("bistream_index_live_tuples", labels), Some(stats.tuples as u64));
         assert_eq!(
-            snap.gauge("bistream_index_sub_indexes", labels),
+            snap.gauge(bistream_types::metric_names::INDEX_LIVE_TUPLES, labels),
+            Some(stats.tuples as u64)
+        );
+        assert_eq!(
+            snap.gauge(bistream_types::metric_names::INDEX_SUB_INDEXES, labels),
             Some(stats.sub_indexes as u64)
         );
         assert_eq!(
-            snap.counter("bistream_index_expired_tuples_total", labels),
+            snap.counter(bistream_types::metric_names::INDEX_EXPIRED_TUPLES_TOTAL, labels),
             Some(stats.expired_tuples)
         );
         assert_eq!(
-            snap.counter("bistream_index_expired_bytes_total", labels),
+            snap.counter(bistream_types::metric_names::INDEX_EXPIRED_BYTES_TOTAL, labels),
             Some(stats.expired_bytes)
         );
         assert!(stats.expired_bytes > 0);
@@ -638,6 +675,58 @@ mod tests {
                 e.kind,
                 bistream_types::journal::EventKind::SubIndexDiscarded { side: Rel::R, unit: 2, .. }
             )));
+    }
+
+    #[test]
+    fn empty_link_has_no_span_and_is_skipped_by_probe_and_expiry() {
+        // Regression for the old `min_ts: Ts::MAX, max_ts: 0` sentinel
+        // pair: an empty-but-present link must never contribute its
+        // (previously inverted) span to probe scope-skips or expiry
+        // decisions.
+        assert_eq!(Link::new(IndexKind::Hash).span, None);
+        let mut c = chain(100, 50);
+        // Force an empty archived link directly — the degenerate state the
+        // sentinel made dangerous.
+        c.archived.push_back(Link::new(IndexKind::Hash));
+        c.insert(Value::Int(1), t(10, 1));
+        let mut hits = 0;
+        let stats = c.probe(&exact(1), 10, |_| hits += 1);
+        assert_eq!(hits, 1, "live tuple still found");
+        assert_eq!(stats.sub_indexes, 1, "empty link not counted as probed");
+        let mut batch_hits = 0;
+        c.probe_batch(&[(exact(1), 10)], |_, _| batch_hits += 1);
+        assert_eq!(batch_hits, 1);
+        // Expiry drops the empty link without charging any tuples/bytes…
+        assert_eq!(c.expire(10), 0);
+        let stats = c.stats();
+        assert_eq!(stats.expired_tuples, 0);
+        assert_eq!(stats.expired_sub_indexes, 1);
+        // …and the live (active) tuple survives.
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn auditor_accepts_lawful_discards_and_catches_premature_ones() {
+        use bistream_types::audit::Auditor;
+
+        // Lawful expiry through the chain: zero violations, including for
+        // the empty-link fast path.
+        let auditor = Auditor::new();
+        let mut c = chain(100, 50);
+        c.set_auditor(auditor.clone(), "R0".into());
+        c.archived.push_back(Link::new(IndexKind::Hash));
+        for ts in (0..=300).step_by(25) {
+            c.insert(Value::Int(1), t(ts, 1));
+        }
+        assert!(c.expire(500) > 0);
+        assert_eq!(auditor.violation_count(), 0, "{:?}", auditor.take_violations());
+
+        // The same hook flags a discard whose newest tuple is still inside
+        // the window — what a buggy expiry path would emit.
+        auditor.index_discard("R0", 0, 450, 3, 500, Some(100));
+        assert_eq!(auditor.violation_count(), 1, "premature discard not flagged");
+        let v = auditor.take_violations();
+        assert!(v[0].message.contains("Theorem 1"), "{v:?}");
     }
 
     #[test]

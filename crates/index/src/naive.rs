@@ -53,7 +53,7 @@ impl NaiveWindowIndex {
             if !self.window.is_expired(*ts, incoming_ts) {
                 break;
             }
-            let (ts, key) = self.log.pop_front().expect("front checked");
+            let Some((ts, key)) = self.log.pop_front() else { break };
             remove_one(&mut self.index, &key, ts);
             dropped += 1;
             self.expired += 1;

@@ -152,7 +152,7 @@ impl MatrixPipeline {
                     let mut keys: Vec<(usize, Purpose)> = pending.keys().copied().collect();
                     keys.sort_by_key(|&(idx, p)| (idx, p.as_byte()));
                     for key in keys {
-                        let batch = pending.remove(&key).expect("key from live map");
+                        let Some(batch) = pending.remove(&key) else { continue };
                         if batch.is_empty() {
                             continue;
                         }
@@ -187,8 +187,9 @@ impl MatrixPipeline {
                                 });
                                 batch.push(seq, tuple.clone());
                                 if batch.len() >= batch_size {
-                                    let full =
-                                        pending.remove(&(idx, purpose)).expect("just filled");
+                                    let Some(full) = pending.remove(&(idx, purpose)) else {
+                                        continue;
+                                    };
                                     broker.publish(
                                         CELLS_EXCHANGE,
                                         Message::new(

@@ -4,6 +4,7 @@
 use bistream_cluster::{CostModel, ResourceMeter};
 use bistream_core::stats::{EngineSnapshot, EngineStats};
 use bistream_index::{ChainedIndex, IndexKind};
+use bistream_types::audit::Auditor;
 use bistream_types::error::{Error, Result};
 use bistream_types::metrics::Counter;
 use bistream_types::predicate::{JoinPredicate, ProbePlan};
@@ -163,6 +164,10 @@ pub struct JoinMatrix {
     /// Ingest counter doubling as the trace sequence number.
     seq: u64,
     now: Ts,
+    /// Protocol-invariant auditor: Theorem 1 discard checks on every cell
+    /// fragment plus the output oracle (the matrix has no router tier, so
+    /// the sequencing and ordering rules do not apply here).
+    auditor: Option<Auditor>,
 }
 
 impl JoinMatrix {
@@ -175,7 +180,7 @@ impl JoinMatrix {
     pub fn with_cost(config: MatrixConfig, cost: CostModel) -> Result<JoinMatrix> {
         config.validate()?;
         let cells = (0..config.rows * config.cols).map(|_| Cell::new(&config)).collect();
-        Ok(JoinMatrix {
+        let mut matrix = JoinMatrix {
             rows: config.rows,
             cols: config.cols,
             rng: StdRng::seed_from_u64(config.seed),
@@ -188,8 +193,34 @@ impl JoinMatrix {
             tracer: Tracer::disabled(),
             seq: 0,
             now: 0,
+            auditor: Auditor::new_if_debug(),
             config,
-        })
+        };
+        matrix.audit_cells();
+        Ok(matrix)
+    }
+
+    /// Attach a specific auditor (debug builds self-arm one in
+    /// [`JoinMatrix::with_cost`]; use this to share or to audit a release
+    /// build). Re-hooks every cell fragment.
+    pub fn set_auditor(&mut self, auditor: Auditor) {
+        self.auditor = Some(auditor);
+        self.audit_cells();
+    }
+
+    /// The auditor observing this matrix, if any.
+    pub fn auditor(&self) -> Option<&Auditor> {
+        self.auditor.as_ref()
+    }
+
+    /// Point every cell fragment's discard hook at the current auditor.
+    fn audit_cells(&mut self) {
+        let Some(a) = self.auditor.clone() else { return };
+        for (idx, cell) in self.cells.iter_mut().enumerate() {
+            let label = format!("cell{}x{}", idx / self.cols, idx % self.cols);
+            cell.r_index.set_auditor(a.clone(), format!("{label}.R"));
+            cell.s_index.set_auditor(a.clone(), format!("{label}.S"));
+        }
     }
 
     /// Attach the unified observability layer: engine-wide series under
@@ -211,10 +242,10 @@ impl JoinMatrix {
         for row in 0..self.rows {
             for col in 0..self.cols {
                 let label = format!("{row}x{col}");
-                self.cell_replicated.push(
-                    obs.registry
-                        .counter("bistream_matrix_cell_replicated_total", &[("cell", &label)]),
-                );
+                self.cell_replicated.push(obs.registry.counter(
+                    bistream_types::metric_names::MATRIX_CELL_REPLICATED_TOTAL,
+                    &[("cell", &label)],
+                ));
                 let pod = format!("cell{label}");
                 self.cells[row * self.cols + col]
                     .meter
@@ -271,6 +302,18 @@ impl JoinMatrix {
     pub fn ingest(&mut self, tuple: &Tuple, now: Ts) -> Result<()> {
         self.now = self.now.max(now);
         self.stats.ingested.inc();
+        if let Some(a) = &self.auditor {
+            a.set_now(self.now);
+            if a.oracle_enabled() {
+                if let JoinPredicate::Equi { r_attr, s_attr } = &self.config.predicate {
+                    let is_r = tuple.rel() == Rel::R;
+                    let attr = if is_r { *r_attr } else { *s_attr };
+                    if let Some(key) = tuple.get(attr) {
+                        a.observe_input(is_r, tuple.ts(), key.to_string(), tuple.to_string());
+                    }
+                }
+            }
+        }
         self.seq += 1;
         let seq = self.seq;
         let targets: Vec<usize> = match tuple.rel() {
@@ -298,6 +341,7 @@ impl JoinMatrix {
         }
         let cost = self.cost;
         let stats = Arc::clone(&self.stats);
+        let auditor = self.auditor.clone();
         let cols = self.cols;
         for idx in targets {
             let capture = &mut self.capture;
@@ -306,6 +350,9 @@ impl JoinMatrix {
                 stats.results.inc();
                 stats.latency_ms.record(now.saturating_sub(jr.ts));
                 cell_results += 1;
+                if let Some(a) = auditor.as_ref().filter(|a| a.oracle_enabled()) {
+                    a.observe_output(&jr.r.to_string(), &jr.s.to_string());
+                }
                 if let Some(buf) = capture {
                     buf.push(jr);
                 }
@@ -365,6 +412,7 @@ impl JoinMatrix {
         self.rows = rows;
         self.cols = cols;
         self.cells = (0..rows * cols).map(|_| Cell::new(&self.config)).collect();
+        self.audit_cells();
         for tuple in live {
             let key = key_of(&self.config.predicate, &tuple)?;
             let targets: Vec<usize> = match tuple.rel() {
@@ -484,6 +532,27 @@ mod tests {
     }
 
     #[test]
+    fn audited_run_with_oracle_is_clean() {
+        let mut m = JoinMatrix::new(config(2, 2)).unwrap();
+        let auditor = Auditor::new();
+        m.set_auditor(auditor.clone());
+        auditor.enable_oracle(Some(1_000));
+        for i in 0..60i64 {
+            let ts = i as Ts * 9;
+            let rel = if i % 2 == 0 { Rel::R } else { Rel::S };
+            m.ingest(&t(rel, ts, i % 5), ts).unwrap();
+        }
+        // Expiry happened along the way (540ms of stream, 1s window kept
+        // everything live; stretch it to force Theorem 1 discards too).
+        for i in 0..10i64 {
+            let ts = 5_000 + i as Ts;
+            let rel = if i % 2 == 0 { Rel::R } else { Rel::S };
+            m.ingest(&t(rel, ts, i % 5), ts).unwrap();
+        }
+        auditor.assert_clean();
+    }
+
+    #[test]
     fn replication_factor_shows_in_memory_and_copies() {
         let mut m = JoinMatrix::new(config(4, 4)).unwrap();
         for i in 0..100i64 {
@@ -565,23 +634,41 @@ mod tests {
         // per-cell counters sum to the engine-wide copy count.
         let per_cell: u64 = ["0x0", "0x1", "1x0", "1x1"]
             .iter()
-            .map(|c| snap.counter("bistream_matrix_cell_replicated_total", &[("cell", c)]).unwrap())
+            .map(|c| {
+                snap.counter(
+                    bistream_types::metric_names::MATRIX_CELL_REPLICATED_TOTAL,
+                    &[("cell", c)],
+                )
+                .unwrap()
+            })
             .sum();
         assert_eq!(per_cell, 20);
         assert_eq!(
-            snap.counter("bistream_tuples_ingested_total", &[("engine", "matrix")]),
+            snap.counter(
+                bistream_types::metric_names::TUPLES_INGESTED_TOTAL,
+                &[("engine", "matrix")]
+            ),
             Some(10)
         );
-        assert!(snap.get("bistream_pod_cpu_busy_us_total", &[("pod", "cell0x0")]).is_some());
+        assert!(snap
+            .get(bistream_types::metric_names::POD_CPU_BUSY_US_TOTAL, &[("pod", "cell0x0")])
+            .is_some());
 
         m.resize(1, 3).unwrap();
         let snap = obs.registry.scrape(11);
         assert!(
-            snap.get("bistream_matrix_cell_replicated_total", &[("cell", "1x1")]).is_none(),
+            snap.get(
+                bistream_types::metric_names::MATRIX_CELL_REPLICATED_TOTAL,
+                &[("cell", "1x1")]
+            )
+            .is_none(),
             "destroyed cell's series dropped"
         );
         assert_eq!(
-            snap.counter("bistream_matrix_cell_replicated_total", &[("cell", "0x2")]),
+            snap.counter(
+                bistream_types::metric_names::MATRIX_CELL_REPLICATED_TOTAL,
+                &[("cell", "0x2")]
+            ),
             Some(0),
             "new shape registered from zero"
         );
@@ -589,7 +676,13 @@ mod tests {
         let snap = obs.registry.scrape(21);
         let post: u64 = ["0x0", "0x1", "0x2"]
             .iter()
-            .map(|c| snap.counter("bistream_matrix_cell_replicated_total", &[("cell", c)]).unwrap())
+            .map(|c| {
+                snap.counter(
+                    bistream_types::metric_names::MATRIX_CELL_REPLICATED_TOTAL,
+                    &[("cell", c)],
+                )
+                .unwrap()
+            })
             .sum();
         assert_eq!(post, 1, "S replicates across the single row's one column pick");
     }
@@ -614,8 +707,10 @@ mod tests {
         let emitted = traces.iter().filter(|tr| tr.has_hop(HopKind::Emit)).count();
         assert_eq!(emitted, 1, "only the probing S tuple emits the match");
         let snap = obs.registry.scrape(2);
-        assert_eq!(snap.counter("bistream_trace_completed_total", &[]), Some(2));
-        assert!(snap.get("bistream_trace_hop_service_ms", &[("hop", "store")]).is_some());
+        assert_eq!(snap.counter(bistream_types::metric_names::TRACE_COMPLETED_TOTAL, &[]), Some(2));
+        assert!(snap
+            .get(bistream_types::metric_names::TRACE_HOP_SERVICE_MS, &[("hop", "store")])
+            .is_some());
     }
 
     #[test]

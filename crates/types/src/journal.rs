@@ -94,6 +94,14 @@ pub enum EventKind {
         /// Name of the full queue.
         queue: String,
     },
+    /// The invariant auditor detected a protocol violation
+    /// (see [`crate::audit::Auditor`]).
+    InvariantViolation {
+        /// The broken rule, e.g. `release-order` or `theorem-1`.
+        rule: String,
+        /// Human-readable description of the broken check.
+        detail: String,
+    },
 }
 
 impl EventKind {
@@ -107,6 +115,7 @@ impl EventKind {
             EventKind::SubIndexDiscarded { .. } => "SubIndexDiscarded",
             EventKind::ScaleDecision { .. } => "ScaleDecision",
             EventKind::BackpressureStall { .. } => "BackpressureStall",
+            EventKind::InvariantViolation { .. } => "InvariantViolation",
         }
     }
 }
@@ -152,6 +161,14 @@ impl Event {
             }
             EventKind::BackpressureStall { queue } => {
                 let _ = write!(out, ",\"queue\":\"{}\"", escape_json(queue));
+            }
+            EventKind::InvariantViolation { rule, detail } => {
+                let _ = write!(
+                    out,
+                    ",\"rule\":\"{}\",\"detail\":\"{}\"",
+                    escape_json(rule),
+                    escape_json(detail)
+                );
             }
         }
         out.push('}');
@@ -249,6 +266,18 @@ impl EventJournal {
     /// `bistream_journal_dropped_total`.
     pub fn dropped_gauge(&self) -> Arc<Gauge> {
         Arc::clone(&self.dropped)
+    }
+
+    /// Snapshot the buffered events without consuming them, in record
+    /// order. Implemented as drain-and-re-record, so concurrent recorders
+    /// may interleave; intended for diagnostics (the invariant auditor's
+    /// violation chains), not for precise accounting.
+    pub fn snapshot(&self) -> Vec<Event> {
+        let events = self.drain();
+        for ev in &events {
+            self.record(ev.ts, ev.kind.clone());
+        }
+        events
     }
 
     /// Drain all buffered events in record order.

@@ -13,22 +13,44 @@
 
 #![warn(missing_docs)]
 
+/// Runtime invariant auditor: the ordering protocol's guarantees, checked
+/// mechanically while a harness runs.
+pub mod audit;
+/// Micro-batch frames: multi-tuple messages byte-compatible at batch 1.
 pub mod batch;
+/// The shared error and result types.
 pub mod error;
+/// Deterministic content hashing for routing decisions.
 pub mod hash;
+/// Bounded lock-free journal of typed runtime events.
 pub mod journal;
+/// The single source of truth for metric series names.
+pub mod metric_names;
+/// Counter/gauge/histogram primitives.
 pub mod metrics;
+/// Join predicates and probe plans.
 pub mod predicate;
+/// The ordering protocol's wire vocabulary: sequence numbers,
+/// punctuations, purposes and stream messages.
 pub mod punct;
+/// Labeled metrics registry and the shared observability bundle.
 pub mod registry;
+/// The two relations of a binary stream join.
 pub mod rel;
+/// Tuple schemas and builders.
 pub mod schema;
+/// The discrete time domain and the wall/virtual clock abstraction.
 pub mod time;
+/// Per-tuple causal tracing with latency attribution.
 pub mod trace;
+/// Streaming tuples and join results.
 pub mod tuple;
+/// The dynamically typed attribute values tuples carry.
 pub mod value;
+/// Window specifications and the Theorem-1 expiry rule.
 pub mod window;
 
+pub use audit::{Auditor, Violation};
 pub use batch::{BatchEntry, BatchMessage, TupleBatch};
 pub use error::{Error, Result};
 pub use journal::{Event, EventJournal, EventKind};

@@ -408,7 +408,11 @@ impl Observability {
 
     fn assemble(journal: EventJournal, tracer: Tracer) -> Observability {
         let registry = MetricsRegistry::new();
-        registry.register_gauge("bistream_journal_dropped_total", &[], &journal.dropped_gauge());
+        registry.register_gauge(
+            crate::metric_names::JOURNAL_DROPPED_TOTAL,
+            &[],
+            &journal.dropped_gauge(),
+        );
         tracer.attach_registry(&registry);
         Observability { registry, journal, tracer }
     }

@@ -92,6 +92,44 @@ impl Clock for VirtualClock {
     }
 }
 
+/// A one-shot wall-time stopwatch for benchmark and experiment timing.
+///
+/// This is the sanctioned way to measure elapsed wall time outside the
+/// live executors: raw `Instant::now()` is confined to this module by the
+/// `cargo xtask lint` wallclock rule, so simulations stay deterministic
+/// and every real-time measurement is greppable through one type.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    started: Instant,
+}
+
+impl Stopwatch {
+    /// Start timing now.
+    pub fn start() -> Stopwatch {
+        Stopwatch { started: Instant::now() }
+    }
+
+    /// Elapsed wall time since [`Stopwatch::start`].
+    pub fn elapsed(&self) -> std::time::Duration {
+        self.started.elapsed()
+    }
+
+    /// Elapsed seconds as a float.
+    pub fn elapsed_secs_f64(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// Elapsed milliseconds as a float.
+    pub fn elapsed_ms_f64(&self) -> f64 {
+        self.started.elapsed().as_secs_f64() * 1e3
+    }
+
+    /// Elapsed microseconds as a float.
+    pub fn elapsed_us_f64(&self) -> f64 {
+        self.started.elapsed().as_secs_f64() * 1e6
+    }
+}
+
 /// A shareable handle to any clock.
 pub type SharedClock = Arc<dyn Clock>;
 

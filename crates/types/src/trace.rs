@@ -339,17 +339,17 @@ impl Tracer {
             .map(|k| {
                 let labels: &[(&str, &str)] = &[("hop", k.label())];
                 (
-                    registry.histogram("bistream_trace_hop_wait_ms", labels),
-                    registry.histogram("bistream_trace_hop_service_ms", labels),
+                    registry.histogram(crate::metric_names::TRACE_HOP_WAIT_MS, labels),
+                    registry.histogram(crate::metric_names::TRACE_HOP_SERVICE_MS, labels),
                 )
             })
             .collect();
         let metrics = TraceMetrics {
             hops,
-            e2e: registry.histogram("bistream_trace_e2e_latency_ms", &[]),
-            completed: registry.counter("bistream_trace_completed_total", &[]),
+            e2e: registry.histogram(crate::metric_names::TRACE_E2E_LATENCY_MS, &[]),
+            completed: registry.counter(crate::metric_names::TRACE_COMPLETED_TOTAL, &[]),
         };
-        registry.register_counter("bistream_trace_dropped_total", &[], &inner.dropped);
+        registry.register_counter(crate::metric_names::TRACE_DROPPED_TOTAL, &[], &inner.dropped);
         *inner.metrics.lock() = Some(metrics);
     }
 
@@ -600,13 +600,13 @@ mod tests {
         t.span(1, HopKind::Store, "R0", 5, 5);
         t.end_branch(1);
         let snap = reg.scrape(10);
-        assert_eq!(snap.counter("bistream_trace_completed_total", &[]), Some(1));
-        assert_eq!(snap.counter("bistream_trace_dropped_total", &[]), Some(0));
+        assert_eq!(snap.counter(crate::metric_names::TRACE_COMPLETED_TOTAL, &[]), Some(1));
+        assert_eq!(snap.counter(crate::metric_names::TRACE_DROPPED_TOTAL, &[]), Some(0));
         assert!(
-            snap.get("bistream_trace_hop_service_ms", &[("hop", "store")]).is_some(),
+            snap.get(crate::metric_names::TRACE_HOP_SERVICE_MS, &[("hop", "store")]).is_some(),
             "per-hop histogram registered and fed"
         );
-        assert!(snap.get("bistream_trace_e2e_latency_ms", &[]).is_some());
+        assert!(snap.get(crate::metric_names::TRACE_E2E_LATENCY_MS, &[]).is_some());
     }
 
     #[test]

@@ -1,0 +1,682 @@
+//! The `cargo xtask lint` static pass: repo-specific rules the generic
+//! toolchain cannot express, enforced on every PR.
+//!
+//! The pass is deliberately dependency-free: a hand-rolled token scanner
+//! (comments, strings, raw strings and char literals handled) feeds four
+//! rules:
+//!
+//! 1. **wallclock** — no `Instant::now()` / `SystemTime` outside
+//!    `types::time` and the live-executor allowlist. Everything else must
+//!    go through the [`Clock`] abstraction so the simulator stays
+//!    deterministic.
+//! 2. **panic-site** — no `.unwrap()` / `.expect(…)` in non-test code of
+//!    the `core`, `broker` and `index` hot paths. Audited survivors
+//!    (provably-unreachable pops guarded by a peek, etc.) carry a per-file
+//!    budget in the allowlist; adding a new site fails the build until it
+//!    is reviewed.
+//! 3. **metric-name** — `"bistream_…"` series-name string literals may
+//!    only appear in `types::metric_names`, the single source of truth,
+//!    preventing registry/series drift.
+//! 4. **doc-comment** — `pub` items in `crates/types` must carry doc
+//!    comments (`#![warn(missing_docs)]` is advisory; this is not).
+//!
+//! Test code is exempt everywhere: `tests/`, `benches/`, `examples/`
+//! directories and anything at or below a file's first `#[cfg(test)]`.
+//!
+//! [`Clock`]: https://docs.rs/bistream-types/latest/bistream_types/time/trait.Clock.html
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Short rule identifier (`wallclock`, `panic-site`, `metric-name`,
+    /// `doc-comment`).
+    pub rule: &'static str,
+    /// Path relative to the workspace root.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// What was found and why it is rejected.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.message)
+    }
+}
+
+/// Parsed `xtask.allow`: audited exemptions from the lint rules.
+#[derive(Debug, Default, Clone)]
+pub struct Allowlist {
+    /// Files allowed to call `Instant::now()` / `SystemTime` (the live
+    /// executors, which genuinely run on wall time).
+    pub wallclock: Vec<String>,
+    /// Per-file budget of audited `.expect()` / `.unwrap()` sites in the
+    /// hot-path crates.
+    pub panic_budget: BTreeMap<String, usize>,
+}
+
+impl Allowlist {
+    /// Parse the allowlist format: one entry per line,
+    /// `wallclock <path>` or `panic <path> <count>`; `#` comments.
+    pub fn parse(text: &str) -> Result<Allowlist, String> {
+        let mut out = Allowlist::default();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut words = line.split_whitespace();
+            let (rule, path) = (words.next(), words.next());
+            match (rule, path) {
+                (Some("wallclock"), Some(p)) => out.wallclock.push(p.to_string()),
+                (Some("panic"), Some(p)) => {
+                    let budget: usize = words
+                        .next()
+                        .ok_or_else(|| format!("line {}: panic entry needs a count", i + 1))?
+                        .parse()
+                        .map_err(|e| format!("line {}: bad count: {e}", i + 1))?;
+                    out.panic_budget.insert(p.to_string(), budget);
+                }
+                _ => return Err(format!("line {}: unrecognised allowlist entry: {raw}", i + 1)),
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// A significant token produced by the scanner.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Token {
+    Ident(String),
+    Str(String),
+    /// Any other single significant character (`.`, `:`, `(` …).
+    Ch(char),
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone)]
+struct Spanned {
+    tok: Token,
+    line: usize,
+}
+
+/// Tokenize Rust source just well enough for the lint rules: skips line
+/// and (nested) block comments, normal and raw string literals are kept as
+/// `Token::Str`, char literals and lifetimes are skipped, identifiers are
+/// kept whole.
+fn scan(src: &str) -> Vec<Spanned> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    let mut line = 1;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                let mut depth = 1;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                let start_line = line;
+                let mut lit = String::new();
+                i += 1;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'\\' => {
+                            i += 2;
+                        }
+                        b'"' => {
+                            i += 1;
+                            break;
+                        }
+                        b => {
+                            if b == b'\n' {
+                                line += 1;
+                            }
+                            lit.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                out.push(Spanned { tok: Token::Str(lit), line: start_line });
+            }
+            'r' | 'b'
+                if {
+                    // Raw string heads: r", r#", br", b" …
+                    let mut j = i + 1;
+                    if c == 'b' && bytes.get(j) == Some(&b'r') {
+                        j += 1;
+                    }
+                    while bytes.get(j) == Some(&b'#') {
+                        j += 1;
+                    }
+                    (c != 'b' || j > i + 1 || bytes.get(j) == Some(&b'"'))
+                        && bytes.get(j) == Some(&b'"')
+                        && (c == 'b' || j > i + 1)
+                } =>
+            {
+                // Raw (or byte) string: skip to the matching quote+hashes.
+                let start_line = line;
+                let mut j = i + 1;
+                if c == 'b' && bytes.get(j) == Some(&b'r') {
+                    j += 1;
+                }
+                let mut hashes = 0;
+                while bytes.get(j) == Some(&b'#') {
+                    hashes += 1;
+                    j += 1;
+                }
+                j += 1; // opening quote
+                let mut lit = String::new();
+                'raw: while j < bytes.len() {
+                    if bytes[j] == b'"' {
+                        let mut k = j + 1;
+                        let mut seen = 0;
+                        while seen < hashes && bytes.get(k) == Some(&b'#') {
+                            seen += 1;
+                            k += 1;
+                        }
+                        if seen == hashes {
+                            j = k;
+                            break 'raw;
+                        }
+                    }
+                    if bytes[j] == b'\n' {
+                        line += 1;
+                    }
+                    lit.push(bytes[j] as char);
+                    j += 1;
+                }
+                out.push(Spanned { tok: Token::Str(lit), line: start_line });
+                i = j;
+            }
+            '\'' => {
+                // Char literal or lifetime. `'a'` / `'\n'` are literals;
+                // `'a` (no closing quote right after) is a lifetime.
+                if bytes.get(i + 1) == Some(&b'\\') {
+                    i += 2;
+                    while i < bytes.len() && bytes[i] != b'\'' {
+                        i += 1;
+                    }
+                    i += 1;
+                } else if bytes.get(i + 2) == Some(&b'\'') {
+                    i += 3;
+                } else {
+                    i += 1; // lifetime tick; identifier follows as a token
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push(Spanned { tok: Token::Ident(src[start..i].to_string()), line });
+            }
+            c if c.is_whitespace() => {
+                i += 1;
+            }
+            other => {
+                out.push(Spanned { tok: Token::Ch(other), line });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Line (1-based) of the first `#[cfg(test)]` attribute, if any; tokens at
+/// or after it are test code.
+fn test_boundary(tokens: &[Spanned]) -> Option<usize> {
+    // #[cfg(test)] tokenizes as `#` `[` cfg `(` test `)` `]`.
+    for w in tokens.windows(7) {
+        let shape: Vec<&Token> = w.iter().map(|s| &s.tok).collect();
+        if matches!(
+            shape.as_slice(),
+            [Token::Ch('#'), Token::Ch('['), Token::Ident(a), Token::Ch('('), Token::Ident(b), Token::Ch(')'), Token::Ch(']')]
+                if a == "cfg" && b == "test"
+        ) {
+            return Some(w[0].line);
+        }
+    }
+    None
+}
+
+/// Scope in which a file's findings should be evaluated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuleScope {
+    /// File is inside `crates/types/src`.
+    pub in_types: bool,
+    /// File is inside a hot-path crate (`core`, `broker`, `index`).
+    pub in_hot_path: bool,
+    /// File is `crates/types/src/time.rs` (the sanctioned clock home).
+    pub is_time_module: bool,
+    /// File is `crates/types/src/metric_names.rs` (the constants module).
+    pub is_metric_names_module: bool,
+}
+
+impl RuleScope {
+    /// Derive the scope from a workspace-relative path.
+    pub fn of(rel_path: &str) -> RuleScope {
+        let p = rel_path.replace('\\', "/");
+        RuleScope {
+            in_types: p.starts_with("crates/types/src/"),
+            in_hot_path: p.starts_with("crates/core/src/")
+                || p.starts_with("crates/broker/src/")
+                || p.starts_with("crates/index/src/"),
+            is_time_module: p == "crates/types/src/time.rs",
+            is_metric_names_module: p == "crates/types/src/metric_names.rs",
+        }
+    }
+}
+
+/// Run every token-based rule over one file's source.
+pub fn lint_source(rel_path: &str, src: &str, allow: &Allowlist) -> Vec<Finding> {
+    let scope = RuleScope::of(rel_path);
+    let tokens = scan(src);
+    let boundary = test_boundary(&tokens).unwrap_or(usize::MAX);
+    let prod = |line: usize| line < boundary;
+    let mut findings = Vec::new();
+
+    // Rule 1: wallclock.
+    if !scope.is_time_module && !allow.wallclock.iter().any(|p| p == rel_path) {
+        for (idx, s) in tokens.iter().enumerate() {
+            if !prod(s.line) {
+                continue;
+            }
+            let Token::Ident(name) = &s.tok else { continue };
+            if name == "SystemTime" {
+                findings.push(Finding {
+                    rule: "wallclock",
+                    file: rel_path.to_string(),
+                    line: s.line,
+                    message: "SystemTime is forbidden outside types::time; take a Clock"
+                        .to_string(),
+                });
+            }
+            if name == "Instant" {
+                // Instant :: now
+                let next: Vec<&Token> = tokens[idx + 1..].iter().take(3).map(|s| &s.tok).collect();
+                if matches!(
+                    next.as_slice(),
+                    [Token::Ch(':'), Token::Ch(':'), Token::Ident(m)] if m == "now"
+                ) {
+                    findings.push(Finding {
+                        rule: "wallclock",
+                        file: rel_path.to_string(),
+                        line: s.line,
+                        message: "Instant::now() is forbidden outside types::time and the \
+                                  live-exec allowlist; take a Clock"
+                            .to_string(),
+                    });
+                }
+            }
+        }
+    }
+
+    // Rule 2: panic sites in hot-path crates.
+    if scope.in_hot_path {
+        let mut sites = Vec::new();
+        for (idx, s) in tokens.iter().enumerate() {
+            if !prod(s.line) {
+                continue;
+            }
+            let Token::Ident(name) = &s.tok else { continue };
+            if name != "unwrap" && name != "expect" {
+                continue;
+            }
+            let preceded_by_dot = idx > 0 && matches!(tokens[idx - 1].tok, Token::Ch('.'));
+            let followed_by_call =
+                matches!(tokens.get(idx + 1).map(|s| &s.tok), Some(Token::Ch('(')));
+            if preceded_by_dot && followed_by_call {
+                sites.push((s.line, name.clone()));
+            }
+        }
+        let budget = allow.panic_budget.get(rel_path).copied().unwrap_or(0);
+        let count = sites.len();
+        if count > budget {
+            for (line, name) in sites {
+                findings.push(Finding {
+                    rule: "panic-site",
+                    file: rel_path.to_string(),
+                    line,
+                    message: format!(
+                        ".{name}() in hot-path code ({count} sites, allowlist budget {budget}); \
+                         return a typed error or audit the site into xtask.allow"
+                    ),
+                });
+            }
+        }
+    }
+
+    // Rule 3: metric-name literals.
+    if !scope.is_metric_names_module {
+        for s in &tokens {
+            if !prod(s.line) {
+                continue;
+            }
+            if let Token::Str(lit) = &s.tok {
+                if lit.starts_with("bistream_") {
+                    findings.push(Finding {
+                        rule: "metric-name",
+                        file: rel_path.to_string(),
+                        line: s.line,
+                        message: format!(
+                            "metric name literal {lit:?}; use the constant from \
+                             types::metric_names"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    // Rule 4: doc comments on pub items in types.
+    if scope.in_types {
+        findings.extend(lint_pub_docs(rel_path, src, boundary));
+    }
+
+    findings
+}
+
+/// Item keywords that demand a doc comment when `pub`.
+const PUB_ITEM_KEYWORDS: [&str; 9] =
+    ["fn", "struct", "enum", "trait", "const", "static", "type", "mod", "union"];
+
+/// Line-based check: every `pub` item (and struct field) in a types file
+/// must be preceded by a `///` doc comment, attributes permitting.
+fn lint_pub_docs(rel_path: &str, src: &str, boundary: usize) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut has_doc = false;
+    let mut in_attr = false;
+    for (i, raw) in src.lines().enumerate() {
+        let lineno = i + 1;
+        if lineno >= boundary {
+            break;
+        }
+        let line = raw.trim();
+        if in_attr {
+            if line.ends_with(']') {
+                in_attr = false;
+            }
+            continue;
+        }
+        if line.starts_with("///") {
+            has_doc = true;
+            continue;
+        }
+        if line.starts_with("#[") {
+            if !line.ends_with(']') {
+                in_attr = true;
+            }
+            continue; // attributes sit between doc and item
+        }
+        if line.starts_with("//") || line.is_empty() {
+            continue; // plain comments / blanks don't break the doc link
+        }
+        let undocumented_pub = line.strip_prefix("pub ").and_then(|rest| {
+            let first = rest.split(|c: char| !c.is_alphanumeric() && c != '_').next()?;
+            if PUB_ITEM_KEYWORDS.contains(&first)
+                || (first == "unsafe" || first == "async")
+                || is_field_decl(rest)
+            {
+                Some(first.to_string())
+            } else {
+                None
+            }
+        });
+        if let Some(item) = undocumented_pub {
+            if !has_doc {
+                findings.push(Finding {
+                    rule: "doc-comment",
+                    file: rel_path.to_string(),
+                    line: lineno,
+                    message: format!("undocumented pub {item} in types; add a /// doc comment"),
+                });
+            }
+        }
+        has_doc = false;
+    }
+    findings
+}
+
+/// `name: Type,`-shaped remainder ⇒ a pub struct field.
+fn is_field_decl(rest: &str) -> bool {
+    let Some(colon) = rest.find(':') else { return false };
+    if rest[colon..].starts_with("::") {
+        return false;
+    }
+    let name = rest[..colon].trim();
+    !name.is_empty() && name.chars().all(|c| c.is_alphanumeric() || c == '_')
+}
+
+/// Recursively collect the workspace's production `.rs` files: everything
+/// under `crates/*/src` and the facade's `src/`, excluding `tests/`,
+/// `benches/`, `examples/` and the xtask crate itself.
+pub fn workspace_sources(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut roots = vec![root.join("src")];
+    if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
+        for entry in entries.flatten() {
+            if entry.file_name() == "xtask" {
+                continue;
+            }
+            roots.push(entry.path().join("src"));
+        }
+    }
+    for dir in roots {
+        collect_rs(&dir, &mut out)?;
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in std::fs::read_dir(dir)?.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        if path.is_dir() {
+            if name != "tests" && name != "benches" && name != "examples" {
+                collect_rs(&path, out)?;
+            }
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lint the whole workspace rooted at `root`, loading `xtask.allow` from
+/// the root if present.
+pub fn lint_workspace(root: &Path) -> Result<Vec<Finding>, String> {
+    let allow = match std::fs::read_to_string(root.join("xtask.allow")) {
+        Ok(text) => Allowlist::parse(&text)?,
+        Err(_) => Allowlist::default(),
+    };
+    let mut findings = Vec::new();
+    for path in workspace_sources(root).map_err(|e| e.to_string())? {
+        let rel = path.strip_prefix(root).unwrap_or(&path).to_string_lossy().replace('\\', "/");
+        let src = std::fs::read_to_string(&path).map_err(|e| format!("{rel}: {e}"))?;
+        findings.extend(lint_source(&rel, &src, &allow));
+    }
+    Ok(findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(path: &str, src: &str) -> Vec<Finding> {
+        lint_source(path, src, &Allowlist::default())
+    }
+
+    #[test]
+    fn scanner_skips_comments_and_strings() {
+        let src = r#"
+            // Instant::now() in a comment
+            /* SystemTime in /* a nested */ block */
+            fn f() { let s = "Instant::now()"; }
+        "#;
+        assert!(lint("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn wallclock_rule_fires_on_instant_now() {
+        let findings = lint("crates/core/src/x.rs", "fn f() { let t = Instant::now(); }");
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "wallclock");
+    }
+
+    #[test]
+    fn wallclock_rule_fires_on_system_time() {
+        let findings = lint("crates/bench/src/x.rs", "use std::time::SystemTime;\nfn f() {}\n");
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].line, 1);
+    }
+
+    #[test]
+    fn wallclock_rule_spares_time_module_and_allowlist() {
+        let src = "fn f() { Instant::now(); }";
+        assert!(lint("crates/types/src/time.rs", src).is_empty());
+        let mut allow = Allowlist::default();
+        allow.wallclock.push("crates/core/src/exec.rs".into());
+        assert!(lint_source("crates/core/src/exec.rs", src, &allow).is_empty());
+    }
+
+    #[test]
+    fn wallclock_rule_spares_instant_without_now() {
+        assert!(
+            lint("crates/core/src/x.rs", "fn f(epoch: Instant) { epoch.elapsed(); }").is_empty()
+        );
+    }
+
+    #[test]
+    fn panic_rule_fires_in_hot_paths_only() {
+        let src = "fn f(x: Option<u32>) { x.unwrap(); }";
+        assert_eq!(lint("crates/core/src/x.rs", src).len(), 1);
+        assert_eq!(lint("crates/broker/src/x.rs", src).len(), 1);
+        assert_eq!(lint("crates/index/src/x.rs", src).len(), 1);
+        assert!(lint("crates/bench/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn panic_rule_respects_budget() {
+        let src = "fn f(x: Option<u32>) { x.expect(\"invariant\"); }";
+        let mut allow = Allowlist::default();
+        allow.panic_budget.insert("crates/core/src/x.rs".into(), 1);
+        assert!(lint_source("crates/core/src/x.rs", src, &allow).is_empty());
+        let two = "fn f(x: Option<u32>) { x.expect(\"a\"); x.expect(\"b\"); }";
+        assert_eq!(lint_source("crates/core/src/x.rs", two, &allow).len(), 2);
+    }
+
+    #[test]
+    fn panic_rule_ignores_non_method_idents() {
+        // `unwrap` as a free function or path segment is not the lint's
+        // target; only `.unwrap()` method calls are.
+        assert!(lint("crates/core/src/x.rs", "fn unwrap() {} fn g() { unwrap(); }").is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt_from_every_rule() {
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n  fn g(x: Option<u32>) { x.unwrap(); \
+                   Instant::now(); let n = \"bistream_foo\"; }\n}\n";
+        assert!(lint("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn metric_rule_fires_outside_constants_module() {
+        let src = "fn f() { reg.counter(\"bistream_router_tuples_total\", &[]); }";
+        let findings = lint("crates/core/src/router.rs", src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "metric-name");
+        assert!(lint("crates/types/src/metric_names.rs", src).is_empty());
+    }
+
+    #[test]
+    fn doc_rule_fires_on_undocumented_pub_items() {
+        let src = "pub fn f() {}\n";
+        let findings = lint("crates/types/src/x.rs", src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "doc-comment");
+        // Same item outside types: fine.
+        assert!(lint("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn doc_rule_accepts_docs_through_attributes() {
+        let src = "/// Documented.\n#[derive(Debug)]\npub struct S {\n    /// Field doc.\n    \
+                   pub ts: u64,\n}\n";
+        assert!(lint("crates/types/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn doc_rule_flags_undocumented_pub_field() {
+        let src = "/// Documented.\npub struct S {\n    pub ts: u64,\n}\n";
+        let findings = lint("crates/types/src/x.rs", src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].line, 3);
+    }
+
+    #[test]
+    fn doc_rule_ignores_pub_use_and_pub_crate() {
+        let src = "pub use foo::Bar;\npub(crate) fn f() {}\n";
+        assert!(lint("crates/types/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn raw_strings_are_scanned_as_literals() {
+        let src = "fn f() { let s = r#\"bistream_raw\"#; }";
+        assert_eq!(lint("crates/core/src/x.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes_do_not_derail_the_scanner() {
+        let src = "fn f<'a>(c: char) -> bool { c == '\"' || c == '\\'' }\nfn g() { \
+                   Instant::now(); }";
+        assert_eq!(lint("crates/core/src/x.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn allowlist_parses_and_rejects_garbage() {
+        let allow = Allowlist::parse(
+            "# comment\nwallclock crates/core/src/exec.rs\npanic crates/core/src/ordering.rs 1\n",
+        )
+        .expect("valid");
+        assert_eq!(allow.wallclock, vec!["crates/core/src/exec.rs".to_string()]);
+        assert_eq!(allow.panic_budget.get("crates/core/src/ordering.rs"), Some(&1));
+        assert!(Allowlist::parse("bogus entry here\n").is_err());
+        assert!(Allowlist::parse("panic crates/core/src/x.rs\n").is_err(), "missing count");
+    }
+}

@@ -1,0 +1,60 @@
+//! `cargo xtask <command>` — repo automation entry point.
+//!
+//! Commands:
+//! * `lint [--root <path>]` — run the repo-specific static pass (see the
+//!   library docs); exits non-zero when any rule fires.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let command = args.next();
+    match command.as_deref() {
+        Some("lint") => {
+            let mut root: Option<PathBuf> = None;
+            while let Some(arg) = args.next() {
+                match arg.as_str() {
+                    "--root" => root = args.next().map(PathBuf::from),
+                    other => {
+                        eprintln!("xtask lint: unknown argument {other:?}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            let root = root.unwrap_or_else(workspace_root);
+            match xtask::lint_workspace(&root) {
+                Ok(findings) if findings.is_empty() => {
+                    println!("xtask lint: clean ({})", root.display());
+                    ExitCode::SUCCESS
+                }
+                Ok(findings) => {
+                    for f in &findings {
+                        eprintln!("{f}");
+                    }
+                    eprintln!("xtask lint: {} finding(s)", findings.len());
+                    ExitCode::FAILURE
+                }
+                Err(e) => {
+                    eprintln!("xtask lint: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some(other) => {
+            eprintln!("xtask: unknown command {other:?} (try: lint)");
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!("usage: cargo xtask lint [--root <path>]");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The workspace root: two levels above this crate's manifest dir, unless
+/// invoked from elsewhere (then the current directory).
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest.parent().and_then(|p| p.parent()).map(PathBuf::from).unwrap_or_else(|| ".".into())
+}

@@ -1,0 +1,104 @@
+//! Lint self-test: seed one violation of each rule into a scratch
+//! workspace and prove the pass rejects it, then prove the real shipped
+//! tree is clean. CI runs this via `cargo test -p xtask` in addition to
+//! running `cargo xtask lint` directly.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use xtask::lint_workspace;
+
+/// A scratch directory under the target dir (kept inside the repo).
+fn scratch(name: &str) -> PathBuf {
+    let base = option_env!("CARGO_TARGET_TMPDIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| repo_root().join("target").join("xtask-selftest"));
+    let dir = base.join(name);
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).parent().unwrap().parent().unwrap().to_path_buf()
+}
+
+fn write(root: &Path, rel: &str, content: &str) {
+    let path = root.join(rel);
+    fs::create_dir_all(path.parent().unwrap()).expect("mkdir");
+    fs::write(path, content).expect("write fixture");
+}
+
+fn rules_hit(root: &Path) -> Vec<&'static str> {
+    let mut rules: Vec<&'static str> =
+        lint_workspace(root).expect("lint runs").into_iter().map(|f| f.rule).collect();
+    rules.sort_unstable();
+    rules.dedup();
+    rules
+}
+
+#[test]
+fn seeded_wallclock_violation_is_rejected() {
+    let root = scratch("wallclock");
+    write(
+        &root,
+        "crates/core/src/lib.rs",
+        "fn f() -> u128 { std::time::Instant::now().elapsed().as_millis() }\n",
+    );
+    assert_eq!(rules_hit(&root), vec!["wallclock"]);
+}
+
+#[test]
+fn seeded_panic_site_violation_is_rejected() {
+    let root = scratch("panic");
+    write(&root, "crates/index/src/lib.rs", "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n");
+    assert_eq!(rules_hit(&root), vec!["panic-site"]);
+}
+
+#[test]
+fn seeded_metric_name_violation_is_rejected() {
+    let root = scratch("metric");
+    write(
+        &root,
+        "crates/matrix/src/lib.rs",
+        "fn f() -> &'static str { \"bistream_rogue_series_total\" }\n",
+    );
+    assert_eq!(rules_hit(&root), vec!["metric-name"]);
+}
+
+#[test]
+fn seeded_doc_comment_violation_is_rejected() {
+    let root = scratch("docs");
+    write(&root, "crates/types/src/lib.rs", "pub struct Undocumented;\n");
+    assert_eq!(rules_hit(&root), vec!["doc-comment"]);
+}
+
+#[test]
+fn allowlist_exempts_audited_sites() {
+    let root = scratch("allow");
+    write(&root, "crates/core/src/lib.rs", "fn f(x: Option<u8>) -> u8 { x.expect(\"peeked\") }\n");
+    write(&root, "xtask.allow", "panic crates/core/src/lib.rs 1\n");
+    assert_eq!(rules_hit(&root), Vec::<&str>::new());
+}
+
+#[test]
+fn test_modules_in_seeded_tree_are_exempt() {
+    let root = scratch("testexempt");
+    write(
+        &root,
+        "crates/broker/src/lib.rs",
+        "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g(x: Option<u8>) { x.unwrap(); }\n}\n",
+    );
+    assert_eq!(rules_hit(&root), Vec::<&str>::new());
+}
+
+/// The shipped tree must lint clean — the same assertion `cargo xtask
+/// lint` makes in CI, checked here so plain `cargo test` covers it too.
+#[test]
+fn shipped_tree_is_clean() {
+    let findings = lint_workspace(&repo_root()).expect("lint runs");
+    assert!(
+        findings.is_empty(),
+        "shipped tree has lint findings:\n{}",
+        findings.iter().map(|f| f.to_string()).collect::<Vec<_>>().join("\n")
+    );
+}

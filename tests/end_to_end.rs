@@ -60,8 +60,15 @@ fn run_biclique(
         seed: 11,
         batch_size: 1,
     };
+    let auditor = bistream::types::audit::Auditor::new();
+    // The O(n²) output oracle only understands equi keys; the other
+    // invariant checks are armed for every predicate.
+    if matches!(cfg.predicate, JoinPredicate::Equi { .. }) {
+        auditor.enable_oracle(Some(WINDOW_MS));
+    }
     let manual = !matches!(delivery, DeliveryMode::InOrder);
-    let mut builder = BicliqueEngine::builder(cfg).routers(routers).delivery(delivery);
+    let mut builder =
+        BicliqueEngine::builder(cfg).routers(routers).delivery(delivery).auditor(auditor.clone());
     if manual {
         builder = builder.manual_pump();
     }
@@ -87,6 +94,7 @@ fn run_biclique(
     engine.flush().unwrap();
     let mut got: Vec<_> = engine.take_captured().iter().map(JoinResult::identity).collect();
     got.sort();
+    auditor.assert_clean();
     got
 }
 
@@ -99,13 +107,19 @@ fn run_matrix(tuples: &[Tuple], predicate: JoinPredicate) -> Vec<(Ts, Vec<Value>
         archive_period_ms: 50,
         seed: 11,
     };
+    let auditor = bistream::types::audit::Auditor::new();
+    if matches!(cfg.predicate, JoinPredicate::Equi { .. }) {
+        auditor.enable_oracle(Some(WINDOW_MS));
+    }
     let mut m = JoinMatrix::new(cfg).unwrap();
+    m.set_auditor(auditor.clone());
     m.capture_results();
     for t in tuples {
         m.ingest(t, t.ts()).unwrap();
     }
     let mut got: Vec<_> = m.take_captured().iter().map(JoinResult::identity).collect();
     got.sort();
+    auditor.assert_clean();
     got
 }
 
@@ -199,6 +213,9 @@ fn live_pipeline_agrees_with_sync_engine_on_totals() {
     let report = pipeline.finish().unwrap();
     assert_eq!(report.snapshot.results, pairs as u64);
     assert_eq!(report.snapshot.ingested, 2 * pairs as u64);
+    if let Some(a) = &report.auditor {
+        a.assert_clean();
+    }
 }
 
 #[test]
@@ -216,13 +233,16 @@ fn full_history_never_loses_matches() {
         seed: 5,
         batch_size: 1,
     };
-    let mut engine = BicliqueEngine::new(cfg).unwrap();
+    let auditor = bistream::types::audit::Auditor::new();
+    auditor.enable_oracle(None);
+    let mut engine = BicliqueEngine::builder(cfg).auditor(auditor.clone()).build().unwrap();
     engine.capture_results();
     for t in &tuples {
         engine.ingest(t, t.ts()).unwrap();
     }
     engine.punctuate(tuples.last().unwrap().ts() + 50).unwrap();
     engine.flush().unwrap();
+    auditor.assert_clean();
     let got = engine.take_captured().len();
     // Reference without window bound.
     let mut expect = 0usize;

@@ -33,9 +33,12 @@ fn simulated_run_exposes_every_tier_in_one_scrape_and_journals_events() {
         batch_size: 1,
     };
     let obs = Observability::new();
+    let auditor = bistream::types::audit::Auditor::new();
+    auditor.enable_oracle(Some(200));
     let mut engine = BicliqueEngine::builder(cfg)
         .observability(obs.clone())
         .engine_label("sim")
+        .auditor(auditor.clone())
         .build()
         .unwrap();
 
@@ -52,6 +55,7 @@ fn simulated_run_exposes_every_tier_in_one_scrape_and_journals_events() {
     }
     engine.punctuate(HORIZON).unwrap();
     engine.flush().unwrap();
+    auditor.assert_clean();
 
     // One scrape, every tier: engine, router, joiner, index, pod.
     let snap = obs.registry.scrape(HORIZON);
@@ -154,7 +158,10 @@ fn live_run_exposes_every_tier_in_one_scrape_including_queues() {
     assert!(text.contains("queue=\"unit.0\""));
     assert!(text.contains("# TYPE bistream_joiner_stored_total counter"));
 
-    p.finish().unwrap();
+    let report = p.finish().unwrap();
+    if let Some(a) = &report.auditor {
+        a.assert_clean();
+    }
 }
 
 #[test]

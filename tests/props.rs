@@ -240,7 +240,9 @@ proptest! {
             seed: 5,
             batch_size: 1,
         };
-        let mut engine = BicliqueEngine::new(cfg).unwrap();
+        let auditor = bistream::types::audit::Auditor::new();
+        auditor.enable_oracle(Some(W));
+        let mut engine = BicliqueEngine::builder(cfg).auditor(auditor.clone()).build().unwrap();
         engine.capture_results();
         let mut next_punct = 10;
         for t in &tuples {
@@ -255,6 +257,8 @@ proptest! {
         let mut bic: Vec<_> = engine.take_captured().iter().map(JoinResult::identity).collect();
         bic.sort();
         prop_assert_eq!(&bic, &expect, "biclique {:?}", routing);
+        let audit = auditor.finish();
+        prop_assert!(audit.is_empty(), "biclique {:?} audit violations: {:#?}", routing, audit);
 
         let mcfg = MatrixConfig {
             rows: 2,
@@ -264,7 +268,10 @@ proptest! {
             archive_period_ms: 20,
             seed: 5,
         };
+        let m_audit = bistream::types::audit::Auditor::new();
+        m_audit.enable_oracle(Some(W));
         let mut matrix = JoinMatrix::new(mcfg).unwrap();
+        matrix.set_auditor(m_audit.clone());
         matrix.capture_results();
         for t in &tuples {
             matrix.ingest(t, t.ts()).unwrap();
@@ -272,6 +279,8 @@ proptest! {
         let mut mat: Vec<_> = matrix.take_captured().iter().map(JoinResult::identity).collect();
         mat.sort();
         prop_assert_eq!(&mat, &expect, "matrix");
+        let m_violations = m_audit.finish();
+        prop_assert!(m_violations.is_empty(), "matrix audit violations: {:#?}", m_violations);
     }
 
     /// Micro-batching is purely mechanical: for any monotone-ts stream and
@@ -318,7 +327,9 @@ proptest! {
         }
         let end = ts + PUNCT;
 
-        // Per-tuple seed path: the unbatched machinery wired by hand.
+        // Per-tuple seed path: the unbatched machinery wired by hand, with
+        // the invariant auditor watching every hook it exposes.
+        let seed_audit = bistream::types::audit::Auditor::new();
         let reference: Vec<Identity> = {
             let subgroups = match routing {
                 RoutingStrategy::ContRand { subgroups } => subgroups,
@@ -327,23 +338,23 @@ proptest! {
             let layout = Layout::new(2, 3, subgroups).unwrap();
             let seq = Arc::new(AtomicU64::new(0));
             let mut router = RouterCore::new(0, routing, predicate.clone(), SEED, seq);
+            router.set_auditor(seed_audit.clone());
             let router_ids = [(0u32, 0u64)];
             let mut joiners: std::collections::BTreeMap<JoinerId, JoinerCore> = layout
                 .all_units()
                 .map(|(side, id)| {
-                    (
+                    let mut j = JoinerCore::new(
                         id,
-                        JoinerCore::new(
-                            id,
-                            side,
-                            predicate.clone(),
-                            WindowSpec::sliding(W),
-                            20,
-                            true,
-                            &router_ids,
-                            CostModel::default(),
-                        ),
-                    )
+                        side,
+                        predicate.clone(),
+                        WindowSpec::sliding(W),
+                        20,
+                        true,
+                        &router_ids,
+                        CostModel::default(),
+                    );
+                    j.set_auditor(seed_audit.clone());
+                    (id, j)
                 })
                 .collect();
             let mut net: ChannelNet = ChannelNet::new(DeliveryMode::InOrder);
@@ -400,6 +411,8 @@ proptest! {
         let mut ref_sorted = reference.clone();
         ref_sorted.sort();
         prop_assert_eq!(&ref_sorted, &expect, "per-tuple seed path {:?}", routing);
+        let seed_violations = seed_audit.finish();
+        prop_assert!(seed_violations.is_empty(), "seed path audit: {:#?}", seed_violations);
 
         // The batched engine reproduces the seed path's *ordered* output at
         // every batch size, with identical trace span totals.
@@ -418,8 +431,13 @@ proptest! {
                 batch_size: batch,
             };
             let obs = Observability::with_tracing(3);
-            let mut engine =
-                BicliqueEngine::builder(cfg).observability(obs.clone()).build().unwrap();
+            let auditor = bistream::types::audit::Auditor::new();
+            auditor.enable_oracle(Some(W));
+            let mut engine = BicliqueEngine::builder(cfg)
+                .observability(obs.clone())
+                .auditor(auditor.clone())
+                .build()
+                .unwrap();
             engine.capture_results();
             let mut next_punct = PUNCT;
             for t in &tuples {
@@ -434,6 +452,8 @@ proptest! {
             let ordered: Vec<Identity> =
                 engine.take_captured().iter().map(JoinResult::identity).collect();
             prop_assert_eq!(&ordered, &reference, "batch {} ordered output {:?}", batch, routing);
+            let violations = auditor.finish();
+            prop_assert!(violations.is_empty(), "batch {} audit: {:#?}", batch, violations);
             obs.tracer.flush_pending();
             let spans: usize = obs.tracer.drain().iter().map(|t| t.spans.len()).sum();
             match span_base {
@@ -443,6 +463,145 @@ proptest! {
                 }
             }
         }
+    }
+
+    /// Adversarial cross-channel delivery: a seeded scheduler that picks a
+    /// random non-empty channel each step preserves only pairwise FIFO
+    /// (Definition 8), yet the ordering protocol still produces exactly
+    /// the reference join, and the invariant auditor — including its
+    /// nested-loop output oracle — observes zero violations. Order
+    /// consistency (Definition 7) is free of the delivery interleaving.
+    #[test]
+    fn adversarial_delivery_is_order_consistent_and_audit_clean(
+        ops in prop::collection::vec((any::<bool>(), 0i64..10, 1u64..20), 10..100),
+        shuffle_seed in any::<u64>(),
+        routing_pick in 0u8..3,
+    ) {
+        use bistream::cluster::CostModel;
+        use bistream::core::config::RoutingStrategy;
+        use bistream::core::delivery::{ChannelNet, DeliveryMode};
+        use bistream::core::joiner::JoinerCore;
+        use bistream::core::layout::{JoinerId, Layout};
+        use bistream::core::router::RouterCore;
+        use bistream::types::audit::Auditor;
+        use bistream::types::predicate::JoinPredicate;
+        use bistream::types::tuple::JoinResult;
+        use std::sync::atomic::AtomicU64;
+        use std::sync::Arc;
+
+        const W: Ts = 150;
+        const PUNCT: Ts = 10;
+        type Identity = (Ts, Vec<Value>, Ts, Vec<Value>);
+        let predicate = JoinPredicate::Equi { r_attr: 0, s_attr: 0 };
+        let routing = match routing_pick {
+            0 => RoutingStrategy::Random,
+            1 => RoutingStrategy::Hash,
+            _ => RoutingStrategy::ContRand { subgroups: 2 },
+        };
+        let subgroups = match routing {
+            RoutingStrategy::ContRand { subgroups } => subgroups,
+            _ => 1,
+        };
+
+        let mut tuples = Vec::new();
+        let mut ts = 0;
+        for (is_r, key, dt) in ops {
+            ts += dt;
+            let rel = if is_r { Rel::R } else { Rel::S };
+            tuples.push(Tuple::new(rel, ts, vec![Value::Int(key)]));
+        }
+        let end = ts + PUNCT;
+
+        let auditor = Auditor::new();
+        auditor.enable_oracle(Some(W));
+        let layout = Layout::new(2, 3, subgroups).unwrap();
+        let seq = Arc::new(AtomicU64::new(0));
+        let mut router = RouterCore::new(0, routing, predicate.clone(), 5, seq);
+        router.set_auditor(auditor.clone());
+        let router_ids = [(0u32, 0u64)];
+        let mut joiners: std::collections::BTreeMap<JoinerId, JoinerCore> = layout
+            .all_units()
+            .map(|(side, id)| {
+                let mut j = JoinerCore::new(
+                    id,
+                    side,
+                    predicate.clone(),
+                    WindowSpec::sliding(W),
+                    20,
+                    true,
+                    &router_ids,
+                    CostModel::default(),
+                );
+                j.set_auditor(auditor.clone());
+                (id, j)
+            })
+            .collect();
+        let mut net: ChannelNet = ChannelNet::new(DeliveryMode::Shuffled { seed: shuffle_seed });
+        let mut out: Vec<Identity> = Vec::new();
+        let mut copies = Vec::new();
+        let mut drain = |net: &mut ChannelNet,
+                         joiners: &mut std::collections::BTreeMap<JoinerId, JoinerCore>,
+                         now: Ts,
+                         out: &mut Vec<Identity>| {
+            while let Some(f) = net.deliver_next() {
+                let j = joiners.get_mut(&f.dest).unwrap();
+                j.set_now(now);
+                j.handle(f.msg, &mut |r: JoinResult| {
+                    auditor.observe_output(&r.r.to_string(), &r.s.to_string());
+                    out.push(r.identity());
+                })
+                .unwrap();
+            }
+        };
+        let mut next_punct = PUNCT;
+        for t in &tuples {
+            auditor.observe_input(
+                t.rel() == Rel::R,
+                t.ts(),
+                t.get(0).unwrap().to_string(),
+                t.to_string(),
+            );
+            while next_punct <= t.ts() {
+                router.punctuate(&layout, &mut copies);
+                for c in copies.drain(..) {
+                    net.send(0, c.dest, c.msg);
+                }
+                drain(&mut net, &mut joiners, next_punct, &mut out);
+                next_punct += PUNCT;
+            }
+            router.route(t, &layout, &mut copies).unwrap();
+            for c in copies.drain(..) {
+                net.send(0, c.dest, c.msg);
+            }
+            drain(&mut net, &mut joiners, t.ts(), &mut out);
+        }
+        router.punctuate(&layout, &mut copies);
+        for c in copies.drain(..) {
+            net.send(0, c.dest, c.msg);
+        }
+        drain(&mut net, &mut joiners, end, &mut out);
+        for j in joiners.values_mut() {
+            j.set_now(end);
+            j.flush(&mut |r: JoinResult| {
+                auditor.observe_output(&r.r.to_string(), &r.s.to_string());
+                out.push(r.identity());
+            })
+            .unwrap();
+        }
+
+        let mut expect: Vec<Identity> = Vec::new();
+        for a in tuples.iter().filter(|t| t.rel() == Rel::R) {
+            for b in tuples.iter().filter(|t| t.rel() == Rel::S) {
+                if a.get(0) == b.get(0) && a.ts().abs_diff(b.ts()) <= W {
+                    expect.push(JoinResult::of(a.clone(), b.clone()).identity());
+                }
+            }
+        }
+        expect.sort();
+        out.sort();
+        prop_assert_eq!(&out, &expect, "shuffled delivery {:?}", routing);
+        let violations = auditor.finish();
+        prop_assert!(violations.is_empty(), "adversarial delivery audit: {:#?}", violations);
     }
 
     /// A registry scrape is sorted by `(name, labels)` and stable: the
