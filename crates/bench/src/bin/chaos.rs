@@ -1,0 +1,111 @@
+//! The chaos exploration runner: sweep seeded fault plans per scenario,
+//! ddmin-minimise every failure and write replayable artifacts.
+//!
+//! ```text
+//! cargo run --release -p bistream-bench --bin chaos -- --seeds 32
+//! cargo run --release -p bistream-bench --bin chaos -- --seeds 64 crash mixed
+//! cargo run --release -p bistream-bench --bin chaos -- --bug skip_rehydrate crash
+//! ```
+//!
+//! Every failing plan lands under `results/chaos/<scenario>-<seed>.json`
+//! as a [`ChaosArtifact`](bistream_types::fault::ChaosArtifact); re-run
+//! one with a plain `#[test]` via `bistream_core::chaos::replay`. Exit
+//! status is non-zero when any trial failed (unless `--bug` seeded the
+//! failure deliberately and it *was* found — then failure to find is the
+//! error).
+
+use bistream_core::chaos::{explore, SCENARIOS};
+use bistream_types::fault::TrialSpec;
+use std::path::Path;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seeds: u64 = 32;
+    let mut spec = TrialSpec::default();
+    let mut scenarios: Vec<String> = Vec::new();
+    let mut out_dir = "results/chaos".to_owned();
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--seeds" => {
+                seeds = iter.next().and_then(|v| v.parse().ok()).expect("--seeds needs a u64");
+            }
+            "--pairs" => {
+                spec.pairs = iter.next().and_then(|v| v.parse().ok()).expect("--pairs needs a u32");
+            }
+            "--bug" => {
+                spec.bug = iter.next().expect("--bug needs a name").clone();
+            }
+            "--out" => {
+                out_dir = iter.next().expect("--out needs a directory").clone();
+            }
+            "--help" | "-h" => {
+                usage();
+                return;
+            }
+            other if SCENARIOS.contains(&other) => scenarios.push(other.to_owned()),
+            other => {
+                eprintln!("unknown argument `{other}` (scenarios: {})", SCENARIOS.join(", "));
+                std::process::exit(2);
+            }
+        }
+    }
+    if scenarios.is_empty() {
+        scenarios = SCENARIOS.iter().map(|s| s.to_string()).collect();
+    }
+
+    println!(
+        "bistream chaos explorer — {seeds} seeds × {{{}}}, bug: {}\n",
+        scenarios.join(", "),
+        spec.bug
+    );
+    let mut total_failures = 0usize;
+    for scenario in &scenarios {
+        let exploration = explore(scenario, seeds, &spec, false);
+        println!(
+            "{scenario:<10} {} seeds run, {} failure(s)",
+            exploration.seeds_run,
+            exploration.failures.len()
+        );
+        for artifact in &exploration.failures {
+            total_failures += 1;
+            let dir = Path::new(&out_dir);
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("(warn) could not create {}: {e}", dir.display());
+                continue;
+            }
+            let path = dir.join(format!("{scenario}-{}.json", artifact.seed));
+            match std::fs::write(&path, artifact.to_json()) {
+                Ok(()) => println!(
+                    "  seed {:>3}: {} event(s) after ddmin, first violation: {} -> {}",
+                    artifact.seed,
+                    artifact.plan.events.len(),
+                    artifact.violations.first().map(String::as_str).unwrap_or("-"),
+                    path.display()
+                ),
+                Err(e) => eprintln!("(warn) could not write {}: {e}", path.display()),
+            }
+        }
+    }
+
+    if spec.bug != "none" {
+        // Seeded-bug mode: NOT finding the bug is the failure.
+        if total_failures == 0 {
+            eprintln!("\nseeded bug `{}` was NOT found within the seed budget", spec.bug);
+            std::process::exit(1);
+        }
+        println!("\nseeded bug `{}` found, minimised and persisted", spec.bug);
+    } else if total_failures > 0 {
+        eprintln!("\n{total_failures} chaos failure(s) — replay the artifacts above");
+        std::process::exit(1);
+    } else {
+        println!("\nall clear: every plan survived with the auditor armed");
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "usage: chaos [--seeds N] [--pairs N] [--bug NAME] [--out DIR] [scenario…]\n  scenarios: {} (default: all)",
+        SCENARIOS.join(", ")
+    );
+}

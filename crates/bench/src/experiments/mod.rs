@@ -23,6 +23,7 @@ pub mod e13_router_elasticity;
 pub mod e14_recovery;
 pub mod e15_trace_breakdown;
 pub mod e16_batch_sweep;
+pub mod e17_fault_sweep;
 
 /// Experiment context.
 #[derive(Debug, Clone)]
@@ -76,7 +77,7 @@ pub fn dump_traces(path: &std::path::Path, traces: &[bistream_types::trace::Trac
 /// All experiment ids in order.
 pub const ALL: &[&str] = &[
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16",
+    "e16", "e17",
 ];
 
 /// Dispatch by id; returns false for unknown ids.
@@ -98,6 +99,7 @@ pub fn run(id: &str, ctx: &ExpCtx) -> bool {
         "e14" => e14_recovery::run(ctx),
         "e15" => e15_trace_breakdown::run(ctx),
         "e16" => e16_batch_sweep::run(ctx),
+        "e17" => e17_fault_sweep::run(ctx),
         _ => return false,
     }
     true

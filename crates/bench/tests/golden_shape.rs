@@ -1,0 +1,82 @@
+//! Golden-file tests for the experiment harness's persisted JSON: the
+//! key structure under `results/` is a stable interface (plotting
+//! scripts and the CI chaos job consume it), so column renames or layout
+//! drift must fail a test, not a downstream pipeline.
+
+use bistream_bench::experiments::{self, ExpCtx};
+
+/// Run an experiment in a scratch dir and return its persisted table.
+fn run_and_load(id: &str, name: &str) -> serde_json::Value {
+    // One shared scratch dir per test binary; both experiments run inside
+    // the same #[test] so the process-global cwd never races.
+    let tmp = std::env::temp_dir().join("bistream-bench-golden");
+    std::fs::create_dir_all(&tmp).unwrap();
+    std::env::set_current_dir(&tmp).unwrap();
+    let ctx = ExpCtx { quick: true, seed: 7, ..ExpCtx::default() };
+    assert!(experiments::run(id, &ctx), "experiment {id} unknown");
+    let text = std::fs::read_to_string(tmp.join(format!("results/{name}.json")))
+        .unwrap_or_else(|e| panic!("results/{name}.json not written: {e}"));
+    serde_json::from_str(&text).unwrap_or_else(|e| panic!("results/{name}.json invalid: {e}"))
+}
+
+fn assert_table_shape(doc: &serde_json::Value, name: &str, columns: &[&str]) {
+    let obj = doc.as_object().unwrap_or_else(|| panic!("{name}: top level must be an object"));
+    let mut keys: Vec<&str> = obj.keys().map(String::as_str).collect();
+    keys.sort_unstable();
+    assert_eq!(keys, vec!["columns", "rows", "title"], "{name}: top-level keys are frozen");
+    let got: Vec<&str> = doc["columns"]
+        .as_array()
+        .expect("columns array")
+        .iter()
+        .map(|c| c.as_str().unwrap())
+        .collect();
+    assert_eq!(got, columns, "{name}: column set/order is frozen");
+    let rows = doc["rows"].as_array().expect("rows array");
+    assert!(!rows.is_empty(), "{name}: at least one data row");
+    for row in rows {
+        let row = row.as_array().expect("row is an array");
+        assert_eq!(row.len(), columns.len(), "{name}: row arity matches columns");
+        assert!(row.iter().all(|v| v.is_string()), "{name}: cells are preformatted strings");
+    }
+}
+
+#[test]
+fn e14_and_e17_json_shapes_are_stable() {
+    let e14 = run_and_load("e14", "e14_recovery");
+    assert_table_shape(
+        &e14,
+        "e14_recovery",
+        &[
+            "mode",
+            "stored",
+            "snapshot_MiB",
+            "snapshot_ms",
+            "restore_ms",
+            "results",
+            "completeness_%",
+        ],
+    );
+    // Both the recovered and the unrecovered control row are present.
+    let modes: Vec<String> =
+        e14["rows"].as_array().unwrap().iter().map(|r| r[0].as_str().unwrap().to_owned()).collect();
+    assert!(modes.contains(&"snapshot+restore".to_owned()), "modes: {modes:?}");
+    assert!(modes.contains(&"crash, no recovery".to_owned()), "modes: {modes:?}");
+
+    let e17 = run_and_load("e17", "e17_fault_sweep");
+    assert_table_shape(
+        &e17,
+        "e17_fault_sweep",
+        &["scenario", "bug", "seeds", "failures", "min_events", "first_violation"],
+    );
+    let rows = e17["rows"].as_array().unwrap();
+    // One row per healthy scenario plus the seeded-bug row.
+    assert_eq!(rows.len(), 5);
+    for row in &rows[..4] {
+        assert_eq!(row[1], "none");
+        assert_eq!(row[3], "0", "healthy scenario must report zero failures: {row:?}");
+    }
+    let bug_row = &rows[4];
+    assert_eq!(bug_row[1], "skip_rehydrate");
+    assert_ne!(bug_row[3], "0", "the seeded bug must be found within the quick seed budget");
+    assert_ne!(bug_row[4], "-", "the failing plan must have been minimised");
+}

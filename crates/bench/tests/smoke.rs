@@ -53,8 +53,8 @@ fn unknown_experiment_is_rejected() {
 #[test]
 fn registry_is_complete_and_ordered() {
     assert_eq!(experiments::ALL.first(), Some(&"e1"));
-    assert_eq!(experiments::ALL.last(), Some(&"e15"));
-    assert_eq!(experiments::ALL.len(), 15);
+    assert_eq!(experiments::ALL.last(), Some(&"e17"));
+    assert_eq!(experiments::ALL.len(), 17);
     // Every listed id dispatches.
     let unique: std::collections::HashSet<_> = experiments::ALL.iter().collect();
     assert_eq!(unique.len(), experiments::ALL.len());

@@ -170,6 +170,21 @@ impl Broker {
         Ok(e.unbind_queue(queue))
     }
 
+    /// Fault injection: stall or un-stall a queue. A stalled queue reads
+    /// as permanently at-capacity — `try_publish` reports the message
+    /// dropped and blocking publishers park until the stall heals — so a
+    /// wedged broker queue is modelled as backpressure, never as loss.
+    /// Buffered messages and consumers are unaffected.
+    pub fn set_queue_stalled(&self, name: &str, on: bool) -> Result<()> {
+        let inner = self.inner.read();
+        let q = inner
+            .queues
+            .get(name)
+            .ok_or_else(|| Error::Broker(format!("no such queue `{name}`")))?;
+        q.set_stalled(on);
+        Ok(())
+    }
+
     /// Discard every message currently buffered in `queue`; returns how
     /// many were purged.
     pub fn purge_queue(&self, name: &str) -> Result<usize> {
@@ -338,6 +353,24 @@ mod tests {
         b.declare_queue("q", 4).unwrap();
         assert!(b.declare_queue("q", 999).is_ok(), "redeclare is no-op");
         assert!(b.declare_queue("zero", 0).is_err());
+    }
+
+    #[test]
+    fn stalled_queue_refuses_try_publish_then_heals() {
+        let b = broker_with_topic();
+        b.declare_queue("q", 8).unwrap();
+        b.bind("tuple.exchange", "q", "#").unwrap();
+        assert!(b.set_queue_stalled("ghost", true).is_err());
+
+        b.set_queue_stalled("q", true).unwrap();
+        let out = b.try_publish("tuple.exchange", Message::new("k", vec![1u8])).unwrap();
+        assert_eq!((out.delivered, out.dropped), (0, 1), "stall reads as at-capacity");
+
+        b.set_queue_stalled("q", false).unwrap();
+        let out = b.try_publish("tuple.exchange", Message::new("k", vec![2u8])).unwrap();
+        assert_eq!((out.delivered, out.dropped), (1, 0));
+        let c = b.subscribe("q").unwrap();
+        assert_eq!(c.drain().len(), 1, "only the post-stall publish landed");
     }
 
     #[test]

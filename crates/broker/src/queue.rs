@@ -75,6 +75,12 @@ struct QueueMeta {
     /// Invariant auditor — present only when the broker had one attached
     /// (alongside observability) at declaration time.
     auditor: Option<Auditor>,
+    /// Fault-injection stall: while set, publishes behave as if the queue
+    /// were at capacity (non-blocking pushes refuse, blocking pushes
+    /// park) without touching buffered messages. Flipped by
+    /// [`crate::Broker::set_queue_stalled`]; chaos drills use it to model
+    /// a wedged broker queue as backpressure, never as loss.
+    stalled: std::sync::atomic::AtomicBool,
 }
 
 impl QueueMeta {
@@ -124,6 +130,11 @@ impl QueueMeta {
             journal.record(clock.now(), EventKind::BackpressureStall { queue: self.name.clone() });
         }
     }
+
+    #[inline]
+    fn is_stalled(&self) -> bool {
+        self.stalled.load(std::sync::atomic::Ordering::Acquire)
+    }
 }
 
 /// Internal queue state held by the broker and by exchange bindings.
@@ -163,6 +174,7 @@ impl QueueCore {
                 stall_journal: Some((obs.journal, Arc::clone(&obs.clock))),
                 trace: Some((obs.tracer, obs.clock)),
                 auditor: obs.auditor,
+                stalled: std::sync::atomic::AtomicBool::new(false),
             },
             None => QueueMeta {
                 name,
@@ -175,6 +187,7 @@ impl QueueCore {
                 stall_journal: None,
                 trace: None,
                 auditor: None,
+                stalled: std::sync::atomic::AtomicBool::new(false),
             },
         };
         Arc::new(QueueCore { meta: Arc::new(meta), tx, rx })
@@ -188,6 +201,14 @@ impl QueueCore {
     /// bumps the queue's backpressure counter and journals a
     /// `BackpressureStall` before the publisher parks on the channel.
     pub(crate) fn push_blocking(&self, msg: Message) -> Result<(), Message> {
+        if self.meta.is_stalled() {
+            // An injected stall is backpressure: journal it once, then
+            // park until the fault window closes (never drop the frame).
+            self.meta.note_stall();
+            while self.meta.is_stalled() {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        }
         self.meta.published.inc();
         let trace = msg.trace_handle();
         match self.tx.try_send(msg) {
@@ -207,8 +228,13 @@ impl QueueCore {
         }
     }
 
-    /// Enqueue without blocking; returns the message back if full/closed.
+    /// Enqueue without blocking; returns the message back if full/closed
+    /// (an injected stall reads as full).
     pub(crate) fn try_push(&self, msg: Message) -> Result<(), TrySendError<Message>> {
+        if self.meta.is_stalled() {
+            self.meta.note_stall();
+            return Err(TrySendError::Full(msg));
+        }
         let trace = msg.trace_handle();
         let r = self.tx.try_send(msg);
         if r.is_ok() {
@@ -221,6 +247,16 @@ impl QueueCore {
     /// Messages currently buffered.
     pub(crate) fn depth(&self) -> usize {
         self.rx.len()
+    }
+
+    /// Flip the fault-injection stall (see [`QueueMeta::stalled`]).
+    pub(crate) fn set_stalled(&self, on: bool) {
+        self.meta.stalled.store(on, std::sync::atomic::Ordering::Release);
+    }
+
+    /// Whether a fault-injection stall is currently active.
+    pub(crate) fn is_stalled(&self) -> bool {
+        self.meta.is_stalled()
     }
 
     pub(crate) fn capacity(&self) -> usize {
@@ -502,6 +538,36 @@ mod tests {
         drop(core); // queue deleted while a delivery is outstanding
         drop(d); // must not panic; the message is gone with the queue
         assert_eq!(c.recv_timeout(Duration::from_millis(5)), Err(RecvError::Disconnected));
+    }
+
+    #[test]
+    fn injected_stall_refuses_try_push_without_losing_messages() {
+        let core = q(8);
+        core.push_blocking(Message::new("k", vec![1])).unwrap();
+        core.set_stalled(true);
+        assert!(core.is_stalled());
+        assert!(matches!(core.try_push(Message::new("k", vec![2])), Err(TrySendError::Full(_))));
+        assert_eq!(core.depth(), 1, "stall refuses new frames, never drops buffered ones");
+        core.set_stalled(false);
+        core.try_push(Message::new("k", vec![2])).unwrap();
+        let c = core.consumer();
+        assert_eq!(c.drain().len(), 2);
+    }
+
+    #[test]
+    fn injected_stall_parks_blocking_publishers_until_it_heals() {
+        let core = q(8);
+        core.set_stalled(true);
+        let publisher = {
+            let core = Arc::clone(&core);
+            std::thread::spawn(move || core.push_blocking(Message::new("k", vec![9])))
+        };
+        // The publisher must be parked, not failed and not delivered.
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(core.depth(), 0, "stalled queue holds the publisher");
+        core.set_stalled(false);
+        publisher.join().unwrap().unwrap();
+        assert_eq!(core.depth(), 1, "frame arrives once the stall heals");
     }
 
     #[test]

@@ -1,0 +1,147 @@
+//! Delta-debugging minimisation of failing fault plans.
+//!
+//! A generated plan that trips the auditor usually carries more fault
+//! events than the failure needs — a crash plus three delay windows when
+//! the crash alone reproduces it. [`minimize`] runs the classic *ddmin*
+//! loop over the plan's event list: repeatedly re-execute the trial with
+//! subsets of the events, keep any smaller subset that still fails, and
+//! tighten the granularity until no single event can be removed. The
+//! result is the artifact worth committing: a 1–2 event plan a human can
+//! actually read.
+//!
+//! The oracle is a caller-supplied closure (`still_fails`), so the
+//! minimiser is independent of how trials run — the exploration runner
+//! passes a full engine drill, the unit tests pass synthetic predicates.
+
+use bistream_types::fault::{FaultEvent, FaultPlan};
+
+/// Shrink `plan` to a 1-minimal failing subset of its events.
+///
+/// `still_fails` must return `true` when the candidate plan still
+/// reproduces the original failure. It is assumed deterministic (chaos
+/// trials are — that is the whole point of the seeded scheduler); a
+/// flaky oracle yields a valid but possibly non-minimal result.
+///
+/// The returned plan keeps the original seed and scenario so the
+/// artifact still records where the failure came from. If the failure
+/// reproduces with *no* fault events at all, the returned plan is empty
+/// — a loud hint that the bug is in the engine, not fault-induced.
+pub fn minimize<F>(plan: &FaultPlan, mut still_fails: F) -> FaultPlan
+where
+    F: FnMut(&FaultPlan) -> bool,
+{
+    let rebuild = |events: &[FaultEvent]| FaultPlan {
+        seed: plan.seed,
+        scenario: plan.scenario.clone(),
+        events: events.to_vec(),
+    };
+
+    let mut events = plan.events.clone();
+    // Fast path: the failure is not fault-induced at all.
+    if still_fails(&rebuild(&[])) {
+        return rebuild(&[]);
+    }
+
+    let mut n = 2usize;
+    while events.len() >= 2 {
+        let chunk = events.len().div_ceil(n);
+        let mut reduced = false;
+        let mut start = 0;
+        while start < events.len() {
+            let end = (start + chunk).min(events.len());
+            let mut candidate = events.clone();
+            candidate.drain(start..end);
+            if !candidate.is_empty() && still_fails(&rebuild(&candidate)) {
+                events = candidate;
+                n = n.saturating_sub(1).max(2);
+                reduced = true;
+                break;
+            }
+            start = end;
+        }
+        if reduced {
+            continue;
+        }
+        if n >= events.len() {
+            break;
+        }
+        n = (n * 2).min(events.len());
+    }
+    // Final sweep: drop any single event that is individually removable
+    // (ddmin at n == len can miss late singletons after reductions).
+    let mut i = 0;
+    while events.len() > 1 && i < events.len() {
+        let mut candidate = events.clone();
+        candidate.remove(i);
+        if still_fails(&rebuild(&candidate)) {
+            events = candidate;
+        } else {
+            i += 1;
+        }
+    }
+    rebuild(&events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn crash(unit: u32, at_step: u64) -> FaultEvent {
+        FaultEvent::CrashUnit { unit, at_step }
+    }
+
+    fn delay(router: u32, unit: u32) -> FaultEvent {
+        FaultEvent::DelayChannel { router, unit, from_step: 1, until_step: 8 }
+    }
+
+    fn plan(events: Vec<FaultEvent>) -> FaultPlan {
+        FaultPlan { seed: 11, scenario: "unit".into(), events }
+    }
+
+    #[test]
+    fn shrinks_to_the_single_culprit_event() {
+        let p = plan(vec![delay(0, 0), crash(1, 40), delay(1, 1), delay(0, 1), crash(0, 90)]);
+        // Failure reproduces iff the plan still crashes unit 1.
+        let min = minimize(&p, |cand| {
+            cand.events.iter().any(|e| matches!(e, FaultEvent::CrashUnit { unit: 1, .. }))
+        });
+        assert_eq!(min.events, vec![crash(1, 40)]);
+        assert_eq!(min.seed, p.seed);
+        assert_eq!(min.scenario, p.scenario);
+    }
+
+    #[test]
+    fn keeps_a_required_pair_together() {
+        let p = plan(vec![delay(0, 0), crash(0, 10), delay(1, 0), crash(1, 20), delay(0, 1)]);
+        // Failure needs BOTH crashes.
+        let min = minimize(&p, |cand| {
+            let crashes =
+                cand.events.iter().filter(|e| matches!(e, FaultEvent::CrashUnit { .. })).count();
+            crashes == 2
+        });
+        assert_eq!(min.events, vec![crash(0, 10), crash(1, 20)]);
+    }
+
+    #[test]
+    fn fault_independent_failures_minimize_to_the_empty_plan() {
+        let p = plan(vec![delay(0, 0), crash(0, 10)]);
+        let min = minimize(&p, |_| true);
+        assert!(min.events.is_empty());
+    }
+
+    #[test]
+    fn counts_oracle_calls_sanely() {
+        // ddmin on a 16-event plan with one culprit should need far
+        // fewer trials than the 2^16 subsets.
+        let mut events: Vec<FaultEvent> = (0..15u32).map(|i| delay(i, i)).collect();
+        events.push(crash(7, 99));
+        let p = plan(events);
+        let mut calls = 0usize;
+        let min = minimize(&p, |cand| {
+            calls += 1;
+            cand.events.iter().any(|e| matches!(e, FaultEvent::CrashUnit { .. }))
+        });
+        assert_eq!(min.events, vec![crash(7, 99)]);
+        assert!(calls < 200, "ddmin ran {calls} trials");
+    }
+}

@@ -1,0 +1,38 @@
+//! Deterministic fault injection: seeded chaos schedules, crash/recover
+//! drills and the exploration harness.
+//!
+//! The original systems outsource failure handling to their platforms
+//! (Storm's tuple replay, Kubernetes restarts), so the paper never tests
+//! it — but a reproduction that claims the ordering protocol's guarantees
+//! (Definitions 7/8, Theorem 1) should demonstrate they hold *under*
+//! failure, not just under adversarial-but-lossless schedules. This
+//! module makes failure a first-class, replayable input:
+//!
+//! - [`net::ChaosNet`] executes a seeded
+//!   [`FaultPlan`](bistream_types::fault::FaultPlan) — channel-delay
+//!   windows, router→joiner partitions and unit-crash events — as a pure
+//!   function of `(seed, step)`, layered on the same pairwise-FIFO
+//!   channel model as [`crate::delivery::ChannelNet`].
+//! - [`trial`] runs a fixed two-phase workload (store everything, then
+//!   probe everything) through a chaos-armed
+//!   [`BicliqueEngine`](crate::engine::BicliqueEngine) with the
+//!   protocol-invariant [`Auditor`](bistream_types::audit::Auditor) and
+//!   its output oracle armed as the pass/fail judge.
+//! - [`minimize`](minimize::minimize) shrinks any failing plan, ddmin
+//!   style, to a 1-minimal set of fault events worth committing as a
+//!   regression artifact.
+//!
+//! The exploration loop ([`trial::explore`]) sweeps seeds per scenario,
+//! minimises every failure and packages it as a
+//! [`ChaosArtifact`](bistream_types::fault::ChaosArtifact) that a plain
+//! `#[test]` re-executes byte-for-byte.
+
+pub mod minimize;
+pub mod net;
+pub mod trial;
+
+pub use minimize::minimize;
+pub use net::ChaosNet;
+pub use trial::{
+    explore, replay, run_trial, scenario_profile, Exploration, TrialReport, SCENARIOS,
+};

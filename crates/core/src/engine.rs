@@ -25,17 +25,19 @@
 //!   paper's observation that random/ContRand routing makes scaling
 //!   cheap.
 
+use crate::chaos::ChaosNet;
 use crate::config::{EngineConfig, RoutingStrategy};
 use crate::delivery::{ChannelNet, DeliveryMode};
 use crate::joiner::{JoinerCore, JoinerStats};
 use crate::layout::{JoinerId, Layout};
-use crate::router::{join_dests, RoutedBatch, RouterCore};
+use crate::router::{join_dests, BackoffPolicy, RetryQueue, RoutedBatch, RouterCore};
 use crate::stats::{EngineSnapshot, EngineStats};
 use bistream_cluster::{CostModel, ResourceMeter};
 use bistream_types::audit::Auditor;
 use bistream_types::batch::BatchMessage;
 use bistream_types::error::{Error, Result};
-use bistream_types::hash::FxHashMap;
+use bistream_types::fault::FaultPlan;
+use bistream_types::hash::{FxHashMap, FxHashSet};
 use bistream_types::journal::EventKind;
 use bistream_types::punct::{Punctuation, RouterId, SeqNo};
 use bistream_types::registry::Observability;
@@ -72,6 +74,9 @@ pub struct BicliqueEngine {
     /// Superseded layouts and when they stop mattering.
     historical: Vec<(Layout, Ts)>,
     net: ChannelNet<BatchMessage>,
+    /// Armed fault injection; when present, delivery runs on the chaos
+    /// net and [`net`](Self::net) is bypassed.
+    chaos: Option<ChaosState>,
     stats: Arc<EngineStats>,
     obs: Observability,
     auditor: Option<Auditor>,
@@ -79,6 +84,87 @@ pub struct BicliqueEngine {
     auto_pump: bool,
     now: Ts,
     scratch: Vec<RoutedBatch>,
+}
+
+/// Everything the engine needs to execute a [`FaultPlan`]: the
+/// plan-driven network, the router retry queue for partitioned sends,
+/// the retransmission log and checkpoints behind the crash/recover
+/// drill, and the result-identity set that deduplicates replayed probes.
+struct ChaosState {
+    net: ChaosNet<BatchMessage>,
+    retries: RetryQueue,
+    /// Per-unit log of every data frame sent to it, for retransmission
+    /// after a crash. Trimmed at each checkpoint to the frames the
+    /// checkpoint does not cover.
+    sent_log: FxHashMap<JoinerId, Vec<(RouterId, BatchMessage)>>,
+    /// Last checkpoint per unit: `(window-state snapshot, reorder
+    /// watermark at snapshot time)`.
+    checkpoints: FxHashMap<JoinerId, (bytes::Bytes, SeqNo)>,
+    /// Identities of every emitted result; replayed probes after a crash
+    /// re-derive results already emitted, which must not surface twice.
+    emitted: FxHashSet<String>,
+    /// Seeded bug for the chaos explorer's self-test: restart units
+    /// *without* re-hydrating their snapshot.
+    skip_rehydrate: bool,
+    crashes_fired: u32,
+}
+
+impl ChaosState {
+    fn new(plan: FaultPlan) -> ChaosState {
+        ChaosState {
+            net: ChaosNet::new(plan),
+            retries: RetryQueue::new(BackoffPolicy::default()),
+            sent_log: FxHashMap::default(),
+            checkpoints: FxHashMap::default(),
+            emitted: FxHashSet::default(),
+            skip_rehydrate: false,
+            crashes_fired: 0,
+        }
+    }
+
+    /// Send a frame, logging data frames for crash retransmission.
+    fn send(&mut self, router: RouterId, dest: JoinerId, msg: BatchMessage) {
+        if matches!(msg, BatchMessage::Batch(_)) {
+            self.sent_log.entry(dest).or_default().push((router, msg.clone()));
+        }
+        self.offer(router, dest, msg);
+    }
+
+    /// Send a frame without logging (the recovery replay path — those
+    /// frames are already in the log). Frames refused by a partition, or
+    /// queued behind earlier refused frames of the same channel (FIFO),
+    /// park in the retry queue.
+    fn offer(&mut self, router: RouterId, dest: JoinerId, msg: BatchMessage) {
+        let step = self.net.step();
+        if self.retries.has_pending(router, dest) || !self.net.channel_open(router, dest.0) {
+            self.retries.push(router, dest, msg, step);
+        } else {
+            let accepted = self.net.send(router, dest, msg);
+            debug_assert!(accepted, "open channel refused a frame");
+        }
+    }
+
+    /// Re-attempt parked frames whose backoff has expired.
+    fn drain_retries(&mut self) -> usize {
+        let step = self.net.step();
+        let net = &mut self.net;
+        self.retries.drain_due(step, |router, dest, msg| {
+            if net.channel_open(router, dest.0) {
+                let accepted = net.send(router, dest, msg.clone());
+                debug_assert!(accepted, "open channel refused a retry");
+                true
+            } else {
+                false
+            }
+        })
+    }
+
+    fn forget_unit(&mut self, unit: JoinerId) {
+        self.net.forget_unit(unit);
+        self.retries.forget_unit(unit);
+        self.sent_log.remove(&unit);
+        self.checkpoints.remove(&unit);
+    }
 }
 
 impl BicliqueEngine {
@@ -97,6 +183,7 @@ impl BicliqueEngine {
             auto_pump: true,
             obs: None,
             auditor: None,
+            chaos: None,
             engine_label: "engine".to_string(),
         }
     }
@@ -251,7 +338,16 @@ impl BicliqueEngine {
                     }
                 }
             }
-            self.net.send(router_id, f.dest, f.msg);
+            self.net_send(router_id, f.dest, f.msg);
+        }
+    }
+
+    /// Route one frame into whichever network is live: the chaos net when
+    /// fault injection is armed, the plain channel net otherwise.
+    fn net_send(&mut self, router: RouterId, dest: JoinerId, msg: BatchMessage) {
+        match &mut self.chaos {
+            Some(c) => c.send(router, dest, msg),
+            None => self.net.send(router, dest, msg),
         }
     }
 
@@ -272,8 +368,9 @@ impl BicliqueEngine {
             let puncts = frames.iter().filter(|f| matches!(f.msg, BatchMessage::Punct(_))).count();
             self.stats.punctuations.add(puncts as u64);
             self.send_frames(p.router, &mut frames);
-            for &(_, id, _) in &self.draining {
-                self.net.send(p.router, id, BatchMessage::Punct(p));
+            let drain_ids: Vec<JoinerId> = self.draining.iter().map(|d| d.1).collect();
+            for id in drain_ids {
+                self.net_send(p.router, id, BatchMessage::Punct(p));
                 self.stats.punctuations.inc();
             }
         }
@@ -285,11 +382,48 @@ impl BicliqueEngine {
     }
 
     /// Deliver every in-flight frame to its joiner, collecting results.
+    ///
+    /// With fault injection armed this is also where the plan executes:
+    /// due crash events run the crash/recover drill, parked retries whose
+    /// backoff expired are re-attempted, and when nothing is deliverable
+    /// but retries remain, the schedule fast-forwards to their due step.
     pub fn pump(&mut self) -> Result<()> {
         let stats = Arc::clone(&self.stats);
         let auditor = self.auditor.clone();
         let now = self.now;
-        while let Some(flight) = self.net.deliver_next() {
+        loop {
+            if self.chaos.is_some() {
+                let due = match self.chaos.as_mut() {
+                    Some(c) => c.net.take_due_crashes(),
+                    None => Vec::new(),
+                };
+                for unit in due {
+                    self.crash_unit(JoinerId(unit))?;
+                }
+                if let Some(c) = self.chaos.as_mut() {
+                    c.drain_retries();
+                }
+            }
+            let flight = match self.chaos.as_mut() {
+                Some(c) => c.net.deliver_next(),
+                None => self.net.deliver_next(),
+            };
+            let Some(flight) = flight else {
+                // Nothing deliverable. Refused frames may be parked on
+                // backoff: fast-forward the chaos schedule to their due
+                // step and try again. (Crash events get no such jump —
+                // they fire only when deliveries naturally reach their
+                // step, else every crash would fire on the first pump.)
+                match self.chaos.as_mut().and_then(|c| c.retries.earliest_due()) {
+                    Some(step) => {
+                        if let Some(c) = self.chaos.as_mut() {
+                            c.net.advance_to(step);
+                        }
+                        continue;
+                    }
+                    None => break,
+                }
+            };
             let Some(joiner) = self.joiners.get_mut(&flight.dest) else {
                 // Unit retired between send and delivery; the frame is
                 // moot (its state is gone because it fully expired). Close
@@ -319,7 +453,15 @@ impl BicliqueEngine {
             }
             let capture = &mut self.capture;
             let per_joiner_latency = joiner.latency_histogram();
+            let mut emitted = self.chaos.as_mut().map(|c| &mut c.emitted);
             joiner.handle_batch(flight.msg, &mut |result: JoinResult| {
+                // Replayed probes after a crash re-derive results that
+                // already surfaced; the identity set drops the echoes.
+                if let Some(seen) = emitted.as_deref_mut() {
+                    if !seen.insert(format!("{:?}", result.identity())) {
+                        return;
+                    }
+                }
                 stats.results.inc();
                 let latency = now.saturating_sub(result.ts);
                 stats.latency_ms.record(latency);
@@ -360,7 +502,13 @@ impl BicliqueEngine {
             joiner.set_now(now);
             let capture = &mut self.capture;
             let per_joiner_latency = joiner.latency_histogram();
+            let mut emitted = self.chaos.as_mut().map(|c| &mut c.emitted);
             joiner.flush(&mut |result: JoinResult| {
+                if let Some(seen) = emitted.as_deref_mut() {
+                    if !seen.insert(format!("{:?}", result.identity())) {
+                        return;
+                    }
+                }
                 stats.results.inc();
                 let latency = now.saturating_sub(result.ts);
                 stats.latency_ms.record(latency);
@@ -495,12 +643,14 @@ impl BicliqueEngine {
         router.flush_batches(&mut frames);
         self.send_frames(id, &mut frames);
         let p = Punctuation { router: id, seq: router.last_seq() };
-        for (_, dest) in self.layout.all_units() {
-            self.net.send(id, dest, BatchMessage::Punct(p));
-            self.stats.punctuations.inc();
-        }
-        for &(_, dest, _) in &self.draining {
-            self.net.send(id, dest, BatchMessage::Punct(p));
+        let dests: Vec<JoinerId> = self
+            .layout
+            .all_units()
+            .map(|(_, dest)| dest)
+            .chain(self.draining.iter().map(|d| d.1))
+            .collect();
+        for dest in dests {
+            self.net_send(id, dest, BatchMessage::Punct(p));
             self.stats.punctuations.inc();
         }
         self.pump()?;
@@ -578,6 +728,154 @@ impl BicliqueEngine {
         let n = fresh.restore_state(blob)?;
         self.joiners.insert(id, fresh);
         Ok(n)
+    }
+
+    /// Checkpoint one unit for the chaos crash/recover drill: snapshot
+    /// its stored window state together with its reorder watermark `W`,
+    /// and trim its retransmission log to the frames the checkpoint does
+    /// not cover.
+    ///
+    /// `W` is the recovery frontier — everything the unit *released* has
+    /// `seq ≤ W` and lives in the snapshot (stores) or was already
+    /// emitted (probes); everything buffered has `seq > W` and stays in
+    /// the log for replay. Crucially the restored unit registers *every*
+    /// router at `W` (not per-router frontiers): replayed frames with
+    /// `seq ≤ W` are then duplicate-dropped, frames above it re-buffer,
+    /// and no frame is lost to an overstated frontier.
+    ///
+    /// # Errors
+    /// [`Error::Fault`] without an armed chaos layer or for an unknown
+    /// unit.
+    pub fn checkpoint_unit(&mut self, id: JoinerId) -> Result<()> {
+        if self.chaos.is_none() {
+            return Err(Error::Fault("checkpoints need a chaos-armed engine".into()));
+        }
+        let Some(joiner) = self.joiners.get(&id) else {
+            return Err(Error::Fault(format!("no such unit {id}")));
+        };
+        let watermark = joiner.reorder_watermark().unwrap_or(0);
+        let blob = joiner.snapshot_state();
+        if let Some(c) = self.chaos.as_mut() {
+            c.checkpoints.insert(id, (blob, watermark));
+            if let Some(log) = c.sent_log.get_mut(&id) {
+                log.retain(|(_, msg)| match msg {
+                    BatchMessage::Batch(b) => b.last_seq().is_some_and(|s| s > watermark),
+                    BatchMessage::Punct(_) => false,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// [`checkpoint_unit`](Self::checkpoint_unit) for every active unit.
+    pub fn checkpoint_all(&mut self) -> Result<()> {
+        let ids: Vec<JoinerId> = self.layout.all_units().map(|(_, id)| id).collect();
+        for id in ids {
+            self.checkpoint_unit(id)?;
+        }
+        Ok(())
+    }
+
+    /// The crash/recover drill: kill a unit (its in-memory sub-indexes
+    /// and all in-flight traffic to it are lost) and bring up a fresh
+    /// incarnation. Returns the number of tuples re-hydrated from the
+    /// last checkpoint.
+    ///
+    /// Recovery runs in an order the ordering protocol can digest:
+    ///
+    /// 1. the unit's channels, parked retries and auditor incarnation
+    ///    state are dropped;
+    /// 2. a fresh joiner registers every router at the checkpoint
+    ///    watermark `W` and re-hydrates the snapshot (unless the seeded
+    ///    `skip_rehydrate` bug is armed — the chaos explorer's target);
+    /// 3. the retransmission log replays, in original per-channel order
+    ///    (frames `≤ W` are duplicate-dropped; replayed probes re-derive
+    ///    results the emitted-identity set suppresses);
+    /// 4. every router flushes its pending batches — *before* any new
+    ///    punctuation, since those batches hold sequence numbers the
+    ///    punctuation would otherwise claim to cover;
+    /// 5. each router sends the restored unit a fresh punctuation at its
+    ///    current sequence, re-arming the watermark.
+    ///
+    /// # Errors
+    /// [`Error::Fault`] without an armed chaos layer or for an unknown
+    /// unit; snapshot decode errors propagate as [`Error::Codec`].
+    pub fn crash_unit(&mut self, id: JoinerId) -> Result<usize> {
+        if self.chaos.is_none() {
+            return Err(Error::Fault(
+                "crash drills need a chaos-armed engine (EngineBuilder::chaos)".into(),
+            ));
+        }
+        let Some(side) = self.layout.all_units().find(|&(_, u)| u == id).map(|(side, _)| side)
+        else {
+            return Err(Error::Fault(format!("no such active unit {id}")));
+        };
+        if let Some(c) = self.chaos.as_mut() {
+            c.net.forget_unit(id);
+            c.retries.forget_unit(id);
+            c.crashes_fired += 1;
+        }
+        if let Some(a) = &self.auditor {
+            a.unit_restarted(&format!("{side}{}", id.0));
+        }
+        let (snapshot, watermark) = self
+            .chaos
+            .as_ref()
+            .and_then(|c| c.checkpoints.get(&id))
+            .map(|(blob, w)| (Some(blob.clone()), *w))
+            .unwrap_or((None, 0));
+        let frontiers: Vec<(RouterId, SeqNo)> =
+            self.routers.iter().map(|r| (r.id(), watermark)).collect();
+        let mut fresh = self.make_joiner(id, side, &frontiers);
+        let mut restored = 0;
+        let skip = self.chaos.as_ref().map(|c| c.skip_rehydrate).unwrap_or(false);
+        if let Some(blob) = snapshot {
+            if !skip {
+                restored = fresh.restore_state(blob)?;
+            }
+        }
+        self.joiners.insert(id, fresh);
+        if let Some(c) = self.chaos.as_mut() {
+            let log = c.sent_log.get(&id).cloned().unwrap_or_default();
+            for (router, msg) in log {
+                c.offer(router, id, msg);
+            }
+        }
+        let mut frames = std::mem::take(&mut self.scratch);
+        for i in 0..self.routers.len() {
+            frames.clear();
+            let rid = self.routers[i].id();
+            self.routers[i].flush_batches(&mut frames);
+            self.send_frames(rid, &mut frames);
+        }
+        self.scratch = frames;
+        for i in 0..self.routers.len() {
+            let p = Punctuation { router: self.routers[i].id(), seq: self.routers[i].last_seq() };
+            self.net_send(p.router, id, BatchMessage::Punct(p));
+            self.stats.punctuations.inc();
+        }
+        Ok(restored)
+    }
+
+    /// Crash drills fired so far (0 without an armed chaos layer).
+    pub fn crashes_fired(&self) -> u32 {
+        self.chaos.as_ref().map(|c| c.crashes_fired).unwrap_or(0)
+    }
+
+    /// The chaos schedule's current step, if fault injection is armed.
+    pub fn chaos_step(&self) -> Option<u64> {
+        self.chaos.as_ref().map(|c| c.net.step())
+    }
+
+    /// Test-only seeded bug: restart crashed units *without* re-hydrating
+    /// their checkpoint snapshot. Stored tuples below the checkpoint
+    /// watermark silently vanish — exactly the class of recovery bug the
+    /// chaos explorer exists to catch via the output oracle.
+    #[doc(hidden)]
+    pub fn debug_skip_rehydrate(&mut self, on: bool) {
+        if let Some(c) = self.chaos.as_mut() {
+            c.skip_rehydrate = on;
+        }
     }
 
     /// Highest reorder-buffer depth ever observed on any active joiner —
@@ -667,6 +965,7 @@ impl BicliqueEngine {
         let now = self.now;
         let joiners = &mut self.joiners;
         let net = &mut self.net;
+        let chaos = &mut self.chaos;
         let registry = &self.obs.registry;
         self.draining.retain(|&(side, id, expires)| {
             let empty = joiners.get(&id).map(|j| j.index_stats().tuples == 0).unwrap_or(true);
@@ -676,6 +975,9 @@ impl BicliqueEngine {
             if empty || now >= expires {
                 joiners.remove(&id);
                 net.forget_unit(id);
+                if let Some(c) = chaos.as_mut() {
+                    c.forget_unit(id);
+                }
                 // Drop the unit's series so the scrape reflects the live
                 // topology (counters would otherwise freeze in place).
                 let unit = format!("{side}{}", id.0);
@@ -698,6 +1000,7 @@ pub struct EngineBuilder {
     auto_pump: bool,
     obs: Option<Observability>,
     auditor: Option<Auditor>,
+    chaos: Option<FaultPlan>,
     engine_label: String,
 }
 
@@ -737,6 +1040,21 @@ impl EngineBuilder {
     /// Delivery schedule (default in-order).
     pub fn delivery(mut self, mode: DeliveryMode) -> Self {
         self.delivery = mode;
+        self
+    }
+
+    /// Arm plan-driven fault injection: delivery runs on a
+    /// [`ChaosNet`] executing `plan` (the configured
+    /// [`delivery`](EngineBuilder::delivery) mode is bypassed), sends
+    /// refused by a partition retry with capped exponential backoff, and
+    /// the plan's crash events trigger
+    /// [`BicliqueEngine::crash_unit`] drills.
+    ///
+    /// Crash replays deduplicate results by identity, so chaos workloads
+    /// must use pairwise-distinct tuples (distinct `(ts, values)`), or
+    /// genuinely duplicate results would be suppressed.
+    pub fn chaos(mut self, plan: FaultPlan) -> Self {
+        self.chaos = Some(plan);
         self
     }
 
@@ -797,6 +1115,7 @@ impl EngineBuilder {
             draining: Vec::new(),
             historical: Vec::new(),
             net: ChannelNet::new(self.delivery),
+            chaos: self.chaos.map(ChaosState::new),
             stats,
             obs,
             auditor,
@@ -1154,6 +1473,140 @@ mod tests {
         assert!(matches!(scale.kind, EventKind::ScaleDecision { side: Rel::R, from: 2, to: 3 }));
         assert!(events.iter().any(|e| e.kind.tag() == "TupleStored"));
         assert!(events.iter().any(|e| e.kind.tag() == "JoinEmitted"));
+    }
+
+    fn chaos_engine(plan: bistream_types::fault::FaultPlan) -> BicliqueEngine {
+        let auditor = Auditor::new();
+        auditor.enable_oracle(WindowSpec::sliding(1_000).size());
+        let mut engine = BicliqueEngine::builder(cfg(RoutingStrategy::Hash))
+            .auditor(auditor)
+            .chaos(plan)
+            .build()
+            .unwrap();
+        engine.capture_results();
+        engine
+    }
+
+    #[test]
+    fn crash_recover_drill_preserves_exactly_once() {
+        let mut engine = chaos_engine(bistream_types::fault::FaultPlan::none());
+        // Store 30 distinct R tuples; checkpoint after the first 20.
+        let mut now = 0;
+        for i in 0..30i64 {
+            now = i as Ts * 10;
+            engine.ingest(&t(Rel::R, now, i), now).unwrap();
+            if i % 4 == 3 {
+                engine.punctuate(now + 1).unwrap();
+            }
+            if i == 19 {
+                engine.punctuate(now + 1).unwrap();
+                engine.checkpoint_all().unwrap();
+            }
+        }
+        // Crash every R unit: snapshot re-hydration covers the first 20,
+        // log replay the last 10.
+        for id in engine.layout().units(Rel::R).to_vec() {
+            engine.crash_unit(id).unwrap();
+        }
+        engine.pump().unwrap();
+        // Probe every key.
+        for i in 0..30i64 {
+            let ts = 400 + i as Ts;
+            engine.ingest(&t(Rel::S, ts, i), ts).unwrap();
+        }
+        engine.punctuate(500).unwrap();
+        engine.flush().unwrap();
+        assert_eq!(engine.take_captured().len(), 30, "no loss, no duplicates across the crash");
+        assert_eq!(engine.crashes_fired(), 2);
+        engine.auditor().unwrap().assert_clean();
+    }
+
+    #[test]
+    fn crash_without_checkpoint_recovers_from_log_replay_alone() {
+        let mut engine = chaos_engine(bistream_types::fault::FaultPlan::none());
+        for i in 0..12i64 {
+            engine.ingest(&t(Rel::R, i as Ts * 10, i), i as Ts * 10).unwrap();
+        }
+        engine.punctuate(125).unwrap();
+        let unit = engine.layout().units(Rel::R)[0];
+        assert_eq!(engine.crash_unit(unit).unwrap(), 0, "nothing checkpointed to re-hydrate");
+        engine.pump().unwrap();
+        for i in 0..12i64 {
+            let ts = 200 + i as Ts;
+            engine.ingest(&t(Rel::S, ts, i), ts).unwrap();
+        }
+        engine.punctuate(300).unwrap();
+        engine.flush().unwrap();
+        assert_eq!(engine.take_captured().len(), 12);
+        engine.auditor().unwrap().assert_clean();
+    }
+
+    #[test]
+    fn skip_rehydrate_bug_loses_checkpointed_state_and_the_oracle_sees_it() {
+        let mut engine = chaos_engine(bistream_types::fault::FaultPlan::none());
+        engine.debug_skip_rehydrate(true);
+        for i in 0..20i64 {
+            engine.ingest(&t(Rel::R, i as Ts * 10, i), i as Ts * 10).unwrap();
+        }
+        engine.punctuate(195).unwrap();
+        engine.checkpoint_all().unwrap();
+        for id in engine.layout().units(Rel::R).to_vec() {
+            engine.crash_unit(id).unwrap();
+        }
+        engine.pump().unwrap();
+        for i in 0..20i64 {
+            let ts = 300 + i as Ts;
+            engine.ingest(&t(Rel::S, ts, i), ts).unwrap();
+        }
+        engine.punctuate(400).unwrap();
+        engine.flush().unwrap();
+        assert!(
+            engine.take_captured().len() < 20,
+            "skipping re-hydration must lose checkpointed stores"
+        );
+        let violations = engine.auditor().unwrap().finish();
+        assert!(
+            violations.iter().any(|v| v.to_string().contains("oracle")),
+            "output oracle must flag the missing results: {violations:?}"
+        );
+    }
+
+    #[test]
+    fn partitions_delay_but_never_lose_results() {
+        use bistream_types::fault::{FaultEvent, FaultPlan};
+        // Partition both R-side channels from router 0 for a while; the
+        // retry queue must deliver everything eventually.
+        let plan = FaultPlan {
+            seed: 5,
+            scenario: "partition".into(),
+            events: vec![
+                FaultEvent::Partition { router: 0, unit: 0, from_step: 2, until_step: 40 },
+                FaultEvent::DelayChannel { router: 0, unit: 1, from_step: 5, until_step: 25 },
+            ],
+        };
+        let mut engine = chaos_engine(plan);
+        let mut now = 0;
+        for i in 0..25i64 {
+            now = i as Ts * 10;
+            engine.ingest(&t(Rel::R, now, i), now).unwrap();
+            engine.ingest(&t(Rel::S, now + 1, i), now + 1).unwrap();
+            if i % 3 == 2 {
+                engine.punctuate(now + 2).unwrap();
+            }
+        }
+        engine.punctuate(now + 10).unwrap();
+        engine.flush().unwrap();
+        assert_eq!(engine.take_captured().len(), 25, "loss is modelled as delay + retry");
+        engine.auditor().unwrap().assert_clean();
+    }
+
+    #[test]
+    fn checkpoint_and_crash_require_an_armed_chaos_layer() {
+        let mut engine = BicliqueEngine::new(cfg(RoutingStrategy::Hash)).unwrap();
+        assert!(matches!(engine.checkpoint_all(), Err(Error::Fault(_))));
+        assert!(matches!(engine.crash_unit(JoinerId(0)), Err(Error::Fault(_))));
+        assert_eq!(engine.crashes_fired(), 0);
+        assert_eq!(engine.chaos_step(), None);
     }
 
     #[test]

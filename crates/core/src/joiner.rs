@@ -277,6 +277,14 @@ impl JoinerCore {
         self.reorder.as_ref().map(|b| b.stats())
     }
 
+    /// The reorder buffer's watermark — the minimum punctuation frontier
+    /// over all registered routers, i.e. the sequence number below which
+    /// every tuple has been released. `None` when ordering is disabled.
+    /// The chaos checkpoint uses this as the recovery frontier.
+    pub fn reorder_watermark(&self) -> Option<SeqNo> {
+        self.reorder.as_ref().and_then(|b| b.watermark())
+    }
+
     /// Register a router that appeared after this joiner was created.
     pub fn register_router(&mut self, router: RouterId, frontier: SeqNo) {
         if let Some(buf) = &mut self.reorder {

@@ -31,6 +31,9 @@
 //!   (dynamic scaling, memory behaviour).
 //! - [`exec`] — the threaded live runtime over the broker substrate, for
 //!   wall-clock throughput/latency measurements.
+//! - [`chaos`] — deterministic fault injection: the plan-driven network
+//!   scheduler, the crash/recover trial runner and the failing-plan
+//!   minimiser behind the chaos exploration harness.
 //! - [`cascade`] — multi-way joins as pipelines of binary bicliques.
 //! - [`query`] — a schema-aware query builder resolving named join
 //!   conditions into engine configurations.
@@ -39,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod cascade;
+pub mod chaos;
 pub mod config;
 pub mod delivery;
 pub mod engine;

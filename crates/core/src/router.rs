@@ -553,6 +553,146 @@ fn key_hash(predicate: &JoinPredicate, tuple: &Tuple) -> Result<u64> {
     Ok(hash_one(key))
 }
 
+/// Capped exponential backoff for router→joiner retransmission.
+///
+/// Delays are measured in *scheduler steps* (the chaos net's logical
+/// clock), never wall time, so retry behaviour replays deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackoffPolicy {
+    /// Delay before the first retry, in steps.
+    pub base_steps: u64,
+    /// Upper bound on any retry delay, in steps.
+    pub cap_steps: u64,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> BackoffPolicy {
+        BackoffPolicy { base_steps: 1, cap_steps: 16 }
+    }
+}
+
+impl BackoffPolicy {
+    /// Delay before attempt number `attempt` (0-based): `base << attempt`,
+    /// capped at `cap_steps`.
+    pub fn delay(&self, attempt: u32) -> u64 {
+        if attempt >= 63 {
+            self.cap_steps
+        } else {
+            (self.base_steps << attempt).min(self.cap_steps)
+        }
+    }
+}
+
+/// Per-channel retransmission state.
+#[derive(Debug)]
+struct ChannelRetry {
+    frames: std::collections::VecDeque<BatchMessage>,
+    /// Consecutive refusals since the last accepted frame.
+    attempts: u32,
+    /// Step at or after which the head frame may be re-offered.
+    next_attempt_step: u64,
+}
+
+/// Frames refused by a partitioned channel, waiting for retransmission
+/// with capped exponential backoff.
+///
+/// The queue preserves pairwise FIFO: once a channel holds a refused
+/// frame, every later frame for that channel must be appended *behind* it
+/// (see [`RetryQueue::has_pending`]) rather than sent directly, otherwise
+/// retransmission would reorder the channel. Loss in the fault model is
+/// exactly "unbounded delay + retry": a frame is never dropped, only
+/// deferred until the partition heals.
+#[derive(Debug, Default)]
+pub struct RetryQueue {
+    policy: BackoffPolicy,
+    channels: Vec<((RouterId, JoinerId), ChannelRetry)>,
+}
+
+impl RetryQueue {
+    /// An empty queue with the given backoff policy.
+    pub fn new(policy: BackoffPolicy) -> RetryQueue {
+        RetryQueue { policy, channels: Vec::new() }
+    }
+
+    /// True when the `router → dest` channel has undelivered frames (the
+    /// sender must then append behind them instead of sending directly).
+    pub fn has_pending(&self, router: RouterId, dest: JoinerId) -> bool {
+        self.channels.iter().any(|((r, d), c)| *r == router && *d == dest && !c.frames.is_empty())
+    }
+
+    /// Total frames awaiting retransmission.
+    pub fn pending(&self) -> usize {
+        self.channels.iter().map(|(_, c)| c.frames.len()).sum()
+    }
+
+    /// Append a refused (or FIFO-deferred) frame for `router → dest`,
+    /// scheduling its first retry from `now_step`.
+    pub fn push(&mut self, router: RouterId, dest: JoinerId, msg: BatchMessage, now_step: u64) {
+        let key = (router, dest);
+        match self.channels.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, c)) => c.frames.push_back(msg),
+            None => {
+                let mut frames = std::collections::VecDeque::new();
+                frames.push_back(msg);
+                self.channels.push((
+                    key,
+                    ChannelRetry {
+                        frames,
+                        attempts: 0,
+                        next_attempt_step: now_step + self.policy.delay(0),
+                    },
+                ));
+            }
+        }
+    }
+
+    /// Earliest step at which any channel is due for a retry, or `None`
+    /// when the queue is empty. Lets a scheduler fast-forward its step
+    /// counter instead of spinning.
+    pub fn earliest_due(&self) -> Option<u64> {
+        self.channels
+            .iter()
+            .filter(|(_, c)| !c.frames.is_empty())
+            .map(|(_, c)| c.next_attempt_step)
+            .min()
+    }
+
+    /// Re-offer every due channel's frames, head first, through
+    /// `try_send`. A channel drains until `try_send` refuses; a refusal
+    /// bumps its attempt counter and reschedules it with backoff, an
+    /// acceptance resets the counter. Returns frames delivered.
+    pub fn drain_due(
+        &mut self,
+        now_step: u64,
+        mut try_send: impl FnMut(RouterId, JoinerId, &BatchMessage) -> bool,
+    ) -> usize {
+        let mut delivered = 0;
+        for ((router, dest), c) in &mut self.channels {
+            if c.frames.is_empty() || c.next_attempt_step > now_step {
+                continue;
+            }
+            while let Some(head) = c.frames.front() {
+                if try_send(*router, *dest, head) {
+                    c.frames.pop_front();
+                    c.attempts = 0;
+                    delivered += 1;
+                } else {
+                    c.attempts = c.attempts.saturating_add(1);
+                    c.next_attempt_step = now_step + self.policy.delay(c.attempts);
+                    break;
+                }
+            }
+        }
+        self.channels.retain(|(_, c)| !c.frames.is_empty());
+        delivered
+    }
+
+    /// Drop every queued frame addressed to a retired unit.
+    pub fn forget_unit(&mut self, unit: JoinerId) {
+        self.channels.retain(|((_, dest), _)| *dest != unit);
+    }
+}
+
 /// The join-stream destinations of `tuple` under `strategy` against a
 /// given layout — a pure function of the tuple's key and the layout (no
 /// randomness), which is what allows the engine to re-evaluate it against
@@ -898,6 +1038,65 @@ mod tests {
         let mut r = RouterCore::standalone(0, RoutingStrategy::Hash, pred, 7);
         let mut out = Vec::new();
         assert!(r.route(&tuple(Rel::R, 1), &layout, &mut out).is_err());
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_to_the_cap() {
+        let p = BackoffPolicy { base_steps: 2, cap_steps: 10 };
+        assert_eq!(p.delay(0), 2);
+        assert_eq!(p.delay(1), 4);
+        assert_eq!(p.delay(2), 8);
+        assert_eq!(p.delay(3), 10, "capped");
+        assert_eq!(p.delay(200), 10, "huge attempts saturate at the cap");
+    }
+
+    #[test]
+    fn retry_queue_preserves_channel_fifo_and_backs_off() {
+        let mut q = RetryQueue::new(BackoffPolicy { base_steps: 1, cap_steps: 8 });
+        let punct = |seq| BatchMessage::Punct(Punctuation { router: 0, seq });
+        q.push(0, JoinerId(0), punct(1), 0);
+        q.push(0, JoinerId(0), punct(2), 0);
+        q.push(1, JoinerId(0), punct(3), 0);
+        assert!(q.has_pending(0, JoinerId(0)));
+        assert_eq!(q.pending(), 3);
+        assert_eq!(q.earliest_due(), Some(1));
+        // Not yet due at step 0.
+        assert_eq!(q.drain_due(0, |_, _, _| true), 0);
+        // Still refused at step 1: attempts bump, due moves out with backoff.
+        assert_eq!(q.drain_due(1, |_, _, _| false), 0);
+        assert_eq!(q.earliest_due(), Some(2));
+        assert_eq!(q.drain_due(2, |_, _, _| false), 0);
+        assert_eq!(q.earliest_due(), Some(4), "exponential: 1, 2 then 4 steps out");
+        // Healed: everything drains in per-channel FIFO order.
+        let mut seen: Vec<(RouterId, u64)> = Vec::new();
+        assert_eq!(
+            q.drain_due(4, |r, _, m| {
+                seen.push((
+                    r,
+                    match m {
+                        BatchMessage::Punct(p) => p.seq,
+                        BatchMessage::Batch(b) => b.first_seq().unwrap_or(0),
+                    },
+                ));
+                true
+            }),
+            3
+        );
+        let from_r0: Vec<u64> = seen.iter().filter(|(r, _)| *r == 0).map(|(_, s)| *s).collect();
+        assert_eq!(from_r0, vec![1, 2], "FIFO per channel");
+        assert_eq!(q.pending(), 0);
+        assert_eq!(q.earliest_due(), None);
+    }
+
+    #[test]
+    fn retry_queue_forgets_retired_units() {
+        let mut q = RetryQueue::new(BackoffPolicy::default());
+        let punct = |seq| BatchMessage::Punct(Punctuation { router: 0, seq });
+        q.push(0, JoinerId(0), punct(1), 0);
+        q.push(0, JoinerId(1), punct(2), 0);
+        q.forget_unit(JoinerId(0));
+        assert!(!q.has_pending(0, JoinerId(0)));
+        assert_eq!(q.pending(), 1);
     }
 
     #[test]

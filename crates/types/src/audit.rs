@@ -393,6 +393,23 @@ impl Auditor {
         }
     }
 
+    /// Joiner `joiner` crashed and restarted as a fresh incarnation.
+    ///
+    /// Its channels and release history restart from scratch: routers will
+    /// retransmit un-acknowledged frames (so old sequence numbers lawfully
+    /// reappear on the wire) and the rebuilt reorder buffer re-releases
+    /// from its restored frontier. Without this hook both would read as
+    /// FIFO / release-order violations; with it the auditor treats the new
+    /// incarnation's channels as brand new, exactly like a joiner added by
+    /// a scaling operation. Router-side state (sequence density,
+    /// punctuation monotonicity) and queue conservation deliberately
+    /// survive the restart — crashes must not excuse router bugs.
+    pub fn unit_restarted(&self, joiner: &str) {
+        let mut st = self.lock();
+        st.channels.retain(|(j, _), _| j != joiner);
+        st.releases.remove(joiner);
+    }
+
     // ------------------------------------------------------------ release
 
     /// A reorder buffer released `(seq, router)` under `watermark`.
@@ -762,6 +779,27 @@ mod tests {
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].rule, Rule::ChannelFifo);
         assert!(v[0].message.contains("after"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn unit_restart_resets_channel_and_release_state() {
+        let a = Auditor::new();
+        a.channel_recv("R0", 0, 5);
+        a.channel_punct("R0", 0, 5);
+        a.release("R0", 0, 5, 5);
+        a.channel_recv("S0", 0, 6);
+        // Without the restart hook, re-delivering seq 3 and re-releasing
+        // from scratch would both be violations.
+        a.unit_restarted("R0");
+        a.channel_recv("R0", 0, 3);
+        a.channel_punct("R0", 0, 5);
+        a.release("R0", 0, 3, 5);
+        assert!(a.finish().is_empty());
+        // Other joiners' channels are untouched by the restart.
+        a.channel_recv("S0", 0, 6);
+        let v = a.finish();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::ChannelFifo);
     }
 
     #[test]

@@ -28,6 +28,9 @@ pub enum Error {
     Ordering(String),
     /// A scaling operation was rejected (below min replicas, unit unknown).
     Scaling(String),
+    /// A fault-injection plan or chaos artifact was malformed, or a chaos
+    /// drill could not be staged (unknown unit, unparseable artifact).
+    Fault(String),
     /// The component has been shut down; no further work is accepted.
     Closed,
 }
@@ -41,6 +44,7 @@ impl fmt::Display for Error {
             Error::Config(m) => write!(f, "config error: {m}"),
             Error::Ordering(m) => write!(f, "ordering protocol error: {m}"),
             Error::Scaling(m) => write!(f, "scaling error: {m}"),
+            Error::Fault(m) => write!(f, "fault injection error: {m}"),
             Error::Closed => write!(f, "component is closed"),
         }
     }

@@ -1,0 +1,854 @@
+//! Seeded fault plans for deterministic chaos testing.
+//!
+//! A [`FaultPlan`] is a *pure function of `(seed, step)`*: it is generated
+//! once from a seed and a [`ChaosProfile`], and afterwards every question
+//! the scheduler asks ("is this channel delayed at step 17?") is answered
+//! by inspecting the plan's event list against a logical step counter —
+//! never a wall clock. Replaying the same plan against the same trial
+//! therefore reproduces the exact interleaving, byte for byte.
+//!
+//! The fault vocabulary mirrors what a distributed deployment of the
+//! join-biclique can actually suffer, restricted to faults that keep the
+//! pairwise-FIFO channel axiom (Definition 8) intact:
+//!
+//! - **Delay** — a router→joiner channel stops delivering for a window of
+//!   steps; messages queue in order and drain afterwards.
+//! - **Partition** — a router→joiner channel *refuses sends* for a window;
+//!   the sender must retry (loss = unbounded delay + retry).
+//! - **Queue stall** — a broker queue rejects pushes for a window,
+//!   exercising backpressure paths.
+//! - **Crash** — a joiner unit loses all in-memory state at a step and must
+//!   re-hydrate from its last snapshot plus router retransmission.
+//!
+//! Plans, trial parameters and auditor verdicts round-trip through a
+//! dependency-free JSON codec so a failing run can be persisted under
+//! `results/chaos/<seed>.json` and re-executed by a plain `#[test]`.
+
+use crate::error::{Error, Result};
+use std::fmt;
+
+/// Artifact format version; bumped on any incompatible schema change.
+pub const ARTIFACT_VERSION: u32 = 1;
+
+/// A tiny deterministic PRNG (SplitMix64).
+///
+/// Used for plan generation and scheduler tie-breaking so that `types`
+/// needs no external `rand` dependency and every draw is a pure function
+/// of the seed. The constants are Vigna's reference parameters.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A generator seeded with `seed`.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A draw in `0..bound` (`bound = 0` yields 0).
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        self.next_u64() % bound
+    }
+}
+
+/// One stateless hash draw: a pure function of `(seed, step)`, used where
+/// a scheduler needs a reproducible choice without threading a generator.
+pub fn mix(seed: u64, step: u64) -> u64 {
+    SplitMix64::new(seed ^ step.wrapping_mul(0xA076_1D64_78BD_642F)).next_u64()
+}
+
+/// A single injected fault.
+///
+/// Units and routers are referred to by raw index (`JoinerId.0` /
+/// `RouterId.0`) so the plan type stays free of `core` dependencies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// The `router → unit` channel delivers nothing in
+    /// `from_step..until_step`; queued messages drain, in order, after.
+    DelayChannel {
+        /// Router index whose outbound channel is delayed.
+        router: u32,
+        /// Destination joiner-unit index.
+        unit: u32,
+        /// First step (inclusive) at which delivery is suppressed.
+        from_step: u64,
+        /// First step at which delivery resumes (exclusive end).
+        until_step: u64,
+    },
+    /// The `router → unit` channel refuses sends in
+    /// `from_step..until_step`; the router's retry queue must re-offer.
+    Partition {
+        /// Router index whose sends are refused.
+        router: u32,
+        /// Destination joiner-unit index.
+        unit: u32,
+        /// First step (inclusive) at which sends are refused.
+        from_step: u64,
+        /// First step at which sends are accepted again (exclusive end).
+        until_step: u64,
+    },
+    /// The named broker queue rejects pushes in `from_step..until_step`.
+    StallQueue {
+        /// Broker queue name.
+        queue: String,
+        /// First step (inclusive) of the stall window.
+        from_step: u64,
+        /// First step after the stall window (exclusive end).
+        until_step: u64,
+    },
+    /// Joiner `unit` loses all in-memory state at `at_step` and must be
+    /// restored from its last checkpoint plus router retransmission.
+    CrashUnit {
+        /// Joiner-unit index that crashes.
+        unit: u32,
+        /// Step at which the crash fires.
+        at_step: u64,
+    },
+}
+
+impl FaultEvent {
+    /// A short tag naming the event kind (also the JSON discriminator).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            FaultEvent::DelayChannel { .. } => "delay_channel",
+            FaultEvent::Partition { .. } => "partition",
+            FaultEvent::StallQueue { .. } => "stall_queue",
+            FaultEvent::CrashUnit { .. } => "crash_unit",
+        }
+    }
+
+    /// The last step at which this event can still have an effect.
+    pub fn horizon(&self) -> u64 {
+        match self {
+            FaultEvent::DelayChannel { until_step, .. }
+            | FaultEvent::Partition { until_step, .. }
+            | FaultEvent::StallQueue { until_step, .. } => *until_step,
+            FaultEvent::CrashUnit { at_step, .. } => *at_step,
+        }
+    }
+}
+
+impl fmt::Display for FaultEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultEvent::DelayChannel { router, unit, from_step, until_step } => {
+                write!(f, "delay r{router}→u{unit} @[{from_step},{until_step})")
+            }
+            FaultEvent::Partition { router, unit, from_step, until_step } => {
+                write!(f, "partition r{router}→u{unit} @[{from_step},{until_step})")
+            }
+            FaultEvent::StallQueue { queue, from_step, until_step } => {
+                write!(f, "stall `{queue}` @[{from_step},{until_step})")
+            }
+            FaultEvent::CrashUnit { unit, at_step } => write!(f, "crash u{unit} @{at_step}"),
+        }
+    }
+}
+
+/// Generation parameters for one chaos scenario.
+///
+/// A profile bounds what kinds of faults a generated plan may contain and
+/// how dense they are; the seed decides where exactly they land.
+#[derive(Debug, Clone)]
+pub struct ChaosProfile {
+    /// Scenario name (e.g. `"delay"`, `"partition"`, `"crash"`, `"mixed"`).
+    pub name: String,
+    /// Router indexes faults may target.
+    pub routers: Vec<u32>,
+    /// Joiner-unit indexes faults may target.
+    pub units: Vec<u32>,
+    /// Broker queue names stall events may target (empty = no stalls).
+    pub queues: Vec<String>,
+    /// Number of channel-delay windows to draw.
+    pub delays: usize,
+    /// Number of partition windows to draw.
+    pub partitions: usize,
+    /// Number of crash events to draw.
+    pub crashes: usize,
+    /// Number of queue-stall windows to draw.
+    pub stalls: usize,
+    /// Latest step at which any drawn window may start.
+    pub horizon: u64,
+    /// Maximum length, in steps, of a delay/partition/stall window.
+    pub max_window: u64,
+}
+
+impl ChaosProfile {
+    /// A named profile over `routers × units` with everything else zeroed.
+    pub fn new(name: &str, routers: Vec<u32>, units: Vec<u32>) -> ChaosProfile {
+        ChaosProfile {
+            name: name.to_owned(),
+            routers,
+            units,
+            queues: Vec::new(),
+            delays: 0,
+            partitions: 0,
+            crashes: 0,
+            stalls: 0,
+            horizon: 256,
+            max_window: 32,
+        }
+    }
+}
+
+/// A seeded, replayable schedule of fault events.
+///
+/// Determinism contract: `FaultPlan::generate(seed, profile)` is a pure
+/// function, and every query method is a pure function of the plan and the
+/// logical step — no wall clock, no global state.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    /// Seed the plan was generated from (0 for hand-written plans).
+    pub seed: u64,
+    /// Scenario name the plan was generated for.
+    pub scenario: String,
+    /// The injected faults, in generation order.
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing; trials run fault-free).
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Generate a plan for `profile` from `seed`.
+    pub fn generate(seed: u64, profile: &ChaosProfile) -> FaultPlan {
+        let mut rng = SplitMix64::new(seed ^ 0xC4A0_5_u64);
+        let mut events = Vec::new();
+        let pick = |rng: &mut SplitMix64, xs: &[u32]| -> u32 {
+            if xs.is_empty() {
+                0
+            } else {
+                xs[rng.next_below(xs.len() as u64) as usize]
+            }
+        };
+        for _ in 0..profile.delays {
+            let from = rng.next_below(profile.horizon);
+            let len = 1 + rng.next_below(profile.max_window.max(1));
+            events.push(FaultEvent::DelayChannel {
+                router: pick(&mut rng, &profile.routers),
+                unit: pick(&mut rng, &profile.units),
+                from_step: from,
+                until_step: from + len,
+            });
+        }
+        for _ in 0..profile.partitions {
+            let from = rng.next_below(profile.horizon);
+            let len = 1 + rng.next_below(profile.max_window.max(1));
+            events.push(FaultEvent::Partition {
+                router: pick(&mut rng, &profile.routers),
+                unit: pick(&mut rng, &profile.units),
+                from_step: from,
+                until_step: from + len,
+            });
+        }
+        for _ in 0..profile.stalls {
+            if profile.queues.is_empty() {
+                break;
+            }
+            let from = rng.next_below(profile.horizon);
+            let len = 1 + rng.next_below(profile.max_window.max(1));
+            let q = rng.next_below(profile.queues.len() as u64) as usize;
+            events.push(FaultEvent::StallQueue {
+                queue: profile.queues[q].clone(),
+                from_step: from,
+                until_step: from + len,
+            });
+        }
+        for _ in 0..profile.crashes {
+            events.push(FaultEvent::CrashUnit {
+                unit: pick(&mut rng, &profile.units),
+                at_step: rng.next_below(profile.horizon),
+            });
+        }
+        FaultPlan { seed, scenario: profile.name.clone(), events }
+    }
+
+    /// True when some delay window suppresses `router → unit` at `step`.
+    pub fn delays_channel(&self, router: u32, unit: u32, step: u64) -> bool {
+        self.events.iter().any(|e| match e {
+            FaultEvent::DelayChannel { router: r, unit: u, from_step, until_step } => {
+                *r == router && *u == unit && (*from_step..*until_step).contains(&step)
+            }
+            _ => false,
+        })
+    }
+
+    /// True when some partition refuses sends on `router → unit` at `step`.
+    pub fn partitions_channel(&self, router: u32, unit: u32, step: u64) -> bool {
+        self.events.iter().any(|e| match e {
+            FaultEvent::Partition { router: r, unit: u, from_step, until_step } => {
+                *r == router && *u == unit && (*from_step..*until_step).contains(&step)
+            }
+            _ => false,
+        })
+    }
+
+    /// True when some stall window blocks pushes to `queue` at `step`.
+    pub fn queue_stalled(&self, queue: &str, step: u64) -> bool {
+        self.events.iter().any(|e| match e {
+            FaultEvent::StallQueue { queue: q, from_step, until_step } => {
+                q == queue && (*from_step..*until_step).contains(&step)
+            }
+            _ => false,
+        })
+    }
+
+    /// Units whose crash fires exactly at `step`, in plan order.
+    pub fn crashes_at(&self, step: u64) -> Vec<u32> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                FaultEvent::CrashUnit { unit, at_step } if *at_step == step => Some(*unit),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The last step at which any event can still have an effect; beyond
+    /// it a scheduler may ignore the plan entirely (termination guard).
+    pub fn horizon(&self) -> u64 {
+        self.events.iter().map(FaultEvent::horizon).max().unwrap_or(0)
+    }
+
+    /// Serialize to the artifact JSON fragment (stable key order).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        plan_json(self, &mut s);
+        s
+    }
+
+    /// Parse a plan from the JSON produced by [`FaultPlan::to_json`].
+    pub fn from_json(text: &str) -> Result<FaultPlan> {
+        let v = Json::parse(text)?;
+        plan_from_json(&v)
+    }
+}
+
+/// The engine/workload parameters of one chaos trial, captured so a replay
+/// reconstructs the exact run the plan failed against.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrialSpec {
+    /// Number of matched R/S tuple pairs fed through the engine.
+    pub pairs: u32,
+    /// Punctuate (and advance virtual time) every this many pairs.
+    pub punct_every: u32,
+    /// Checkpoint every unit every this many punctuation rounds.
+    pub checkpoint_every: u32,
+    /// Router count on the engine.
+    pub routers: u32,
+    /// Joiner units per side.
+    pub joiners_per_side: u32,
+    /// Micro-batch size for router frames.
+    pub batch_size: u32,
+    /// Seed for the engine's own (routing) RNG.
+    pub engine_seed: u64,
+    /// Seeded-bug selector: `"none"`, `"skip_rehydrate"` or
+    /// `"corrupt_frontier"` — interpreted by the trial runner.
+    pub bug: String,
+}
+
+impl Default for TrialSpec {
+    fn default() -> TrialSpec {
+        TrialSpec {
+            pairs: 48,
+            punct_every: 4,
+            checkpoint_every: 2,
+            routers: 1,
+            joiners_per_side: 2,
+            batch_size: 1,
+            engine_seed: 7,
+            bug: "none".to_owned(),
+        }
+    }
+}
+
+/// A complete, replayable record of one failing (or passing) chaos run.
+///
+/// Written to `results/chaos/<seed>.json` by the explorer; re-executed
+/// byte-for-byte by `tests/chaos.rs`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosArtifact {
+    /// Artifact schema version ([`ARTIFACT_VERSION`]).
+    pub version: u32,
+    /// Scenario the plan was drawn from.
+    pub scenario: String,
+    /// Seed the plan was generated with.
+    pub seed: u64,
+    /// The (possibly minimized) fault plan.
+    pub plan: FaultPlan,
+    /// The trial parameters the plan ran against.
+    pub trial: TrialSpec,
+    /// Auditor violations observed (empty for a passing run).
+    pub violations: Vec<String>,
+}
+
+impl ChaosArtifact {
+    /// Serialize to pretty-printed JSON with stable key order.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("  \"version\": {},\n", self.version));
+        s.push_str(&format!("  \"scenario\": {},\n", json_str(&self.scenario)));
+        s.push_str(&format!("  \"seed\": {},\n", self.seed));
+        s.push_str("  \"trial\": {");
+        let t = &self.trial;
+        s.push_str(&format!(
+            "\"pairs\": {}, \"punct_every\": {}, \"checkpoint_every\": {}, \
+             \"routers\": {}, \"joiners_per_side\": {}, \"batch_size\": {}, \
+             \"engine_seed\": {}, \"bug\": {}",
+            t.pairs,
+            t.punct_every,
+            t.checkpoint_every,
+            t.routers,
+            t.joiners_per_side,
+            t.batch_size,
+            t.engine_seed,
+            json_str(&t.bug)
+        ));
+        s.push_str("},\n");
+        s.push_str("  \"plan\": ");
+        plan_json(&self.plan, &mut s);
+        s.push_str(",\n  \"violations\": [");
+        for (i, v) in self.violations.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&json_str(v));
+        }
+        s.push_str("]\n}\n");
+        s
+    }
+
+    /// Parse an artifact produced by [`ChaosArtifact::to_json`].
+    pub fn from_json(text: &str) -> Result<ChaosArtifact> {
+        let v = Json::parse(text)?;
+        let version = v.field_u64("version")? as u32;
+        if version != ARTIFACT_VERSION {
+            return Err(Error::Fault(format!(
+                "artifact version {version} unsupported (expected {ARTIFACT_VERSION})"
+            )));
+        }
+        let t = v.field("trial")?;
+        let trial = TrialSpec {
+            pairs: t.field_u64("pairs")? as u32,
+            punct_every: t.field_u64("punct_every")? as u32,
+            checkpoint_every: t.field_u64("checkpoint_every")? as u32,
+            routers: t.field_u64("routers")? as u32,
+            joiners_per_side: t.field_u64("joiners_per_side")? as u32,
+            batch_size: t.field_u64("batch_size")? as u32,
+            engine_seed: t.field_u64("engine_seed")?,
+            bug: t.field_str("bug")?.to_owned(),
+        };
+        let plan = plan_from_json(v.field("plan")?)?;
+        let violations = v
+            .field("violations")?
+            .as_array()?
+            .iter()
+            .map(|j| j.as_str().map(str::to_owned))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(ChaosArtifact {
+            version,
+            scenario: v.field_str("scenario")?.to_owned(),
+            seed: v.field_u64("seed")?,
+            plan,
+            trial,
+            violations,
+        })
+    }
+}
+
+fn plan_json(plan: &FaultPlan, s: &mut String) {
+    s.push_str(&format!(
+        "{{\"seed\": {}, \"scenario\": {}, \"events\": [",
+        plan.seed,
+        json_str(&plan.scenario)
+    ));
+    for (i, e) in plan.events.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        match e {
+            FaultEvent::DelayChannel { router, unit, from_step, until_step } => {
+                s.push_str(&format!(
+                    "{{\"kind\": \"delay_channel\", \"router\": {router}, \"unit\": {unit}, \
+                     \"from_step\": {from_step}, \"until_step\": {until_step}}}"
+                ));
+            }
+            FaultEvent::Partition { router, unit, from_step, until_step } => {
+                s.push_str(&format!(
+                    "{{\"kind\": \"partition\", \"router\": {router}, \"unit\": {unit}, \
+                     \"from_step\": {from_step}, \"until_step\": {until_step}}}"
+                ));
+            }
+            FaultEvent::StallQueue { queue, from_step, until_step } => {
+                s.push_str(&format!(
+                    "{{\"kind\": \"stall_queue\", \"queue\": {}, \
+                     \"from_step\": {from_step}, \"until_step\": {until_step}}}",
+                    json_str(queue)
+                ));
+            }
+            FaultEvent::CrashUnit { unit, at_step } => {
+                s.push_str(&format!(
+                    "{{\"kind\": \"crash_unit\", \"unit\": {unit}, \"at_step\": {at_step}}}"
+                ));
+            }
+        }
+    }
+    s.push_str("]}");
+}
+
+fn plan_from_json(v: &Json) -> Result<FaultPlan> {
+    let mut events = Vec::new();
+    for e in v.field("events")?.as_array()? {
+        let ev = match e.field_str("kind")? {
+            "delay_channel" => FaultEvent::DelayChannel {
+                router: e.field_u64("router")? as u32,
+                unit: e.field_u64("unit")? as u32,
+                from_step: e.field_u64("from_step")?,
+                until_step: e.field_u64("until_step")?,
+            },
+            "partition" => FaultEvent::Partition {
+                router: e.field_u64("router")? as u32,
+                unit: e.field_u64("unit")? as u32,
+                from_step: e.field_u64("from_step")?,
+                until_step: e.field_u64("until_step")?,
+            },
+            "stall_queue" => FaultEvent::StallQueue {
+                queue: e.field_str("queue")?.to_owned(),
+                from_step: e.field_u64("from_step")?,
+                until_step: e.field_u64("until_step")?,
+            },
+            "crash_unit" => FaultEvent::CrashUnit {
+                unit: e.field_u64("unit")? as u32,
+                at_step: e.field_u64("at_step")?,
+            },
+            other => return Err(Error::Fault(format!("unknown fault kind `{other}`"))),
+        };
+        events.push(ev);
+    }
+    Ok(FaultPlan {
+        seed: v.field_u64("seed")?,
+        scenario: v.field_str("scenario")?.to_owned(),
+        events,
+    })
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Minimal internal JSON value for parsing our own artifact output. Not
+/// a general-purpose parser: enough for objects, arrays, strings and
+/// non-negative integers, which is all the codec emits.
+enum Json {
+    Num(u64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn parse(text: &str) -> Result<Json> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(Error::Fault(format!("trailing bytes at offset {pos}")));
+        }
+        Ok(v)
+    }
+
+    fn field<'a>(&'a self, name: &str) -> Result<&'a Json> {
+        match self {
+            Json::Obj(fields) => fields
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| Error::Fault(format!("missing field `{name}`"))),
+            _ => Err(Error::Fault(format!("field `{name}` of non-object"))),
+        }
+    }
+
+    fn field_u64(&self, name: &str) -> Result<u64> {
+        match self.field(name)? {
+            Json::Num(n) => Ok(*n),
+            _ => Err(Error::Fault(format!("field `{name}` is not a number"))),
+        }
+    }
+
+    fn field_str<'a>(&'a self, name: &str) -> Result<&'a str> {
+        match self.field(name)? {
+            Json::Str(s) => Ok(s.as_str()),
+            _ => Err(Error::Fault(format!("field `{name}` is not a string"))),
+        }
+    }
+
+    fn as_array(&self) -> Result<&[Json]> {
+        match self {
+            Json::Arr(xs) => Ok(xs),
+            _ => Err(Error::Fault("expected array".to_owned())),
+        }
+    }
+
+    fn as_str(&self) -> Result<&str> {
+        match self {
+            Json::Str(s) => Ok(s.as_str()),
+            _ => Err(Error::Fault("expected string".to_owned())),
+        }
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<()> {
+    skip_ws(b, pos);
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(Error::Fault(format!("expected `{}` at offset {pos}", c as char)))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                expect(b, pos, b':')?;
+                let value = parse_value(b, pos)?;
+                fields.push((key, value));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err(Error::Fault(format!("bad object at offset {pos}"))),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(Error::Fault(format!("bad array at offset {pos}"))),
+                }
+            }
+        }
+        Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
+        Some(c) if c.is_ascii_digit() => {
+            let start = *pos;
+            while *pos < b.len() && b[*pos].is_ascii_digit() {
+                *pos += 1;
+            }
+            let text =
+                std::str::from_utf8(&b[start..*pos]).map_err(|e| Error::Fault(e.to_string()))?;
+            text.parse::<u64>()
+                .map(Json::Num)
+                .map_err(|e| Error::Fault(format!("bad number `{text}`: {e}")))
+        }
+        _ => Err(Error::Fault(format!("unexpected byte at offset {pos}"))),
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| Error::Fault("truncated \\u escape".to_owned()))?;
+                        let hex =
+                            std::str::from_utf8(hex).map_err(|e| Error::Fault(e.to_string()))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|e| Error::Fault(format!("bad \\u escape: {e}")))?;
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| Error::Fault("bad codepoint".to_owned()))?,
+                        );
+                        *pos += 4;
+                    }
+                    _ => return Err(Error::Fault(format!("bad escape at offset {pos}"))),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (input is a &str, so boundaries
+                // are valid by construction).
+                let rest =
+                    std::str::from_utf8(&b[*pos..]).map_err(|e| Error::Fault(e.to_string()))?;
+                let c = rest.chars().next().unwrap_or('\u{fffd}');
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+            None => return Err(Error::Fault("unterminated string".to_owned())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> ChaosProfile {
+        let mut p = ChaosProfile::new("mixed", vec![0, 1], vec![0, 1, 2, 3]);
+        p.queues = vec!["q0".to_owned()];
+        p.delays = 2;
+        p.partitions = 2;
+        p.crashes = 1;
+        p.stalls = 1;
+        p
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_seed() {
+        let p = profile();
+        let a = FaultPlan::generate(42, &p);
+        let b = FaultPlan::generate(42, &p);
+        let c = FaultPlan::generate(43, &p);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.events.len(), 6);
+    }
+
+    #[test]
+    fn queries_are_pure_functions_of_step() {
+        let plan = FaultPlan {
+            seed: 0,
+            scenario: "hand".into(),
+            events: vec![
+                FaultEvent::DelayChannel { router: 0, unit: 1, from_step: 5, until_step: 8 },
+                FaultEvent::Partition { router: 1, unit: 0, from_step: 3, until_step: 4 },
+                FaultEvent::StallQueue { queue: "q".into(), from_step: 2, until_step: 9 },
+                FaultEvent::CrashUnit { unit: 2, at_step: 6 },
+            ],
+        };
+        assert!(plan.delays_channel(0, 1, 5));
+        assert!(plan.delays_channel(0, 1, 7));
+        assert!(!plan.delays_channel(0, 1, 8));
+        assert!(!plan.delays_channel(1, 1, 6));
+        assert!(plan.partitions_channel(1, 0, 3));
+        assert!(!plan.partitions_channel(1, 0, 4));
+        assert!(plan.queue_stalled("q", 2));
+        assert!(!plan.queue_stalled("r", 2));
+        assert_eq!(plan.crashes_at(6), vec![2]);
+        assert!(plan.crashes_at(5).is_empty());
+        assert_eq!(plan.horizon(), 9);
+    }
+
+    #[test]
+    fn artifact_roundtrips_through_json() {
+        let plan = FaultPlan::generate(9, &profile());
+        let artifact = ChaosArtifact {
+            version: ARTIFACT_VERSION,
+            scenario: "mixed".into(),
+            seed: 9,
+            plan,
+            trial: TrialSpec { bug: "skip_rehydrate".into(), ..TrialSpec::default() },
+            violations: vec!["oracle: missing \"x\" ⋈ \"y\"".into()],
+        };
+        let text = artifact.to_json();
+        let back = ChaosArtifact::from_json(&text).expect("parse");
+        assert_eq!(artifact, back);
+        // Byte-stable: encoding the parsed artifact reproduces the text.
+        assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn corrupt_artifacts_are_rejected_not_panicked() {
+        for bad in [
+            "",
+            "{",
+            "{}",
+            "[1,2",
+            "{\"version\": 99}",
+            "{\"version\": \"x\"}",
+            "{\"version\": 1, \"scenario\": 3}",
+            "nonsense",
+            "{\"version\": 1} trailing",
+        ] {
+            assert!(ChaosArtifact::from_json(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn splitmix_is_stable() {
+        let mut rng = SplitMix64::new(0);
+        // First draw of SplitMix64 from seed 0 (reference value).
+        assert_eq!(rng.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(mix(1, 2), mix(1, 2));
+        assert_ne!(mix(1, 2), mix(1, 3));
+    }
+}

@@ -20,6 +20,8 @@ pub mod audit;
 pub mod batch;
 /// The shared error and result types.
 pub mod error;
+/// Seeded fault plans for deterministic chaos testing.
+pub mod fault;
 /// Deterministic content hashing for routing decisions.
 pub mod hash;
 /// Bounded lock-free journal of typed runtime events.
@@ -53,6 +55,7 @@ pub mod window;
 pub use audit::{Auditor, Violation};
 pub use batch::{BatchEntry, BatchMessage, TupleBatch};
 pub use error::{Error, Result};
+pub use fault::{ChaosArtifact, ChaosProfile, FaultEvent, FaultPlan, TrialSpec};
 pub use journal::{Event, EventJournal, EventKind};
 pub use predicate::JoinPredicate;
 pub use punct::{Punctuation, RouterId, SeqNo, StreamMessage};

@@ -3,6 +3,9 @@
 //! Commands:
 //! * `lint [--root <path>]` — run the repo-specific static pass (see the
 //!   library docs); exits non-zero when any rule fires.
+//! * `chaos [args…]` — build and run the chaos exploration runner
+//!   (`bistream-bench --bin chaos`), forwarding all arguments; exits with
+//!   the runner's status.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -41,12 +44,28 @@ fn main() -> ExitCode {
                 }
             }
         }
+        Some("chaos") => {
+            let forwarded: Vec<String> = args.collect();
+            let status = std::process::Command::new("cargo")
+                .args(["run", "--release", "-p", "bistream-bench", "--bin", "chaos", "--"])
+                .args(&forwarded)
+                .current_dir(workspace_root())
+                .status();
+            match status {
+                Ok(s) if s.success() => ExitCode::SUCCESS,
+                Ok(_) => ExitCode::FAILURE,
+                Err(e) => {
+                    eprintln!("xtask chaos: could not launch cargo: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
         Some(other) => {
-            eprintln!("xtask: unknown command {other:?} (try: lint)");
+            eprintln!("xtask: unknown command {other:?} (try: lint, chaos)");
             ExitCode::FAILURE
         }
         None => {
-            eprintln!("usage: cargo xtask lint [--root <path>]");
+            eprintln!("usage: cargo xtask lint [--root <path>] | cargo xtask chaos [args…]");
             ExitCode::FAILURE
         }
     }
