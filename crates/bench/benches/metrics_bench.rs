@@ -8,7 +8,8 @@
 //! rows should be indistinguishable.
 
 use bistream_types::metrics::{Counter, Histogram};
-use bistream_types::registry::MetricsRegistry;
+use bistream_types::registry::{MetricsRegistry, RegistrySnapshot};
+use bistream_types::telemetry::TextExporter;
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use std::sync::Arc;
 
@@ -91,7 +92,22 @@ fn bench_scrape(c: &mut Criterion) {
     g.bench_function(format!("scrape_{}_series", reg.len()), |b| {
         b.iter(|| black_box(reg.scrape(42).samples.len()))
     });
+    // Allocation-churn fix: the reused snapshot keeps its samples Vec, so
+    // steady-state scraping only clones the Arc'd keys — this row should
+    // beat `scrape_*_series` once the buffer has warmed up.
+    let mut snap = RegistrySnapshot::default();
+    g.bench_function("scrape_into_reused_snapshot", |b| {
+        b.iter(|| {
+            reg.scrape_into(42, &mut snap);
+            black_box(snap.samples.len())
+        })
+    });
     g.bench_function("prometheus_text", |b| b.iter(|| black_box(reg.prometheus_text(42).len())));
+    // Same discipline for the exporter: one buffer reused across renders.
+    let mut exporter = TextExporter::new();
+    g.bench_function("exporter_reused_buffer", |b| {
+        b.iter(|| black_box(exporter.render(&reg, 42).len()))
+    });
     g.finish();
 }
 

@@ -1,0 +1,283 @@
+//! Byte-stable codec and regression comparator for the pipeline
+//! throughput baseline (`BENCH_pipeline.json`).
+//!
+//! The committed baseline pins the live pipeline's saturation throughput
+//! and result-latency percentiles per `(batch, routing)` case;
+//! `cargo xtask bench` re-measures and fails when a case regresses past
+//! the threshold. The emitter writes fields in a fixed order with fixed
+//! float formatting so that re-encoding a parsed document reproduces it
+//! byte for byte — diffs on the committed file are always real changes,
+//! never formatting noise (same discipline as the chaos artifacts in
+//! [`bistream_types::fault`]).
+
+use std::fmt::Write as _;
+
+/// Baseline format version; bumped on any incompatible schema change.
+pub const BASELINE_VERSION: u32 = 1;
+
+/// Default relative regression threshold (30 %).
+pub const DEFAULT_THRESHOLD: f64 = 0.30;
+
+/// One measured harness case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchCase {
+    /// Case id, `batch<k>_<routing>` (the comparison key).
+    pub name: String,
+    /// Router→joiner micro-batch size.
+    pub batch: u64,
+    /// Routing strategy label (`random` / `contrand`).
+    pub routing: String,
+    /// Matching pairs fed flat-out.
+    pub pairs: u64,
+    /// Ingest throughput, tuples/s (one decimal in the encoding).
+    pub throughput_tps: f64,
+    /// Median result latency, ms.
+    pub p50_ms: u64,
+    /// 95th-percentile result latency, ms.
+    pub p95_ms: u64,
+    /// 99th-percentile result latency, ms.
+    pub p99_ms: u64,
+    /// Join results emitted (a correctness cross-check, not a perf axis).
+    pub results: u64,
+}
+
+/// The whole baseline document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchDoc {
+    /// Schema version ([`BASELINE_VERSION`]).
+    pub version: u32,
+    /// Suite id (`pipeline`).
+    pub suite: String,
+    /// Cases in emission order.
+    pub cases: Vec<BenchCase>,
+}
+
+impl BenchDoc {
+    /// Encode with fixed field order and fixed float formatting. The
+    /// output ends with a newline so the committed file is POSIX-clean.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"version\": {},", self.version);
+        let _ = writeln!(s, "  \"suite\": \"{}\",", self.suite);
+        s.push_str("  \"cases\": [\n");
+        for (i, c) in self.cases.iter().enumerate() {
+            s.push_str("    {\n");
+            let _ = writeln!(s, "      \"name\": \"{}\",", c.name);
+            let _ = writeln!(s, "      \"batch\": {},", c.batch);
+            let _ = writeln!(s, "      \"routing\": \"{}\",", c.routing);
+            let _ = writeln!(s, "      \"pairs\": {},", c.pairs);
+            let _ = writeln!(s, "      \"throughput_tps\": {:.1},", c.throughput_tps);
+            let _ = writeln!(s, "      \"p50_ms\": {},", c.p50_ms);
+            let _ = writeln!(s, "      \"p95_ms\": {},", c.p95_ms);
+            let _ = writeln!(s, "      \"p99_ms\": {},", c.p99_ms);
+            let _ = writeln!(s, "      \"results\": {}", c.results);
+            s.push_str(if i + 1 == self.cases.len() { "    }\n" } else { "    },\n" });
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Parse and schema-check a baseline document. Every field is
+    /// required; unknown versions are rejected so a stale binary never
+    /// silently "passes" against a future schema.
+    pub fn from_json(text: &str) -> Result<BenchDoc, String> {
+        let v: serde_json::Value =
+            serde_json::from_str(text).map_err(|e| format!("invalid JSON: {e}"))?;
+        let obj = v.as_object().ok_or("top level must be an object")?;
+        let version =
+            obj.get("version").and_then(|v| v.as_u64()).ok_or("missing `version`")? as u32;
+        if version != BASELINE_VERSION {
+            return Err(format!("unsupported baseline version {version} (want {BASELINE_VERSION})"));
+        }
+        let suite =
+            obj.get("suite").and_then(|v| v.as_str()).ok_or("missing `suite`")?.to_owned();
+        let cases = obj.get("cases").and_then(|v| v.as_array()).ok_or("missing `cases`")?;
+        let mut out = Vec::with_capacity(cases.len());
+        for (i, c) in cases.iter().enumerate() {
+            let c = c.as_object().ok_or_else(|| format!("case {i} must be an object"))?;
+            let str_field = |k: &str| -> Result<String, String> {
+                c.get(k)
+                    .and_then(|v| v.as_str())
+                    .map(str::to_owned)
+                    .ok_or_else(|| format!("case {i}: missing string `{k}`"))
+            };
+            let u64_field = |k: &str| -> Result<u64, String> {
+                c.get(k).and_then(|v| v.as_u64()).ok_or_else(|| format!("case {i}: missing `{k}`"))
+            };
+            out.push(BenchCase {
+                name: str_field("name")?,
+                batch: u64_field("batch")?,
+                routing: str_field("routing")?,
+                pairs: u64_field("pairs")?,
+                throughput_tps: c
+                    .get("throughput_tps")
+                    .and_then(|v| v.as_f64())
+                    .ok_or_else(|| format!("case {i}: missing `throughput_tps`"))?,
+                p50_ms: u64_field("p50_ms")?,
+                p95_ms: u64_field("p95_ms")?,
+                p99_ms: u64_field("p99_ms")?,
+                results: u64_field("results")?,
+            });
+        }
+        Ok(BenchDoc { version, suite, cases: out })
+    }
+}
+
+/// One detected regression (or coverage gap) against the baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Case id.
+    pub case: String,
+    /// Regressed axis: `throughput_tps`, `p99_ms` or `missing`.
+    pub metric: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Measured value (0 for a missing case).
+    pub current: f64,
+}
+
+impl std::fmt::Display for Regression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {} {:.1} -> {:.1}",
+            self.case, self.metric, self.baseline, self.current
+        )
+    }
+}
+
+/// Compare a fresh measurement against the baseline. A case regresses
+/// when throughput drops by more than `threshold` (relative), or when p99
+/// latency grows by more than `threshold` *and* by more than 5 ms (the
+/// absolute guard keeps 1 ms → 2 ms jitter from tripping a 30 % gate).
+/// Baseline cases absent from `current` are reported as `missing`.
+pub fn compare(baseline: &BenchDoc, current: &BenchDoc, threshold: f64) -> Vec<Regression> {
+    let mut out = Vec::new();
+    for b in &baseline.cases {
+        let Some(c) = current.cases.iter().find(|c| c.name == b.name) else {
+            out.push(Regression {
+                case: b.name.clone(),
+                metric: "missing".into(),
+                baseline: b.throughput_tps,
+                current: 0.0,
+            });
+            continue;
+        };
+        if c.throughput_tps < b.throughput_tps * (1.0 - threshold) {
+            out.push(Regression {
+                case: b.name.clone(),
+                metric: "throughput_tps".into(),
+                baseline: b.throughput_tps,
+                current: c.throughput_tps,
+            });
+        }
+        let p99_limit = (b.p99_ms as f64 * (1.0 + threshold)).max(b.p99_ms as f64 + 5.0);
+        if c.p99_ms as f64 > p99_limit {
+            out.push(Regression {
+                case: b.name.clone(),
+                metric: "p99_ms".into(),
+                baseline: b.p99_ms as f64,
+                current: c.p99_ms as f64,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc() -> BenchDoc {
+        BenchDoc {
+            version: BASELINE_VERSION,
+            suite: "pipeline".into(),
+            cases: vec![
+                BenchCase {
+                    name: "batch1_random".into(),
+                    batch: 1,
+                    routing: "random".into(),
+                    pairs: 20_000,
+                    throughput_tps: 150_000.0,
+                    p50_ms: 1,
+                    p95_ms: 4,
+                    p99_ms: 9,
+                    results: 20_000,
+                },
+                BenchCase {
+                    name: "batch64_random".into(),
+                    batch: 64,
+                    routing: "random".into(),
+                    pairs: 20_000,
+                    throughput_tps: 400_000.5,
+                    p50_ms: 2,
+                    p95_ms: 8,
+                    p99_ms: 15,
+                    results: 20_000,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn encoding_round_trips_byte_for_byte() {
+        let text = doc().to_json();
+        let parsed = BenchDoc::from_json(&text).unwrap();
+        assert_eq!(parsed, doc());
+        assert_eq!(parsed.to_json(), text, "re-encoding must be byte-stable");
+    }
+
+    #[test]
+    fn golden_encoding_shape() {
+        let text = doc().to_json();
+        assert!(text.starts_with("{\n  \"version\": 1,\n  \"suite\": \"pipeline\",\n"));
+        assert!(text.contains("      \"throughput_tps\": 150000.0,\n"));
+        assert!(text.contains("      \"throughput_tps\": 400000.5,\n"));
+        assert!(text.ends_with("  ]\n}\n"));
+    }
+
+    #[test]
+    fn schema_violations_are_rejected() {
+        assert!(BenchDoc::from_json("[]").is_err());
+        assert!(BenchDoc::from_json("{\"version\": 99, \"suite\": \"p\", \"cases\": []}")
+            .unwrap_err()
+            .contains("version"));
+        let no_p99 = "{\"version\": 1, \"suite\": \"p\", \"cases\": [{\"name\": \"x\", \
+                      \"batch\": 1, \"routing\": \"random\", \"pairs\": 1, \
+                      \"throughput_tps\": 1.0, \"p50_ms\": 1, \"p95_ms\": 1, \"results\": 1}]}";
+        assert!(BenchDoc::from_json(no_p99).unwrap_err().contains("p99_ms"));
+    }
+
+    #[test]
+    fn compare_flags_throughput_drop_and_p99_growth() {
+        let base = doc();
+        let mut cur = doc();
+        cur.cases[0].throughput_tps = 90_000.0; // -40 %
+        cur.cases[1].p99_ms = 40; // +166 % and > +5 ms
+        let regs = compare(&base, &cur, DEFAULT_THRESHOLD);
+        assert_eq!(regs.len(), 2, "{regs:?}");
+        assert_eq!(regs[0].metric, "throughput_tps");
+        assert_eq!(regs[1].metric, "p99_ms");
+    }
+
+    #[test]
+    fn compare_tolerates_noise_within_threshold() {
+        let base = doc();
+        let mut cur = doc();
+        cur.cases[0].throughput_tps = 120_000.0; // -20 % < 30 %
+        cur.cases[0].p99_ms = 12; // +3 ms, under the absolute guard
+        assert!(compare(&base, &cur, DEFAULT_THRESHOLD).is_empty());
+    }
+
+    #[test]
+    fn compare_reports_missing_cases() {
+        let base = doc();
+        let mut cur = doc();
+        cur.cases.remove(1);
+        let regs = compare(&base, &cur, DEFAULT_THRESHOLD);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].metric, "missing");
+        assert_eq!(regs[0].case, "batch64_random");
+    }
+}

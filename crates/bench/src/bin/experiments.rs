@@ -31,6 +31,10 @@ fn main() {
                 let v = iter.next().expect("--trace-out needs a file path");
                 ctx.trace_out = Some(v.into());
             }
+            "--telemetry-out" => {
+                let v = iter.next().expect("--telemetry-out needs a file path");
+                ctx.telemetry_out = Some(v.into());
+            }
             "--help" | "-h" => {
                 usage();
                 return;
@@ -64,7 +68,7 @@ fn main() {
 
 fn usage() {
     eprintln!(
-        "usage: experiments [--quick] [--seed N] [--metrics-out FILE] [--trace-out FILE] <id>… | all\n  ids: {}",
+        "usage: experiments [--quick] [--seed N] [--metrics-out FILE] [--trace-out FILE] [--telemetry-out FILE] <id>… | all\n  ids: {}",
         experiments::ALL.join(", ")
     );
 }

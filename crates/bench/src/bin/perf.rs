@@ -1,0 +1,211 @@
+//! The pipeline throughput/latency harness behind `cargo xtask bench`.
+//!
+//! Drives the live threaded pipeline flat-out over the baseline matrix —
+//! micro-batch size {1, 64} × routing {random, contrand} on a 4×4 layout
+//! — and reports saturation throughput plus result-latency percentiles.
+//! When a baseline file exists the run is compared against it and any
+//! case regressing past the threshold fails the process (the CI
+//! `perf-smoke` gate).
+//!
+//! ```text
+//! cargo xtask bench                      # measure + compare vs BENCH_pipeline.json
+//! cargo xtask bench --quick              # smoke sizing (CI)
+//! cargo xtask bench --update             # rewrite the baseline from this run
+//! cargo xtask bench --telemetry-out m.prom   # dump a /metrics exposition snapshot
+//! ```
+
+use bistream_bench::baseline::{compare, BenchCase, BenchDoc, BASELINE_VERSION, DEFAULT_THRESHOLD};
+use bistream_bench::experiments::common::engine_config;
+use bistream_bench::report::{f, Table};
+use bistream_core::config::RoutingStrategy;
+use bistream_core::exec::{Pipeline, PipelineConfig};
+use bistream_types::predicate::JoinPredicate;
+use bistream_types::rel::Rel;
+use bistream_types::tuple::Tuple;
+use bistream_types::value::Value;
+use bistream_types::window::WindowSpec;
+use std::path::PathBuf;
+
+/// One harness case: feed `pairs` matching pairs flat-out and measure.
+/// `telemetry_out` (last case only) receives a pre-drain exposition dump.
+fn run_case(
+    seed: u64,
+    batch: u64,
+    routing: RoutingStrategy,
+    routing_name: &str,
+    pairs: u64,
+    telemetry_out: Option<&PathBuf>,
+) -> BenchCase {
+    let mut cfg = engine_config(
+        routing,
+        JoinPredicate::Equi { r_attr: 0, s_attr: 0 },
+        WindowSpec::sliding(30_000),
+        4,
+        4,
+        seed,
+    );
+    cfg.punctuation_interval_ms = 10;
+    cfg.batch_size = batch as usize;
+    let pipe = Pipeline::launch(PipelineConfig::new(cfg)).expect("launch");
+    for i in 0..pairs {
+        let now = pipe.now();
+        pipe.ingest(&Tuple::new(Rel::R, now, vec![Value::Int(i as i64 % 997)])).unwrap();
+        pipe.ingest(&Tuple::new(Rel::S, now, vec![Value::Int(i as i64 % 997)])).unwrap();
+    }
+    if let Some(path) = telemetry_out {
+        match std::fs::write(path, pipe.telemetry_text()) {
+            Ok(()) => eprintln!(">> telemetry written to {}", path.display()),
+            Err(e) => eprintln!(">> could not write {}: {e}", path.display()),
+        }
+    }
+    let report = pipe.finish().expect("finish");
+    let l = report.snapshot.latency;
+    BenchCase {
+        name: format!("batch{batch}_{routing_name}"),
+        batch,
+        routing: routing_name.to_owned(),
+        pairs,
+        throughput_tps: report.snapshot.ingested as f64
+            / (report.elapsed_ms.max(1) as f64 / 1_000.0),
+        p50_ms: l.p50,
+        p95_ms: l.p95,
+        p99_ms: l.p99,
+        results: report.snapshot.results,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut update = false;
+    let mut seed: u64 = 0xB15_7EA4;
+    let mut threshold = DEFAULT_THRESHOLD;
+    let mut baseline_path = PathBuf::from("BENCH_pipeline.json");
+    let mut out: Option<PathBuf> = None;
+    let mut telemetry_out: Option<PathBuf> = None;
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--quick" | "-q" => quick = true,
+            "--update" => update = true,
+            "--seed" => {
+                seed = iter.next().and_then(|v| v.parse().ok()).expect("--seed needs a u64");
+            }
+            "--threshold" => {
+                threshold = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threshold needs a float in (0, 1]");
+            }
+            "--baseline" => {
+                baseline_path = iter.next().expect("--baseline needs a file path").into();
+            }
+            "--out" => {
+                out = Some(iter.next().expect("--out needs a file path").into());
+            }
+            "--telemetry-out" => {
+                telemetry_out = Some(iter.next().expect("--telemetry-out needs a file path").into());
+            }
+            "--help" | "-h" => {
+                usage();
+                return;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                usage();
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let pairs: u64 = if quick { 5_000 } else { 20_000 };
+    let matrix: &[(u64, RoutingStrategy, &str)] = &[
+        (1, RoutingStrategy::Random, "random"),
+        (64, RoutingStrategy::Random, "random"),
+        (1, RoutingStrategy::ContRand { subgroups: 2 }, "contrand"),
+        (64, RoutingStrategy::ContRand { subgroups: 2 }, "contrand"),
+    ];
+    println!(
+        "bistream pipeline bench — {pairs} pairs/case, seed {seed:#x}{}\n",
+        if quick { ", quick mode" } else { "" }
+    );
+    let mut table = Table::new(
+        format!("pipeline throughput baseline ({pairs} pairs flat-out, 4x4 layout)"),
+        &["case", "thr_t/s", "p50_ms", "p95_ms", "p99_ms", "results"],
+    );
+    let mut cases = Vec::new();
+    for (i, (batch, routing, name)) in matrix.iter().enumerate() {
+        let telemetry = if i + 1 == matrix.len() { telemetry_out.as_ref() } else { None };
+        let case = run_case(seed, *batch, *routing, name, pairs, telemetry);
+        table.row(vec![
+            case.name.clone(),
+            f(case.throughput_tps, 0),
+            case.p50_ms.to_string(),
+            case.p95_ms.to_string(),
+            case.p99_ms.to_string(),
+            case.results.to_string(),
+        ]);
+        cases.push(case);
+    }
+    table.emit("bench_pipeline");
+    let doc = BenchDoc { version: BASELINE_VERSION, suite: "pipeline".into(), cases };
+
+    if let Some(path) = &out {
+        match std::fs::write(path, doc.to_json()) {
+            Ok(()) => println!("results written to {}", path.display()),
+            Err(e) => eprintln!("(warn) could not write {}: {e}", path.display()),
+        }
+    }
+    if update {
+        std::fs::write(&baseline_path, doc.to_json()).expect("write baseline");
+        println!("baseline updated: {}", baseline_path.display());
+        return;
+    }
+
+    match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => {
+            let baseline = match BenchDoc::from_json(&text) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("{}: schema error: {e}", baseline_path.display());
+                    std::process::exit(2);
+                }
+            };
+            if baseline.cases.iter().any(|b| doc.cases.iter().any(|c| {
+                c.name == b.name && c.pairs != b.pairs
+            })) {
+                println!(
+                    "note: workload size differs from the baseline (quick vs full run); \
+                     throughput comparison is approximate"
+                );
+            }
+            let regressions = compare(&baseline, &doc, threshold);
+            if regressions.is_empty() {
+                println!(
+                    "no regression vs {} (threshold {:.0}%)",
+                    baseline_path.display(),
+                    threshold * 100.0
+                );
+            } else {
+                eprintln!("{} regression(s) vs {}:", regressions.len(), baseline_path.display());
+                for r in &regressions {
+                    eprintln!("  {r}");
+                }
+                std::process::exit(1);
+            }
+        }
+        Err(_) => {
+            println!(
+                "no baseline at {} — run with --update to create one",
+                baseline_path.display()
+            );
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "usage: perf [--quick] [--seed N] [--threshold F] [--baseline FILE] [--out FILE] \
+         [--telemetry-out FILE] [--update]"
+    );
+}

@@ -1,0 +1,90 @@
+//! **E18 — Utilization vs offered load: queueing-model validation**
+//! (reconstructed: capacity-planning check for the observability layer).
+//!
+//! Drives the 2×2 equi-join at stepped offered loads under the thesis
+//! cost model (no autoscaling: the layout stays fixed so per-unit load is
+//! stationary) and compares the perf analyzer's *predicted* per-unit
+//! utilization — arrival rate λ from the evaluation half of the scrape
+//! series times the service time Ŝ estimated on the calibration half —
+//! against the *observed* busy-CPU fraction. Under steady load the two
+//! must agree (the estimate transfers across windows); the integration
+//! test `tests/perf.rs` pins the agreement at ≤ 10 %. Expected shape:
+//! ρ grows linearly with the offered rate while Ŝ stays flat.
+
+use super::common::{engine_config, feed};
+use super::ExpCtx;
+use crate::report::{f, Table};
+use bistream_cluster::{CostModel, HpaConfig};
+use bistream_core::config::RoutingStrategy;
+use bistream_core::engine::BicliqueEngine;
+use bistream_core::sim::{run_dynamic_scaling, SimConfig};
+use bistream_types::predicate::JoinPredicate;
+use bistream_types::registry::Observability;
+use bistream_types::time::SECOND;
+use bistream_types::window::WindowSpec;
+
+/// Run E18.
+pub fn run(ctx: &ExpCtx) {
+    let horizon_s: u64 = if ctx.quick { 4 } else { 10 };
+    let rates = [100.0, 200.0, 400.0, 800.0];
+    let mut table = Table::new(
+        format!("E18: predicted vs observed utilization ({horizon_s}s per rate, 2x2, no scaling)"),
+        &["rate_t/s", "unit", "lambda_t/s", "S_us", "rho_pred", "rho_obs", "err_%"],
+    );
+    for (i, &rate) in rates.iter().enumerate() {
+        let cfg = engine_config(
+            RoutingStrategy::Hash,
+            JoinPredicate::Equi { r_attr: 0, s_attr: 0 },
+            WindowSpec::sliding(2 * SECOND),
+            2,
+            2,
+            ctx.seed,
+        );
+        let obs = Observability::new();
+        let engine = BicliqueEngine::builder(cfg)
+            .cost_model(CostModel::thesis_operating_point())
+            .observability(obs.clone())
+            .build()
+            .expect("valid config");
+        let mut f1 = feed(rate, 5_000, None, 0, ctx.seed, horizon_s * SECOND);
+        let sim = SimConfig {
+            duration_ms: horizon_s * SECOND,
+            sample_interval_ms: SECOND,
+            scale_r: false,
+            scale_s: false,
+            pod_startup_delay_ms: 0,
+        };
+        let out = run_dynamic_scaling(engine, &mut f1, HpaConfig::thesis_cpu(), &sim)
+            .expect("simulation runs");
+        for u in &out.perf.units {
+            let err = if u.utilization_observed > 0.0 {
+                (u.utilization_predicted - u.utilization_observed).abs() / u.utilization_observed
+                    * 100.0
+            } else {
+                0.0
+            };
+            table.row(vec![
+                f(rate, 0),
+                u.unit.clone(),
+                f(u.arrival_rate_tps, 0),
+                f(u.service_us_per_item, 1),
+                f(u.utilization_predicted, 3),
+                f(u.utilization_observed, 3),
+                f(err, 1),
+            ]);
+        }
+        // Dumps cover the highest (most interesting) rate.
+        if i + 1 == rates.len() {
+            if let Some(path) = &ctx.metrics_out {
+                super::dump_metrics(path, &out.metric_series, &out.events);
+            }
+            if let Some(path) = &ctx.telemetry_out {
+                super::dump_telemetry(
+                    path,
+                    &bistream_types::telemetry::prometheus_text(&obs.registry, horizon_s * SECOND),
+                );
+            }
+        }
+    }
+    table.emit("e18_perf_model");
+}

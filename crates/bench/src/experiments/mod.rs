@@ -24,6 +24,7 @@ pub mod e14_recovery;
 pub mod e15_trace_breakdown;
 pub mod e16_batch_sweep;
 pub mod e17_fault_sweep;
+pub mod e18_perf_model;
 
 /// Experiment context.
 #[derive(Debug, Clone)]
@@ -40,11 +41,21 @@ pub struct ExpCtx {
     /// experiments as Chrome `trace_event` JSON to this file
     /// (`--trace-out`); open in `chrome://tracing` or Perfetto.
     pub trace_out: Option<std::path::PathBuf>,
+    /// Dump a point-in-time Prometheus text exposition of the
+    /// experiment's registry to this file (`--telemetry-out`) — the
+    /// payload a `/metrics` endpoint would serve.
+    pub telemetry_out: Option<std::path::PathBuf>,
 }
 
 impl Default for ExpCtx {
     fn default() -> Self {
-        ExpCtx { quick: false, seed: 0xB15_7EA4, metrics_out: None, trace_out: None }
+        ExpCtx {
+            quick: false,
+            seed: 0xB15_7EA4,
+            metrics_out: None,
+            trace_out: None,
+            telemetry_out: None,
+        }
     }
 }
 
@@ -74,10 +85,19 @@ pub fn dump_traces(path: &std::path::Path, traces: &[bistream_types::trace::Trac
     }
 }
 
+/// Write the `--telemetry-out` dump: a Prometheus text exposition
+/// rendered by [`bistream_types::telemetry`].
+pub fn dump_telemetry(path: &std::path::Path, text: &str) {
+    match std::fs::write(path, text) {
+        Ok(()) => eprintln!(">> telemetry written to {}", path.display()),
+        Err(e) => eprintln!(">> could not write {}: {e}", path.display()),
+    }
+}
+
 /// All experiment ids in order.
 pub const ALL: &[&str] = &[
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17",
+    "e16", "e17", "e18",
 ];
 
 /// Dispatch by id; returns false for unknown ids.
@@ -100,6 +120,7 @@ pub fn run(id: &str, ctx: &ExpCtx) -> bool {
         "e15" => e15_trace_breakdown::run(ctx),
         "e16" => e16_batch_sweep::run(ctx),
         "e17" => e17_fault_sweep::run(ctx),
+        "e18" => e18_perf_model::run(ctx),
         _ => return false,
     }
     true

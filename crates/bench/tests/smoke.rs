@@ -13,7 +13,7 @@ fn quick_experiments_run_to_completion() {
     std::env::set_current_dir(&tmp).unwrap();
 
     let ctx = ExpCtx { quick: true, seed: 7, ..ExpCtx::default() };
-    for id in ["e4", "e5", "e9", "e11", "e12", "e13", "e15"] {
+    for id in ["e4", "e5", "e9", "e11", "e12", "e13", "e15", "e18"] {
         assert!(experiments::run(id, &ctx), "experiment {id} unknown");
     }
 }
@@ -53,8 +53,8 @@ fn unknown_experiment_is_rejected() {
 #[test]
 fn registry_is_complete_and_ordered() {
     assert_eq!(experiments::ALL.first(), Some(&"e1"));
-    assert_eq!(experiments::ALL.last(), Some(&"e17"));
-    assert_eq!(experiments::ALL.len(), 17);
+    assert_eq!(experiments::ALL.last(), Some(&"e18"));
+    assert_eq!(experiments::ALL.len(), 18);
     // Every listed id dispatches.
     let unique: std::collections::HashSet<_> = experiments::ALL.iter().collect();
     assert_eq!(unique.len(), experiments::ALL.len());

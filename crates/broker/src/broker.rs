@@ -121,10 +121,14 @@ impl Broker {
                         redelivered: reg
                             .counter(bistream_types::metric_names::QUEUE_REDELIVERED_TOTAL, labels),
                         depth: reg.gauge(bistream_types::metric_names::QUEUE_DEPTH, labels),
+                        depth_max: reg
+                            .gauge(bistream_types::metric_names::QUEUE_DEPTH_MAX, labels),
                         blocked: reg.counter(
                             bistream_types::metric_names::QUEUE_BACKPRESSURE_BLOCKS_TOTAL,
                             labels,
                         ),
+                        stall_ms: reg
+                            .counter(bistream_types::metric_names::QUEUE_STALL_MS_TOTAL, labels),
                         journal: obs.journal.clone(),
                         clock: Arc::clone(clock),
                         tracer: obs.tracer.clone(),
@@ -528,6 +532,7 @@ mod tests {
             Some(1)
         );
         assert_eq!(snap.gauge(bistream_types::metric_names::QUEUE_DEPTH, labels), Some(1));
+        assert_eq!(snap.gauge(bistream_types::metric_names::QUEUE_DEPTH_MAX, labels), Some(1));
 
         // Second blocking publish stalls until a consumer drains.
         let b2 = b.clone();
@@ -551,8 +556,19 @@ mod tests {
         );
         assert_eq!(snap.gauge(bistream_types::metric_names::QUEUE_DEPTH, labels), Some(0));
         assert_eq!(
+            snap.gauge(bistream_types::metric_names::QUEUE_DEPTH_MAX, labels),
+            Some(1),
+            "watermark survives the drain"
+        );
+        assert_eq!(
             snap.counter(bistream_types::metric_names::QUEUE_BACKPRESSURE_BLOCKS_TOTAL, labels),
             Some(1)
+        );
+        // The stall-time series exists; on a frozen virtual clock the
+        // parked publish accumulates zero ms.
+        assert_eq!(
+            snap.counter(bistream_types::metric_names::QUEUE_STALL_MS_TOTAL, labels),
+            Some(0)
         );
         let events = obs.journal.drain();
         assert!(events.iter().any(|e| e.ts == 33

@@ -36,8 +36,12 @@ pub(crate) struct QueueObs {
     pub(crate) redelivered: Arc<Counter>,
     /// `bistream_queue_depth{queue=…}` — kept current on push/recv/purge.
     pub(crate) depth: Arc<Gauge>,
+    /// `bistream_queue_depth_max{queue=…}` — high-watermark of `depth`.
+    pub(crate) depth_max: Arc<Gauge>,
     /// `bistream_queue_backpressure_blocks_total{queue=…}`.
     pub(crate) blocked: Arc<Counter>,
+    /// `bistream_queue_stall_ms_total{queue=…}` — publisher park time.
+    pub(crate) stall_ms: Arc<Counter>,
     /// Journal receiving [`EventKind::BackpressureStall`] events.
     pub(crate) journal: EventJournal,
     /// Timebase for stall events (the live pipeline's wall clock).
@@ -67,7 +71,9 @@ struct QueueMeta {
     /// Depth gauge, stall counter and journal — present only when the
     /// broker had observability attached at declaration time.
     depth_gauge: Option<Arc<Gauge>>,
+    depth_max: Option<Arc<Gauge>>,
     blocked: Option<Arc<Counter>>,
+    stall_ms: Option<Arc<Counter>>,
     stall_journal: Option<(EventJournal, Arc<dyn Clock>)>,
     /// Tracer plus its timebase — present only when the broker had
     /// observability attached at declaration time.
@@ -88,6 +94,14 @@ impl QueueMeta {
     fn note_enqueued(&self, trace_seqs: Option<&[u64]>) {
         if let Some(g) = &self.depth_gauge {
             g.add(1);
+            if let Some(m) = &self.depth_max {
+                // Racy read-then-set, but monotone in practice: a lost
+                // race only delays the watermark until the next enqueue.
+                let d = g.get();
+                if d > m.get() {
+                    m.set(d);
+                }
+            }
         }
         if let Some(a) = &self.auditor {
             a.queue_enqueue(&self.name);
@@ -131,6 +145,19 @@ impl QueueMeta {
         }
     }
 
+    /// Clock read for stall-duration accounting (None when unobserved).
+    fn stall_clock_now(&self) -> Option<u64> {
+        self.stall_journal.as_ref().map(|(_, clock)| clock.now())
+    }
+
+    /// Charge the elapsed park time since `started` to the stall-time
+    /// counter.
+    fn charge_stall(&self, started: Option<u64>) {
+        let (Some(c), Some(start)) = (&self.stall_ms, started) else { return };
+        let now = self.stall_clock_now().unwrap_or(start);
+        c.add(now.saturating_sub(start));
+    }
+
     #[inline]
     fn is_stalled(&self) -> bool {
         self.stalled.load(std::sync::atomic::Ordering::Acquire)
@@ -170,7 +197,9 @@ impl QueueCore {
                 delivered: obs.delivered,
                 redelivered: obs.redelivered,
                 depth_gauge: Some(obs.depth),
+                depth_max: Some(obs.depth_max),
                 blocked: Some(obs.blocked),
+                stall_ms: Some(obs.stall_ms),
                 stall_journal: Some((obs.journal, Arc::clone(&obs.clock))),
                 trace: Some((obs.tracer, obs.clock)),
                 auditor: obs.auditor,
@@ -183,7 +212,9 @@ impl QueueCore {
                 delivered: Counter::shared(),
                 redelivered: Counter::shared(),
                 depth_gauge: None,
+                depth_max: None,
                 blocked: None,
+                stall_ms: None,
                 stall_journal: None,
                 trace: None,
                 auditor: None,
@@ -205,9 +236,11 @@ impl QueueCore {
             // An injected stall is backpressure: journal it once, then
             // park until the fault window closes (never drop the frame).
             self.meta.note_stall();
+            let started = self.meta.stall_clock_now();
             while self.meta.is_stalled() {
                 std::thread::sleep(Duration::from_micros(200));
             }
+            self.meta.charge_stall(started);
         }
         self.meta.published.inc();
         let trace = msg.trace_handle();
@@ -219,7 +252,9 @@ impl QueueCore {
             Err(TrySendError::Disconnected(m)) => Err(m),
             Err(TrySendError::Full(m)) => {
                 self.meta.note_stall();
+                let started = self.meta.stall_clock_now();
                 let r = self.tx.send(m).map_err(|e| e.0);
+                self.meta.charge_stall(started);
                 if r.is_ok() {
                     self.meta.note_enqueued(trace.as_deref());
                 }

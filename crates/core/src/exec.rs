@@ -27,8 +27,9 @@ use bistream_types::audit::Auditor;
 use bistream_types::batch::BatchMessage;
 use bistream_types::error::{Error, Result};
 use bistream_types::hash::FxHashMap;
+use bistream_types::perf::PerfReport;
 use bistream_types::punct::{RouterId, SeqNo};
-use bistream_types::registry::Observability;
+use bistream_types::registry::{Observability, RegistrySnapshot};
 use bistream_types::time::{Clock, Ts, WallClock};
 use bistream_types::trace::Trace;
 use bistream_types::tuple::Tuple;
@@ -99,6 +100,10 @@ pub struct PipelineReport {
     /// The auditor that observed the run (if any): query it with
     /// [`Auditor::finish`] / [`Auditor::assert_clean`].
     pub auditor: Option<Auditor>,
+    /// Queueing-model analysis over the launch→finish registry scrapes:
+    /// per-unit service rates, utilization, and per-hop wait/service
+    /// summaries (see [`bistream_types::perf::analyze`]).
+    pub perf: PerfReport,
 }
 
 /// A running live pipeline.
@@ -112,6 +117,9 @@ pub struct Pipeline {
     router_handles: Vec<JoinHandle<Result<()>>>,
     joiner_handles: Vec<JoinHandle<Result<JoinerStats>>>,
     unit_queues: Vec<String>,
+    /// Registry scrape taken right after launch — the baseline snapshot of
+    /// the queueing-model series analyzed in [`Pipeline::finish`].
+    launch_scrape: RegistrySnapshot,
 }
 
 impl Pipeline {
@@ -295,6 +303,7 @@ impl Pipeline {
             }));
         }
 
+        let launch_scrape = obs.registry.scrape(clock.now());
         Ok(Pipeline {
             broker,
             stats,
@@ -305,6 +314,7 @@ impl Pipeline {
             router_handles,
             joiner_handles,
             unit_queues,
+            launch_scrape,
         })
     }
 
@@ -344,8 +354,21 @@ impl Pipeline {
         self.broker.stats()
     }
 
+    /// Point-in-time Prometheus text exposition of every registered series
+    /// — the payload a `/metrics` endpoint would serve while the pipeline
+    /// runs. Rendering goes through [`bistream_types::telemetry`], the
+    /// single exposition-format emitter.
+    pub fn telemetry_text(&self) -> String {
+        bistream_types::telemetry::prometheus_text(&self.obs.registry, self.clock.now())
+    }
+
     /// Stop feeding, drain everything, join all threads and report.
     pub fn finish(self) -> Result<PipelineReport> {
+        // Scrape for the queueing model *before* teardown: deleting a
+        // queue retires its series, and the Little's-law rows need the
+        // queue gauges. Work drained after this point is excluded from
+        // `perf` (it still counts in `snapshot`).
+        let final_scrape = self.obs.registry.scrape(self.clock.now());
         // 1. Close the ingest tier: routers drain then see Disconnected
         //    and emit a final punctuation.
         self.broker.delete_queue(INGEST_QUEUE)?;
@@ -364,12 +387,18 @@ impl Pipeline {
         self.obs.tracer.flush_pending();
         let mut traces = self.obs.tracer.drain();
         traces.sort_by_key(|t| t.id);
+        // Launch + finish scrapes bracket the whole run: with two
+        // snapshots the analyzer calibrates and evaluates on the same
+        // window, which is the honest choice for a one-shot report.
+        let series = [self.launch_scrape, final_scrape];
+        let perf = bistream_types::perf::analyze(&series);
         Ok(PipelineReport {
             snapshot: self.stats.snapshot(),
             joiners,
             elapsed_ms: self.started.elapsed().as_millis() as u64,
             traces,
             auditor: self.auditor,
+            perf,
         })
     }
 }
@@ -521,6 +550,25 @@ mod tests {
         let events = p.observability().journal.drain();
         assert!(events.iter().any(|e| e.kind.tag() == "TupleStored"));
         p.finish().unwrap();
+    }
+
+    #[test]
+    fn telemetry_export_and_perf_report_cover_the_run() {
+        let p = Pipeline::launch(config(RoutingStrategy::Hash, true)).unwrap();
+        feed_pairs(&p, 200);
+        std::thread::sleep(Duration::from_millis(150));
+        let text = p.telemetry_text();
+        assert!(text.contains("# TYPE bistream_queue_depth gauge"), "got: {text}");
+        assert!(text.contains("bistream_tuples_ingested_total{engine=\"live\"} 400"));
+        let report = p.finish().unwrap();
+        // The queueing model saw every pod meter the layout registered.
+        assert_eq!(report.perf.units.len(), 4, "2x2 layout: {:?}", report.perf.units);
+        for u in &report.perf.units {
+            assert!(u.arrivals > 0, "unit {} processed tuples", u.unit);
+            assert!(u.utilization_observed >= 0.0);
+        }
+        // Queue series exist in live mode, so Little's-law rows appear.
+        assert!(!report.perf.queues.is_empty());
     }
 
     #[test]

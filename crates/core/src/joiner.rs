@@ -63,6 +63,9 @@ struct JoinerMetrics {
     /// Live stored-tuple count — the load-imbalance signal the migration
     /// experiments (E9/E10) read per unit.
     stored_tuples: Arc<Gauge>,
+    /// Current reorder-buffer depth — tuples parked awaiting the
+    /// watermark, the joiner-side backpressure signal.
+    reorder_depth: Arc<Gauge>,
     /// High-water mark of the reorder-buffer depth.
     reorder_depth_max: Arc<Gauge>,
     /// Punctuation-frontier lag: fastest router frontier minus watermark.
@@ -85,6 +88,7 @@ impl JoinerMetrics {
             results: reg.counter(bistream_types::metric_names::JOINER_RESULTS_TOTAL, labels),
             expired: reg.counter(bistream_types::metric_names::JOINER_EXPIRED_TOTAL, labels),
             stored_tuples: reg.gauge(bistream_types::metric_names::JOINER_STORED_TUPLES, labels),
+            reorder_depth: reg.gauge(bistream_types::metric_names::JOINER_REORDER_DEPTH, labels),
             reorder_depth_max: reg
                 .gauge(bistream_types::metric_names::JOINER_REORDER_DEPTH_MAX, labels),
             frontier_lag: reg.gauge(bistream_types::metric_names::JOINER_FRONTIER_LAG, labels),
@@ -234,6 +238,7 @@ impl JoinerCore {
         if let Some(m) = &self.metrics {
             m.stored_tuples.set(s.tuples as u64);
             if let Some(buf) = &self.reorder {
+                m.reorder_depth.set(buf.depth() as u64);
                 m.reorder_depth_max.set(buf.stats().max_depth as u64);
                 m.frontier_lag.set(buf.frontier_lag());
             }

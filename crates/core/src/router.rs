@@ -95,6 +95,9 @@ struct RouterMetrics {
     rate_tps: Arc<Gauge>,
     /// `bistream_batch_size{router}` — entries per flushed batch frame.
     batch_len: Arc<Histogram>,
+    /// `bistream_router_pending_copies{router}` — copies buffered in
+    /// unflushed batches (the router-side backpressure signal).
+    pending_copies: Arc<Gauge>,
     per_dest: FxHashMap<JoinerId, Arc<Counter>>,
 }
 
@@ -110,6 +113,8 @@ impl RouterMetrics {
             decisions: Self::decisions_handle(registry, &label, strategy),
             rate_tps: registry.gauge(bistream_types::metric_names::ROUTER_RATE_TPS, labels),
             batch_len: registry.histogram(bistream_types::metric_names::BATCH_SIZE, labels),
+            pending_copies: registry
+                .gauge(bistream_types::metric_names::ROUTER_PENDING_COPIES, labels),
             per_dest: FxHashMap::default(),
             registry: registry.clone(),
             label,
@@ -490,13 +495,21 @@ impl RouterCore {
             .entry((dest, purpose))
             .or_insert_with(|| TupleBatch::with_capacity(router, purpose, cap));
         batch.push(seq, tuple);
-        if batch.len() >= cap {
+        let full = if batch.len() >= cap {
             // Swap a fresh batch in rather than remove-and-reinsert; the
             // leftover empty batch is skipped by flush_batches.
-            let full = std::mem::replace(batch, TupleBatch::with_capacity(router, purpose, cap));
-            if let Some(m) = &self.metrics {
+            Some(std::mem::replace(batch, TupleBatch::with_capacity(router, purpose, cap)))
+        } else {
+            None
+        };
+        if let Some(m) = &self.metrics {
+            m.pending_copies.add(1);
+            if let Some(full) = &full {
                 m.batch_len.record(full.len() as u64);
+                m.pending_copies.sub(full.len() as u64);
             }
+        }
+        if let Some(full) = full {
             out.push(RoutedBatch { dest, msg: BatchMessage::Batch(full) });
         }
     }
@@ -515,6 +528,7 @@ impl RouterCore {
             }
             if let Some(m) = &self.metrics {
                 m.batch_len.record(batch.len() as u64);
+                m.pending_copies.sub(batch.len() as u64);
             }
             out.push(RoutedBatch { dest: key.0, msg: BatchMessage::Batch(batch) });
         }
@@ -968,6 +982,32 @@ mod tests {
             assert_eq!((b.first_seq(), b.last_seq()), (Some(1), Some(3)));
         }
         assert_eq!(r.pending_batched(), 0);
+    }
+
+    #[test]
+    fn pending_copies_gauge_tracks_unflushed_batches() {
+        let layout = Layout::new(2, 2, 1).unwrap();
+        let reg = MetricsRegistry::new();
+        let mut r = RouterCore::standalone(0, RoutingStrategy::Hash, equi(), 7);
+        r.attach_registry(&reg);
+        r.set_batch_size(3);
+        let labels: &[(&str, &str)] = &[("router", "r0")];
+        let pending = |reg: &MetricsRegistry| {
+            reg.scrape(0).gauge(bistream_types::metric_names::ROUTER_PENDING_COPIES, labels)
+        };
+        let mut out = Vec::new();
+        for _ in 0..2 {
+            r.route_batched(&tuple(Rel::R, 42), &layout, &[], &mut out).unwrap();
+        }
+        assert_eq!(pending(&reg), Some(4), "2 store + 2 join copies buffered");
+        // Third tuple fills both batches: everything flushes.
+        r.route_batched(&tuple(Rel::R, 42), &layout, &[], &mut out).unwrap();
+        assert_eq!(pending(&reg), Some(0), "threshold flush empties the gauge");
+        // A stragglers' flush also returns the gauge to zero.
+        r.route_batched(&tuple(Rel::S, 7), &layout, &[], &mut out).unwrap();
+        assert!(pending(&reg).unwrap() > 0);
+        r.flush_batches(&mut out);
+        assert_eq!(pending(&reg), Some(0));
     }
 
     #[test]

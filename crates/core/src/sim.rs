@@ -11,6 +11,7 @@ use bistream_cluster::hpa::Hpa;
 use bistream_cluster::meter::{ResourceMeter, UtilizationTracker};
 use bistream_types::error::Result;
 use bistream_types::journal::Event;
+use bistream_types::perf::PerfReport;
 use bistream_types::registry::{RegistrySnapshot, Sampler};
 use bistream_types::rel::Rel;
 use bistream_types::time::Ts;
@@ -127,6 +128,10 @@ pub struct SimOutcome {
     /// built with a sampling tracer). Tuples still buffered when the
     /// horizon ends surface as traces with `complete == false`.
     pub traces: Vec<Trace>,
+    /// Queueing-model analysis of `metric_series`: per-unit arrival rate,
+    /// service time, predicted vs observed utilization (see
+    /// [`bistream_types::perf`]).
+    pub perf: PerfReport,
 }
 
 /// Run a dynamic-scaling simulation: drive `feed` through `engine` for
@@ -257,7 +262,9 @@ pub fn run_dynamic_scaling(
     let mut traces = tracer.drain();
     traces.sort_by_key(|t| t.id);
 
-    Ok(SimOutcome { samples, scale_events, metric_series: sampler.into_series(), events, traces })
+    let metric_series = sampler.into_series();
+    let perf = bistream_types::perf::analyze(&metric_series);
+    Ok(SimOutcome { samples, scale_events, metric_series, events, traces, perf })
 }
 
 #[cfg(test)]

@@ -1,7 +1,7 @@
 //! Engine-wide observability.
 
 use bistream_types::metrics::{Counter, Histogram, HistogramSnapshot};
-use bistream_types::registry::{escape_label_value, MetricsRegistry};
+use bistream_types::registry::MetricsRegistry;
 use serde::Serialize;
 use std::sync::Arc;
 
@@ -97,54 +97,51 @@ impl EngineSnapshot {
     /// Render in the Prometheus text exposition format, with an optional
     /// `engine` label — the scrape endpoint payload an operator would
     /// point their monitoring at (the role the RabbitMQ management API /
-    /// Heapster played in the original deployments).
+    /// Heapster played in the original deployments). Formatting goes
+    /// through [`bistream_types::telemetry`], the single exposition-format
+    /// emitter.
     pub fn prometheus_text(&self, engine_label: &str) -> String {
-        let l = if engine_label.is_empty() {
-            String::new()
-        } else {
-            format!("{{engine=\"{}\"}}", escape_label_value(engine_label))
-        };
+        let engine_labels = [("engine", engine_label)];
+        let labels: &[(&str, &str)] = if engine_label.is_empty() { &[] } else { &engine_labels };
         let mut out = String::new();
-        let mut metric = |name: &str, help: &str, kind: &str, value: String| {
-            out.push_str(&format!(
-                "# HELP {name} {help}\n# TYPE {name} {kind}\n{name}{l} {value}\n"
-            ));
+        let mut metric = |name: &str, help: &str, kind: &str, value: f64| {
+            bistream_types::telemetry::write_sample(&mut out, name, help, kind, labels, value);
         };
         metric(
             bistream_types::metric_names::TUPLES_INGESTED_TOTAL,
             "Tuples ingested",
             "counter",
-            self.ingested.to_string(),
+            self.ingested as f64,
         );
         metric(
             bistream_types::metric_names::JOIN_RESULTS_TOTAL,
             "Join results emitted",
             "counter",
-            self.results.to_string(),
+            self.results as f64,
         );
         metric(
             bistream_types::metric_names::COPIES_TOTAL,
             "Data copies routed",
             "counter",
-            self.copies.to_string(),
+            self.copies as f64,
         );
         metric(
             bistream_types::metric_names::PUNCTUATIONS_TOTAL,
             "Punctuation messages sent",
             "counter",
-            self.punctuations.to_string(),
+            self.punctuations as f64,
         );
         metric(
             bistream_types::metric_names::RESULT_LATENCY_MS_P50,
             "Median result latency",
             "gauge",
-            self.latency.p50.to_string(),
+            self.latency.p50 as f64,
         );
         metric(
             bistream_types::metric_names::RESULT_LATENCY_MS_P99,
             "99th percentile result latency",
             "gauge",
-            self.latency.p99.to_string(),
+            self.latency.p99 as f64,
         );
         out
     }

@@ -30,6 +30,8 @@ pub mod journal;
 pub mod metric_names;
 /// Counter/gauge/histogram primitives.
 pub mod metrics;
+/// Queueing-model analyzer over registry scrape series.
+pub mod perf;
 /// Join predicates and probe plans.
 pub mod predicate;
 /// The ordering protocol's wire vocabulary: sequence numbers,
@@ -41,6 +43,8 @@ pub mod registry;
 pub mod rel;
 /// Tuple schemas and builders.
 pub mod schema;
+/// Prometheus text-format exporter — the one exposition-format emitter.
+pub mod telemetry;
 /// The discrete time domain and the wall/virtual clock abstraction.
 pub mod time;
 /// Per-tuple causal tracing with latency attribution.
@@ -57,11 +61,13 @@ pub use batch::{BatchEntry, BatchMessage, TupleBatch};
 pub use error::{Error, Result};
 pub use fault::{ChaosArtifact, ChaosProfile, FaultEvent, FaultPlan, TrialSpec};
 pub use journal::{Event, EventJournal, EventKind};
+pub use perf::{PerfReport, UnitPerf};
 pub use predicate::JoinPredicate;
 pub use punct::{Punctuation, RouterId, SeqNo, StreamMessage};
 pub use registry::{MetricsRegistry, Observability, RegistrySnapshot, Sampler};
 pub use rel::Rel;
 pub use schema::{Schema, TupleBuilder};
+pub use telemetry::TextExporter;
 pub use time::{Clock, Ts, VirtualClock};
 pub use trace::{chrome_trace_json, HopKind, Span, Trace, TraceId, Tracer};
 pub use tuple::Tuple;

@@ -26,6 +26,9 @@ pub const ROUTER_RATE_TPS: &str = "bistream_router_rate_tps";
 pub const ROUTER_DEST_COPIES_TOTAL: &str = "bistream_router_dest_copies_total";
 /// Distribution of emitted batch-frame sizes (tuples per frame).
 pub const BATCH_SIZE: &str = "bistream_batch_size";
+/// Copies sitting in a router's unflushed per-destination batches
+/// (backpressure: work admitted but not yet handed to the broker).
+pub const ROUTER_PENDING_COPIES: &str = "bistream_router_pending_copies";
 
 // ---------------------------------------------------------------- joiners
 
@@ -43,6 +46,9 @@ pub const JOINER_EXPIRED_TOTAL: &str = "bistream_joiner_expired_total";
 pub const JOINER_STORED_TUPLES: &str = "bistream_joiner_stored_tuples";
 /// High-watermark depth of the reorder buffer.
 pub const JOINER_REORDER_DEPTH_MAX: &str = "bistream_joiner_reorder_depth_max";
+/// Current depth of the reorder buffer (tuples buffered awaiting the
+/// watermark — the joiner-side backpressure signal).
+pub const JOINER_REORDER_DEPTH: &str = "bistream_joiner_reorder_depth";
 /// Spread between the fastest and slowest router frontier.
 pub const JOINER_FRONTIER_LAG: &str = "bistream_joiner_frontier_lag";
 /// Result latency histogram (virtual or wall ms), per joiner.
@@ -83,6 +89,11 @@ pub const QUEUE_REDELIVERED_TOTAL: &str = "bistream_queue_redelivered_total";
 pub const QUEUE_DEPTH: &str = "bistream_queue_depth";
 /// Publishes that blocked on a full queue.
 pub const QUEUE_BACKPRESSURE_BLOCKS_TOTAL: &str = "bistream_queue_backpressure_blocks_total";
+/// High-watermark of messages buffered in a queue.
+pub const QUEUE_DEPTH_MAX: &str = "bistream_queue_depth_max";
+/// Cumulative milliseconds publishers spent parked on a full or stalled
+/// queue (backpressure stall time).
+pub const QUEUE_STALL_MS_TOTAL: &str = "bistream_queue_stall_ms_total";
 
 // ---------------------------------------------------------------- tracing
 
@@ -94,6 +105,8 @@ pub const TRACE_DROPPED_TOTAL: &str = "bistream_trace_dropped_total";
 pub const TRACE_HOP_SERVICE_MS: &str = "bistream_trace_hop_service_ms";
 /// Per-hop queue-wait time histogram (ms).
 pub const TRACE_HOP_WAIT_MS: &str = "bistream_trace_hop_wait_ms";
+/// End-to-end latency histogram of completed traces (ms).
+pub const TRACE_E2E_LATENCY_MS: &str = "bistream_trace_e2e_latency_ms";
 /// Journal events evicted because the ring was full.
 pub const JOURNAL_DROPPED_TOTAL: &str = "bistream_journal_dropped_total";
 
@@ -109,6 +122,10 @@ pub const COPIES_TOTAL: &str = "bistream_copies_total";
 pub const PUNCTUATIONS_TOTAL: &str = "bistream_punctuations_total";
 /// End-to-end result latency histogram (ms).
 pub const RESULT_LATENCY_MS: &str = "bistream_result_latency_ms";
+/// Median result latency (legacy single-engine scrape endpoint).
+pub const RESULT_LATENCY_MS_P50: &str = "bistream_result_latency_ms_p50";
+/// 99th-percentile result latency (legacy single-engine scrape endpoint).
+pub const RESULT_LATENCY_MS_P99: &str = "bistream_result_latency_ms_p99";
 /// Busy CPU microseconds accounted to a pod.
 pub const POD_CPU_BUSY_US_TOTAL: &str = "bistream_pod_cpu_busy_us_total";
 /// Resident bytes accounted to a pod.

@@ -155,6 +155,28 @@ impl Histogram {
         self.max.load(Ordering::Relaxed)
     }
 
+    /// Exact sum of recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time copy of the per-bucket counts. Bucket `i` holds the
+    /// samples whose bit length is `i` — values in `[2^(i−1), 2^i)` — so
+    /// bucket 0 holds only zeros and the last bucket is open-ended.
+    pub fn bucket_counts(&self) -> [u64; BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
+    /// Inclusive upper bound of bucket `i` for `le="…"`-style rendering,
+    /// or `None` for the open-ended last bucket (`+Inf`).
+    pub fn bucket_upper_bound(i: usize) -> Option<u64> {
+        if i >= BUCKETS - 1 {
+            None
+        } else {
+            Some((1u64 << i) - 1)
+        }
+    }
+
     /// Approximate `q`-quantile (`0.0 ..= 1.0`) by linear interpolation
     /// within the winning log bucket. Returns 0 if empty.
     pub fn quantile(&self, q: f64) -> u64 {
@@ -342,6 +364,23 @@ mod tests {
         assert_eq!(Histogram::bucket_of(3), 2);
         assert_eq!(Histogram::bucket_of(4), 3);
         assert_eq!(Histogram::bucket_of(u64::MAX), 63);
+    }
+
+    #[test]
+    fn bucket_counts_partition_the_samples() {
+        let h = Histogram::default();
+        for v in [0u64, 1, 3, 100] {
+            h.record(v);
+        }
+        let counts = h.bucket_counts();
+        assert_eq!(counts.iter().sum::<u64>(), h.count());
+        assert_eq!(counts[0], 1, "zero lands in bucket 0");
+        assert_eq!(counts[1], 1);
+        assert_eq!(counts[2], 1);
+        assert_eq!(counts[7], 1, "100 has bit length 7");
+        assert_eq!(Histogram::bucket_upper_bound(0), Some(0));
+        assert_eq!(Histogram::bucket_upper_bound(2), Some(3));
+        assert_eq!(Histogram::bucket_upper_bound(63), None, "last bucket is +Inf");
     }
 
     #[test]

@@ -83,7 +83,7 @@ pub fn escape_label_value(v: &str) -> String {
 
 /// One registered metric handle.
 #[derive(Debug, Clone)]
-enum Handle {
+pub(crate) enum Handle {
     Counter(Arc<Counter>),
     Gauge(Arc<Gauge>),
     Histogram(Arc<Histogram>),
@@ -101,16 +101,19 @@ pub enum MetricValue {
 }
 
 /// One `(key, value)` pair in a scrape.
+///
+/// The key is an `Arc` shared with the registry's own map, so scraping a
+/// series costs no string allocation — only the value is read fresh.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct MetricSample {
-    /// The metric's identity.
-    pub key: MetricKey,
+    /// The metric's identity (shared with the registry).
+    pub key: Arc<MetricKey>,
     /// Its value at scrape time.
     pub value: MetricValue,
 }
 
 /// A full scrape stamped with the (virtual or wall) time it was taken.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
 pub struct RegistrySnapshot {
     /// Scrape time in ms.
     pub at: Ts,
@@ -122,7 +125,7 @@ impl RegistrySnapshot {
     /// Look up a sample by name and exact label set.
     pub fn get(&self, name: &str, labels: &[(&str, &str)]) -> Option<&MetricValue> {
         let key = MetricKey::new(name, labels);
-        self.samples.iter().find(|s| s.key == key).map(|s| &s.value)
+        self.samples.iter().find(|s| *s.key == key).map(|s| &s.value)
     }
 
     /// Counter value for `(name, labels)`, or `None` if absent or not a counter.
@@ -147,7 +150,7 @@ impl RegistrySnapshot {
 /// routers, joiners, the broker and the cluster simulation.
 #[derive(Debug, Clone, Default)]
 pub struct MetricsRegistry {
-    inner: Arc<RwLock<BTreeMap<MetricKey, Handle>>>,
+    inner: Arc<RwLock<BTreeMap<Arc<MetricKey>, Handle>>>,
 }
 
 impl MetricsRegistry {
@@ -165,7 +168,7 @@ impl MetricsRegistry {
             return Arc::clone(c);
         }
         let c = Counter::shared();
-        map.insert(key, Handle::Counter(Arc::clone(&c)));
+        map.insert(Arc::new(key), Handle::Counter(Arc::clone(&c)));
         c
     }
 
@@ -177,7 +180,7 @@ impl MetricsRegistry {
             return Arc::clone(g);
         }
         let g = Gauge::shared();
-        map.insert(key, Handle::Gauge(Arc::clone(&g)));
+        map.insert(Arc::new(key), Handle::Gauge(Arc::clone(&g)));
         g
     }
 
@@ -189,24 +192,30 @@ impl MetricsRegistry {
             return Arc::clone(h);
         }
         let h = Histogram::shared();
-        map.insert(key, Handle::Histogram(Arc::clone(&h)));
+        map.insert(Arc::new(key), Handle::Histogram(Arc::clone(&h)));
         h
     }
 
     /// Register an *existing* counter handle (components like the broker's
     /// queues or `ResourceMeter` already own their primitives).
     pub fn register_counter(&self, name: &str, labels: &[(&str, &str)], c: &Arc<Counter>) {
-        self.inner.write().insert(MetricKey::new(name, labels), Handle::Counter(Arc::clone(c)));
+        self.inner
+            .write()
+            .insert(Arc::new(MetricKey::new(name, labels)), Handle::Counter(Arc::clone(c)));
     }
 
     /// Register an existing gauge handle.
     pub fn register_gauge(&self, name: &str, labels: &[(&str, &str)], g: &Arc<Gauge>) {
-        self.inner.write().insert(MetricKey::new(name, labels), Handle::Gauge(Arc::clone(g)));
+        self.inner
+            .write()
+            .insert(Arc::new(MetricKey::new(name, labels)), Handle::Gauge(Arc::clone(g)));
     }
 
     /// Register an existing histogram handle.
     pub fn register_histogram(&self, name: &str, labels: &[(&str, &str)], h: &Arc<Histogram>) {
-        self.inner.write().insert(MetricKey::new(name, labels), Handle::Histogram(Arc::clone(h)));
+        self.inner
+            .write()
+            .insert(Arc::new(MetricKey::new(name, labels)), Handle::Histogram(Arc::clone(h)));
     }
 
     /// Drop every metric carrying `label="value"` — used when a unit is
@@ -214,7 +223,7 @@ impl MetricsRegistry {
     /// linger in scrapes.
     pub fn unregister_labeled(&self, label: &str, value: &str) -> usize {
         let mut map = self.inner.write();
-        let doomed: Vec<MetricKey> =
+        let doomed: Vec<Arc<MetricKey>> =
             map.keys().filter(|k| k.has_label(label, value)).cloned().collect();
         for k in &doomed {
             map.remove(k);
@@ -236,77 +245,52 @@ impl MetricsRegistry {
     /// Samples come out sorted by `(name, labels)` (the map order), so
     /// scrape output is stable run-to-run.
     pub fn scrape(&self, at: Ts) -> RegistrySnapshot {
+        let mut snap = RegistrySnapshot::default();
+        self.scrape_into(at, &mut snap);
+        snap
+    }
+
+    /// Scrape into a caller-owned snapshot, reusing its `samples` buffer.
+    ///
+    /// Keys are `Arc`s shared with the registry's map, so a steady-state
+    /// scrape loop allocates nothing per series once the buffer has grown
+    /// to the registry's size — the fix for per-scrape allocation churn on
+    /// large registries (see `metrics_bench`).
+    pub fn scrape_into(&self, at: Ts, snap: &mut RegistrySnapshot) {
+        snap.at = at;
+        snap.samples.clear();
         let map = self.inner.read();
-        let samples = map
-            .iter()
-            .map(|(key, handle)| MetricSample {
-                key: key.clone(),
+        snap.samples.reserve(map.len());
+        for (key, handle) in map.iter() {
+            snap.samples.push(MetricSample {
+                key: Arc::clone(key),
                 value: match handle {
                     Handle::Counter(c) => MetricValue::Counter(c.get()),
                     Handle::Gauge(g) => MetricValue::Gauge(g.get()),
                     Handle::Histogram(h) => MetricValue::Histogram(h.snapshot()),
                 },
-            })
-            .collect();
-        RegistrySnapshot { at, samples }
+            });
+        }
     }
 
     /// Render every metric in the Prometheus text exposition format.
     ///
-    /// Counters and gauges become single sample lines; histograms are
-    /// rendered summary-style with `quantile` labels plus `_count`, `_sum`
-    /// and `_max` series. `# TYPE` comments are emitted once per family.
+    /// Delegates to [`crate::telemetry`], the single exposition-format
+    /// emitter: counters and gauges become single sample lines; histograms
+    /// are rendered summary-style with `quantile` labels plus cumulative
+    /// `_bucket` lines and `_count`/`_sum`/`_max` series.
     pub fn prometheus_text(&self, at: Ts) -> String {
-        let snap = self.scrape(at);
-        let mut out = String::with_capacity(64 * snap.samples.len() + 64);
-        let mut last_family = String::new();
-        for sample in &snap.samples {
-            let name = &sample.key.name;
-            if *name != last_family {
-                let kind = match sample.value {
-                    MetricValue::Counter(_) => "counter",
-                    MetricValue::Gauge(_) => "gauge",
-                    MetricValue::Histogram(_) => "summary",
-                };
-                let _ = writeln!(out, "# TYPE {name} {kind}");
-                last_family = name.clone();
-            }
-            match &sample.value {
-                MetricValue::Counter(v) | MetricValue::Gauge(v) => {
-                    let _ = writeln!(out, "{} {v}", sample.key.render());
-                }
-                MetricValue::Histogram(h) => {
-                    for (q, v) in [("0.5", h.p50), ("0.95", h.p95), ("0.99", h.p99)] {
-                        let mut key = sample.key.clone();
-                        key.labels.push(("quantile".to_string(), q.to_string()));
-                        let _ = writeln!(out, "{} {v}", key.render());
-                    }
-                    let labels = render_label_block(&sample.key.labels);
-                    let sum = (h.mean * h.count as f64).round() as u64;
-                    let _ = writeln!(out, "{name}_count{labels} {}", h.count);
-                    let _ = writeln!(out, "{name}_sum{labels} {sum}");
-                    let _ = writeln!(out, "{name}_max{labels} {}", h.max);
-                }
-            }
-        }
-        out
+        crate::telemetry::prometheus_text(self, at)
     }
-}
 
-/// Render `{k="v",…}` (or the empty string for no labels) with escaping.
-fn render_label_block(labels: &[(String, String)]) -> String {
-    if labels.is_empty() {
-        return String::new();
-    }
-    let mut out = String::from("{");
-    for (i, (k, v)) in labels.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
+    /// Visit every registered handle in `(name, labels)` order. Scrape-time
+    /// only: holds the registry read lock for the duration of the walk.
+    pub(crate) fn for_each_handle(&self, mut f: impl FnMut(&MetricKey, &Handle)) {
+        let map = self.inner.read();
+        for (key, handle) in map.iter() {
+            f(key, handle);
         }
-        let _ = write!(out, "{k}=\"{}\"", escape_label_value(v));
     }
-    out.push('}');
-    out
 }
 
 /// Periodically snapshots a registry into a time-series.

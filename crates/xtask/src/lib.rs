@@ -2,7 +2,7 @@
 //! toolchain cannot express, enforced on every PR.
 //!
 //! The pass is deliberately dependency-free: a hand-rolled token scanner
-//! (comments, strings, raw strings and char literals handled) feeds four
+//! (comments, strings, raw strings and char literals handled) feeds five
 //! rules:
 //!
 //! 1. **wallclock** — no `Instant::now()` / `SystemTime` outside
@@ -19,6 +19,9 @@
 //!    preventing registry/series drift.
 //! 4. **doc-comment** — `pub` items in `crates/types` must carry doc
 //!    comments (`#![warn(missing_docs)]` is advisory; this is not).
+//! 5. **exposition-format** — Prometheus exposition-format literals
+//!    (`# TYPE `/`# HELP `) may only appear in `types::telemetry`, the
+//!    single exporter, so scrape output never drifts between emitters.
 //!
 //! Test code is exempt everywhere: `tests/`, `benches/`, `examples/`
 //! directories and anything at or below a file's first `#[cfg(test)]`.
@@ -33,7 +36,7 @@ use std::path::{Path, PathBuf};
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
     /// Short rule identifier (`wallclock`, `panic-site`, `metric-name`,
-    /// `doc-comment`).
+    /// `doc-comment`, `exposition-format`).
     pub rule: &'static str,
     /// Path relative to the workspace root.
     pub file: String,
@@ -282,6 +285,9 @@ pub struct RuleScope {
     pub is_time_module: bool,
     /// File is `crates/types/src/metric_names.rs` (the constants module).
     pub is_metric_names_module: bool,
+    /// File is `crates/types/src/telemetry.rs` (the one exposition-format
+    /// emitter).
+    pub is_telemetry_module: bool,
 }
 
 impl RuleScope {
@@ -295,6 +301,7 @@ impl RuleScope {
                 || p.starts_with("crates/index/src/"),
             is_time_module: p == "crates/types/src/time.rs",
             is_metric_names_module: p == "crates/types/src/metric_names.rs",
+            is_telemetry_module: p == "crates/types/src/telemetry.rs",
         }
     }
 }
@@ -403,6 +410,27 @@ pub fn lint_source(rel_path: &str, src: &str, allow: &Allowlist) -> Vec<Finding>
     // Rule 4: doc comments on pub items in types.
     if scope.in_types {
         findings.extend(lint_pub_docs(rel_path, src, boundary));
+    }
+
+    // Rule 5: exposition-format literals outside the exporter.
+    if !scope.is_telemetry_module {
+        for s in &tokens {
+            if !prod(s.line) {
+                continue;
+            }
+            if let Token::Str(lit) = &s.tok {
+                if lit.contains("# TYPE ") || lit.contains("# HELP ") {
+                    findings.push(Finding {
+                        rule: "exposition-format",
+                        file: rel_path.to_string(),
+                        line: s.line,
+                        message: "Prometheus exposition-format literal; render through \
+                                  types::telemetry, the single exporter"
+                            .to_string(),
+                    });
+                }
+            }
+        }
     }
 
     findings
@@ -622,6 +650,18 @@ mod tests {
         assert_eq!(findings.len(), 1);
         assert_eq!(findings[0].rule, "metric-name");
         assert!(lint("crates/types/src/metric_names.rs", src).is_empty());
+    }
+
+    #[test]
+    fn exposition_rule_fires_outside_the_exporter() {
+        let src = "fn f(out: &mut String) { out.push_str(\"# TYPE x counter\\n\"); }";
+        let findings = lint("crates/core/src/stats.rs", src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "exposition-format");
+        assert!(lint("crates/types/src/telemetry.rs", src).is_empty());
+        // HELP headers are covered too; unrelated `#` strings are not.
+        assert_eq!(lint("crates/bench/src/x.rs", "fn f() { let h = \"# HELP x y\"; }").len(), 1);
+        assert!(lint("crates/bench/src/x.rs", "fn f() { let h = \"# heading\"; }").is_empty());
     }
 
     #[test]

@@ -6,6 +6,9 @@
 //! * `chaos [args…]` — build and run the chaos exploration runner
 //!   (`bistream-bench --bin chaos`), forwarding all arguments; exits with
 //!   the runner's status.
+//! * `bench [args…]` — build and run the pipeline throughput harness
+//!   (`bistream-bench --bin perf`), forwarding all arguments; exits
+//!   non-zero when a case regresses past the baseline threshold.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -44,28 +47,34 @@ fn main() -> ExitCode {
                 }
             }
         }
-        Some("chaos") => {
-            let forwarded: Vec<String> = args.collect();
-            let status = std::process::Command::new("cargo")
-                .args(["run", "--release", "-p", "bistream-bench", "--bin", "chaos", "--"])
-                .args(&forwarded)
-                .current_dir(workspace_root())
-                .status();
-            match status {
-                Ok(s) if s.success() => ExitCode::SUCCESS,
-                Ok(_) => ExitCode::FAILURE,
-                Err(e) => {
-                    eprintln!("xtask chaos: could not launch cargo: {e}");
-                    ExitCode::FAILURE
-                }
-            }
-        }
+        Some("chaos") => forward_to_bin("chaos", args.collect()),
+        Some("bench") => forward_to_bin("perf", args.collect()),
         Some(other) => {
-            eprintln!("xtask: unknown command {other:?} (try: lint, chaos)");
+            eprintln!("xtask: unknown command {other:?} (try: lint, chaos, bench)");
             ExitCode::FAILURE
         }
         None => {
-            eprintln!("usage: cargo xtask lint [--root <path>] | cargo xtask chaos [args…]");
+            eprintln!(
+                "usage: cargo xtask lint [--root <path>] | cargo xtask chaos [args…] | cargo xtask bench [args…]"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Build and run a `bistream-bench` binary from the workspace root,
+/// forwarding `args` and the exit status.
+fn forward_to_bin(bin: &str, forwarded: Vec<String>) -> ExitCode {
+    let status = std::process::Command::new("cargo")
+        .args(["run", "--release", "-p", "bistream-bench", "--bin", bin, "--"])
+        .args(&forwarded)
+        .current_dir(workspace_root())
+        .status();
+    match status {
+        Ok(s) if s.success() => ExitCode::SUCCESS,
+        Ok(_) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("xtask {bin}: could not launch cargo: {e}");
             ExitCode::FAILURE
         }
     }

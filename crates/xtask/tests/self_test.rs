@@ -66,6 +66,17 @@ fn seeded_metric_name_violation_is_rejected() {
 }
 
 #[test]
+fn seeded_exposition_format_violation_is_rejected() {
+    let root = scratch("exposition");
+    write(
+        &root,
+        "crates/broker/src/lib.rs",
+        "fn f() -> String { \"# TYPE rogue_series counter\\n\".to_string() }\n",
+    );
+    assert_eq!(rules_hit(&root), vec!["exposition-format"]);
+}
+
+#[test]
 fn seeded_doc_comment_violation_is_rejected() {
     let root = scratch("docs");
     write(&root, "crates/types/src/lib.rs", "pub struct Undocumented;\n");
