@@ -57,6 +57,7 @@ pub fn run(ctx: &ExpCtx) {
         scale_s: true,
         // Pods boot in ~15 s on the thesis cluster (image pull + JVM).
         pod_startup_delay_ms: 15_000,
+        ..Default::default()
     };
     let mut feed_profile =
         ProfileFeed::new(RateSchedule::thesis_profile(), scale, duration, 100_000, 0);

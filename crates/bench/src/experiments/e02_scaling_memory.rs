@@ -66,6 +66,7 @@ pub fn run(ctx: &ExpCtx) {
         scale_s: true,
         // Pods boot in ~15 s on the thesis cluster (image pull + JVM).
         pod_startup_delay_ms: 15_000,
+        ..Default::default()
     };
     let mut feed =
         ProfileFeed::new(RateSchedule::thesis_profile(), scale, duration, 100_000, payload_bytes);

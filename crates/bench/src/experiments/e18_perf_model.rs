@@ -53,6 +53,7 @@ pub fn run(ctx: &ExpCtx) {
             scale_r: false,
             scale_s: false,
             pod_startup_delay_ms: 0,
+            ..Default::default()
         };
         let out = run_dynamic_scaling(engine, &mut f1, HpaConfig::thesis_cpu(), &sim)
             .expect("simulation runs");

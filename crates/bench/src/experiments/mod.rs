@@ -25,6 +25,7 @@ pub mod e15_trace_breakdown;
 pub mod e16_batch_sweep;
 pub mod e17_fault_sweep;
 pub mod e18_perf_model;
+pub mod e19_slo_chaos;
 
 /// Experiment context.
 #[derive(Debug, Clone)]
@@ -97,7 +98,7 @@ pub fn dump_telemetry(path: &std::path::Path, text: &str) {
 /// All experiment ids in order.
 pub const ALL: &[&str] = &[
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "e18",
+    "e16", "e17", "e18", "e19",
 ];
 
 /// Dispatch by id; returns false for unknown ids.
@@ -121,6 +122,7 @@ pub fn run(id: &str, ctx: &ExpCtx) -> bool {
         "e16" => e16_batch_sweep::run(ctx),
         "e17" => e17_fault_sweep::run(ctx),
         "e18" => e18_perf_model::run(ctx),
+        "e19" => e19_slo_chaos::run(ctx),
         _ => return false,
     }
     true

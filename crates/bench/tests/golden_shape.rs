@@ -7,8 +7,9 @@ use bistream_bench::experiments::{self, ExpCtx};
 
 /// Run an experiment in a scratch dir and return its persisted table.
 fn run_and_load(id: &str, name: &str) -> serde_json::Value {
-    // One shared scratch dir per test binary; both experiments run inside
-    // the same #[test] so the process-global cwd never races.
+    // One shared scratch dir per test binary; every test sets the
+    // process-global cwd to the SAME directory, so concurrent #[test]s
+    // never race on where `results/` lands (file names are disjoint).
     let tmp = std::env::temp_dir().join("bistream-bench-golden");
     std::fs::create_dir_all(&tmp).unwrap();
     std::env::set_current_dir(&tmp).unwrap();
@@ -70,13 +71,47 @@ fn e14_and_e17_json_shapes_are_stable() {
     );
     let rows = e17["rows"].as_array().unwrap();
     // One row per healthy scenario plus the seeded-bug row.
-    assert_eq!(rows.len(), 5);
-    for row in &rows[..4] {
+    assert_eq!(rows.len(), 6);
+    for row in &rows[..5] {
         assert_eq!(row[1], "none");
         assert_eq!(row[3], "0", "healthy scenario must report zero failures: {row:?}");
     }
-    let bug_row = &rows[4];
+    let bug_row = &rows[5];
     assert_eq!(bug_row[1], "skip_rehydrate");
     assert_ne!(bug_row[3], "0", "the seeded bug must be found within the quick seed budget");
     assert_ne!(bug_row[4], "-", "the failing plan must have been minimised");
+}
+
+#[test]
+fn e18_and_e19_json_shapes_are_stable() {
+    let e18 = run_and_load("e18", "e18_perf_model");
+    assert_table_shape(
+        &e18,
+        "e18_perf_model",
+        &["rate_t/s", "unit", "lambda_t/s", "S_us", "rho_pred", "rho_obs", "err_%"],
+    );
+
+    let e19 = run_and_load("e19", "e19_slo_chaos");
+    assert_table_shape(
+        &e19,
+        "e19_slo_chaos",
+        &["scenario", "mode", "seed", "results", "viol", "alerts", "stalls", "avail_%", "breached"],
+    );
+    let rows = e19["rows"].as_array().unwrap();
+    // Quick mode: 4 sim scenarios x 2 seeds + the live broker-stall drill.
+    assert_eq!(rows.len(), 9);
+    for row in &rows[..8] {
+        assert_eq!(row[1], "sim");
+        assert_eq!(row[4], "0", "sim trial must stay violation-free: {row:?}");
+    }
+    let drill = &rows[8];
+    assert_eq!(drill[0], "broker_stall");
+    assert_eq!(drill[1], "live");
+    assert_eq!(drill[8], "yes", "the seeded broker stall must breach the SLO: {drill:?}");
+    // The breach bundle lands next to the table for the CI artifact.
+    let bundle = std::fs::read_to_string("results/e19_breach_bundle.json")
+        .expect("breach bundle written on breach");
+    let parsed = bistream_types::recorder::BreachBundle::from_json(&bundle)
+        .expect("bundle parses back");
+    assert_eq!(parsed.to_json(), bundle, "bundle round-trip is byte-stable");
 }

@@ -26,13 +26,20 @@
 //! minimises every failure and packages it as a
 //! [`ChaosArtifact`](bistream_types::fault::ChaosArtifact) that a plain
 //! `#[test]` re-executes byte-for-byte.
+//!
+//! [`slo`] grades the same seeded plans against service-level objectives
+//! instead of the auditor: sim trials with a scrape sampler riding along,
+//! plus a live broker-stall drill for the fault family virtual time
+//! cannot express (E19).
 
 pub mod minimize;
 pub mod net;
+pub mod slo;
 pub mod trial;
 
 pub use minimize::minimize;
 pub use net::ChaosNet;
+pub use slo::{run_broker_stall_drill, run_graded_trial, GradedTrial, StallDrillReport};
 pub use trial::{
     explore, replay, run_trial, scenario_profile, Exploration, TrialReport, SCENARIOS,
 };

@@ -12,6 +12,9 @@
 //!   window is open (frames queue up; FIFO is preserved).
 //! - **Partitions** make [`ChaosNet::send`] refuse the frame entirely —
 //!   the caller (the engine's retry queue) keeps it and backs off.
+//! - **Queue stalls** targeting a `unit.N` broker queue defer every
+//!   channel into unit `N` while the window is open — the virtual-time
+//!   analogue of the live broker parking publishers on a stalled queue.
 //! - **Crashes** are not network events at all; the net merely reports
 //!   which units are due to die via [`ChaosNet::take_due_crashes`] so the
 //!   engine can run the crash/recover drill.
@@ -45,6 +48,10 @@ pub struct ChaosNet<M> {
     pending: usize,
     /// `(unit, at_step)` crash events not yet fired.
     crashes: Vec<(u32, u64)>,
+    /// `(unit, from_step, until_step)` stall windows parsed from
+    /// `StallQueue` events naming a `unit.N` queue: all channels into the
+    /// unit are held while a window is open.
+    stalls: Vec<(u32, u64, u64)>,
 }
 
 impl<M> ChaosNet<M> {
@@ -64,7 +71,24 @@ impl<M> ChaosNet<M> {
             })
             .collect();
         crashes.sort_by_key(|&(unit, at)| (at, unit));
-        ChaosNet { plan, horizon, step: 0, channels: Vec::new(), pending: 0, crashes }
+        let stalls: Vec<(u32, u64, u64)> = plan
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                bistream_types::fault::FaultEvent::StallQueue { queue, from_step, until_step } => {
+                    let unit = queue.strip_prefix("unit.")?.parse::<u32>().ok()?;
+                    Some((unit, *from_step, *until_step))
+                }
+                _ => None,
+            })
+            .collect();
+        ChaosNet { plan, horizon, step: 0, channels: Vec::new(), pending: 0, crashes, stalls }
+    }
+
+    /// Whether a `unit.N` stall window holds deliveries into `unit` at
+    /// `step`.
+    fn unit_stalled(&self, unit: u32, step: u64) -> bool {
+        self.stalls.iter().any(|&(u, from, until)| u == unit && (from..until).contains(&step))
     }
 
     /// The current schedule step (advances on every delivery attempt).
@@ -129,7 +153,9 @@ impl<M> ChaosNet<M> {
                 .enumerate()
                 .filter(|(_, ((router, dest), q))| {
                     !q.is_empty()
-                        && (past_horizon || !self.plan.delays_channel(*router, dest.0, self.step))
+                        && (past_horizon
+                            || (!self.plan.delays_channel(*router, dest.0, self.step)
+                                && !self.unit_stalled(dest.0, self.step)))
                 })
                 .map(|(i, _)| i)
                 .collect();
@@ -270,6 +296,27 @@ mod tests {
         // The held frame still arrives (after the window, if need be).
         let second = net.deliver_next().expect("held frame eventually delivers");
         assert_eq!(second.dest, JoinerId(0));
+    }
+
+    #[test]
+    fn unit_queue_stalls_hold_deliveries_into_the_unit() {
+        let plan = plan_with(vec![FaultEvent::StallQueue {
+            queue: "unit.0".into(),
+            from_step: 1,
+            until_step: 10,
+        }]);
+        let mut net: ChaosNet<StreamMessage> = ChaosNet::new(plan);
+        let _ = net.send(0, JoinerId(0), punct(0, 1));
+        let _ = net.send(0, JoinerId(1), punct(0, 1));
+        // While the stall window is open, only the unstalled unit's
+        // channel is eligible.
+        let first = net.deliver_next().expect("unstalled unit delivers first");
+        assert_eq!(first.dest, JoinerId(1));
+        assert!(net.step() < 10);
+        // The held frame still arrives once the window closes.
+        let second = net.deliver_next().expect("held frame delivers after the window");
+        assert_eq!(second.dest, JoinerId(0));
+        assert!(net.step() >= 10);
     }
 
     #[test]

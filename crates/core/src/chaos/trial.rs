@@ -29,7 +29,7 @@ use bistream_types::value::Value;
 use bistream_types::window::WindowSpec;
 
 /// The scenario names the exploration harness understands.
-pub const SCENARIOS: &[&str] = &["delay", "partition", "crash", "mixed"];
+pub const SCENARIOS: &[&str] = &["delay", "partition", "crash", "stall", "mixed"];
 
 /// Outcome of one chaos trial.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -66,6 +66,13 @@ pub fn scenario_profile(scenario: &str, spec: &TrialSpec) -> ChaosProfile {
         "delay" => p.delays = 4,
         "partition" => p.partitions = 3,
         "crash" => p.crashes = 2,
+        "stall" => {
+            // Stall windows target the per-unit broker queues; in the
+            // simulator the chaos net maps a `unit.N` stall onto every
+            // channel into unit N (see [`crate::chaos::net::ChaosNet`]).
+            p.queues = p.units.iter().map(|u| format!("unit.{u}")).collect();
+            p.stalls = 2;
+        }
         "mixed" => {
             p.delays = 2;
             p.partitions = 2;

@@ -956,6 +956,18 @@ impl BicliqueEngine {
         Ok(())
     }
 
+    /// Test-only fault injection: freeze every active joiner's reorder
+    /// frontier (see [`JoinerCore::debug_freeze_frontier`]). While frozen,
+    /// punctuations no longer advance watermarks, so buffered tuples pile
+    /// up behind a flatlined frontier — the seeded stall the progress
+    /// watchdog must detect within its tick bound.
+    #[doc(hidden)]
+    pub fn debug_freeze_frontier(&mut self, on: bool) {
+        for joiner in self.joiners.values_mut() {
+            joiner.debug_freeze_frontier(on);
+        }
+    }
+
     fn purge_historical(&mut self) {
         let now = self.now;
         self.historical.retain(|(_, expires)| *expires > now);

@@ -29,18 +29,23 @@ use bistream_types::error::{Error, Result};
 use bistream_types::hash::FxHashMap;
 use bistream_types::perf::PerfReport;
 use bistream_types::punct::{RouterId, SeqNo};
+use bistream_types::recorder::RunHealth;
 use bistream_types::registry::{Observability, RegistrySnapshot};
+use bistream_types::slo::SloSpec;
 use bistream_types::time::{Clock, Ts, WallClock};
 use bistream_types::trace::Trace;
 use bistream_types::tuple::Tuple;
+use bistream_types::watchdog::WatchdogConfig;
+use parking_lot::Mutex;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Exchange receiving raw input tuples.
 const INGEST_EXCHANGE: &str = "tuple.exchange";
-/// Queue making routers a competing-consumer group.
-const INGEST_QUEUE: &str = "tuple.exchange.routers";
+/// Queue making routers a competing-consumer group (crate-visible so the
+/// chaos drills can target it with seeded stall windows).
+pub(crate) const INGEST_QUEUE: &str = "tuple.exchange.routers";
 /// Direct exchange fanning copies to unit queues.
 const UNITS_EXCHANGE: &str = "units.exchange";
 
@@ -67,6 +72,12 @@ pub struct PipelineConfig {
     /// joiner. `None` (the default) self-arms in debug builds via
     /// [`Auditor::new_if_debug`]; release builds then run unaudited.
     pub auditor: Option<Auditor>,
+    /// Service-level objectives graded over the run's scrape series
+    /// (launch scrape, every [`Pipeline::sample`] call, and the final
+    /// pre-teardown scrape). `None` skips SLO grading.
+    pub slo: Option<SloSpec>,
+    /// Progress-watchdog tuning (stall-tick threshold).
+    pub watchdog: WatchdogConfig,
 }
 
 impl PipelineConfig {
@@ -81,6 +92,8 @@ impl PipelineConfig {
             cost: CostModel::default(),
             trace_one_in: None,
             auditor: None,
+            slo: None,
+            watchdog: WatchdogConfig::default(),
         }
     }
 }
@@ -104,6 +117,10 @@ pub struct PipelineReport {
     /// per-unit service rates, utilization, and per-hop wait/service
     /// summaries (see [`bistream_types::perf::analyze`]).
     pub perf: PerfReport,
+    /// SLO verdicts, stall-watchdog findings and (on breach) the
+    /// flight-recorder bundle, graded over the same scrape series as
+    /// `perf` (see [`bistream_types::recorder::grade_run`]).
+    pub health: RunHealth,
 }
 
 /// A running live pipeline.
@@ -117,9 +134,14 @@ pub struct Pipeline {
     router_handles: Vec<JoinHandle<Result<()>>>,
     joiner_handles: Vec<JoinHandle<Result<JoinerStats>>>,
     unit_queues: Vec<String>,
-    /// Registry scrape taken right after launch — the baseline snapshot of
-    /// the queueing-model series analyzed in [`Pipeline::finish`].
-    launch_scrape: RegistrySnapshot,
+    /// Registry scrapes collected while running: the launch baseline,
+    /// every [`Pipeline::sample`] call, and (appended by
+    /// [`Pipeline::finish`]) the terminal pre-teardown scrape. This is the
+    /// series the queueing model, the SLO engine and the stall watchdog
+    /// all grade.
+    samples: Mutex<Vec<RegistrySnapshot>>,
+    slo: Option<SloSpec>,
+    watchdog: WatchdogConfig,
 }
 
 impl Pipeline {
@@ -314,7 +336,9 @@ impl Pipeline {
             router_handles,
             joiner_handles,
             unit_queues,
-            launch_scrape,
+            samples: Mutex::new(vec![launch_scrape]),
+            slo: config.slo,
+            watchdog: config.watchdog,
         })
     }
 
@@ -354,6 +378,23 @@ impl Pipeline {
         self.broker.stats()
     }
 
+    /// Take one registry scrape now and append it to the run's sample
+    /// series. Callers pace this however they like (typically once per
+    /// SLO evaluation interval); [`Pipeline::finish`] grades the SLO spec
+    /// and the stall watchdog over the collected series.
+    pub fn sample(&self) {
+        let snap = self.obs.registry.scrape(self.clock.now());
+        self.samples.lock().push(snap);
+    }
+
+    /// Stall or resume publishes into one broker queue (see
+    /// [`Broker::set_queue_stalled`]): publishers park (charging
+    /// backpressure/stall series) while consumers keep draining. The
+    /// chaos drills use this to inject broker stalls into a live run.
+    pub fn set_queue_stalled(&self, queue: &str, on: bool) -> Result<()> {
+        self.broker.set_queue_stalled(queue, on)
+    }
+
     /// Point-in-time Prometheus text exposition of every registered series
     /// — the payload a `/metrics` endpoint would serve while the pipeline
     /// runs. Rendering goes through [`bistream_types::telemetry`], the
@@ -364,11 +405,15 @@ impl Pipeline {
 
     /// Stop feeding, drain everything, join all threads and report.
     pub fn finish(self) -> Result<PipelineReport> {
-        // Scrape for the queueing model *before* teardown: deleting a
-        // queue retires its series, and the Little's-law rows need the
+        // Terminal scrape *before* teardown: deleting a queue retires its
+        // series, and both the Little's-law rows and the watchdog need the
         // queue gauges. Work drained after this point is excluded from
         // `perf` (it still counts in `snapshot`).
-        let final_scrape = self.obs.registry.scrape(self.clock.now());
+        let series = bistream_types::metrics::finalize_scrape_series(
+            &self.obs.registry,
+            self.clock.now(),
+            std::mem::take(&mut *self.samples.lock()),
+        );
         // 1. Close the ingest tier: routers drain then see Disconnected
         //    and emit a final punctuation.
         self.broker.delete_queue(INGEST_QUEUE)?;
@@ -387,11 +432,21 @@ impl Pipeline {
         self.obs.tracer.flush_pending();
         let mut traces = self.obs.tracer.drain();
         traces.sort_by_key(|t| t.id);
-        // Launch + finish scrapes bracket the whole run: with two
-        // snapshots the analyzer calibrates and evaluates on the same
-        // window, which is the honest choice for a one-shot report.
-        let series = [self.launch_scrape, final_scrape];
+        // The launch and terminal scrapes bracket the whole run (plus any
+        // mid-run `sample()` scrapes): the analyzer calibrates and
+        // evaluates on the same window, which is the honest choice for a
+        // one-shot report; the SLO engine and watchdog grade the same
+        // evidence. The journal is snapshotted, not drained — the report
+        // must not steal events from a caller holding the bundle.
         let perf = bistream_types::perf::analyze(&series);
+        let events = self.obs.journal.snapshot();
+        let health = bistream_types::recorder::grade_run(
+            self.slo.as_ref(),
+            &self.watchdog,
+            &series,
+            &events,
+            &traces,
+        );
         Ok(PipelineReport {
             snapshot: self.stats.snapshot(),
             joiners,
@@ -399,6 +454,7 @@ impl Pipeline {
             traces,
             auditor: self.auditor,
             perf,
+            health,
         })
     }
 }

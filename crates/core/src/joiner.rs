@@ -70,6 +70,9 @@ struct JoinerMetrics {
     reorder_depth_max: Arc<Gauge>,
     /// Punctuation-frontier lag: fastest router frontier minus watermark.
     frontier_lag: Arc<Gauge>,
+    /// The reorder buffer's watermark (minimum router frontier) — the
+    /// progress signal the stall watchdog pairs with `reorder_depth`.
+    watermark: Arc<Gauge>,
     /// Per-joiner result latency (event-time probe ts → emit).
     latency_ms: Arc<Histogram>,
     journal: EventJournal,
@@ -92,6 +95,7 @@ impl JoinerMetrics {
             reorder_depth_max: reg
                 .gauge(bistream_types::metric_names::JOINER_REORDER_DEPTH_MAX, labels),
             frontier_lag: reg.gauge(bistream_types::metric_names::JOINER_FRONTIER_LAG, labels),
+            watermark: reg.gauge(bistream_types::metric_names::JOINER_WATERMARK, labels),
             latency_ms: reg
                 .histogram(bistream_types::metric_names::JOINER_RESULT_LATENCY_MS, labels),
             journal: obs.journal.clone(),
@@ -241,6 +245,7 @@ impl JoinerCore {
                 m.reorder_depth.set(buf.depth() as u64);
                 m.reorder_depth_max.set(buf.stats().max_depth as u64);
                 m.frontier_lag.set(buf.frontier_lag());
+                m.watermark.set(buf.watermark().unwrap_or(0));
             }
         }
     }
@@ -656,6 +661,17 @@ impl JoinerCore {
             self.sync_observables();
         }
         Ok(())
+    }
+
+    /// Fault injection for watchdog tests: freeze this unit's reorder
+    /// frontier (see [`ReorderBuffer::debug_freeze_frontier`]) so its
+    /// watermark flatlines while input keeps buffering — a seeded
+    /// frontier stall. Never called by production code.
+    #[doc(hidden)]
+    pub fn debug_freeze_frontier(&mut self, on: bool) {
+        if let Some(buf) = &mut self.reorder {
+            buf.debug_freeze_frontier(on);
+        }
     }
 
     fn process<F: FnMut(JoinResult)>(

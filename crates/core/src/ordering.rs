@@ -82,6 +82,10 @@ pub struct ReorderBuffer {
     frontiers: FxHashMap<RouterId, SeqNo>,
     heap: BinaryHeap<Reverse<Pending>>,
     stats: ReorderStats,
+    /// Test-only fault hook: while set, punctuations no longer advance
+    /// frontiers, so the watermark freezes and buffered data accumulates —
+    /// the exact signature the stall watchdog must detect.
+    frozen: bool,
 }
 
 impl ReorderBuffer {
@@ -163,7 +167,9 @@ impl ReorderBuffer {
             }
             StreamMessage::Punct(p) => {
                 let f = self.frontiers.entry(p.router).or_insert(0);
-                *f = (*f).max(p.seq);
+                if !self.frozen {
+                    *f = (*f).max(p.seq);
+                }
                 self.stats.punctuations += 1;
             }
         }
@@ -243,6 +249,17 @@ impl ReorderBuffer {
     ) {
         self.frontiers.insert(router, seq);
         self.release(out);
+    }
+
+    /// Fault injection for watchdog tests: while frozen, punctuations stop
+    /// advancing frontiers, so the watermark flatlines and offered data
+    /// piles up in the buffer — a seeded frontier stall (wedged ordering)
+    /// the progress watchdog must flag within its tick bound. Unfreezing
+    /// does not retroactively apply missed punctuations; later ones
+    /// re-advance the frontier as usual. Never called by production code.
+    #[doc(hidden)]
+    pub fn debug_freeze_frontier(&mut self, on: bool) {
+        self.frozen = on;
     }
 }
 

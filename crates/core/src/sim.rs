@@ -12,11 +12,14 @@ use bistream_cluster::meter::{ResourceMeter, UtilizationTracker};
 use bistream_types::error::Result;
 use bistream_types::journal::Event;
 use bistream_types::perf::PerfReport;
+use bistream_types::recorder::RunHealth;
 use bistream_types::registry::{RegistrySnapshot, Sampler};
+use bistream_types::slo::SloSpec;
 use bistream_types::rel::Rel;
 use bistream_types::time::Ts;
 use bistream_types::trace::Trace;
 use bistream_types::tuple::Tuple;
+use bistream_types::watchdog::WatchdogConfig;
 use serde::Serialize;
 
 /// A source of timestamped tuples for the driver (implemented by the
@@ -68,6 +71,11 @@ pub struct SimConfig {
     /// scale-out, the HPA holds further decisions for it (modelling
     /// Kubernetes ignoring not-yet-ready pods).
     pub pod_startup_delay_ms: Ts,
+    /// Service-level objectives graded over the run's scrape series; when
+    /// `None`, no SLO verdicts are produced (the watchdog still runs).
+    pub slo: Option<SloSpec>,
+    /// Progress-watchdog tuning (stall-tick threshold).
+    pub watchdog: WatchdogConfig,
 }
 
 impl Default for SimConfig {
@@ -78,6 +86,8 @@ impl Default for SimConfig {
             scale_r: true,
             scale_s: true,
             pod_startup_delay_ms: 0,
+            slo: None,
+            watchdog: WatchdogConfig::default(),
         }
     }
 }
@@ -132,6 +142,9 @@ pub struct SimOutcome {
     /// service time, predicted vs observed utilization (see
     /// [`bistream_types::perf`]).
     pub perf: PerfReport,
+    /// SLO verdicts, stall-watchdog findings and (on breach) the
+    /// flight-recorder bundle, graded over the same `metric_series`.
+    pub health: RunHealth,
 }
 
 /// Run a dynamic-scaling simulation: drive `feed` through `engine` for
@@ -253,18 +266,29 @@ pub fn run_dynamic_scaling(
             next_sample += cfg.sample_interval_ms;
         }
     }
-    // Final flush so buffered tuples are not lost from the counters.
+    // Final flush so buffered tuples are not lost from the counters, then
+    // one shared terminal scrape before anything is torn down.
     engine.punctuate(cfg.duration_ms)?;
-    sampler.force_sample(cfg.duration_ms);
+    let metric_series = bistream_types::metrics::finalize_scrape_series(
+        &engine.observability().registry,
+        cfg.duration_ms,
+        sampler.into_series(),
+    );
     let events = engine.observability().journal.drain();
     let tracer = engine.observability().tracer.clone();
     tracer.flush_pending();
     let mut traces = tracer.drain();
     traces.sort_by_key(|t| t.id);
 
-    let metric_series = sampler.into_series();
     let perf = bistream_types::perf::analyze(&metric_series);
-    Ok(SimOutcome { samples, scale_events, metric_series, events, traces, perf })
+    let health = bistream_types::recorder::grade_run(
+        cfg.slo.as_ref(),
+        &cfg.watchdog,
+        &metric_series,
+        &events,
+        &traces,
+    );
+    Ok(SimOutcome { samples, scale_events, metric_series, events, traces, perf, health })
 }
 
 #[cfg(test)]

@@ -25,6 +25,7 @@
 //! `results/chaos/<seed>.json` and re-executed by a plain `#[test]`.
 
 use crate::error::{Error, Result};
+use crate::jsonlite::{json_str, Json};
 use std::fmt;
 
 /// Artifact format version; bumped on any incompatible schema change.
@@ -546,216 +547,6 @@ fn plan_from_json(v: &Json) -> Result<FaultPlan> {
         scenario: v.field_str("scenario")?.to_owned(),
         events,
     })
-}
-
-fn json_str(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
-/// Minimal internal JSON value for parsing our own artifact output. Not
-/// a general-purpose parser: enough for objects, arrays, strings and
-/// non-negative integers, which is all the codec emits.
-enum Json {
-    Num(u64),
-    Str(String),
-    Arr(Vec<Json>),
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    fn parse(text: &str) -> Result<Json> {
-        let bytes = text.as_bytes();
-        let mut pos = 0usize;
-        let v = parse_value(bytes, &mut pos)?;
-        skip_ws(bytes, &mut pos);
-        if pos != bytes.len() {
-            return Err(Error::Fault(format!("trailing bytes at offset {pos}")));
-        }
-        Ok(v)
-    }
-
-    fn field<'a>(&'a self, name: &str) -> Result<&'a Json> {
-        match self {
-            Json::Obj(fields) => fields
-                .iter()
-                .find(|(k, _)| k == name)
-                .map(|(_, v)| v)
-                .ok_or_else(|| Error::Fault(format!("missing field `{name}`"))),
-            _ => Err(Error::Fault(format!("field `{name}` of non-object"))),
-        }
-    }
-
-    fn field_u64(&self, name: &str) -> Result<u64> {
-        match self.field(name)? {
-            Json::Num(n) => Ok(*n),
-            _ => Err(Error::Fault(format!("field `{name}` is not a number"))),
-        }
-    }
-
-    fn field_str<'a>(&'a self, name: &str) -> Result<&'a str> {
-        match self.field(name)? {
-            Json::Str(s) => Ok(s.as_str()),
-            _ => Err(Error::Fault(format!("field `{name}` is not a string"))),
-        }
-    }
-
-    fn as_array(&self) -> Result<&[Json]> {
-        match self {
-            Json::Arr(xs) => Ok(xs),
-            _ => Err(Error::Fault("expected array".to_owned())),
-        }
-    }
-
-    fn as_str(&self) -> Result<&str> {
-        match self {
-            Json::Str(s) => Ok(s.as_str()),
-            _ => Err(Error::Fault("expected string".to_owned())),
-        }
-    }
-}
-
-fn skip_ws(b: &[u8], pos: &mut usize) {
-    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
-        *pos += 1;
-    }
-}
-
-fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<()> {
-    skip_ws(b, pos);
-    if *pos < b.len() && b[*pos] == c {
-        *pos += 1;
-        Ok(())
-    } else {
-        Err(Error::Fault(format!("expected `{}` at offset {pos}", c as char)))
-    }
-}
-
-fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json> {
-    skip_ws(b, pos);
-    match b.get(*pos) {
-        Some(b'{') => {
-            *pos += 1;
-            let mut fields = Vec::new();
-            skip_ws(b, pos);
-            if b.get(*pos) == Some(&b'}') {
-                *pos += 1;
-                return Ok(Json::Obj(fields));
-            }
-            loop {
-                skip_ws(b, pos);
-                let key = parse_string(b, pos)?;
-                expect(b, pos, b':')?;
-                let value = parse_value(b, pos)?;
-                fields.push((key, value));
-                skip_ws(b, pos);
-                match b.get(*pos) {
-                    Some(b',') => *pos += 1,
-                    Some(b'}') => {
-                        *pos += 1;
-                        return Ok(Json::Obj(fields));
-                    }
-                    _ => return Err(Error::Fault(format!("bad object at offset {pos}"))),
-                }
-            }
-        }
-        Some(b'[') => {
-            *pos += 1;
-            let mut items = Vec::new();
-            skip_ws(b, pos);
-            if b.get(*pos) == Some(&b']') {
-                *pos += 1;
-                return Ok(Json::Arr(items));
-            }
-            loop {
-                items.push(parse_value(b, pos)?);
-                skip_ws(b, pos);
-                match b.get(*pos) {
-                    Some(b',') => *pos += 1,
-                    Some(b']') => {
-                        *pos += 1;
-                        return Ok(Json::Arr(items));
-                    }
-                    _ => return Err(Error::Fault(format!("bad array at offset {pos}"))),
-                }
-            }
-        }
-        Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
-        Some(c) if c.is_ascii_digit() => {
-            let start = *pos;
-            while *pos < b.len() && b[*pos].is_ascii_digit() {
-                *pos += 1;
-            }
-            let text =
-                std::str::from_utf8(&b[start..*pos]).map_err(|e| Error::Fault(e.to_string()))?;
-            text.parse::<u64>()
-                .map(Json::Num)
-                .map_err(|e| Error::Fault(format!("bad number `{text}`: {e}")))
-        }
-        _ => Err(Error::Fault(format!("unexpected byte at offset {pos}"))),
-    }
-}
-
-fn parse_string(b: &[u8], pos: &mut usize) -> Result<String> {
-    expect(b, pos, b'"')?;
-    let mut out = String::new();
-    loop {
-        match b.get(*pos) {
-            Some(b'"') => {
-                *pos += 1;
-                return Ok(out);
-            }
-            Some(b'\\') => {
-                *pos += 1;
-                match b.get(*pos) {
-                    Some(b'"') => out.push('"'),
-                    Some(b'\\') => out.push('\\'),
-                    Some(b'n') => out.push('\n'),
-                    Some(b'r') => out.push('\r'),
-                    Some(b't') => out.push('\t'),
-                    Some(b'u') => {
-                        let hex = b
-                            .get(*pos + 1..*pos + 5)
-                            .ok_or_else(|| Error::Fault("truncated \\u escape".to_owned()))?;
-                        let hex =
-                            std::str::from_utf8(hex).map_err(|e| Error::Fault(e.to_string()))?;
-                        let code = u32::from_str_radix(hex, 16)
-                            .map_err(|e| Error::Fault(format!("bad \\u escape: {e}")))?;
-                        out.push(
-                            char::from_u32(code)
-                                .ok_or_else(|| Error::Fault("bad codepoint".to_owned()))?,
-                        );
-                        *pos += 4;
-                    }
-                    _ => return Err(Error::Fault(format!("bad escape at offset {pos}"))),
-                }
-                *pos += 1;
-            }
-            Some(_) => {
-                // Consume one UTF-8 scalar (input is a &str, so boundaries
-                // are valid by construction).
-                let rest =
-                    std::str::from_utf8(&b[*pos..]).map_err(|e| Error::Fault(e.to_string()))?;
-                let c = rest.chars().next().unwrap_or('\u{fffd}');
-                out.push(c);
-                *pos += c.len_utf8();
-            }
-            None => return Err(Error::Fault("unterminated string".to_owned())),
-        }
-    }
 }
 
 #[cfg(test)]

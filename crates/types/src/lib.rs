@@ -26,6 +26,9 @@ pub mod fault;
 pub mod hash;
 /// Bounded lock-free journal of typed runtime events.
 pub mod journal;
+// Dependency-free JSON codec shared by the artifact formats (fault plans,
+// breach bundles). Internal: artifacts expose `to_json`/`from_json`.
+mod jsonlite;
 /// The single source of truth for metric series names.
 pub mod metric_names;
 /// Counter/gauge/histogram primitives.
@@ -37,12 +40,16 @@ pub mod predicate;
 /// The ordering protocol's wire vocabulary: sequence numbers,
 /// punctuations, purposes and stream messages.
 pub mod punct;
+/// Bounded flight recorder and byte-stable breach bundles.
+pub mod recorder;
 /// Labeled metrics registry and the shared observability bundle.
 pub mod registry;
 /// The two relations of a binary stream join.
 pub mod rel;
 /// Tuple schemas and builders.
 pub mod schema;
+/// Declarative SLOs with multi-window burn-rate alerting.
+pub mod slo;
 /// Prometheus text-format exporter — the one exposition-format emitter.
 pub mod telemetry;
 /// The discrete time domain and the wall/virtual clock abstraction.
@@ -53,6 +60,8 @@ pub mod trace;
 pub mod tuple;
 /// The dynamically typed attribute values tuples carry.
 pub mod value;
+/// Progress watchdog: stalls and deadlocks, distinct from idleness.
+pub mod watchdog;
 /// Window specifications and the Theorem-1 expiry rule.
 pub mod window;
 
@@ -64,7 +73,10 @@ pub use journal::{Event, EventJournal, EventKind};
 pub use perf::{PerfReport, UnitPerf};
 pub use predicate::JoinPredicate;
 pub use punct::{Punctuation, RouterId, SeqNo, StreamMessage};
+pub use recorder::{BreachBundle, FlightRecorder, RunHealth};
 pub use registry::{MetricsRegistry, Observability, RegistrySnapshot, Sampler};
+pub use slo::{BurnAlert, SloReport, SloSpec};
+pub use watchdog::{StallVerdict, WatchdogConfig};
 pub use rel::Rel;
 pub use schema::{Schema, TupleBuilder};
 pub use telemetry::TextExporter;

@@ -53,6 +53,9 @@ pub const JOINER_REORDER_DEPTH: &str = "bistream_joiner_reorder_depth";
 pub const JOINER_FRONTIER_LAG: &str = "bistream_joiner_frontier_lag";
 /// Result latency histogram (virtual or wall ms), per joiner.
 pub const JOINER_RESULT_LATENCY_MS: &str = "bistream_joiner_result_latency_ms";
+/// Current reorder watermark (minimum router frontier) of a joiner — the
+/// progress signal the stall watchdog tracks tick-over-tick.
+pub const JOINER_WATERMARK: &str = "bistream_joiner_watermark";
 
 // ---------------------------------------------------------------- index
 
@@ -132,6 +135,27 @@ pub const POD_CPU_BUSY_US_TOTAL: &str = "bistream_pod_cpu_busy_us_total";
 pub const POD_MEMORY_BYTES: &str = "bistream_pod_memory_bytes";
 /// Replicated tuples per join-matrix cell.
 pub const MATRIX_CELL_REPLICATED_TOTAL: &str = "bistream_matrix_cell_replicated_total";
+
+// ------------------------------------------------------- slo / alerting
+
+// SLO objective and alert identifiers follow the same single-source rule
+// as the `bistream_*` series names: `slo_*` / `alert_*` literals outside
+// this module fail `cargo xtask lint`, so a dashboard query and the code
+// can never disagree on what an objective is called.
+
+/// Objective: 99th-percentile end-to-end result latency stays inside the band.
+pub const SLO_P99_LATENCY_MS: &str = "slo_p99_latency_ms";
+/// Objective: ingest throughput stays above the floor while input is offered.
+pub const SLO_MIN_INGEST_TPS: &str = "slo_min_ingest_tps";
+/// Objective: broker-queue conservation deficit (lost tuples) stays under
+/// the ceiling.
+pub const SLO_MAX_LOST_TUPLES: &str = "slo_max_lost_tuples";
+/// Alert: an objective burned error budget in both the fast and the slow
+/// trailing window (SRE multi-window burn-rate rule).
+pub const ALERT_SLO_BURN: &str = "alert_slo_burn";
+/// Alert: the watchdog saw buffered input without frontier or queue
+/// progress for K consecutive ticks.
+pub const ALERT_PROGRESS_STALL: &str = "alert_progress_stall";
 
 // ---------------------------------------------------------------- bench
 

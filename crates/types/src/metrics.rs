@@ -269,6 +269,22 @@ impl RateMeter {
     }
 }
 
+/// The final scrape-before-teardown both harnesses take: scrape
+/// `registry` at `at` and append it to the run's sampled series. This is
+/// the single entry point that hands the perf analyzer, the SLO engine
+/// and the stall watchdog the same finalized series — the simulator calls
+/// it in place of a trailing forced sample, the live pipeline in place of
+/// its ad-hoc pre-teardown scrape (which must happen *before* queues are
+/// deleted, or the terminal reading loses every per-queue series).
+pub fn finalize_scrape_series(
+    registry: &crate::registry::MetricsRegistry,
+    at: crate::time::Ts,
+    mut series: Vec<crate::registry::RegistrySnapshot>,
+) -> Vec<crate::registry::RegistrySnapshot> {
+    series.push(registry.scrape(at));
+    series
+}
+
 /// A point-in-time summary of a [`Histogram`].
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct HistogramSnapshot {

@@ -2,7 +2,7 @@
 //! toolchain cannot express, enforced on every PR.
 //!
 //! The pass is deliberately dependency-free: a hand-rolled token scanner
-//! (comments, strings, raw strings and char literals handled) feeds five
+//! (comments, strings, raw strings and char literals handled) feeds six
 //! rules:
 //!
 //! 1. **wallclock** — no `Instant::now()` / `SystemTime` outside
@@ -22,6 +22,10 @@
 //! 5. **exposition-format** — Prometheus exposition-format literals
 //!    (`# TYPE `/`# HELP `) may only appear in `types::telemetry`, the
 //!    single exporter, so scrape output never drifts between emitters.
+//! 6. **slo-name** — `"slo_…"` / `"alert_…"` identifier literals may only
+//!    appear in `types::metric_names`, so SLO objectives and alert names
+//!    stay one vocabulary across the engine, the watchdog, the recorder
+//!    bundles and the dashboards that consume them.
 //!
 //! Test code is exempt everywhere: `tests/`, `benches/`, `examples/`
 //! directories and anything at or below a file's first `#[cfg(test)]`.
@@ -36,7 +40,7 @@ use std::path::{Path, PathBuf};
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
     /// Short rule identifier (`wallclock`, `panic-site`, `metric-name`,
-    /// `doc-comment`, `exposition-format`).
+    /// `doc-comment`, `exposition-format`, `slo-name`).
     pub rule: &'static str,
     /// Path relative to the workspace root.
     pub file: String,
@@ -433,6 +437,29 @@ pub fn lint_source(rel_path: &str, src: &str, allow: &Allowlist) -> Vec<Finding>
         }
     }
 
+    // Rule 6: SLO objective / alert name literals outside the vocabulary
+    // module.
+    if !scope.is_metric_names_module {
+        for s in &tokens {
+            if !prod(s.line) {
+                continue;
+            }
+            if let Token::Str(lit) = &s.tok {
+                if lit.starts_with("slo_") || lit.starts_with("alert_") {
+                    findings.push(Finding {
+                        rule: "slo-name",
+                        file: rel_path.to_string(),
+                        line: s.line,
+                        message: format!(
+                            "SLO/alert name literal {lit:?}; use the constant from \
+                             types::metric_names"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
     findings
 }
 
@@ -662,6 +689,19 @@ mod tests {
         // HELP headers are covered too; unrelated `#` strings are not.
         assert_eq!(lint("crates/bench/src/x.rs", "fn f() { let h = \"# HELP x y\"; }").len(), 1);
         assert!(lint("crates/bench/src/x.rs", "fn f() { let h = \"# heading\"; }").is_empty());
+    }
+
+    #[test]
+    fn slo_name_rule_fires_outside_constants_module() {
+        let src = "fn f() { let a = \"alert_slo_burn\"; let o = \"slo_p99_latency_ms\"; }";
+        let findings = lint("crates/core/src/exec.rs", src);
+        assert_eq!(findings.len(), 2);
+        assert!(findings.iter().all(|f| f.rule == "slo-name"));
+        assert!(lint("crates/types/src/metric_names.rs", src).is_empty());
+        // Test code and unrelated literals stay exempt.
+        let test_src = "fn f() {}\n#[cfg(test)]\nmod t { fn g() { let a = \"alert_x\"; } }\n";
+        assert!(lint("crates/core/src/exec.rs", test_src).is_empty());
+        assert!(lint("crates/core/src/exec.rs", "fn f() { let s = \"slowly\"; }").is_empty());
     }
 
     #[test]

@@ -78,6 +78,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         scale_s: true,
         // Pods boot in ~15 s on the thesis cluster (image pull + JVM).
         pod_startup_delay_ms: 15_000,
+        ..Default::default()
     };
     let mut feed = ClickFeed {
         schedule: RateSchedule::thesis_profile(),

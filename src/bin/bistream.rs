@@ -6,6 +6,8 @@
 
 use bistream::cli::{parse_args, USAGE};
 use bistream::core::engine::BicliqueEngine;
+use bistream::types::registry::{Observability, Sampler};
+use bistream::types::watchdog::WatchdogConfig;
 use bistream::workload::io::{CsvTupleReader, ResultWriter};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 
@@ -15,25 +17,43 @@ fn main() {
         eprint!("{USAGE}");
         std::process::exit(if args.is_empty() { 2 } else { 0 });
     }
-    if let Err(e) = run(&args) {
-        eprintln!("error: {e}");
-        std::process::exit(1);
+    match run(&args) {
+        Ok(code) => std::process::exit(code),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
     }
 }
 
-fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+fn run(args: &[String]) -> Result<i32, Box<dyn std::error::Error>> {
     let opts = parse_args(args)?;
     let input_path = opts.input.clone();
     let output_path = opts.output.clone();
+    let slo = opts.slo_spec();
+    let bundle_path = opts.slo_bundle.clone();
     let query = opts.into_query()?;
     let reader = CsvTupleReader::new(
         query.schema(bistream::types::rel::Rel::R).clone(),
         query.schema(bistream::types::rel::Rel::S).clone(),
     );
 
-    let mut engine = BicliqueEngine::new(query.config().clone())?;
+    // Observability rides along only when an SLO was requested — the
+    // journal and scrape series cost memory proportional to the run.
+    let obs = slo.as_ref().map(|_| Observability::new());
+    let mut engine = match &obs {
+        Some(o) => {
+            BicliqueEngine::builder(query.config().clone()).observability(o.clone()).build()?
+        }
+        None => BicliqueEngine::new(query.config().clone())?,
+    };
     engine.capture_results();
     let punct_every = engine.config().punctuation_interval_ms;
+    let mut sampler = obs.as_ref().map(|o| {
+        let mut s = Sampler::new(o.registry.clone(), punct_every.max(1));
+        s.force_sample(0);
+        s
+    });
 
     let input: Box<dyn BufRead> = if input_path == "-" {
         Box::new(BufReader::new(std::io::stdin()))
@@ -58,6 +78,9 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         query.validate(&tuple).map_err(|e| format!("line {}: {e}", i + 1))?;
         while next_punct <= tuple.ts() {
             engine.punctuate(next_punct)?;
+            if let Some(s) = &mut sampler {
+                s.maybe_sample(next_punct);
+            }
             next_punct += punct_every;
         }
         last_ts = tuple.ts().max(last_ts);
@@ -80,5 +103,53 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         snap.ingested,
         snap.copies_per_tuple()
     );
-    Ok(())
+
+    // Grade the run when SLO flags were given: virtual-time scrapes
+    // through the same engine the results came from. Breach ⇒ exit 3.
+    if let (Some(obs), Some(sampler), Some(spec)) = (obs, sampler, slo) {
+        let series = bistream::types::metrics::finalize_scrape_series(
+            &obs.registry,
+            last_ts + punct_every,
+            sampler.into_series(),
+        );
+        let events = obs.journal.snapshot();
+        let health = bistream::types::recorder::grade_run(
+            Some(&spec),
+            &WatchdogConfig::default(),
+            &series,
+            &events,
+            &[],
+        );
+        if let Some(report) = &health.slo {
+            eprintln!(
+                "SLO: {} objective(s) over {} ms, availability {:.1}%",
+                report.objectives.len(),
+                report.elapsed_ms,
+                report.availability_pct()
+            );
+            for alert in &report.alerts {
+                eprintln!(
+                    "SLO ALERT {}: {} burned (fast {:.1}x, slow {:.1}x) at {} ms",
+                    alert.alert, alert.objective, alert.fast_burn, alert.slow_burn, alert.at_ms
+                );
+            }
+        }
+        for stall in &health.stalls {
+            eprintln!(
+                "STALL {}: {} frozen for {} ticks with {} buffered",
+                stall.kind.label(),
+                stall.unit,
+                stall.ticks,
+                stall.buffered
+            );
+        }
+        if health.breached() {
+            if let (Some(path), Some(bundle)) = (&bundle_path, &health.bundle) {
+                std::fs::write(path, bundle.to_json())?;
+                eprintln!("flight-recorder bundle written to {path}");
+            }
+            return Ok(3);
+        }
+    }
+    Ok(0)
 }

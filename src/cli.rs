@@ -18,6 +18,7 @@ use bistream_core::query::{JoinQuery, QueryBuilder};
 use bistream_types::error::{Error, Result};
 use bistream_types::predicate::CmpOp;
 use bistream_types::schema::Schema;
+use bistream_types::slo::SloSpec;
 use bistream_types::value::ValueType;
 
 /// Parsed command-line options.
@@ -41,6 +42,13 @@ pub struct CliOptions {
     pub input: String,
     /// Output path (`-` = stdout).
     pub output: String,
+    /// SLO: p99 end-to-end latency ceiling in ms (`--slo-p99-ms`).
+    pub slo_p99_ms: Option<u64>,
+    /// SLO: ingest-throughput floor in tuples/s (`--slo-min-rate`).
+    pub slo_min_rate: Option<f64>,
+    /// Where to write the flight-recorder bundle on an SLO breach
+    /// (`--slo-bundle`).
+    pub slo_bundle: Option<String>,
 }
 
 /// A join condition as written on the command line.
@@ -105,6 +113,9 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions> {
     let mut batch_size = 1usize;
     let mut input = "-".to_owned();
     let mut output = "-".to_owned();
+    let mut slo_p99_ms = None;
+    let mut slo_min_rate = None;
+    let mut slo_bundle = None;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -175,6 +186,21 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions> {
             }
             "--input" | "-i" => input = value("--input")?,
             "--output" | "-o" => output = value("--output")?,
+            "--slo-p99-ms" => {
+                slo_p99_ms = Some(
+                    value("--slo-p99-ms")?
+                        .parse()
+                        .map_err(|e| Error::Config(format!("bad p99 ceiling: {e}")))?,
+                )
+            }
+            "--slo-min-rate" => {
+                slo_min_rate = Some(
+                    value("--slo-min-rate")?
+                        .parse()
+                        .map_err(|e| Error::Config(format!("bad rate floor: {e}")))?,
+                )
+            }
+            "--slo-bundle" => slo_bundle = Some(value("--slo-bundle")?),
             other => return Err(Error::Config(format!("unknown flag `{other}` (see --help)"))),
         }
     }
@@ -193,10 +219,29 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions> {
         batch_size,
         input,
         output,
+        slo_p99_ms,
+        slo_min_rate,
+        slo_bundle,
     })
 }
 
 impl CliOptions {
+    /// The SLO spec assembled from the `--slo-*` flags, or `None` when no
+    /// objective was requested (the run is then not graded at all).
+    pub fn slo_spec(&self) -> Option<SloSpec> {
+        if self.slo_p99_ms.is_none() && self.slo_min_rate.is_none() {
+            return None;
+        }
+        let mut spec = SloSpec::new();
+        if let Some(ms) = self.slo_p99_ms {
+            spec = spec.p99_latency_ms(ms);
+        }
+        if let Some(tps) = self.slo_min_rate {
+            spec = spec.min_ingest_tps(tps);
+        }
+        Some(spec)
+    }
+
     /// Resolve into a validated [`JoinQuery`].
     pub fn into_query(self) -> Result<JoinQuery> {
         let mut b = QueryBuilder::new(self.r_schema, self.s_schema)
@@ -229,6 +274,12 @@ USAGE:
            [--window-ms MS | --full-history] [--joiners NxM]
            [--routing random|hash|contrand:D] [--batch-size N]
            [--input FILE] [--output FILE]
+           [--slo-p99-ms MS] [--slo-min-rate TPS] [--slo-bundle FILE]
+
+SLO GRADING (virtual time, from tuple timestamps):
+  --slo-p99-ms MS     p99 result-latency ceiling; --slo-min-rate TPS an
+  activity-gated ingest floor. A breach prints the verdict, writes the
+  flight-recorder bundle to --slo-bundle (if given) and exits 3.
 
 INPUT FORMAT (one tuple per line):
   R,<ts-ms>,<attr0>,<attr1>,…        # `\\N` is null, `#` starts a comment
@@ -302,6 +353,29 @@ mod tests {
             "no condition"
         );
         assert!(parse_args(&argv("--bogus")).is_err());
+    }
+
+    #[test]
+    fn slo_flags_build_a_spec() {
+        let opts = parse_args(&argv(
+            "--r-schema o:v:int --s-schema p:w:int --on-equal v=w \
+             --slo-p99-ms 250 --slo-min-rate 100.5 --slo-bundle breach.json",
+        ))
+        .unwrap();
+        assert_eq!(opts.slo_p99_ms, Some(250));
+        assert_eq!(opts.slo_min_rate, Some(100.5));
+        assert_eq!(opts.slo_bundle.as_deref(), Some("breach.json"));
+        let spec = opts.slo_spec().expect("flags set");
+        assert_eq!(spec.p99_latency_ms, Some(250));
+        assert_eq!(spec.min_ingest_tps, Some(100.5));
+
+        let opts =
+            parse_args(&argv("--r-schema o:v:int --s-schema p:w:int --on-equal v=w")).unwrap();
+        assert!(opts.slo_spec().is_none(), "no flags, no grading");
+        assert!(parse_args(&argv(
+            "--r-schema o:v:int --s-schema p:w:int --on-equal v=w --slo-p99-ms nope"
+        ))
+        .is_err());
     }
 
     #[test]

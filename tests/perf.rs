@@ -57,6 +57,7 @@ fn predicted_utilization_tracks_observed_within_ten_percent() {
         scale_r: false,
         scale_s: false,
         pod_startup_delay_ms: 0,
+        ..Default::default()
     };
     let out = run_dynamic_scaling(engine, &mut feed, HpaConfig::thesis_cpu(), &sim).unwrap();
 
@@ -97,6 +98,7 @@ fn perf_report_is_empty_for_an_idle_run() {
         scale_r: false,
         scale_s: false,
         pod_startup_delay_ms: 0,
+        ..Default::default()
     };
     let out = run_dynamic_scaling(engine, &mut feed, HpaConfig::thesis_cpu(), &sim).unwrap();
     for u in &out.perf.units {
