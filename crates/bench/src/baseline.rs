@@ -2,7 +2,7 @@
 //! throughput baseline (`BENCH_pipeline.json`).
 //!
 //! The committed baseline pins the live pipeline's saturation throughput
-//! and result-latency percentiles per `(batch, routing)` case;
+//! and result-latency percentiles per `(backend, batch, routing)` case;
 //! `cargo xtask bench` re-measures and fails when a case regresses past
 //! the threshold. The emitter writes fields in a fixed order with fixed
 //! float formatting so that re-encoding a parsed document reproduces it
@@ -13,7 +13,9 @@
 use std::fmt::Write as _;
 
 /// Baseline format version; bumped on any incompatible schema change.
-pub const BASELINE_VERSION: u32 = 1;
+/// Version 2 added the execution-backend matrix axis (`backend` field,
+/// backend-prefixed case names).
+pub const BASELINE_VERSION: u32 = 2;
 
 /// Default relative regression threshold (30 %).
 pub const DEFAULT_THRESHOLD: f64 = 0.30;
@@ -21,8 +23,10 @@ pub const DEFAULT_THRESHOLD: f64 = 0.30;
 /// One measured harness case.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchCase {
-    /// Case id, `batch<k>_<routing>` (the comparison key).
+    /// Case id, `<backend>_batch<k>_<routing>` (the comparison key).
     pub name: String,
+    /// Execution backend label (`broker` / `sharded`).
+    pub backend: String,
     /// Router→joiner micro-batch size.
     pub batch: u64,
     /// Routing strategy label (`random` / `contrand`).
@@ -64,6 +68,7 @@ impl BenchDoc {
         for (i, c) in self.cases.iter().enumerate() {
             s.push_str("    {\n");
             let _ = writeln!(s, "      \"name\": \"{}\",", c.name);
+            let _ = writeln!(s, "      \"backend\": \"{}\",", c.backend);
             let _ = writeln!(s, "      \"batch\": {},", c.batch);
             let _ = writeln!(s, "      \"routing\": \"{}\",", c.routing);
             let _ = writeln!(s, "      \"pairs\": {},", c.pairs);
@@ -107,6 +112,7 @@ impl BenchDoc {
             };
             out.push(BenchCase {
                 name: str_field("name")?,
+                backend: str_field("backend")?,
                 batch: u64_field("batch")?,
                 routing: str_field("routing")?,
                 pairs: u64_field("pairs")?,
@@ -195,7 +201,8 @@ mod tests {
             suite: "pipeline".into(),
             cases: vec![
                 BenchCase {
-                    name: "batch1_random".into(),
+                    name: "broker_batch1_random".into(),
+                    backend: "broker".into(),
                     batch: 1,
                     routing: "random".into(),
                     pairs: 20_000,
@@ -206,7 +213,8 @@ mod tests {
                     results: 20_000,
                 },
                 BenchCase {
-                    name: "batch64_random".into(),
+                    name: "sharded_batch64_random".into(),
+                    backend: "sharded".into(),
                     batch: 64,
                     routing: "random".into(),
                     pairs: 20_000,
@@ -231,7 +239,9 @@ mod tests {
     #[test]
     fn golden_encoding_shape() {
         let text = doc().to_json();
-        assert!(text.starts_with("{\n  \"version\": 1,\n  \"suite\": \"pipeline\",\n"));
+        assert!(text.starts_with("{\n  \"version\": 2,\n  \"suite\": \"pipeline\",\n"));
+        assert!(text.contains("      \"backend\": \"broker\",\n"));
+        assert!(text.contains("      \"backend\": \"sharded\",\n"));
         assert!(text.contains("      \"throughput_tps\": 150000.0,\n"));
         assert!(text.contains("      \"throughput_tps\": 400000.5,\n"));
         assert!(text.ends_with("  ]\n}\n"));
@@ -243,10 +253,20 @@ mod tests {
         assert!(BenchDoc::from_json("{\"version\": 99, \"suite\": \"p\", \"cases\": []}")
             .unwrap_err()
             .contains("version"));
-        let no_p99 = "{\"version\": 1, \"suite\": \"p\", \"cases\": [{\"name\": \"x\", \
-                      \"batch\": 1, \"routing\": \"random\", \"pairs\": 1, \
-                      \"throughput_tps\": 1.0, \"p50_ms\": 1, \"p95_ms\": 1, \"results\": 1}]}";
+        // Version-1 documents (no backend axis) are rejected, not guessed at.
+        assert!(BenchDoc::from_json("{\"version\": 1, \"suite\": \"p\", \"cases\": []}")
+            .unwrap_err()
+            .contains("version"));
+        let no_p99 = "{\"version\": 2, \"suite\": \"p\", \"cases\": [{\"name\": \"x\", \
+                      \"backend\": \"broker\", \"batch\": 1, \"routing\": \"random\", \
+                      \"pairs\": 1, \"throughput_tps\": 1.0, \"p50_ms\": 1, \"p95_ms\": 1, \
+                      \"results\": 1}]}";
         assert!(BenchDoc::from_json(no_p99).unwrap_err().contains("p99_ms"));
+        let no_backend = "{\"version\": 2, \"suite\": \"p\", \"cases\": [{\"name\": \"x\", \
+                      \"batch\": 1, \"routing\": \"random\", \"pairs\": 1, \
+                      \"throughput_tps\": 1.0, \"p50_ms\": 1, \"p95_ms\": 1, \"p99_ms\": 1, \
+                      \"results\": 1}]}";
+        assert!(BenchDoc::from_json(no_backend).unwrap_err().contains("backend"));
     }
 
     #[test]
@@ -278,6 +298,6 @@ mod tests {
         let regs = compare(&base, &cur, DEFAULT_THRESHOLD);
         assert_eq!(regs.len(), 1);
         assert_eq!(regs[0].metric, "missing");
-        assert_eq!(regs[0].case, "batch64_random");
+        assert_eq!(regs[0].case, "sharded_batch64_random");
     }
 }

@@ -1,8 +1,9 @@
 //! The pipeline throughput/latency harness behind `cargo xtask bench`.
 //!
 //! Drives the live threaded pipeline flat-out over the baseline matrix —
-//! micro-batch size {1, 64} × routing {random, contrand} on a 4×4 layout
-//! — and reports saturation throughput plus result-latency percentiles.
+//! backend {broker, sharded} × micro-batch size {1, 64} × routing
+//! {random, contrand} on a 4×4 layout — and reports saturation throughput
+//! plus result-latency percentiles.
 //! When a baseline file exists the run is compared against it and any
 //! case regressing past the threshold fails the process (the CI
 //! `perf-smoke` gate).
@@ -18,7 +19,7 @@ use bistream_bench::baseline::{compare, BenchCase, BenchDoc, BASELINE_VERSION, D
 use bistream_bench::experiments::common::engine_config;
 use bistream_bench::report::{f, Table};
 use bistream_core::config::RoutingStrategy;
-use bistream_core::exec::{Pipeline, PipelineConfig};
+use bistream_core::exec::{Backend, Pipeline, PipelineConfig};
 use bistream_types::predicate::JoinPredicate;
 use bistream_types::rel::Rel;
 use bistream_types::tuple::Tuple;
@@ -30,6 +31,8 @@ use std::path::PathBuf;
 /// `telemetry_out` (last case only) receives a pre-drain exposition dump.
 fn run_case(
     seed: u64,
+    backend: Backend,
+    backend_name: &str,
     batch: u64,
     routing: RoutingStrategy,
     routing_name: &str,
@@ -46,7 +49,9 @@ fn run_case(
     );
     cfg.punctuation_interval_ms = 10;
     cfg.batch_size = batch as usize;
-    let pipe = Pipeline::launch(PipelineConfig::new(cfg)).expect("launch");
+    let mut pipe_cfg = PipelineConfig::new(cfg);
+    pipe_cfg.backend = backend;
+    let pipe = Pipeline::launch(pipe_cfg).expect("launch");
     for i in 0..pairs {
         let now = pipe.now();
         pipe.ingest(&Tuple::new(Rel::R, now, vec![Value::Int(i as i64 % 997)])).unwrap();
@@ -61,7 +66,8 @@ fn run_case(
     let report = pipe.finish().expect("finish");
     let l = report.snapshot.latency;
     BenchCase {
-        name: format!("batch{batch}_{routing_name}"),
+        name: format!("{backend_name}_batch{batch}_{routing_name}"),
+        backend: backend_name.to_owned(),
         batch,
         routing: routing_name.to_owned(),
         pairs,
@@ -119,12 +125,22 @@ fn main() {
     }
 
     let pairs: u64 = if quick { 5_000 } else { 20_000 };
-    let matrix: &[(u64, RoutingStrategy, &str)] = &[
+    let backends: &[(Backend, &str)] =
+        &[(Backend::Broker, "broker"), (Backend::Sharded, "sharded")];
+    let shapes: &[(u64, RoutingStrategy, &str)] = &[
         (1, RoutingStrategy::Random, "random"),
         (64, RoutingStrategy::Random, "random"),
         (1, RoutingStrategy::ContRand { subgroups: 2 }, "contrand"),
         (64, RoutingStrategy::ContRand { subgroups: 2 }, "contrand"),
     ];
+    let matrix: Vec<(Backend, &str, u64, RoutingStrategy, &str)> = backends
+        .iter()
+        .flat_map(|&(backend, bname)| {
+            shapes
+                .iter()
+                .map(move |&(batch, routing, rname)| (backend, bname, batch, routing, rname))
+        })
+        .collect();
     println!(
         "bistream pipeline bench — {pairs} pairs/case, seed {seed:#x}{}\n",
         if quick { ", quick mode" } else { "" }
@@ -134,9 +150,9 @@ fn main() {
         &["case", "thr_t/s", "p50_ms", "p95_ms", "p99_ms", "results"],
     );
     let mut cases = Vec::new();
-    for (i, (batch, routing, name)) in matrix.iter().enumerate() {
+    for (i, (backend, bname, batch, routing, rname)) in matrix.iter().enumerate() {
         let telemetry = if i + 1 == matrix.len() { telemetry_out.as_ref() } else { None };
-        let case = run_case(seed, *batch, *routing, name, pairs, telemetry);
+        let case = run_case(seed, *backend, bname, *batch, *routing, rname, pairs, telemetry);
         table.row(vec![
             case.name.clone(),
             f(case.throughput_tps, 0),

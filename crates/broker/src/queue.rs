@@ -12,6 +12,7 @@ use bistream_types::metrics::{Counter, Gauge};
 use bistream_types::time::Clock;
 use bistream_types::trace::{HopKind, Tracer};
 use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender, TrySendError};
+use parking_lot::{Condvar, Mutex};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -87,6 +88,12 @@ struct QueueMeta {
     /// [`crate::Broker::set_queue_stalled`]; chaos drills use it to model
     /// a wedged broker queue as backpressure, never as loss.
     stalled: std::sync::atomic::AtomicBool,
+    /// Parking spot for publishers blocked on an injected stall: they
+    /// wait on this condvar instead of sleep-spinning, and
+    /// [`QueueCore::set_stalled`] notifies when the fault window closes.
+    /// The mutex guards the `stalled` transition so a publisher cannot
+    /// check the flag, lose the race with the heal, and park forever.
+    stall_wait: (Mutex<()>, Condvar),
 }
 
 impl QueueMeta {
@@ -204,6 +211,7 @@ impl QueueCore {
                 trace: Some((obs.tracer, obs.clock)),
                 auditor: obs.auditor,
                 stalled: std::sync::atomic::AtomicBool::new(false),
+                stall_wait: (Mutex::new(()), Condvar::new()),
             },
             None => QueueMeta {
                 name,
@@ -219,6 +227,7 @@ impl QueueCore {
                 trace: None,
                 auditor: None,
                 stalled: std::sync::atomic::AtomicBool::new(false),
+                stall_wait: (Mutex::new(()), Condvar::new()),
             },
         };
         Arc::new(QueueCore { meta: Arc::new(meta), tx, rx })
@@ -237,9 +246,15 @@ impl QueueCore {
             // park until the fault window closes (never drop the frame).
             self.meta.note_stall();
             let started = self.meta.stall_clock_now();
+            let (lock, cv) = &self.meta.stall_wait;
+            let mut guard = lock.lock();
+            // Re-check under the lock: `set_stalled` flips the flag while
+            // holding it, so a heal can never slip between this check and
+            // the wait. The timeout is a backstop only.
             while self.meta.is_stalled() {
-                std::thread::sleep(Duration::from_micros(200));
+                cv.wait_for(&mut guard, Duration::from_millis(50));
             }
+            drop(guard);
             self.meta.charge_stall(started);
         }
         self.meta.published.inc();
@@ -284,9 +299,16 @@ impl QueueCore {
         self.rx.len()
     }
 
-    /// Flip the fault-injection stall (see [`QueueMeta::stalled`]).
+    /// Flip the fault-injection stall (see [`QueueMeta::stalled`]). The
+    /// transition happens under the stall-wait lock and a heal notifies
+    /// every parked publisher, so none sleeps past the fault window.
     pub(crate) fn set_stalled(&self, on: bool) {
+        let (lock, cv) = &self.meta.stall_wait;
+        let _guard = lock.lock();
         self.meta.stalled.store(on, std::sync::atomic::Ordering::Release);
+        if !on {
+            cv.notify_all();
+        }
     }
 
     /// Whether a fault-injection stall is currently active.

@@ -27,7 +27,7 @@
 
 use crate::chaos::ChaosNet;
 use crate::config::{EngineConfig, RoutingStrategy};
-use crate::delivery::{ChannelNet, DeliveryMode};
+use crate::delivery::{ChannelNet, DataPlane, DeliveryMode};
 use crate::joiner::{JoinerCore, JoinerStats};
 use crate::layout::{JoinerId, Layout};
 use crate::router::{join_dests, BackoffPolicy, RetryQueue, RoutedBatch, RouterCore};
@@ -342,12 +342,29 @@ impl BicliqueEngine {
         }
     }
 
-    /// Route one frame into whichever network is live: the chaos net when
-    /// fault injection is armed, the plain channel net otherwise.
+    /// The live delivery fabric as the unified [`DataPlane`] seam: the
+    /// chaos net when fault injection is armed, the plain channel net
+    /// otherwise. Delivery and drain always go through this; sends go
+    /// through [`net_send`](Self::net_send), whose chaos arm wraps the
+    /// plane with retransmission logging and partition retries.
+    fn plane(&mut self) -> &mut dyn DataPlane<BatchMessage> {
+        match &mut self.chaos {
+            Some(c) => &mut c.net,
+            None => &mut self.net,
+        }
+    }
+
+    /// Route one frame into the live data plane. With chaos armed the
+    /// frame goes via [`ChaosState::send`] (retransmission log + retry
+    /// queue around the plane's refusable send); otherwise straight into
+    /// the channel net, which never refuses.
     fn net_send(&mut self, router: RouterId, dest: JoinerId, msg: BatchMessage) {
         match &mut self.chaos {
             Some(c) => c.send(router, dest, msg),
-            None => self.net.send(router, dest, msg),
+            None => {
+                let accepted = DataPlane::send(&mut self.net, router, dest, msg);
+                debug_assert!(accepted, "ChannelNet never refuses a frame");
+            }
         }
     }
 
@@ -404,10 +421,7 @@ impl BicliqueEngine {
                     c.drain_retries();
                 }
             }
-            let flight = match self.chaos.as_mut() {
-                Some(c) => c.net.deliver_next(),
-                None => self.net.deliver_next(),
-            };
+            let flight = self.plane().deliver_next();
             let Some(flight) = flight else {
                 // Nothing deliverable. Refused frames may be parked on
                 // backoff: fast-forward the chaos schedule to their due

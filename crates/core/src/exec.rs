@@ -1,16 +1,21 @@
-//! The live threaded runtime: routers and joiners as OS threads
-//! communicating through the AMQP-model broker — the deployment shape of
-//! the original systems, scaled down into one process.
+//! The live pipeline facade: one [`Pipeline`] API over pluggable
+//! execution [`Backend`]s, each running routers and joiners as OS threads
+//! inside one process.
 //!
-//! Dataflow (mirroring the thesis's exchange/queue wiring):
+//! Both backends realise the same dataflow — ingest edge feeding a
+//! competing-consumer router tier, one pairwise-FIFO channel per
+//! router→joiner pair, joiners running the ordering protocol and the
+//! store/join branches — and register the same observability series, so
+//! callers, dashboards, the SLO engine and the auditor are
+//! backend-agnostic:
 //!
-//! - the **ingest** topic exchange receives both relations; one shared
-//!   queue makes the router tier a competing-consumer group;
-//! - the **units** direct exchange fans copies out to one queue per
-//!   joiner (routing key = unit id), preserving pairwise FIFO per
-//!   router→joiner pair;
-//! - joiners consume their queue, run the ordering protocol and the
-//!   store/join branches, and bump the shared [`EngineStats`].
+//! - [`Backend::Broker`]: the AMQP-model broker — a topic **ingest**
+//!   exchange plus a direct **units** exchange fanning byte-encoded
+//!   frames out to mutex-guarded bounded queues. The deployment shape of
+//!   the original systems, scaled down into one process.
+//! - [`Backend::Sharded`]: the lock-free sharded runtime
+//!   ([`crate::sharded`]) — one worker thread per router/joiner unit over
+//!   hand-rolled bounded rings, moving frames as in-memory values.
 //!
 //! The pipeline topology is fixed for its lifetime (dynamic scaling is the
 //! simulator's job); this runtime exists to measure real wall-clock
@@ -20,6 +25,7 @@ use crate::config::EngineConfig;
 use crate::joiner::{JoinerCore, JoinerStats};
 use crate::layout::{JoinerId, Layout};
 use crate::router::{RoutedBatch, RouterCore};
+use crate::sharded::ShardedRuntime;
 use crate::stats::{EngineSnapshot, EngineStats};
 use bistream_broker::{Broker, ExchangeKind, Message, RecvError};
 use bistream_cluster::CostModel;
@@ -34,7 +40,7 @@ use bistream_types::registry::{Observability, RegistrySnapshot};
 use bistream_types::slo::SloSpec;
 use bistream_types::time::{Clock, Ts, WallClock};
 use bistream_types::trace::Trace;
-use bistream_types::tuple::Tuple;
+use bistream_types::tuple::{JoinResult, Tuple};
 use bistream_types::watchdog::WatchdogConfig;
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -48,6 +54,23 @@ const INGEST_EXCHANGE: &str = "tuple.exchange";
 pub(crate) const INGEST_QUEUE: &str = "tuple.exchange.routers";
 /// Direct exchange fanning copies to unit queues.
 const UNITS_EXCHANGE: &str = "units.exchange";
+
+/// Which execution substrate carries frames from routers to joiners.
+///
+/// Both backends present the identical [`Pipeline`] surface and emit the
+/// same results, metric series, trace spans and audit events; they differ
+/// only in how frames physically move (and therefore in throughput).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// AMQP-model broker: mutex-guarded bounded queues, frames
+    /// byte-encoded per hop. The fidelity-first default.
+    #[default]
+    Broker,
+    /// Lock-free sharded runtime: one core-pinnable worker thread per
+    /// router/joiner unit, frames handed over bounded SPSC/MPMC rings as
+    /// in-memory values (see [`crate::sharded`]). The throughput backend.
+    Sharded,
+}
 
 /// Configuration of the live pipeline.
 #[derive(Debug, Clone)]
@@ -78,6 +101,15 @@ pub struct PipelineConfig {
     pub slo: Option<SloSpec>,
     /// Progress-watchdog tuning (stall-tick threshold).
     pub watchdog: WatchdogConfig,
+    /// Which execution substrate to run (broker queues or the sharded
+    /// ring runtime). Defaults to [`Backend::Broker`].
+    pub backend: Backend,
+    /// Capture every emitted [`JoinResult`] and return them in
+    /// [`PipelineReport::captured`] (per-joiner emission order,
+    /// concatenated in layout unit order). Off by default — capturing
+    /// buffers the whole result stream in memory; it exists for
+    /// equivalence tests and small diagnostic runs.
+    pub capture_results: bool,
 }
 
 impl PipelineConfig {
@@ -94,6 +126,8 @@ impl PipelineConfig {
             auditor: None,
             slo: None,
             watchdog: WatchdogConfig::default(),
+            backend: Backend::default(),
+            capture_results: false,
         }
     }
 }
@@ -121,19 +155,36 @@ pub struct PipelineReport {
     /// flight-recorder bundle, graded over the same scrape series as
     /// `perf` (see [`bistream_types::recorder::grade_run`]).
     pub health: RunHealth,
+    /// Every emitted join result, in per-joiner emission order
+    /// concatenated in layout unit order — empty unless
+    /// [`PipelineConfig::capture_results`] was set.
+    pub captured: Vec<JoinResult>,
+}
+
+/// The running execution substrate behind a [`Pipeline`]: everything that
+/// differs between backends (how frames move, how teardown drains) lives
+/// behind this enum; everything else in [`Pipeline`] is shared.
+enum Inner {
+    /// Broker substrate: the broker itself plus the thread handles and
+    /// the unit-queue names teardown must delete in punctuation order.
+    Broker {
+        broker: Broker,
+        router_handles: Vec<JoinHandle<Result<()>>>,
+        joiner_handles: Vec<JoinHandle<Result<(JoinerStats, Vec<JoinResult>)>>>,
+        unit_queues: Vec<String>,
+    },
+    /// Sharded ring substrate (owns its own worker handles).
+    Sharded(ShardedRuntime),
 }
 
 /// A running live pipeline.
 pub struct Pipeline {
-    broker: Broker,
+    inner: Inner,
     stats: Arc<EngineStats>,
     obs: Observability,
     auditor: Option<Auditor>,
     clock: Arc<WallClock>,
     started: Instant,
-    router_handles: Vec<JoinHandle<Result<()>>>,
-    joiner_handles: Vec<JoinHandle<Result<JoinerStats>>>,
-    unit_queues: Vec<String>,
     /// Registry scrapes collected while running: the launch baseline,
     /// every [`Pipeline::sample`] call, and (appended by
     /// [`Pipeline::finish`]) the terminal pre-teardown scrape. This is the
@@ -145,7 +196,7 @@ pub struct Pipeline {
 }
 
 impl Pipeline {
-    /// Declare the topology on a fresh broker and launch all threads.
+    /// Build the configured backend's topology and launch all threads.
     pub fn launch(config: PipelineConfig) -> Result<Pipeline> {
         config.engine.validate()?;
         let subgroups = match config.engine.routing {
@@ -163,65 +214,112 @@ impl Pipeline {
         if let Some(a) = &auditor {
             a.attach_journal(obs.journal.clone());
         }
-        let broker = Broker::new();
-        // Attach observability before any queue exists so every queue gets
-        // depth/publish/deliver series and backpressure journal events.
-        broker.attach_observability(obs.clone(), Arc::clone(&clock) as Arc<dyn Clock>);
-        if let Some(a) = &auditor {
-            broker.attach_auditor(a.clone());
-        }
-        broker.declare_exchange(INGEST_EXCHANGE, ExchangeKind::Topic)?;
-        broker.declare_exchange(UNITS_EXCHANGE, ExchangeKind::Direct)?;
-        broker.declare_queue(INGEST_QUEUE, config.ingest_capacity)?;
-        broker.bind(INGEST_EXCHANGE, INGEST_QUEUE, "#")?;
-
         let stats = EngineStats::shared();
         stats.register_into(&obs.registry, &[("engine", "live")]);
-        // Engine-wide sequence counter shared by all routers.
-        let seq = Arc::new(std::sync::atomic::AtomicU64::new(0));
-        let router_ids: Vec<(RouterId, SeqNo)> =
-            (0..config.routers.max(1)).map(|i| (i as RouterId, 0)).collect();
 
-        // Interned routing keys: one `Arc<str>` per unit, shared by every
-        // router thread so the publish hot path never re-allocates the key.
-        let unit_keys: Arc<FxHashMap<JoinerId, Arc<str>>> = Arc::new(
-            layout.all_units().map(|(_, id)| (id, Arc::<str>::from(unit_key(id)))).collect(),
-        );
-
-        // Unit queues + joiner threads.
-        let mut unit_queues = Vec::new();
-        let mut joiner_handles = Vec::new();
-        for (side, id) in layout.all_units() {
-            let qname = unit_queue(id);
-            broker.declare_queue(&qname, config.unit_capacity)?;
-            broker.bind(UNITS_EXCHANGE, &qname, &unit_key(id))?;
-            unit_queues.push(qname.clone());
-            let consumer = broker.subscribe(&qname)?;
-            let mut joiner = JoinerCore::new(
-                id,
-                side,
-                config.engine.predicate.clone(),
-                config.engine.window,
-                config.engine.archive_period_ms,
-                config.engine.ordering,
-                &router_ids,
-                config.cost,
-            );
-            joiner.attach_obs(&obs);
-            joiner.set_batch_size(config.engine.batch_size);
-            if let Some(a) = &auditor {
-                joiner.set_auditor(a.clone());
+        let inner = match config.backend {
+            Backend::Broker => {
+                launch_broker(&config, &layout, &obs, &auditor, &stats, &clock)?
             }
-            let per_joiner_latency = joiner.latency_histogram();
-            let stats = Arc::clone(&stats);
-            let clock = Arc::clone(&clock);
-            joiner_handles.push(std::thread::spawn(move || -> Result<JoinerStats> {
-                let mut on_result = |result: bistream_types::tuple::JoinResult| {
+            Backend::Sharded => Inner::Sharded(ShardedRuntime::launch(
+                &config,
+                &layout,
+                &obs,
+                auditor.clone(),
+                Arc::clone(&stats),
+                Arc::clone(&clock),
+                config.capture_results,
+            )?),
+        };
+
+        let launch_scrape = obs.registry.scrape(clock.now());
+        Ok(Pipeline {
+            inner,
+            stats,
+            obs,
+            auditor,
+            clock,
+            started: Instant::now(),
+            samples: Mutex::new(vec![launch_scrape]),
+            slo: config.slo,
+            watchdog: config.watchdog,
+        })
+    }
+}
+
+/// Declare the broker topology and launch its router/joiner threads —
+/// the [`Backend::Broker`] arm of [`Pipeline::launch`].
+fn launch_broker(
+    config: &PipelineConfig,
+    layout: &Arc<Layout>,
+    obs: &Observability,
+    auditor: &Option<Auditor>,
+    stats: &Arc<EngineStats>,
+    clock: &Arc<WallClock>,
+) -> Result<Inner> {
+    let broker = Broker::new();
+    // Attach observability before any queue exists so every queue gets
+    // depth/publish/deliver series and backpressure journal events.
+    broker.attach_observability(obs.clone(), Arc::clone(clock) as Arc<dyn Clock>);
+    if let Some(a) = auditor {
+        broker.attach_auditor(a.clone());
+    }
+    broker.declare_exchange(INGEST_EXCHANGE, ExchangeKind::Topic)?;
+    broker.declare_exchange(UNITS_EXCHANGE, ExchangeKind::Direct)?;
+    broker.declare_queue(INGEST_QUEUE, config.ingest_capacity)?;
+    broker.bind(INGEST_EXCHANGE, INGEST_QUEUE, "#")?;
+
+    // Engine-wide sequence counter shared by all routers.
+    let seq = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let router_ids: Vec<(RouterId, SeqNo)> =
+        (0..config.routers.max(1)).map(|i| (i as RouterId, 0)).collect();
+
+    // Interned routing keys: one `Arc<str>` per unit, shared by every
+    // router thread so the publish hot path never re-allocates the key.
+    let unit_keys: Arc<FxHashMap<JoinerId, Arc<str>>> = Arc::new(
+        layout.all_units().map(|(_, id)| (id, Arc::<str>::from(unit_key(id)))).collect(),
+    );
+
+    // Unit queues + joiner threads.
+    let mut unit_queues = Vec::new();
+    let mut joiner_handles = Vec::new();
+    for (side, id) in layout.all_units() {
+        let qname = unit_queue(id);
+        broker.declare_queue(&qname, config.unit_capacity)?;
+        broker.bind(UNITS_EXCHANGE, &qname, &unit_key(id))?;
+        unit_queues.push(qname.clone());
+        let consumer = broker.subscribe(&qname)?;
+        let mut joiner = JoinerCore::new(
+            id,
+            side,
+            config.engine.predicate.clone(),
+            config.engine.window,
+            config.engine.archive_period_ms,
+            config.engine.ordering,
+            &router_ids,
+            config.cost,
+        );
+        joiner.attach_obs(obs);
+        joiner.set_batch_size(config.engine.batch_size);
+        if let Some(a) = auditor {
+            joiner.set_auditor(a.clone());
+        }
+        let per_joiner_latency = joiner.latency_histogram();
+        let stats = Arc::clone(stats);
+        let clock = Arc::clone(clock);
+        let capture = config.capture_results;
+        joiner_handles.push(std::thread::spawn(
+            move || -> Result<(JoinerStats, Vec<JoinResult>)> {
+                let mut captured: Vec<JoinResult> = Vec::new();
+                let mut on_result = |result: JoinResult| {
                     stats.results.inc();
                     let latency = clock.now().saturating_sub(result.ts);
                     stats.latency_ms.record(latency);
                     if let Some(h) = &per_joiner_latency {
                         h.record(latency);
+                    }
+                    if capture {
+                        captured.push(result);
                     }
                 };
                 loop {
@@ -236,112 +334,101 @@ impl Pipeline {
                         Err(RecvError::Disconnected) => break,
                     }
                 }
-                // Channel closed and drained: terminally flush whatever the
-                // final punctuations left buffered.
+                // Channel closed and drained: terminally flush whatever
+                // the final punctuations left buffered.
                 joiner.set_now(clock.now());
                 joiner.flush(&mut on_result)?;
-                Ok(joiner.stats())
-            }));
-        }
-
-        // Router threads.
-        let mut router_handles = Vec::new();
-        for (rid, _) in &router_ids {
-            let consumer = broker.subscribe(INGEST_QUEUE)?;
-            let mut core = RouterCore::new(
-                *rid,
-                config.engine.routing,
-                config.engine.predicate.clone(),
-                config.engine.seed,
-                Arc::clone(&seq),
-            );
-            core.attach_registry(&obs.registry);
-            core.attach_tracer(obs.tracer.clone());
-            core.set_batch_size(config.engine.batch_size);
-            if let Some(a) = &auditor {
-                core.set_auditor(a.clone());
-            }
-            let tracer = obs.tracer.clone();
-            let layout = Arc::clone(&layout);
-            let broker = broker.clone();
-            let stats = Arc::clone(&stats);
-            let unit_keys = Arc::clone(&unit_keys);
-            let punct_interval = Duration::from_millis(config.engine.punctuation_interval_ms);
-            router_handles.push(std::thread::spawn(move || -> Result<()> {
-                let mut frames: Vec<RoutedBatch> = Vec::new();
-                let mut last_punct = Instant::now();
-                let publish = |frames: &mut Vec<RoutedBatch>| -> Result<()> {
-                    for f in frames.drain(..) {
-                        let key = Arc::clone(&unit_keys[&f.dest]);
-                        match &f.msg {
-                            BatchMessage::Batch(b) => {
-                                stats.copies.add(b.len() as u64);
-                                // Out-of-band headers: queues record
-                                // enqueue/dequeue spans for every sampled
-                                // tuple in the frame without decoding it.
-                                let sampled: Vec<u64> = b
-                                    .entries()
-                                    .iter()
-                                    .map(|e| e.seq)
-                                    .filter(|&s| tracer.sampled(s))
-                                    .collect();
-                                let mut m = Message::new(key, f.msg.encode()?);
-                                if !sampled.is_empty() {
-                                    m = m.with_trace_seqs(sampled);
-                                }
-                                broker.publish(UNITS_EXCHANGE, m)?;
-                            }
-                            BatchMessage::Punct(_) => {
-                                stats.punctuations.inc();
-                                broker
-                                    .publish(UNITS_EXCHANGE, Message::new(key, f.msg.encode()?))?;
-                            }
-                        }
-                    }
-                    Ok(())
-                };
-                loop {
-                    match consumer.recv_timeout(punct_interval) {
-                        Ok(m) => {
-                            let mut payload = m.payload;
-                            let tuple = Tuple::decode(&mut payload)?;
-                            stats.ingested.inc();
-                            core.route_batched(&tuple, &layout, &[], &mut frames)?;
-                            publish(&mut frames)?;
-                        }
-                        Err(RecvError::Timeout) => {}
-                        Err(RecvError::Disconnected) => {
-                            core.punctuate_batched(&layout, &mut frames);
-                            publish(&mut frames)?;
-                            return Ok(());
-                        }
-                    }
-                    if last_punct.elapsed() >= punct_interval {
-                        core.punctuate_batched(&layout, &mut frames);
-                        publish(&mut frames)?;
-                        last_punct = Instant::now();
-                    }
-                }
-            }));
-        }
-
-        let launch_scrape = obs.registry.scrape(clock.now());
-        Ok(Pipeline {
-            broker,
-            stats,
-            obs,
-            auditor,
-            clock,
-            started: Instant::now(),
-            router_handles,
-            joiner_handles,
-            unit_queues,
-            samples: Mutex::new(vec![launch_scrape]),
-            slo: config.slo,
-            watchdog: config.watchdog,
-        })
+                drop(on_result);
+                Ok((joiner.stats(), captured))
+            },
+        ));
     }
 
+    // Router threads.
+    let mut router_handles = Vec::new();
+    for (rid, _) in &router_ids {
+        let consumer = broker.subscribe(INGEST_QUEUE)?;
+        let mut core = RouterCore::new(
+            *rid,
+            config.engine.routing,
+            config.engine.predicate.clone(),
+            config.engine.seed,
+            Arc::clone(&seq),
+        );
+        core.attach_registry(&obs.registry);
+        core.attach_tracer(obs.tracer.clone());
+        core.set_batch_size(config.engine.batch_size);
+        if let Some(a) = auditor {
+            core.set_auditor(a.clone());
+        }
+        let tracer = obs.tracer.clone();
+        let layout = Arc::clone(layout);
+        let broker = broker.clone();
+        let stats = Arc::clone(stats);
+        let unit_keys = Arc::clone(&unit_keys);
+        let punct_interval = Duration::from_millis(config.engine.punctuation_interval_ms);
+        router_handles.push(std::thread::spawn(move || -> Result<()> {
+            let mut frames: Vec<RoutedBatch> = Vec::new();
+            let mut last_punct = Instant::now();
+            let publish = |frames: &mut Vec<RoutedBatch>| -> Result<()> {
+                for f in frames.drain(..) {
+                    let key = Arc::clone(&unit_keys[&f.dest]);
+                    match &f.msg {
+                        BatchMessage::Batch(b) => {
+                            stats.copies.add(b.len() as u64);
+                            // Out-of-band headers: queues record
+                            // enqueue/dequeue spans for every sampled
+                            // tuple in the frame without decoding it.
+                            let sampled: Vec<u64> = b
+                                .entries()
+                                .iter()
+                                .map(|e| e.seq)
+                                .filter(|&s| tracer.sampled(s))
+                                .collect();
+                            let mut m = Message::new(key, f.msg.encode()?);
+                            if !sampled.is_empty() {
+                                m = m.with_trace_seqs(sampled);
+                            }
+                            broker.publish(UNITS_EXCHANGE, m)?;
+                        }
+                        BatchMessage::Punct(_) => {
+                            stats.punctuations.inc();
+                            broker
+                                .publish(UNITS_EXCHANGE, Message::new(key, f.msg.encode()?))?;
+                        }
+                    }
+                }
+                Ok(())
+            };
+            loop {
+                match consumer.recv_timeout(punct_interval) {
+                    Ok(m) => {
+                        let mut payload = m.payload;
+                        let tuple = Tuple::decode(&mut payload)?;
+                        stats.ingested.inc();
+                        core.route_batched(&tuple, &layout, &[], &mut frames)?;
+                        publish(&mut frames)?;
+                    }
+                    Err(RecvError::Timeout) => {}
+                    Err(RecvError::Disconnected) => {
+                        core.punctuate_batched(&layout, &mut frames);
+                        publish(&mut frames)?;
+                        return Ok(());
+                    }
+                }
+                if last_punct.elapsed() >= punct_interval {
+                    core.punctuate_batched(&layout, &mut frames);
+                    publish(&mut frames)?;
+                    last_punct = Instant::now();
+                }
+            }
+        }));
+    }
+
+    Ok(Inner::Broker { broker, router_handles, joiner_handles, unit_queues })
+}
+
+impl Pipeline {
     /// The pipeline's observability bundle: one registry scrape covers
     /// engine, per-router, per-joiner, per-pod and per-queue series, and
     /// the journal records store/join/punctuation/backpressure events from
@@ -361,11 +448,18 @@ impl Pipeline {
         self.auditor.as_ref()
     }
 
-    /// Feed one tuple (blocking when the ingest queue is full).
+    /// Feed one tuple (blocking when the ingest edge is full). On the
+    /// broker backend the tuple is byte-encoded into a published message;
+    /// on the sharded backend it moves into the ingest ring as a value.
     pub fn ingest(&self, tuple: &Tuple) -> Result<()> {
-        let key = format!("{}.in", tuple.rel());
-        self.broker.publish(INGEST_EXCHANGE, Message::new(key, tuple.encode()))?;
-        Ok(())
+        match &self.inner {
+            Inner::Broker { broker, .. } => {
+                let key = format!("{}.in", tuple.rel());
+                broker.publish(INGEST_EXCHANGE, Message::new(key, tuple.encode()))?;
+                Ok(())
+            }
+            Inner::Sharded(rt) => rt.ingest(tuple),
+        }
     }
 
     /// Live counters (sampleable while running).
@@ -373,9 +467,16 @@ impl Pipeline {
         self.stats.snapshot()
     }
 
-    /// Broker management view (queue depths etc.).
+    /// Broker management view (queue depths etc.). The sharded backend
+    /// has no broker — it reports empty stats; its ring depths live in
+    /// the registry's `bistream_queue_*` series instead.
     pub fn broker_stats(&self) -> bistream_broker::BrokerStats {
-        self.broker.stats()
+        match &self.inner {
+            Inner::Broker { broker, .. } => broker.stats(),
+            Inner::Sharded(_) => {
+                bistream_broker::BrokerStats { exchanges: Vec::new(), queues: Vec::new() }
+            }
+        }
     }
 
     /// Take one registry scrape now and append it to the run's sample
@@ -387,12 +488,17 @@ impl Pipeline {
         self.samples.lock().push(snap);
     }
 
-    /// Stall or resume publishes into one broker queue (see
-    /// [`Broker::set_queue_stalled`]): publishers park (charging
-    /// backpressure/stall series) while consumers keep draining. The
-    /// chaos drills use this to inject broker stalls into a live run.
+    /// Stall or resume one named queue — the chaos drills use this to
+    /// inject stalls into a live run on either backend. On the broker,
+    /// publishers park while consumers keep draining (see
+    /// [`Broker::set_queue_stalled`]); on the sharded runtime the unit's
+    /// consumer holds and frames pile up in its rings. Both charge the
+    /// same backpressure/stall series.
     pub fn set_queue_stalled(&self, queue: &str, on: bool) -> Result<()> {
-        self.broker.set_queue_stalled(queue, on)
+        match &self.inner {
+            Inner::Broker { broker, .. } => broker.set_queue_stalled(queue, on),
+            Inner::Sharded(rt) => rt.set_queue_stalled(queue, on),
+        }
     }
 
     /// Point-in-time Prometheus text exposition of every registered series
@@ -414,20 +520,31 @@ impl Pipeline {
             self.clock.now(),
             std::mem::take(&mut *self.samples.lock()),
         );
-        // 1. Close the ingest tier: routers drain then see Disconnected
-        //    and emit a final punctuation.
-        self.broker.delete_queue(INGEST_QUEUE)?;
-        for h in self.router_handles {
-            h.join().map_err(|_| Error::Closed)??;
-        }
-        // 2. Close the unit tier: joiners drain (data + final puncts).
-        for q in &self.unit_queues {
-            self.broker.delete_queue(q)?;
-        }
-        let mut joiners = Vec::new();
-        for h in self.joiner_handles {
-            joiners.push(h.join().map_err(|_| Error::Closed)??);
-        }
+        let (joiners, captured) = match self.inner {
+            Inner::Broker { broker, router_handles, joiner_handles, unit_queues } => {
+                // 1. Close the ingest tier: routers drain then see
+                //    Disconnected and emit a final punctuation.
+                broker.delete_queue(INGEST_QUEUE)?;
+                for h in router_handles {
+                    h.join().map_err(|_| Error::Closed)??;
+                }
+                // 2. Close the unit tier: joiners drain (data + puncts).
+                for q in &unit_queues {
+                    broker.delete_queue(q)?;
+                }
+                let mut joiners = Vec::new();
+                let mut captured = Vec::new();
+                for h in joiner_handles {
+                    let (stats, mut results) = h.join().map_err(|_| Error::Closed)??;
+                    joiners.push(stats);
+                    captured.append(&mut results);
+                }
+                (joiners, captured)
+            }
+            // The sharded runtime's own two-phase shutdown mirrors the
+            // same punctuation-ordered drain.
+            Inner::Sharded(rt) => rt.shutdown()?,
+        };
         // Every joiner has flushed, so open branches can never close now.
         self.obs.tracer.flush_pending();
         let mut traces = self.obs.tracer.drain();
@@ -455,6 +572,7 @@ impl Pipeline {
             auditor: self.auditor,
             perf,
             health,
+            captured,
         })
     }
 }
@@ -657,6 +775,138 @@ mod tests {
         // ingest queue + 4 unit queues.
         assert_eq!(stats.queues.len(), 5);
         assert!(stats.exchanges.contains(&INGEST_EXCHANGE.to_string()));
+        p.finish().unwrap();
+    }
+
+    fn sharded_config(routing: RoutingStrategy, ordering: bool) -> PipelineConfig {
+        let mut c = config(routing, ordering);
+        c.backend = Backend::Sharded;
+        c
+    }
+
+    #[test]
+    fn sharded_backend_produces_every_match_exactly_once() {
+        let p = Pipeline::launch(sharded_config(RoutingStrategy::Hash, true)).unwrap();
+        feed_pairs(&p, 500);
+        std::thread::sleep(Duration::from_millis(150));
+        let report = p.finish().unwrap();
+        assert_eq!(report.snapshot.ingested, 1_000);
+        assert_eq!(report.snapshot.results, 500, "exactly one result per pair");
+        let total_stored: u64 = report.joiners.iter().map(|j| j.stored).sum();
+        assert_eq!(total_stored, 1_000);
+        assert!(report.snapshot.latency.count > 0);
+        if let Some(a) = &report.auditor {
+            a.assert_clean();
+        }
+    }
+
+    #[test]
+    fn sharded_batched_framing_and_tracing_match_the_broker_contract() {
+        let mut c = sharded_config(RoutingStrategy::Hash, true);
+        c.engine.batch_size = 16;
+        c.trace_one_in = Some(7);
+        let p = Pipeline::launch(c).unwrap();
+        feed_pairs(&p, 500);
+        std::thread::sleep(Duration::from_millis(150));
+        let report = p.finish().unwrap();
+        assert_eq!(report.snapshot.results, 500, "batching must not change results");
+        assert_eq!(report.snapshot.copies, 2_000, "hash equi: store + join copy per tuple");
+        // Ring hand-offs record the same enqueue/dequeue spans the broker
+        // queues do.
+        let complete: Vec<_> = report.traces.iter().filter(|t| t.complete).collect();
+        assert!(!complete.is_empty());
+        for t in &complete {
+            assert!(t.has_hop(bistream_types::trace::HopKind::Route));
+            assert!(t.has_hop(bistream_types::trace::HopKind::Enqueue));
+            assert!(t.has_hop(bistream_types::trace::HopKind::Dequeue));
+            assert!(
+                t.has_hop(bistream_types::trace::HopKind::Store)
+                    || t.has_hop(bistream_types::trace::HopKind::Probe)
+            );
+        }
+        if let Some(a) = &report.auditor {
+            a.assert_clean();
+        }
+    }
+
+    #[test]
+    fn sharded_random_routing_matches_too() {
+        let p = Pipeline::launch(sharded_config(RoutingStrategy::Random, true)).unwrap();
+        feed_pairs(&p, 200);
+        std::thread::sleep(Duration::from_millis(150));
+        let report = p.finish().unwrap();
+        assert_eq!(report.snapshot.results, 200);
+        assert!((report.snapshot.copies_per_tuple() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sharded_finish_drains_without_feeding() {
+        let p = Pipeline::launch(sharded_config(RoutingStrategy::Hash, true)).unwrap();
+        let report = p.finish().unwrap();
+        assert_eq!(report.snapshot.ingested, 0);
+        assert_eq!(report.snapshot.results, 0);
+    }
+
+    #[test]
+    fn capture_returns_the_result_stream_on_both_backends() {
+        for backend in [Backend::Broker, Backend::Sharded] {
+            let mut c = config(RoutingStrategy::Hash, true);
+            c.backend = backend;
+            c.capture_results = true;
+            let p = Pipeline::launch(c).unwrap();
+            feed_pairs(&p, 100);
+            std::thread::sleep(Duration::from_millis(100));
+            let report = p.finish().unwrap();
+            assert_eq!(report.snapshot.results, 100);
+            assert_eq!(
+                report.captured.len(),
+                100,
+                "{backend:?}: every emitted result is captured"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_observability_scrape_covers_ring_queues() {
+        let p = Pipeline::launch(sharded_config(RoutingStrategy::Hash, true)).unwrap();
+        feed_pairs(&p, 100);
+        std::thread::sleep(Duration::from_millis(150));
+        let snap = p.observability().registry.scrape(p.now());
+        // 200 tuples entered the ingest ring before the scrape, under the
+        // same series names the broker's ingest queue would register.
+        assert_eq!(
+            snap.counter("bistream_queue_published_total", &[("queue", INGEST_QUEUE)]),
+            Some(200)
+        );
+        assert!(snap.get("bistream_queue_depth", &[("queue", "unit.0")]).is_some());
+        assert!(snap.counter("bistream_tuples_ingested_total", &[("engine", "live")]).is_some());
+        let report = p.finish().unwrap();
+        assert_eq!(report.snapshot.results, 100);
+        // Little's-law rows appear because ring series mirror queue series.
+        assert!(!report.perf.queues.is_empty());
+    }
+
+    #[test]
+    fn sharded_stall_injection_holds_a_unit_and_recovers() {
+        let p = Pipeline::launch(sharded_config(RoutingStrategy::Hash, true)).unwrap();
+        assert!(p.set_queue_stalled("no.such.queue", true).is_err());
+        p.set_queue_stalled("unit.0", true).unwrap();
+        feed_pairs(&p, 100);
+        std::thread::sleep(Duration::from_millis(60));
+        p.set_queue_stalled("unit.0", false).unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+        let snap = p.observability().registry.scrape(p.now());
+        let stalled_ms =
+            snap.counter("bistream_queue_stall_ms_total", &[("queue", "unit.0")]).unwrap_or(0);
+        assert!(stalled_ms > 0, "held unit charges the stall series");
+        let report = p.finish().unwrap();
+        assert_eq!(report.snapshot.results, 100, "stall delays but never drops");
+    }
+
+    #[test]
+    fn sharded_broker_stats_are_empty() {
+        let p = Pipeline::launch(sharded_config(RoutingStrategy::Hash, true)).unwrap();
+        assert!(p.broker_stats().queues.is_empty());
         p.finish().unwrap();
     }
 }

@@ -136,6 +136,12 @@ pub struct JoinerCore {
     /// Invariant auditor (test/debug harnesses): checks channel FIFO and
     /// release order on every message, and Theorem 1 via the index.
     auditor: Option<Auditor>,
+    /// Epoch-gated expiry (the sharded runtime's per-shard mode): expiry
+    /// scans go through [`ChainedIndex::advance_epoch`] — at most one
+    /// chain walk per archive period — instead of scanning on every
+    /// store/probe run. Results are unaffected (probes window-check every
+    /// candidate); only state-residency timing changes.
+    epoch_expiry: bool,
 }
 
 impl JoinerCore {
@@ -182,6 +188,24 @@ impl JoinerCore {
             now: 0,
             batch_size: 1,
             auditor: None,
+            epoch_expiry: false,
+        }
+    }
+
+    /// Switch Theorem-1 discarding to epoch-gated mode (see the
+    /// `epoch_expiry` field). The sharded runtime enables this per shard;
+    /// the broker pipeline and the simulator keep eager per-run expiry.
+    pub fn set_epoch_expiry(&mut self, on: bool) {
+        self.epoch_expiry = on;
+    }
+
+    /// One Theorem-1 expiry pass witnessed by `ts`, honouring the
+    /// configured expiry mode.
+    fn expire_at(&mut self, ts: Ts) -> usize {
+        if self.epoch_expiry {
+            self.index.advance_epoch(ts)
+        } else {
+            self.index.expire(ts)
         }
     }
 
@@ -545,7 +569,7 @@ impl JoinerCore {
     ) -> Result<()> {
         debug_assert!(!entries.is_empty());
         let before = self.index.stats().expired_sub_indexes;
-        let dropped = self.index.expire(entries[0].1.ts());
+        let dropped = self.expire_at(entries[0].1.ts());
         self.stats.expired += dropped as u64;
         let sub_dropped = self.index.stats().expired_sub_indexes - before;
         if sub_dropped > 0 {
@@ -711,7 +735,7 @@ impl JoinerCore {
         // Theorem-1 discarding first: the incoming opposite-side timestamp
         // is the expiry witness.
         let before = self.index.stats().expired_sub_indexes;
-        let dropped = self.index.expire(probe.ts());
+        let dropped = self.expire_at(probe.ts());
         self.stats.expired += dropped as u64;
         let sub_dropped = self.index.stats().expired_sub_indexes - before;
         if sub_dropped > 0 {

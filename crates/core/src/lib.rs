@@ -29,8 +29,11 @@
 //!   execution, including elastic scaling operations.
 //! - [`sim`] — the virtual-time driver for long-horizon experiments
 //!   (dynamic scaling, memory behaviour).
-//! - [`exec`] — the threaded live runtime over the broker substrate, for
-//!   wall-clock throughput/latency measurements.
+//! - [`exec`] — the live pipeline facade: one [`exec::Pipeline`] API over
+//!   pluggable execution backends (broker or sharded), for wall-clock
+//!   throughput/latency measurements.
+//! - [`sharded`] — the lock-free sharded multi-core backend: one worker
+//!   thread per router/joiner unit over hand-rolled bounded rings.
 //! - [`chaos`] — deterministic fault injection: the plan-driven network
 //!   scheduler, the crash/recover trial runner and the failing-plan
 //!   minimiser behind the chaos exploration harness.
@@ -52,6 +55,7 @@ pub mod layout;
 pub mod ordering;
 pub mod query;
 pub mod router;
+pub mod sharded;
 pub mod sim;
 pub mod stats;
 

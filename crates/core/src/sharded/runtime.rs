@@ -1,0 +1,506 @@
+//! The sharded worker runtime: per-unit threads over lock-free rings.
+//!
+//! Topology (one process, one thread per shard):
+//!
+//! ```text
+//!            mpmc ingest ring            spsc ring per (router, unit)
+//! feeder ──────────────────────► router workers ─────────────────────► joiner workers
+//!        (competing consumers)   route + punctuate          ordering + store/join
+//! ```
+//!
+//! Frames cross rings as in-memory [`BatchMessage`] values — no
+//! encode/decode on the hot path, and a batch's tuples are refcounted so
+//! the hand-off never copies payloads. Observability mirrors the broker
+//! pipeline series-for-series: each unit's rings register the same
+//! `bistream_queue_*` series under `queue="unit.N"`, sampled tuples get
+//! the same enqueue/dequeue trace spans, and the auditor sees the same
+//! per-queue conservation events, so the watchdog, the SLO engine and the
+//! queueing-model analyzer grade either backend unchanged.
+
+use crate::exec::{PipelineConfig, INGEST_QUEUE};
+use crate::joiner::{JoinerCore, JoinerStats};
+use crate::layout::{JoinerId, Layout};
+use crate::router::{RoutedBatch, RouterCore};
+use crate::sharded::spsc::{mpmc, spsc, MpmcConsumer, MpmcProducer, SpscConsumer, SpscProducer};
+use crate::stats::EngineStats;
+use bistream_types::audit::Auditor;
+use bistream_types::batch::BatchMessage;
+use bistream_types::error::{Error, Result};
+use bistream_types::hash::FxHashMap;
+use bistream_types::metric_names as names;
+use bistream_types::metrics::{Counter, Gauge};
+use bistream_types::punct::RouterId;
+use bistream_types::registry::Observability;
+use bistream_types::time::{Clock, WallClock};
+use bistream_types::trace::{HopKind, Tracer};
+use bistream_types::tuple::{JoinResult, Tuple};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Burst cap per ring visit in the joiner loop, so one busy router cannot
+/// starve the other rings of the same unit.
+const DRAIN_BURST: usize = 64;
+
+/// Park slice while idle or stalled (bounds wakeup latency without any
+/// waker handshake).
+const IDLE_PARK: Duration = Duration::from_micros(100);
+
+/// Pin the calling worker to a core — the documented seam for core
+/// affinity. The workspace deliberately vendors no affinity syscall crate
+/// (`libc`/`core_affinity`), so this is a best-effort no-op: the OS
+/// scheduler keeps one ready thread per core anyway, and the thread name
+/// (`shard-router-N` / `shard-unit-N`) makes per-shard attribution work
+/// in profilers. Swap in a real affinity call here when the dependency
+/// becomes available.
+fn pin_to_core(_shard: usize) {}
+
+/// Per-unit-queue observability: the same `bistream_queue_*` series the
+/// broker registers, kept current by ring pushes/pops, plus the auditor's
+/// per-queue conservation events.
+struct RingObs {
+    name: String,
+    published: Arc<Counter>,
+    delivered: Arc<Counter>,
+    depth: Arc<Gauge>,
+    depth_max: Arc<Gauge>,
+    blocks: Arc<Counter>,
+    stall_ms: Arc<Counter>,
+    auditor: Option<Auditor>,
+}
+
+impl RingObs {
+    fn register(obs: &Observability, auditor: Option<Auditor>, name: String) -> Arc<RingObs> {
+        let labels: &[(&str, &str)] = &[("queue", &name)];
+        let reg = &obs.registry;
+        Arc::new(RingObs {
+            published: reg.counter(names::QUEUE_PUBLISHED_TOTAL, labels),
+            delivered: reg.counter(names::QUEUE_DELIVERED_TOTAL, labels),
+            depth: reg.gauge(names::QUEUE_DEPTH, labels),
+            depth_max: reg.gauge(names::QUEUE_DEPTH_MAX, labels),
+            blocks: reg.counter(names::QUEUE_BACKPRESSURE_BLOCKS_TOTAL, labels),
+            stall_ms: reg.counter(names::QUEUE_STALL_MS_TOTAL, labels),
+            auditor,
+            name,
+        })
+    }
+
+    /// Account one frame entering a ring of this queue.
+    fn on_push(&self) {
+        self.published.inc();
+        self.depth.add(1);
+        let d = self.depth.get();
+        if d > self.depth_max.get() {
+            self.depth_max.set(d);
+        }
+        if let Some(a) = &self.auditor {
+            a.queue_enqueue(&self.name);
+        }
+    }
+
+    /// Account one frame leaving a ring of this queue.
+    fn on_pop(&self) {
+        self.depth.sub(1);
+        self.delivered.inc();
+        if let Some(a) = &self.auditor {
+            a.queue_dequeue(&self.name);
+        }
+    }
+}
+
+/// Everything a worker loop shares with the facade: counters, clock,
+/// tracer — cloned `Arc`s, no locks.
+#[derive(Clone)]
+struct WorkerCtx {
+    stats: Arc<EngineStats>,
+    clock: Arc<WallClock>,
+    tracer: Tracer,
+}
+
+/// The lock-free sharded multi-core backend behind
+/// [`Pipeline`](crate::exec::Pipeline) (select it with
+/// [`Backend::Sharded`](crate::exec::Backend)). See the
+/// [module docs](crate::sharded) for the topology and guarantees.
+pub struct ShardedRuntime {
+    ingest: MpmcProducer<Tuple>,
+    ingest_obs: Arc<RingObs>,
+    router_handles: Vec<JoinHandle<Result<()>>>,
+    joiner_handles: Vec<JoinHandle<Result<(JoinerStats, Vec<JoinResult>)>>>,
+    /// Stall injection flags keyed by queue name (`unit.N`), flipped by
+    /// [`ShardedRuntime::set_queue_stalled`] and cleared at shutdown.
+    stalls: FxHashMap<String, Arc<AtomicBool>>,
+}
+
+impl ShardedRuntime {
+    /// Spawn one worker thread per router and per joiner unit, wired with
+    /// bounded rings, and return the running backend.
+    pub(crate) fn launch(
+        config: &PipelineConfig,
+        layout: &Layout,
+        obs: &Observability,
+        auditor: Option<Auditor>,
+        stats: Arc<EngineStats>,
+        clock: Arc<WallClock>,
+        capture: bool,
+    ) -> Result<ShardedRuntime> {
+        let engine = &config.engine;
+        let routers = config.routers.max(1);
+        let seq = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let router_ids: Vec<(RouterId, u64)> = (0..routers).map(|i| (i as RouterId, 0)).collect();
+        let ctx = WorkerCtx {
+            stats,
+            clock,
+            tracer: obs.tracer.clone(),
+        };
+
+        // Ingest edge: one competing-consumer ring shared by all routers,
+        // registered under the broker's ingest-queue name so dashboards
+        // and the perf analyzer see one ingest series either way.
+        let (ingest_tx, ingest_rx) = mpmc::<Tuple>(config.ingest_capacity);
+        let ingest_obs = RingObs::register(obs, auditor.clone(), INGEST_QUEUE.to_string());
+
+        // Per-unit plumbing: a stall flag, a queue-series bundle, and one
+        // SPSC ring per router (pairwise FIFO by construction).
+        let mut stalls = FxHashMap::default();
+        let mut unit_obs: FxHashMap<JoinerId, Arc<RingObs>> = FxHashMap::default();
+        let mut unit_rings: FxHashMap<JoinerId, Vec<SpscConsumer<BatchMessage>>> =
+            FxHashMap::default();
+        let mut producers_per_router: Vec<FxHashMap<JoinerId, SpscProducer<BatchMessage>>> =
+            (0..routers).map(|_| FxHashMap::default()).collect();
+        for (_, id) in layout.all_units() {
+            let qname = format!("unit.{}", id.0);
+            stalls.insert(qname.clone(), Arc::new(AtomicBool::new(false)));
+            unit_obs.insert(id, RingObs::register(obs, auditor.clone(), qname));
+            let mut consumers = Vec::with_capacity(routers);
+            for producer_map in producers_per_router.iter_mut() {
+                let (tx, rx) = spsc::<BatchMessage>(config.unit_capacity.max(2));
+                producer_map.insert(id, tx);
+                consumers.push(rx);
+            }
+            unit_rings.insert(id, consumers);
+        }
+
+        // Joiner workers.
+        let mut joiner_handles = Vec::new();
+        for (shard, (side, id)) in layout.all_units().enumerate() {
+            let mut joiner = JoinerCore::new(
+                id,
+                side,
+                engine.predicate.clone(),
+                engine.window,
+                engine.archive_period_ms,
+                engine.ordering,
+                &router_ids,
+                config.cost,
+            );
+            joiner.attach_obs(obs);
+            joiner.set_batch_size(engine.batch_size);
+            // Per-shard epoch-based expiry: at most one chain walk per
+            // archive period instead of one per store/probe run.
+            joiner.set_epoch_expiry(true);
+            if let Some(a) = &auditor {
+                joiner.set_auditor(a.clone());
+            }
+            let worker = JoinerWorker {
+                joiner,
+                rings: unit_rings.remove(&id).expect("ring set per unit"),
+                obs: Arc::clone(&unit_obs[&id]),
+                stall: Arc::clone(&stalls[&format!("unit.{}", id.0)]),
+                ctx: ctx.clone(),
+                capture,
+            };
+            let handle = std::thread::Builder::new()
+                .name(format!("shard-unit-{}", id.0))
+                .spawn(move || {
+                    pin_to_core(shard);
+                    worker.run()
+                })
+                .map_err(|e| Error::Config(format!("spawn joiner worker: {e}")))?;
+            joiner_handles.push(handle);
+        }
+
+        // Router workers.
+        let joiner_shards = joiner_handles.len();
+        let mut router_handles = Vec::new();
+        for (shard, producer_map) in producers_per_router.into_iter().enumerate() {
+            let mut core = RouterCore::new(
+                shard as RouterId,
+                engine.routing,
+                engine.predicate.clone(),
+                engine.seed,
+                Arc::clone(&seq),
+            );
+            core.attach_registry(&obs.registry);
+            core.attach_tracer(obs.tracer.clone());
+            core.set_batch_size(engine.batch_size);
+            if let Some(a) = &auditor {
+                core.set_auditor(a.clone());
+            }
+            let worker = RouterWorker {
+                core,
+                layout: layout.clone(),
+                ingest: ingest_rx.clone(),
+                ingest_obs: Arc::clone(&ingest_obs),
+                producers: producer_map,
+                unit_obs: unit_obs.clone(),
+                ctx: ctx.clone(),
+                punct_interval: Duration::from_millis(engine.punctuation_interval_ms),
+            };
+            let handle = std::thread::Builder::new()
+                .name(format!("shard-router-{shard}"))
+                .spawn(move || {
+                    pin_to_core(joiner_shards + shard);
+                    worker.run()
+                })
+                .map_err(|e| Error::Config(format!("spawn router worker: {e}")))?;
+            router_handles.push(handle);
+        }
+
+        Ok(ShardedRuntime { ingest: ingest_tx, ingest_obs, router_handles, joiner_handles, stalls })
+    }
+
+    /// Feed one tuple (blocking when the ingest ring is full). The tuple
+    /// is moved into the ring as a value — no serialisation.
+    pub fn ingest(&self, tuple: &Tuple) -> Result<()> {
+        let owned = match self.ingest.try_push(tuple.clone()) {
+            Ok(()) => {
+                self.ingest_obs.on_push();
+                return Ok(());
+            }
+            Err(t) => {
+                self.ingest_obs.blocks.inc();
+                t
+            }
+        };
+        self.ingest.push_blocking(owned).map_err(|_| Error::Closed)?;
+        self.ingest_obs.on_push();
+        Ok(())
+    }
+
+    /// Stall or resume delivery out of one unit's rings (queue name
+    /// `unit.N`) — the sharded analogue of parking a broker queue: frames
+    /// pile up (visible in the depth gauges the watchdog reads) while the
+    /// stall window is open, and drain when it heals.
+    pub fn set_queue_stalled(&self, queue: &str, on: bool) -> Result<()> {
+        let flag = self
+            .stalls
+            .get(queue)
+            .ok_or_else(|| Error::Broker(format!("no such queue `{queue}`")))?;
+        flag.store(on, Ordering::Release);
+        Ok(())
+    }
+
+    /// Two-phase shutdown, draining in punctuation order:
+    ///
+    /// 1. heal stalls and close the ingest ring — router workers drain
+    ///    what is queued, emit a final punctuation *behind* all data, and
+    ///    close their unit rings;
+    /// 2. joiner workers drain every ring to end-of-stream (per-channel
+    ///    FIFO puts each final punctuation last) and terminally flush.
+    ///
+    /// Returns per-joiner stats and captured results, both in layout unit
+    /// order.
+    pub(crate) fn shutdown(self) -> Result<(Vec<JoinerStats>, Vec<JoinResult>)> {
+        for flag in self.stalls.values() {
+            flag.store(false, Ordering::Release);
+        }
+        self.ingest.close();
+        for h in self.router_handles {
+            h.join().map_err(|_| Error::Closed)??;
+        }
+        let mut joiners = Vec::new();
+        let mut captured = Vec::new();
+        for h in self.joiner_handles {
+            let (stats, mut results) = h.join().map_err(|_| Error::Closed)??;
+            joiners.push(stats);
+            captured.append(&mut results);
+        }
+        Ok((joiners, captured))
+    }
+}
+
+/// One router shard: competes on the ingest ring, routes and batches, and
+/// owns the producer half of one SPSC ring per joiner unit.
+struct RouterWorker {
+    core: RouterCore,
+    layout: Layout,
+    ingest: MpmcConsumer<Tuple>,
+    ingest_obs: Arc<RingObs>,
+    producers: FxHashMap<JoinerId, SpscProducer<BatchMessage>>,
+    unit_obs: FxHashMap<JoinerId, Arc<RingObs>>,
+    ctx: WorkerCtx,
+    punct_interval: Duration,
+}
+
+impl RouterWorker {
+    fn run(mut self) -> Result<()> {
+        let mut frames: Vec<RoutedBatch> = Vec::new();
+        let mut last_punct = Instant::now();
+        let mut idle = 0u32;
+        loop {
+            match self.ingest.try_pop() {
+                Some(tuple) => {
+                    idle = 0;
+                    self.ingest_obs.on_pop();
+                    self.ctx.stats.ingested.inc();
+                    self.core.route_batched(&tuple, &self.layout, &[], &mut frames)?;
+                    self.push_frames(&mut frames)?;
+                }
+                None if self.ingest.is_closed() && self.ingest.is_empty() => break,
+                None => idle_wait(&mut idle),
+            }
+            if last_punct.elapsed() >= self.punct_interval {
+                self.core.punctuate_batched(&self.layout, &mut frames);
+                self.push_frames(&mut frames)?;
+                last_punct = Instant::now();
+            }
+        }
+        // Final punctuation behind everything this router ever sent; the
+        // rings close when the producers drop, which is the end-of-stream
+        // signal the joiner workers drain to.
+        self.core.punctuate_batched(&self.layout, &mut frames);
+        self.push_frames(&mut frames)?;
+        Ok(())
+    }
+
+    /// Move flushed frames into their unit rings: span/auditor/series
+    /// accounting mirrors the broker's publish path, but the frame itself
+    /// is an in-memory value hand-off.
+    fn push_frames(&mut self, frames: &mut Vec<RoutedBatch>) -> Result<()> {
+        for f in frames.drain(..) {
+            let obs = &self.unit_obs[&f.dest];
+            match &f.msg {
+                BatchMessage::Batch(b) => {
+                    self.ctx.stats.copies.add(b.len() as u64);
+                    let now = self.ctx.clock.now();
+                    for e in b.entries() {
+                        if self.ctx.tracer.sampled(e.seq) {
+                            self.ctx.tracer.span(e.seq, HopKind::Enqueue, &obs.name, now, now);
+                        }
+                    }
+                }
+                BatchMessage::Punct(_) => self.ctx.stats.punctuations.inc(),
+            }
+            let tx = self.producers.get_mut(&f.dest).expect("ring per active unit");
+            let msg = match tx.try_push(f.msg) {
+                Ok(()) => {
+                    obs.on_push();
+                    continue;
+                }
+                Err(m) => m,
+            };
+            obs.blocks.inc();
+            tx.push_blocking(msg).map_err(|_| Error::Closed)?;
+            obs.on_push();
+        }
+        Ok(())
+    }
+}
+
+/// One joiner shard: drains its per-router rings (bounded bursts keep the
+/// scan fair), runs the ordering protocol and the store/join branches,
+/// and honours injected stall windows.
+struct JoinerWorker {
+    joiner: JoinerCore,
+    rings: Vec<SpscConsumer<BatchMessage>>,
+    obs: Arc<RingObs>,
+    stall: Arc<AtomicBool>,
+    ctx: WorkerCtx,
+    capture: bool,
+}
+
+impl JoinerWorker {
+    fn run(mut self) -> Result<(JoinerStats, Vec<JoinResult>)> {
+        let mut captured: Vec<JoinResult> = Vec::new();
+        let per_joiner_latency = self.joiner.latency_histogram();
+        let mut idle = 0u32;
+        loop {
+            if self.stall.load(Ordering::Acquire) {
+                let held = Instant::now();
+                while self.stall.load(Ordering::Acquire) {
+                    std::thread::park_timeout(IDLE_PARK);
+                }
+                self.obs.stall_ms.add(held.elapsed().as_millis() as u64);
+                continue;
+            }
+            let mut progressed = false;
+            for r in 0..self.rings.len() {
+                for _ in 0..DRAIN_BURST {
+                    let Some(msg) = self.rings[r].try_pop() else { break };
+                    progressed = true;
+                    self.obs.on_pop();
+                    let now = self.ctx.clock.now();
+                    if let BatchMessage::Batch(b) = &msg {
+                        for e in b.entries() {
+                            if self.ctx.tracer.sampled(e.seq) {
+                                self.ctx.tracer.span(
+                                    e.seq,
+                                    HopKind::Dequeue,
+                                    &self.obs.name,
+                                    now,
+                                    now,
+                                );
+                            }
+                        }
+                    }
+                    let stats = &self.ctx.stats;
+                    let clock = &self.ctx.clock;
+                    let capture = self.capture;
+                    let captured = &mut captured;
+                    self.joiner.set_now(now);
+                    self.joiner.handle_batch(msg, &mut |result: JoinResult| {
+                        stats.results.inc();
+                        let latency = clock.now().saturating_sub(result.ts);
+                        stats.latency_ms.record(latency);
+                        if let Some(h) = &per_joiner_latency {
+                            h.record(latency);
+                        }
+                        if capture {
+                            captured.push(result);
+                        }
+                    })?;
+                }
+            }
+            if progressed {
+                idle = 0;
+            } else if self.rings.iter().all(|r| r.is_closed() && r.is_empty()) {
+                break;
+            } else {
+                idle_wait(&mut idle);
+            }
+        }
+        // End-of-stream on every ring: final punctuations have been
+        // processed, so the terminal flush drains the reorder buffers.
+        let stats = &self.ctx.stats;
+        let clock = &self.ctx.clock;
+        let capture = self.capture;
+        let results = &mut captured;
+        self.joiner.set_now(clock.now());
+        self.joiner.flush(&mut |result: JoinResult| {
+            stats.results.inc();
+            let latency = clock.now().saturating_sub(result.ts);
+            stats.latency_ms.record(latency);
+            if let Some(h) = &per_joiner_latency {
+                h.record(latency);
+            }
+            if capture {
+                results.push(result);
+            }
+        })?;
+        Ok((self.joiner.stats(), captured))
+    }
+}
+
+/// Adaptive idle wait: spin briefly, then yield, then park in short
+/// slices — lock-free, bounded wakeup latency.
+fn idle_wait(attempt: &mut u32) {
+    *attempt = attempt.saturating_add(1);
+    if *attempt <= 64 {
+        std::hint::spin_loop();
+    } else if *attempt <= 80 {
+        std::thread::yield_now();
+    } else {
+        std::thread::park_timeout(IDLE_PARK);
+    }
+}

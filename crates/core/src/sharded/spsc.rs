@@ -1,0 +1,562 @@
+//! Hand-rolled bounded lock-free rings for the sharded runtime.
+//!
+//! Two shapes, both std-only (no `crossbeam`, no locks — this file is
+//! tagged as a sharded-runtime hot path in `xtask.allow`, so `cargo
+//! xtask lint` rule 7 rejects any `Mutex`/`RwLock` here):
+//!
+//! - [`spsc`]: a single-producer single-consumer ring with plain
+//!   acquire/release head/tail counters. One of these backs every
+//!   `(router worker → joiner worker)` channel, which is exactly how the
+//!   runtime preserves the pairwise-FIFO contract (Definition 8): a
+//!   channel *is* a ring, and a ring cannot reorder.
+//! - [`mpmc`]: a Vyukov-style slot-sequence ring for the competing
+//!   consumer ingest edge (one pipeline feeder, N router workers).
+//!
+//! Blocking is adaptive and lock-free: spin a few dozen iterations, then
+//! yield, then `park_timeout` in short slices. No waker handshake is
+//! needed — the timeout bounds wakeup latency to ~100µs, and under load
+//! the rings are never empty long enough to park at all.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Pad to a cache line so the producer and consumer counters never
+/// false-share.
+#[repr(align(64))]
+struct CachePadded<T>(T);
+
+/// Spins before yielding in a blocking wait.
+const SPIN_LIMIT: u32 = 64;
+/// Yields before parking in a blocking wait.
+const YIELD_LIMIT: u32 = 16;
+/// Park slice once spinning and yielding have not produced progress.
+const PARK_SLICE: Duration = Duration::from_micros(100);
+
+/// One step of the adaptive wait: spin, then yield, then park briefly.
+fn backoff(attempt: &mut u32) {
+    *attempt = attempt.saturating_add(1);
+    if *attempt <= SPIN_LIMIT {
+        std::hint::spin_loop();
+    } else if *attempt <= SPIN_LIMIT + YIELD_LIMIT {
+        std::thread::yield_now();
+    } else {
+        std::thread::park_timeout(PARK_SLICE);
+    }
+}
+
+// ---------------------------------------------------------------------
+// SPSC
+// ---------------------------------------------------------------------
+
+struct SpscShared<T> {
+    buf: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    cap: usize,
+    /// Consumer position (next slot to read).
+    head: CachePadded<AtomicUsize>,
+    /// Producer position (next slot to write).
+    tail: CachePadded<AtomicUsize>,
+    closed: AtomicBool,
+}
+
+// Safety: the ring hands out exactly one Producer and one Consumer; all
+// slot access is fenced by the acquire/release head/tail protocol below.
+unsafe impl<T: Send> Send for SpscShared<T> {}
+unsafe impl<T: Send> Sync for SpscShared<T> {}
+
+impl<T> Drop for SpscShared<T> {
+    fn drop(&mut self) {
+        // Sole owner at this point; drop whatever is still queued.
+        let head = self.head.0.load(Ordering::Relaxed);
+        let tail = self.tail.0.load(Ordering::Relaxed);
+        for i in head..tail {
+            let slot = &self.buf[i % self.cap];
+            // Safety: slots in [head, tail) were written and never read.
+            unsafe { (*slot.get()).assume_init_drop() };
+        }
+    }
+}
+
+/// Producer half of an [`spsc`] ring.
+pub struct SpscProducer<T> {
+    shared: Arc<SpscShared<T>>,
+}
+
+/// Consumer half of an [`spsc`] ring.
+pub struct SpscConsumer<T> {
+    shared: Arc<SpscShared<T>>,
+}
+
+/// A bounded single-producer single-consumer ring of `capacity` slots
+/// (minimum 2). FIFO per construction; no allocation after creation.
+pub fn spsc<T>(capacity: usize) -> (SpscProducer<T>, SpscConsumer<T>) {
+    let cap = capacity.max(2);
+    let buf: Box<[UnsafeCell<MaybeUninit<T>>]> =
+        (0..cap).map(|_| UnsafeCell::new(MaybeUninit::uninit())).collect();
+    let shared = Arc::new(SpscShared {
+        buf,
+        cap,
+        head: CachePadded(AtomicUsize::new(0)),
+        tail: CachePadded(AtomicUsize::new(0)),
+        closed: AtomicBool::new(false),
+    });
+    (SpscProducer { shared: Arc::clone(&shared) }, SpscConsumer { shared })
+}
+
+impl<T> SpscProducer<T> {
+    /// Try to enqueue; gives the value back when the ring is full or the
+    /// consumer side is gone.
+    pub fn try_push(&mut self, value: T) -> Result<(), T> {
+        let s = &*self.shared;
+        if Arc::strong_count(&self.shared) == 1 {
+            // Consumer dropped; nothing will ever drain the ring.
+            return Err(value);
+        }
+        let tail = s.tail.0.load(Ordering::Relaxed);
+        let head = s.head.0.load(Ordering::Acquire);
+        if tail.wrapping_sub(head) == s.cap {
+            return Err(value);
+        }
+        let slot = &s.buf[tail % s.cap];
+        // Safety: slot at `tail` is outside [head, tail), i.e. empty, and
+        // only this (single) producer writes slots.
+        unsafe { (*slot.get()).write(value) };
+        s.tail.0.store(tail.wrapping_add(1), Ordering::Release);
+        Ok(())
+    }
+
+    /// Enqueue, waiting for space (spin → yield → park slices). Gives the
+    /// value back only if the consumer side disappeared.
+    pub fn push_blocking(&mut self, mut value: T) -> Result<(), T> {
+        let mut attempt = 0;
+        loop {
+            match self.try_push(value) {
+                Ok(()) => return Ok(()),
+                Err(v) if Arc::strong_count(&self.shared) == 1 => return Err(v),
+                Err(v) => value = v,
+            }
+            backoff(&mut attempt);
+        }
+    }
+
+    /// Close the ring: the consumer drains what is queued, then sees
+    /// end-of-stream. Idempotent.
+    pub fn close(&self) {
+        self.shared.closed.store(true, Ordering::Release);
+    }
+
+    /// Frames currently queued (approximate under concurrency).
+    pub fn len(&self) -> usize {
+        let s = &*self.shared;
+        s.tail.0.load(Ordering::Relaxed).wrapping_sub(s.head.0.load(Ordering::Relaxed))
+    }
+
+    /// Whether the ring is empty (approximate under concurrency).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Drop for SpscProducer<T> {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+impl<T> SpscConsumer<T> {
+    /// Dequeue the next value, if any.
+    pub fn try_pop(&mut self) -> Option<T> {
+        let s = &*self.shared;
+        let head = s.head.0.load(Ordering::Relaxed);
+        let tail = s.tail.0.load(Ordering::Acquire);
+        if head == tail {
+            return None;
+        }
+        let slot = &s.buf[head % s.cap];
+        // Safety: slot at `head` is inside [head, tail), i.e. written and
+        // unread, and only this (single) consumer reads slots.
+        let value = unsafe { (*slot.get()).assume_init_read() };
+        s.head.0.store(head.wrapping_add(1), Ordering::Release);
+        Some(value)
+    }
+
+    /// Dequeue, waiting for a value. `None` means the producer closed the
+    /// ring (or dropped) *and* everything queued has been drained — the
+    /// two-phase-shutdown end-of-stream signal.
+    pub fn pop_blocking(&mut self) -> Option<T> {
+        let mut attempt = 0;
+        loop {
+            if let Some(v) = self.try_pop() {
+                return Some(v);
+            }
+            if self.is_closed() || Arc::strong_count(&self.shared) == 1 {
+                // Re-check after observing closed: a final frame may have
+                // been pushed just before the close flag.
+                return self.try_pop();
+            }
+            backoff(&mut attempt);
+        }
+    }
+
+    /// Whether the producer has closed the ring. Queued frames may still
+    /// be pending; end-of-stream is closed *and* empty.
+    pub fn is_closed(&self) -> bool {
+        self.shared.closed.load(Ordering::Acquire)
+    }
+
+    /// Frames currently queued (approximate under concurrency).
+    pub fn len(&self) -> usize {
+        let s = &*self.shared;
+        s.tail.0.load(Ordering::Relaxed).wrapping_sub(s.head.0.load(Ordering::Relaxed))
+    }
+
+    /// Whether the ring is empty (approximate under concurrency).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+// ---------------------------------------------------------------------
+// MPMC (Vyukov slot-sequence ring)
+// ---------------------------------------------------------------------
+
+struct McSlot<T> {
+    seq: AtomicUsize,
+    value: UnsafeCell<MaybeUninit<T>>,
+}
+
+struct MpmcShared<T> {
+    buf: Box<[McSlot<T>]>,
+    mask: usize,
+    enqueue_pos: CachePadded<AtomicUsize>,
+    dequeue_pos: CachePadded<AtomicUsize>,
+    closed: AtomicBool,
+}
+
+// Safety: slot hand-off is fenced by the per-slot sequence protocol.
+unsafe impl<T: Send> Send for MpmcShared<T> {}
+unsafe impl<T: Send> Sync for MpmcShared<T> {}
+
+impl<T> Drop for MpmcShared<T> {
+    fn drop(&mut self) {
+        // Sole owner; drop slots still holding a written, unread value
+        // (their sequence reads pos + 1).
+        for (i, slot) in self.buf.iter().enumerate() {
+            let seq = slot.seq.load(Ordering::Relaxed);
+            let pos = self.dequeue_pos.0.load(Ordering::Relaxed);
+            // A slot at index i is full when its seq is one past some
+            // enqueue position p with p & mask == i and p >= dequeue_pos.
+            if seq == i.wrapping_add(1) && i >= pos & self.mask {
+                // Conservative: only the simple non-wrapped case matters
+                // in practice (shutdown drains rings before drop).
+                unsafe { (*slot.value.get()).assume_init_drop() };
+            }
+        }
+    }
+}
+
+/// Producer handle for an [`mpmc`] ring (cloneable).
+pub struct MpmcProducer<T> {
+    shared: Arc<MpmcShared<T>>,
+}
+
+impl<T> Clone for MpmcProducer<T> {
+    fn clone(&self) -> Self {
+        MpmcProducer { shared: Arc::clone(&self.shared) }
+    }
+}
+
+/// Consumer handle for an [`mpmc`] ring (cloneable — consumers compete).
+pub struct MpmcConsumer<T> {
+    shared: Arc<MpmcShared<T>>,
+}
+
+impl<T> Clone for MpmcConsumer<T> {
+    fn clone(&self) -> Self {
+        MpmcConsumer { shared: Arc::clone(&self.shared) }
+    }
+}
+
+/// A bounded multi-producer multi-consumer ring. Capacity is rounded up
+/// to a power of two (minimum 2). Per-producer FIFO holds; competing
+/// consumers interleave.
+pub fn mpmc<T>(capacity: usize) -> (MpmcProducer<T>, MpmcConsumer<T>) {
+    let cap = capacity.max(2).next_power_of_two();
+    let buf: Box<[McSlot<T>]> = (0..cap)
+        .map(|i| McSlot { seq: AtomicUsize::new(i), value: UnsafeCell::new(MaybeUninit::uninit()) })
+        .collect();
+    let shared = Arc::new(MpmcShared {
+        buf,
+        mask: cap - 1,
+        enqueue_pos: CachePadded(AtomicUsize::new(0)),
+        dequeue_pos: CachePadded(AtomicUsize::new(0)),
+        closed: AtomicBool::new(false),
+    });
+    (MpmcProducer { shared: Arc::clone(&shared) }, MpmcConsumer { shared })
+}
+
+impl<T> MpmcProducer<T> {
+    /// Try to enqueue; gives the value back when the ring is full or
+    /// closed.
+    pub fn try_push(&self, value: T) -> Result<(), T> {
+        let s = &*self.shared;
+        if s.closed.load(Ordering::Acquire) {
+            return Err(value);
+        }
+        let mut pos = s.enqueue_pos.0.load(Ordering::Relaxed);
+        loop {
+            let slot = &s.buf[pos & s.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            if seq == pos {
+                match s.enqueue_pos.0.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // Safety: winning the CAS gives this producer
+                        // exclusive write access to the slot.
+                        unsafe { (*slot.value.get()).write(value) };
+                        slot.seq.store(pos.wrapping_add(1), Ordering::Release);
+                        return Ok(());
+                    }
+                    Err(actual) => pos = actual,
+                }
+            } else if seq < pos {
+                return Err(value); // full
+            } else {
+                pos = s.enqueue_pos.0.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Enqueue, waiting for space. Gives the value back only when the
+    /// ring has been closed.
+    pub fn push_blocking(&self, mut value: T) -> Result<(), T> {
+        let mut attempt = 0;
+        loop {
+            match self.try_push(value) {
+                Ok(()) => return Ok(()),
+                Err(v) if self.shared.closed.load(Ordering::Acquire) => return Err(v),
+                Err(v) => value = v,
+            }
+            backoff(&mut attempt);
+        }
+    }
+
+    /// Close the ring: consumers drain what is queued, then see
+    /// end-of-stream; further pushes are refused. Idempotent.
+    pub fn close(&self) {
+        self.shared.closed.store(true, Ordering::Release);
+    }
+
+    /// Frames currently queued (approximate under concurrency).
+    pub fn len(&self) -> usize {
+        let s = &*self.shared;
+        s.enqueue_pos.0.load(Ordering::Relaxed).wrapping_sub(s.dequeue_pos.0.load(Ordering::Relaxed))
+    }
+
+    /// Whether the ring is empty (approximate under concurrency).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> MpmcConsumer<T> {
+    /// Dequeue the next value, if any.
+    pub fn try_pop(&self) -> Option<T> {
+        let s = &*self.shared;
+        let mut pos = s.dequeue_pos.0.load(Ordering::Relaxed);
+        loop {
+            let slot = &s.buf[pos & s.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let expected = pos.wrapping_add(1);
+            if seq == expected {
+                match s.dequeue_pos.0.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // Safety: winning the CAS gives this consumer
+                        // exclusive read access to the slot.
+                        let value = unsafe { (*slot.value.get()).assume_init_read() };
+                        slot.seq.store(pos.wrapping_add(s.mask).wrapping_add(1), Ordering::Release);
+                        return Some(value);
+                    }
+                    Err(actual) => pos = actual,
+                }
+            } else if seq < expected {
+                return None; // empty
+            } else {
+                pos = s.dequeue_pos.0.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Dequeue, waiting for a value. `None` means the ring was closed and
+    /// fully drained.
+    pub fn pop_blocking(&self) -> Option<T> {
+        let mut attempt = 0;
+        loop {
+            if let Some(v) = self.try_pop() {
+                return Some(v);
+            }
+            if self.shared.closed.load(Ordering::Acquire) {
+                return self.try_pop();
+            }
+            backoff(&mut attempt);
+        }
+    }
+
+    /// Whether the ring has been closed. Queued frames may still be
+    /// pending; end-of-stream is closed *and* empty.
+    pub fn is_closed(&self) -> bool {
+        self.shared.closed.load(Ordering::Acquire)
+    }
+
+    /// Frames currently queued (approximate under concurrency).
+    pub fn len(&self) -> usize {
+        let s = &*self.shared;
+        s.enqueue_pos.0.load(Ordering::Relaxed).wrapping_sub(s.dequeue_pos.0.load(Ordering::Relaxed))
+    }
+
+    /// Whether the ring is empty (approximate under concurrency).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spsc_is_fifo_single_threaded() {
+        let (mut tx, mut rx) = spsc::<u64>(4);
+        assert!(tx.try_push(1).is_ok());
+        assert!(tx.try_push(2).is_ok());
+        assert_eq!(rx.try_pop(), Some(1));
+        assert!(tx.try_push(3).is_ok());
+        assert_eq!(rx.try_pop(), Some(2));
+        assert_eq!(rx.try_pop(), Some(3));
+        assert_eq!(rx.try_pop(), None);
+    }
+
+    #[test]
+    fn spsc_refuses_when_full_and_recovers() {
+        let (mut tx, mut rx) = spsc::<u64>(2);
+        assert!(tx.try_push(1).is_ok());
+        assert!(tx.try_push(2).is_ok());
+        assert_eq!(tx.try_push(3), Err(3));
+        assert_eq!(rx.try_pop(), Some(1));
+        assert!(tx.try_push(3).is_ok());
+        assert_eq!(tx.len(), 2);
+    }
+
+    #[test]
+    fn spsc_close_signals_end_of_stream_after_drain() {
+        let (mut tx, mut rx) = spsc::<u64>(4);
+        assert!(tx.try_push(7).is_ok());
+        tx.close();
+        assert!(rx.is_closed());
+        assert_eq!(rx.pop_blocking(), Some(7));
+        assert_eq!(rx.pop_blocking(), None);
+    }
+
+    #[test]
+    fn spsc_cross_thread_preserves_order_under_backpressure() {
+        let (mut tx, mut rx) = spsc::<u64>(8);
+        let n = 10_000u64;
+        let producer = std::thread::spawn(move || {
+            for i in 0..n {
+                tx.push_blocking(i).expect("consumer alive");
+            }
+            // tx drops here, closing the ring.
+        });
+        let mut expect = 0u64;
+        while let Some(v) = rx.pop_blocking() {
+            assert_eq!(v, expect);
+            expect += 1;
+        }
+        assert_eq!(expect, n);
+        producer.join().expect("producer");
+    }
+
+    #[test]
+    fn spsc_drops_queued_values_on_ring_drop() {
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct Counted;
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        {
+            let (mut tx, rx) = spsc::<Counted>(4);
+            tx.try_push(Counted).ok();
+            tx.try_push(Counted).ok();
+            drop(tx);
+            drop(rx);
+        }
+        assert_eq!(DROPS.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn mpmc_is_fifo_single_threaded() {
+        let (tx, rx) = mpmc::<u64>(4);
+        for i in 0..4 {
+            assert!(tx.try_push(i).is_ok());
+        }
+        assert!(tx.try_push(9).is_err(), "full ring refuses");
+        for i in 0..4 {
+            assert_eq!(rx.try_pop(), Some(i));
+        }
+        assert_eq!(rx.try_pop(), None);
+    }
+
+    #[test]
+    fn mpmc_competing_consumers_partition_the_stream() {
+        let (tx, rx) = mpmc::<u64>(16);
+        let n = 20_000u64;
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let rx = rx.clone();
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(v) = rx.pop_blocking() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        for i in 0..n {
+            tx.push_blocking(i).expect("open ring accepts");
+        }
+        tx.close();
+        let mut all: Vec<u64> = Vec::new();
+        for c in consumers {
+            let got = c.join().expect("consumer");
+            // Each consumer's view is in stream order (per-producer FIFO).
+            assert!(got.windows(2).all(|w| w[0] < w[1]));
+            all.extend(got);
+        }
+        all.sort_unstable();
+        assert_eq!(all, (0..n).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn mpmc_close_refuses_new_pushes() {
+        let (tx, rx) = mpmc::<u64>(4);
+        assert!(tx.try_push(1).is_ok());
+        tx.close();
+        assert_eq!(tx.try_push(2), Err(2));
+        assert_eq!(rx.pop_blocking(), Some(1));
+        assert_eq!(rx.pop_blocking(), None);
+    }
+}

@@ -2,7 +2,7 @@
 //! toolchain cannot express, enforced on every PR.
 //!
 //! The pass is deliberately dependency-free: a hand-rolled token scanner
-//! (comments, strings, raw strings and char literals handled) feeds six
+//! (comments, strings, raw strings and char literals handled) feeds seven
 //! rules:
 //!
 //! 1. **wallclock** — no `Instant::now()` / `SystemTime` outside
@@ -26,6 +26,11 @@
 //!    appear in `types::metric_names`, so SLO objectives and alert names
 //!    stay one vocabulary across the engine, the watchdog, the recorder
 //!    bundles and the dashboards that consume them.
+//! 7. **lock-free** — no `Mutex` / `RwLock` in files tagged
+//!    `lockfree <path>` in the allowlist (the sharded-runtime hot paths,
+//!    which promise wait-free hand-off): a lock on a worker's frame path
+//!    reintroduces exactly the broker contention the backend exists to
+//!    remove, so it must happen in the facade or not at all.
 //!
 //! Test code is exempt everywhere: `tests/`, `benches/`, `examples/`
 //! directories and anything at or below a file's first `#[cfg(test)]`.
@@ -40,7 +45,7 @@ use std::path::{Path, PathBuf};
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
     /// Short rule identifier (`wallclock`, `panic-site`, `metric-name`,
-    /// `doc-comment`, `exposition-format`, `slo-name`).
+    /// `doc-comment`, `exposition-format`, `slo-name`, `lock-free`).
     pub rule: &'static str,
     /// Path relative to the workspace root.
     pub file: String,
@@ -65,11 +70,16 @@ pub struct Allowlist {
     /// Per-file budget of audited `.expect()` / `.unwrap()` sites in the
     /// hot-path crates.
     pub panic_budget: BTreeMap<String, usize>,
+    /// Files *tagged* as lock-free hot paths (the sharded runtime): the
+    /// lint forbids `Mutex`/`RwLock` in them. Unlike the other entries
+    /// this tag opts a file *into* a rule rather than out of one.
+    pub lockfree: Vec<String>,
 }
 
 impl Allowlist {
     /// Parse the allowlist format: one entry per line,
-    /// `wallclock <path>` or `panic <path> <count>`; `#` comments.
+    /// `wallclock <path>`, `panic <path> <count>` or `lockfree <path>`;
+    /// `#` comments.
     pub fn parse(text: &str) -> Result<Allowlist, String> {
         let mut out = Allowlist::default();
         for (i, raw) in text.lines().enumerate() {
@@ -81,6 +91,7 @@ impl Allowlist {
             let (rule, path) = (words.next(), words.next());
             match (rule, path) {
                 (Some("wallclock"), Some(p)) => out.wallclock.push(p.to_string()),
+                (Some("lockfree"), Some(p)) => out.lockfree.push(p.to_string()),
                 (Some("panic"), Some(p)) => {
                     let budget: usize = words
                         .next()
@@ -460,6 +471,27 @@ pub fn lint_source(rel_path: &str, src: &str, allow: &Allowlist) -> Vec<Finding>
         }
     }
 
+    // Rule 7: no blocking locks in files tagged as lock-free hot paths.
+    if allow.lockfree.iter().any(|p| p == rel_path) {
+        for s in &tokens {
+            if !prod(s.line) {
+                continue;
+            }
+            let Token::Ident(name) = &s.tok else { continue };
+            if name == "Mutex" || name == "RwLock" {
+                findings.push(Finding {
+                    rule: "lock-free",
+                    file: rel_path.to_string(),
+                    line: s.line,
+                    message: format!(
+                        "{name} in a lockfree-tagged file; the sharded-runtime hot paths \
+                         must stay lock-free (atomics and rings only)"
+                    ),
+                });
+            }
+        }
+    }
+
     findings
 }
 
@@ -751,12 +783,35 @@ mod tests {
     #[test]
     fn allowlist_parses_and_rejects_garbage() {
         let allow = Allowlist::parse(
-            "# comment\nwallclock crates/core/src/exec.rs\npanic crates/core/src/ordering.rs 1\n",
+            "# comment\nwallclock crates/core/src/exec.rs\npanic crates/core/src/ordering.rs 1\n\
+             lockfree crates/core/src/sharded/spsc.rs\n",
         )
         .expect("valid");
         assert_eq!(allow.wallclock, vec!["crates/core/src/exec.rs".to_string()]);
         assert_eq!(allow.panic_budget.get("crates/core/src/ordering.rs"), Some(&1));
+        assert_eq!(allow.lockfree, vec!["crates/core/src/sharded/spsc.rs".to_string()]);
         assert!(Allowlist::parse("bogus entry here\n").is_err());
         assert!(Allowlist::parse("panic crates/core/src/x.rs\n").is_err(), "missing count");
+    }
+
+    #[test]
+    fn lockfree_rule_fires_only_in_tagged_files() {
+        let src = "use parking_lot::Mutex;\nfn f(l: &RwLock<u32>) { let _m: Mutex<()>; }\n";
+        let mut allow = Allowlist::default();
+        allow.lockfree.push("crates/core/src/sharded/runtime.rs".into());
+        let findings = lint_source("crates/core/src/sharded/runtime.rs", src, &allow);
+        assert_eq!(findings.len(), 3, "every Mutex/RwLock mention: {findings:?}");
+        assert!(findings.iter().all(|f| f.rule == "lock-free"));
+        // The same source in an untagged file is out of the rule's scope.
+        assert!(lint_source("crates/core/src/exec.rs", src, &allow).is_empty());
+    }
+
+    #[test]
+    fn lockfree_rule_exempts_test_code_and_comments() {
+        let src = "fn f() {} // a Mutex in a comment is fine\n#[cfg(test)]\nmod t {\n    \
+                   use std::sync::Mutex;\n}\n";
+        let mut allow = Allowlist::default();
+        allow.lockfree.push("crates/core/src/sharded/spsc.rs".into());
+        assert!(lint_source("crates/core/src/sharded/spsc.rs", src, &allow).is_empty());
     }
 }

@@ -4,9 +4,13 @@
 //! See `bistream --help`, [`bistream::cli`] for the flag grammar, and
 //! `bistream_workload::io` for the line format.
 
-use bistream::cli::{parse_args, USAGE};
+use bistream::cli::{parse_args, CliBackend, USAGE};
 use bistream::core::engine::BicliqueEngine;
+use bistream::core::exec::{Pipeline, PipelineConfig};
+use bistream::core::query::JoinQuery;
+use bistream::types::recorder::RunHealth;
 use bistream::types::registry::{Observability, Sampler};
+use bistream::types::tuple::Tuple;
 use bistream::types::watchdog::WatchdogConfig;
 use bistream::workload::io::{CsvTupleReader, ResultWriter};
 use std::io::{BufRead, BufReader, BufWriter, Write};
@@ -32,11 +36,28 @@ fn run(args: &[String]) -> Result<i32, Box<dyn std::error::Error>> {
     let output_path = opts.output.clone();
     let slo = opts.slo_spec();
     let bundle_path = opts.slo_bundle.clone();
+    let backend = opts.backend;
     let query = opts.into_query()?;
     let reader = CsvTupleReader::new(
         query.schema(bistream::types::rel::Rel::R).clone(),
         query.schema(bistream::types::rel::Rel::S).clone(),
     );
+
+    let input: Box<dyn BufRead> = if input_path == "-" {
+        Box::new(BufReader::new(std::io::stdin()))
+    } else {
+        Box::new(BufReader::new(std::fs::File::open(&input_path)?))
+    };
+    let sink: Box<dyn Write> = if output_path == "-" {
+        Box::new(BufWriter::new(std::io::stdout()))
+    } else {
+        Box::new(BufWriter::new(std::fs::File::create(&output_path)?))
+    };
+    let writer = ResultWriter::new(sink);
+
+    if let CliBackend::Live(b) = backend {
+        return run_live(b, &query, &reader, input, writer, slo, &bundle_path);
+    }
 
     // Observability rides along only when an SLO was requested — the
     // journal and scrape series cost memory proportional to the run.
@@ -55,18 +76,7 @@ fn run(args: &[String]) -> Result<i32, Box<dyn std::error::Error>> {
         s
     });
 
-    let input: Box<dyn BufRead> = if input_path == "-" {
-        Box::new(BufReader::new(std::io::stdin()))
-    } else {
-        Box::new(BufReader::new(std::fs::File::open(&input_path)?))
-    };
-    let sink: Box<dyn Write> = if output_path == "-" {
-        Box::new(BufWriter::new(std::io::stdout()))
-    } else {
-        Box::new(BufWriter::new(std::fs::File::create(&output_path)?))
-    };
-    let mut writer = ResultWriter::new(sink);
-
+    let mut writer = writer;
     let mut next_punct = punct_every;
     let mut last_ts = 0;
     for (i, line) in input.lines().enumerate() {
@@ -120,36 +130,90 @@ fn run(args: &[String]) -> Result<i32, Box<dyn std::error::Error>> {
             &events,
             &[],
         );
-        if let Some(report) = &health.slo {
+        return grade_health(&health, &bundle_path);
+    }
+    Ok(0)
+}
+
+/// Replay the input flat-out through the live threaded pipeline on the
+/// chosen backend (broker queues or the sharded ring runtime). Live mode
+/// joins on arrival time: the file's virtual timestamps are replaced with
+/// the wall clock at ingest, and results are captured in memory until the
+/// pipeline drains.
+fn run_live(
+    backend: bistream::core::exec::Backend,
+    query: &JoinQuery,
+    reader: &CsvTupleReader,
+    input: Box<dyn BufRead>,
+    mut writer: ResultWriter<Box<dyn Write>>,
+    slo: Option<bistream::types::slo::SloSpec>,
+    bundle_path: &Option<String>,
+) -> Result<i32, Box<dyn std::error::Error>> {
+    let mut cfg = PipelineConfig::new(query.config().clone());
+    cfg.backend = backend;
+    cfg.capture_results = true;
+    cfg.slo = slo;
+    let pipe = Pipeline::launch(cfg)?;
+    for (i, line) in input.lines().enumerate() {
+        let line = line?;
+        let Some(tuple) = reader.parse_line(&line).map_err(|e| format!("line {}: {e}", i + 1))?
+        else {
+            continue;
+        };
+        query.validate(&tuple).map_err(|e| format!("line {}: {e}", i + 1))?;
+        pipe.ingest(&Tuple::new(tuple.rel(), pipe.now(), tuple.values().to_vec()))?;
+    }
+    let report = pipe.finish()?;
+    for result in &report.captured {
+        writer.write(result)?;
+    }
+    let written = writer.written();
+    writer.finish()?;
+    eprintln!(
+        "ingested {} tuples, emitted {written} results in {} ms ({:.0} tuples/s, {:.1} copies/tuple)",
+        report.snapshot.ingested,
+        report.elapsed_ms,
+        report.snapshot.ingested as f64 / (report.elapsed_ms.max(1) as f64 / 1_000.0),
+        report.snapshot.copies_per_tuple()
+    );
+    grade_health(&report.health, bundle_path)
+}
+
+/// Print the SLO and stall verdicts; on a breach write the
+/// flight-recorder bundle (when a path was given) and exit 3.
+fn grade_health(
+    health: &RunHealth,
+    bundle_path: &Option<String>,
+) -> Result<i32, Box<dyn std::error::Error>> {
+    if let Some(report) = &health.slo {
+        eprintln!(
+            "SLO: {} objective(s) over {} ms, availability {:.1}%",
+            report.objectives.len(),
+            report.elapsed_ms,
+            report.availability_pct()
+        );
+        for alert in &report.alerts {
             eprintln!(
-                "SLO: {} objective(s) over {} ms, availability {:.1}%",
-                report.objectives.len(),
-                report.elapsed_ms,
-                report.availability_pct()
-            );
-            for alert in &report.alerts {
-                eprintln!(
-                    "SLO ALERT {}: {} burned (fast {:.1}x, slow {:.1}x) at {} ms",
-                    alert.alert, alert.objective, alert.fast_burn, alert.slow_burn, alert.at_ms
-                );
-            }
-        }
-        for stall in &health.stalls {
-            eprintln!(
-                "STALL {}: {} frozen for {} ticks with {} buffered",
-                stall.kind.label(),
-                stall.unit,
-                stall.ticks,
-                stall.buffered
+                "SLO ALERT {}: {} burned (fast {:.1}x, slow {:.1}x) at {} ms",
+                alert.alert, alert.objective, alert.fast_burn, alert.slow_burn, alert.at_ms
             );
         }
-        if health.breached() {
-            if let (Some(path), Some(bundle)) = (&bundle_path, &health.bundle) {
-                std::fs::write(path, bundle.to_json())?;
-                eprintln!("flight-recorder bundle written to {path}");
-            }
-            return Ok(3);
+    }
+    for stall in &health.stalls {
+        eprintln!(
+            "STALL {}: {} frozen for {} ticks with {} buffered",
+            stall.kind.label(),
+            stall.unit,
+            stall.ticks,
+            stall.buffered
+        );
+    }
+    if health.breached() {
+        if let (Some(path), Some(bundle)) = (bundle_path, &health.bundle) {
+            std::fs::write(path, bundle.to_json())?;
+            eprintln!("flight-recorder bundle written to {path}");
         }
+        return Ok(3);
     }
     Ok(0)
 }

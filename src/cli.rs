@@ -14,6 +14,7 @@
 //! rules are unit-testable.
 
 use bistream_core::config::RoutingStrategy;
+use bistream_core::exec::Backend;
 use bistream_core::query::{JoinQuery, QueryBuilder};
 use bistream_types::error::{Error, Result};
 use bistream_types::predicate::CmpOp;
@@ -49,6 +50,22 @@ pub struct CliOptions {
     /// Where to write the flight-recorder bundle on an SLO breach
     /// (`--slo-bundle`).
     pub slo_bundle: Option<String>,
+    /// Execution substrate (`--backend sim|broker|sharded`).
+    pub backend: CliBackend,
+}
+
+/// Which execution substrate runs the join.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CliBackend {
+    /// The deterministic in-process engine driven on virtual time from
+    /// the tuple timestamps (the default, and the only mode where
+    /// `--window-ms` and the SLO grades are exact).
+    #[default]
+    Sim,
+    /// The live threaded pipeline on the wrapped execution backend
+    /// (broker queues or the sharded ring runtime); tuples are re-stamped
+    /// with wall-clock arrival time.
+    Live(Backend),
 }
 
 /// A join condition as written on the command line.
@@ -116,6 +133,7 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions> {
     let mut slo_p99_ms = None;
     let mut slo_min_rate = None;
     let mut slo_bundle = None;
+    let mut backend = CliBackend::default();
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -201,6 +219,18 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions> {
                 )
             }
             "--slo-bundle" => slo_bundle = Some(value("--slo-bundle")?),
+            "--backend" => {
+                backend = match value("--backend")?.as_str() {
+                    "sim" => CliBackend::Sim,
+                    "broker" => CliBackend::Live(Backend::Broker),
+                    "sharded" => CliBackend::Live(Backend::Sharded),
+                    other => {
+                        return Err(Error::Config(format!(
+                            "unknown backend `{other}` (sim, broker or sharded)"
+                        )))
+                    }
+                }
+            }
             other => return Err(Error::Config(format!("unknown flag `{other}` (see --help)"))),
         }
     }
@@ -222,6 +252,7 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions> {
         slo_p99_ms,
         slo_min_rate,
         slo_bundle,
+        backend,
     })
 }
 
@@ -273,8 +304,18 @@ USAGE:
            (--on-equal A=B | --on-band A=B:EPS | --on-theta 'A<B' | --cross)
            [--window-ms MS | --full-history] [--joiners NxM]
            [--routing random|hash|contrand:D] [--batch-size N]
+           [--backend sim|broker|sharded]
            [--input FILE] [--output FILE]
            [--slo-p99-ms MS] [--slo-min-rate TPS] [--slo-bundle FILE]
+
+BACKENDS:
+  sim (default)   deterministic in-process engine on virtual time from
+                  the tuple timestamps — exact windows, exact SLO grades.
+  broker          live threaded pipeline over broker queues.
+  sharded         live lock-free sharded runtime (one worker per unit
+                  over bounded ring queues) — the throughput backend.
+  The live backends replay flat-out and re-stamp tuples with wall-clock
+  arrival time, so --window-ms is interpreted on the wall clock.
 
 SLO GRADING (virtual time, from tuple timestamps):
   --slo-p99-ms MS     p99 result-latency ceiling; --slo-min-rate TPS an
@@ -376,6 +417,20 @@ mod tests {
             "--r-schema o:v:int --s-schema p:w:int --on-equal v=w --slo-p99-ms nope"
         ))
         .is_err());
+    }
+
+    #[test]
+    fn backend_flag_selects_the_substrate() {
+        let base = "--r-schema o:v:int --s-schema p:w:int --on-equal v=w";
+        let opts = parse_args(&argv(base)).unwrap();
+        assert_eq!(opts.backend, CliBackend::Sim, "sim is the default");
+        let opts = parse_args(&argv(&format!("{base} --backend sharded"))).unwrap();
+        assert_eq!(opts.backend, CliBackend::Live(Backend::Sharded));
+        let opts = parse_args(&argv(&format!("{base} --backend broker"))).unwrap();
+        assert_eq!(opts.backend, CliBackend::Live(Backend::Broker));
+        let opts = parse_args(&argv(&format!("{base} --backend sim"))).unwrap();
+        assert_eq!(opts.backend, CliBackend::Sim);
+        assert!(parse_args(&argv(&format!("{base} --backend gpu"))).is_err());
     }
 
     #[test]

@@ -742,3 +742,103 @@ proptest! {
         }
     }
 }
+
+// Backend-equivalence properties spin up real threaded pipelines (two
+// backends × three batch sizes per case), so they run far fewer cases
+// than the in-process properties above.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The pluggable-backend contract: for any key stream and every
+    /// framing size {1, 7, 64}, the broker-queue pipeline and the
+    /// lock-free sharded ring runtime produce the *identical ordered*
+    /// result sequence, the same trace span totals, and a clean invariant
+    /// audit — and both match the brute-force reference join. A single
+    /// router plus the ordering protocol pins each joiner's release order
+    /// to the ingest sequence, so backend equality is exact sequence
+    /// equality, not just multiset equality.
+    #[test]
+    fn broker_and_sharded_backends_are_observationally_equivalent(
+        ops in prop::collection::vec((any::<bool>(), 0i64..8), 24..72),
+    ) {
+        use bistream::core::config::EngineConfig;
+        use bistream::core::exec::{Backend, Pipeline, PipelineConfig};
+        use bistream::types::audit::Auditor;
+
+        // Identity = the unique payload id in attribute 1: the live
+        // pipelines stamp wall-clock timestamps, which differ between the
+        // two runs, so tuple identity must not depend on `ts`.
+        let payload_id = |t: &Tuple| match t.get(1) {
+            Some(Value::Int(i)) => *i,
+            other => panic!("payload id attribute: {other:?}"),
+        };
+        let mut expect: Vec<(i64, i64)> = Vec::new();
+        for (i, (r_side, rk)) in ops.iter().enumerate() {
+            if !r_side {
+                continue;
+            }
+            for (j, (s_side, sk)) in ops.iter().enumerate() {
+                if !s_side && rk == sk {
+                    expect.push((i as i64, j as i64));
+                }
+            }
+        }
+        expect.sort_unstable();
+
+        for &batch in &[1usize, 7, 64] {
+            let mut runs: Vec<(Vec<(i64, i64)>, usize, u64)> = Vec::new();
+            for backend in [Backend::Broker, Backend::Sharded] {
+                let mut engine = EngineConfig::default_equi();
+                // Wide window: the run lasts milliseconds, so nothing
+                // expires and the reference join is exact.
+                engine.window = WindowSpec::sliding(600_000);
+                engine.batch_size = batch;
+                let mut c = PipelineConfig::new(engine);
+                c.routers = 1;
+                c.backend = backend;
+                c.capture_results = true;
+                c.trace_one_in = Some(5);
+                let auditor = Auditor::new();
+                c.auditor = Some(auditor.clone());
+                let p = Pipeline::launch(c).unwrap();
+                for (i, (r_side, key)) in ops.iter().enumerate() {
+                    let rel = if *r_side { Rel::R } else { Rel::S };
+                    p.ingest(&Tuple::new(
+                        rel,
+                        p.now(),
+                        vec![Value::Int(*key), Value::Int(i as i64)],
+                    ))
+                    .unwrap();
+                }
+                let report = p.finish().unwrap();
+                auditor.assert_clean();
+                let ordered: Vec<(i64, i64)> = report
+                    .captured
+                    .iter()
+                    .map(|res| (payload_id(&res.r), payload_id(&res.s)))
+                    .collect();
+                let spans: usize = report.traces.iter().map(|t| t.spans.len()).sum();
+                runs.push((ordered, spans, report.snapshot.results));
+            }
+            let (sharded_run, broker_run) = (runs.pop().unwrap(), runs.pop().unwrap());
+            let mut multiset = broker_run.0.clone();
+            multiset.sort_unstable();
+            prop_assert_eq!(
+                &multiset, &expect,
+                "batch {}: captured results vs brute-force reference", batch
+            );
+            prop_assert_eq!(
+                &broker_run.0, &sharded_run.0,
+                "batch {}: ordered result sequences diverge across backends", batch
+            );
+            prop_assert_eq!(
+                broker_run.1, sharded_run.1,
+                "batch {}: trace span totals diverge across backends", batch
+            );
+            prop_assert_eq!(
+                broker_run.2, sharded_run.2,
+                "batch {}: result counters diverge across backends", batch
+            );
+        }
+    }
+}
