@@ -43,6 +43,7 @@
 //! - [`stats`] — engine-wide observability.
 
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod cascade;
 pub mod chaos;

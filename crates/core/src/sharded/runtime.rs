@@ -405,6 +405,7 @@ struct JoinerWorker {
     joiner: JoinerCore,
     rings: Vec<SpscConsumer<BatchMessage>>,
     obs: Arc<RingObs>,
+    // protocol: field stall acquire-load / release-store
     stall: Arc<AtomicBool>,
     ctx: WorkerCtx,
     capture: bool,
@@ -418,8 +419,9 @@ impl JoinerWorker {
         loop {
             if self.stall.load(Ordering::Acquire) {
                 let held = Instant::now();
+                let mut waited = 0u32;
                 while self.stall.load(Ordering::Acquire) {
-                    std::thread::park_timeout(IDLE_PARK);
+                    idle_wait(&mut waited);
                 }
                 self.obs.stall_ms.add(held.elapsed().as_millis() as u64);
                 continue;

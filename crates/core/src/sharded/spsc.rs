@@ -2,7 +2,9 @@
 //!
 //! Two shapes, both std-only (no `crossbeam`, no locks — this file is
 //! tagged as a sharded-runtime hot path in `xtask.allow`, so `cargo
-//! xtask lint` rule 7 rejects any `Mutex`/`RwLock` here):
+//! xtask lint` rule 7 rejects any `Mutex`/`RwLock` here, and `cargo
+//! xtask analyze` enforces the per-field ordering protocols declared
+//! next to each atomic below):
 //!
 //! - [`spsc`]: a single-producer single-consumer ring with plain
 //!   acquire/release head/tail counters. One of these backs every
@@ -11,6 +13,12 @@
 //!   channel *is* a ring, and a ring cannot reorder.
 //! - [`mpmc`]: a Vyukov-style slot-sequence ring for the competing
 //!   consumer ingest edge (one pipeline feeder, N router workers).
+//!
+//! Both rings round capacity up to a power of two and index with a mask
+//! over monotonically wrapping `usize` counters, so position arithmetic
+//! stays consistent even across the `usize` wraparound boundary (the
+//! mask divides `usize::MAX + 1`); sequence comparisons in the Vyukov
+//! ring use signed differences for the same reason.
 //!
 //! Blocking is adaptive and lock-free: spin a few dozen iterations, then
 //! yield, then `park_timeout` in short slices. No waker handshake is
@@ -36,6 +44,8 @@ const YIELD_LIMIT: u32 = 16;
 const PARK_SLICE: Duration = Duration::from_micros(100);
 
 /// One step of the adaptive wait: spin, then yield, then park briefly.
+/// The bounded park slice is what makes waiting here sound without a
+/// waker handshake; this is a `parkok`-audited backoff helper.
 fn backoff(attempt: &mut u32) {
     *attempt = attempt.saturating_add(1);
     if *attempt <= SPIN_LIMIT {
@@ -53,28 +63,41 @@ fn backoff(attempt: &mut u32) {
 
 struct SpscShared<T> {
     buf: Box<[UnsafeCell<MaybeUninit<T>>]>,
-    cap: usize,
+    /// Capacity minus one; capacity is a power of two, so `pos & mask`
+    /// indexes consistently even when the counters wrap `usize`.
+    mask: usize,
     /// Consumer position (next slot to read).
+    // protocol: field head relaxed-load / acquire-load / release-store
     head: CachePadded<AtomicUsize>,
     /// Producer position (next slot to write).
+    // protocol: field tail relaxed-load / acquire-load / release-store
     tail: CachePadded<AtomicUsize>,
+    // protocol: field closed acquire-load / release-store
     closed: AtomicBool,
 }
 
-// Safety: the ring hands out exactly one Producer and one Consumer; all
-// slot access is fenced by the acquire/release head/tail protocol below.
+// SAFETY: the ring hands out exactly one Producer and one Consumer; all
+// slot access is fenced by the acquire/release head/tail protocol above,
+// so a `T: Send` value only ever moves between threads, never aliases.
 unsafe impl<T: Send> Send for SpscShared<T> {}
+// SAFETY: shared access is limited to the atomic counters plus slots the
+// head/tail protocol proves exclusive, so `&SpscShared` is safe to share
+// between the one producer and one consumer thread.
 unsafe impl<T: Send> Sync for SpscShared<T> {}
 
 impl<T> Drop for SpscShared<T> {
     fn drop(&mut self) {
-        // Sole owner at this point; drop whatever is still queued.
-        let head = self.head.0.load(Ordering::Relaxed);
+        // Sole owner at this point; drop whatever is still queued. The
+        // walk uses wrapping increments so a window that straddles the
+        // `usize` boundary (head > tail numerically) still terminates.
+        let mut head = self.head.0.load(Ordering::Relaxed);
         let tail = self.tail.0.load(Ordering::Relaxed);
-        for i in head..tail {
-            let slot = &self.buf[i % self.cap];
-            // Safety: slots in [head, tail) were written and never read.
+        while head != tail {
+            let slot = &self.buf[head & self.mask];
+            // SAFETY: slots in [head, tail) were written and never read,
+            // and `&mut self` proves no other thread can touch them.
             unsafe { (*slot.get()).assume_init_drop() };
+            head = head.wrapping_add(1);
         }
     }
 }
@@ -89,17 +112,24 @@ pub struct SpscConsumer<T> {
     shared: Arc<SpscShared<T>>,
 }
 
-/// A bounded single-producer single-consumer ring of `capacity` slots
-/// (minimum 2). FIFO per construction; no allocation after creation.
+/// A bounded single-producer single-consumer ring. Capacity is rounded
+/// up to a power of two (minimum 1). FIFO per construction; no
+/// allocation after creation.
 pub fn spsc<T>(capacity: usize) -> (SpscProducer<T>, SpscConsumer<T>) {
-    let cap = capacity.max(2);
+    spsc_with_origin(capacity, 0)
+}
+
+/// [`spsc`] with both counters starting at `origin` — lets tests place
+/// the ring right below the `usize` wraparound boundary.
+fn spsc_with_origin<T>(capacity: usize, origin: usize) -> (SpscProducer<T>, SpscConsumer<T>) {
+    let cap = capacity.max(1).next_power_of_two();
     let buf: Box<[UnsafeCell<MaybeUninit<T>>]> =
         (0..cap).map(|_| UnsafeCell::new(MaybeUninit::uninit())).collect();
     let shared = Arc::new(SpscShared {
         buf,
-        cap,
-        head: CachePadded(AtomicUsize::new(0)),
-        tail: CachePadded(AtomicUsize::new(0)),
+        mask: cap - 1,
+        head: CachePadded(AtomicUsize::new(origin)),
+        tail: CachePadded(AtomicUsize::new(origin)),
         closed: AtomicBool::new(false),
     });
     (SpscProducer { shared: Arc::clone(&shared) }, SpscConsumer { shared })
@@ -116,11 +146,11 @@ impl<T> SpscProducer<T> {
         }
         let tail = s.tail.0.load(Ordering::Relaxed);
         let head = s.head.0.load(Ordering::Acquire);
-        if tail.wrapping_sub(head) == s.cap {
-            return Err(value);
+        if tail.wrapping_sub(head) > s.mask {
+            return Err(value); // full: the window already spans capacity
         }
-        let slot = &s.buf[tail % s.cap];
-        // Safety: slot at `tail` is outside [head, tail), i.e. empty, and
+        let slot = &s.buf[tail & s.mask];
+        // SAFETY: slot at `tail` is outside [head, tail), i.e. empty, and
         // only this (single) producer writes slots.
         unsafe { (*slot.get()).write(value) };
         s.tail.0.store(tail.wrapping_add(1), Ordering::Release);
@@ -174,8 +204,8 @@ impl<T> SpscConsumer<T> {
         if head == tail {
             return None;
         }
-        let slot = &s.buf[head % s.cap];
-        // Safety: slot at `head` is inside [head, tail), i.e. written and
+        let slot = &s.buf[head & s.mask];
+        // SAFETY: slot at `head` is inside [head, tail), i.e. written and
         // unread, and only this (single) consumer reads slots.
         let value = unsafe { (*slot.get()).assume_init_read() };
         s.head.0.store(head.wrapping_add(1), Ordering::Release);
@@ -223,6 +253,10 @@ impl<T> SpscConsumer<T> {
 // ---------------------------------------------------------------------
 
 struct McSlot<T> {
+    /// Slot state: `pos` ⇒ empty and claimable by the enqueuer at `pos`;
+    /// `pos + 1` ⇒ written, claimable by the dequeuer at `pos`;
+    /// `pos + cap` ⇒ read, claimable by the enqueuer at `pos + cap`.
+    // protocol: field seq relaxed-load / acquire-load / release-store
     seq: AtomicUsize,
     value: UnsafeCell<MaybeUninit<T>>,
 }
@@ -230,29 +264,40 @@ struct McSlot<T> {
 struct MpmcShared<T> {
     buf: Box<[McSlot<T>]>,
     mask: usize,
+    // protocol: field enqueue_pos relaxed-load / relaxed-rmw
     enqueue_pos: CachePadded<AtomicUsize>,
+    // protocol: field dequeue_pos relaxed-load / relaxed-rmw
     dequeue_pos: CachePadded<AtomicUsize>,
+    // Covered by the `closed` protocol header on `SpscShared` (headers
+    // bind per file by field name): acquire-load / release-store.
     closed: AtomicBool,
 }
 
-// Safety: slot hand-off is fenced by the per-slot sequence protocol.
+// SAFETY: slot hand-off is fenced by the per-slot sequence protocol, so a
+// `T: Send` value moves between threads with exclusive access at every
+// step; the handle types only expose that protocol.
 unsafe impl<T: Send> Send for MpmcShared<T> {}
+// SAFETY: shared access goes through the atomic positions and per-slot
+// sequences; a slot's value is only touched by the thread whose CAS won
+// that position, so sharing `&MpmcShared` across threads is sound.
 unsafe impl<T: Send> Sync for MpmcShared<T> {}
 
 impl<T> Drop for MpmcShared<T> {
     fn drop(&mut self) {
-        // Sole owner; drop slots still holding a written, unread value
-        // (their sequence reads pos + 1).
-        for (i, slot) in self.buf.iter().enumerate() {
-            let seq = slot.seq.load(Ordering::Relaxed);
-            let pos = self.dequeue_pos.0.load(Ordering::Relaxed);
-            // A slot at index i is full when its seq is one past some
-            // enqueue position p with p & mask == i and p >= dequeue_pos.
-            if seq == i.wrapping_add(1) && i >= pos & self.mask {
-                // Conservative: only the simple non-wrapped case matters
-                // in practice (shutdown drains rings before drop).
+        // Sole owner: the occupied slots are exactly the positions in
+        // [dequeue_pos, enqueue_pos) whose sequence reads `pos + 1`
+        // (written, not yet read — a skipped sequence means a producer
+        // claimed the position but never completed the write).
+        let mut pos = self.dequeue_pos.0.load(Ordering::Relaxed);
+        let end = self.enqueue_pos.0.load(Ordering::Relaxed);
+        while pos != end {
+            let slot = &self.buf[pos & self.mask];
+            if slot.seq.load(Ordering::Relaxed) == pos.wrapping_add(1) {
+                // SAFETY: `&mut self` proves exclusive access, and the
+                // sequence says the slot holds a written, unread value.
                 unsafe { (*slot.value.get()).assume_init_drop() };
             }
+            pos = pos.wrapping_add(1);
         }
     }
 }
@@ -280,18 +325,32 @@ impl<T> Clone for MpmcConsumer<T> {
 }
 
 /// A bounded multi-producer multi-consumer ring. Capacity is rounded up
-/// to a power of two (minimum 2). Per-producer FIFO holds; competing
+/// to a power of two (minimum 2 — with a single slot the sequence values
+/// for "full at `pos`" and "empty at `pos + 1`" coincide, so the Vyukov
+/// scheme cannot disambiguate them). Per-producer FIFO holds; competing
 /// consumers interleave.
 pub fn mpmc<T>(capacity: usize) -> (MpmcProducer<T>, MpmcConsumer<T>) {
+    mpmc_with_origin(capacity, 0)
+}
+
+/// [`mpmc`] with both positions starting at `origin` — lets tests place
+/// the ring right below the `usize` wraparound boundary.
+fn mpmc_with_origin<T>(capacity: usize, origin: usize) -> (MpmcProducer<T>, MpmcConsumer<T>) {
     let cap = capacity.max(2).next_power_of_two();
+    let mask = cap - 1;
+    // Slot j expects the first enqueue position p ≥ origin with
+    // p & mask == j, i.e. origin plus j's offset within the first lap.
     let buf: Box<[McSlot<T>]> = (0..cap)
-        .map(|i| McSlot { seq: AtomicUsize::new(i), value: UnsafeCell::new(MaybeUninit::uninit()) })
+        .map(|j| McSlot {
+            seq: AtomicUsize::new(origin.wrapping_add(j.wrapping_sub(origin) & mask)),
+            value: UnsafeCell::new(MaybeUninit::uninit()),
+        })
         .collect();
     let shared = Arc::new(MpmcShared {
         buf,
-        mask: cap - 1,
-        enqueue_pos: CachePadded(AtomicUsize::new(0)),
-        dequeue_pos: CachePadded(AtomicUsize::new(0)),
+        mask,
+        enqueue_pos: CachePadded(AtomicUsize::new(origin)),
+        dequeue_pos: CachePadded(AtomicUsize::new(origin)),
         closed: AtomicBool::new(false),
     });
     (MpmcProducer { shared: Arc::clone(&shared) }, MpmcConsumer { shared })
@@ -309,7 +368,10 @@ impl<T> MpmcProducer<T> {
         loop {
             let slot = &s.buf[pos & s.mask];
             let seq = slot.seq.load(Ordering::Acquire);
-            if seq == pos {
+            // Signed distance keeps the comparison meaningful when the
+            // positions wrap the usize range.
+            let dist = seq.wrapping_sub(pos) as isize;
+            if dist == 0 {
                 match s.enqueue_pos.0.compare_exchange_weak(
                     pos,
                     pos.wrapping_add(1),
@@ -317,7 +379,7 @@ impl<T> MpmcProducer<T> {
                     Ordering::Relaxed,
                 ) {
                     Ok(_) => {
-                        // Safety: winning the CAS gives this producer
+                        // SAFETY: winning the CAS gives this producer
                         // exclusive write access to the slot.
                         unsafe { (*slot.value.get()).write(value) };
                         slot.seq.store(pos.wrapping_add(1), Ordering::Release);
@@ -325,7 +387,7 @@ impl<T> MpmcProducer<T> {
                     }
                     Err(actual) => pos = actual,
                 }
-            } else if seq < pos {
+            } else if dist < 0 {
                 return Err(value); // full
             } else {
                 pos = s.enqueue_pos.0.load(Ordering::Relaxed);
@@ -373,8 +435,9 @@ impl<T> MpmcConsumer<T> {
         loop {
             let slot = &s.buf[pos & s.mask];
             let seq = slot.seq.load(Ordering::Acquire);
-            let expected = pos.wrapping_add(1);
-            if seq == expected {
+            // Signed distance from the "written" state; see `try_push`.
+            let dist = seq.wrapping_sub(pos.wrapping_add(1)) as isize;
+            if dist == 0 {
                 match s.dequeue_pos.0.compare_exchange_weak(
                     pos,
                     pos.wrapping_add(1),
@@ -382,7 +445,7 @@ impl<T> MpmcConsumer<T> {
                     Ordering::Relaxed,
                 ) {
                     Ok(_) => {
-                        // Safety: winning the CAS gives this consumer
+                        // SAFETY: winning the CAS gives this consumer
                         // exclusive read access to the slot.
                         let value = unsafe { (*slot.value.get()).assume_init_read() };
                         slot.seq.store(pos.wrapping_add(s.mask).wrapping_add(1), Ordering::Release);
@@ -390,7 +453,7 @@ impl<T> MpmcConsumer<T> {
                     }
                     Err(actual) => pos = actual,
                 }
-            } else if seq < expected {
+            } else if dist < 0 {
                 return None; // empty
             } else {
                 pos = s.dequeue_pos.0.load(Ordering::Relaxed);
@@ -435,6 +498,16 @@ impl<T> MpmcConsumer<T> {
 mod tests {
     use super::*;
 
+    /// Cross-thread volumes shrink under Miri, which interprets every
+    /// memory access; the interleavings it explores don't need bulk.
+    fn volume(n: u64) -> u64 {
+        if cfg!(miri) {
+            n.min(300)
+        } else {
+            n
+        }
+    }
+
     #[test]
     fn spsc_is_fifo_single_threaded() {
         let (mut tx, mut rx) = spsc::<u64>(4);
@@ -469,9 +542,91 @@ mod tests {
     }
 
     #[test]
+    fn capacity_one_rings_disambiguate_full_from_empty() {
+        // With one slot, "full" and "empty" meet: both mean head and tail
+        // point at the same slot. The absolute counters (spsc) and the
+        // slot sequence (mpmc) must still tell them apart.
+        let (mut tx, mut rx) = spsc::<u64>(1);
+        assert_eq!(rx.try_pop(), None, "empty at start");
+        assert!(tx.try_push(1).is_ok());
+        assert_eq!(tx.try_push(2), Err(2), "full at one element");
+        assert_eq!(rx.try_pop(), Some(1));
+        assert_eq!(rx.try_pop(), None, "empty again after drain");
+
+        // The Vyukov ring rounds a capacity-1 request up to 2: one slot
+        // cannot disambiguate "full at pos" from "empty at pos + 1" (the
+        // sequence values coincide). Full/empty must still be exact at
+        // the rounded capacity.
+        let (tx, rx) = mpmc::<u64>(1);
+        assert_eq!(rx.try_pop(), None, "empty at start");
+        assert!(tx.try_push(1).is_ok());
+        assert!(tx.try_push(2).is_ok(), "rounded up to two slots");
+        assert_eq!(tx.try_push(3), Err(3), "full at rounded capacity");
+        assert_eq!(rx.try_pop(), Some(1));
+        assert_eq!(rx.try_pop(), Some(2));
+        assert_eq!(rx.try_pop(), None, "empty again after drain");
+    }
+
+    #[test]
+    fn spsc_survives_index_wraparound_past_the_usize_window() {
+        // Counters start five positions below usize::MAX and run well
+        // past it; masked indexing must stay continuous across the wrap.
+        let (mut tx, mut rx) = spsc_with_origin::<u64>(4, usize::MAX - 5);
+        for lap in 0..16u64 {
+            assert!(tx.try_push(lap).is_ok());
+            assert!(tx.try_push(lap + 100).is_ok());
+            assert_eq!(rx.try_pop(), Some(lap));
+            assert_eq!(rx.try_pop(), Some(lap + 100));
+        }
+        assert_eq!(rx.try_pop(), None);
+        // A full window straddling the boundary still refuses pushes.
+        let (mut tx, mut rx) = spsc_with_origin::<u64>(4, usize::MAX - 1);
+        for i in 0..4 {
+            assert!(tx.try_push(i).is_ok());
+        }
+        assert_eq!(tx.try_push(9), Err(9), "full across the boundary");
+        for i in 0..4 {
+            assert_eq!(rx.try_pop(), Some(i));
+        }
+        assert_eq!(rx.try_pop(), None);
+    }
+
+    #[test]
+    fn mpmc_survives_index_wraparound_past_the_usize_window() {
+        let (tx, rx) = mpmc_with_origin::<u64>(4, usize::MAX - 5);
+        for lap in 0..16u64 {
+            assert!(tx.try_push(lap).is_ok());
+            assert_eq!(rx.try_pop(), Some(lap));
+        }
+        assert_eq!(rx.try_pop(), None);
+        let (tx, rx) = mpmc_with_origin::<u64>(4, usize::MAX - 1);
+        for i in 0..4 {
+            assert!(tx.try_push(i).is_ok());
+        }
+        assert_eq!(tx.try_push(9), Err(9), "full across the boundary");
+        for i in 0..4 {
+            assert_eq!(rx.try_pop(), Some(i));
+        }
+        assert_eq!(rx.try_pop(), None);
+    }
+
+    #[test]
+    fn producer_drop_wakes_a_parked_consumer() {
+        let (tx, mut rx) = spsc::<u64>(2);
+        let consumer = std::thread::spawn(move || rx.pop_blocking());
+        // Give the consumer time to exhaust its spin/yield phases and
+        // reach the parked slice of the backoff. Dropping the producer
+        // then closes the ring, and the bounded park timeout guarantees
+        // the consumer re-checks and sees end-of-stream.
+        std::thread::sleep(Duration::from_millis(2));
+        drop(tx);
+        assert_eq!(consumer.join().expect("consumer thread"), None);
+    }
+
+    #[test]
     fn spsc_cross_thread_preserves_order_under_backpressure() {
         let (mut tx, mut rx) = spsc::<u64>(8);
-        let n = 10_000u64;
+        let n = volume(10_000);
         let producer = std::thread::spawn(move || {
             for i in 0..n {
                 tx.push_blocking(i).expect("consumer alive");
@@ -507,6 +662,31 @@ mod tests {
     }
 
     #[test]
+    fn mpmc_drops_queued_values_on_ring_drop_even_when_wrapped() {
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct Counted;
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        {
+            // Advance a lap so the queued window sits on reused slots,
+            // then leave two values in flight when the ring drops.
+            let (tx, rx) = mpmc::<Counted>(4);
+            for _ in 0..4 {
+                tx.try_push(Counted).ok();
+                drop(rx.try_pop());
+            }
+            tx.try_push(Counted).ok();
+            tx.try_push(Counted).ok();
+            drop(tx);
+            drop(rx);
+        }
+        assert_eq!(DROPS.load(Ordering::SeqCst), 6);
+    }
+
+    #[test]
     fn mpmc_is_fifo_single_threaded() {
         let (tx, rx) = mpmc::<u64>(4);
         for i in 0..4 {
@@ -522,7 +702,7 @@ mod tests {
     #[test]
     fn mpmc_competing_consumers_partition_the_stream() {
         let (tx, rx) = mpmc::<u64>(16);
-        let n = 20_000u64;
+        let n = volume(20_000);
         let consumers: Vec<_> = (0..3)
             .map(|_| {
                 let rx = rx.clone();

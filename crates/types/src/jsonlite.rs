@@ -17,7 +17,7 @@
 use crate::error::{Error, Result};
 
 /// Escape and double-quote a string for JSON output.
-pub(crate) fn json_str(s: &str) -> String {
+pub fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -39,7 +39,7 @@ pub(crate) fn json_str(s: &str) -> String {
 /// carry a `.` or exponent so the token parses back as [`Json::Float`].
 /// Non-finite values have no JSON representation and render as `0.0`
 /// (callers sanitize before emitting; this is the safety net).
-pub(crate) fn fmt_f64(v: f64) -> String {
+pub fn fmt_f64(v: f64) -> String {
     if !v.is_finite() {
         return "0.0".to_owned();
     }
@@ -51,19 +51,25 @@ pub(crate) fn fmt_f64(v: f64) -> String {
     }
 }
 
-/// Minimal internal JSON value for parsing our own artifact output. Not
-/// a general-purpose parser: enough for objects, arrays, strings,
+/// Minimal JSON value for parsing our own artifact output. Not a
+/// general-purpose parser: enough for objects, arrays, strings,
 /// non-negative integers and finite floats, which is all the codecs emit.
-pub(crate) enum Json {
+pub enum Json {
+    /// A non-negative integer token.
     Num(u64),
+    /// A finite float token (or a negative number).
     Float(f64),
+    /// A string literal, unescaped.
     Str(String),
+    /// An array of values, in source order.
     Arr(Vec<Json>),
+    /// An object as ordered key/value pairs (duplicates kept, first wins).
     Obj(Vec<(String, Json)>),
 }
 
 impl Json {
-    pub(crate) fn parse(text: &str) -> Result<Json> {
+    /// Parse one complete JSON value; trailing bytes are an error.
+    pub fn parse(text: &str) -> Result<Json> {
         let bytes = text.as_bytes();
         let mut pos = 0usize;
         let v = parse_value(bytes, &mut pos)?;
@@ -74,7 +80,8 @@ impl Json {
         Ok(v)
     }
 
-    pub(crate) fn field<'a>(&'a self, name: &str) -> Result<&'a Json> {
+    /// Look up `name` in an object; `Err` on missing field or non-object.
+    pub fn field<'a>(&'a self, name: &str) -> Result<&'a Json> {
         match self {
             Json::Obj(fields) => fields
                 .iter()
@@ -85,14 +92,16 @@ impl Json {
         }
     }
 
-    pub(crate) fn field_u64(&self, name: &str) -> Result<u64> {
+    /// Object field as a `u64`; `Err` if missing or not an integer.
+    pub fn field_u64(&self, name: &str) -> Result<u64> {
         match self.field(name)? {
             Json::Num(n) => Ok(*n),
             _ => Err(Error::Fault(format!("field `{name}` is not a number"))),
         }
     }
 
-    pub(crate) fn field_f64(&self, name: &str) -> Result<f64> {
+    /// Object field as an `f64` (integers widen); `Err` otherwise.
+    pub fn field_f64(&self, name: &str) -> Result<f64> {
         match self.field(name)? {
             Json::Float(f) => Ok(*f),
             Json::Num(n) => Ok(*n as f64),
@@ -100,21 +109,24 @@ impl Json {
         }
     }
 
-    pub(crate) fn field_str<'a>(&'a self, name: &str) -> Result<&'a str> {
+    /// Object field as a string slice; `Err` otherwise.
+    pub fn field_str<'a>(&'a self, name: &str) -> Result<&'a str> {
         match self.field(name)? {
             Json::Str(s) => Ok(s.as_str()),
             _ => Err(Error::Fault(format!("field `{name}` is not a string"))),
         }
     }
 
-    pub(crate) fn as_array(&self) -> Result<&[Json]> {
+    /// This value as an array slice; `Err` for any other shape.
+    pub fn as_array(&self) -> Result<&[Json]> {
         match self {
             Json::Arr(xs) => Ok(xs),
             _ => Err(Error::Fault("expected array".to_owned())),
         }
     }
 
-    pub(crate) fn as_str(&self) -> Result<&str> {
+    /// This value as a string slice; `Err` for any other shape.
+    pub fn as_str(&self) -> Result<&str> {
         match self {
             Json::Str(s) => Ok(s.as_str()),
             _ => Err(Error::Fault("expected string".to_owned())),

@@ -26,9 +26,9 @@ pub mod fault;
 pub mod hash;
 /// Bounded lock-free journal of typed runtime events.
 pub mod journal;
-// Dependency-free JSON codec shared by the artifact formats (fault plans,
-// breach bundles). Internal: artifacts expose `to_json`/`from_json`.
-mod jsonlite;
+/// Dependency-free byte-stable JSON codec shared by the artifact formats
+/// (fault plans, breach bundles, the static analyzer's unsafe ledger).
+pub mod jsonlite;
 /// The single source of truth for metric series names.
 pub mod metric_names;
 /// Counter/gauge/histogram primitives.

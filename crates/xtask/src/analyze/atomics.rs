@@ -1,0 +1,353 @@
+//! Atomics discipline for `lockfree`-tagged files.
+//!
+//! Three checks, all token-level and scoped to production code of files
+//! carrying a `lockfree` tag in `xtask.allow` (where the `load` / `store`
+//! / `fetch_*` vocabulary is reserved for atomics by construction):
+//!
+//! * every atomic operation spells its ordering as a literal
+//!   `Ordering::…` argument — no imported variants, no variables — so a
+//!   reviewer sees the ordering at the call site (`atomics-ordering`);
+//! * `SeqCst` never appears unless the file has a `seqcst` allowlist
+//!   entry: on the hot paths it is either a missing-fence bug wearing a
+//!   costume or an unjustified full fence (`atomics-seqcst`);
+//! * every atomic field declares its pairing protocol in a header comment
+//!   and every use of the field honors it (`atomics-protocol`):
+//!
+//!   ```text
+//!   // protocol: field head relaxed-load / acquire-load / release-store
+//!   ```
+//!
+//!   Specs are `<ordering>-<class>` with ordering one of `relaxed`,
+//!   `acquire`, `release`, `acqrel`, `seqcst` and class one of `load`,
+//!   `store`, `rmw`. An RMW may also use any ordering declared for loads
+//!   (a compare-exchange failure ordering is a load).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use super::SourceFile;
+use crate::scanner::Token;
+use crate::{Allowlist, Finding};
+
+/// Method names the pass treats as atomic loads.
+const LOAD_METHODS: [&str; 1] = ["load"];
+/// Method names the pass treats as atomic stores.
+const STORE_METHODS: [&str; 1] = ["store"];
+/// Method names the pass treats as atomic read-modify-writes.
+const RMW_METHODS: [&str; 12] = [
+    "swap",
+    "compare_exchange",
+    "compare_exchange_weak",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_nand",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_max",
+    "fetch_min",
+    "fetch_update",
+];
+
+/// Operation class of one atomic method call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OpClass {
+    Load,
+    Store,
+    Rmw,
+}
+
+impl OpClass {
+    fn of(method: &str) -> Option<OpClass> {
+        if LOAD_METHODS.contains(&method) {
+            Some(OpClass::Load)
+        } else if STORE_METHODS.contains(&method) {
+            Some(OpClass::Store)
+        } else if RMW_METHODS.contains(&method) {
+            Some(OpClass::Rmw)
+        } else {
+            None
+        }
+    }
+}
+
+/// Declared pairing protocol for one atomic field.
+#[derive(Debug, Default)]
+struct Protocol {
+    line: usize,
+    loads: BTreeSet<String>,
+    stores: BTreeSet<String>,
+    rmws: BTreeSet<String>,
+}
+
+impl Protocol {
+    fn allowed(&self, class: OpClass) -> BTreeSet<String> {
+        match class {
+            OpClass::Load => self.loads.clone(),
+            OpClass::Store => self.stores.clone(),
+            // RMW failure orderings are loads, so both sets apply.
+            OpClass::Rmw => self.rmws.union(&self.loads).cloned().collect(),
+        }
+    }
+}
+
+/// Map a protocol spec's ordering word to the `Ordering::` variant name.
+fn ordering_variant(word: &str) -> Option<&'static str> {
+    match word {
+        "relaxed" => Some("Relaxed"),
+        "acquire" => Some("Acquire"),
+        "release" => Some("Release"),
+        "acqrel" => Some("AcqRel"),
+        "seqcst" => Some("SeqCst"),
+        _ => None,
+    }
+}
+
+/// Parse `// protocol: field <name> <spec> [/ <spec> …]` headers out of a
+/// file's comments; malformed headers become findings rather than being
+/// silently ignored.
+fn parse_protocols(f: &SourceFile, findings: &mut Vec<Finding>) -> BTreeMap<String, Protocol> {
+    let mut out = BTreeMap::new();
+    for c in &f.scanned.comments {
+        let Some(rest) = c.text.strip_prefix("protocol:") else { continue };
+        let mut bad = |msg: String| {
+            findings.push(Finding {
+                rule: "atomics-protocol",
+                file: f.rel.clone(),
+                line: c.line,
+                message: msg,
+            });
+        };
+        let words: Vec<&str> = rest
+            .split(|ch: char| ch.is_whitespace() || ch == '/')
+            .filter(|w| !w.is_empty())
+            .collect();
+        if words.first() != Some(&"field") || words.len() < 3 {
+            bad(format!(
+                "malformed protocol header {:?}; expected `protocol: field <name> <spec> \
+                 [/ <spec>]`",
+                c.text
+            ));
+            continue;
+        }
+        let name = words[1].to_string();
+        let mut proto = Protocol { line: c.line, ..Protocol::default() };
+        let mut ok = true;
+        for spec in &words[2..] {
+            let parts: Vec<&str> = spec.split('-').collect();
+            let variant = parts.first().and_then(|w| ordering_variant(w));
+            match (variant, parts.get(1)) {
+                (Some(v), Some(&"load")) => {
+                    proto.loads.insert(v.to_string());
+                }
+                (Some(v), Some(&"store")) => {
+                    proto.stores.insert(v.to_string());
+                }
+                (Some(v), Some(&"rmw")) => {
+                    proto.rmws.insert(v.to_string());
+                }
+                _ => {
+                    bad(format!(
+                        "bad protocol spec `{spec}` for field `{name}`; expected \
+                         `<relaxed|acquire|release|acqrel|seqcst>-<load|store|rmw>`"
+                    ));
+                    ok = false;
+                }
+            }
+        }
+        if ok && out.insert(name.clone(), proto).is_some() {
+            bad(format!("duplicate protocol header for field `{name}`"));
+        }
+    }
+    out
+}
+
+/// Find declared atomic fields: `name: …Atomic…` (struct fields and
+/// struct-literal inits both match; duplicates collapse to the first
+/// line). Returns name → declaration line.
+fn declared_atomic_fields(f: &SourceFile) -> BTreeMap<String, usize> {
+    let toks = &f.scanned.tokens;
+    let mut out: BTreeMap<String, usize> = BTreeMap::new();
+    for i in 0..toks.len() {
+        if !f.prod(toks[i].line) {
+            continue;
+        }
+        let Token::Ident(name) = &toks[i].tok else { continue };
+        if !matches!(toks.get(i + 1).map(|s| &s.tok), Some(Token::Ch(':'))) {
+            continue;
+        }
+        // `name::path` is a path, not a field declaration.
+        if matches!(toks.get(i + 2).map(|s| &s.tok), Some(Token::Ch(':'))) {
+            continue;
+        }
+        // Scan the type / initializer window up to the next field or item
+        // boundary for an `Atomic*` identifier.
+        for s in toks.iter().skip(i + 2).take(16) {
+            match &s.tok {
+                Token::Ch(',') | Token::Ch(';') | Token::Ch('{') | Token::Ch('}') => break,
+                Token::Ident(t) if t.starts_with("Atomic") => {
+                    out.entry(name.clone()).or_insert(toks[i].line);
+                    break;
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+/// Collect `Ordering::X` variant names between `open` (an opening paren
+/// index) and its matching close paren. Returns the variants in argument
+/// order.
+fn ordering_args(toks: &[crate::scanner::Spanned], open: usize) -> Vec<String> {
+    let mut depth = 0usize;
+    let mut out = Vec::new();
+    let mut k = open;
+    while k < toks.len() {
+        match &toks[k].tok {
+            Token::Ch('(') => depth += 1,
+            Token::Ch(')') => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            Token::Ident(id) if id == "Ordering" => {
+                if let (Some(Token::Ch(':')), Some(Token::Ch(':')), Some(Token::Ident(v))) = (
+                    toks.get(k + 1).map(|s| &s.tok),
+                    toks.get(k + 2).map(|s| &s.tok),
+                    toks.get(k + 3).map(|s| &s.tok),
+                ) {
+                    out.push(v.clone());
+                }
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    out
+}
+
+/// Run the atomics-discipline pass over one lockfree-tagged file.
+pub fn check(f: &SourceFile, allow: &Allowlist) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let protocols = parse_protocols(f, &mut findings);
+    let fields = declared_atomic_fields(f);
+    let toks = &f.scanned.tokens;
+    let seqcst_ok = allow.seqcst.iter().any(|p| p == &f.rel);
+
+    // SeqCst anywhere in production code (arguments, fences, consts).
+    if !seqcst_ok {
+        for s in toks {
+            if f.prod(s.line) && matches!(&s.tok, Token::Ident(id) if id == "SeqCst") {
+                findings.push(Finding {
+                    rule: "atomics-seqcst",
+                    file: f.rel.clone(),
+                    line: s.line,
+                    message: "SeqCst in a lockfree-tagged file; use the weakest ordering the \
+                              protocol needs, or add a `seqcst` allowlist entry with the audit \
+                              trail"
+                        .to_string(),
+                });
+            }
+        }
+    }
+
+    // Per-call checks: explicit ordering + protocol conformance.
+    for i in 0..toks.len() {
+        if !f.prod(toks[i].line) {
+            continue;
+        }
+        let Token::Ident(method) = &toks[i].tok else { continue };
+        let Some(class) = OpClass::of(method) else { continue };
+        let preceded_by_dot = i > 0 && matches!(toks[i - 1].tok, Token::Ch('.'));
+        let open = i + 1;
+        let followed_by_call = matches!(toks.get(open).map(|s| &s.tok), Some(Token::Ch('(')));
+        if !preceded_by_dot || !followed_by_call {
+            continue;
+        }
+        let orderings = ordering_args(toks, open);
+        if orderings.is_empty() {
+            findings.push(Finding {
+                rule: "atomics-ordering",
+                file: f.rel.clone(),
+                line: toks[i].line,
+                message: format!(
+                    "atomic `{method}` without a literal `Ordering::…` argument; spell the \
+                     ordering at the call site"
+                ),
+            });
+            continue;
+        }
+        // Receiver field: `<field> . <method> (`, stepping back over
+        // tuple-index hops so `head.0.load(…)` — a cache-padded field —
+        // still binds to `head`.
+        let mut j = i - 1; // the `.` before the method
+        loop {
+            let mut k = j;
+            while k >= 1 && matches!(&toks[k - 1].tok, Token::Ch(c) if c.is_ascii_digit()) {
+                k -= 1;
+            }
+            if k < j && k >= 1 && matches!(toks[k - 1].tok, Token::Ch('.')) {
+                j = k - 1;
+            } else {
+                break;
+            }
+        }
+        let field = match (j >= 1).then(|| &toks[j - 1].tok) {
+            Some(Token::Ident(name)) => Some(name.clone()),
+            _ => None,
+        };
+        let Some(field) = field.filter(|name| fields.contains_key(name)) else { continue };
+        match protocols.get(&field) {
+            None => {
+                // Reported once per field below (missing header).
+            }
+            Some(proto) => {
+                let allowed = proto.allowed(class);
+                for ord in &orderings {
+                    if !allowed.contains(ord) {
+                        findings.push(Finding {
+                            rule: "atomics-protocol",
+                            file: f.rel.clone(),
+                            line: toks[i].line,
+                            message: format!(
+                                "field `{field}` {method} with Ordering::{ord}, but its protocol \
+                                 header (line {}) allows only {{{}}} for this class",
+                                proto.line,
+                                allowed.iter().cloned().collect::<Vec<_>>().join(", ")
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // Every declared atomic field needs a header; every header must name a
+    // real field.
+    for (name, line) in &fields {
+        if !protocols.contains_key(name) {
+            findings.push(Finding {
+                rule: "atomics-protocol",
+                file: f.rel.clone(),
+                line: *line,
+                message: format!(
+                    "atomic field `{name}` has no `// protocol: field {name} …` header declaring \
+                     its acquire/release pairing"
+                ),
+            });
+        }
+    }
+    for (name, proto) in &protocols {
+        if !fields.contains_key(name) {
+            findings.push(Finding {
+                rule: "atomics-protocol",
+                file: f.rel.clone(),
+                line: proto.line,
+                message: format!("protocol header names `{name}`, which is not an atomic field"),
+            });
+        }
+    }
+
+    findings
+}

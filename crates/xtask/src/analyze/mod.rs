@@ -1,0 +1,96 @@
+//! `cargo xtask analyze` — the deeper static passes over the lock-free
+//! runtime, run as a blocking CI gate next to `lint`.
+//!
+//! Four passes share one scan of the workspace sources:
+//!
+//! 1. **atomics discipline** ([`atomics`]) — in `lockfree`-tagged files
+//!    every atomic operation must spell its `Ordering::` out at the call
+//!    site, `SeqCst` is forbidden unless the file carries a `seqcst`
+//!    allowlist entry, and each synchronization field's declared
+//!    `// protocol:` header is cross-checked against every load, store
+//!    and RMW of that field.
+//! 2. **unsafe ledger** ([`ledger`]) — every `unsafe` block / fn / impl
+//!    needs an adjacent `// SAFETY:` comment, and the committed
+//!    `UNSAFE_LEDGER.json` must match the tree byte-for-byte so new
+//!    unsafe fails review until `cargo xtask analyze --update-ledger` is
+//!    run consciously.
+//! 3. **blocking reachability** ([`reach`]) — a token-level call graph
+//!    over the workspace proves no function reachable from a
+//!    lockfree-tagged entry point calls a blocking primitive
+//!    (`Condvar::wait`, `push_blocking`, `mpsc` receives,
+//!    `thread::sleep`; `park`/`park_timeout` only via `parkok` entries).
+//! 4. **Send/Sync surface audit** (also in [`ledger`]) — every
+//!    `unsafe impl Send`/`Sync` must be ledgered with its invariant.
+//!
+//! Findings reuse the lint's [`Finding`] shape so the two gates print and
+//! fail identically.
+
+pub mod atomics;
+pub mod ledger;
+pub mod reach;
+
+use std::path::Path;
+
+use crate::scanner::{self, Scanned};
+use crate::{Allowlist, Finding};
+
+/// One scanned workspace source file, shared by every pass so the tree is
+/// read and tokenized exactly once.
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators.
+    pub rel: String,
+    /// Token + comment view of the source.
+    pub scanned: Scanned,
+    /// First `#[cfg(test)]` line; `usize::MAX` when the file has none.
+    /// Tokens at or past it are test code and exempt from every pass.
+    pub boundary: usize,
+}
+
+impl SourceFile {
+    /// Build the per-file view from raw source text.
+    pub fn new(rel: &str, src: &str) -> SourceFile {
+        let scanned = scanner::scan(src);
+        let boundary = scanner::test_boundary(&scanned.tokens).unwrap_or(usize::MAX);
+        SourceFile { rel: rel.to_string(), scanned, boundary }
+    }
+
+    /// True when `line` is production (pre-`#[cfg(test)]`) code.
+    pub fn prod(&self, line: usize) -> bool {
+        line < self.boundary
+    }
+}
+
+/// Read and scan every workspace production source under `root`.
+pub fn load_sources(root: &Path) -> Result<Vec<SourceFile>, String> {
+    let mut out = Vec::new();
+    for path in crate::workspace_sources(root).map_err(|e| e.to_string())? {
+        let rel = path.strip_prefix(root).unwrap_or(&path).to_string_lossy().replace('\\', "/");
+        let src = std::fs::read_to_string(&path).map_err(|e| format!("{rel}: {e}"))?;
+        out.push(SourceFile::new(&rel, &src));
+    }
+    Ok(out)
+}
+
+/// Run all four analyze passes over the workspace rooted at `root`.
+///
+/// With `update_ledger` the computed unsafe ledger is written to
+/// `UNSAFE_LEDGER.json` instead of being diffed against it; every other
+/// finding still fails the run, so `--update-ledger` cannot launder a
+/// missing SAFETY comment.
+pub fn analyze_workspace(root: &Path, update_ledger: bool) -> Result<Vec<Finding>, String> {
+    let allow = match std::fs::read_to_string(root.join("xtask.allow")) {
+        Ok(text) => Allowlist::parse(&text)?,
+        Err(_) => Allowlist::default(),
+    };
+    let files = load_sources(root)?;
+    let mut findings = Vec::new();
+    for f in &files {
+        if allow.lockfree.iter().any(|p| p == &f.rel) {
+            findings.extend(atomics::check(f, &allow));
+        }
+    }
+    findings.extend(ledger::check(root, &files, update_ledger)?);
+    findings.extend(reach::check(&files, &allow));
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(findings)
+}

@@ -1,9 +1,16 @@
-//! The `cargo xtask lint` static pass: repo-specific rules the generic
+//! The `cargo xtask` static passes: repo-specific rules the generic
 //! toolchain cannot express, enforced on every PR.
 //!
-//! The pass is deliberately dependency-free: a hand-rolled token scanner
-//! (comments, strings, raw strings and char literals handled) feeds seven
-//! rules:
+//! Two commands share the [`scanner`] front end:
+//!
+//! * `cargo xtask lint` — the seven token rules below.
+//! * `cargo xtask analyze` — the four deeper passes in [`analyze`]:
+//!   atomics discipline, the unsafe ledger, blocking reachability and the
+//!   `Send`/`Sync` surface audit over the lock-free runtime.
+//!
+//! Both are deliberately dependency-free: a hand-rolled token scanner
+//! (comments, strings, raw strings and char literals handled) feeds the
+//! lint's seven rules:
 //!
 //! 1. **wallclock** — no `Instant::now()` / `SystemTime` outside
 //!    `types::time` and the live-executor allowlist. Everything else must
@@ -41,6 +48,11 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
 
+pub mod analyze;
+pub mod scanner;
+
+use scanner::{scan, test_boundary, Token};
+
 /// One rule violation at a source location.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
@@ -71,15 +83,25 @@ pub struct Allowlist {
     /// hot-path crates.
     pub panic_budget: BTreeMap<String, usize>,
     /// Files *tagged* as lock-free hot paths (the sharded runtime): the
-    /// lint forbids `Mutex`/`RwLock` in them. Unlike the other entries
-    /// this tag opts a file *into* a rule rather than out of one.
+    /// lint forbids `Mutex`/`RwLock` in them and `analyze` runs its
+    /// atomics-discipline and blocking-reachability passes over them.
+    /// Unlike the other entries this tag opts a file *into* rules rather
+    /// than out of them.
     pub lockfree: Vec<String>,
+    /// Lock-free files allowed to use `Ordering::SeqCst`. Empty in the
+    /// shipped tree; the entry kind exists so an audited exception is a
+    /// one-line review rather than a rule change.
+    pub seqcst: Vec<String>,
+    /// `(file, fn)` pairs allowed to call `thread::park` /
+    /// `park_timeout`: the adaptive backoff helpers of the lock-free
+    /// rings, and nothing else.
+    pub parkok: Vec<(String, String)>,
 }
 
 impl Allowlist {
     /// Parse the allowlist format: one entry per line,
-    /// `wallclock <path>`, `panic <path> <count>` or `lockfree <path>`;
-    /// `#` comments.
+    /// `wallclock <path>`, `panic <path> <count>`, `lockfree <path>`,
+    /// `seqcst <path>` or `parkok <path> <fn>`; `#` comments.
     pub fn parse(text: &str) -> Result<Allowlist, String> {
         let mut out = Allowlist::default();
         for (i, raw) in text.lines().enumerate() {
@@ -92,6 +114,13 @@ impl Allowlist {
             match (rule, path) {
                 (Some("wallclock"), Some(p)) => out.wallclock.push(p.to_string()),
                 (Some("lockfree"), Some(p)) => out.lockfree.push(p.to_string()),
+                (Some("seqcst"), Some(p)) => out.seqcst.push(p.to_string()),
+                (Some("parkok"), Some(p)) => {
+                    let func = words
+                        .next()
+                        .ok_or_else(|| format!("line {}: parkok entry needs a fn name", i + 1))?;
+                    out.parkok.push((p.to_string(), func.to_string()));
+                }
                 (Some("panic"), Some(p)) => {
                     let budget: usize = words
                         .next()
@@ -105,188 +134,6 @@ impl Allowlist {
         }
         Ok(out)
     }
-}
-
-/// A significant token produced by the scanner.
-#[derive(Debug, Clone, PartialEq, Eq)]
-enum Token {
-    Ident(String),
-    Str(String),
-    /// Any other single significant character (`.`, `:`, `(` …).
-    Ch(char),
-}
-
-/// One token with its 1-based source line.
-#[derive(Debug, Clone)]
-struct Spanned {
-    tok: Token,
-    line: usize,
-}
-
-/// Tokenize Rust source just well enough for the lint rules: skips line
-/// and (nested) block comments, normal and raw string literals are kept as
-/// `Token::Str`, char literals and lifetimes are skipped, identifiers are
-/// kept whole.
-fn scan(src: &str) -> Vec<Spanned> {
-    let bytes = src.as_bytes();
-    let mut out = Vec::new();
-    let mut i = 0;
-    let mut line = 1;
-    while i < bytes.len() {
-        let c = bytes[i] as char;
-        match c {
-            '\n' => {
-                line += 1;
-                i += 1;
-            }
-            '/' if bytes.get(i + 1) == Some(&b'/') => {
-                while i < bytes.len() && bytes[i] != b'\n' {
-                    i += 1;
-                }
-            }
-            '/' if bytes.get(i + 1) == Some(&b'*') => {
-                let mut depth = 1;
-                i += 2;
-                while i < bytes.len() && depth > 0 {
-                    if bytes[i] == b'\n' {
-                        line += 1;
-                    }
-                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
-                        depth += 1;
-                        i += 2;
-                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
-                        depth -= 1;
-                        i += 2;
-                    } else {
-                        i += 1;
-                    }
-                }
-            }
-            '"' => {
-                let start_line = line;
-                let mut lit = String::new();
-                i += 1;
-                while i < bytes.len() {
-                    match bytes[i] {
-                        b'\\' => {
-                            i += 2;
-                        }
-                        b'"' => {
-                            i += 1;
-                            break;
-                        }
-                        b => {
-                            if b == b'\n' {
-                                line += 1;
-                            }
-                            lit.push(b as char);
-                            i += 1;
-                        }
-                    }
-                }
-                out.push(Spanned { tok: Token::Str(lit), line: start_line });
-            }
-            'r' | 'b'
-                if {
-                    // Raw string heads: r", r#", br", b" …
-                    let mut j = i + 1;
-                    if c == 'b' && bytes.get(j) == Some(&b'r') {
-                        j += 1;
-                    }
-                    while bytes.get(j) == Some(&b'#') {
-                        j += 1;
-                    }
-                    (c != 'b' || j > i + 1 || bytes.get(j) == Some(&b'"'))
-                        && bytes.get(j) == Some(&b'"')
-                        && (c == 'b' || j > i + 1)
-                } =>
-            {
-                // Raw (or byte) string: skip to the matching quote+hashes.
-                let start_line = line;
-                let mut j = i + 1;
-                if c == 'b' && bytes.get(j) == Some(&b'r') {
-                    j += 1;
-                }
-                let mut hashes = 0;
-                while bytes.get(j) == Some(&b'#') {
-                    hashes += 1;
-                    j += 1;
-                }
-                j += 1; // opening quote
-                let mut lit = String::new();
-                'raw: while j < bytes.len() {
-                    if bytes[j] == b'"' {
-                        let mut k = j + 1;
-                        let mut seen = 0;
-                        while seen < hashes && bytes.get(k) == Some(&b'#') {
-                            seen += 1;
-                            k += 1;
-                        }
-                        if seen == hashes {
-                            j = k;
-                            break 'raw;
-                        }
-                    }
-                    if bytes[j] == b'\n' {
-                        line += 1;
-                    }
-                    lit.push(bytes[j] as char);
-                    j += 1;
-                }
-                out.push(Spanned { tok: Token::Str(lit), line: start_line });
-                i = j;
-            }
-            '\'' => {
-                // Char literal or lifetime. `'a'` / `'\n'` are literals;
-                // `'a` (no closing quote right after) is a lifetime.
-                if bytes.get(i + 1) == Some(&b'\\') {
-                    i += 2;
-                    while i < bytes.len() && bytes[i] != b'\'' {
-                        i += 1;
-                    }
-                    i += 1;
-                } else if bytes.get(i + 2) == Some(&b'\'') {
-                    i += 3;
-                } else {
-                    i += 1; // lifetime tick; identifier follows as a token
-                }
-            }
-            c if c.is_ascii_alphabetic() || c == '_' => {
-                let start = i;
-                while i < bytes.len()
-                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
-                    i += 1;
-                }
-                out.push(Spanned { tok: Token::Ident(src[start..i].to_string()), line });
-            }
-            c if c.is_whitespace() => {
-                i += 1;
-            }
-            other => {
-                out.push(Spanned { tok: Token::Ch(other), line });
-                i += 1;
-            }
-        }
-    }
-    out
-}
-
-/// Line (1-based) of the first `#[cfg(test)]` attribute, if any; tokens at
-/// or after it are test code.
-fn test_boundary(tokens: &[Spanned]) -> Option<usize> {
-    // #[cfg(test)] tokenizes as `#` `[` cfg `(` test `)` `]`.
-    for w in tokens.windows(7) {
-        let shape: Vec<&Token> = w.iter().map(|s| &s.tok).collect();
-        if matches!(
-            shape.as_slice(),
-            [Token::Ch('#'), Token::Ch('['), Token::Ident(a), Token::Ch('('), Token::Ident(b), Token::Ch(')'), Token::Ch(']')]
-                if a == "cfg" && b == "test"
-        ) {
-            return Some(w[0].line);
-        }
-    }
-    None
 }
 
 /// Scope in which a file's findings should be evaluated.
@@ -324,7 +171,7 @@ impl RuleScope {
 /// Run every token-based rule over one file's source.
 pub fn lint_source(rel_path: &str, src: &str, allow: &Allowlist) -> Vec<Finding> {
     let scope = RuleScope::of(rel_path);
-    let tokens = scan(src);
+    let tokens = scan(src).tokens;
     let boundary = test_boundary(&tokens).unwrap_or(usize::MAX);
     let prod = |line: usize| line < boundary;
     let mut findings = Vec::new();
@@ -795,6 +642,21 @@ mod tests {
     }
 
     #[test]
+    fn allowlist_parses_analyze_entry_kinds() {
+        let allow = Allowlist::parse(
+            "seqcst crates/core/src/sharded/audited.rs\n\
+             parkok crates/core/src/sharded/spsc.rs backoff\n",
+        )
+        .expect("valid");
+        assert_eq!(allow.seqcst, vec!["crates/core/src/sharded/audited.rs".to_string()]);
+        assert_eq!(
+            allow.parkok,
+            vec![("crates/core/src/sharded/spsc.rs".to_string(), "backoff".to_string())]
+        );
+        assert!(Allowlist::parse("parkok crates/core/src/x.rs\n").is_err(), "missing fn");
+    }
+
+    #[test]
     fn lockfree_rule_fires_only_in_tagged_files() {
         let src = "use parking_lot::Mutex;\nfn f(l: &RwLock<u32>) { let _m: Mutex<()>; }\n";
         let mut allow = Allowlist::default();
@@ -813,5 +675,40 @@ mod tests {
         let mut allow = Allowlist::default();
         allow.lockfree.push("crates/core/src/sharded/spsc.rs".into());
         assert!(lint_source("crates/core/src/sharded/spsc.rs", src, &allow).is_empty());
+    }
+
+    #[test]
+    fn lockfree_rule_matches_code_tokens_only() {
+        // Regression guard for the rule-7 contract: `Mutex`/`RwLock` in
+        // doc comments, block comments, string literals, or as a strict
+        // substring of a longer identifier must never fire; the same
+        // identifier as a code token must.
+        let mut allow = Allowlist::default();
+        allow.lockfree.push("crates/core/src/sharded/spsc.rs".into());
+        let clean = "//! No RwLock here, the ring replaces it.\n\
+                     /// A Mutex would serialize producers.\n\
+                     /* Mutex in a block comment */\n\
+                     fn f() { let s = \"Mutex\"; let r = r#\"RwLock\"#; }\n\
+                     struct MutexGuardLike;\n\
+                     fn g(_x: MutexGuardLike) {}\n";
+        assert!(
+            lint_source("crates/core/src/sharded/spsc.rs", clean, &allow).is_empty(),
+            "comments / strings / superstring idents must not fire"
+        );
+        let dirty = "/// A Mutex in a doc comment.\nfn f(m: &Mutex<u32>) {}\n";
+        let findings = lint_source("crates/core/src/sharded/spsc.rs", dirty, &allow);
+        assert_eq!(findings.len(), 1, "the code token alone fires: {findings:?}");
+        assert_eq!(findings[0].line, 2);
+    }
+
+    #[test]
+    fn scanner_counts_escaped_newlines_in_strings() {
+        // A `\` line continuation inside a string literal spans a real
+        // source line; the scanner must keep the line counter in step so
+        // later findings land on the right line.
+        let src = "fn f() { let s = \"a\\\nb\"; }\nfn g() { let t = Instant::now(); }\n";
+        let findings = lint("crates/core/src/x.rs", src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].line, 3, "finding must land on g's line: {findings:?}");
     }
 }

@@ -3,6 +3,11 @@
 //! Commands:
 //! * `lint [--root <path>]` — run the repo-specific static pass (see the
 //!   library docs); exits non-zero when any rule fires.
+//! * `analyze [--root <path>] [--update-ledger]` — run the four deeper
+//!   static passes over the lock-free runtime (atomics discipline, unsafe
+//!   ledger, blocking reachability, Send/Sync audit); `--update-ledger`
+//!   regenerates `UNSAFE_LEDGER.json` after an audit instead of diffing
+//!   against it. Exits non-zero when any pass fires.
 //! * `chaos [args…]` — build and run the chaos exploration runner
 //!   (`bistream-bench --bin chaos`), forwarding all arguments; exits with
 //!   the runner's status.
@@ -47,15 +52,49 @@ fn main() -> ExitCode {
                 }
             }
         }
+        Some("analyze") => {
+            let mut root: Option<PathBuf> = None;
+            let mut update_ledger = false;
+            while let Some(arg) = args.next() {
+                match arg.as_str() {
+                    "--root" => root = args.next().map(PathBuf::from),
+                    "--update-ledger" => update_ledger = true,
+                    other => {
+                        eprintln!("xtask analyze: unknown argument {other:?}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            let root = root.unwrap_or_else(workspace_root);
+            match xtask::analyze::analyze_workspace(&root, update_ledger) {
+                Ok(findings) if findings.is_empty() => {
+                    let suffix = if update_ledger { ", ledger updated" } else { "" };
+                    println!("xtask analyze: clean ({}{suffix})", root.display());
+                    ExitCode::SUCCESS
+                }
+                Ok(findings) => {
+                    for f in &findings {
+                        eprintln!("{f}");
+                    }
+                    eprintln!("xtask analyze: {} finding(s)", findings.len());
+                    ExitCode::FAILURE
+                }
+                Err(e) => {
+                    eprintln!("xtask analyze: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
         Some("chaos") => forward_to_bin("chaos", args.collect()),
         Some("bench") => forward_to_bin("perf", args.collect()),
         Some(other) => {
-            eprintln!("xtask: unknown command {other:?} (try: lint, chaos, bench)");
+            eprintln!("xtask: unknown command {other:?} (try: lint, analyze, chaos, bench)");
             ExitCode::FAILURE
         }
         None => {
             eprintln!(
-                "usage: cargo xtask lint [--root <path>] | cargo xtask chaos [args…] | cargo xtask bench [args…]"
+                "usage: cargo xtask lint [--root <path>] | cargo xtask analyze [--root <path>] \
+                 [--update-ledger] | cargo xtask chaos [args…] | cargo xtask bench [args…]"
             );
             ExitCode::FAILURE
         }
