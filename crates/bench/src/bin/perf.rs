@@ -2,8 +2,8 @@
 //!
 //! Drives the live threaded pipeline flat-out over the baseline matrix —
 //! backend {broker, sharded} × micro-batch size {1, 64} × routing
-//! {random, contrand} on a 4×4 layout — and reports saturation throughput
-//! plus result-latency percentiles.
+//! {random, contrand, adaptive} on a 4×4 layout — and reports saturation
+//! throughput plus result-latency percentiles.
 //! When a baseline file exists the run is compared against it and any
 //! case regressing past the threshold fails the process (the CI
 //! `perf-smoke` gate).
@@ -132,6 +132,12 @@ fn main() {
         (64, RoutingStrategy::Random, "random"),
         (1, RoutingStrategy::ContRand { subgroups: 2 }, "contrand"),
         (64, RoutingStrategy::ContRand { subgroups: 2 }, "contrand"),
+        // Adaptive rides the contrand fast path until its tuner promotes
+        // hot keys; the case exists so the perf gate starts tracking it
+        // once the baseline is regenerated (`--update`). Until then the
+        // extra case is measured but not compared (compare() only flags
+        // baseline cases that regressed or went missing).
+        (64, RoutingStrategy::Adaptive { subgroups: 2 }, "adaptive"),
     ];
     let matrix: Vec<(Backend, &str, u64, RoutingStrategy, &str)> = backends
         .iter()

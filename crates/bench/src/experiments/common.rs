@@ -35,6 +35,7 @@ pub fn engine_config(
         ordering: true,
         seed,
         batch_size: 1,
+        adaptive: Default::default(),
     }
 }
 
@@ -52,6 +53,19 @@ pub fn feed(
         Some(theta) => KeyDist::Zipf { n: n_keys, theta },
         None => KeyDist::Uniform { n: n_keys },
     };
+    feed_dist(rate_per_sec, keys, payload_bytes, seed, until_ms)
+}
+
+/// A constant-rate two-relation feed over an arbitrary key distribution
+/// (the shifting-Zipf ablations need [`KeyDist::ShiftingZipf`], which the
+/// theta-only [`feed`] signature cannot express).
+pub fn feed_dist(
+    rate_per_sec: f64,
+    keys: KeyDist,
+    payload_bytes: usize,
+    seed: u64,
+    until_ms: Ts,
+) -> ScenarioFeed {
     let arrivals = ArrivalProcess::Constant { rate: rate_per_sec };
     ScenarioFeed::new(
         StreamSource::new(Rel::R, arrivals.clone(), keys.clone(), payload_bytes, seed),

@@ -42,6 +42,76 @@ fn assert_table_shape(doc: &serde_json::Value, name: &str, columns: &[&str]) {
 }
 
 #[test]
+fn e5_json_shapes_are_stable_and_adaptive_wins_the_shifting_ablation() {
+    // One e5 run writes all three tables; load the sweep through the
+    // harness and the other two from the same scratch `results/` dir.
+    let sweep = run_and_load("e5", "e5_routing_skew");
+    assert_table_shape(
+        &sweep,
+        "e5_routing_skew",
+        &["theta", "strategy", "copies/tuple", "imbalance(max/mean)", "results", "switches"],
+    );
+    let strategies: Vec<String> = sweep["rows"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|r| r[1].as_str().unwrap().to_owned())
+        .collect();
+    assert!(strategies.contains(&"adaptive(d0=2)".to_owned()), "strategies: {strategies:?}");
+
+    let load = |name: &str| -> serde_json::Value {
+        let text = std::fs::read_to_string(format!("results/{name}.json"))
+            .unwrap_or_else(|e| panic!("results/{name}.json not written: {e}"));
+        serde_json::from_str(&text).unwrap_or_else(|e| panic!("results/{name}.json invalid: {e}"))
+    };
+
+    let ablation = load("e5_adaptive_ablation");
+    assert_table_shape(
+        &ablation,
+        "e5_adaptive_ablation",
+        &["theta", "strategy", "copies/tuple", "peak_imbalance", "results", "switches", "audit"],
+    );
+    let cell = |row: &serde_json::Value, i: usize| row[i].as_str().unwrap().to_owned();
+    let mut contrand_peak = f64::NAN;
+    let mut adaptive_peak = f64::NAN;
+    for row in ablation["rows"].as_array().unwrap() {
+        // Every ablation cell ran with an armed auditor and must be clean.
+        assert_eq!(cell(row, 6), "0", "audit violations in {row:?}");
+        if cell(row, 0) == "1.20" {
+            let peak: f64 = cell(row, 3).parse().unwrap();
+            match cell(row, 1).as_str() {
+                "contrand(d=2)" => contrand_peak = peak,
+                "adaptive(d0=2)" => {
+                    adaptive_peak = peak;
+                    let switches: u64 = cell(row, 5).parse().unwrap();
+                    assert!(switches > 0, "adaptive never re-tuned: {row:?}");
+                }
+                _ => {}
+            }
+        }
+    }
+    assert!(
+        adaptive_peak < contrand_peak,
+        "adaptive must beat static ContRand under shifting theta=1.2: \
+         adaptive {adaptive_peak} vs contrand {contrand_peak}"
+    );
+
+    let live = load("e5_adaptive_live");
+    assert_table_shape(
+        &live,
+        "e5_adaptive_live",
+        &["strategy", "thr_t/s", "copies/tuple", "results", "switches", "audit"],
+    );
+    for row in live["rows"].as_array().unwrap() {
+        assert_eq!(cell(row, 5), "0", "live audit violations in {row:?}");
+        if cell(row, 0).starts_with("adaptive") {
+            let switches: u64 = cell(row, 4).parse().unwrap();
+            assert!(switches > 0, "live adaptive never re-tuned: {row:?}");
+        }
+    }
+}
+
+#[test]
 fn e14_and_e17_json_shapes_are_stable() {
     let e14 = run_and_load("e14", "e14_recovery");
     assert_table_shape(

@@ -155,6 +155,7 @@ mod tests {
             ordering: true,
             seed: 9,
             batch_size: 1,
+            adaptive: Default::default(),
         }
     }
 

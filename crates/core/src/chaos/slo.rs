@@ -138,6 +138,7 @@ fn graded_trial_inner(
         ordering: true,
         seed: spec.engine_seed,
         batch_size: spec.batch_size.max(1) as usize,
+        adaptive: Default::default(),
     };
     let obs = Observability::new();
     let auditor = bistream_types::audit::Auditor::new();

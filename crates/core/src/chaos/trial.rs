@@ -123,6 +123,7 @@ fn run_trial_inner(plan: &FaultPlan, spec: &TrialSpec) -> Result<TrialReport> {
         ordering: true,
         seed: spec.engine_seed,
         batch_size: spec.batch_size.max(1) as usize,
+        adaptive: Default::default(),
     };
     let auditor = Auditor::new();
     auditor.enable_oracle(window.size());

@@ -27,6 +27,18 @@ pub enum RoutingStrategy {
         /// Number of subgroups per side (`d` in the model).
         subgroups: usize,
     },
+    /// Self-tuning ContRand ([`core::adaptive`](crate::adaptive)): a
+    /// hot-key sketch in the router hot path classifies keys into a hot
+    /// tier (widened fan-out: store anywhere on the own side, probe the
+    /// whole opposite side) and a cold tier (ContRand under the current
+    /// `d`), and a periodic tuning step re-tunes `d` from the per-unit
+    /// load series. Strategy switches install as punctuation-fenced epoch
+    /// changes. Only valid for equi predicates. Tuning knobs live in
+    /// [`EngineConfig::adaptive`].
+    Adaptive {
+        /// Initial number of subgroups per side (the epoch-0 `d`).
+        subgroups: usize,
+    },
 }
 
 impl RoutingStrategy {
@@ -34,7 +46,41 @@ impl RoutingStrategy {
     pub fn supports(&self, predicate: &JoinPredicate) -> bool {
         match self {
             RoutingStrategy::Random => true,
-            RoutingStrategy::Hash | RoutingStrategy::ContRand { .. } => predicate.is_equi(),
+            RoutingStrategy::Hash
+            | RoutingStrategy::ContRand { .. }
+            | RoutingStrategy::Adaptive { .. } => predicate.is_equi(),
+        }
+    }
+}
+
+/// Tuning knobs of the adaptive router (see
+/// [`core::adaptive`](crate::adaptive)). All thresholds are integers so
+/// configs stay `Eq`-comparable and byte-stable as JSON.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdaptiveTuning {
+    /// Punctuation rounds between tuning steps.
+    pub tune_every_puncts: u32,
+    /// Maximum hot-tier size per plan.
+    pub hot_capacity: usize,
+    /// Minimum share of the observed stream (parts per million) for a
+    /// key to enter the hot tier.
+    pub hot_min_share_ppm: u32,
+    /// Widen subgroups (halve `d`) when the max/mean per-unit store load
+    /// reaches this percentage.
+    pub widen_above_pct: u32,
+    /// Narrow subgroups (double `d`) when the max/mean per-unit store
+    /// load falls to this percentage.
+    pub narrow_below_pct: u32,
+}
+
+impl Default for AdaptiveTuning {
+    fn default() -> AdaptiveTuning {
+        AdaptiveTuning {
+            tune_every_puncts: 4,
+            hot_capacity: 16,
+            hot_min_share_ppm: 20_000,
+            widen_above_pct: 200,
+            narrow_below_pct: 120,
         }
     }
 }
@@ -70,6 +116,11 @@ pub struct EngineConfig {
     /// to `1`.
     #[serde(default = "default_batch_size")]
     pub batch_size: usize,
+    /// Tuning knobs of [`RoutingStrategy::Adaptive`]; ignored by the
+    /// static strategies. Old configs without the field deserialize to
+    /// the defaults.
+    #[serde(default)]
+    pub adaptive: AdaptiveTuning,
     /// Seed for the router's random placement decisions.
     pub seed: u64,
 }
@@ -92,6 +143,7 @@ impl EngineConfig {
             punctuation_interval_ms: 20,
             ordering: true,
             batch_size: 1,
+            adaptive: AdaptiveTuning::default(),
             seed: 0xB1C1,
         }
     }
@@ -107,16 +159,28 @@ impl EngineConfig {
                 self.routing, self.predicate
             )));
         }
-        if let RoutingStrategy::ContRand { subgroups } = self.routing {
+        if let RoutingStrategy::ContRand { subgroups } | RoutingStrategy::Adaptive { subgroups } =
+            self.routing
+        {
             if subgroups == 0 {
-                return Err(Error::Config("ContRand needs at least one subgroup".into()));
+                return Err(Error::Config("subgrouped routing needs at least one subgroup".into()));
             }
             if subgroups > self.r_joiners || subgroups > self.s_joiners {
                 return Err(Error::Config(format!(
-                    "ContRand with {subgroups} subgroups needs at least that many joiners per side \
+                    "{:?} with {subgroups} subgroups needs at least that many joiners per side \
                      (have {}×{})",
-                    self.r_joiners, self.s_joiners
+                    self.routing, self.r_joiners, self.s_joiners
                 )));
+            }
+        }
+        if let RoutingStrategy::Adaptive { .. } = self.routing {
+            if self.adaptive.tune_every_puncts == 0 {
+                return Err(Error::Config(
+                    "adaptive routing needs a positive tuning interval".into(),
+                ));
+            }
+            if self.adaptive.hot_capacity == 0 {
+                return Err(Error::Config("adaptive routing needs a positive hot capacity".into()));
             }
         }
         if self.punctuation_interval_ms == 0 {
@@ -210,10 +274,46 @@ mod tests {
     }
 
     #[test]
+    fn adaptive_bounds_subgroups_and_tuning() {
+        let mut c = EngineConfig::default_equi();
+        c.routing = RoutingStrategy::Adaptive { subgroups: 2 };
+        assert!(c.validate().is_ok());
+        c.routing = RoutingStrategy::Adaptive { subgroups: 3 };
+        assert!(c.validate().is_err(), "more subgroups than joiners");
+        c.routing = RoutingStrategy::Adaptive { subgroups: 0 };
+        assert!(c.validate().is_err());
+        c.routing = RoutingStrategy::Adaptive { subgroups: 1 };
+        c.adaptive.tune_every_puncts = 0;
+        assert!(c.validate().is_err(), "zero tuning interval");
+        c.adaptive.tune_every_puncts = 4;
+        c.adaptive.hot_capacity = 0;
+        assert!(c.validate().is_err(), "zero hot capacity");
+    }
+
+    #[test]
+    fn adaptive_requires_equi_predicate() {
+        let mut c = EngineConfig::default_equi();
+        c.routing = RoutingStrategy::Adaptive { subgroups: 1 };
+        c.predicate = JoinPredicate::Band { r_attr: 0, s_attr: 0, band: 1.0 };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn configs_without_adaptive_tuning_deserialize_to_defaults() {
+        // Configs persisted before the adaptive router existed must stay
+        // loadable.
+        let mut v = serde_json::to_value(EngineConfig::default_equi()).unwrap();
+        v.as_object_mut().unwrap().remove("adaptive");
+        let back: EngineConfig = serde_json::from_value(v).unwrap();
+        assert_eq!(back.adaptive, AdaptiveTuning::default());
+    }
+
+    #[test]
     fn theta_predicates_route_random_only() {
         let p = JoinPredicate::Theta { r_attr: 0, s_attr: 0, op: CmpOp::Lt };
         assert!(RoutingStrategy::Random.supports(&p));
         assert!(!RoutingStrategy::Hash.supports(&p));
         assert!(!RoutingStrategy::ContRand { subgroups: 2 }.supports(&p));
+        assert!(!RoutingStrategy::Adaptive { subgroups: 2 }.supports(&p));
     }
 }

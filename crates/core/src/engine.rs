@@ -25,6 +25,7 @@
 //!   paper's observation that random/ContRand routing makes scaling
 //!   cheap.
 
+use crate::adaptive::AdaptiveShared;
 use crate::chaos::ChaosNet;
 use crate::config::{EngineConfig, RoutingStrategy};
 use crate::delivery::{ChannelNet, DataPlane, DeliveryMode};
@@ -79,6 +80,9 @@ pub struct BicliqueEngine {
     chaos: Option<ChaosState>,
     stats: Arc<EngineStats>,
     obs: Observability,
+    /// Shared adaptive-routing state when running
+    /// [`RoutingStrategy::Adaptive`]; `None` under the static strategies.
+    adaptive: Option<Arc<AdaptiveShared>>,
     auditor: Option<Auditor>,
     capture: Option<Vec<JoinResult>>,
     auto_pump: bool,
@@ -226,6 +230,25 @@ impl BicliqueEngine {
         self.auditor.as_ref()
     }
 
+    /// The shared adaptive-routing state when running
+    /// [`RoutingStrategy::Adaptive`] (`None` under the static
+    /// strategies). Tests read the committed epoch and switch counter
+    /// here and arm debug modes such as
+    /// [`AdaptiveShared::force_flip_every_tick`].
+    pub fn adaptive_state(&self) -> Option<&Arc<AdaptiveShared>> {
+        self.adaptive.as_ref()
+    }
+
+    /// Seeded bug for the auditor self-test: make every adaptive router
+    /// adopt pending plans *without* waiting for its punctuation fence,
+    /// dropping superseded probe coverage immediately. Missed results
+    /// surface as output-oracle violations. No-op under static routing.
+    pub fn debug_skip_fence(&mut self, on: bool) {
+        for r in &mut self.routers {
+            r.debug_skip_fence(on);
+        }
+    }
+
     /// Begin capturing emitted join results (for correctness tests).
     pub fn capture_results(&mut self) {
         self.capture = Some(Vec::new());
@@ -268,10 +291,11 @@ impl BicliqueEngine {
 
         // Augment the join stream for scaling transitions: historical
         // layouts and draining units of the opposite side, deduplicated
-        // against the current layout's join destinations (a pure function
-        // of the tuple, so it can be evaluated before routing). The extra
-        // copies ride in the same batches under the same sequence stamp.
-        let current = join_dests(self.config.routing, &self.config.predicate, tuple, &self.layout)?;
+        // against the current layout's join destinations (under adaptive
+        // routing those come from the chosen router's live probe union).
+        // The extra copies ride in the same batches under the same
+        // sequence stamp.
+        let current = self.routers[r_idx].planned_join_dests(tuple, &self.layout)?;
         let mut extras: Vec<JoinerId> = Vec::new();
         for (old, _) in &self.historical {
             for dest in join_dests(self.config.routing, &self.config.predicate, tuple, old)? {
@@ -614,6 +638,12 @@ impl BicliqueEngine {
     /// The new router shares the engine's global sequence counter, so its
     /// punctuations immediately report the true clock; every joiner
     /// (active and draining) registers it at the current counter.
+    ///
+    /// Under [`RoutingStrategy::Adaptive`] the switch protocol's ack set
+    /// is fixed at build time, so only a router id that was declared then
+    /// (i.e. re-adding after [`remove_router`](Self::remove_router)) gets
+    /// an adaptive handle; a genuinely new id would route with a clear
+    /// configuration error instead of silently weakening the fence.
     pub fn add_router(&mut self) -> RouterId {
         let id = self.routers.len() as RouterId;
         let mut router = RouterCore::new(
@@ -628,6 +658,11 @@ impl BicliqueEngine {
         router.attach_tracer(self.obs.tracer.clone());
         if let Some(a) = &self.auditor {
             router.set_auditor(a.clone());
+        }
+        if let Some(sh) = &self.adaptive {
+            if (id as usize) < sh.router_count() {
+                router.attach_adaptive(sh.handle(id));
+            }
         }
         let frontier = router.last_seq();
         for joiner in self.joiners.values_mut() {
@@ -1100,7 +1135,9 @@ impl EngineBuilder {
     pub fn build(self) -> Result<BicliqueEngine> {
         self.config.validate()?;
         let subgroups = match self.config.routing {
-            RoutingStrategy::ContRand { subgroups } => subgroups,
+            RoutingStrategy::ContRand { subgroups } | RoutingStrategy::Adaptive { subgroups } => {
+                subgroups
+            }
             _ => 1,
         };
         let layout = Layout::new(self.config.r_joiners, self.config.s_joiners, subgroups)?;
@@ -1111,6 +1148,28 @@ impl EngineBuilder {
         if let Some(a) = &auditor {
             a.attach_journal(obs.journal.clone());
         }
+        // Adaptive routing: one shared tuner for all routers. Superseded
+        // probe coverage must outlive the join window, measured in
+        // punctuation ticks (FullHistory pins it forever).
+        let adaptive = match self.config.routing {
+            RoutingStrategy::Adaptive { subgroups } => {
+                let punct = self.config.punctuation_interval_ms.max(1);
+                let retire_ticks = match self.config.window.size() {
+                    Some(w) => (w / punct).saturating_add(2),
+                    None => u64::MAX / 2,
+                };
+                let max_subgroups = self.config.r_joiners.min(self.config.s_joiners).max(1);
+                Some(AdaptiveShared::new(
+                    self.config.adaptive,
+                    self.routers,
+                    subgroups,
+                    max_subgroups,
+                    retire_ticks,
+                    self.config.seed,
+                ))
+            }
+            _ => None,
+        };
         let routers: Vec<RouterCore> = (0..self.routers)
             .map(|i| {
                 let mut r = RouterCore::new(
@@ -1125,6 +1184,9 @@ impl EngineBuilder {
                 r.attach_tracer(obs.tracer.clone());
                 if let Some(a) = &auditor {
                     r.set_auditor(a.clone());
+                }
+                if let Some(sh) = &adaptive {
+                    r.attach_adaptive(sh.handle(i as RouterId));
                 }
                 r
             })
@@ -1144,6 +1206,7 @@ impl EngineBuilder {
             chaos: self.chaos.map(ChaosState::new),
             stats,
             obs,
+            adaptive,
             auditor,
             capture: None,
             auto_pump: self.auto_pump,
@@ -1193,6 +1256,7 @@ mod tests {
             ordering: true,
             seed: 1,
             batch_size: 1,
+            adaptive: Default::default(),
         }
     }
 

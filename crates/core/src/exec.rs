@@ -21,6 +21,7 @@
 //! simulator's job); this runtime exists to measure real wall-clock
 //! throughput and latency (experiments E3, E10 and the criterion benches).
 
+use crate::adaptive::AdaptiveShared;
 use crate::config::EngineConfig;
 use crate::joiner::{JoinerCore, JoinerStats};
 use crate::layout::{JoinerId, Layout};
@@ -182,6 +183,9 @@ pub struct Pipeline {
     inner: Inner,
     stats: Arc<EngineStats>,
     obs: Observability,
+    /// Shared adaptive-routing state when the engine runs
+    /// [`crate::config::RoutingStrategy::Adaptive`]; `None` otherwise.
+    adaptive: Option<Arc<AdaptiveShared>>,
     auditor: Option<Auditor>,
     clock: Arc<WallClock>,
     started: Instant,
@@ -200,11 +204,35 @@ impl Pipeline {
     pub fn launch(config: PipelineConfig) -> Result<Pipeline> {
         config.engine.validate()?;
         let subgroups = match config.engine.routing {
-            crate::config::RoutingStrategy::ContRand { subgroups } => subgroups,
+            crate::config::RoutingStrategy::ContRand { subgroups }
+            | crate::config::RoutingStrategy::Adaptive { subgroups } => subgroups,
             _ => 1,
         };
         let layout =
             Arc::new(Layout::new(config.engine.r_joiners, config.engine.s_joiners, subgroups)?);
+        // Adaptive routing: one shared tuner spanning every router thread,
+        // built before launch so each thread gets its handle up front.
+        // Superseded probe coverage outlives the window, in punct ticks.
+        let adaptive = match config.engine.routing {
+            crate::config::RoutingStrategy::Adaptive { subgroups } => {
+                let punct = config.engine.punctuation_interval_ms.max(1);
+                let retire_ticks = match config.engine.window.size() {
+                    Some(w) => (w / punct).saturating_add(2),
+                    None => u64::MAX / 2,
+                };
+                let max_subgroups =
+                    config.engine.r_joiners.min(config.engine.s_joiners).max(1);
+                Some(AdaptiveShared::new(
+                    config.engine.adaptive,
+                    config.routers.max(1),
+                    subgroups,
+                    max_subgroups,
+                    retire_ticks,
+                    config.engine.seed,
+                ))
+            }
+            _ => None,
+        };
         let obs = match config.trace_one_in {
             Some(n) => Observability::with_tracing(n),
             None => Observability::new(),
@@ -219,7 +247,7 @@ impl Pipeline {
 
         let inner = match config.backend {
             Backend::Broker => {
-                launch_broker(&config, &layout, &obs, &auditor, &stats, &clock)?
+                launch_broker(&config, &layout, &obs, &auditor, &stats, &clock, &adaptive)?
             }
             Backend::Sharded => Inner::Sharded(ShardedRuntime::launch(
                 &config,
@@ -229,6 +257,7 @@ impl Pipeline {
                 Arc::clone(&stats),
                 Arc::clone(&clock),
                 config.capture_results,
+                adaptive.clone(),
             )?),
         };
 
@@ -237,6 +266,7 @@ impl Pipeline {
             inner,
             stats,
             obs,
+            adaptive,
             auditor,
             clock,
             started: Instant::now(),
@@ -256,6 +286,7 @@ fn launch_broker(
     auditor: &Option<Auditor>,
     stats: &Arc<EngineStats>,
     clock: &Arc<WallClock>,
+    adaptive: &Option<Arc<AdaptiveShared>>,
 ) -> Result<Inner> {
     let broker = Broker::new();
     // Attach observability before any queue exists so every queue gets
@@ -361,6 +392,9 @@ fn launch_broker(
         if let Some(a) = auditor {
             core.set_auditor(a.clone());
         }
+        if let Some(sh) = adaptive {
+            core.attach_adaptive(sh.handle(*rid));
+        }
         let tracer = obs.tracer.clone();
         let layout = Arc::clone(layout);
         let broker = broker.clone();
@@ -446,6 +480,15 @@ impl Pipeline {
     /// The protocol-invariant auditor observing this pipeline, if any.
     pub fn auditor(&self) -> Option<&Auditor> {
         self.auditor.as_ref()
+    }
+
+    /// The shared adaptive-routing state when running
+    /// [`crate::config::RoutingStrategy::Adaptive`] (`None` under static
+    /// strategies). Tests read the committed epoch / switch counter here
+    /// and arm [`AdaptiveShared::force_flip_every_tick`]; the router
+    /// threads observe the flag at their next punctuation tick.
+    pub fn adaptive_state(&self) -> Option<&Arc<AdaptiveShared>> {
+        self.adaptive.as_ref()
     }
 
     /// Feed one tuple (blocking when the ingest edge is full). On the

@@ -14,6 +14,9 @@
 //!
 //! - [`config`] — engine configuration (sides, routing strategy, archive
 //!   period, punctuation interval).
+//! - [`adaptive`] — skew-adaptive routing: hot-key sketches in the router
+//!   hot path, the self-tuning hot/cold tier classifier, and the
+//!   punctuation-fenced two-phase strategy-switch protocol.
 //! - [`layout`] — the mutable biclique topology: unit ids per side,
 //!   ContRand subgroups, scaling edits.
 //! - [`router`] — the routing core: Random, Hash (content-sensitive) and
@@ -45,6 +48,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
+pub mod adaptive;
 pub mod cascade;
 pub mod chaos;
 pub mod config;

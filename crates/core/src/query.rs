@@ -9,7 +9,7 @@
 //! engine configuration and a [`JoinQuery`] handle that validates input
 //! tuples at the edge.
 
-use crate::config::{EngineConfig, RoutingStrategy};
+use crate::config::{AdaptiveTuning, EngineConfig, RoutingStrategy};
 use bistream_types::error::{Error, Result};
 use bistream_types::predicate::{CmpOp, JoinPredicate};
 use bistream_types::rel::Rel;
@@ -94,6 +94,7 @@ pub struct QueryBuilder {
     ordering: bool,
     seed: u64,
     batch_size: usize,
+    adaptive: AdaptiveTuning,
 }
 
 impl QueryBuilder {
@@ -113,6 +114,7 @@ impl QueryBuilder {
             ordering: true,
             seed: 0xB1C1,
             batch_size: 1,
+            adaptive: AdaptiveTuning::default(),
         }
     }
 
@@ -197,6 +199,14 @@ impl QueryBuilder {
         self
     }
 
+    /// Tuning knobs for [`RoutingStrategy::Adaptive`] (tuning cadence,
+    /// hot-tier capacity and thresholds); ignored under the static
+    /// strategies.
+    pub fn adaptive_tuning(mut self, tuning: AdaptiveTuning) -> QueryBuilder {
+        self.adaptive = tuning;
+        self
+    }
+
     /// Resolve names, type-check, choose routing, and produce the query.
     ///
     /// # Errors
@@ -267,6 +277,7 @@ impl QueryBuilder {
             ordering: self.ordering,
             seed: self.seed,
             batch_size: self.batch_size,
+            adaptive: self.adaptive,
         };
         config.validate()?;
         Ok(JoinQuery { r_schema: self.r_schema, s_schema: self.s_schema, config })
@@ -370,6 +381,25 @@ mod tests {
             .on_equal("order_id", "paid")
             .build()
             .is_ok());
+    }
+
+    #[test]
+    fn adaptive_routing_and_tuning_flow_into_the_config() {
+        let tuning = AdaptiveTuning { tune_every_puncts: 9, hot_capacity: 5, ..Default::default() };
+        let q = QueryBuilder::new(orders(), payments())
+            .on_equal("order_id", "ref_id")
+            .routing(RoutingStrategy::Adaptive { subgroups: 2 })
+            .adaptive_tuning(tuning)
+            .build()
+            .unwrap();
+        assert_eq!(q.config().routing, RoutingStrategy::Adaptive { subgroups: 2 });
+        assert_eq!(q.config().adaptive, tuning);
+        // Adaptive is content-sensitive in its cold tier: equi only.
+        let err = QueryBuilder::new(orders(), payments())
+            .on_band("amount", "paid", 1.0)
+            .routing(RoutingStrategy::Adaptive { subgroups: 2 })
+            .build();
+        assert!(err.is_err());
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! (competing consumers on the ingest queue) and why recovering a router
 //! is cheap in the real systems.
 
+use crate::adaptive::AdaptiveRouter;
 use crate::config::RoutingStrategy;
 use crate::layout::{JoinerId, Layout};
 use bistream_types::audit::Auditor;
@@ -72,6 +73,7 @@ fn strategy_label(strategy: RoutingStrategy) -> &'static str {
         RoutingStrategy::Random => "random",
         RoutingStrategy::Hash => "hash",
         RoutingStrategy::ContRand { .. } => "contrand",
+        RoutingStrategy::Adaptive { .. } => "adaptive",
     }
 }
 
@@ -98,6 +100,15 @@ struct RouterMetrics {
     /// `bistream_router_pending_copies{router}` — copies buffered in
     /// unflushed batches (the router-side backpressure signal).
     pending_copies: Arc<Gauge>,
+    /// `bistream_router_hot_keys{router}` — hot-tier size of the adaptive
+    /// store plan (0 under the static strategies).
+    hot_keys: Arc<Gauge>,
+    /// `bistream_router_adaptive_subgroups{router}` — cold-tier `d` of
+    /// the adaptive store plan.
+    adaptive_subgroups: Arc<Gauge>,
+    /// `bistream_router_strategy_switches_total{router}` — fenced plan
+    /// adoptions this router performed.
+    strategy_switches: Arc<Counter>,
     per_dest: FxHashMap<JoinerId, Arc<Counter>>,
 }
 
@@ -115,6 +126,11 @@ impl RouterMetrics {
             batch_len: registry.histogram(bistream_types::metric_names::BATCH_SIZE, labels),
             pending_copies: registry
                 .gauge(bistream_types::metric_names::ROUTER_PENDING_COPIES, labels),
+            hot_keys: registry.gauge(bistream_types::metric_names::ROUTER_HOT_KEYS, labels),
+            adaptive_subgroups: registry
+                .gauge(bistream_types::metric_names::ROUTER_ADAPTIVE_SUBGROUPS, labels),
+            strategy_switches: registry
+                .counter(bistream_types::metric_names::ROUTER_STRATEGY_SWITCHES_TOTAL, labels),
             per_dest: FxHashMap::default(),
             registry: registry.clone(),
             label,
@@ -183,6 +199,9 @@ pub struct RouterCore {
     /// Invariant auditor (test/debug harnesses): checks sequence density
     /// and punctuation monotonicity at the assignment point.
     auditor: Option<Auditor>,
+    /// Skew-adaptive routing state ([`crate::adaptive`]); required when
+    /// the strategy is [`RoutingStrategy::Adaptive`], ignored otherwise.
+    adaptive: Option<AdaptiveRouter>,
 }
 
 impl RouterCore {
@@ -208,6 +227,27 @@ impl RouterCore {
             batch_size: 1,
             pending: FxHashMap::default(),
             auditor: None,
+            adaptive: None,
+        }
+    }
+
+    /// Attach the per-router handle of the engine-wide
+    /// [`crate::adaptive::AdaptiveShared`] state. Required before routing
+    /// under [`RoutingStrategy::Adaptive`].
+    pub fn attach_adaptive(&mut self, handle: AdaptiveRouter) {
+        self.adaptive = Some(handle);
+    }
+
+    /// The attached adaptive state, if any (test/metrics introspection).
+    pub fn adaptive(&self) -> Option<&AdaptiveRouter> {
+        self.adaptive.as_ref()
+    }
+
+    /// Test-only: arm the fence-skipping bug hook on the attached
+    /// adaptive state (see [`AdaptiveRouter::debug_unfenced_adopt`]).
+    pub fn debug_skip_fence(&mut self, on: bool) {
+        if let Some(ad) = self.adaptive.as_mut() {
+            ad.set_skip_fence(on);
         }
     }
 
@@ -335,8 +375,21 @@ impl RouterCore {
                 }
                 own_group[self.rng.gen_range(0..own_group.len())]
             }
+            RoutingStrategy::Adaptive { .. } => {
+                let h = self.key_hash(tuple)?;
+                let Some(ad) = self.adaptive.as_mut() else {
+                    return Err(Error::Config(
+                        "adaptive routing requires an attached core::adaptive state".into(),
+                    ));
+                };
+                if ad.fence_skipped() {
+                    ad.debug_unfenced_adopt();
+                }
+                ad.observe(h);
+                ad.store_dest(layout, own, h, &mut self.rng)?
+            }
         };
-        let join_dests = join_dests(self.strategy, &self.predicate, tuple, layout)?;
+        let join_dests = self.join_dests_for(tuple, layout)?;
 
         if let Some(m) = self.metrics.as_mut() {
             m.tuples.inc();
@@ -395,6 +448,9 @@ impl RouterCore {
                 m.punctuations.inc();
             }
         }
+        // The punctuation fence: every copy routed so far is emitted and
+        // covered, so the adaptive state may now ack/adopt plan switches.
+        self.adaptive_tick();
     }
 
     /// Route one ingested tuple through the micro-batched path: assign the
@@ -443,8 +499,21 @@ impl RouterCore {
                 }
                 own_group[self.rng.gen_range(0..own_group.len())]
             }
+            RoutingStrategy::Adaptive { .. } => {
+                let h = self.key_hash(tuple)?;
+                let Some(ad) = self.adaptive.as_mut() else {
+                    return Err(Error::Config(
+                        "adaptive routing requires an attached core::adaptive state".into(),
+                    ));
+                };
+                if ad.fence_skipped() {
+                    ad.debug_unfenced_adopt();
+                }
+                ad.observe(h);
+                ad.store_dest(layout, own, h, &mut self.rng)?
+            }
         };
-        let join_dests = join_dests(self.strategy, &self.predicate, tuple, layout)?;
+        let join_dests = self.join_dests_for(tuple, layout)?;
 
         // Extras are engine-level copies: they count towards the engine's
         // copy total (the caller's job) but, as in the per-tuple path,
@@ -551,10 +620,58 @@ impl RouterCore {
                 m.punctuations.inc();
             }
         }
+        // The punctuation fence: pending batches are flushed and the
+        // punctuation emitted, so the adaptive state may now ack/adopt
+        // plan switches without reordering any channel.
+        self.adaptive_tick();
     }
 
     fn key_hash(&self, tuple: &Tuple) -> Result<u64> {
         key_hash(&self.predicate, tuple)
+    }
+
+    /// The join-stream destinations this router would choose for `tuple`
+    /// right now. For the static strategies this is the pure
+    /// [`join_dests`] function; under [`RoutingStrategy::Adaptive`] it is
+    /// the probe union of every plan that may still hold live tuples, so
+    /// the engine must ask the *routing* router rather than re-deriving
+    /// destinations itself.
+    pub fn planned_join_dests(&self, tuple: &Tuple, layout: &Layout) -> Result<Vec<JoinerId>> {
+        self.join_dests_for(tuple, layout)
+    }
+
+    fn join_dests_for(&self, tuple: &Tuple, layout: &Layout) -> Result<Vec<JoinerId>> {
+        match self.strategy {
+            RoutingStrategy::Adaptive { .. } => {
+                let h = self.key_hash(tuple)?;
+                let Some(ad) = self.adaptive.as_ref() else {
+                    return Err(Error::Config(
+                        "adaptive routing requires an attached core::adaptive state".into(),
+                    ));
+                };
+                Ok(ad.join_dests(layout, tuple.rel().opposite(), h))
+            }
+            s => join_dests(s, &self.predicate, tuple, layout),
+        }
+    }
+
+    /// Run the adaptive punctuation-tick (sketch merge, switch
+    /// ack/commit/adopt, tuning) and publish the outcome to this router's
+    /// metric series. Must be called only at a fence: after the pending
+    /// batches are flushed and the punctuation is emitted.
+    fn adaptive_tick(&mut self) {
+        let Some(ad) = self.adaptive.as_mut() else { return };
+        if !matches!(self.strategy, RoutingStrategy::Adaptive { .. }) {
+            return;
+        }
+        let report = ad.tick();
+        if let Some(m) = self.metrics.as_mut() {
+            m.hot_keys.set(report.hot_len as u64);
+            m.adaptive_subgroups.set(report.subgroups as u64);
+            if report.adopted {
+                m.strategy_switches.inc();
+            }
+        }
     }
 }
 
@@ -732,6 +849,12 @@ pub fn join_dests(
             let g = bucket_of(h, subgroups);
             layout.subgroup_units(opp, g).collect()
         }
+        // Without the router's probe union (an epoch-dependent state this
+        // pure function cannot see), the only complete answer is the
+        // Random broadcast. Used for *historical* layouts during scaling
+        // transitions only; the live path asks
+        // [`RouterCore::planned_join_dests`] instead.
+        RoutingStrategy::Adaptive { .. } => layout.units(opp).to_vec(),
     })
 }
 
@@ -1137,6 +1260,74 @@ mod tests {
         q.forget_unit(JoinerId(0));
         assert!(!q.has_pending(0, JoinerId(0)));
         assert_eq!(q.pending(), 1);
+    }
+
+    #[test]
+    fn adaptive_routes_like_contrand_at_epoch_zero() {
+        use crate::adaptive::AdaptiveShared;
+        use crate::config::AdaptiveTuning;
+        let layout = Layout::new(6, 6, 3).unwrap();
+        let shared = AdaptiveShared::new(AdaptiveTuning::default(), 1, 3, 6, 8, 7);
+        let mut ad = RouterCore::standalone(0, RoutingStrategy::Adaptive { subgroups: 3 }, equi(), 7);
+        ad.attach_adaptive(shared.handle(0));
+        let mut cr =
+            RouterCore::standalone(0, RoutingStrategy::ContRand { subgroups: 3 }, equi(), 7);
+        for k in 0..50 {
+            let a = route_one(&mut ad, &layout, &tuple(Rel::R, k));
+            let c = route_one(&mut cr, &layout, &tuple(Rel::R, k));
+            // Same seed, same subgroup maths, same RNG draw count: the
+            // epoch-0 adaptive plan IS ContRand.
+            let (sa, ja) = stores_and_joins(&a);
+            let (sc, jc) = stores_and_joins(&c);
+            assert_eq!(sa, sc);
+            let (mut ja, mut jc) = (ja, jc);
+            ja.sort();
+            jc.sort();
+            assert_eq!(ja, jc);
+        }
+        assert_eq!(ad.stats(), cr.stats());
+    }
+
+    #[test]
+    fn adaptive_without_attached_state_errors() {
+        let layout = Layout::new(2, 2, 1).unwrap();
+        let mut r =
+            RouterCore::standalone(0, RoutingStrategy::Adaptive { subgroups: 1 }, equi(), 7);
+        let mut out = Vec::new();
+        assert!(r.route(&tuple(Rel::R, 1), &layout, &mut out).is_err());
+    }
+
+    #[test]
+    fn adaptive_tick_updates_gauges_and_switch_counter() {
+        use crate::adaptive::AdaptiveShared;
+        use crate::config::AdaptiveTuning;
+        let layout = Layout::new(4, 4, 1).unwrap();
+        let shared = AdaptiveShared::new(AdaptiveTuning::default(), 1, 4, 4, 8, 7);
+        let mut r =
+            RouterCore::standalone(2, RoutingStrategy::Adaptive { subgroups: 4 }, equi(), 7);
+        r.attach_adaptive(shared.handle(0));
+        let reg = MetricsRegistry::new();
+        r.attach_registry(&reg);
+        shared.force_flip_every_tick(true);
+        let mut out = Vec::new();
+        r.route(&tuple(Rel::R, 5), &layout, &mut out).unwrap();
+        r.punctuate(&layout, &mut out);
+        let snap = reg.scrape(0);
+        let labels: &[(&str, &str)] = &[("router", "r2")];
+        assert_eq!(
+            snap.gauge(bistream_types::metric_names::ROUTER_ADAPTIVE_SUBGROUPS, labels),
+            Some(1),
+            "flip adopted d=1 at the fence"
+        );
+        assert_eq!(
+            snap.gauge(bistream_types::metric_names::ROUTER_HOT_KEYS, labels),
+            Some(0)
+        );
+        assert_eq!(
+            snap.counter(bistream_types::metric_names::ROUTER_STRATEGY_SWITCHES_TOTAL, labels),
+            Some(1)
+        );
+        assert_eq!(shared.switches(), 1);
     }
 
     #[test]

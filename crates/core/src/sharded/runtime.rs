@@ -17,6 +17,7 @@
 //! per-queue conservation events, so the watchdog, the SLO engine and the
 //! queueing-model analyzer grade either backend unchanged.
 
+use crate::adaptive::AdaptiveShared;
 use crate::exec::{PipelineConfig, INGEST_QUEUE};
 use crate::joiner::{JoinerCore, JoinerStats};
 use crate::layout::{JoinerId, Layout};
@@ -27,6 +28,7 @@ use bistream_types::audit::Auditor;
 use bistream_types::batch::BatchMessage;
 use bistream_types::error::{Error, Result};
 use bistream_types::hash::FxHashMap;
+use bistream_types::journal::EventKind;
 use bistream_types::metric_names as names;
 use bistream_types::metrics::{Counter, Gauge};
 use bistream_types::punct::RouterId;
@@ -143,9 +145,24 @@ impl ShardedRuntime {
         stats: Arc<EngineStats>,
         clock: Arc<WallClock>,
         capture: bool,
+        adaptive: Option<Arc<AdaptiveShared>>,
     ) -> Result<ShardedRuntime> {
         let engine = &config.engine;
         let routers = config.routers.max(1);
+        // One-time launch caveat: core pinning is a documented no-op until
+        // an affinity syscall crate is vendored, so "sharded" here means
+        // one named thread per shard under the OS scheduler (see
+        // `pin_to_core`). Surfaced in the journal so operators comparing
+        // backend throughput see it without reading the source.
+        obs.journal.record(
+            clock.now(),
+            EventKind::ConfigWarning {
+                topic: "pin_to_core".to_string(),
+                detail: "sharded backend: pin_to_core is a best-effort no-op (no affinity \
+                         syscall crate vendored); worker threads are named but not pinned"
+                    .to_string(),
+            },
+        );
         let seq = Arc::new(std::sync::atomic::AtomicU64::new(0));
         let router_ids: Vec<(RouterId, u64)> = (0..routers).map(|i| (i as RouterId, 0)).collect();
         let ctx = WorkerCtx {
@@ -236,6 +253,9 @@ impl ShardedRuntime {
             core.set_batch_size(engine.batch_size);
             if let Some(a) = &auditor {
                 core.set_auditor(a.clone());
+            }
+            if let Some(sh) = &adaptive {
+                core.attach_adaptive(sh.handle(shard as RouterId));
             }
             let worker = RouterWorker {
                 core,

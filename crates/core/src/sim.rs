@@ -327,6 +327,7 @@ mod tests {
             ordering,
             seed: 9,
             batch_size: 1,
+            adaptive: Default::default(),
         };
         BicliqueEngine::builder(cfg)
             .cost_model(CostModel::thesis_operating_point())
@@ -421,6 +422,7 @@ mod tests {
             ordering: true,
             seed: 9,
             batch_size: 1,
+            adaptive: Default::default(),
         };
         let engine = BicliqueEngine::builder(cfg)
             .observability(Observability::with_tracing(10))

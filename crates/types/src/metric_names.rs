@@ -29,6 +29,13 @@ pub const BATCH_SIZE: &str = "bistream_batch_size";
 /// Copies sitting in a router's unflushed per-destination batches
 /// (backpressure: work admitted but not yet handed to the broker).
 pub const ROUTER_PENDING_COPIES: &str = "bistream_router_pending_copies";
+/// Hot-tier size of the adaptive router's store plan (0 under the static
+/// strategies).
+pub const ROUTER_HOT_KEYS: &str = "bistream_router_hot_keys";
+/// Cold-tier ContRand subgroup count `d` of the adaptive store plan.
+pub const ROUTER_ADAPTIVE_SUBGROUPS: &str = "bistream_router_adaptive_subgroups";
+/// Punctuation-fenced plan adoptions performed, per router.
+pub const ROUTER_STRATEGY_SWITCHES_TOTAL: &str = "bistream_router_strategy_switches_total";
 
 // ---------------------------------------------------------------- joiners
 

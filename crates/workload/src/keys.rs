@@ -2,9 +2,12 @@
 //!
 //! Skew is the axis that separates the routing strategies (E5): hash
 //! routing collapses under a hot key, random routing is immune, ContRand
-//! sits between. `KeyDist` provides uniform and Zipf-distributed keys over
-//! a fixed key universe `[0, n)`.
+//! sits between. `KeyDist` provides uniform, Zipf, and time-shifting Zipf
+//! keys over a fixed key universe `[0, n)`; the shifting variant is the
+//! adversary for the skew-adaptive router (the hot set rotates every
+//! period, so a tuned strategy must re-tune to keep up).
 
+use bistream_types::time::Ts;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -24,13 +27,30 @@ pub enum KeyDist {
         /// Skew exponent in `(0, 1)`.
         theta: f64,
     },
+    /// Exact Zipf (any `theta > 0`, including ≥ 1) whose rank→key mapping
+    /// rotates every `period_ms`: the identity of the hot keys jumps to a
+    /// deterministic pseudo-random offset each period while the *shape*
+    /// of the skew stays fixed. This is the adversary the skew-adaptive
+    /// router must chase — a strategy tuned to one hot set goes stale one
+    /// period later.
+    ShiftingZipf {
+        /// Universe size.
+        n: u64,
+        /// Skew exponent (`> 0`; values ≥ 1 give the heavy adversarial
+        /// skew the adaptive-routing acceptance runs use).
+        theta: f64,
+        /// How long one hot set stays put, in stream-time milliseconds.
+        period_ms: u64,
+    },
 }
 
 impl KeyDist {
     /// Universe size.
     pub fn universe(&self) -> u64 {
         match self {
-            KeyDist::Uniform { n } | KeyDist::Zipf { n, .. } => *n,
+            KeyDist::Uniform { n }
+            | KeyDist::Zipf { n, .. }
+            | KeyDist::ShiftingZipf { n, .. } => *n,
         }
     }
 
@@ -39,6 +59,9 @@ impl KeyDist {
         match *self {
             KeyDist::Uniform { n } => KeySampler::Uniform { n: n.max(1) },
             KeyDist::Zipf { n, theta } => KeySampler::Zipf(ZipfSampler::new(n.max(1), theta)),
+            KeyDist::ShiftingZipf { n, theta, period_ms } => {
+                KeySampler::Shifting(ShiftingZipf::new(n.max(1), theta, period_ms.max(1)))
+            }
         }
     }
 }
@@ -53,15 +76,125 @@ pub enum KeySampler {
     },
     /// Zipfian (see [`ZipfSampler`]).
     Zipf(ZipfSampler),
+    /// Time-varying Zipf (see [`ShiftingZipf`]).
+    Shifting(ShiftingZipf),
 }
 
 impl KeySampler {
-    /// Draw one key.
+    /// Draw one key, ignoring stream time (shifting distributions use
+    /// their `ts = 0` hot set).
     pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
+        self.sample_at(rng, 0)
+    }
+
+    /// Draw one key for a tuple stamped `ts`. Stationary distributions
+    /// ignore `ts`; [`KeySampler::Shifting`] rotates its hot set to the
+    /// period `ts` falls in. Every variant consumes exactly the draws of
+    /// its stationary counterpart, so switching a sweep to a shifting
+    /// distribution does not perturb arrival times.
+    pub fn sample_at<R: Rng>(&self, rng: &mut R, ts: Ts) -> u64 {
         match self {
             KeySampler::Uniform { n } => rng.gen_range(0..*n),
             KeySampler::Zipf(z) => z.sample(rng),
+            KeySampler::Shifting(s) => s.sample_at(rng, ts),
         }
+    }
+}
+
+/// SplitMix64 — derives the per-period rotation offsets.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Exact Zipf sampling by inversion over a precomputed cumulative table.
+///
+/// Unlike [`ZipfSampler`] (the YCSB constant-time approximation, valid
+/// only for `theta` in `(0, 1)`), this pays `O(n)` memory and `O(log n)`
+/// per draw for an *exact* distribution at any exponent — including the
+/// `theta ≥ 1` regimes where a single key draws an outright majority of
+/// the stream. Universes in the experiments are ≤ ~1e6, so the table is
+/// at most a few MB and is built once per run.
+#[derive(Debug, Clone)]
+pub struct ZipfTable {
+    /// `cdf[i]` = P(rank ≤ i); strictly increasing, last entry 1.0.
+    cdf: Vec<f64>,
+}
+
+impl ZipfTable {
+    /// Build the cumulative table for universe `n` (≥ 1) and exponent
+    /// `theta` (clamped to ≥ 0).
+    pub fn new(n: u64, theta: f64) -> ZipfTable {
+        let n = n.max(1);
+        let theta = theta.max(0.0);
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0f64;
+        for i in 1..=n {
+            acc += 1.0 / (i as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        ZipfTable { cdf }
+    }
+
+    /// Draw one popularity rank (0 hottest) by binary-searching the table.
+    pub fn sample_rank<R: Rng>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1) as u64
+    }
+
+    /// Analytic probability of rank 0.
+    pub fn hottest_probability(&self) -> f64 {
+        self.cdf[0]
+    }
+}
+
+/// Exact Zipf whose rank→key mapping rotates each period: during period
+/// `p = ts / period_ms` the key of popularity rank `r` is
+/// `(r + offset(p)) mod n`, with `offset` a SplitMix64-derived
+/// pseudo-random jump. The mapping stays a bijection inside every period
+/// (the skew shape never changes) while the hot-key *identities* move
+/// far on each boundary — the worst case for a strategy that froze its
+/// hot set.
+#[derive(Debug, Clone)]
+pub struct ShiftingZipf {
+    table: ZipfTable,
+    n: u64,
+    period_ms: u64,
+}
+
+impl ShiftingZipf {
+    /// Build for universe `n`, exponent `theta`, hot-set lifetime
+    /// `period_ms` (all clamped to ≥ 1).
+    pub fn new(n: u64, theta: f64, period_ms: u64) -> ShiftingZipf {
+        let n = n.max(1);
+        ShiftingZipf { table: ZipfTable::new(n, theta), n, period_ms: period_ms.max(1) }
+    }
+
+    /// The rotation offset of the period containing `ts`.
+    pub fn offset_at(&self, ts: Ts) -> u64 {
+        splitmix64(ts / self.period_ms) % self.n
+    }
+
+    /// The key holding popularity rank `rank` at stream time `ts`.
+    pub fn key_of_rank(&self, rank: u64, ts: Ts) -> u64 {
+        (rank + self.offset_at(ts)) % self.n
+    }
+
+    /// Draw one key for a tuple stamped `ts` (exactly one `f64` draw).
+    pub fn sample_at<R: Rng>(&self, rng: &mut R, ts: Ts) -> u64 {
+        let rank = self.table.sample_rank(rng);
+        self.key_of_rank(rank, ts)
+    }
+
+    /// The configured universe size.
+    pub fn universe(&self) -> u64 {
+        self.n
     }
 }
 
@@ -244,5 +377,102 @@ mod tests {
         assert_eq!(s.sample(&mut r), 0);
         let z = ZipfSampler::new(1, 0.9);
         assert_eq!(z.sample(&mut r), 0);
+    }
+
+    #[test]
+    fn zipf_table_is_exact_at_steep_theta() {
+        // theta = 1.2 is past where the YCSB approximation is valid; the
+        // table sampler must still match its own analytic rank-0 mass.
+        let t = ZipfTable::new(1_000, 1.2);
+        let analytic = t.hottest_probability();
+        assert!(analytic > 0.3, "theta=1.2 rank 0 should dominate: {analytic}");
+        let mut r = rng();
+        let total = 20_000;
+        let hot = (0..total).filter(|_| t.sample_rank(&mut r) == 0).count();
+        let empirical = hot as f64 / total as f64;
+        assert!(
+            (empirical - analytic).abs() < 0.03,
+            "empirical {empirical} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn zipf_table_stays_in_universe() {
+        for theta in [0.0, 0.99, 1.2, 2.0] {
+            let t = ZipfTable::new(13, theta);
+            let mut r = rng();
+            for _ in 0..5_000 {
+                assert!(t.sample_rank(&mut r) < 13);
+            }
+        }
+    }
+
+    #[test]
+    fn shifting_zipf_rotates_the_hot_key_between_periods() {
+        let s = ShiftingZipf::new(10_000, 1.2, 1_000);
+        // Within one period the mapping is constant…
+        assert_eq!(s.key_of_rank(0, 0), s.key_of_rank(0, 999));
+        // …and across periods the hot key identity jumps.
+        let hot0 = s.key_of_rank(0, 0);
+        let mut moved = 0;
+        for p in 1..=8u64 {
+            if s.key_of_rank(0, p * 1_000) != hot0 {
+                moved += 1;
+            }
+        }
+        assert!(moved >= 7, "hot key should move nearly every period: {moved}/8");
+    }
+
+    #[test]
+    fn shifting_zipf_concentrates_on_the_period_hot_key() {
+        let dist = KeyDist::ShiftingZipf { n: 1_000, theta: 1.2, period_ms: 500 };
+        let s = dist.sampler();
+        let KeySampler::Shifting(inner) = &s else {
+            panic!("sampler variant");
+        };
+        for ts in [0u64, 1_700, 9_999] {
+            let hot = inner.key_of_rank(0, ts);
+            let mut r = rng();
+            let total = 10_000;
+            let hits = (0..total).filter(|_| s.sample_at(&mut r, ts) == hot).count();
+            let share = hits as f64 / total as f64;
+            assert!(share > 0.25, "ts={ts}: hot key share {share} too low");
+        }
+    }
+
+    #[test]
+    fn shifting_zipf_is_deterministic_and_time_stationary_in_draw_count() {
+        let s = KeyDist::ShiftingZipf { n: 64, theta: 1.5, period_ms: 100 }.sampler();
+        let run = || {
+            let mut r = StdRng::seed_from_u64(7);
+            (0..200u64).map(|i| s.sample_at(&mut r, i * 10)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+        // A shifting draw consumes exactly one f64, like the stationary
+        // table sampler: feeding the same seed through both must leave the
+        // RNGs in lock-step (sample() is sample_at(.., 0) by definition).
+        let mut r1 = StdRng::seed_from_u64(7);
+        let mut r2 = StdRng::seed_from_u64(7);
+        for i in 0..200u64 {
+            let _ = s.sample_at(&mut r1, i * 10);
+            let _ = s.sample(&mut r2);
+        }
+        assert_eq!(s.sample(&mut r1), s.sample(&mut r2), "RNGs diverged");
+    }
+
+    #[test]
+    fn shifting_zipf_serde_round_trip() {
+        let dist = KeyDist::ShiftingZipf { n: 4_096, theta: 1.25, period_ms: 2_000 };
+        let json = serde_json::to_string(&dist).unwrap_or_default();
+        assert!(json.contains("ShiftingZipf"), "{json}");
+        let back: KeyDist = serde_json::from_str(&json).unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(back.universe(), 4_096);
+        match back {
+            KeyDist::ShiftingZipf { n, theta, period_ms } => {
+                assert_eq!((n, period_ms), (4_096, 2_000));
+                assert!((theta - 1.25).abs() < 1e-12);
+            }
+            other => panic!("round-trip changed variant: {other:?}"),
+        }
     }
 }

@@ -7,8 +7,10 @@
 //! volume those imply. This crate parameterises exactly those axes with
 //! fully deterministic, seeded generators:
 //!
-//! - [`keys`] — uniform and Zipf key distributions (YCSB-style constant
-//!   time Zipf sampling).
+//! - [`keys`] — uniform, Zipf (YCSB-style constant-time sampling), and
+//!   time-shifting Zipf key distributions (exact table sampler, any
+//!   exponent, hot set rotating per period — the adaptive-routing
+//!   adversary).
 //! - [`arrival`] — constant-gap and Poisson arrival processes, plus
 //!   piecewise-constant [`schedule::RateSchedule`]s (e.g. the 60-minute
 //!   300→400→200→300 t/s profile of the dynamic-scaling experiments).

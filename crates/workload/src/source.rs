@@ -62,10 +62,12 @@ impl StreamSource {
         self.clock.peek()
     }
 
-    /// Produce the next tuple.
+    /// Produce the next tuple. The key draw is time-aware so that
+    /// shifting distributions rotate their hot set with the stream clock;
+    /// stationary distributions are unaffected.
     pub fn next_tuple(&mut self) -> Tuple {
         let ts = self.clock.next_arrival(&mut self.rng);
-        let key = self.keys.sample(&mut self.rng) as i64;
+        let key = self.keys.sample_at(&mut self.rng, ts) as i64;
         let seq = self.seq;
         self.seq += 1;
         let mut values = vec![Value::Int(key), Value::Int(seq)];
@@ -219,6 +221,35 @@ mod tests {
         assert_eq!(batch.len(), 11, "arrivals at 0,10,…,100");
         assert!(batch.iter().all(|t| t.ts() < 105));
         assert_eq!(r.peek_ts(), 110);
+    }
+
+    #[test]
+    fn shifting_zipf_source_rotates_hot_keys_over_stream_time() {
+        // 1000 t/s, hot set rotating every 500 ms: collect the modal key
+        // of each 500-tuple chunk and require it to change across chunks.
+        let mut s = StreamSource::new(
+            Rel::R,
+            ArrivalProcess::Constant { rate: 1_000.0 },
+            KeyDist::ShiftingZipf { n: 1_000, theta: 1.2, period_ms: 500 },
+            0,
+            9,
+        );
+        let modal = |tuples: &[Tuple]| {
+            let mut counts = std::collections::HashMap::new();
+            for t in tuples {
+                *counts.entry(t.get(0).unwrap().as_int().unwrap()).or_insert(0usize) += 1;
+            }
+            let (key, n) = counts.into_iter().max_by_key(|&(_, n)| n).unwrap();
+            assert!(n > 100, "modal key should dominate its period: {n}/500");
+            key
+        };
+        let chunks: Vec<i64> = (0..4)
+            .map(|_| modal(&(0..500).map(|_| s.next_tuple()).collect::<Vec<_>>()))
+            .collect();
+        assert!(
+            chunks.windows(2).any(|w| w[0] != w[1]),
+            "hot key never rotated: {chunks:?}"
+        );
     }
 
     #[test]

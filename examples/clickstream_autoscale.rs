@@ -66,6 +66,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ordering: true,
         seed: 7,
         batch_size: 1,
+        adaptive: Default::default(),
     };
     let engine = BicliqueEngine::builder(engine_cfg)
         .cost_model(CostModel::thesis_operating_point())

@@ -48,6 +48,7 @@ fn run(tuples: &[Tuple], ordering: bool) -> Vec<(u64, Vec<Value>, u64, Vec<Value
         ordering,
         seed: 3,
         batch_size: 1,
+        adaptive: Default::default(),
     };
     cfg.ordering = ordering;
     let mut engine = BicliqueEngine::builder(cfg)

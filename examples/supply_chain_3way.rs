@@ -31,6 +31,7 @@ fn stage(predicate: JoinPredicate) -> EngineConfig {
         ordering: true,
         seed: 11,
         batch_size: 1,
+        adaptive: Default::default(),
     }
 }
 

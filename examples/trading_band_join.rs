@@ -34,6 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ordering: true,
         seed: 42,
         batch_size: 1,
+        adaptive: Default::default(),
     };
     let pipeline = Pipeline::launch(PipelineConfig::new(engine))?;
 

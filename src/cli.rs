@@ -13,7 +13,7 @@
 //! Kept in a library module (rather than inline in `main`) so the parsing
 //! rules are unit-testable.
 
-use bistream_core::config::RoutingStrategy;
+use bistream_core::config::{AdaptiveTuning, RoutingStrategy};
 use bistream_core::exec::Backend;
 use bistream_core::query::{JoinQuery, QueryBuilder};
 use bistream_types::error::{Error, Result};
@@ -37,6 +37,13 @@ pub struct CliOptions {
     pub joiners: (usize, usize),
     /// Routing override.
     pub routing: Option<RoutingStrategy>,
+    /// Adaptive-routing tuning cadence in punctuation ticks
+    /// (`--adaptive-tune-puncts`, only meaningful with
+    /// `--routing adaptive[:D]`).
+    pub adaptive_tune_puncts: Option<u32>,
+    /// Adaptive-routing hot-key threshold in parts-per-million of the
+    /// observed stream (`--adaptive-hot-ppm`).
+    pub adaptive_hot_ppm: Option<u32>,
     /// Tuples per router→joiner frame (1 = per-tuple framing).
     pub batch_size: usize,
     /// Input path (`-` = stdin).
@@ -127,6 +134,8 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions> {
     let mut window_ms = Some(10_000u64);
     let mut joiners = (2usize, 2usize);
     let mut routing = None;
+    let mut adaptive_tune_puncts = None;
+    let mut adaptive_hot_ppm = None;
     let mut batch_size = 1usize;
     let mut input = "-".to_owned();
     let mut output = "-".to_owned();
@@ -194,8 +203,28 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions> {
                             .parse()
                             .map_err(|e| Error::Config(format!("bad subgroups: {e}")))?,
                     },
+                    "adaptive" => RoutingStrategy::Adaptive { subgroups: 2 },
+                    s if s.starts_with("adaptive:") => RoutingStrategy::Adaptive {
+                        subgroups: s["adaptive:".len()..]
+                            .parse()
+                            .map_err(|e| Error::Config(format!("bad subgroups: {e}")))?,
+                    },
                     other => return Err(Error::Config(format!("unknown routing `{other}`"))),
                 })
+            }
+            "--adaptive-tune-puncts" => {
+                adaptive_tune_puncts = Some(
+                    value("--adaptive-tune-puncts")?
+                        .parse()
+                        .map_err(|e| Error::Config(format!("bad tuning cadence: {e}")))?,
+                )
+            }
+            "--adaptive-hot-ppm" => {
+                adaptive_hot_ppm = Some(
+                    value("--adaptive-hot-ppm")?
+                        .parse()
+                        .map_err(|e| Error::Config(format!("bad hot threshold: {e}")))?,
+                )
             }
             "--batch-size" => {
                 batch_size = value("--batch-size")?
@@ -246,6 +275,8 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions> {
         window_ms,
         joiners,
         routing,
+        adaptive_tune_puncts,
+        adaptive_hot_ppm,
         batch_size,
         input,
         output,
@@ -291,6 +322,16 @@ impl CliOptions {
         if let Some(r) = self.routing {
             b = b.routing(r);
         }
+        if self.adaptive_tune_puncts.is_some() || self.adaptive_hot_ppm.is_some() {
+            let mut tuning = AdaptiveTuning::default();
+            if let Some(n) = self.adaptive_tune_puncts {
+                tuning.tune_every_puncts = n;
+            }
+            if let Some(ppm) = self.adaptive_hot_ppm {
+                tuning.hot_min_share_ppm = ppm;
+            }
+            b = b.adaptive_tuning(tuning);
+        }
         b.build()
     }
 }
@@ -303,10 +344,25 @@ USAGE:
   bistream --r-schema NAME:ATTR:TYPE[,…] --s-schema NAME:ATTR:TYPE[,…]
            (--on-equal A=B | --on-band A=B:EPS | --on-theta 'A<B' | --cross)
            [--window-ms MS | --full-history] [--joiners NxM]
-           [--routing random|hash|contrand:D] [--batch-size N]
+           [--routing random|hash|contrand:D|adaptive[:D]] [--batch-size N]
+           [--adaptive-tune-puncts N] [--adaptive-hot-ppm PPM]
            [--backend sim|broker|sharded]
            [--input FILE] [--output FILE]
            [--slo-p99-ms MS] [--slo-min-rate TPS] [--slo-bundle FILE]
+
+ROUTING:
+  random          store random own-side unit, broadcast join copies.
+  hash            content-sensitive, 2 copies/tuple (skew-fragile).
+  contrand:D      paper's ContRand with D subgroups per side.
+  adaptive[:D]    self-tuning ContRand starting at D subgroups (default
+                  2): hot keys (detected by in-router sketches) fan out
+                  wide, cold keys stay content-sensitive, and D re-tunes
+                  online; every strategy switch is fenced on punctuation
+                  boundaries. Equi joins only.
+                  --adaptive-tune-puncts sets the tuning cadence in
+                  punctuation ticks (default 4); --adaptive-hot-ppm the
+                  hot-key share threshold in parts-per-million of the
+                  observed stream (default 20000 = 2%).
 
 BACKENDS:
   sim (default)   deterministic in-process engine on virtual time from
@@ -314,6 +370,11 @@ BACKENDS:
   broker          live threaded pipeline over broker queues.
   sharded         live lock-free sharded runtime (one worker per unit
                   over bounded ring queues) — the throughput backend.
+                  CAVEAT: core pinning (pin_to_core) is currently a
+                  best-effort NO-OP — no CPU-affinity syscall crate is
+                  vendored, so worker threads are named per shard but
+                  placed by the OS scheduler. A one-time ConfigWarning
+                  journal event records this at launch.
   The live backends replay flat-out and re-stamp tuples with wall-clock
   arrival time, so --window-ms is interpreted on the wall clock.
 
@@ -373,6 +434,45 @@ mod tests {
         let q = opts.into_query().unwrap();
         assert_eq!(q.config().r_joiners, 3);
         assert_eq!(q.config().batch_size, 32);
+    }
+
+    #[test]
+    fn adaptive_routing_flag_with_and_without_subgroups() {
+        let base = "--r-schema o:id:int --s-schema p:ref:int --on-equal id=ref";
+        let opts = parse_args(&argv(&format!("{base} --routing adaptive"))).unwrap();
+        assert_eq!(opts.routing, Some(RoutingStrategy::Adaptive { subgroups: 2 }));
+        let opts = parse_args(&argv(&format!("{base} --joiners 4x4 --routing adaptive:4"))).unwrap();
+        assert_eq!(opts.routing, Some(RoutingStrategy::Adaptive { subgroups: 4 }));
+        let q = opts.into_query().unwrap();
+        assert_eq!(q.config().routing, RoutingStrategy::Adaptive { subgroups: 4 });
+        assert!(parse_args(&argv(&format!("{base} --routing adaptive:x"))).is_err());
+    }
+
+    #[test]
+    fn adaptive_tuning_flags_flow_into_the_config() {
+        let base = "--r-schema o:id:int --s-schema p:ref:int --on-equal id=ref \
+                    --routing adaptive";
+        let opts = parse_args(&argv(&format!(
+            "{base} --adaptive-tune-puncts 7 --adaptive-hot-ppm 50000"
+        )))
+        .unwrap();
+        assert_eq!(opts.adaptive_tune_puncts, Some(7));
+        assert_eq!(opts.adaptive_hot_ppm, Some(50_000));
+        let q = opts.into_query().unwrap();
+        assert_eq!(q.config().adaptive.tune_every_puncts, 7);
+        assert_eq!(q.config().adaptive.hot_min_share_ppm, 50_000);
+        // Defaults survive when the flags are absent.
+        let q = parse_args(&argv(base)).unwrap().into_query().unwrap();
+        assert_eq!(q.config().adaptive, AdaptiveTuning::default());
+        assert!(parse_args(&argv(&format!("{base} --adaptive-tune-puncts nope"))).is_err());
+    }
+
+    #[test]
+    fn usage_documents_the_sharded_pinning_caveat() {
+        // The pin_to_core no-op must be loud in --backend sharded help.
+        assert!(USAGE.contains("pin_to_core"));
+        assert!(USAGE.contains("NO-OP"));
+        assert!(USAGE.contains("adaptive[:D]"));
     }
 
     #[test]

@@ -28,6 +28,7 @@ fn config() -> EngineConfig {
         ordering: true,
         seed: 7,
         batch_size: 1,
+        adaptive: Default::default(),
     }
 }
 
@@ -94,4 +95,88 @@ fn corrupt_watermark_is_caught_with_event_chain() {
         "chain must include the journal tail: {:?}",
         v.chain
     );
+}
+
+fn adaptive_config() -> EngineConfig {
+    EngineConfig { routing: RoutingStrategy::Adaptive { subgroups: 2 }, ..config() }
+}
+
+/// Drive a deterministic alternating R/S stream with punctuation on the
+/// configured 10 ms interval through `steps` virtual-time steps of 3 ms.
+fn drive_storm(engine: &mut BicliqueEngine, steps: u64) {
+    let mut next_punct = 10;
+    for i in 0..steps {
+        let ts = i * 3;
+        while next_punct <= ts {
+            engine.punctuate(next_punct).unwrap();
+            next_punct += 10;
+        }
+        let rel = if i % 2 == 0 { Rel::R } else { Rel::S };
+        engine.ingest(&t(rel, ts, (i % 6) as i64), ts).unwrap();
+    }
+    engine.punctuate(steps * 3 + 10).unwrap();
+    engine.flush().unwrap();
+}
+
+/// Adversarial switch storm: the tuner is forced to flip the routing
+/// strategy on *every* punctuation tick while the network delivers frames
+/// in shuffled (per-channel-FIFO but globally adversarial) order, with
+/// two routers so every flip runs the full two-phase publish/ack/commit
+/// fence. The armed auditor — nested-loop output oracle included — must
+/// stay completely clean.
+#[test]
+fn switch_storm_under_shuffled_delivery_is_clean() {
+    use bistream::core::delivery::DeliveryMode;
+
+    let auditor = Auditor::new();
+    auditor.enable_oracle(Some(W));
+    let mut engine = BicliqueEngine::builder(adaptive_config())
+        .routers(2)
+        .delivery(DeliveryMode::Shuffled { seed: 0xF1F0 })
+        .auditor(auditor.clone())
+        .build()
+        .unwrap();
+    let shared = std::sync::Arc::clone(engine.adaptive_state().expect("adaptive engine"));
+    shared.force_flip_every_tick(true);
+    drive_storm(&mut engine, 400);
+    assert!(
+        shared.switches() >= 20,
+        "the storm must actually flip strategies: {} switches",
+        shared.switches()
+    );
+    assert!(engine.stats().results > 0, "the storm stream must produce joins");
+    auditor.assert_clean();
+}
+
+/// The fence matters: the same storm with the test-only
+/// `debug_skip_fence` hook armed — routers adopt each new plan mid-stream
+/// and immediately drop the old probe coverage instead of retiring it
+/// behind the punctuation fence — must be caught by the output oracle as
+/// missing join results. Proves the bug hook (and hence the fence) is
+/// observable, not theater.
+#[test]
+fn skipping_the_punctuation_fence_is_caught_by_the_oracle() {
+    let auditor = Auditor::new();
+    auditor.enable_oracle(Some(W));
+    // Two routers: a single router publishes, acks, commits and adopts a
+    // flip inside one tick, so there is never a committed epoch ahead of
+    // its store plan for the bug hook to jump to. With two, each router
+    // lags the commit until its own next tick — exactly the gap the
+    // fence covers and the hook corrupts.
+    let mut engine = BicliqueEngine::builder(adaptive_config())
+        .routers(2)
+        .auditor(auditor.clone())
+        .build()
+        .unwrap();
+    let shared = std::sync::Arc::clone(engine.adaptive_state().expect("adaptive engine"));
+    shared.force_flip_every_tick(true);
+    engine.debug_skip_fence(true);
+    drive_storm(&mut engine, 400);
+    assert!(shared.switches() >= 20, "got {} switches", shared.switches());
+    let violations = auditor.finish();
+    let oracle = violations
+        .iter()
+        .find(|v| v.rule == Rule::OutputOracle)
+        .unwrap_or_else(|| panic!("unfenced adoption must lose results, got {violations:?}"));
+    assert!(oracle.message.contains("missing"), "{}", oracle.message);
 }

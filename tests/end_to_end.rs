@@ -59,6 +59,7 @@ fn run_biclique(
         ordering: true,
         seed: 11,
         batch_size: 1,
+        adaptive: Default::default(),
     };
     let auditor = bistream::types::audit::Auditor::new();
     // The O(n²) output oracle only understands equi keys; the other
@@ -232,6 +233,7 @@ fn full_history_never_loses_matches() {
         ordering: true,
         seed: 5,
         batch_size: 1,
+        adaptive: Default::default(),
     };
     let auditor = bistream::types::audit::Auditor::new();
     auditor.enable_oracle(None);

@@ -31,6 +31,7 @@ fn simulated_run_exposes_every_tier_in_one_scrape_and_journals_events() {
         ordering: true,
         seed: 7,
         batch_size: 1,
+        adaptive: Default::default(),
     };
     let obs = Observability::new();
     let auditor = bistream::types::audit::Auditor::new();
@@ -197,6 +198,7 @@ fn traced_sim_run(obs: Observability) -> (Vec<Trace>, RegistrySnapshot) {
         ordering: true,
         seed: 11,
         batch_size: 1,
+        adaptive: Default::default(),
     };
     let mut engine = BicliqueEngine::builder(cfg).observability(obs.clone()).build().unwrap();
     for i in 0..100u64 {

@@ -239,6 +239,7 @@ proptest! {
             ordering: true,
             seed: 5,
             batch_size: 1,
+            adaptive: Default::default(),
         };
         let auditor = bistream::types::audit::Auditor::new();
         auditor.enable_oracle(Some(W));
@@ -429,6 +430,7 @@ proptest! {
                 ordering: true,
                 seed: SEED,
                 batch_size: batch,
+                adaptive: Default::default(),
             };
             let obs = Observability::with_tracing(3);
             let auditor = bistream::types::audit::Auditor::new();
@@ -841,4 +843,207 @@ proptest! {
             );
         }
     }
+
+    /// The adaptive router is backend-equivalent *across forced mid-stream
+    /// strategy switches*: the stream is fed in three segments with one
+    /// deterministic committed switch between segments (quiesce → one-shot
+    /// flip → wait for the commit), so both backends route segment k under
+    /// the same epoch-k plan. At every batch size {1, 7, 64} the broker
+    /// and sharded pipelines then produce the identical ordered result
+    /// sequence, match the brute-force reference join, and keep the armed
+    /// Auditor clean. (Copies and trace spans are NOT compared: retiring
+    /// probe coverage is wall-clock-timed, so no-match probe fan-out may
+    /// legitimately differ.)
+    #[test]
+    fn adaptive_routing_is_backend_equivalent_across_forced_switches(
+        ops in prop::collection::vec((any::<bool>(), 0i64..8), 24..60),
+    ) {
+        use bistream::core::config::{AdaptiveTuning, EngineConfig, RoutingStrategy};
+        use bistream::core::exec::{Backend, Pipeline, PipelineConfig};
+        use bistream::types::audit::Auditor;
+        use std::sync::Arc;
+        use std::time::{Duration, Instant};
+
+        fn wait_until(limit: Duration, mut cond: impl FnMut() -> bool) -> bool {
+            let t0 = Instant::now();
+            loop {
+                if cond() {
+                    return true;
+                }
+                if t0.elapsed() > limit {
+                    return cond();
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+
+        let payload_id = |t: &Tuple| match t.get(1) {
+            Some(Value::Int(i)) => *i,
+            other => panic!("payload id attribute: {other:?}"),
+        };
+        let mut expect: Vec<(i64, i64)> = Vec::new();
+        for (i, (r_side, rk)) in ops.iter().enumerate() {
+            if !r_side {
+                continue;
+            }
+            for (j, (s_side, sk)) in ops.iter().enumerate() {
+                if !s_side && rk == sk {
+                    expect.push((i as i64, j as i64));
+                }
+            }
+        }
+        expect.sort_unstable();
+        let seg = ops.len().div_ceil(3);
+
+        for &batch in &[1usize, 7, 64] {
+            let mut runs: Vec<(Vec<(i64, i64)>, u64, u64)> = Vec::new();
+            for backend in [Backend::Broker, Backend::Sharded] {
+                let mut engine = EngineConfig::default_equi();
+                engine.window = WindowSpec::sliding(600_000);
+                engine.batch_size = batch;
+                engine.routing = RoutingStrategy::Adaptive { subgroups: 2 };
+                // Disable the wall-clock-timed natural tuner: the only
+                // switches are the deterministic one-shot flips below, so
+                // both backends partition the stream identically by epoch.
+                engine.adaptive =
+                    AdaptiveTuning { tune_every_puncts: u32::MAX, ..AdaptiveTuning::default() };
+                let mut c = PipelineConfig::new(engine);
+                c.routers = 1;
+                c.backend = backend;
+                c.capture_results = true;
+                let auditor = Auditor::new();
+                c.auditor = Some(auditor.clone());
+                let p = Pipeline::launch(c).unwrap();
+                let shared = Arc::clone(p.adaptive_state().expect("adaptive engine"));
+                let mut fed = 0u64;
+                for (chunk_idx, chunk) in ops.chunks(seg).enumerate() {
+                    for (i, (r_side, key)) in chunk.iter().enumerate() {
+                        let id = (chunk_idx * seg + i) as i64;
+                        let rel = if *r_side { Rel::R } else { Rel::S };
+                        p.ingest(&Tuple::new(
+                            rel,
+                            p.now(),
+                            vec![Value::Int(*key), Value::Int(id)],
+                        ))
+                        .unwrap();
+                        fed += 1;
+                    }
+                    // Quiesce the router (routing of everything fed so far
+                    // is fixed), then force exactly one committed switch.
+                    prop_assert!(
+                        wait_until(Duration::from_secs(30), || p.stats().ingested == fed),
+                        "{:?} batch {}: router did not quiesce", backend, batch
+                    );
+                    if (chunk_idx + 1) * seg < ops.len() {
+                        let before = shared.switches();
+                        shared.request_flip();
+                        prop_assert!(
+                            wait_until(Duration::from_secs(30), || shared.switches() > before),
+                            "{:?} batch {}: forced switch never committed", backend, batch
+                        );
+                    }
+                }
+                let switches = shared.switches();
+                let report = p.finish().unwrap();
+                auditor.assert_clean();
+                let ordered: Vec<(i64, i64)> = report
+                    .captured
+                    .iter()
+                    .map(|res| (payload_id(&res.r), payload_id(&res.s)))
+                    .collect();
+                runs.push((ordered, report.snapshot.results, switches));
+            }
+            let (sharded_run, broker_run) = (runs.pop().unwrap(), runs.pop().unwrap());
+            let mut multiset = broker_run.0.clone();
+            multiset.sort_unstable();
+            prop_assert_eq!(
+                &multiset, &expect,
+                "batch {}: adaptive results vs brute-force reference", batch
+            );
+            prop_assert_eq!(
+                &broker_run.0, &sharded_run.0,
+                "batch {}: adaptive ordered sequences diverge across backends", batch
+            );
+            prop_assert_eq!(
+                broker_run.1, sharded_run.1,
+                "batch {}: adaptive result counters diverge across backends", batch
+            );
+            prop_assert_eq!(broker_run.2, 2u64, "batch {}: exactly two forced switches", batch);
+            prop_assert_eq!(sharded_run.2, 2u64, "batch {}: exactly two forced switches", batch);
+        }
+    }
+}
+
+/// Acceptance gate: one hundred committed strategy switches with tuples in
+/// flight throughout, the Auditor (with its nested-loop output oracle)
+/// armed on every hook, and the result multiset still exactly the
+/// brute-force reference join. Two routers force the full two-phase
+/// publish/ack/commit path on every one of those switches.
+#[test]
+fn hundred_forced_switches_stay_audit_clean_and_complete() {
+    use bistream::core::config::{EngineConfig, RoutingStrategy};
+    use bistream::core::engine::BicliqueEngine;
+    use bistream::types::audit::Auditor;
+    use bistream::types::tuple::JoinResult;
+
+    const W: Ts = 150;
+    const PUNCT: Ts = 10;
+    let mut cfg = EngineConfig::default_equi();
+    cfg.r_joiners = 2;
+    cfg.s_joiners = 3;
+    cfg.window = WindowSpec::sliding(W);
+    cfg.routing = RoutingStrategy::Adaptive { subgroups: 2 };
+    cfg.punctuation_interval_ms = PUNCT;
+    cfg.archive_period_ms = 20;
+    cfg.seed = 5;
+    let auditor = Auditor::new();
+    auditor.enable_oracle(Some(W));
+    let mut engine = BicliqueEngine::builder(cfg)
+        .routers(2)
+        .auditor(auditor.clone())
+        .build()
+        .unwrap();
+    engine.capture_results();
+    let shared = std::sync::Arc::clone(engine.adaptive_state().expect("adaptive engine"));
+    shared.force_flip_every_tick(true);
+
+    // Deterministic stream: three tuples per punctuation round, flipping
+    // sides, nine keys — every round both routers tick, so the storm
+    // commits roughly one switch per round.
+    let mut tuples = Vec::new();
+    let mut ts: Ts = 0;
+    let mut step: i64 = 0;
+    let mut next_punct = PUNCT;
+    while shared.switches() < 100 {
+        ts += 3;
+        let rel = if step % 2 == 0 { Rel::R } else { Rel::S };
+        let t = Tuple::new(rel, ts, vec![Value::Int(step % 9)]);
+        while next_punct <= ts {
+            engine.punctuate(next_punct).unwrap();
+            next_punct += PUNCT;
+        }
+        engine.ingest(&t, ts).unwrap();
+        tuples.push(t);
+        step += 1;
+        assert!(step < 100_000, "storm never reached 100 switches");
+    }
+    shared.force_flip_every_tick(false);
+    engine.punctuate(ts + PUNCT).unwrap();
+    engine.flush().unwrap();
+
+    assert!(shared.switches() >= 100, "got {} switches", shared.switches());
+    let mut expect: Vec<_> = Vec::new();
+    for a in tuples.iter().filter(|t| t.rel() == Rel::R) {
+        for b in tuples.iter().filter(|t| t.rel() == Rel::S) {
+            if a.get(0) == b.get(0) && a.ts().abs_diff(b.ts()) <= W {
+                expect.push(JoinResult::of(a.clone(), b.clone()).identity());
+            }
+        }
+    }
+    expect.sort();
+    let mut got: Vec<_> = engine.take_captured().iter().map(JoinResult::identity).collect();
+    got.sort();
+    assert_eq!(got, expect, "results lost or invented across {} switches", shared.switches());
+    let violations = auditor.finish();
+    assert!(violations.is_empty(), "audit violations under the switch storm: {violations:#?}");
 }

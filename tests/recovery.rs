@@ -23,6 +23,7 @@ fn cfg() -> EngineConfig {
         ordering: true,
         seed: 13,
         batch_size: 1,
+        adaptive: Default::default(),
     }
 }
 

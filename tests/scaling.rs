@@ -61,6 +61,7 @@ fn repeated_scaling_keeps_exactly_once_semantics() {
             ordering: true,
             seed: 21,
             batch_size: 1,
+            adaptive: Default::default(),
         };
         let mut engine = BicliqueEngine::new(cfg).unwrap();
         engine.capture_results();

@@ -68,6 +68,7 @@ fn frozen_frontier_is_detected_by_the_watchdog_within_bounded_ticks() {
         ordering: true,
         seed: 7,
         batch_size: 1,
+        adaptive: Default::default(),
     };
     let obs = Observability::new();
     let mut engine = BicliqueEngine::builder(cfg).observability(obs.clone()).build().unwrap();
